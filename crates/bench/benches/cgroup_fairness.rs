@@ -1,0 +1,44 @@
+//! CPU-isolation overhead: interpreter fuel metering with and without a
+//! cgroup controller (§3.1's fairness mechanism must stay off the hot path).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasm_core::CgroupCpu;
+use faasm_fvm::prelude::*;
+use faasm_fvm::CpuController;
+
+fn spin_instance(fuel: FuelMeter) -> Instance {
+    let module = faasm_lang::compile(
+        "int main() { int acc = 0; for (int i = 0; i < 20000; i = i + 1) { acc = acc + i; } return acc; }",
+    )
+    .unwrap();
+    let object = ObjectModule::prepare(module).unwrap();
+    Instance::with_fuel(object, &Linker::new(), Box::new(()), fuel).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgroup_fairness");
+
+    let mut free = spin_instance(FuelMeter::unlimited());
+    group.bench_function("uncontrolled", |b| {
+        b.iter(|| std::hint::black_box(free.invoke("main", &[]).unwrap()))
+    });
+
+    // Single member: the controller grants every slice immediately; this
+    // measures pure accounting overhead.
+    let group_cpu = CgroupCpu::new(1 << 22);
+    let share = Arc::new(group_cpu.join());
+    let controller: Arc<dyn CpuController> = share;
+    let mut governed = spin_instance(FuelMeter::with_controller(
+        controller,
+        faasm_fvm::fuel::DEFAULT_SLICE,
+    ));
+    group.bench_function("cgroup_single_member", |b| {
+        b.iter(|| std::hint::black_box(governed.invoke("main", &[]).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

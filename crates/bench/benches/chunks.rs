@@ -1,0 +1,34 @@
+//! Ablation: chunked pulls vs whole-value pulls (§4.2's state chunks —
+//! "the entire matrix is not transferred unnecessarily").
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasm_kvs::{KvClient, KvStore};
+use faasm_state::StateManager;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunks");
+    let value_size = 1 << 20; // 1 MiB state value.
+
+    for (name, chunk) in [("chunked_16k", 16 * 1024), ("whole_value", value_size)] {
+        let store = Arc::new(KvStore::new());
+        store.set("m", vec![3u8; value_size]);
+        let kv = Arc::new(KvClient::local(store));
+        let mgr = StateManager::with_chunk_size(kv, chunk);
+        group.bench_function(format!("{name}_read_4k_slice"), |b| {
+            let mut buf = vec![0u8; 4096];
+            b.iter(|| {
+                // Fresh entry each iteration: first touch triggers the pull.
+                mgr.evict("m");
+                let e = mgr.get("m", value_size).unwrap();
+                e.read(512 * 1024, &mut buf).unwrap();
+                std::hint::black_box(buf[0]);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Faaslet lifecycle costs: cold start vs Proto-Faaslet restore vs the
+//! container baseline (Tab. 3's initialisation row as a micro-benchmark).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasm_core::faaslet::{Faaslet, FaasletEnv};
+use faasm_core::{faaslet_linker, CgroupCpu, FunctionDef, GuestCode, NoChain};
+
+fn env() -> FaasletEnv {
+    let fabric = faasm_net::Fabric::new();
+    let nic = fabric.add_host();
+    let kv = Arc::new(faasm_kvs::KvClient::local(Arc::new(
+        faasm_kvs::KvStore::new(),
+    )));
+    FaasletEnv {
+        state: Arc::new(faasm_state::StateManager::new(kv)),
+        hostfs: faasm_vfs::HostFs::new(Arc::new(faasm_vfs::ObjectStore::new())),
+        nic,
+        router: Arc::new(NoChain),
+        cgroup: CgroupCpu::new(1 << 22),
+        linker: Arc::new(faaslet_linker()),
+        egress: None,
+    }
+}
+
+fn noop_def() -> Arc<FunctionDef> {
+    let module = faasm_lang::compile("int main() { return 0; }").unwrap();
+    Arc::new(FunctionDef {
+        code: GuestCode::Fvm(faasm_fvm::ObjectModule::prepare(module).unwrap()),
+        entry: "main".into(),
+        init: None,
+        reset_after_call: true,
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let env = env();
+    let def = noop_def();
+    let mut donor = Faaslet::create_cold(1, "u", "f", Arc::clone(&def), &env).unwrap();
+    let proto = donor.capture_proto().unwrap();
+
+    let mut group = c.benchmark_group("faaslet_init");
+    let mut id = 1000u64;
+    group.bench_function("cold_start", |b| {
+        b.iter(|| {
+            id += 1;
+            std::hint::black_box(
+                Faaslet::create_cold(id, "u", "f", Arc::clone(&def), &env).unwrap(),
+            )
+        })
+    });
+    group.bench_function("proto_restore", |b| {
+        b.iter(|| {
+            id += 1;
+            std::hint::black_box(Faaslet::restore(id, &proto, Arc::clone(&def), &env).unwrap())
+        })
+    });
+    // Container baseline for scale (256 KiB scaled image).
+    let image = vec![7u8; 256 * 1024];
+    let cfg = faasm_baseline::ImageConfig {
+        image_bytes: image.len(),
+        layers: 5,
+        boot_passes: 4,
+    };
+    struct NoHttp;
+    impl faasm_baseline::HttpRouter for NoHttp {
+        fn chain_call(&self, _: &str, _: &str, _: Vec<u8>) -> faasm_core::CallId {
+            faasm_core::CallId(0)
+        }
+        fn await_call(&self, id: faasm_core::CallId) -> faasm_core::CallResult {
+            faasm_core::CallResult::error(id, "none")
+        }
+    }
+    let kv = Arc::new(faasm_kvs::KvClient::local(Arc::new(
+        faasm_kvs::KvStore::new(),
+    )));
+    group.bench_function("container_cold_start_256k_image", |b| {
+        b.iter(|| {
+            id += 1;
+            let router: Arc<dyn faasm_baseline::HttpRouter> = Arc::new(NoHttp);
+            std::hint::black_box(faasm_baseline::Container::cold_start(
+                id,
+                "u",
+                "f",
+                &image,
+                &cfg,
+                Arc::clone(&kv),
+                router,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

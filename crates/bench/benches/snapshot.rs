@@ -1,0 +1,78 @@
+//! Ablation: copy-on-write Proto-Faaslet restore vs full-copy restore vs
+//! cold instantiation (§5.2's design choice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasm_fvm::prelude::*;
+use faasm_mem::MemorySnapshot;
+
+fn bench(c: &mut Criterion) {
+    // A module with ~32 pages of initialised memory ("interpreter heap").
+    let src = r#"
+        void init() {
+            ptr int p = (ptr int) 65536;
+            for (int i = 0; i < 524288; i = i + 1024) { p[i] = i; }
+        }
+        int main() { return 0; }
+    "#;
+    let module = faasm_lang::compile_with(
+        src,
+        faasm_lang::MemConfig {
+            initial_pages: 40,
+            max_pages: 64,
+        },
+    )
+    .unwrap();
+    let object = ObjectModule::prepare(module).unwrap();
+    let linker = Linker::new();
+    let mut inst = Instance::new(object.clone(), &linker, Box::new(())).unwrap();
+    inst.invoke("init", &[]).unwrap();
+    let snap = inst.snapshot();
+    let snap_bytes = snap.mem.as_ref().unwrap().to_bytes();
+
+    let mut group = c.benchmark_group("snapshot");
+    group.bench_function("cow_restore", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Instance::restore(
+                    object.clone(),
+                    &snap,
+                    &linker,
+                    Box::new(()),
+                    FuelMeter::unlimited(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("full_copy_restore", |b| {
+        b.iter(|| {
+            // The ablation: deserialising copies every page.
+            let mem = MemorySnapshot::from_bytes(&snap_bytes).unwrap();
+            std::hint::black_box(faasm_mem::LinearMemory::restore(&mem))
+        })
+    });
+    group.bench_function("cold_instantiate_with_init", |b| {
+        b.iter(|| {
+            let mut i = Instance::new(object.clone(), &linker, Box::new(())).unwrap();
+            i.invoke("init", &[]).unwrap();
+            std::hint::black_box(i)
+        })
+    });
+    group.bench_function("snapshot_capture", |b| {
+        b.iter(|| {
+            let mut i = Instance::restore(
+                object.clone(),
+                &snap,
+                &linker,
+                Box::new(()),
+                FuelMeter::unlimited(),
+            )
+            .unwrap();
+            std::hint::black_box(i.snapshot())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

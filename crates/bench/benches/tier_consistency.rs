@@ -1,0 +1,61 @@
+//! Ablation: batched push (VectorAsync, Listing 1) vs write-through
+//! consistency (§4.1's variable-consistency design point).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasm_kvs::{KvClient, KvStore};
+use faasm_state::{SharedVector, StateManager};
+
+fn manager() -> StateManager {
+    StateManager::new(Arc::new(KvClient::local(Arc::new(KvStore::new()))))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tier_consistency");
+    let updates = 256usize;
+
+    // Batched: N local updates, one push (the HOGWILD! pattern).
+    let mgr = manager();
+    let v = SharedVector::open(&mgr, "w", 512).unwrap();
+    v.init(&vec![0.0; 512]).unwrap();
+    group.bench_function("batched_push_256_updates", |b| {
+        b.iter(|| {
+            for i in 0..updates {
+                v.add(i % 512, 1.0).unwrap();
+            }
+            v.push().unwrap();
+        })
+    });
+
+    // Write-through: every update goes straight to the global tier (the
+    // container platform's only option, §6.2).
+    let mgr2 = manager();
+    let kv = Arc::clone(mgr2.kv());
+    kv.set("wt", vec![0u8; 512 * 8]).unwrap();
+    group.bench_function("write_through_256_updates", |b| {
+        b.iter(|| {
+            for i in 0..updates {
+                let off = (i % 512) as u64 * 8;
+                kv.set_range("wt", off, 1.0f64.to_le_bytes().to_vec())
+                    .unwrap();
+            }
+        })
+    });
+
+    // Strong consistency: global lock around a read-modify-write (§4.2).
+    let mgr3 = manager();
+    let entry = mgr3.get("locked", 64).unwrap();
+    group.bench_function("global_locked_rmw", |b| {
+        b.iter(|| {
+            entry.lock_global_write().unwrap();
+            entry.write(0, &1.0f64.to_le_bytes()).unwrap();
+            entry.push().unwrap();
+            entry.unlock_global_write().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

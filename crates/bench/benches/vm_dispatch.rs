@@ -1,0 +1,60 @@
+//! Interpreter dispatch throughput: instructions per second on arithmetic
+//! and memory-heavy loops (context for the Fig. 9a ratios).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use faasm_fvm::prelude::*;
+
+fn instance(src: &str) -> Instance {
+    let module = faasm_lang::compile(src).unwrap();
+    let object = ObjectModule::prepare(module).unwrap();
+    Instance::new(object, &Linker::new(), Box::new(())).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_dispatch");
+    // ~6 instructions per iteration, 10k iterations.
+    let mut arith = instance(
+        "int main() { int acc = 0; for (int i = 0; i < 10000; i = i + 1) { acc = acc + i; } return acc; }",
+    );
+    group.throughput(Throughput::Elements(60_000));
+    group.bench_function("arith_loop_60k_instrs", |b| {
+        b.iter(|| std::hint::black_box(arith.invoke("main", &[]).unwrap()))
+    });
+
+    let mut memory = instance(
+        r#"
+        int main() {
+            ptr int p = (ptr int) 1024;
+            int acc = 0;
+            for (int i = 0; i < 5000; i = i + 1) {
+                p[i % 1000] = i;
+                acc = acc + p[(i * 7) % 1000];
+            }
+            return acc;
+        }
+        "#,
+    );
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("memory_loop_5k_iters", |b| {
+        b.iter(|| std::hint::black_box(memory.invoke("main", &[]).unwrap()))
+    });
+
+    let mut calls = instance(
+        r#"
+        int leaf(int x) { return x + 1; }
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 2000; i = i + 1) { acc = leaf(acc); }
+            return acc;
+        }
+        "#,
+    );
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("call_loop_2k_calls", |b| {
+        b.iter(|| std::hint::black_box(calls.invoke("main", &[]).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,835 @@
+//! Regenerate every table and figure of the paper's evaluation (§6).
+//!
+//! Usage: `cargo run -p faasm-bench --release --bin figures [EXPERIMENT]`
+//! where EXPERIMENT is one of `fig6`, `fig6-small`, `fig7`, `fig8`, `fig9a`,
+//! `fig9b`, `table3`, `fig10`, or `all` (default).
+//!
+//! Workloads are scaled to laptop size (factors printed with each figure);
+//! EXPERIMENTS.md records these outputs next to the paper's numbers. Shapes
+//! — who wins, the crossovers, the saturation knees — are the reproduction
+//! target, not absolute values (see DESIGN.md).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faasm_bench::{
+    baseline_platform, faasm_cluster, fmt_dur, fmt_mb, median, percentile, time, Table,
+};
+use faasm_core::faaslet::{Faaslet, FaasletEnv};
+use faasm_core::{faaslet_linker, CgroupCpu, FunctionDef, GuestCode, NoChain};
+use faasm_workloads::data::{rcv1_like, synth_images};
+use faasm_workloads::minidyn::programs as dynprogs;
+use faasm_workloads::polybench;
+use faasm_workloads::{inference, matmul, sgd};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "fig6" {
+        fig6();
+    }
+    if all || which == "fig6-small" {
+        fig6_small();
+    }
+    if all || which == "fig7" {
+        fig7();
+    }
+    if all || which == "fig8" {
+        fig8();
+    }
+    if all || which == "fig9a" {
+        fig9a();
+    }
+    if all || which == "fig9b" {
+        fig9b();
+    }
+    if all || which == "table3" {
+        table3();
+    }
+    if all || which == "fig10" {
+        fig10();
+    }
+}
+
+// ── Fig. 6: SGD training ────────────────────────────────────────────────
+
+fn run_sgd_faasm(
+    parallelism: u32,
+    dataset: &faasm_workloads::data::SparseDataset,
+) -> Option<(Duration, u64, f64)> {
+    let cluster = faasm_cluster(4, 8);
+    sgd::register_faasm(&cluster, "ml");
+    sgd::upload_dataset(cluster.kv(), dataset).ok()?;
+    let tasks = sgd::partition(
+        dataset.examples as u32,
+        parallelism,
+        dataset.features as u32,
+        0.5,
+        32,
+    );
+    let before = cluster.fabric().stats().snapshot();
+    let t0 = Instant::now();
+    for _epoch in 0..2 {
+        let ids: Vec<_> = tasks
+            .iter()
+            .map(|t| cluster.invoke_async("ml", "sgd_update", t.to_bytes()))
+            .collect();
+        for id in ids {
+            if cluster.await_result(id).return_code() != 0 {
+                return None;
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    let bytes = cluster
+        .fabric()
+        .stats()
+        .snapshot()
+        .delta(&before)
+        .total_bytes()
+        + cluster.object_store().pulled_bytes();
+    Some((elapsed, bytes, cluster.billable_gb_seconds()))
+}
+
+fn run_sgd_baseline(
+    parallelism: u32,
+    dataset: &faasm_workloads::data::SparseDataset,
+) -> Option<(Duration, u64, f64)> {
+    // 2 MB images; a 12 MB per-host budget OOMs at high parallelism, the
+    // Fig. 6a "Knative exhausts memory with over 30 functions" shape.
+    let platform = baseline_platform(4, 8, 2 * 1024 * 1024, 12 * 1024 * 1024);
+    sgd::register_baseline(&platform, "ml");
+    sgd::upload_dataset(platform.kv(), dataset).ok()?;
+    let tasks = sgd::partition(
+        dataset.examples as u32,
+        parallelism,
+        dataset.features as u32,
+        0.5,
+        32,
+    );
+    let before = platform.fabric().stats().snapshot();
+    let t0 = Instant::now();
+    for _epoch in 0..2 {
+        let ids: Vec<_> = tasks
+            .iter()
+            .map(|t| platform.invoke_async("ml", "sgd_update", t.to_bytes()))
+            .collect();
+        for id in ids {
+            if platform.await_result(id).return_code() != 0 {
+                return None; // OOMKilled
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    let bytes = platform
+        .fabric()
+        .stats()
+        .snapshot()
+        .delta(&before)
+        .total_bytes()
+        + platform.object_store().pulled_bytes();
+    Some((elapsed, bytes, platform.billable_gb_seconds()))
+}
+
+fn fig6() {
+    println!("\n=== Fig. 6: SGD training vs parallelism ===");
+    println!("scale: 2048 docs x 512 features (paper: 800K x 47K), 2 epochs");
+    let dataset = rcv1_like(2048, 512, 12, 42);
+    let mut t = Table::new(&[
+        "parallel fns",
+        "faasm time",
+        "knative time",
+        "faasm net",
+        "knative net",
+        "faasm GB-s",
+        "knative GB-s",
+    ]);
+    for p in [2u32, 4, 8, 16, 24, 32] {
+        let f = run_sgd_faasm(p, &dataset);
+        let b = run_sgd_baseline(p, &dataset);
+        let cell = |v: &Option<(Duration, u64, f64)>, which: usize| -> String {
+            match v {
+                None => "OOM".into(),
+                Some((d, bytes, gbs)) => match which {
+                    0 => fmt_dur(*d),
+                    1 => fmt_mb(*bytes),
+                    _ => format!("{gbs:.6}"),
+                },
+            }
+        };
+        t.row(&[
+            p.to_string(),
+            cell(&f, 0),
+            cell(&b, 0),
+            cell(&f, 1),
+            cell(&b, 1),
+            cell(&f, 2),
+            cell(&b, 2),
+        ]);
+    }
+    t.print();
+    println!("paper shape: faasm faster at scale, ~65% less transfer, ~10x less");
+    println!("billable memory; knative OOMs above ~30 parallel functions.");
+}
+
+fn fig6_small() {
+    println!("\n=== §6.2 small-scale run (128 examples) ===");
+    let dataset = rcv1_like(128, 64, 8, 42);
+    let f = run_sgd_faasm(8, &dataset).expect("faasm run");
+    let b = run_sgd_baseline(8, &dataset).expect("baseline run");
+    let mut t = Table::new(&["platform", "time", "net transfer", "billable GB-s"]);
+    t.row(&[
+        "faasm".into(),
+        fmt_dur(f.0),
+        fmt_mb(f.1),
+        format!("{:.6}", f.2),
+    ]);
+    t.row(&[
+        "knative".into(),
+        fmt_dur(b.0),
+        fmt_mb(b.1),
+        format!("{:.6}", b.2),
+    ]);
+    t.print();
+    println!("paper: 460ms vs 630ms, 19MB vs 48MB, 0.01 vs 0.04 GB-s.");
+}
+
+// ── Fig. 7: inference serving ───────────────────────────────────────────
+
+fn fig7() {
+    println!("\n=== Fig. 7: inference serving (latency vs throughput, cold starts) ===");
+    println!("scale: mobilenet-lite (paper: TFLite MobileNet), 28x28 inputs");
+
+    let images = Arc::new(synth_images(64, inference::SIDE, 7));
+
+    // (a) throughput vs median latency, closed loop with rising concurrency.
+    let mut ta = Table::new(&[
+        "clients",
+        "faasm req/s",
+        "faasm p50",
+        "knative-20%cold req/s",
+        "knative p50",
+    ]);
+    for clients in [1usize, 2, 4, 8] {
+        let (f_tput, f_p50, _f_p99) = drive_inference(Platform::Faasm, clients, 0, &images);
+        let (b_tput, b_p50, _b_p99) = drive_inference(Platform::Baseline, clients, 5, &images);
+        ta.row(&[
+            clients.to_string(),
+            format!("{f_tput:.0}"),
+            fmt_dur(f_p50),
+            format!("{b_tput:.0}"),
+            fmt_dur(b_p50),
+        ]);
+    }
+    ta.print();
+
+    // (b) latency distribution at fixed concurrency for cold ratios.
+    let mut tb = Table::new(&["series", "p50", "p90", "p99"]);
+    for (name, platform, every) in [
+        ("faasm (all ratios)", Platform::Faasm, 0usize),
+        ("knative 0% cold", Platform::Baseline, 0),
+        ("knative 2% cold", Platform::Baseline, 50),
+        ("knative 20% cold", Platform::Baseline, 5),
+    ] {
+        let lat = latencies_inference(platform, 4, every, &images);
+        tb.row(&[
+            name.into(),
+            fmt_dur(percentile(lat.clone(), 0.5)),
+            fmt_dur(percentile(lat.clone(), 0.9)),
+            fmt_dur(percentile(lat, 0.99)),
+        ]);
+    }
+    tb.print();
+    println!("paper shape: knative median spikes beyond a throughput knee that");
+    println!("drops as the cold-start ratio rises; faasm is flat for all ratios");
+    println!("with tail latency cut by ~90%.");
+}
+
+#[derive(Clone, Copy)]
+enum Platform {
+    Faasm,
+    Baseline,
+}
+
+fn drive_inference(
+    platform: Platform,
+    clients: usize,
+    evict_every: usize,
+    images: &Arc<Vec<Vec<u8>>>,
+) -> (f64, Duration, Duration) {
+    let lat = latencies_inference(platform, clients, evict_every, images);
+    let total: Duration = lat.iter().sum();
+    let tput = lat.len() as f64 / (total.as_secs_f64() / clients as f64).max(1e-9);
+    (tput, percentile(lat.clone(), 0.5), percentile(lat, 0.99))
+}
+
+fn latencies_inference(
+    platform: Platform,
+    clients: usize,
+    evict_every: usize,
+    images: &Arc<Vec<Vec<u8>>>,
+) -> Vec<Duration> {
+    let per_client = 40usize;
+    let counter = Arc::new(AtomicU64::new(0));
+    match platform {
+        Platform::Faasm => {
+            let cluster = Arc::new(faasm_cluster(2, 4));
+            inference::setup_faasm(&cluster, "serve", 9);
+            // Warm up.
+            cluster.invoke("serve", "infer", images[0].clone());
+            let mut handles = Vec::new();
+            for c in 0..clients {
+                let cluster = Arc::clone(&cluster);
+                let images = Arc::clone(images);
+                let counter = Arc::clone(&counter);
+                handles.push(std::thread::spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let img = images[(c * per_client + i) % images.len()].clone();
+                        let _n = counter.fetch_add(1, Ordering::Relaxed);
+                        let t0 = Instant::now();
+                        let r = cluster.invoke("serve", "infer", img);
+                        assert_eq!(r.return_code(), 0);
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        }
+        Platform::Baseline => {
+            let platform = Arc::new(baseline_platform(2, 4, 4 * 1024 * 1024, 1024 * 1024 * 1024));
+            inference::setup_baseline(&platform, "serve", 9);
+            platform.invoke("serve", "infer", images[0].clone());
+            let mut handles = Vec::new();
+            for c in 0..clients {
+                let platform = Arc::clone(&platform);
+                let images = Arc::clone(images);
+                let counter = Arc::clone(&counter);
+                handles.push(std::thread::spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let img = images[(c * per_client + i) % images.len()].clone();
+                        let n = counter.fetch_add(1, Ordering::Relaxed) as usize;
+                        if evict_every > 0 && n.is_multiple_of(evict_every) {
+                            // A fraction of requests land on fresh containers
+                            // (the paper's per-user cold starts).
+                            platform.evict_all();
+                        }
+                        let t0 = Instant::now();
+                        let r = platform.invoke("serve", "infer", img);
+                        assert_eq!(r.return_code(), 0);
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        }
+    }
+}
+
+// ── Fig. 8: matmul ──────────────────────────────────────────────────────
+
+fn fig8() {
+    println!("\n=== Fig. 8: distributed matrix multiplication ===");
+    println!("scale: n in 16..128 (paper: 100..8000), 64 products + 16 merges");
+    let mut t = Table::new(&[
+        "n",
+        "faasm time",
+        "knative time",
+        "faasm net",
+        "knative net",
+    ]);
+    for n in [16usize, 32, 64, 128] {
+        let cluster = faasm_cluster(2, 8);
+        matmul::register_faasm(&cluster, "la");
+        matmul::upload_matrices(cluster.kv(), n, 5).unwrap();
+        // Steady-state measurement: one warm-up multiplication first.
+        cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+        let before = cluster.fabric().stats().snapshot();
+        let (r, f_time) =
+            time(|| cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec()));
+        assert_eq!(r.return_code(), 0, "faasm matmul n={n}: {:?}", r.status);
+        let f_bytes = cluster
+            .fabric()
+            .stats()
+            .snapshot()
+            .delta(&before)
+            .total_bytes();
+
+        let platform = baseline_platform(2, 8, 2 * 1024 * 1024, 1 << 30);
+        matmul::register_baseline(&platform, "la");
+        matmul::upload_matrices(platform.kv(), n, 5).unwrap();
+        platform.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+        let before = platform.fabric().stats().snapshot();
+        let (r, b_time) =
+            time(|| platform.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec()));
+        assert_eq!(r.return_code(), 0, "baseline matmul n={n}: {:?}", r.status);
+        let b_bytes = platform
+            .fabric()
+            .stats()
+            .snapshot()
+            .delta(&before)
+            .total_bytes();
+
+        t.row(&[
+            n.to_string(),
+            fmt_dur(f_time),
+            fmt_dur(b_time),
+            fmt_mb(f_bytes),
+            fmt_mb(b_bytes),
+        ]);
+    }
+    t.print();
+    println!("paper shape: durations near parity; faasm ~13% less traffic.");
+}
+
+// ── Fig. 9: language-runtime performance ───────────────────────────────
+
+fn fig9a() {
+    println!("\n=== Fig. 9a: Polybench, FVM guest vs native ===");
+    println!("note: the FVM interprets (paper used a JIT), so absolute ratios");
+    println!("are larger; per-kernel orderings are the comparison target.");
+    let mut t = Table::new(&["kernel", "native", "fvm", "ratio"]);
+    for kernel in polybench::all_kernels() {
+        let n = kernel.default_n;
+        let native = median(
+            (0..3)
+                .map(|_| polybench::run_native(&kernel, n).1)
+                .collect(),
+        );
+        let fvm = median((0..3).map(|_| polybench::run_fvm(&kernel, n).1).collect());
+        let ratio = fvm.as_secs_f64() / native.as_secs_f64().max(1e-9);
+        t.row(&[
+            kernel.name.to_string(),
+            fmt_dur(native),
+            fmt_dur(fvm),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    t.print();
+}
+
+fn fig9b() {
+    println!("\n=== Fig. 9b: MiniDyn suite, in-Faaslet vs direct ===");
+    println!("note: the paper compares WASM-compiled CPython against native");
+    println!("CPython; MiniDyn is native Rust in both modes, so this measures");
+    println!("the host-interface + filesystem overhead of hosting the runtime");
+    println!("in a Faaslet (see DESIGN.md S3).");
+    let cluster = faasm_cluster(1, 2);
+    dynprogs::setup_faasm(&cluster, "py");
+    let mut t = Table::new(&["benchmark", "direct", "in-faaslet", "ratio"]);
+    for b in dynprogs::suite() {
+        let direct = median(
+            (0..3)
+                .map(|_| time(|| dynprogs::run_direct(&b, b.default_n).unwrap()).1)
+                .collect(),
+        );
+        let input = format!("{};{}", b.name, b.default_n);
+        // Warm up (loads + caches the program file).
+        cluster.invoke("py", "minidyn", input.clone().into_bytes());
+        let hosted = median(
+            (0..3)
+                .map(|_| {
+                    let (r, d) =
+                        time(|| cluster.invoke("py", "minidyn", input.clone().into_bytes()));
+                    assert_eq!(r.return_code(), 0);
+                    d
+                })
+                .collect(),
+        );
+        let ratio = hosted.as_secs_f64() / direct.as_secs_f64().max(1e-9);
+        t.row(&[
+            b.name.to_string(),
+            fmt_dur(direct),
+            fmt_dur(hosted),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    t.print();
+}
+
+// ── Table 3 and Fig. 10: cold starts and churn ─────────────────────────
+
+/// Build a standalone Faaslet environment (no cluster) for lifecycle
+/// micro-measurements.
+fn bare_env() -> FaasletEnv {
+    let fabric = faasm_net::Fabric::new();
+    let nic = fabric.add_host();
+    let kv = Arc::new(faasm_kvs::KvClient::local(Arc::new(
+        faasm_kvs::KvStore::new(),
+    )));
+    FaasletEnv {
+        state: Arc::new(faasm_state::StateManager::new(kv)),
+        hostfs: faasm_vfs::HostFs::new(Arc::new(faasm_vfs::ObjectStore::new())),
+        nic,
+        router: Arc::new(NoChain),
+        cgroup: CgroupCpu::new(1 << 22),
+        linker: Arc::new(faaslet_linker()),
+        egress: None,
+    }
+}
+
+fn noop_def() -> Arc<FunctionDef> {
+    let module = faasm_lang::compile("int main() { return 0; }").unwrap();
+    let object = faasm_fvm::ObjectModule::prepare(module).unwrap();
+    Arc::new(FunctionDef {
+        code: GuestCode::Fvm(object),
+        entry: "main".into(),
+        init: None,
+        reset_after_call: true,
+    })
+}
+
+fn table3() {
+    println!("\n=== Table 3: cold-start comparison (no-op function) ===");
+    let env = bare_env();
+    let def = noop_def();
+
+    // Faaslet cold start.
+    let n = 200;
+    let cold = median(
+        (0..n)
+            .map(|i| {
+                time(|| Faaslet::create_cold(i, "u", "noop", Arc::clone(&def), &env).unwrap()).1
+            })
+            .collect(),
+    );
+    // Proto-Faaslet restore.
+    let mut donor = Faaslet::create_cold(9999, "u", "noop", Arc::clone(&def), &env).unwrap();
+    let proto = donor.capture_proto().unwrap();
+    let restore = median(
+        (0..n)
+            .map(|i| {
+                time(|| Faaslet::restore(10_000 + i, &proto, Arc::clone(&def), &env).unwrap()).1
+            })
+            .collect(),
+    );
+    // CPU cycles (fuel) for one no-op call.
+    let mut f = Faaslet::restore(50_000, &proto, Arc::clone(&def), &env).unwrap();
+    let call = faasm_core::CallSpec {
+        id: faasm_core::CallId(1),
+        user: "u".into(),
+        function: "noop".into(),
+        input: vec![],
+    };
+    f.run(&call);
+    let fuel = f.fuel_consumed();
+    let faaslet_rss = f.rss_bytes();
+    let faaslet_pss = f.pss_bytes();
+
+    // Container cold start (8 MB image, the paper's container overhead).
+    let image: Vec<u8> = (0..8 * 1024 * 1024).map(|i| i as u8).collect();
+    let cfg = faasm_baseline::ImageConfig {
+        image_bytes: image.len(),
+        layers: 5,
+        boot_passes: 4,
+    };
+    let kv = Arc::new(faasm_kvs::KvClient::local(Arc::new(
+        faasm_kvs::KvStore::new(),
+    )));
+    struct NoHttp;
+    impl faasm_baseline::HttpRouter for NoHttp {
+        fn chain_call(&self, _u: &str, _f: &str, _i: Vec<u8>) -> faasm_core::CallId {
+            faasm_core::CallId(0)
+        }
+        fn await_call(&self, id: faasm_core::CallId) -> faasm_core::CallResult {
+            faasm_core::CallResult::error(id, "none")
+        }
+    }
+    let router: Arc<dyn faasm_baseline::HttpRouter> = Arc::new(NoHttp);
+    let container_cold = median(
+        (0..20)
+            .map(|i| {
+                time(|| {
+                    faasm_baseline::Container::cold_start(
+                        i,
+                        "u",
+                        "noop",
+                        &image,
+                        &cfg,
+                        Arc::clone(&kv),
+                        Arc::clone(&router),
+                    )
+                })
+                .1
+            })
+            .collect(),
+    );
+    let container = faasm_baseline::Container::cold_start(
+        999,
+        "u",
+        "noop",
+        &image,
+        &cfg,
+        Arc::clone(&kv),
+        router,
+    );
+    let container_rss = container.rss_bytes();
+    let container_pss = container.pss_bytes(8) as usize; // image shared 8 ways
+
+    // Capacity: instances fitting in a 4 GB host.
+    let budget = 4usize << 30;
+    let mut t = Table::new(&[
+        "metric",
+        "container",
+        "faaslet",
+        "proto-faaslet",
+        "vs container",
+    ]);
+    t.row(&[
+        "initialisation".into(),
+        fmt_dur(container_cold),
+        fmt_dur(cold),
+        fmt_dur(restore),
+        format!(
+            "{:.0}x",
+            container_cold.as_secs_f64() / restore.as_secs_f64().max(1e-9)
+        ),
+    ]);
+    t.row(&[
+        "CPU cycles (fuel)".into(),
+        "-".into(),
+        fuel.to_string(),
+        fuel.to_string(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "PSS memory".into(),
+        fmt_mb(container_pss as u64),
+        fmt_mb(faaslet_pss as u64),
+        fmt_mb(faaslet_pss as u64),
+        format!("{:.0}x", container_pss as f64 / faaslet_pss.max(1.0)),
+    ]);
+    t.row(&[
+        "RSS memory".into(),
+        fmt_mb(container_rss as u64),
+        fmt_mb(faaslet_rss as u64),
+        fmt_mb(faaslet_rss as u64),
+        format!("{:.0}x", container_rss as f64 / faaslet_rss as f64),
+    ]);
+    t.row(&[
+        "capacity / 4GB".into(),
+        (budget / container_rss).to_string(),
+        (budget / faaslet_rss).to_string(),
+        format!("{:.0}", budget as f64 / faaslet_pss),
+        format!(
+            "{:.0}x",
+            (budget as f64 / faaslet_pss) / (budget / container_rss) as f64
+        ),
+    ]);
+    t.print();
+    println!("paper: init 2.8s/5.2ms/0.5ms; PSS 1.3MB/200KB/90KB; RSS 5MB/200KB;");
+    println!("capacity ~8K/~70K/>100K. The container column here reflects the");
+    println!("scaled image-materialisation model (DESIGN.md S5).");
+
+    // §6.5's Python-runtime variant: init builds a large interpreter heap.
+    let dyn_src = r#"
+        extern int mmap(int len);
+        void init() {
+            int base = mmap(4194304);
+            ptr int p = (ptr int) base;
+            for (int i = 0; i < 1048576; i = i + 1024) {
+                p[i] = i;
+            }
+        }
+        int main() { return 0; }
+    "#;
+    let module = faasm_lang::compile(dyn_src).unwrap();
+    let object = faasm_fvm::ObjectModule::prepare(module).unwrap();
+    let dyn_def = Arc::new(FunctionDef {
+        code: GuestCode::Fvm(object),
+        entry: "main".into(),
+        init: Some("init".into()),
+        reset_after_call: true,
+    });
+    let (mut dyn_cold_faaslet, dyn_cold) =
+        time(|| Faaslet::create_cold(70_000, "u", "pynoop", Arc::clone(&dyn_def), &env).unwrap());
+    let dyn_proto = dyn_cold_faaslet.capture_proto().unwrap();
+    let dyn_restore = median(
+        (0..50)
+            .map(|i| {
+                time(|| {
+                    Faaslet::restore(80_000 + i, &dyn_proto, Arc::clone(&dyn_def), &env).unwrap()
+                })
+                .1
+            })
+            .collect(),
+    );
+    // A "python:3.7-alpine"-class image is ~6x the no-op image.
+    let py_image: Vec<u8> = (0..48 * 1024 * 1024).map(|i| (i / 7) as u8).collect();
+    let py_cfg = faasm_baseline::ImageConfig {
+        image_bytes: py_image.len(),
+        layers: 5,
+        boot_passes: 4,
+    };
+    let router: Arc<dyn faasm_baseline::HttpRouter> = Arc::new(NoHttp);
+    let py_container = median(
+        (0..5)
+            .map(|i| {
+                time(|| {
+                    faasm_baseline::Container::cold_start(
+                        i,
+                        "u",
+                        "py",
+                        &py_image,
+                        &py_cfg,
+                        Arc::clone(&kv),
+                        Arc::clone(&router),
+                    )
+                })
+                .1
+            })
+            .collect(),
+    );
+    println!("\n  dynamic-language runtime variant (paper: 3.2s container vs 0.9ms restore):");
+    println!(
+        "    container (python-class image): {}",
+        fmt_dur(py_container)
+    );
+    println!("    faaslet cold (init runs):       {}", fmt_dur(dyn_cold));
+    println!(
+        "    proto-faaslet restore:          {}",
+        fmt_dur(dyn_restore)
+    );
+}
+
+fn fig10() {
+    println!("\n=== Fig. 10: creation churn (latency vs creation rate) ===");
+    let env = bare_env();
+    let def = noop_def();
+    let mut donor = Faaslet::create_cold(1, "u", "noop", Arc::clone(&def), &env).unwrap();
+    let proto = Arc::new(donor.capture_proto().unwrap());
+
+    let image: Vec<u8> = (0..8 * 1024 * 1024).map(|i| i as u8).collect();
+    let cfg = faasm_baseline::ImageConfig {
+        image_bytes: image.len(),
+        layers: 5,
+        boot_passes: 4,
+    };
+    struct NoHttp;
+    impl faasm_baseline::HttpRouter for NoHttp {
+        fn chain_call(&self, _u: &str, _f: &str, _i: Vec<u8>) -> faasm_core::CallId {
+            faasm_core::CallId(0)
+        }
+        fn await_call(&self, id: faasm_core::CallId) -> faasm_core::CallResult {
+            faasm_core::CallResult::error(id, "none")
+        }
+    }
+
+    let mut t = Table::new(&["series", "threads", "achieved/s", "mean latency"]);
+    for threads in [1usize, 2, 4] {
+        // Containers.
+        let image = Arc::new(image.clone());
+        let kv = Arc::new(faasm_kvs::KvClient::local(Arc::new(
+            faasm_kvs::KvStore::new(),
+        )));
+        let (count, lat) = churn(threads, Duration::from_millis(300), {
+            let image = Arc::clone(&image);
+            let kv = Arc::clone(&kv);
+            move |i| {
+                let router: Arc<dyn faasm_baseline::HttpRouter> = Arc::new(NoHttp);
+                std::hint::black_box(faasm_baseline::Container::cold_start(
+                    i,
+                    "u",
+                    "noop",
+                    &image,
+                    &cfg,
+                    Arc::clone(&kv),
+                    router,
+                ));
+            }
+        });
+        t.row(&[
+            "docker (sim)".into(),
+            threads.to_string(),
+            format!("{count:.0}"),
+            fmt_dur(lat),
+        ]);
+
+        // Faaslet cold starts.
+        let env2 = bare_env();
+        let def2 = Arc::clone(&def);
+        let (count, lat) = churn(threads, Duration::from_millis(300), move |i| {
+            std::hint::black_box(
+                Faaslet::create_cold(i, "u", "noop", Arc::clone(&def2), &env2).unwrap(),
+            );
+        });
+        t.row(&[
+            "faaslet".into(),
+            threads.to_string(),
+            format!("{count:.0}"),
+            fmt_dur(lat),
+        ]);
+
+        // Proto-Faaslet restores.
+        let env3 = bare_env();
+        let def3 = Arc::clone(&def);
+        let proto3 = Arc::clone(&proto);
+        let (count, lat) = churn(threads, Duration::from_millis(300), move |i| {
+            std::hint::black_box(Faaslet::restore(i, &proto3, Arc::clone(&def3), &env3).unwrap());
+        });
+        t.row(&[
+            "proto-faaslet".into(),
+            threads.to_string(),
+            format!("{count:.0}"),
+            fmt_dur(lat),
+        ]);
+    }
+    t.print();
+    println!("paper shape: throughput ceilings of ~3/s (docker), ~600/s (faaslet)");
+    println!("and ~4000/s (proto-faaslet) — three distinct orders of magnitude.");
+}
+
+/// Run `make(i)` from `threads` threads for `window`; returns
+/// (achieved rate per second, mean latency).
+fn churn<F>(threads: usize, window: Duration, make: F) -> (f64, Duration)
+where
+    F: Fn(u64) + Send + Sync + 'static,
+{
+    let make = Arc::new(make);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    let t0 = Instant::now();
+    for t in 0..threads {
+        let make = Arc::clone(&make);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            let mut total = Duration::ZERO;
+            let mut i = t as u64 * 1_000_000;
+            while !stop.load(Ordering::Relaxed) {
+                let s = Instant::now();
+                make(i);
+                total += s.elapsed();
+                n += 1;
+                i += 1;
+            }
+            (n, total)
+        }));
+    }
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let mut count = 0u64;
+    let mut total = Duration::ZERO;
+    for h in handles {
+        let (n, t) = h.join().unwrap();
+        count += n;
+        total += t;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mean = if count > 0 {
+        total / count as u32
+    } else {
+        Duration::ZERO
+    };
+    (count as f64 / elapsed, mean)
+}

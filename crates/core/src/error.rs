@@ -1,0 +1,54 @@
+//! Runtime-level errors.
+
+use std::fmt;
+
+/// Errors from runtime operations (upload, Faaslet lifecycle, invocation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The function is not registered for this user.
+    UnknownFunction {
+        /// Owning user.
+        user: String,
+        /// Function name.
+        function: String,
+    },
+    /// Guest code failed compilation or validation at upload.
+    Compile(String),
+    /// The declared entry export is missing or has the wrong signature.
+    BadEntry(String),
+    /// Instantiation failed (link error, memory limit, trapping start).
+    Instantiate(String),
+    /// A Proto-Faaslet could not be decoded or did not match its module.
+    BadProto(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownFunction { user, function } => {
+                write!(f, "unknown function {user}/{function}")
+            }
+            CoreError::Compile(m) => write!(f, "compile error: {m}"),
+            CoreError::BadEntry(m) => write!(f, "bad entry point: {m}"),
+            CoreError::Instantiate(m) => write!(f, "instantiation error: {m}"),
+            CoreError::BadProto(m) => write!(f, "bad proto-faaslet: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        let e = CoreError::UnknownFunction {
+            user: "u".into(),
+            function: "f".into(),
+        };
+        assert!(e.to_string().contains("u/f"));
+        assert!(CoreError::Compile("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,164 @@
+//! Guest code and the cluster-wide function registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use faasm_fvm::{ObjectModule, Trap};
+use parking_lot::RwLock;
+
+use crate::ctx::NativeApi;
+
+/// A trusted native guest: workloads the paper compiled from large C/C++
+/// codebases to WebAssembly (e.g. TensorFlow Lite) run in this reproduction
+/// as native Rust against the same host interface (DESIGN.md S4). Native
+/// guests receive no linear memory; all interaction goes through
+/// [`NativeApi`].
+pub trait NativeGuest: Send + Sync {
+    /// Run one invocation; the return value is the call's return code.
+    ///
+    /// # Errors
+    ///
+    /// A trap fails the call like an FVM trap would.
+    fn invoke(&self, api: &mut NativeApi<'_>) -> Result<i32, Trap>;
+}
+
+impl<F> NativeGuest for F
+where
+    F: Fn(&mut NativeApi<'_>) -> Result<i32, Trap> + Send + Sync,
+{
+    fn invoke(&self, api: &mut NativeApi<'_>) -> Result<i32, Trap> {
+        self(api)
+    }
+}
+
+/// The executable form of a function.
+#[derive(Clone)]
+pub enum GuestCode {
+    /// A validated FVM object module (the normal path).
+    Fvm(Arc<ObjectModule>),
+    /// A trusted native guest.
+    Native(Arc<dyn NativeGuest>),
+}
+
+impl std::fmt::Debug for GuestCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuestCode::Fvm(o) => write!(f, "Fvm({} funcs)", o.module.func_count()),
+            GuestCode::Native(_) => write!(f, "Native"),
+        }
+    }
+}
+
+/// A registered function.
+#[derive(Debug, Clone)]
+pub struct FunctionDef {
+    /// Executable code.
+    pub code: GuestCode,
+    /// Entry export invoked per call (FVM guests; default `"main"`). Its
+    /// signature must be `[] -> []` or `[] -> [i32]`.
+    pub entry: String,
+    /// Optional initialisation export run once before the Proto-Faaslet
+    /// snapshot is taken (§5.2 "user-defined initialisation code").
+    pub init: Option<String>,
+    /// Restore the Faaslet from its Proto-Faaslet after every call,
+    /// guaranteeing no cross-call data leakage (§5.2).
+    pub reset_after_call: bool,
+}
+
+/// Cluster-wide function registry, shared by every runtime instance.
+#[derive(Debug, Default)]
+pub struct FunctionRegistry {
+    funcs: RwLock<HashMap<(String, String), Arc<FunctionDef>>>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> FunctionRegistry {
+        FunctionRegistry::default()
+    }
+
+    /// Register (or replace) a function.
+    pub fn insert(&self, user: &str, function: &str, def: FunctionDef) {
+        self.funcs
+            .write()
+            .insert((user.to_string(), function.to_string()), Arc::new(def));
+    }
+
+    /// Look up a function.
+    pub fn get(&self, user: &str, function: &str) -> Option<Arc<FunctionDef>> {
+        self.funcs
+            .read()
+            .get(&(user.to_string(), function.to_string()))
+            .cloned()
+    }
+
+    /// Remove a function; returns whether it existed.
+    pub fn remove(&self, user: &str, function: &str) -> bool {
+        self.funcs
+            .write()
+            .remove(&(user.to_string(), function.to_string()))
+            .is_some()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.read().len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasm_fvm::ModuleBuilder;
+
+    #[test]
+    fn registry_crud() {
+        let r = FunctionRegistry::new();
+        assert!(r.is_empty());
+        let object = ObjectModule::prepare(ModuleBuilder::new().build()).unwrap();
+        r.insert(
+            "u",
+            "f",
+            FunctionDef {
+                code: GuestCode::Fvm(object),
+                entry: "main".into(),
+                init: None,
+                reset_after_call: true,
+            },
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r.get("u", "f").is_some());
+        assert!(r.get("u", "g").is_none());
+        assert!(r.get("other", "f").is_none(), "functions are per-user");
+        assert!(r.remove("u", "f"));
+        assert!(!r.remove("u", "f"));
+    }
+
+    #[test]
+    fn native_guests_from_closures() {
+        let guest: Arc<dyn NativeGuest> = Arc::new(|api: &mut NativeApi<'_>| {
+            api.write_output(b"native");
+            Ok(0)
+        });
+        let r = FunctionRegistry::new();
+        r.insert(
+            "u",
+            "n",
+            FunctionDef {
+                code: GuestCode::Native(guest),
+                entry: "main".into(),
+                init: None,
+                reset_after_call: false,
+            },
+        );
+        let def = r.get("u", "n").unwrap();
+        assert!(matches!(def.code, GuestCode::Native(_)));
+        let dbg = format!("{:?}", def.code);
+        assert!(dbg.contains("Native"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Host-interface tests: FL guests exercising every class of Tab. 2.
+
+use std::sync::Arc;
+
+use faasm_fvm::{Instance, ObjectModule, Trap, Val};
+
+use super::faaslet_linker;
+use crate::ctx::tests::test_ctx;
+use crate::ctx::FaasletCtx;
+
+/// Compile an FL guest, link the host interface, and return the instance.
+fn guest(src: &str, ctx: FaasletCtx) -> Instance {
+    let module = faasm_lang::compile(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let object = ObjectModule::prepare(module).expect("validates");
+    Instance::new(object, &faaslet_linker(), Box::new(ctx)).expect("links")
+}
+
+fn guest_ctx(src: &str) -> Instance {
+    guest(src, test_ctx())
+}
+
+#[test]
+fn input_and_output_roundtrip() {
+    let src = r#"
+        extern int input_size();
+        extern int read_call_input(ptr int buf, int len);
+        extern void write_call_output(ptr int buf, int len);
+        extern int mmap(int len);
+        int main() {
+            int n = input_size();
+            int buf = mmap(n);
+            int got = read_call_input((ptr int) buf, n);
+            write_call_output((ptr int) buf, got);
+            return 0;
+        }
+    "#;
+    let mut ctx = test_ctx();
+    ctx.input = b"echo me".to_vec();
+    let mut inst = guest(src, ctx);
+    let r = inst.invoke("main", &[]).unwrap();
+    assert_eq!(r, Some(Val::I32(0)));
+    let fctx = inst.data_as::<FaasletCtx>().unwrap();
+    assert_eq!(fctx.output, b"echo me");
+}
+
+#[test]
+fn state_via_mapped_pointer() {
+    // get_state maps a shared region into guest memory; writing through the
+    // pointer and pushing makes it globally visible.
+    let src = r#"
+        extern int get_state(ptr int key, int key_len, int size);
+        extern void push_state(ptr int key, int key_len);
+        int main() {
+            // Write the key name "vec" into guest memory at 64.
+            ptr int k = (ptr int) 64;
+            k[0] = 0x636576; // "v","e","c",0 little-endian
+            ptr double s = (ptr double) get_state((ptr int) 64, 3, 32);
+            s[0] = 1.5;
+            s[1] = 2.5;
+            push_state((ptr int) 64, 3);
+            return 0;
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(0)));
+    let fctx = inst.data_as::<FaasletCtx>().unwrap();
+    let global = fctx.state.kv().get("vec").unwrap().expect("pushed");
+    assert_eq!(global.len(), 32);
+    assert_eq!(f64::from_le_bytes(global[0..8].try_into().unwrap()), 1.5);
+    assert_eq!(f64::from_le_bytes(global[8..16].try_into().unwrap()), 2.5);
+}
+
+#[test]
+fn state_set_get_api() {
+    let src = r#"
+        extern void set_state(ptr int key, int key_len, ptr int val, int val_len);
+        extern void push_state(ptr int key, int key_len);
+        extern int get_state(ptr int key, int key_len, int size);
+        int main() {
+            ptr int k = (ptr int) 64;
+            k[0] = 0x00796b; // "ky"
+            ptr int v = (ptr int) 128;
+            v[0] = 12345;
+            set_state((ptr int) 64, 2, (ptr int) 128, 4);
+            ptr int back = (ptr int) get_state((ptr int) 64, 2, 4);
+            return back[0];
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(12345)));
+}
+
+#[test]
+fn state_offset_and_append() {
+    let src = r#"
+        extern void set_state_offset(ptr int key, int key_len, int size, int off, ptr int val, int val_len);
+        extern void push_state_offset(ptr int key, int key_len, int off, int len);
+        extern void append_state(ptr int key, int key_len, ptr int val, int val_len);
+        int main() {
+            ptr int k = (ptr int) 64;
+            k[0] = 0x6b; // "k"
+            ptr int v = (ptr int) 128;
+            v[0] = -1;
+            set_state_offset((ptr int) 64, 1, 16, 4, (ptr int) 128, 4);
+            push_state_offset((ptr int) 64, 1, 4, 4);
+            ptr int a = (ptr int) 192;
+            a[0] = 0x61; // appended byte "a"
+            append_state((ptr int) 64, 1, (ptr int) 192, 1);
+            return 0;
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(0)));
+    let fctx = inst.data_as::<FaasletCtx>().unwrap();
+    let global = fctx.state.kv().get("k").unwrap().unwrap();
+    // push_state_offset wrote bytes 4..8 = -1; append added one byte.
+    assert_eq!(global.len(), 9);
+    assert_eq!(&global[4..8], &[0xff, 0xff, 0xff, 0xff]);
+    assert_eq!(global[8], 0x61);
+}
+
+#[test]
+fn state_locks_do_not_deadlock_single_faaslet() {
+    let src = r#"
+        extern void lock_state_write(ptr int key, int key_len);
+        extern void unlock_state_write(ptr int key, int key_len);
+        extern void lock_state_read(ptr int key, int key_len);
+        extern void unlock_state_read(ptr int key, int key_len);
+        extern void lock_state_global_write(ptr int key, int key_len);
+        extern void unlock_state_global_write(ptr int key, int key_len);
+        int main() {
+            ptr int k = (ptr int) 64;
+            k[0] = 0x6c; // "l"
+            lock_state_write((ptr int) 64, 1);
+            unlock_state_write((ptr int) 64, 1);
+            lock_state_read((ptr int) 64, 1);
+            unlock_state_read((ptr int) 64, 1);
+            lock_state_global_write((ptr int) 64, 1);
+            unlock_state_global_write((ptr int) 64, 1);
+            return 0;
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(0)));
+}
+
+#[test]
+fn memory_host_calls() {
+    let src = r#"
+        int main() {
+            int before = memsize();
+            int addr = mmap(65536);
+            if (addr < 0) { return -1; }
+            int after = memsize();
+            if (after != before + 1) { return -2; }
+            int old = sbrk(100);
+            if (old < 0) { return -3; }
+            if (brk((after + 2) * 65536) != 0) { return -4; }
+            if (munmap(addr, 65536) != 0) { return -5; }
+            return memsize();
+        }
+    "#;
+    // mmap/brk/sbrk are host imports; declare them via externs.
+    let src = format!(
+        r#"
+        extern int mmap(int len);
+        extern int munmap(int addr, int len);
+        extern int brk(int addr);
+        extern int sbrk(int delta);
+        {src}
+    "#
+    );
+    let mut inst = guest_ctx(&src);
+    let r = inst.invoke("main", &[]).unwrap().unwrap().as_i32().unwrap();
+    // 4 initial + 1 mmap + 1 sbrk + brk to (after+2)=8 → expect >= 7 pages.
+    assert!(r >= 7, "final page count {r}");
+}
+
+#[test]
+fn mmap_fails_cleanly_at_limit() {
+    let src = r#"
+        extern int mmap(int len);
+        int main() {
+            // Default FL memory limit is 256 pages; ask for far more.
+            return mmap(1073741824);
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(-1)));
+}
+
+#[test]
+fn file_io_host_calls() {
+    let src = r#"
+        extern int open(ptr int path, int len, int flags);
+        extern int close(int fd);
+        extern int dup(int fd);
+        extern int read(int fd, ptr int buf, int len);
+        extern int write(int fd, ptr int buf, int len);
+        extern long seek(int fd, long off, int whence);
+        extern long stat_size(ptr int path, int len);
+        int main() {
+            ptr int p = (ptr int) 64;
+            p[0] = 0x676f6c; // "log"
+            // flags: read|write|create|trunc = 0xF
+            int fd = open((ptr int) 64, 3, 15);
+            if (fd < 0) { return -1; }
+            ptr int data = (ptr int) 128;
+            data[0] = 0x64636261; // "abcd"
+            if (write(fd, (ptr int) 128, 4) != 4) { return -2; }
+            if (seek(fd, 0L, 0) != 0L) { return -3; }
+            int fd2 = dup(fd);
+            ptr int buf = (ptr int) 256;
+            if (read(fd2, (ptr int) 256, 4) != 4) { return -4; }
+            if (buf[0] != 0x64636261) { return -5; }
+            if (stat_size((ptr int) 64, 3) != 4L) { return -6; }
+            close(fd);
+            close(fd2);
+            return 0;
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(0)));
+}
+
+#[test]
+fn misc_time_and_random() {
+    let src = r#"
+        extern long gettime();
+        extern int getrandom(ptr int buf, int len);
+        int main() {
+            long t1 = gettime();
+            getrandom((ptr int) 64, 8);
+            long t2 = gettime();
+            if (t2 < t1) { return -1; }
+            ptr int r = (ptr int) 64;
+            if (r[0] == 0 && r[1] == 0) { return -2; }
+            return 0;
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(0)));
+}
+
+#[test]
+fn sockets_from_guest() {
+    use faasm_net::{Fabric, TokenBucket};
+    // Stand up an echo service and point the guest at it.
+    let fabric = Fabric::new();
+    let server_nic = fabric.add_host();
+    let client_nic = fabric.add_host();
+    let server_id = server_nic.id();
+    let t = std::thread::spawn(move || {
+        let env = server_nic.recv().unwrap();
+        server_nic.respond(&env, env.payload.clone()).unwrap();
+    });
+
+    let src = format!(
+        r#"
+        extern int socket();
+        extern int connect(int sock, int host);
+        extern int send(int sock, ptr int buf, int len);
+        extern int recv(int sock, ptr int buf, int len);
+        extern int sock_close(int sock);
+        int main() {{
+            int s = socket();
+            if (connect(s, {server}) != 0) {{ return -1; }}
+            ptr int out = (ptr int) 64;
+            out[0] = 0x2a;
+            if (send(s, (ptr int) 64, 4) != 4) {{ return -2; }}
+            ptr int in = (ptr int) 128;
+            if (recv(s, (ptr int) 128, 4) != 4) {{ return -3; }}
+            if (in[0] != 0x2a) {{ return -4; }}
+            sock_close(s);
+            return 0;
+        }}
+    "#,
+        server = server_id.0
+    );
+    let mut ctx = test_ctx();
+    ctx.vif = Arc::new(client_nic.virtual_interface(TokenBucket::unlimited()));
+    let mut inst = guest(&src, ctx);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(0)));
+    t.join().unwrap();
+}
+
+#[test]
+fn dynlink_load_and_call() {
+    // Build a plugin exporting `dl_entry(ptr, len) -> len` that doubles each
+    // byte, upload it to the Faaslet's filesystem, then dlopen/dlsym/dlcall.
+    let plugin_src = r#"
+        int dl_entry(ptr int buf, int len) {
+            int i = 0;
+            while (i < len) {
+                ptr int b = buf;
+                i = i + 4;
+            }
+            // Double the first i32.
+            buf[0] = buf[0] * 2;
+            return 4;
+        }
+    "#;
+    let plugin = faasm_lang::compile(plugin_src).unwrap();
+    let plugin_bytes = faasm_fvm::encode_module(&plugin);
+
+    let ctx = test_ctx();
+    // Place the plugin in the user's filesystem.
+    ctx.fdtable
+        .host()
+        .store()
+        .put("user:tester/plugin.fvm", plugin_bytes);
+
+    let src = r#"
+        extern int dlopen(ptr int path, int len);
+        extern int dlsym(int handle, ptr int name, int len);
+        extern int dlcall(int sym, ptr int arg, int arg_len, ptr int out, int out_cap);
+        extern int dlclose(int handle);
+        int main() {
+            // path "plugin.fvm" at 64.
+            ptr int p = (ptr int) 64;
+            p[0] = 0x67756c70; // "plug"
+            p[1] = 0x662e6e69; // "in.f"
+            p[2] = 0x6d76;     // "vm"
+            int h = dlopen((ptr int) 64, 10);
+            if (h < 0) { return -1; }
+            // symbol "dl_entry" at 128.
+            ptr int n = (ptr int) 128;
+            n[0] = 0x655f6c64; // "dl_e"
+            n[1] = 0x7972746e; // "ntry"
+            int sym = dlsym(h, (ptr int) 128, 8);
+            if (sym < 0) { return -2; }
+            ptr int arg = (ptr int) 192;
+            arg[0] = 21;
+            int got = dlcall(sym, (ptr int) 192, 4, (ptr int) 256, 4);
+            if (got != 4) { return -3; }
+            ptr int out = (ptr int) 256;
+            if (dlclose(h) != 0) { return -4; }
+            if (dlclose(h) != -1) { return -5; }
+            return out[0];
+        }
+    "#;
+    let mut inst = guest(src, ctx);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(42)));
+}
+
+#[test]
+fn dlopen_rejects_garbage_module() {
+    let ctx = test_ctx();
+    ctx.fdtable
+        .host()
+        .store()
+        .put("user:tester/bad.fvm", b"not a module".to_vec());
+    let src = r#"
+        extern int dlopen(ptr int path, int len);
+        int main() {
+            ptr int p = (ptr int) 64;
+            p[0] = 0x2e646162; // "bad."
+            p[1] = 0x6d7666;   // "fvm"
+            return dlopen((ptr int) 64, 7);
+        }
+    "#;
+    let mut inst = guest(src, ctx);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(-1)));
+}
+
+#[test]
+fn host_calls_with_bad_pointers_trap() {
+    let src = r#"
+        extern void write_call_output(ptr int buf, int len);
+        int main() {
+            write_call_output((ptr int) 99999999, 16);
+            return 0;
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert!(matches!(
+        inst.invoke("main", &[]),
+        Err(Trap::OutOfBoundsMemory { .. })
+    ));
+}
+
+#[test]
+fn missing_file_open_returns_errno() {
+    let src = r#"
+        extern int open(ptr int path, int len, int flags);
+        int main() {
+            ptr int p = (ptr int) 64;
+            p[0] = 0x656e6f6e; // "none"
+            return open((ptr int) 64, 4, 1);
+        }
+    "#;
+    let mut inst = guest_ctx(src);
+    assert_eq!(inst.invoke("main", &[]).unwrap(), Some(Val::I32(-1)));
+}

@@ -1,0 +1,608 @@
+//! The FAASM runtime instance: one per host (Fig. 5).
+//!
+//! Each instance owns a pool of warm Faaslets, a local scheduler fed by the
+//! message bus, worker threads that execute calls, the host's local state
+//! tier and filesystem, and the host-wide CPU cgroup. Instances coordinate
+//! only through the global tier (warm sets) and the fabric (shared calls and
+//! results) — the distributed shared-state scheduling of §5.1.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use faasm_fvm::Linker;
+use faasm_kvs::KvClient;
+use faasm_net::{Fabric, HostId, Nic};
+use faasm_sched::{decide, CallId, CallResult, CallSpec, Decision, Placement, WarmSets};
+use faasm_state::StateManager;
+use faasm_vfs::{HostFs, ObjectStore};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::cgroup::CgroupCpu;
+use crate::ctx::ChainRouter;
+use crate::error::CoreError;
+use crate::faaslet::{EgressLimit, Faaslet, FaasletEnv};
+use crate::guest::{FunctionRegistry, GuestCode};
+use crate::hostfuncs::faaslet_linker;
+use crate::metrics::{Metrics, StartKind};
+use crate::msg::{decode_msg, encode_msg, InstanceMsg};
+use crate::proto::{ProtoFaaslet, ProtoRef};
+
+/// Instance tuning knobs.
+#[derive(Debug, Clone)]
+pub struct InstanceConfig {
+    /// Worker threads (the instance's execution capacity).
+    pub workers: usize,
+    /// Fuel tolerance for the CPU cgroup (how far a Faaslet may run ahead).
+    pub cgroup_tolerance: u64,
+    /// Per-Faaslet egress shaping, if any.
+    pub egress: Option<EgressLimit>,
+    /// State chunk size for the local tier.
+    pub chunk_size: usize,
+    /// Worker thread stack size (guest recursion uses the host stack).
+    pub worker_stack: usize,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> InstanceConfig {
+        InstanceConfig {
+            workers: 4,
+            cgroup_tolerance: 1 << 22,
+            egress: None,
+            chunk_size: faasm_state::DEFAULT_CHUNK_SIZE,
+            worker_stack: 16 * 1024 * 1024,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueuedCall {
+    call: CallSpec,
+    reply_to: HostId,
+}
+
+/// Blocking result slots shared between awaiters and the message bus; also
+/// used by embedders building their own gateways (e.g. the container
+/// baseline platform).
+#[derive(Debug, Default)]
+pub struct Pending {
+    slots: Mutex<HashMap<u64, Option<CallResult>>>,
+    cv: Condvar,
+}
+
+impl Pending {
+    /// Reserve a slot for a call about to be dispatched.
+    pub fn register(&self, id: u64) {
+        self.slots.lock().entry(id).or_insert(None);
+    }
+
+    /// Deliver a result, waking any waiter.
+    pub fn fulfill(&self, result: CallResult) {
+        self.slots.lock().insert(result.id.0, Some(result));
+        self.cv.notify_all();
+    }
+
+    /// Take a completed result without blocking.
+    pub fn try_take(&self, id: u64) -> Option<CallResult> {
+        let mut slots = self.slots.lock();
+        if matches!(slots.get(&id), Some(Some(_))) {
+            return slots.remove(&id).flatten();
+        }
+        None
+    }
+
+    /// Block up to `timeout` for a result.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<CallResult> {
+        let deadline = Instant::now() + timeout;
+        let mut slots = self.slots.lock();
+        loop {
+            if matches!(slots.get(&id), Some(Some(_))) {
+                return slots.remove(&id).flatten();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut slots, deadline - now);
+        }
+    }
+}
+
+/// One FAASM runtime instance.
+pub struct FaasmInstance {
+    host_id: HostId,
+    nic: Nic,
+    kv: Arc<KvClient>,
+    state: Arc<StateManager>,
+    hostfs: Arc<HostFs>,
+    object_store: Arc<ObjectStore>,
+    registry: Arc<FunctionRegistry>,
+    warm: WarmSets,
+    cgroup: Arc<CgroupCpu>,
+    linker: Arc<Linker>,
+    pool: Mutex<HashMap<(String, String), Vec<Faaslet>>>,
+    busy: Mutex<HashMap<(String, String), usize>>,
+    queue_tx: Sender<QueuedCall>,
+    queue_rx: Receiver<QueuedCall>,
+    pending: Arc<Pending>,
+    protos: RwLock<HashMap<(String, String), ProtoRef>>,
+    metrics: Arc<Metrics>,
+    next_faaslet: AtomicU64,
+    call_seq: Arc<AtomicU64>,
+    rotation: AtomicUsize,
+    stop: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    config: InstanceConfig,
+}
+
+impl std::fmt::Debug for FaasmInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaasmInstance")
+            .field("host", &self.host_id)
+            .field("workers", &self.config.workers)
+            .finish()
+    }
+}
+
+impl FaasmInstance {
+    /// Start an instance on a new fabric host.
+    pub fn start(
+        fabric: &Fabric,
+        kvs_host: HostId,
+        object_store: Arc<ObjectStore>,
+        registry: Arc<FunctionRegistry>,
+        call_seq: Arc<AtomicU64>,
+        config: InstanceConfig,
+    ) -> Arc<FaasmInstance> {
+        let nic = fabric.add_host();
+        let kv = Arc::new(KvClient::connect(nic.clone(), kvs_host));
+        let state = Arc::new(StateManager::with_chunk_size(
+            Arc::clone(&kv),
+            config.chunk_size,
+        ));
+        let hostfs = HostFs::new(Arc::clone(&object_store));
+        let warm = WarmSets::new(Arc::clone(&kv));
+        let (queue_tx, queue_rx) = unbounded();
+        let instance = Arc::new(FaasmInstance {
+            host_id: nic.id(),
+            nic,
+            kv,
+            state,
+            hostfs,
+            object_store,
+            registry,
+            warm,
+            cgroup: CgroupCpu::new(config.cgroup_tolerance),
+            linker: Arc::new(faaslet_linker()),
+            pool: Mutex::new(HashMap::new()),
+            busy: Mutex::new(HashMap::new()),
+            queue_tx,
+            queue_rx,
+            pending: Arc::new(Pending::default()),
+            protos: RwLock::new(HashMap::new()),
+            metrics: Arc::new(Metrics::new()),
+            next_faaslet: AtomicU64::new(1),
+            call_seq,
+            rotation: AtomicUsize::new(0),
+            stop: Arc::new(AtomicBool::new(false)),
+            threads: Mutex::new(Vec::new()),
+            config,
+        });
+
+        // Message bus.
+        {
+            let inst = Arc::clone(&instance);
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-bus", inst.host_id))
+                .spawn(move || inst.bus_loop())
+                .expect("spawn bus thread");
+            instance.threads.lock().push(handle);
+        }
+        // Workers ("each function is executed by a dedicated thread").
+        for w in 0..instance.config.workers {
+            let inst = Arc::clone(&instance);
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-worker{}", inst.host_id, w))
+                .stack_size(instance.config.worker_stack)
+                .spawn(move || inst.worker_loop())
+                .expect("spawn worker thread");
+            instance.threads.lock().push(handle);
+        }
+        instance.register_self();
+        instance
+    }
+
+    /// This instance's host id on the fabric.
+    pub fn host_id(&self) -> HostId {
+        self.host_id
+    }
+
+    /// The host NIC.
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// The global-tier client.
+    pub fn kv(&self) -> &Arc<KvClient> {
+        &self.kv
+    }
+
+    /// The host's local state tier.
+    pub fn state(&self) -> &Arc<StateManager> {
+        &self.state
+    }
+
+    /// The host filesystem.
+    pub fn hostfs(&self) -> &Arc<HostFs> {
+        &self.hostfs
+    }
+
+    /// Runtime metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Idle warm Faaslets for a function.
+    pub fn warm_count(&self, user: &str, function: &str) -> usize {
+        self.pool
+            .lock()
+            .get(&(user.to_string(), function.to_string()))
+            .map_or(0, Vec::len)
+    }
+
+    /// Total Faaslets currently pooled (idle).
+    pub fn pooled_faaslets(&self) -> usize {
+        self.pool.lock().values().map(Vec::len).sum()
+    }
+
+    /// Aggregate host memory: Faaslet RSS + local state tier + file cache
+    /// (the per-host footprint behind Fig. 6c and Tab. 3).
+    pub fn host_memory_bytes(&self) -> usize {
+        let pool_mem: usize = self
+            .pool
+            .lock()
+            .values()
+            .flat_map(|v| v.iter().map(Faaslet::rss_bytes))
+            .sum();
+        pool_mem + self.state.local_bytes() + self.hostfs.cached_bytes()
+    }
+
+    /// Evict all warm Faaslets for a function (scale-down / tests).
+    pub fn evict(&self, user: &str, function: &str) {
+        let key = (user.to_string(), function.to_string());
+        self.pool.lock().remove(&key);
+        let _ = self.warm.deregister(user, function, self.host_id);
+    }
+
+    /// The environment used to build Faaslets on this host.
+    fn env(self: &Arc<Self>) -> FaasletEnv {
+        FaasletEnv {
+            state: Arc::clone(&self.state),
+            hostfs: Arc::clone(&self.hostfs),
+            nic: self.nic.clone(),
+            router: Arc::clone(self) as Arc<dyn ChainRouter>,
+            cgroup: Arc::clone(&self.cgroup),
+            linker: Arc::clone(&self.linker),
+            egress: self.config.egress,
+        }
+    }
+
+    fn bus_loop(self: Arc<Self>) {
+        while !self.stop.load(Ordering::Relaxed) {
+            match self.nic.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) => match decode_msg(&env.payload) {
+                    Some(InstanceMsg::Invoke {
+                        call,
+                        reply_to,
+                        forwarded,
+                    }) => self.handle_invoke(call, reply_to, forwarded),
+                    Some(InstanceMsg::Result { result }) => self.pending.fulfill(result),
+                    // Non-protocol traffic (e.g. a guest socket aimed at a
+                    // runtime host) is dropped.
+                    None => {}
+                },
+                Err(faasm_net::NetError::Timeout) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// The local scheduling decision (§5.1).
+    fn handle_invoke(self: &Arc<Self>, call: CallSpec, reply_to: HostId, forwarded: bool) {
+        let key = (call.user.clone(), call.function.clone());
+        if forwarded {
+            // Shared calls execute here — one hop maximum.
+            let _ = self.queue_tx.send(QueuedCall { call, reply_to });
+            return;
+        }
+        let idle = self.pool.lock().get(&key).map_or(0, Vec::len);
+        let busy = self.busy.lock().get(&key).copied().unwrap_or(0);
+        let warm_hosts = self
+            .warm
+            .hosts(&call.user, &call.function)
+            .unwrap_or_default();
+        let placement = decide(&Decision {
+            this_host: self.host_id,
+            warm_local: idle + busy,
+            idle_local: idle,
+            warm_hosts: &warm_hosts,
+            seed: self.rotation.fetch_add(1, Ordering::Relaxed),
+        });
+        match placement {
+            Placement::WarmLocal | Placement::ColdStartLocal => {
+                let _ = self.queue_tx.send(QueuedCall { call, reply_to });
+            }
+            Placement::Forward(other) => {
+                self.metrics.record_forward();
+                let msg = encode_msg(&InstanceMsg::Invoke {
+                    call: call.clone(),
+                    reply_to,
+                    forwarded: true,
+                });
+                if self.nic.send(other, msg).is_err() {
+                    // Peer vanished: run it here after all.
+                    let _ = self.queue_tx.send(QueuedCall { call, reply_to });
+                }
+            }
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        while !self.stop.load(Ordering::Relaxed) {
+            match self.queue_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(q) => self.execute(q),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    fn execute(self: &Arc<Self>, q: QueuedCall) {
+        let key = (q.call.user.clone(), q.call.function.clone());
+        let faaslet = self.checkout(&key);
+        let mut faaslet = match faaslet {
+            Ok(f) => f,
+            Err(e) => {
+                self.deliver(CallResult::error(q.call.id, e.to_string()), q.reply_to);
+                return;
+            }
+        };
+        *self.busy.lock().entry(key.clone()).or_insert(0) += 1;
+
+        let t0 = Instant::now();
+        let result = faaslet.run(&q.call);
+        let exec_ns = t0.elapsed().as_nanos() as u64;
+        self.metrics
+            .record_call(exec_ns, faaslet.fuel_consumed(), faaslet.pss_bytes());
+
+        if let Some(b) = self.busy.lock().get_mut(&key) {
+            *b = b.saturating_sub(1);
+        }
+
+        // Reset-after-call (multi-tenant hygiene, §5.2), then return to the
+        // warm pool and register in the global warm set.
+        let def = self.registry.get(&q.call.user, &q.call.function);
+        let reset_ok = match def {
+            Some(def) if def.reset_after_call => match &def.code {
+                GuestCode::Fvm(_) => {
+                    let proto = self.protos.read().get(&key).cloned();
+                    faaslet.reset(proto.as_deref()).is_ok()
+                }
+                GuestCode::Native(_) => faaslet.reset(None).is_ok(),
+            },
+            _ => true,
+        };
+        if reset_ok {
+            self.pool
+                .lock()
+                .entry(key.clone())
+                .or_default()
+                .push(faaslet);
+            let _ = self
+                .warm
+                .register(&q.call.user, &q.call.function, self.host_id);
+        }
+        self.deliver(result, q.reply_to);
+    }
+
+    /// Obtain a Faaslet: warm pool first, then Proto-Faaslet restore, then
+    /// full cold start (which also generates the function's proto).
+    fn checkout(self: &Arc<Self>, key: &(String, String)) -> Result<Faaslet, CoreError> {
+        if let Some(f) = self.pool.lock().get_mut(key).and_then(Vec::pop) {
+            self.metrics.record_start(StartKind::Warm, 0);
+            return Ok(f);
+        }
+        let def = self
+            .registry
+            .get(&key.0, &key.1)
+            .ok_or_else(|| CoreError::UnknownFunction {
+                user: key.0.clone(),
+                function: key.1.clone(),
+            })?;
+        let id = self.next_faaslet.fetch_add(1, Ordering::Relaxed);
+        let env = self.env();
+
+        match &def.code {
+            GuestCode::Native(_) => {
+                let t0 = Instant::now();
+                let f = Faaslet::create_cold(id, &key.0, &key.1, def, &env)?;
+                self.metrics
+                    .record_start(StartKind::Cold, t0.elapsed().as_nanos() as u64);
+                Ok(f)
+            }
+            GuestCode::Fvm(_) => {
+                if let Some(proto) = self.proto_for(key)? {
+                    let t0 = Instant::now();
+                    let f = Faaslet::restore(id, &proto, def, &env)?;
+                    self.metrics
+                        .record_start(StartKind::ProtoRestore, t0.elapsed().as_nanos() as u64);
+                    return Ok(f);
+                }
+                // First cold start anywhere: instantiate, run init, capture
+                // and publish the proto (§5.2: generated as part of upload /
+                // first use, stored for cross-host restores).
+                let t0 = Instant::now();
+                let mut f = Faaslet::create_cold(id, &key.0, &key.1, def, &env)?;
+                self.metrics
+                    .record_start(StartKind::Cold, t0.elapsed().as_nanos() as u64);
+                if let Some(proto) = f.capture_proto() {
+                    let proto = Arc::new(proto);
+                    self.object_store
+                        .put(&ProtoFaaslet::store_path(&key.0, &key.1), proto.to_bytes());
+                    self.protos.write().insert(key.clone(), proto);
+                }
+                Ok(f)
+            }
+        }
+    }
+
+    /// The function's Proto-Faaslet: host cache, then the shared object
+    /// store (cross-host restore), else `None`.
+    fn proto_for(&self, key: &(String, String)) -> Result<Option<ProtoRef>, CoreError> {
+        if let Some(p) = self.protos.read().get(key) {
+            return Ok(Some(Arc::clone(p)));
+        }
+        let path = ProtoFaaslet::store_path(&key.0, &key.1);
+        if let Some(bytes) = self.object_store.pull(&path) {
+            let proto = ProtoFaaslet::from_bytes(&bytes)
+                .ok_or_else(|| CoreError::BadProto(format!("corrupt proto at {path}")))?;
+            let proto = Arc::new(proto);
+            self.protos.write().insert(key.clone(), Arc::clone(&proto));
+            return Ok(Some(proto));
+        }
+        Ok(None)
+    }
+
+    fn deliver(&self, result: CallResult, reply_to: HostId) {
+        if reply_to == self.host_id {
+            self.pending.fulfill(result);
+        } else {
+            let msg = encode_msg(&InstanceMsg::Result { result });
+            let _ = self.nic.send(reply_to, msg);
+        }
+    }
+
+    /// Direct (test/benchmark) entry: run a call on this instance and wait.
+    pub fn invoke_local(
+        self: &Arc<Self>,
+        user: &str,
+        function: &str,
+        input: Vec<u8>,
+    ) -> CallResult {
+        let id = self.chain_call(user, function, input);
+        self.await_call(id)
+    }
+
+    /// Stop threads and drop pooled Faaslets. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Break the Arc cycle (pool faaslets hold the instance as router).
+        self.pool.lock().clear();
+        SELF_REGISTRY.lock().remove(&self.host_id);
+    }
+}
+
+impl ChainRouter for FaasmInstance {
+    fn chain_call(&self, user: &str, function: &str, input: Vec<u8>) -> CallId {
+        let id = CallId(self.call_seq.fetch_add(1, Ordering::Relaxed));
+        self.pending.register(id.0);
+        let call = CallSpec {
+            id,
+            user: user.to_string(),
+            function: function.to_string(),
+            input,
+        };
+        if let Some(me) = self.self_arc() {
+            me.handle_invoke(call, self.host_id, false);
+        } else {
+            // The instance is being torn down; queue locally so the call
+            // fails fast rather than vanishing.
+            let _ = self.queue_tx.send(QueuedCall {
+                call,
+                reply_to: self.host_id,
+            });
+        }
+        id
+    }
+
+    fn await_call(&self, id: CallId) -> CallResult {
+        // Help execute pending work while waiting, so chains deeper than the
+        // worker pool cannot deadlock. Requires Arc self for execute();
+        // waiting paths that cannot help fall back to blocking.
+        loop {
+            if let Some(r) = self.pending.try_take(id.0) {
+                return r;
+            }
+            if let Ok(q) = self.queue_rx.try_recv() {
+                // Reconstruct an Arc to self for the execute path: the
+                // instance is always owned by at least one Arc (the
+                // cluster and its threads), so this is safe to require.
+                // We use a small trampoline through the environment.
+                if let Some(me) = self.self_arc() {
+                    me.execute(q);
+                    continue;
+                }
+                // No Arc available (cannot happen in practice): drop the
+                // call back and block.
+                let _ = self.queue_tx.send(q);
+            }
+            if let Some(r) = self.pending.wait(id.0, Duration::from_millis(1)) {
+                return r;
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                return CallResult::error(id, "runtime shutting down");
+            }
+        }
+    }
+}
+
+impl FaasmInstance {
+    /// A weak-self registry so `await_call` (a `&self` trait method) can
+    /// reach the `Arc<Self>`-requiring execute path.
+    fn self_arc(&self) -> Option<Arc<FaasmInstance>> {
+        SELF_REGISTRY
+            .lock()
+            .get(&self.host_id)
+            .and_then(std::sync::Weak::upgrade)
+    }
+
+    pub(crate) fn register_self(self: &Arc<Self>) {
+        SELF_REGISTRY
+            .lock()
+            .insert(self.host_id, Arc::downgrade(self));
+    }
+}
+
+static SELF_REGISTRY: once_registry::SelfRegistry = once_registry::SelfRegistry::new();
+
+mod once_registry {
+    use super::{FaasmInstance, HostId};
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, Weak};
+
+    /// Lazily-initialised weak-self registry (HashMap::new is not const).
+    pub(super) struct SelfRegistry {
+        inner: OnceLock<Mutex<HashMap<HostId, Weak<FaasmInstance>>>>,
+    }
+
+    impl SelfRegistry {
+        pub(super) const fn new() -> SelfRegistry {
+            SelfRegistry {
+                inner: OnceLock::new(),
+            }
+        }
+
+        pub(super) fn lock(
+            &self,
+        ) -> parking_lot::MutexGuard<'_, HashMap<HostId, Weak<FaasmInstance>>> {
+            self.inner.get_or_init(|| Mutex::new(HashMap::new())).lock()
+        }
+    }
+}

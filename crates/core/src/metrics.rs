@@ -1,0 +1,188 @@
+//! Runtime metrics: the measurements behind the paper's evaluation.
+//!
+//! * **Billable memory** (Fig. 6c): "the product of the peak function memory
+//!   multiplied by the number and runtime of functions, in units of
+//!   GB-seconds ... all memory measurements include the containers/Faaslets
+//!   and their state." Faaslets are charged their PSS (shared state divided
+//!   among sharers), which is exactly what makes FAASM's line flat.
+//! * **Initialisation times** (Tab. 3, Fig. 10): cold/warm/restore paths are
+//!   timed separately.
+//! * **CPU cycles** (Tab. 3): total interpreter fuel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Which path created a Faaslet for a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartKind {
+    /// Reused an idle warm Faaslet.
+    Warm,
+    /// Built from scratch (instantiate + initialise).
+    Cold,
+    /// Restored from a Proto-Faaslet snapshot.
+    ProtoRestore,
+}
+
+/// Aggregated runtime metrics for one instance (or summed cluster-wide).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    calls: AtomicU64,
+    warm_starts: AtomicU64,
+    cold_starts: AtomicU64,
+    proto_restores: AtomicU64,
+    forwarded: AtomicU64,
+    exec_ns: AtomicU64,
+    fuel: AtomicU64,
+    /// Σ (pss_bytes × duration_ns) per call; converted to GB-s on read.
+    billable_byte_ns: Mutex<f64>,
+    init_ns: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record a completed call.
+    pub fn record_call(&self, exec_ns: u64, fuel: u64, pss_bytes: f64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.fuel.fetch_add(fuel, Ordering::Relaxed);
+        *self.billable_byte_ns.lock() += pss_bytes * exec_ns as f64;
+    }
+
+    /// Record how a Faaslet was obtained and how long that took.
+    pub fn record_start(&self, kind: StartKind, init_ns: u64) {
+        match kind {
+            StartKind::Warm => {
+                self.warm_starts.fetch_add(1, Ordering::Relaxed);
+            }
+            StartKind::Cold => {
+                self.cold_starts.fetch_add(1, Ordering::Relaxed);
+                self.init_ns.lock().push(init_ns);
+            }
+            StartKind::ProtoRestore => {
+                self.proto_restores.fetch_add(1, Ordering::Relaxed);
+                self.init_ns.lock().push(init_ns);
+            }
+        }
+    }
+
+    /// Record a call forwarded to another host.
+    pub fn record_forward(&self) {
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed calls.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Warm-start count.
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts.load(Ordering::Relaxed)
+    }
+
+    /// Cold-start count (full instantiations).
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts.load(Ordering::Relaxed)
+    }
+
+    /// Proto-Faaslet restore count.
+    pub fn proto_restores(&self) -> u64 {
+        self.proto_restores.load(Ordering::Relaxed)
+    }
+
+    /// Calls forwarded to other hosts.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Total guest execution time in nanoseconds.
+    pub fn exec_ns(&self) -> u64 {
+        self.exec_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total interpreter fuel (the CPU-cycles analogue of Tab. 3).
+    pub fn fuel(&self) -> u64 {
+        self.fuel.load(Ordering::Relaxed)
+    }
+
+    /// Billable memory in GB-seconds (Fig. 6c).
+    pub fn billable_gb_seconds(&self) -> f64 {
+        *self.billable_byte_ns.lock() / 1e18
+    }
+
+    /// Initialisation times (cold + proto restores), nanoseconds.
+    pub fn init_times_ns(&self) -> Vec<u64> {
+        self.init_ns.lock().clone()
+    }
+
+    /// Mean initialisation time in nanoseconds (0 when none recorded).
+    pub fn mean_init_ns(&self) -> u64 {
+        let times = self.init_ns.lock();
+        if times.is_empty() {
+            return 0;
+        }
+        times.iter().sum::<u64>() / times.len() as u64
+    }
+}
+
+/// Compute a latency percentile (0.0–1.0) from a sample set.
+///
+/// Returns 0 for empty input. Uses nearest-rank on a sorted copy.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_accounting() {
+        let m = Metrics::new();
+        m.record_call(1_000_000, 500, 1e9); // 1 GB for 1 ms
+        m.record_call(1_000_000, 300, 1e9);
+        assert_eq!(m.calls(), 2);
+        assert_eq!(m.fuel(), 800);
+        assert_eq!(m.exec_ns(), 2_000_000);
+        // 2 × (1 GB × 1 ms) = 0.002 GB-s.
+        assert!((m.billable_gb_seconds() - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_kinds() {
+        let m = Metrics::new();
+        m.record_start(StartKind::Warm, 10);
+        m.record_start(StartKind::Cold, 1000);
+        m.record_start(StartKind::ProtoRestore, 100);
+        assert_eq!(m.warm_starts(), 1);
+        assert_eq!(m.cold_starts(), 1);
+        assert_eq!(m.proto_restores(), 1);
+        // Warm starts do not contribute init samples.
+        assert_eq!(m.init_times_ns().len(), 2);
+        assert_eq!(m.mean_init_ns(), 550);
+        m.record_forward();
+        assert_eq!(m.forwarded(), 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 0.0), 1);
+        assert_eq!(percentile(&samples, 0.5), 51, "round half away from zero");
+        assert_eq!(percentile(&samples, 0.99), 99);
+        assert_eq!(percentile(&samples, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.9), 7);
+    }
+}

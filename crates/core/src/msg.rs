@@ -1,0 +1,117 @@
+//! The message bus protocol between runtime instances (Fig. 1: "the message
+//! bus is used by Faaslets to communicate with their parent process and each
+//! other, receive function calls, share work, invoke and await other
+//! functions").
+
+use bytes::{Buf, BufMut};
+use faasm_net::HostId;
+use faasm_sched::{decode_call, decode_result, encode_call, encode_result, CallResult, CallSpec};
+
+/// A message between runtime instances (and the cluster gateway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceMsg {
+    /// Execute a call; send its result to `reply_to`. `forwarded` marks
+    /// calls already shared once — they must execute locally to prevent
+    /// forwarding loops (§5.1 shares at most one hop).
+    Invoke {
+        /// The call to execute.
+        call: CallSpec,
+        /// Where the result goes.
+        reply_to: HostId,
+        /// Set after one share hop.
+        forwarded: bool,
+    },
+    /// A completed call's result, delivered to the awaiting host.
+    Result {
+        /// The result.
+        result: CallResult,
+    },
+}
+
+/// Encode a message for the fabric.
+pub fn encode_msg(msg: &InstanceMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        InstanceMsg::Invoke {
+            call,
+            reply_to,
+            forwarded,
+        } => {
+            out.put_u8(0);
+            out.put_u32_le(reply_to.0);
+            out.put_u8(*forwarded as u8);
+            out.extend_from_slice(&encode_call(call));
+        }
+        InstanceMsg::Result { result } => {
+            out.put_u8(1);
+            out.extend_from_slice(&encode_result(result));
+        }
+    }
+    out
+}
+
+/// Decode a fabric message; `None` on malformed input.
+pub fn decode_msg(mut buf: &[u8]) -> Option<InstanceMsg> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 5 {
+                return None;
+            }
+            let reply_to = HostId(buf.get_u32_le());
+            let forwarded = buf.get_u8() != 0;
+            let call = decode_call(buf)?;
+            Some(InstanceMsg::Invoke {
+                call,
+                reply_to,
+                forwarded,
+            })
+        }
+        1 => Some(InstanceMsg::Result {
+            result: decode_result(buf)?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasm_sched::{CallId, CallStatus};
+
+    #[test]
+    fn invoke_roundtrip() {
+        let msg = InstanceMsg::Invoke {
+            call: CallSpec {
+                id: CallId(9),
+                user: "u".into(),
+                function: "f".into(),
+                input: vec![1, 2],
+            },
+            reply_to: HostId(3),
+            forwarded: true,
+        };
+        assert_eq!(decode_msg(&encode_msg(&msg)), Some(msg));
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        let msg = InstanceMsg::Result {
+            result: CallResult {
+                id: CallId(4),
+                status: CallStatus::Failed(2),
+                output: b"data".to_vec(),
+            },
+        };
+        assert_eq!(decode_msg(&encode_msg(&msg)), Some(msg));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(decode_msg(&[]), None);
+        assert_eq!(decode_msg(&[7]), None);
+        assert_eq!(decode_msg(&[0, 1, 2]), None);
+    }
+}

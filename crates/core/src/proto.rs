@@ -1,0 +1,224 @@
+//! Proto-Faaslets: ahead-of-time snapshots for microsecond restores (§5.2).
+//!
+//! A Proto-Faaslet captures "a function's stack, heap, function table, stack
+//! pointer and data" — in the FVM that is the [`faasm_fvm::InstanceSnapshot`]
+//! (memory pages, globals, indirect-call table; the operand stack is empty
+//! between calls by construction). Restores use copy-on-write page mappings,
+//! so their cost is O(pages touched), not O(snapshot size). Snapshots are
+//! plain data: serialising one and shipping it through the shared object
+//! store gives the paper's cross-host, OS-independent restores.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use faasm_fvm::InstanceSnapshot;
+use faasm_mem::MemorySnapshot;
+
+/// A restorable snapshot of an initialised Faaslet.
+#[derive(Debug, Clone)]
+pub struct ProtoFaaslet {
+    /// Owning user.
+    pub user: String,
+    /// Function name.
+    pub function: String,
+    /// The captured execution state.
+    pub snapshot: InstanceSnapshot,
+}
+
+impl ProtoFaaslet {
+    /// Approximate in-memory size (bytes) — snapshot accounting for Tab. 3.
+    pub fn size_bytes(&self) -> usize {
+        self.snapshot.size_bytes()
+    }
+
+    /// Serialise for the shared object store (cross-host distribution).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_u32_le(self.user.len() as u32);
+        out.put_slice(self.user.as_bytes());
+        out.put_u32_le(self.function.len() as u32);
+        out.put_slice(self.function.as_bytes());
+        match &self.snapshot.mem {
+            Some(mem) => {
+                out.put_u8(1);
+                let bytes = mem.to_bytes();
+                out.put_u32_le(bytes.len() as u32);
+                out.put_slice(&bytes);
+            }
+            None => out.put_u8(0),
+        }
+        out.put_u32_le(self.snapshot.globals.len() as u32);
+        for g in &self.snapshot.globals {
+            out.put_u64_le(*g);
+        }
+        out.put_u32_le(self.snapshot.table.len() as u32);
+        for t in &self.snapshot.table {
+            match t {
+                Some(f) => {
+                    out.put_u8(1);
+                    out.put_u32_le(*f);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        out
+    }
+
+    /// Deserialise a snapshot previously produced by
+    /// [`ProtoFaaslet::to_bytes`]; `None` on malformed input.
+    pub fn from_bytes(mut buf: &[u8]) -> Option<ProtoFaaslet> {
+        fn get_string(buf: &mut &[u8]) -> Option<String> {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return None;
+            }
+            let mut v = vec![0u8; len];
+            buf.copy_to_slice(&mut v);
+            String::from_utf8(v).ok()
+        }
+        let user = get_string(&mut buf)?;
+        let function = get_string(&mut buf)?;
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let mem = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                let mut v = vec![0u8; len];
+                buf.copy_to_slice(&mut v);
+                Some(MemorySnapshot::from_bytes(&v)?)
+            }
+            _ => return None,
+        };
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let ng = buf.get_u32_le() as usize;
+        if buf.remaining() < ng * 8 {
+            return None;
+        }
+        let globals = (0..ng).map(|_| buf.get_u64_le()).collect();
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let nt = buf.get_u32_le() as usize;
+        let mut table = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            if buf.remaining() < 1 {
+                return None;
+            }
+            table.push(match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 4 {
+                        return None;
+                    }
+                    Some(buf.get_u32_le())
+                }
+                _ => return None,
+            });
+        }
+        if buf.has_remaining() {
+            return None;
+        }
+        Some(ProtoFaaslet {
+            user,
+            function,
+            snapshot: InstanceSnapshot {
+                mem,
+                globals,
+                table,
+            },
+        })
+    }
+
+    /// The object-store path for a function's Proto-Faaslet.
+    pub fn store_path(user: &str, function: &str) -> String {
+        format!("shared/proto/{user}/{function}")
+    }
+}
+
+/// Shared handle used throughout the runtime.
+pub type ProtoRef = Arc<ProtoFaaslet>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasm_fvm::prelude::*;
+
+    fn sample_proto() -> ProtoFaaslet {
+        let mut b = ModuleBuilder::new();
+        b.memory(2, 4);
+        b.global(ValType::I64, true, Val::I64(-5));
+        b.table(3);
+        let sig = b.sig(FuncType::default());
+        let f = b.func(sig, vec![], vec![Instr::End]);
+        b.elem(0, vec![f]);
+        b.export_func("main", f);
+        let object = ObjectModule::prepare(b.build()).unwrap();
+        let mut inst = Instance::new(object, &Linker::new(), Box::new(())).unwrap();
+        inst.memory_mut()
+            .unwrap()
+            .write(100, b"warm state")
+            .unwrap();
+        ProtoFaaslet {
+            user: "alice".into(),
+            function: "f".into(),
+            snapshot: inst.snapshot(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialisation() {
+        let proto = sample_proto();
+        let bytes = proto.to_bytes();
+        let back = ProtoFaaslet::from_bytes(&bytes).unwrap();
+        assert_eq!(back.user, "alice");
+        assert_eq!(back.function, "f");
+        assert_eq!(back.snapshot.globals, proto.snapshot.globals);
+        assert_eq!(back.snapshot.table, proto.snapshot.table);
+        let mem = back.snapshot.mem.unwrap();
+        let restored = faasm_mem::LinearMemory::restore(&mem);
+        let mut buf = [0u8; 10];
+        restored.read(100, &mut buf).unwrap();
+        assert_eq!(&buf, b"warm state");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let bytes = sample_proto().to_bytes();
+        assert!(ProtoFaaslet::from_bytes(&[]).is_none());
+        for cut in [1usize, 8, 16, bytes.len() - 1] {
+            assert!(
+                ProtoFaaslet::from_bytes(&bytes[..cut.min(bytes.len() - 1)]).is_none(),
+                "cut {cut}"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ProtoFaaslet::from_bytes(&trailing).is_none());
+    }
+
+    #[test]
+    fn store_path_is_shared_namespace() {
+        let p = ProtoFaaslet::store_path("u", "f");
+        assert!(p.starts_with("shared/"));
+        assert!(p.contains("u") && p.contains("f"));
+    }
+
+    #[test]
+    fn size_accounts_memory() {
+        let proto = sample_proto();
+        assert!(proto.size_bytes() >= 2 * faasm_mem::PAGE_SIZE);
+    }
+}

@@ -1,0 +1,613 @@
+//! Binary decoding of modules — the first trusted step of code generation
+//! (§3.4): untrusted bytes in, structured module out, with every malformation
+//! reported as an error rather than a panic.
+
+use crate::encode::{MAGIC, VERSION};
+use crate::instr::{BrTableData, Instr, MemArg};
+use crate::leb128::{LebError, Reader};
+use crate::module::{
+    DataSegment, ElemSegment, Export, ExportKind, FuncDef, GlobalDef, Import, MemorySpec, Module,
+};
+use crate::types::{BlockType, FuncType, Val, ValType};
+
+/// Errors produced while decoding a module binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic bytes or version did not match.
+    BadHeader,
+    /// A varint was malformed or the input was truncated.
+    Leb(LebError),
+    /// An unknown section id was encountered.
+    BadSection(u8),
+    /// An unknown opcode was encountered.
+    BadOpcode(u8),
+    /// An unknown type code was encountered.
+    BadType(u8),
+    /// A string was not valid UTF-8.
+    BadName,
+    /// A section's declared size did not match its contents.
+    SectionSize,
+    /// A constant expression (global init / segment offset) was malformed.
+    BadConstExpr,
+    /// A function body did not end with `end`.
+    UnterminatedBody,
+    /// The code section count did not match the function section.
+    FuncCountMismatch,
+    /// An import had an unsupported kind (only functions can be imported).
+    BadImportKind(u8),
+    /// An export had an unknown kind byte.
+    BadExportKind(u8),
+}
+
+impl From<LebError> for DecodeError {
+    fn from(e: LebError) -> DecodeError {
+        DecodeError::Leb(e)
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadHeader => write!(f, "bad magic or version"),
+            DecodeError::Leb(e) => write!(f, "varint error: {e}"),
+            DecodeError::BadSection(id) => write!(f, "unknown section id {id}"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadType(t) => write!(f, "unknown type code {t:#04x}"),
+            DecodeError::BadName => write!(f, "name is not valid UTF-8"),
+            DecodeError::SectionSize => write!(f, "section size mismatch"),
+            DecodeError::BadConstExpr => write!(f, "malformed constant expression"),
+            DecodeError::UnterminatedBody => write!(f, "function body not terminated by end"),
+            DecodeError::FuncCountMismatch => {
+                write!(f, "code section count does not match function section")
+            }
+            DecodeError::BadImportKind(k) => write!(f, "unsupported import kind {k}"),
+            DecodeError::BadExportKind(k) => write!(f, "unknown export kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode a module binary produced by [`crate::encode::encode_module`] (or by
+/// any untrusted toolchain claiming to).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first malformation found.
+pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4).map_err(DecodeError::from)? != MAGIC {
+        return Err(DecodeError::BadHeader);
+    }
+    let version = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(DecodeError::BadHeader);
+    }
+
+    let mut module = Module::default();
+    let mut declared_types: Vec<u32> = Vec::new();
+
+    while !r.is_empty() {
+        let id = r.byte()?;
+        let size = r.u32()? as usize;
+        let body = r.bytes(size)?;
+        let mut s = Reader::new(body);
+        match id {
+            1 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    if s.byte()? != 0x60 {
+                        return Err(DecodeError::BadConstExpr);
+                    }
+                    let np = s.u32()?;
+                    let mut params = Vec::with_capacity(np as usize);
+                    for _ in 0..np {
+                        params.push(val_type(&mut s)?);
+                    }
+                    let nr = s.u32()?;
+                    let mut results = Vec::with_capacity(nr as usize);
+                    for _ in 0..nr {
+                        results.push(val_type(&mut s)?);
+                    }
+                    module.types.push(FuncType::new(params, results));
+                }
+            }
+            2 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let mod_name = string(&mut s)?;
+                    let field = string(&mut s)?;
+                    let kind = s.byte()?;
+                    if kind != 0x00 {
+                        return Err(DecodeError::BadImportKind(kind));
+                    }
+                    let type_idx = s.u32()?;
+                    module.imports.push(Import {
+                        module: mod_name,
+                        name: field,
+                        type_idx,
+                    });
+                }
+            }
+            3 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    declared_types.push(s.u32()?);
+                }
+            }
+            4 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    if s.byte()? != 0x70 {
+                        return Err(DecodeError::BadType(0x70));
+                    }
+                    let flags = s.byte()?;
+                    let min = s.u32()?;
+                    if flags == 0x01 {
+                        let _max = s.u32()?;
+                    }
+                    module.table_size = min;
+                }
+            }
+            5 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let flags = s.byte()?;
+                    let initial_pages = s.u32()?;
+                    let max_pages = if flags == 0x01 { s.u32()? } else { u32::MAX };
+                    module.memory = Some(MemorySpec {
+                        initial_pages,
+                        max_pages,
+                    });
+                }
+            }
+            6 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let ty = val_type(&mut s)?;
+                    let mutable = match s.byte()? {
+                        0x00 => false,
+                        0x01 => true,
+                        b => return Err(DecodeError::BadType(b)),
+                    };
+                    let init = const_expr(&mut s)?;
+                    module.globals.push(GlobalDef { ty, mutable, init });
+                }
+            }
+            7 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let ename = string(&mut s)?;
+                    let kind = match s.byte()? {
+                        0x00 => ExportKind::Func,
+                        0x02 => ExportKind::Memory,
+                        0x03 => ExportKind::Global,
+                        b => return Err(DecodeError::BadExportKind(b)),
+                    };
+                    let index = s.u32()?;
+                    module.exports.push(Export {
+                        name: ename,
+                        kind,
+                        index,
+                    });
+                }
+            }
+            8 => {
+                module.start = Some(s.u32()?);
+            }
+            9 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let _table = s.u32()?;
+                    let offset = match const_expr(&mut s)? {
+                        Val::I32(v) => v as u32,
+                        _ => return Err(DecodeError::BadConstExpr),
+                    };
+                    let count = s.u32()?;
+                    let mut funcs = Vec::with_capacity(count as usize);
+                    for _ in 0..count {
+                        funcs.push(s.u32()?);
+                    }
+                    module.elems.push(ElemSegment { offset, funcs });
+                }
+            }
+            10 => {
+                let n = s.u32()?;
+                if n as usize != declared_types.len() {
+                    return Err(DecodeError::FuncCountMismatch);
+                }
+                for type_idx in &declared_types {
+                    let body_size = s.u32()? as usize;
+                    let body_bytes = s.bytes(body_size)?;
+                    let mut b = Reader::new(body_bytes);
+                    let mut locals = Vec::new();
+                    let runs = b.u32()?;
+                    for _ in 0..runs {
+                        let count = b.u32()?;
+                        let ty = val_type(&mut b)?;
+                        for _ in 0..count {
+                            locals.push(ty);
+                        }
+                    }
+                    let body = decode_body(&mut b)?;
+                    module.funcs.push(FuncDef {
+                        type_idx: *type_idx,
+                        locals,
+                        body,
+                    });
+                }
+            }
+            11 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let _mem = s.u32()?;
+                    let offset = match const_expr(&mut s)? {
+                        Val::I32(v) => v as u32,
+                        _ => return Err(DecodeError::BadConstExpr),
+                    };
+                    let len = s.u32()? as usize;
+                    let bytes = s.bytes(len)?.to_vec();
+                    module.data.push(DataSegment { offset, bytes });
+                }
+            }
+            other => return Err(DecodeError::BadSection(other)),
+        }
+        if !s.is_empty() {
+            return Err(DecodeError::SectionSize);
+        }
+    }
+
+    if module.funcs.is_empty() && !declared_types.is_empty() {
+        return Err(DecodeError::FuncCountMismatch);
+    }
+    Ok(module)
+}
+
+fn val_type(r: &mut Reader<'_>) -> Result<ValType, DecodeError> {
+    let code = r.byte()?;
+    ValType::from_code(code).ok_or(DecodeError::BadType(code))
+}
+
+fn string(r: &mut Reader<'_>) -> Result<String, DecodeError> {
+    let len = r.u32()? as usize;
+    let bytes = r.bytes(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadName)
+}
+
+fn const_expr(r: &mut Reader<'_>) -> Result<Val, DecodeError> {
+    let op = r.byte()?;
+    let val = match op {
+        0x41 => Val::I32(r.i32()?),
+        0x42 => Val::I64(r.i64()?),
+        0x43 => Val::F32(r.f32()?),
+        0x44 => Val::F64(r.f64()?),
+        _ => return Err(DecodeError::BadConstExpr),
+    };
+    if r.byte()? != 0x0b {
+        return Err(DecodeError::BadConstExpr);
+    }
+    Ok(val)
+}
+
+fn block_type(r: &mut Reader<'_>) -> Result<BlockType, DecodeError> {
+    let code = r.byte()?;
+    if code == 0x40 {
+        return Ok(BlockType::Empty);
+    }
+    ValType::from_code(code)
+        .map(BlockType::Value)
+        .ok_or(DecodeError::BadType(code))
+}
+
+fn memarg(r: &mut Reader<'_>) -> Result<MemArg, DecodeError> {
+    let align = r.u32()?;
+    let offset = r.u32()?;
+    Ok(MemArg { offset, align })
+}
+
+/// Decode an instruction sequence until the reader is exhausted; the last
+/// instruction must be the body-terminating `end` at nesting depth zero.
+fn decode_body(r: &mut Reader<'_>) -> Result<Vec<Instr>, DecodeError> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut terminated = false;
+    while !r.is_empty() {
+        let i = decode_instr(r)?;
+        match &i {
+            Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => depth += 1,
+            Instr::End => {
+                if depth == 0 {
+                    out.push(i);
+                    terminated = true;
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        out.push(i);
+    }
+    if !terminated || !r.is_empty() {
+        return Err(DecodeError::UnterminatedBody);
+    }
+    Ok(out)
+}
+
+/// Decode a single instruction.
+pub fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let op = r.byte()?;
+    if let Some(i) = crate::opcodes::simple_instr(op) {
+        // `return` shares the table; everything else with immediates is
+        // handled below.
+        return Ok(i);
+    }
+    Ok(match op {
+        0x02 => Block(block_type(r)?),
+        0x03 => Loop(block_type(r)?),
+        0x04 => If(block_type(r)?),
+        0x05 => Else,
+        0x0b => End,
+        0x0c => Br(r.u32()?),
+        0x0d => BrIf(r.u32()?),
+        0x0e => {
+            let n = r.u32()?;
+            let mut targets = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                targets.push(r.u32()?);
+            }
+            let default = r.u32()?;
+            BrTable(Box::new(BrTableData { targets, default }))
+        }
+        0x10 => Call(r.u32()?),
+        0x11 => {
+            let t = r.u32()?;
+            let _table = r.byte()?;
+            CallIndirect(t)
+        }
+        0x20 => LocalGet(r.u32()?),
+        0x21 => LocalSet(r.u32()?),
+        0x22 => LocalTee(r.u32()?),
+        0x23 => GlobalGet(r.u32()?),
+        0x24 => GlobalSet(r.u32()?),
+        0x28 => I32Load(memarg(r)?),
+        0x29 => I64Load(memarg(r)?),
+        0x2a => F32Load(memarg(r)?),
+        0x2b => F64Load(memarg(r)?),
+        0x2c => I32Load8S(memarg(r)?),
+        0x2d => I32Load8U(memarg(r)?),
+        0x2e => I32Load16S(memarg(r)?),
+        0x2f => I32Load16U(memarg(r)?),
+        0x30 => I64Load8S(memarg(r)?),
+        0x31 => I64Load8U(memarg(r)?),
+        0x32 => I64Load16S(memarg(r)?),
+        0x33 => I64Load16U(memarg(r)?),
+        0x34 => I64Load32S(memarg(r)?),
+        0x35 => I64Load32U(memarg(r)?),
+        0x36 => I32Store(memarg(r)?),
+        0x37 => I64Store(memarg(r)?),
+        0x38 => F32Store(memarg(r)?),
+        0x39 => F64Store(memarg(r)?),
+        0x3a => I32Store8(memarg(r)?),
+        0x3b => I32Store16(memarg(r)?),
+        0x3c => I64Store8(memarg(r)?),
+        0x3d => I64Store16(memarg(r)?),
+        0x3e => I64Store32(memarg(r)?),
+        0x3f => {
+            let _mem = r.byte()?;
+            MemorySize
+        }
+        0x40 => {
+            let _mem = r.byte()?;
+            MemoryGrow
+        }
+        0x41 => I32Const(r.i32()?),
+        0x42 => I64Const(r.i64()?),
+        0x43 => F32Const(r.f32()?),
+        0x44 => F64Const(r.f64()?),
+        0xfc => {
+            let sub = r.u32()?;
+            match sub {
+                0x0a => {
+                    let _dst = r.byte()?;
+                    let _src = r.byte()?;
+                    MemoryCopy
+                }
+                0x0b => {
+                    let _mem = r.byte()?;
+                    MemoryFill
+                }
+                _ => return Err(DecodeError::BadOpcode(0xfc)),
+            }
+        }
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_module;
+    use crate::module::ModuleBuilder;
+    use crate::types::FuncType;
+
+    fn rich_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let sig_ii_i = b.sig(FuncType::new(
+            vec![ValType::I32, ValType::I32],
+            vec![ValType::I32],
+        ));
+        let sig_v = b.sig(FuncType::default());
+        b.import_func("faasm", "read_call_input", sig_ii_i);
+        b.memory(2, 8);
+        b.global(ValType::I64, true, Val::I64(-7));
+        b.global(ValType::F64, false, Val::F64(2.5));
+        b.table(4);
+        let add = b.func(
+            sig_ii_i,
+            vec![ValType::I64, ValType::I64, ValType::F32],
+            vec![
+                Instr::Block(BlockType::Value(ValType::I32)),
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::I32Add,
+                Instr::Br(0),
+                Instr::End,
+                Instr::End,
+            ],
+        );
+        let noop = b.func(sig_v, vec![], vec![Instr::Nop, Instr::End]);
+        b.elem(1, vec![add, noop]);
+        b.export_func("add", add);
+        b.export_memory("memory");
+        b.data(16, b"hello world".to_vec());
+        b.start(noop);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_rich_module() {
+        let m = rich_module();
+        let bytes = encode_module(&m);
+        let decoded = decode_module(&bytes).unwrap();
+        assert_eq!(m, decoded);
+    }
+
+    #[test]
+    fn roundtrip_empty_module() {
+        let m = Module::default();
+        let decoded = decode_module(&encode_module(&m)).unwrap();
+        assert_eq!(m, decoded);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_module(b"\0wat1234"), Err(DecodeError::BadHeader));
+        assert_eq!(
+            decode_module(b"\0fv"),
+            Err(DecodeError::Leb(LebError::UnexpectedEof))
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_module(&Module::default());
+        bytes[4] = 99;
+        assert_eq!(decode_module(&bytes), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let mut bytes = encode_module(&Module::default());
+        bytes.push(42); // section id
+        bytes.push(0); // size
+        assert_eq!(decode_module(&bytes), Err(DecodeError::BadSection(42)));
+    }
+
+    #[test]
+    fn truncated_section_rejected() {
+        let mut bytes = encode_module(&rich_module());
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode_module(&bytes).is_err());
+    }
+
+    #[test]
+    fn unterminated_body_rejected() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        b.func(sig, vec![], vec![Instr::Nop, Instr::End]);
+        let m = b.build();
+        let mut bytes = encode_module(&m);
+        // Replace the final `end` (0x0b) with `nop` (0x01): body no longer
+        // terminates.
+        let last_end = bytes.iter().rposition(|&b| b == 0x0b).unwrap();
+        bytes[last_end] = 0x01;
+        assert!(matches!(
+            decode_module(&bytes),
+            Err(DecodeError::UnterminatedBody) | Err(DecodeError::SectionSize)
+        ));
+    }
+
+    #[test]
+    fn every_encoded_instr_decodes_back() {
+        use crate::instr::MemArg;
+        let instrs = vec![
+            Instr::Unreachable,
+            Instr::Nop,
+            Instr::Block(BlockType::Empty),
+            Instr::Loop(BlockType::Value(ValType::I64)),
+            Instr::If(BlockType::Value(ValType::F32)),
+            Instr::Else,
+            Instr::End,
+            Instr::Br(2),
+            Instr::BrIf(0),
+            Instr::BrTable(Box::new(BrTableData {
+                targets: vec![0, 1],
+                default: 2,
+            })),
+            Instr::Return,
+            Instr::Call(3),
+            Instr::CallIndirect(1),
+            Instr::Drop,
+            Instr::Select,
+            Instr::LocalGet(0),
+            Instr::LocalSet(1),
+            Instr::LocalTee(2),
+            Instr::GlobalGet(3),
+            Instr::GlobalSet(4),
+            Instr::I32Load(MemArg::at(4)),
+            Instr::I64Load(MemArg::zero()),
+            Instr::F32Load(MemArg::at(8)),
+            Instr::F64Load(MemArg::at(16)),
+            Instr::I32Load8S(MemArg::zero()),
+            Instr::I32Load8U(MemArg::zero()),
+            Instr::I32Load16S(MemArg::zero()),
+            Instr::I32Load16U(MemArg::zero()),
+            Instr::I64Load8S(MemArg::zero()),
+            Instr::I64Load8U(MemArg::zero()),
+            Instr::I64Load16S(MemArg::zero()),
+            Instr::I64Load16U(MemArg::zero()),
+            Instr::I64Load32S(MemArg::zero()),
+            Instr::I64Load32U(MemArg::zero()),
+            Instr::I32Store(MemArg::zero()),
+            Instr::I64Store(MemArg::zero()),
+            Instr::F32Store(MemArg::zero()),
+            Instr::F64Store(MemArg::zero()),
+            Instr::I32Store8(MemArg::zero()),
+            Instr::I32Store16(MemArg::zero()),
+            Instr::I64Store8(MemArg::zero()),
+            Instr::I64Store16(MemArg::zero()),
+            Instr::I64Store32(MemArg::zero()),
+            Instr::MemorySize,
+            Instr::MemoryGrow,
+            Instr::MemoryCopy,
+            Instr::MemoryFill,
+            Instr::I32Const(i32::MIN),
+            Instr::I64Const(i64::MAX),
+            Instr::F32Const(f32::NAN),
+            Instr::F64Const(0.0),
+            Instr::I32Add,
+            Instr::I64Rotr,
+            Instr::F32Copysign,
+            Instr::F64Sqrt,
+            Instr::I32TruncF64U,
+            Instr::F64ReinterpretI64,
+        ];
+        let mut buf = Vec::new();
+        for i in &instrs {
+            crate::encode::encode_instr(&mut buf, i);
+        }
+        let mut r = Reader::new(&buf);
+        for expected in &instrs {
+            let got = decode_instr(&mut r).unwrap();
+            match (expected, &got) {
+                // NaN != NaN under PartialEq; compare bits.
+                (Instr::F32Const(a), Instr::F32Const(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                _ => assert_eq!(expected, &got),
+            }
+        }
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Host-function linking: the trusted-thunk mechanism of §3.4.
+//!
+//! "The host interface functions are defined as thunks, which allows
+//! injecting the trusted host interface implementation into the function
+//! binary." A [`Linker`] maps `(module, name)` import pairs to host closures;
+//! instantiation resolves every import or fails. Host functions receive a
+//! [`HostCtx`] granting access to the guest's linear memory and to an opaque
+//! per-instance data pointer (the Faaslet's context in `faasm-core`).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use faasm_mem::LinearMemory;
+
+use crate::trap::Trap;
+use crate::types::Val;
+
+/// The view of an instance a host function receives.
+pub struct HostCtx<'a> {
+    /// The guest's linear memory, if the module declares one.
+    pub mem: Option<&'a mut LinearMemory>,
+    /// Opaque per-instance data; `faasm-core` stores the Faaslet context
+    /// here and downcasts.
+    pub data: &'a mut (dyn Any + Send),
+}
+
+impl<'a> HostCtx<'a> {
+    /// Borrow the linear memory or trap (for host calls that require one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Host`] if the module has no memory.
+    pub fn memory(&mut self) -> Result<&mut LinearMemory, Trap> {
+        self.mem
+            .as_deref_mut()
+            .ok_or_else(|| Trap::host("host call requires a linear memory"))
+    }
+
+    /// Downcast the per-instance data to a concrete type or trap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Host`] if the data has a different type.
+    pub fn data_as<T: 'static>(&mut self) -> Result<&mut T, Trap> {
+        self.data
+            .downcast_mut::<T>()
+            .ok_or_else(|| Trap::host("host data has unexpected type"))
+    }
+
+    /// Read a guest byte range (pointer + length) out of linear memory.
+    ///
+    /// # Errors
+    ///
+    /// Traps if the module has no memory or the range is out of bounds.
+    pub fn read_guest_bytes(&mut self, ptr: u32, len: u32) -> Result<Vec<u8>, Trap> {
+        let mem = self.memory()?;
+        let mut buf = vec![0u8; len as usize];
+        mem.read(ptr as usize, &mut buf)
+            .map_err(|_| Trap::OutOfBoundsMemory {
+                addr: ptr as u64,
+                len,
+            })?;
+        Ok(buf)
+    }
+
+    /// Write bytes into guest memory at `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Traps if the module has no memory or the range is out of bounds.
+    pub fn write_guest_bytes(&mut self, ptr: u32, data: &[u8]) -> Result<(), Trap> {
+        let mem = self.memory()?;
+        mem.write(ptr as usize, data)
+            .map_err(|_| Trap::OutOfBoundsMemory {
+                addr: ptr as u64,
+                len: data.len() as u32,
+            })
+    }
+}
+
+/// A host function callable from guest code.
+pub trait HostFunc: Send + Sync {
+    /// Invoke the host function with typed arguments; returns typed results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] to terminate guest execution.
+    fn call(&self, ctx: &mut HostCtx<'_>, args: &[Val]) -> Result<Vec<Val>, Trap>;
+}
+
+impl<F> HostFunc for F
+where
+    F: Fn(&mut HostCtx<'_>, &[Val]) -> Result<Vec<Val>, Trap> + Send + Sync,
+{
+    fn call(&self, ctx: &mut HostCtx<'_>, args: &[Val]) -> Result<Vec<Val>, Trap> {
+        self(ctx, args)
+    }
+}
+
+/// An import that could not be resolved at link time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkError {
+    /// Import namespace.
+    pub module: String,
+    /// Import name.
+    pub name: String,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unresolved import {}::{}", self.module, self.name)
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Resolves import names to host functions.
+#[derive(Default, Clone)]
+pub struct Linker {
+    funcs: HashMap<(String, String), Arc<dyn HostFunc>>,
+}
+
+impl std::fmt::Debug for Linker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<String> = self
+            .funcs
+            .keys()
+            .map(|(m, n)| format!("{m}::{n}"))
+            .collect();
+        names.sort();
+        f.debug_struct("Linker").field("funcs", &names).finish()
+    }
+}
+
+impl Linker {
+    /// An empty linker.
+    pub fn new() -> Linker {
+        Linker::default()
+    }
+
+    /// Define (or replace) a host function under `module::name`.
+    pub fn define(&mut self, module: &str, name: &str, f: Arc<dyn HostFunc>) -> &mut Self {
+        self.funcs.insert((module.to_string(), name.to_string()), f);
+        self
+    }
+
+    /// Define a host function from a closure.
+    pub fn define_fn<F>(&mut self, module: &str, name: &str, f: F) -> &mut Self
+    where
+        F: Fn(&mut HostCtx<'_>, &[Val]) -> Result<Vec<Val>, Trap> + Send + Sync + 'static,
+    {
+        self.define(module, name, Arc::new(f))
+    }
+
+    /// Resolve an import.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] naming the missing import.
+    pub fn resolve(&self, module: &str, name: &str) -> Result<Arc<dyn HostFunc>, LinkError> {
+        self.funcs
+            .get(&(module.to_string(), name.to_string()))
+            .cloned()
+            .ok_or_else(|| LinkError {
+                module: module.to_string(),
+                name: name.to_string(),
+            })
+    }
+
+    /// Number of defined host functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True if no host functions are defined.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_resolve() {
+        let mut l = Linker::new();
+        l.define_fn("faasm", "noop", |_ctx, _args| Ok(vec![]));
+        assert!(l.resolve("faasm", "noop").is_ok());
+        assert_eq!(
+            l.resolve("faasm", "missing").err(),
+            Some(LinkError {
+                module: "faasm".into(),
+                name: "missing".into()
+            })
+        );
+        assert_eq!(l.len(), 1);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn host_ctx_data_downcast() {
+        let mut data: Box<dyn Any + Send> = Box::new(42i64);
+        let mut ctx = HostCtx {
+            mem: None,
+            data: &mut *data,
+        };
+        assert_eq!(*ctx.data_as::<i64>().unwrap(), 42);
+        assert!(ctx.data_as::<String>().is_err());
+        assert!(ctx.memory().is_err());
+    }
+
+    #[test]
+    fn guest_byte_helpers_bounds_checked() {
+        let mut mem = LinearMemory::new(1, 1).unwrap();
+        mem.write(10, b"abc").unwrap();
+        let mut data: Box<dyn Any + Send> = Box::new(());
+        let mut ctx = HostCtx {
+            mem: Some(&mut mem),
+            data: &mut *data,
+        };
+        assert_eq!(ctx.read_guest_bytes(10, 3).unwrap(), b"abc");
+        ctx.write_guest_bytes(20, b"xyz").unwrap();
+        assert_eq!(ctx.read_guest_bytes(20, 3).unwrap(), b"xyz");
+        assert!(matches!(
+            ctx.read_guest_bytes(u32::MAX, 2),
+            Err(Trap::OutOfBoundsMemory { .. })
+        ));
+        assert!(ctx.write_guest_bytes(u32::MAX, b"x").is_err());
+    }
+
+    #[test]
+    fn linker_debug_lists_names() {
+        let mut l = Linker::new();
+        l.define_fn("faasm", "b", |_c, _a| Ok(vec![]));
+        l.define_fn("faasm", "a", |_c, _a| Ok(vec![]));
+        let dbg = format!("{l:?}");
+        assert!(dbg.contains("faasm::a"));
+        assert!(dbg.contains("faasm::b"));
+    }
+}

@@ -1,0 +1,449 @@
+//! The FVM instruction set: a pragmatic WebAssembly MVP subset.
+
+use crate::types::BlockType;
+
+/// Static operand of a load/store instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemArg {
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+    /// Alignment hint (log2); kept for format fidelity, ignored at runtime.
+    pub align: u32,
+}
+
+impl MemArg {
+    /// A zero-offset, byte-aligned access.
+    pub fn zero() -> MemArg {
+        MemArg::default()
+    }
+
+    /// An access with the given constant offset.
+    pub fn at(offset: u32) -> MemArg {
+        MemArg { offset, align: 0 }
+    }
+}
+
+/// Targets of a `br_table` instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrTableData {
+    /// Branch depths selected by index.
+    pub targets: Vec<u32>,
+    /// Branch depth used when the index is out of range.
+    pub default: u32,
+}
+
+/// One FVM instruction.
+///
+/// Semantics follow the WebAssembly MVP: a structured stack machine with
+/// `block`/`loop`/`if` control, typed numeric operations that trap on
+/// division by zero and invalid float-to-int conversion, and bounds-checked
+/// linear memory access that traps with [`crate::Trap::OutOfBoundsMemory`] —
+/// the SFI property the paper relies on (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ── Control ────────────────────────────────────────────────────────
+    /// Trap unconditionally.
+    Unreachable,
+    /// Do nothing.
+    Nop,
+    /// Begin a block; branches to it jump past its `end`.
+    Block(BlockType),
+    /// Begin a loop; branches to it jump back to the loop head.
+    Loop(BlockType),
+    /// Pop a condition; run the then-arm when non-zero.
+    If(BlockType),
+    /// Separator between the arms of an `if`.
+    Else,
+    /// Close the innermost `block`/`loop`/`if` (or function body).
+    End,
+    /// Unconditional branch to the label `depth` levels out.
+    Br(u32),
+    /// Conditional branch (pops an i32 condition).
+    BrIf(u32),
+    /// Indexed branch (pops an i32 selector).
+    BrTable(Box<BrTableData>),
+    /// Return from the current function.
+    Return,
+    /// Call the function with the given index (imports come first).
+    Call(u32),
+    /// Pop a table index and call the function it refers to; the immediate is
+    /// the expected type index. This is what makes `dlsym`-style dynamic
+    /// linking callable from guest code (§3.2).
+    CallIndirect(u32),
+
+    // ── Parametric ─────────────────────────────────────────────────────
+    /// Pop and discard a value.
+    Drop,
+    /// Pop a condition and two values; push the first if non-zero.
+    Select,
+
+    // ── Variables ──────────────────────────────────────────────────────
+    /// Push a local.
+    LocalGet(u32),
+    /// Pop into a local.
+    LocalSet(u32),
+    /// Copy the top of stack into a local.
+    LocalTee(u32),
+    /// Push a global.
+    GlobalGet(u32),
+    /// Pop into a (mutable) global.
+    GlobalSet(u32),
+
+    // ── Memory loads ───────────────────────────────────────────────────
+    /// Load an i32.
+    I32Load(MemArg),
+    /// Load an i64.
+    I64Load(MemArg),
+    /// Load an f32.
+    F32Load(MemArg),
+    /// Load an f64.
+    F64Load(MemArg),
+    /// Load a sign-extended 8-bit value as i32.
+    I32Load8S(MemArg),
+    /// Load a zero-extended 8-bit value as i32.
+    I32Load8U(MemArg),
+    /// Load a sign-extended 16-bit value as i32.
+    I32Load16S(MemArg),
+    /// Load a zero-extended 16-bit value as i32.
+    I32Load16U(MemArg),
+    /// Load a sign-extended 8-bit value as i64.
+    I64Load8S(MemArg),
+    /// Load a zero-extended 8-bit value as i64.
+    I64Load8U(MemArg),
+    /// Load a sign-extended 16-bit value as i64.
+    I64Load16S(MemArg),
+    /// Load a zero-extended 16-bit value as i64.
+    I64Load16U(MemArg),
+    /// Load a sign-extended 32-bit value as i64.
+    I64Load32S(MemArg),
+    /// Load a zero-extended 32-bit value as i64.
+    I64Load32U(MemArg),
+
+    // ── Memory stores ──────────────────────────────────────────────────
+    /// Store an i32.
+    I32Store(MemArg),
+    /// Store an i64.
+    I64Store(MemArg),
+    /// Store an f32.
+    F32Store(MemArg),
+    /// Store an f64.
+    F64Store(MemArg),
+    /// Store the low 8 bits of an i32.
+    I32Store8(MemArg),
+    /// Store the low 16 bits of an i32.
+    I32Store16(MemArg),
+    /// Store the low 8 bits of an i64.
+    I64Store8(MemArg),
+    /// Store the low 16 bits of an i64.
+    I64Store16(MemArg),
+    /// Store the low 32 bits of an i64.
+    I64Store32(MemArg),
+    /// Push the memory size in pages.
+    MemorySize,
+    /// Grow the memory; pushes the old size or -1 on failure.
+    MemoryGrow,
+    /// Bulk copy within linear memory (dst, src, len on the stack).
+    MemoryCopy,
+    /// Bulk fill of linear memory (dst, value, len on the stack).
+    MemoryFill,
+
+    // ── Constants ──────────────────────────────────────────────────────
+    /// Push an i32 constant.
+    I32Const(i32),
+    /// Push an i64 constant.
+    I64Const(i64),
+    /// Push an f32 constant.
+    F32Const(f32),
+    /// Push an f64 constant.
+    F64Const(f64),
+
+    // ── i32 comparisons and arithmetic ─────────────────────────────────
+    /// i32 equals zero.
+    I32Eqz,
+    /// i32 equality.
+    I32Eq,
+    /// i32 inequality.
+    I32Ne,
+    /// i32 signed less-than.
+    I32LtS,
+    /// i32 unsigned less-than.
+    I32LtU,
+    /// i32 signed greater-than.
+    I32GtS,
+    /// i32 unsigned greater-than.
+    I32GtU,
+    /// i32 signed less-or-equal.
+    I32LeS,
+    /// i32 unsigned less-or-equal.
+    I32LeU,
+    /// i32 signed greater-or-equal.
+    I32GeS,
+    /// i32 unsigned greater-or-equal.
+    I32GeU,
+    /// i32 count leading zeros.
+    I32Clz,
+    /// i32 count trailing zeros.
+    I32Ctz,
+    /// i32 population count.
+    I32Popcnt,
+    /// i32 wrapping addition.
+    I32Add,
+    /// i32 wrapping subtraction.
+    I32Sub,
+    /// i32 wrapping multiplication.
+    I32Mul,
+    /// i32 signed division (traps on zero and overflow).
+    I32DivS,
+    /// i32 unsigned division (traps on zero).
+    I32DivU,
+    /// i32 signed remainder (traps on zero).
+    I32RemS,
+    /// i32 unsigned remainder (traps on zero).
+    I32RemU,
+    /// i32 bitwise and.
+    I32And,
+    /// i32 bitwise or.
+    I32Or,
+    /// i32 bitwise xor.
+    I32Xor,
+    /// i32 shift left.
+    I32Shl,
+    /// i32 arithmetic shift right.
+    I32ShrS,
+    /// i32 logical shift right.
+    I32ShrU,
+    /// i32 rotate left.
+    I32Rotl,
+    /// i32 rotate right.
+    I32Rotr,
+
+    // ── i64 comparisons and arithmetic ─────────────────────────────────
+    /// i64 equals zero.
+    I64Eqz,
+    /// i64 equality.
+    I64Eq,
+    /// i64 inequality.
+    I64Ne,
+    /// i64 signed less-than.
+    I64LtS,
+    /// i64 unsigned less-than.
+    I64LtU,
+    /// i64 signed greater-than.
+    I64GtS,
+    /// i64 unsigned greater-than.
+    I64GtU,
+    /// i64 signed less-or-equal.
+    I64LeS,
+    /// i64 unsigned less-or-equal.
+    I64LeU,
+    /// i64 signed greater-or-equal.
+    I64GeS,
+    /// i64 unsigned greater-or-equal.
+    I64GeU,
+    /// i64 count leading zeros.
+    I64Clz,
+    /// i64 count trailing zeros.
+    I64Ctz,
+    /// i64 population count.
+    I64Popcnt,
+    /// i64 wrapping addition.
+    I64Add,
+    /// i64 wrapping subtraction.
+    I64Sub,
+    /// i64 wrapping multiplication.
+    I64Mul,
+    /// i64 signed division (traps on zero and overflow).
+    I64DivS,
+    /// i64 unsigned division (traps on zero).
+    I64DivU,
+    /// i64 signed remainder (traps on zero).
+    I64RemS,
+    /// i64 unsigned remainder (traps on zero).
+    I64RemU,
+    /// i64 bitwise and.
+    I64And,
+    /// i64 bitwise or.
+    I64Or,
+    /// i64 bitwise xor.
+    I64Xor,
+    /// i64 shift left.
+    I64Shl,
+    /// i64 arithmetic shift right.
+    I64ShrS,
+    /// i64 logical shift right.
+    I64ShrU,
+    /// i64 rotate left.
+    I64Rotl,
+    /// i64 rotate right.
+    I64Rotr,
+
+    // ── f32 ────────────────────────────────────────────────────────────
+    /// f32 equality.
+    F32Eq,
+    /// f32 inequality.
+    F32Ne,
+    /// f32 less-than.
+    F32Lt,
+    /// f32 greater-than.
+    F32Gt,
+    /// f32 less-or-equal.
+    F32Le,
+    /// f32 greater-or-equal.
+    F32Ge,
+    /// f32 absolute value.
+    F32Abs,
+    /// f32 negation.
+    F32Neg,
+    /// f32 round up.
+    F32Ceil,
+    /// f32 round down.
+    F32Floor,
+    /// f32 round toward zero.
+    F32Trunc,
+    /// f32 round to nearest even.
+    F32Nearest,
+    /// f32 square root.
+    F32Sqrt,
+    /// f32 addition.
+    F32Add,
+    /// f32 subtraction.
+    F32Sub,
+    /// f32 multiplication.
+    F32Mul,
+    /// f32 division.
+    F32Div,
+    /// f32 minimum.
+    F32Min,
+    /// f32 maximum.
+    F32Max,
+    /// f32 copysign.
+    F32Copysign,
+
+    // ── f64 ────────────────────────────────────────────────────────────
+    /// f64 equality.
+    F64Eq,
+    /// f64 inequality.
+    F64Ne,
+    /// f64 less-than.
+    F64Lt,
+    /// f64 greater-than.
+    F64Gt,
+    /// f64 less-or-equal.
+    F64Le,
+    /// f64 greater-or-equal.
+    F64Ge,
+    /// f64 absolute value.
+    F64Abs,
+    /// f64 negation.
+    F64Neg,
+    /// f64 round up.
+    F64Ceil,
+    /// f64 round down.
+    F64Floor,
+    /// f64 round toward zero.
+    F64Trunc,
+    /// f64 round to nearest even.
+    F64Nearest,
+    /// f64 square root.
+    F64Sqrt,
+    /// f64 addition.
+    F64Add,
+    /// f64 subtraction.
+    F64Sub,
+    /// f64 multiplication.
+    F64Mul,
+    /// f64 division.
+    F64Div,
+    /// f64 minimum.
+    F64Min,
+    /// f64 maximum.
+    F64Max,
+    /// f64 copysign.
+    F64Copysign,
+
+    // ── Conversions ────────────────────────────────────────────────────
+    /// Truncate i64 to i32.
+    I32WrapI64,
+    /// f32 → i32, signed (traps on NaN/overflow).
+    I32TruncF32S,
+    /// f32 → i32, unsigned (traps on NaN/overflow).
+    I32TruncF32U,
+    /// f64 → i32, signed (traps on NaN/overflow).
+    I32TruncF64S,
+    /// f64 → i32, unsigned (traps on NaN/overflow).
+    I32TruncF64U,
+    /// Sign-extend i32 to i64.
+    I64ExtendI32S,
+    /// Zero-extend i32 to i64.
+    I64ExtendI32U,
+    /// f32 → i64, signed (traps on NaN/overflow).
+    I64TruncF32S,
+    /// f32 → i64, unsigned (traps on NaN/overflow).
+    I64TruncF32U,
+    /// f64 → i64, signed (traps on NaN/overflow).
+    I64TruncF64S,
+    /// f64 → i64, unsigned (traps on NaN/overflow).
+    I64TruncF64U,
+    /// i32 → f32, signed.
+    F32ConvertI32S,
+    /// i32 → f32, unsigned.
+    F32ConvertI32U,
+    /// i64 → f32, signed.
+    F32ConvertI64S,
+    /// i64 → f32, unsigned.
+    F32ConvertI64U,
+    /// f64 → f32.
+    F32DemoteF64,
+    /// i32 → f64, signed.
+    F64ConvertI32S,
+    /// i32 → f64, unsigned.
+    F64ConvertI32U,
+    /// i64 → f64, signed.
+    F64ConvertI64S,
+    /// i64 → f64, unsigned.
+    F64ConvertI64U,
+    /// f32 → f64.
+    F64PromoteF32,
+    /// Bit-cast f32 to i32.
+    I32ReinterpretF32,
+    /// Bit-cast f64 to i64.
+    I64ReinterpretF64,
+    /// Bit-cast i32 to f32.
+    F32ReinterpretI32,
+    /// Bit-cast i64 to f64.
+    F64ReinterpretI64,
+}
+
+impl Instr {
+    /// True for instructions that open a structured control frame.
+    pub fn opens_block(&self) -> bool {
+        matches!(self, Instr::Block(_) | Instr::Loop(_) | Instr::If(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ValType;
+
+    #[test]
+    fn memarg_helpers() {
+        assert_eq!(
+            MemArg::zero(),
+            MemArg {
+                offset: 0,
+                align: 0
+            }
+        );
+        assert_eq!(MemArg::at(16).offset, 16);
+    }
+
+    #[test]
+    fn opens_block_classification() {
+        assert!(Instr::Block(BlockType::Empty).opens_block());
+        assert!(Instr::Loop(BlockType::Value(ValType::I32)).opens_block());
+        assert!(Instr::If(BlockType::Empty).opens_block());
+        assert!(!Instr::End.opens_block());
+        assert!(!Instr::I32Add.opens_block());
+    }
+}

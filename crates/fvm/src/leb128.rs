@@ -1,0 +1,298 @@
+//! LEB128 variable-length integer encoding, as used by the module binary
+//! format.
+
+/// Append an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, value: u32) {
+    write_u64(out, value as u64);
+}
+
+/// Append an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a signed LEB128 encoding of `value` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, value as i64);
+}
+
+/// Append a signed LEB128 encoding of `value` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A cursor over encoded bytes that tracks its position.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+/// Errors from malformed varint or truncated input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LebError {
+    /// Input ended inside a value.
+    UnexpectedEof,
+    /// A varint exceeded its maximum encodable width.
+    Overflow,
+}
+
+impl std::fmt::Display for LebError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LebError::UnexpectedEof => write!(f, "unexpected end of input"),
+            LebError::Overflow => write!(f, "varint overflows its type"),
+        }
+    }
+}
+
+impl std::error::Error for LebError {}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Read one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError::UnexpectedEof`] at end of input.
+    pub fn byte(&mut self) -> Result<u8, LebError> {
+        let b = *self.data.get(self.pos).ok_or(LebError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], LebError> {
+        if self.remaining() < n {
+            return Err(LebError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read an unsigned LEB128 u32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError`] on truncation or overflow.
+    pub fn u32(&mut self) -> Result<u32, LebError> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| LebError::Overflow)
+    }
+
+    /// Read an unsigned LEB128 u64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError`] on truncation or overflow.
+    pub fn u64(&mut self) -> Result<u64, LebError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= 64 || (shift == 63 && byte & 0x7e != 0) {
+                return Err(LebError::Overflow);
+            }
+            result |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a signed LEB128 i32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError`] on truncation or overflow.
+    pub fn i32(&mut self) -> Result<i32, LebError> {
+        let v = self.i64()?;
+        i32::try_from(v).map_err(|_| LebError::Overflow)
+    }
+
+    /// Read a signed LEB128 i64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError`] on truncation or overflow.
+    pub fn i64(&mut self) -> Result<i64, LebError> {
+        let mut result: i64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= 64 {
+                return Err(LebError::Overflow);
+            }
+            result |= i64::from(byte & 0x7f) << shift;
+            shift += 7;
+            if byte & 0x80 == 0 {
+                if shift < 64 && byte & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                return Ok(result);
+            }
+        }
+    }
+
+    /// Read a little-endian f32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError::UnexpectedEof`] on truncation.
+    pub fn f32(&mut self) -> Result<f32, LebError> {
+        let b = self.bytes(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian f64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LebError::UnexpectedEof`] on truncation.
+    pub fn f64(&mut self) -> Result<f64, LebError> {
+        let b = self.bytes(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u64(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        Reader::new(&buf).u64().unwrap()
+    }
+
+    fn roundtrip_i64(v: i64) -> i64 {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        Reader::new(&buf).i64().unwrap()
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip_u64(v), v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            i32::MIN as i64,
+            i32::MAX as i64,
+            i64::MIN,
+            i64::MAX,
+        ] {
+            assert_eq!(roundtrip_i64(v), v);
+        }
+    }
+
+    #[test]
+    fn u32_rejects_overflow() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u32::MAX as u64 + 1);
+        assert_eq!(Reader::new(&buf).u32(), Err(LebError::Overflow));
+    }
+
+    #[test]
+    fn i32_rejects_overflow() {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, i32::MAX as i64 + 1);
+        assert_eq!(Reader::new(&buf).i32(), Err(LebError::Overflow));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert_eq!(Reader::new(&[0x80]).u64(), Err(LebError::UnexpectedEof));
+        assert_eq!(
+            Reader::new(&[0x80, 0x80]).i64(),
+            Err(LebError::UnexpectedEof)
+        );
+        assert_eq!(Reader::new(&[0, 0]).f32(), Err(LebError::UnexpectedEof));
+    }
+
+    #[test]
+    fn unsigned_overflow_detected() {
+        // 11 continuation bytes exceed 64 bits.
+        let buf = [0xffu8; 10];
+        let mut with_end = buf.to_vec();
+        with_end.push(0x01);
+        assert_eq!(Reader::new(&with_end).u64(), Err(LebError::Overflow));
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1.5f32.to_le_bytes());
+        buf.extend_from_slice(&(-2.25f64).to_le_bytes());
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_positioning() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.byte().unwrap(), 1);
+        assert_eq!(r.pos(), 1);
+        assert_eq!(r.bytes(2).unwrap(), &[2, 3]);
+        assert_eq!(r.remaining(), 1);
+        assert!(r.bytes(2).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! Module structure and the builder API used by toolchains.
+//!
+//! A [`Module`] is the output of the *untrusted compilation* phase of the
+//! paper's pipeline (Fig. 3): guest toolchains (hand-written tests or the
+//! `faasm-lang` compiler) produce modules, serialise them with
+//! [`crate::encode::encode_module`], and upload the bytes. The trusted side
+//! decodes, validates and prepares them into [`crate::object::ObjectModule`]s.
+
+use crate::instr::Instr;
+use crate::types::{FuncType, Val, ValType};
+
+/// Declares the linear memory of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySpec {
+    /// Pages mapped at instantiation.
+    pub initial_pages: u32,
+    /// Hard page limit — the per-function memory cap enforced by the host
+    /// interface's `mmap`/`brk` (§3.2).
+    pub max_pages: u32,
+}
+
+/// An imported host function: the guest-visible half of the host interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// Import namespace (`"faasm"` for the host interface of Tab. 2).
+    pub module: String,
+    /// Function name within the namespace.
+    pub name: String,
+    /// Index into the module's type table.
+    pub type_idx: u32,
+}
+
+/// A function defined inside the module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Index into the module's type table.
+    pub type_idx: u32,
+    /// Types of the function's declared locals (parameters excluded).
+    pub locals: Vec<ValType>,
+    /// The body; must be terminated by an explicit [`Instr::End`].
+    pub body: Vec<Instr>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalDef {
+    /// The value type of the global.
+    pub ty: ValType,
+    /// Whether guest code may write it.
+    pub mutable: bool,
+    /// Initial value (must match `ty`; checked by the validator).
+    pub init: Val,
+}
+
+/// What an export refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    /// An exported function (index includes imports).
+    Func,
+    /// The module memory.
+    Memory,
+    /// An exported global.
+    Global,
+}
+
+/// A named export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Export {
+    /// Exported name.
+    pub name: String,
+    /// What is exported.
+    pub kind: ExportKind,
+    /// Index in the corresponding space.
+    pub index: u32,
+}
+
+/// A data segment copied into memory at instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSegment {
+    /// Destination byte offset in linear memory.
+    pub offset: u32,
+    /// Bytes to copy.
+    pub bytes: Vec<u8>,
+}
+
+/// An element segment seeding the indirect-call table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemSegment {
+    /// First table slot to fill.
+    pub offset: u32,
+    /// Function indices to place.
+    pub funcs: Vec<u32>,
+}
+
+/// A complete, not-yet-validated FVM module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Function signatures referenced by functions and imports.
+    pub types: Vec<FuncType>,
+    /// Host-function imports; these occupy function indices `0..imports.len()`.
+    pub imports: Vec<Import>,
+    /// Functions defined in the module, at indices after the imports.
+    pub funcs: Vec<FuncDef>,
+    /// Optional linear memory.
+    pub memory: Option<MemorySpec>,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Indirect-call table size in slots (0 = no table).
+    pub table_size: u32,
+    /// Element segments seeding the table.
+    pub elems: Vec<ElemSegment>,
+    /// Named exports.
+    pub exports: Vec<Export>,
+    /// Data segments.
+    pub data: Vec<DataSegment>,
+    /// Optional start function run at instantiation.
+    pub start: Option<u32>,
+}
+
+impl Module {
+    /// Total number of callable functions (imports + definitions).
+    pub fn func_count(&self) -> usize {
+        self.imports.len() + self.funcs.len()
+    }
+
+    /// The signature of function `idx` (imports first), if it exists.
+    pub fn func_type(&self, idx: u32) -> Option<&FuncType> {
+        let idx = idx as usize;
+        let type_idx = if idx < self.imports.len() {
+            self.imports[idx].type_idx
+        } else {
+            self.funcs.get(idx - self.imports.len())?.type_idx
+        };
+        self.types.get(type_idx as usize)
+    }
+
+    /// Find an export by name and kind.
+    pub fn find_export(&self, name: &str, kind: ExportKind) -> Option<u32> {
+        self.exports
+            .iter()
+            .find(|e| e.name == name && e.kind == kind)
+            .map(|e| e.index)
+    }
+}
+
+/// Fluent builder for assembling modules programmatically.
+///
+/// # Examples
+///
+/// ```
+/// use faasm_fvm::module::ModuleBuilder;
+/// use faasm_fvm::types::{FuncType, ValType};
+/// use faasm_fvm::instr::Instr;
+///
+/// let mut b = ModuleBuilder::new();
+/// b.memory(1, 4);
+/// let sig = b.sig(FuncType::new(vec![ValType::I32, ValType::I32], vec![ValType::I32]));
+/// let add = b.func(
+///     sig,
+///     vec![],
+///     vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32Add, Instr::End],
+/// );
+/// b.export_func("add", add);
+/// let module = b.build();
+/// assert_eq!(module.func_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+    imports_sealed: bool,
+}
+
+impl ModuleBuilder {
+    /// Start an empty module.
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder::default()
+    }
+
+    /// Intern a function signature, returning its type index. Identical
+    /// signatures share an index.
+    pub fn sig(&mut self, ty: FuncType) -> u32 {
+        if let Some(i) = self.module.types.iter().position(|t| *t == ty) {
+            return i as u32;
+        }
+        self.module.types.push(ty);
+        (self.module.types.len() - 1) as u32
+    }
+
+    /// Declare the module memory.
+    pub fn memory(&mut self, initial_pages: u32, max_pages: u32) -> &mut Self {
+        self.module.memory = Some(MemorySpec {
+            initial_pages,
+            max_pages,
+        });
+        self
+    }
+
+    /// Import a host function. All imports must be declared before the first
+    /// [`ModuleBuilder::func`] so function indices stay stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a function definition (a toolchain bug, not a
+    /// runtime input).
+    pub fn import_func(&mut self, module: &str, name: &str, type_idx: u32) -> u32 {
+        assert!(
+            !self.imports_sealed,
+            "imports must be declared before functions"
+        );
+        self.module.imports.push(Import {
+            module: module.to_string(),
+            name: name.to_string(),
+            type_idx,
+        });
+        (self.module.imports.len() - 1) as u32
+    }
+
+    /// Define a function; returns its function index (imports included).
+    pub fn func(&mut self, type_idx: u32, locals: Vec<ValType>, body: Vec<Instr>) -> u32 {
+        self.imports_sealed = true;
+        self.module.funcs.push(FuncDef {
+            type_idx,
+            locals,
+            body,
+        });
+        (self.module.imports.len() + self.module.funcs.len() - 1) as u32
+    }
+
+    /// Define a global; returns its global index.
+    pub fn global(&mut self, ty: ValType, mutable: bool, init: Val) -> u32 {
+        self.module.globals.push(GlobalDef { ty, mutable, init });
+        (self.module.globals.len() - 1) as u32
+    }
+
+    /// Declare the indirect-call table with `size` slots.
+    pub fn table(&mut self, size: u32) -> &mut Self {
+        self.module.table_size = size;
+        self
+    }
+
+    /// Seed table slots starting at `offset` with function indices.
+    pub fn elem(&mut self, offset: u32, funcs: Vec<u32>) -> &mut Self {
+        self.module.elems.push(ElemSegment { offset, funcs });
+        self
+    }
+
+    /// Export a function under `name`.
+    pub fn export_func(&mut self, name: &str, func_idx: u32) -> &mut Self {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Func,
+            index: func_idx,
+        });
+        self
+    }
+
+    /// Export the memory under `name`.
+    pub fn export_memory(&mut self, name: &str) -> &mut Self {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Memory,
+            index: 0,
+        });
+        self
+    }
+
+    /// Add a data segment.
+    pub fn data(&mut self, offset: u32, bytes: Vec<u8>) -> &mut Self {
+        self.module.data.push(DataSegment { offset, bytes });
+        self
+    }
+
+    /// Set the start function.
+    pub fn start(&mut self, func_idx: u32) -> &mut Self {
+        self.module.start = Some(func_idx);
+        self
+    }
+
+    /// Finish and return the module.
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    #[test]
+    fn sig_interning_dedupes() {
+        let mut b = ModuleBuilder::new();
+        let a = b.sig(FuncType::new(vec![ValType::I32], vec![]));
+        let c = b.sig(FuncType::new(vec![ValType::I32], vec![]));
+        let d = b.sig(FuncType::new(vec![ValType::I64], vec![]));
+        assert_eq!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(b.build().types.len(), 2);
+    }
+
+    #[test]
+    fn import_and_func_indices_are_contiguous() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        let i0 = b.import_func("faasm", "noop", sig);
+        let i1 = b.import_func("faasm", "noop2", sig);
+        let f2 = b.func(sig, vec![], vec![Instr::End]);
+        assert_eq!((i0, i1, f2), (0, 1, 2));
+        let m = b.build();
+        assert_eq!(m.func_count(), 3);
+        assert!(m.func_type(2).is_some());
+        assert!(m.func_type(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "imports must be declared before functions")]
+    fn import_after_func_panics() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        b.func(sig, vec![], vec![Instr::End]);
+        b.import_func("faasm", "late", sig);
+    }
+
+    #[test]
+    fn find_export_filters_by_kind() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        let f = b.func(sig, vec![], vec![Instr::End]);
+        b.memory(1, 1);
+        b.export_func("thing", f);
+        b.export_memory("thing");
+        let m = b.build();
+        assert_eq!(m.find_export("thing", ExportKind::Func), Some(0));
+        assert_eq!(m.find_export("thing", ExportKind::Memory), Some(0));
+        assert_eq!(m.find_export("other", ExportKind::Func), None);
+    }
+
+    #[test]
+    fn globals_and_table() {
+        let mut b = ModuleBuilder::new();
+        let g = b.global(ValType::I64, true, Val::I64(9));
+        assert_eq!(g, 0);
+        b.table(4);
+        b.elem(1, vec![0]);
+        let m = b.build();
+        assert_eq!(m.globals.len(), 1);
+        assert_eq!(m.table_size, 4);
+        assert_eq!(m.elems[0].funcs, vec![0]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Opcode assignments for the binary format (WebAssembly-compatible values).
+
+/// Maps every immediate-free instruction to its opcode byte and back.
+///
+/// Instructions with immediates (control, variables, memory, constants) are
+/// handled explicitly by the encoder/decoder; this table covers the numeric
+/// bulk of the ISA so the mapping is written exactly once.
+macro_rules! simple_opcodes {
+    ($(($code:literal, $variant:ident)),* $(,)?) => {
+        /// Return the opcode byte for an immediate-free instruction, if it is
+        /// one.
+        pub fn simple_opcode(i: &crate::instr::Instr) -> Option<u8> {
+            use crate::instr::Instr::*;
+            match i {
+                $($variant => Some($code),)*
+                _ => None,
+            }
+        }
+
+        /// Return the immediate-free instruction for an opcode byte, if the
+        /// byte maps to one.
+        pub fn simple_instr(code: u8) -> Option<crate::instr::Instr> {
+            use crate::instr::Instr::*;
+            match code {
+                $($code => Some($variant),)*
+                _ => None,
+            }
+        }
+    };
+}
+
+simple_opcodes![
+    (0x00, Unreachable),
+    (0x01, Nop),
+    (0x0f, Return),
+    (0x1a, Drop),
+    (0x1b, Select),
+    (0x45, I32Eqz),
+    (0x46, I32Eq),
+    (0x47, I32Ne),
+    (0x48, I32LtS),
+    (0x49, I32LtU),
+    (0x4a, I32GtS),
+    (0x4b, I32GtU),
+    (0x4c, I32LeS),
+    (0x4d, I32LeU),
+    (0x4e, I32GeS),
+    (0x4f, I32GeU),
+    (0x50, I64Eqz),
+    (0x51, I64Eq),
+    (0x52, I64Ne),
+    (0x53, I64LtS),
+    (0x54, I64LtU),
+    (0x55, I64GtS),
+    (0x56, I64GtU),
+    (0x57, I64LeS),
+    (0x58, I64LeU),
+    (0x59, I64GeS),
+    (0x5a, I64GeU),
+    (0x5b, F32Eq),
+    (0x5c, F32Ne),
+    (0x5d, F32Lt),
+    (0x5e, F32Gt),
+    (0x5f, F32Le),
+    (0x60, F32Ge),
+    (0x61, F64Eq),
+    (0x62, F64Ne),
+    (0x63, F64Lt),
+    (0x64, F64Gt),
+    (0x65, F64Le),
+    (0x66, F64Ge),
+    (0x67, I32Clz),
+    (0x68, I32Ctz),
+    (0x69, I32Popcnt),
+    (0x6a, I32Add),
+    (0x6b, I32Sub),
+    (0x6c, I32Mul),
+    (0x6d, I32DivS),
+    (0x6e, I32DivU),
+    (0x6f, I32RemS),
+    (0x70, I32RemU),
+    (0x71, I32And),
+    (0x72, I32Or),
+    (0x73, I32Xor),
+    (0x74, I32Shl),
+    (0x75, I32ShrS),
+    (0x76, I32ShrU),
+    (0x77, I32Rotl),
+    (0x78, I32Rotr),
+    (0x79, I64Clz),
+    (0x7a, I64Ctz),
+    (0x7b, I64Popcnt),
+    (0x7c, I64Add),
+    (0x7d, I64Sub),
+    (0x7e, I64Mul),
+    (0x7f, I64DivS),
+    (0x80, I64DivU),
+    (0x81, I64RemS),
+    (0x82, I64RemU),
+    (0x83, I64And),
+    (0x84, I64Or),
+    (0x85, I64Xor),
+    (0x86, I64Shl),
+    (0x87, I64ShrS),
+    (0x88, I64ShrU),
+    (0x89, I64Rotl),
+    (0x8a, I64Rotr),
+    (0x8b, F32Abs),
+    (0x8c, F32Neg),
+    (0x8d, F32Ceil),
+    (0x8e, F32Floor),
+    (0x8f, F32Trunc),
+    (0x90, F32Nearest),
+    (0x91, F32Sqrt),
+    (0x92, F32Add),
+    (0x93, F32Sub),
+    (0x94, F32Mul),
+    (0x95, F32Div),
+    (0x96, F32Min),
+    (0x97, F32Max),
+    (0x98, F32Copysign),
+    (0x99, F64Abs),
+    (0x9a, F64Neg),
+    (0x9b, F64Ceil),
+    (0x9c, F64Floor),
+    (0x9d, F64Trunc),
+    (0x9e, F64Nearest),
+    (0x9f, F64Sqrt),
+    (0xa0, F64Add),
+    (0xa1, F64Sub),
+    (0xa2, F64Mul),
+    (0xa3, F64Div),
+    (0xa4, F64Min),
+    (0xa5, F64Max),
+    (0xa6, F64Copysign),
+    (0xa7, I32WrapI64),
+    (0xa8, I32TruncF32S),
+    (0xa9, I32TruncF32U),
+    (0xaa, I32TruncF64S),
+    (0xab, I32TruncF64U),
+    (0xac, I64ExtendI32S),
+    (0xad, I64ExtendI32U),
+    (0xae, I64TruncF32S),
+    (0xaf, I64TruncF32U),
+    (0xb0, I64TruncF64S),
+    (0xb1, I64TruncF64U),
+    (0xb2, F32ConvertI32S),
+    (0xb3, F32ConvertI32U),
+    (0xb4, F32ConvertI64S),
+    (0xb5, F32ConvertI64U),
+    (0xb6, F32DemoteF64),
+    (0xb7, F64ConvertI32S),
+    (0xb8, F64ConvertI32U),
+    (0xb9, F64ConvertI64S),
+    (0xba, F64ConvertI64U),
+    (0xbb, F64PromoteF32),
+    (0xbc, I32ReinterpretF32),
+    (0xbd, I64ReinterpretF64),
+    (0xbe, F32ReinterpretI32),
+    (0xbf, F64ReinterpretI64),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    #[test]
+    fn roundtrip_all_simple_opcodes() {
+        let mut count = 0;
+        for code in 0x00u8..=0xbf {
+            if let Some(instr) = simple_instr(code) {
+                assert_eq!(simple_opcode(&instr), Some(code));
+                count += 1;
+            }
+        }
+        assert!(count > 100, "expected over 100 simple opcodes, got {count}");
+    }
+
+    #[test]
+    fn immediate_instructions_are_not_simple() {
+        assert_eq!(simple_opcode(&Instr::I32Const(1)), None);
+        assert_eq!(simple_opcode(&Instr::LocalGet(0)), None);
+        assert_eq!(simple_opcode(&Instr::End), None);
+    }
+}

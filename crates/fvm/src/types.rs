@@ -1,0 +1,260 @@
+//! Value and function types.
+
+use std::fmt;
+
+/// The four WebAssembly-style value types supported by the FVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValType {
+    /// 32-bit integer (also used for guest pointers: the FVM is a 32-bit
+    /// address-space machine, like WebAssembly in the paper §2.2).
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ValType {
+    /// Binary encoding of the type (matching WebAssembly's encodings).
+    pub fn code(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Decode a type from its binary code.
+    pub fn from_code(code: u8) -> Option<ValType> {
+        match code {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed runtime value, used at the host/guest API boundary.
+///
+/// Internally the interpreter runs on untyped 64-bit slots (validation makes
+/// runtime tags redundant); `Val` is the typed view used for function
+/// arguments, results and host-call marshalling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// A 32-bit integer value.
+    I32(i32),
+    /// A 64-bit integer value.
+    I64(i64),
+    /// A 32-bit float value.
+    F32(f32),
+    /// A 64-bit float value.
+    F64(f64),
+}
+
+impl Val {
+    /// The value's type.
+    pub fn ty(&self) -> ValType {
+        match self {
+            Val::I32(_) => ValType::I32,
+            Val::I64(_) => ValType::I64,
+            Val::F32(_) => ValType::F32,
+            Val::F64(_) => ValType::F64,
+        }
+    }
+
+    /// Encode the value into an untyped 64-bit interpreter slot.
+    pub fn to_slot(self) -> u64 {
+        match self {
+            Val::I32(v) => v as u32 as u64,
+            Val::I64(v) => v as u64,
+            Val::F32(v) => v.to_bits() as u64,
+            Val::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Decode an untyped slot into a typed value.
+    pub fn from_slot(slot: u64, ty: ValType) -> Val {
+        match ty {
+            ValType::I32 => Val::I32(slot as u32 as i32),
+            ValType::I64 => Val::I64(slot as i64),
+            ValType::F32 => Val::F32(f32::from_bits(slot as u32)),
+            ValType::F64 => Val::F64(f64::from_bits(slot)),
+        }
+    }
+
+    /// Extract an `i32`, if that is the value's type.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            Val::I32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `i64`, if that is the value's type.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Val::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f32`, if that is the value's type.
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Val::F32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64`, if that is the value's type.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::I32(v) => write!(f, "{v}:i32"),
+            Val::I64(v) => write!(f, "{v}:i64"),
+            Val::F32(v) => write!(f, "{v}:f32"),
+            Val::F64(v) => write!(f, "{v}:f64"),
+        }
+    }
+}
+
+/// A function signature: parameter and result types.
+///
+/// Multi-value results are supported by the type but the validator restricts
+/// functions to at most one result, as in the WebAssembly MVP the paper
+/// targets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types (zero or one entry).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Construct a signature.
+    pub fn new(params: Vec<ValType>, results: Vec<ValType>) -> FuncType {
+        FuncType { params, results }
+    }
+}
+
+impl fmt::Display for FuncType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The type of a block construct: either no result or a single value result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockType {
+    /// The block yields no values.
+    Empty,
+    /// The block yields one value of the given type.
+    Value(ValType),
+}
+
+impl BlockType {
+    /// Number of result values the block yields.
+    pub fn arity(self) -> usize {
+        match self {
+            BlockType::Empty => 0,
+            BlockType::Value(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_code_roundtrip() {
+        for ty in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_code(ty.code()), Some(ty));
+        }
+        assert_eq!(ValType::from_code(0x00), None);
+    }
+
+    #[test]
+    fn val_slot_roundtrip() {
+        let cases = [
+            Val::I32(-1),
+            Val::I32(i32::MAX),
+            Val::I64(i64::MIN),
+            Val::F32(-0.5),
+            Val::F64(1e300),
+        ];
+        for v in cases {
+            assert_eq!(Val::from_slot(v.to_slot(), v.ty()), v);
+        }
+    }
+
+    #[test]
+    fn val_nan_roundtrip_preserves_bits() {
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let v = Val::F64(nan);
+        let back = Val::from_slot(v.to_slot(), ValType::F64);
+        if let Val::F64(b) = back {
+            assert_eq!(b.to_bits(), nan.to_bits());
+        } else {
+            panic!("wrong type");
+        }
+    }
+
+    #[test]
+    fn val_accessors() {
+        assert_eq!(Val::I32(7).as_i32(), Some(7));
+        assert_eq!(Val::I32(7).as_i64(), None);
+        assert_eq!(Val::I64(7).as_i64(), Some(7));
+        assert_eq!(Val::F32(1.0).as_f32(), Some(1.0));
+        assert_eq!(Val::F64(1.0).as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn display_impls() {
+        let ft = FuncType::new(vec![ValType::I32, ValType::F64], vec![ValType::I64]);
+        assert_eq!(ft.to_string(), "(i32, f64) -> (i64)");
+        assert_eq!(Val::I32(3).to_string(), "3:i32");
+        assert_eq!(BlockType::Empty.arity(), 0);
+        assert_eq!(BlockType::Value(ValType::I32).arity(), 1);
+    }
+}

@@ -1,0 +1,1095 @@
+//! Module validation: the trusted entry gate of the code-generation pipeline.
+//!
+//! "Since \[compilation\] is untrusted, the code generation phase begins by
+//! validating the WebAssembly binary, as defined in the WebAssembly
+//! specification" (§3.4). This module implements the specification's
+//! type-checking algorithm: a value stack of possibly-unknown types and a
+//! control stack of frames, rejecting any body that could underflow the
+//! stack, mistype an operand, branch to a missing label, or touch undeclared
+//! locals, globals, functions or memory.
+
+use crate::instr::Instr;
+use crate::module::{ExportKind, Module};
+use crate::types::{BlockType, FuncType, ValType};
+
+/// A validation failure, with the instruction index where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A value of one type was found where another was required.
+    TypeMismatch {
+        /// Index of the offending instruction within its function body.
+        at: usize,
+        /// What the instruction required.
+        expected: String,
+        /// What was on the stack.
+        got: String,
+    },
+    /// An instruction needed more operands than the stack held.
+    StackUnderflow {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// Values were left on the stack when a frame ended.
+    UnbalancedStack {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// A local index was out of range.
+    UnknownLocal {
+        /// Offending instruction index.
+        at: usize,
+        /// The bad index.
+        idx: u32,
+    },
+    /// A global index was out of range.
+    UnknownGlobal {
+        /// Offending instruction index.
+        at: usize,
+        /// The bad index.
+        idx: u32,
+    },
+    /// A function index was out of range.
+    UnknownFunc {
+        /// Offending instruction index.
+        at: usize,
+        /// The bad index.
+        idx: u32,
+    },
+    /// A type index was out of range.
+    UnknownType {
+        /// The bad index.
+        idx: u32,
+    },
+    /// A branch target depth exceeded the label stack.
+    UnknownLabel {
+        /// Offending instruction index.
+        at: usize,
+        /// The bad depth.
+        depth: u32,
+    },
+    /// A write to an immutable global.
+    ImmutableGlobal {
+        /// Offending instruction index.
+        at: usize,
+        /// The global index.
+        idx: u32,
+    },
+    /// A memory instruction in a module with no memory.
+    NoMemory {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// An indirect call in a module with no table.
+    NoTable {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// `else` appeared outside an `if`.
+    ElseOutsideIf {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// More `end`s than open frames.
+    UnbalancedEnd {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// The body ran out before closing every frame.
+    MissingEnd,
+    /// Functions may return at most one value in this VM.
+    MultiValueUnsupported {
+        /// The offending type index.
+        type_idx: u32,
+    },
+    /// A global's declared type does not match its initialiser.
+    GlobalInitMismatch {
+        /// The global index.
+        idx: u32,
+    },
+    /// An export references a missing item or duplicates a name.
+    BadExport {
+        /// The export name.
+        name: String,
+    },
+    /// The start function is missing or has a non-empty signature.
+    BadStart,
+    /// A data segment falls outside the initial memory.
+    BadDataSegment {
+        /// Index of the segment.
+        idx: usize,
+    },
+    /// An element segment falls outside the table or names a missing
+    /// function.
+    BadElemSegment {
+        /// Index of the segment.
+        idx: usize,
+    },
+    /// The memory's initial size exceeds its maximum.
+    BadMemorySpec,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::TypeMismatch { at, expected, got } => {
+                write!(
+                    f,
+                    "type mismatch at instr {at}: expected {expected}, got {got}"
+                )
+            }
+            ValidateError::StackUnderflow { at } => write!(f, "stack underflow at instr {at}"),
+            ValidateError::UnbalancedStack { at } => {
+                write!(f, "values left on stack at instr {at}")
+            }
+            ValidateError::UnknownLocal { at, idx } => {
+                write!(f, "unknown local {idx} at instr {at}")
+            }
+            ValidateError::UnknownGlobal { at, idx } => {
+                write!(f, "unknown global {idx} at instr {at}")
+            }
+            ValidateError::UnknownFunc { at, idx } => {
+                write!(f, "unknown function {idx} at instr {at}")
+            }
+            ValidateError::UnknownType { idx } => write!(f, "unknown type {idx}"),
+            ValidateError::UnknownLabel { at, depth } => {
+                write!(f, "unknown label depth {depth} at instr {at}")
+            }
+            ValidateError::ImmutableGlobal { at, idx } => {
+                write!(f, "write to immutable global {idx} at instr {at}")
+            }
+            ValidateError::NoMemory { at } => {
+                write!(f, "memory instruction without memory at instr {at}")
+            }
+            ValidateError::NoTable { at } => {
+                write!(f, "indirect call without table at instr {at}")
+            }
+            ValidateError::ElseOutsideIf { at } => write!(f, "else outside if at instr {at}"),
+            ValidateError::UnbalancedEnd { at } => write!(f, "unbalanced end at instr {at}"),
+            ValidateError::MissingEnd => write!(f, "function body missing end"),
+            ValidateError::MultiValueUnsupported { type_idx } => {
+                write!(f, "type {type_idx} has multiple results (unsupported)")
+            }
+            ValidateError::GlobalInitMismatch { idx } => {
+                write!(f, "global {idx} initialiser type mismatch")
+            }
+            ValidateError::BadExport { name } => write!(f, "bad export {name:?}"),
+            ValidateError::BadStart => write!(f, "bad start function"),
+            ValidateError::BadDataSegment { idx } => write!(f, "data segment {idx} out of range"),
+            ValidateError::BadElemSegment { idx } => {
+                write!(f, "element segment {idx} out of range")
+            }
+            ValidateError::BadMemorySpec => write!(f, "memory initial size exceeds maximum"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a whole module.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found.
+pub fn validate(m: &Module) -> Result<(), ValidateError> {
+    for (i, t) in m.types.iter().enumerate() {
+        if t.results.len() > 1 {
+            return Err(ValidateError::MultiValueUnsupported { type_idx: i as u32 });
+        }
+    }
+    for imp in &m.imports {
+        if imp.type_idx as usize >= m.types.len() {
+            return Err(ValidateError::UnknownType { idx: imp.type_idx });
+        }
+    }
+    if let Some(mem) = &m.memory {
+        if mem.initial_pages > mem.max_pages {
+            return Err(ValidateError::BadMemorySpec);
+        }
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        if g.init.ty() != g.ty {
+            return Err(ValidateError::GlobalInitMismatch { idx: i as u32 });
+        }
+    }
+
+    let mut seen_exports = std::collections::HashSet::new();
+    for e in &m.exports {
+        if !seen_exports.insert(&e.name) {
+            return Err(ValidateError::BadExport {
+                name: e.name.clone(),
+            });
+        }
+        let ok = match e.kind {
+            ExportKind::Func => (e.index as usize) < m.func_count(),
+            ExportKind::Memory => e.index == 0 && m.memory.is_some(),
+            ExportKind::Global => (e.index as usize) < m.globals.len(),
+        };
+        if !ok {
+            return Err(ValidateError::BadExport {
+                name: e.name.clone(),
+            });
+        }
+    }
+
+    if let Some(start) = m.start {
+        let ty = m.func_type(start).ok_or(ValidateError::BadStart)?;
+        if !ty.params.is_empty() || !ty.results.is_empty() {
+            return Err(ValidateError::BadStart);
+        }
+    }
+
+    for (i, seg) in m.data.iter().enumerate() {
+        let mem = m
+            .memory
+            .as_ref()
+            .ok_or(ValidateError::BadDataSegment { idx: i })?;
+        let end = seg.offset as u64 + seg.bytes.len() as u64;
+        if end > mem.initial_pages as u64 * faasm_mem::PAGE_SIZE as u64 {
+            return Err(ValidateError::BadDataSegment { idx: i });
+        }
+    }
+
+    for (i, seg) in m.elems.iter().enumerate() {
+        let end = seg.offset as u64 + seg.funcs.len() as u64;
+        if end > m.table_size as u64 {
+            return Err(ValidateError::BadElemSegment { idx: i });
+        }
+        if seg.funcs.iter().any(|f| *f as usize >= m.func_count()) {
+            return Err(ValidateError::BadElemSegment { idx: i });
+        }
+    }
+
+    for f in &m.funcs {
+        if f.type_idx as usize >= m.types.len() {
+            return Err(ValidateError::UnknownType { idx: f.type_idx });
+        }
+        let ty = &m.types[f.type_idx as usize];
+        let mut checker = FuncChecker::new(m, ty, &f.locals);
+        checker.check_body(&f.body)?;
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtrlKind {
+    Func,
+    Block,
+    Loop,
+    If,
+    Else,
+}
+
+#[derive(Debug)]
+struct CtrlFrame {
+    kind: CtrlKind,
+    /// Result types the frame must leave on the stack.
+    end_types: Vec<ValType>,
+    /// Value-stack height at frame entry.
+    height: usize,
+    /// Set after an unconditional branch: the rest of the frame is
+    /// polymorphic.
+    unreachable: bool,
+}
+
+impl CtrlFrame {
+    /// The types a branch *to* this frame carries: a loop's branch re-enters
+    /// the loop head (no values in this parameterless-block VM); any other
+    /// frame receives its results.
+    fn label_types(&self) -> &[ValType] {
+        if self.kind == CtrlKind::Loop {
+            &[]
+        } else {
+            &self.end_types
+        }
+    }
+}
+
+struct FuncChecker<'m> {
+    module: &'m Module,
+    locals: Vec<ValType>,
+    vals: Vec<Option<ValType>>,
+    ctrls: Vec<CtrlFrame>,
+    at: usize,
+}
+
+impl<'m> FuncChecker<'m> {
+    fn new(module: &'m Module, ty: &FuncType, extra_locals: &[ValType]) -> FuncChecker<'m> {
+        let mut locals = ty.params.clone();
+        locals.extend_from_slice(extra_locals);
+        FuncChecker {
+            module,
+            locals,
+            vals: Vec::new(),
+            ctrls: vec![CtrlFrame {
+                kind: CtrlKind::Func,
+                end_types: ty.results.clone(),
+                height: 0,
+                unreachable: false,
+            }],
+            at: 0,
+        }
+    }
+
+    fn push(&mut self, t: ValType) {
+        self.vals.push(Some(t));
+    }
+
+    fn push_unknown(&mut self) {
+        self.vals.push(None);
+    }
+
+    fn pop_any(&mut self) -> Result<Option<ValType>, ValidateError> {
+        let frame = self.ctrls.last().expect("frame invariant");
+        if self.vals.len() == frame.height {
+            if frame.unreachable {
+                return Ok(None);
+            }
+            return Err(ValidateError::StackUnderflow { at: self.at });
+        }
+        Ok(self.vals.pop().expect("checked height"))
+    }
+
+    fn pop_expect(&mut self, t: ValType) -> Result<(), ValidateError> {
+        match self.pop_any()? {
+            None => Ok(()),
+            Some(got) if got == t => Ok(()),
+            Some(got) => Err(ValidateError::TypeMismatch {
+                at: self.at,
+                expected: t.to_string(),
+                got: got.to_string(),
+            }),
+        }
+    }
+
+    fn push_ctrl(&mut self, kind: CtrlKind, end_types: Vec<ValType>) {
+        self.ctrls.push(CtrlFrame {
+            kind,
+            end_types,
+            height: self.vals.len(),
+            unreachable: false,
+        });
+    }
+
+    fn pop_ctrl(&mut self) -> Result<CtrlFrame, ValidateError> {
+        let end_types = self
+            .ctrls
+            .last()
+            .map(|f| f.end_types.clone())
+            .expect("frame invariant");
+        for t in end_types.iter().rev() {
+            self.pop_expect(*t)?;
+        }
+        let frame = self.ctrls.last().expect("frame invariant");
+        if self.vals.len() != frame.height {
+            return Err(ValidateError::UnbalancedStack { at: self.at });
+        }
+        Ok(self.ctrls.pop().expect("frame invariant"))
+    }
+
+    fn mark_unreachable(&mut self) {
+        let frame = self.ctrls.last_mut().expect("frame invariant");
+        self.vals.truncate(frame.height);
+        frame.unreachable = true;
+    }
+
+    fn label(&self, depth: u32) -> Result<&CtrlFrame, ValidateError> {
+        let n = self.ctrls.len();
+        if (depth as usize) >= n {
+            return Err(ValidateError::UnknownLabel { at: self.at, depth });
+        }
+        Ok(&self.ctrls[n - 1 - depth as usize])
+    }
+
+    fn local(&self, idx: u32) -> Result<ValType, ValidateError> {
+        self.locals
+            .get(idx as usize)
+            .copied()
+            .ok_or(ValidateError::UnknownLocal { at: self.at, idx })
+    }
+
+    fn need_memory(&self) -> Result<(), ValidateError> {
+        if self.module.memory.is_none() {
+            return Err(ValidateError::NoMemory { at: self.at });
+        }
+        Ok(())
+    }
+
+    fn binop(&mut self, t: ValType) -> Result<(), ValidateError> {
+        self.pop_expect(t)?;
+        self.pop_expect(t)?;
+        self.push(t);
+        Ok(())
+    }
+
+    fn relop(&mut self, t: ValType) -> Result<(), ValidateError> {
+        self.pop_expect(t)?;
+        self.pop_expect(t)?;
+        self.push(ValType::I32);
+        Ok(())
+    }
+
+    fn unop(&mut self, t: ValType) -> Result<(), ValidateError> {
+        self.pop_expect(t)?;
+        self.push(t);
+        Ok(())
+    }
+
+    fn cvt(&mut self, from: ValType, to: ValType) -> Result<(), ValidateError> {
+        self.pop_expect(from)?;
+        self.push(to);
+        Ok(())
+    }
+
+    fn load(&mut self, t: ValType) -> Result<(), ValidateError> {
+        self.need_memory()?;
+        self.pop_expect(ValType::I32)?;
+        self.push(t);
+        Ok(())
+    }
+
+    fn store(&mut self, t: ValType) -> Result<(), ValidateError> {
+        self.need_memory()?;
+        self.pop_expect(t)?;
+        self.pop_expect(ValType::I32)?;
+        Ok(())
+    }
+
+    fn check_body(&mut self, body: &[Instr]) -> Result<(), ValidateError> {
+        use Instr::*;
+        use ValType::*;
+        for (at, instr) in body.iter().enumerate() {
+            self.at = at;
+            match instr {
+                Unreachable => self.mark_unreachable(),
+                Nop => {}
+                Block(bt) => {
+                    let ends = match bt {
+                        BlockType::Empty => vec![],
+                        BlockType::Value(t) => vec![*t],
+                    };
+                    self.push_ctrl(CtrlKind::Block, ends);
+                }
+                Loop(bt) => {
+                    let ends = match bt {
+                        BlockType::Empty => vec![],
+                        BlockType::Value(t) => vec![*t],
+                    };
+                    self.push_ctrl(CtrlKind::Loop, ends);
+                }
+                If(bt) => {
+                    self.pop_expect(I32)?;
+                    let ends = match bt {
+                        BlockType::Empty => vec![],
+                        BlockType::Value(t) => vec![*t],
+                    };
+                    self.push_ctrl(CtrlKind::If, ends);
+                }
+                Else => {
+                    let frame = self.pop_ctrl()?;
+                    if frame.kind != CtrlKind::If {
+                        return Err(ValidateError::ElseOutsideIf { at });
+                    }
+                    self.push_ctrl(CtrlKind::Else, frame.end_types);
+                }
+                End => {
+                    let frame = self.pop_ctrl()?;
+                    // An `if` with a result but no `else` cannot produce the
+                    // result on the false path.
+                    if frame.kind == CtrlKind::If && !frame.end_types.is_empty() {
+                        return Err(ValidateError::TypeMismatch {
+                            at,
+                            expected: "else arm producing block result".into(),
+                            got: "missing else".into(),
+                        });
+                    }
+                    if self.ctrls.is_empty() {
+                        if at != body.len() - 1 {
+                            return Err(ValidateError::UnbalancedEnd { at });
+                        }
+                        return Ok(());
+                    }
+                    for t in frame.end_types {
+                        self.push(t);
+                    }
+                }
+                Br(depth) => {
+                    let tys = self.label(*depth)?.label_types().to_vec();
+                    for t in tys.iter().rev() {
+                        self.pop_expect(*t)?;
+                    }
+                    self.mark_unreachable();
+                }
+                BrIf(depth) => {
+                    self.pop_expect(I32)?;
+                    let tys = self.label(*depth)?.label_types().to_vec();
+                    for t in tys.iter().rev() {
+                        self.pop_expect(*t)?;
+                    }
+                    for t in tys {
+                        self.push(t);
+                    }
+                }
+                BrTable(data) => {
+                    self.pop_expect(I32)?;
+                    let default_tys = self.label(data.default)?.label_types().to_vec();
+                    for target in &data.targets {
+                        let tys = self.label(*target)?.label_types();
+                        if tys != default_tys.as_slice() {
+                            return Err(ValidateError::TypeMismatch {
+                                at,
+                                expected: format!("{default_tys:?}"),
+                                got: format!("{tys:?}"),
+                            });
+                        }
+                    }
+                    for t in default_tys.iter().rev() {
+                        self.pop_expect(*t)?;
+                    }
+                    self.mark_unreachable();
+                }
+                Return => {
+                    let tys = self.ctrls[0].end_types.clone();
+                    for t in tys.iter().rev() {
+                        self.pop_expect(*t)?;
+                    }
+                    self.mark_unreachable();
+                }
+                Call(idx) => {
+                    let ty = self
+                        .module
+                        .func_type(*idx)
+                        .ok_or(ValidateError::UnknownFunc { at, idx: *idx })?
+                        .clone();
+                    for t in ty.params.iter().rev() {
+                        self.pop_expect(*t)?;
+                    }
+                    for t in ty.results {
+                        self.push(t);
+                    }
+                }
+                CallIndirect(type_idx) => {
+                    if self.module.table_size == 0 {
+                        return Err(ValidateError::NoTable { at });
+                    }
+                    let ty = self
+                        .module
+                        .types
+                        .get(*type_idx as usize)
+                        .ok_or(ValidateError::UnknownType { idx: *type_idx })?
+                        .clone();
+                    self.pop_expect(I32)?;
+                    for t in ty.params.iter().rev() {
+                        self.pop_expect(*t)?;
+                    }
+                    for t in ty.results {
+                        self.push(t);
+                    }
+                }
+                Drop => {
+                    self.pop_any()?;
+                }
+                Select => {
+                    self.pop_expect(I32)?;
+                    let a = self.pop_any()?;
+                    let b = self.pop_any()?;
+                    match (a, b) {
+                        (Some(x), Some(y)) if x != y => {
+                            return Err(ValidateError::TypeMismatch {
+                                at,
+                                expected: x.to_string(),
+                                got: y.to_string(),
+                            });
+                        }
+                        (Some(x), _) => self.push(x),
+                        (None, Some(y)) => self.push(y),
+                        (None, None) => self.push_unknown(),
+                    }
+                }
+                LocalGet(idx) => {
+                    let t = self.local(*idx)?;
+                    self.push(t);
+                }
+                LocalSet(idx) => {
+                    let t = self.local(*idx)?;
+                    self.pop_expect(t)?;
+                }
+                LocalTee(idx) => {
+                    let t = self.local(*idx)?;
+                    self.pop_expect(t)?;
+                    self.push(t);
+                }
+                GlobalGet(idx) => {
+                    let g = self
+                        .module
+                        .globals
+                        .get(*idx as usize)
+                        .ok_or(ValidateError::UnknownGlobal { at, idx: *idx })?;
+                    self.push(g.ty);
+                }
+                GlobalSet(idx) => {
+                    let g = *self
+                        .module
+                        .globals
+                        .get(*idx as usize)
+                        .ok_or(ValidateError::UnknownGlobal { at, idx: *idx })?;
+                    if !g.mutable {
+                        return Err(ValidateError::ImmutableGlobal { at, idx: *idx });
+                    }
+                    self.pop_expect(g.ty)?;
+                }
+                I32Load(_) | I32Load8S(_) | I32Load8U(_) | I32Load16S(_) | I32Load16U(_) => {
+                    self.load(I32)?
+                }
+                I64Load(_) | I64Load8S(_) | I64Load8U(_) | I64Load16S(_) | I64Load16U(_)
+                | I64Load32S(_) | I64Load32U(_) => self.load(I64)?,
+                F32Load(_) => self.load(F32)?,
+                F64Load(_) => self.load(F64)?,
+                I32Store(_) | I32Store8(_) | I32Store16(_) => self.store(I32)?,
+                I64Store(_) | I64Store8(_) | I64Store16(_) | I64Store32(_) => self.store(I64)?,
+                F32Store(_) => self.store(F32)?,
+                F64Store(_) => self.store(F64)?,
+                MemorySize => {
+                    self.need_memory()?;
+                    self.push(I32);
+                }
+                MemoryGrow => {
+                    self.need_memory()?;
+                    self.pop_expect(I32)?;
+                    self.push(I32);
+                }
+                MemoryCopy => {
+                    self.need_memory()?;
+                    self.pop_expect(I32)?;
+                    self.pop_expect(I32)?;
+                    self.pop_expect(I32)?;
+                }
+                MemoryFill => {
+                    self.need_memory()?;
+                    self.pop_expect(I32)?;
+                    self.pop_expect(I32)?;
+                    self.pop_expect(I32)?;
+                }
+                I32Const(_) => self.push(I32),
+                I64Const(_) => self.push(I64),
+                F32Const(_) => self.push(F32),
+                F64Const(_) => self.push(F64),
+                I32Eqz => self.cvt(I32, I32)?,
+                I64Eqz => self.cvt(I64, I32)?,
+                I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS
+                | I32GeU => self.relop(I32)?,
+                I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU | I64GeS
+                | I64GeU => self.relop(I64)?,
+                F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge => self.relop(F32)?,
+                F64Eq | F64Ne | F64Lt | F64Gt | F64Le | F64Ge => self.relop(F64)?,
+                I32Clz | I32Ctz | I32Popcnt => self.unop(I32)?,
+                I64Clz | I64Ctz | I64Popcnt => self.unop(I64)?,
+                I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS | I32RemU | I32And
+                | I32Or | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => {
+                    self.binop(I32)?
+                }
+                I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And
+                | I64Or | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => {
+                    self.binop(I64)?
+                }
+                F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt => {
+                    self.unop(F32)?
+                }
+                F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt => {
+                    self.unop(F64)?
+                }
+                F32Add | F32Sub | F32Mul | F32Div | F32Min | F32Max | F32Copysign => {
+                    self.binop(F32)?
+                }
+                F64Add | F64Sub | F64Mul | F64Div | F64Min | F64Max | F64Copysign => {
+                    self.binop(F64)?
+                }
+                I32WrapI64 => self.cvt(I64, I32)?,
+                I32TruncF32S | I32TruncF32U => self.cvt(F32, I32)?,
+                I32TruncF64S | I32TruncF64U => self.cvt(F64, I32)?,
+                I64ExtendI32S | I64ExtendI32U => self.cvt(I32, I64)?,
+                I64TruncF32S | I64TruncF32U => self.cvt(F32, I64)?,
+                I64TruncF64S | I64TruncF64U => self.cvt(F64, I64)?,
+                F32ConvertI32S | F32ConvertI32U => self.cvt(I32, F32)?,
+                F32ConvertI64S | F32ConvertI64U => self.cvt(I64, F32)?,
+                F32DemoteF64 => self.cvt(F64, F32)?,
+                F64ConvertI32S | F64ConvertI32U => self.cvt(I32, F64)?,
+                F64ConvertI64S | F64ConvertI64U => self.cvt(I64, F64)?,
+                F64PromoteF32 => self.cvt(F32, F64)?,
+                I32ReinterpretF32 => self.cvt(F32, I32)?,
+                I64ReinterpretF64 => self.cvt(F64, I64)?,
+                F32ReinterpretI32 => self.cvt(I32, F32)?,
+                F64ReinterpretI64 => self.cvt(I64, F64)?,
+            }
+        }
+        Err(ValidateError::MissingEnd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+    use crate::types::{FuncType, Val};
+    use Instr::*;
+    use ValType::*;
+
+    fn module_with_body(
+        params: Vec<ValType>,
+        results: Vec<ValType>,
+        locals: Vec<ValType>,
+        body: Vec<Instr>,
+    ) -> Module {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, 2);
+        let sig = b.sig(FuncType::new(params, results));
+        b.func(sig, locals, body);
+        b.build()
+    }
+
+    #[test]
+    fn valid_add_function() {
+        let m = module_with_body(
+            vec![I32, I32],
+            vec![I32],
+            vec![],
+            vec![LocalGet(0), LocalGet(1), I32Add, End],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let m = module_with_body(
+            vec![I32, I64],
+            vec![I32],
+            vec![],
+            vec![LocalGet(0), LocalGet(1), I32Add, End],
+        );
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stack_underflow_rejected() {
+        let m = module_with_body(vec![], vec![I32], vec![], vec![I32Add, End]);
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::StackUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let m = module_with_body(vec![], vec![], vec![], vec![Nop]);
+        assert_eq!(validate(&m), Err(ValidateError::MissingEnd));
+    }
+
+    #[test]
+    fn leftover_values_rejected() {
+        let m = module_with_body(vec![], vec![], vec![], vec![I32Const(1), End]);
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::UnbalancedStack { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_local_rejected() {
+        let m = module_with_body(vec![I32], vec![], vec![], vec![LocalGet(5), Drop, End]);
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::UnknownLocal { idx: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn block_with_result() {
+        let m = module_with_body(
+            vec![],
+            vec![I32],
+            vec![],
+            vec![Block(BlockType::Value(I32)), I32Const(42), End, End],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn branch_carries_block_result() {
+        let m = module_with_body(
+            vec![],
+            vec![I32],
+            vec![],
+            vec![Block(BlockType::Value(I32)), I32Const(1), Br(0), End, End],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn branch_to_unknown_label_rejected() {
+        let m = module_with_body(vec![], vec![], vec![], vec![Br(3), End]);
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::UnknownLabel { depth: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn loop_branch_carries_no_values() {
+        // br 0 inside a loop jumps to the head, so the stack must be empty at
+        // the branch even though the loop yields a value.
+        let m = module_with_body(
+            vec![I32],
+            vec![I32],
+            vec![],
+            vec![
+                Loop(BlockType::Value(I32)),
+                LocalGet(0),
+                BrIf(0),
+                I32Const(7),
+                End,
+                End,
+            ],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn if_without_else_needing_result_rejected() {
+        let m = module_with_body(
+            vec![I32],
+            vec![I32],
+            vec![],
+            vec![
+                LocalGet(0),
+                If(BlockType::Value(I32)),
+                I32Const(1),
+                End,
+                End,
+            ],
+        );
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn if_else_with_result_accepted() {
+        let m = module_with_body(
+            vec![I32],
+            vec![I32],
+            vec![],
+            vec![
+                LocalGet(0),
+                If(BlockType::Value(I32)),
+                I32Const(1),
+                Else,
+                I32Const(2),
+                End,
+                End,
+            ],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn else_outside_if_rejected() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![Block(BlockType::Empty), Else, End, End],
+        );
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::ElseOutsideIf { .. })
+        ));
+    }
+
+    #[test]
+    fn code_after_unreachable_is_polymorphic() {
+        let m = module_with_body(vec![], vec![I32], vec![], vec![Unreachable, I32Add, End]);
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn memory_ops_without_memory_rejected() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        b.func(
+            sig,
+            vec![],
+            vec![
+                I32Const(0),
+                I32Load(crate::instr::MemArg::zero()),
+                Drop,
+                End,
+            ],
+        );
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::NoMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn immutable_global_write_rejected() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        b.global(I32, false, Val::I32(1));
+        b.func(sig, vec![], vec![I32Const(2), GlobalSet(0), End]);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::ImmutableGlobal { idx: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn global_init_type_mismatch_rejected() {
+        let mut b = ModuleBuilder::new();
+        b.global(I32, true, Val::I64(1));
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::GlobalInitMismatch { idx: 0 })
+        ));
+    }
+
+    #[test]
+    fn call_type_checked() {
+        let mut b = ModuleBuilder::new();
+        let sig_i = b.sig(FuncType::new(vec![I32], vec![I64]));
+        let sig_v = b.sig(FuncType::new(vec![], vec![I64]));
+        let callee = b.func(sig_i, vec![], vec![I64Const(1), End]);
+        b.func(sig_v, vec![], vec![I32Const(5), Call(callee), End]);
+        validate(&b.build()).unwrap();
+        // Calling with missing argument fails.
+        let mut b2 = ModuleBuilder::new();
+        let sig_i = b2.sig(FuncType::new(vec![I32], vec![I64]));
+        let sig_v = b2.sig(FuncType::new(vec![], vec![I64]));
+        let callee = b2.func(sig_i, vec![], vec![I64Const(1), End]);
+        b2.func(sig_v, vec![], vec![Call(callee), End]);
+        assert!(matches!(
+            validate(&b2.build()),
+            Err(ValidateError::StackUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn call_indirect_requires_table() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![I32Const(0), CallIndirect(0), End],
+        );
+        assert!(matches!(validate(&m), Err(ValidateError::NoTable { .. })));
+    }
+
+    #[test]
+    fn multi_result_types_rejected() {
+        let mut b = ModuleBuilder::new();
+        b.sig(FuncType::new(vec![], vec![I32, I32]));
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::MultiValueUnsupported { type_idx: 0 })
+        ));
+    }
+
+    #[test]
+    fn data_segment_bounds_checked() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, 1);
+        b.data(faasm_mem::PAGE_SIZE as u32 - 2, vec![1, 2, 3]);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::BadDataSegment { idx: 0 })
+        ));
+    }
+
+    #[test]
+    fn elem_segment_bounds_checked() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        let f = b.func(sig, vec![], vec![End]);
+        b.table(1);
+        b.elem(1, vec![f]);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::BadElemSegment { idx: 0 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_export_names_rejected() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::default());
+        let f = b.func(sig, vec![], vec![End]);
+        b.export_func("dup", f);
+        b.export_func("dup", f);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::BadExport { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_start_rejected() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.sig(FuncType::new(vec![I32], vec![]));
+        let f = b.func(sig, vec![], vec![End]);
+        b.start(f);
+        assert_eq!(validate(&b.build()), Err(ValidateError::BadStart));
+    }
+
+    #[test]
+    fn br_table_targets_must_agree() {
+        let m = module_with_body(
+            vec![I32],
+            vec![],
+            vec![],
+            vec![
+                Block(BlockType::Value(I32)),
+                Block(BlockType::Empty),
+                I32Const(0),
+                LocalGet(0),
+                BrTable(Box::new(crate::instr::BrTableData {
+                    targets: vec![0],
+                    default: 1,
+                })),
+                End,
+                Drop,
+                I32Const(0),
+                End,
+                Drop,
+                End,
+            ],
+        );
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn select_requires_matching_types() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![I32Const(1), I64Const(2), I32Const(0), Select, Drop, End],
+        );
+        assert!(matches!(
+            validate(&m),
+            Err(ValidateError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_spec_checked() {
+        let mut b = ModuleBuilder::new();
+        b.memory(4, 2);
+        assert_eq!(validate(&b.build()), Err(ValidateError::BadMemorySpec));
+    }
+}

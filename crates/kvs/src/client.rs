@@ -1,0 +1,474 @@
+//! The KVS client used by every host's runtime to reach the global tier.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use faasm_net::{HostId, NetError, Nic};
+
+use crate::codec::{decode_request, decode_response, encode_request, Request, Response};
+use crate::server::apply;
+use crate::store::{KvStore, LockMode};
+
+static NEXT_OWNER: AtomicU64 = AtomicU64::new(1);
+
+/// Errors from client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// A network failure.
+    Net(NetError),
+    /// The server reported an error.
+    Server(String),
+    /// The server replied with an unexpected response shape.
+    Protocol,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Net(e) => write!(f, "kvs network error: {e}"),
+            KvError::Server(m) => write!(f, "kvs server error: {m}"),
+            KvError::Protocol => write!(f, "kvs protocol violation"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<NetError> for KvError {
+    fn from(e: NetError) -> KvError {
+        KvError::Net(e)
+    }
+}
+
+/// How a client reaches the store: over the fabric (normal case) or
+/// in-process (a host that co-locates the global tier; also used heavily in
+/// unit tests).
+enum Transport {
+    Remote { nic: Nic, server: HostId },
+    Local(std::sync::Arc<KvStore>),
+}
+
+/// A synchronous KVS client.
+///
+/// Cloneable and thread-safe; each clone keeps the same owner token for
+/// global locks, so a Faaslet can lock on one thread and unlock on another
+/// only via the same client instance (as the state layer does).
+pub struct KvClient {
+    transport: Transport,
+    owner: u64,
+}
+
+impl std::fmt::Debug for KvClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.transport {
+            Transport::Remote { server, .. } => format!("remote({server})"),
+            Transport::Local(_) => "local".to_string(),
+        };
+        f.debug_struct("KvClient")
+            .field("transport", &kind)
+            .field("owner", &self.owner)
+            .finish()
+    }
+}
+
+impl KvClient {
+    /// A client that reaches the server at `server` over `nic`.
+    pub fn connect(nic: Nic, server: HostId) -> KvClient {
+        KvClient {
+            transport: Transport::Remote { nic, server },
+            owner: NEXT_OWNER.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A client bound directly to an in-process store.
+    pub fn local(store: std::sync::Arc<KvStore>) -> KvClient {
+        KvClient {
+            transport: Transport::Local(store),
+            owner: NEXT_OWNER.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// This client's lock-owner token.
+    pub fn owner(&self) -> u64 {
+        self.owner
+    }
+
+    fn exec(&self, req: Request) -> Result<Response, KvError> {
+        match &self.transport {
+            Transport::Remote { nic, server } => {
+                let resp = nic.call(*server, encode_request(&req))?;
+                decode_response(&resp).map_err(|_| KvError::Protocol)
+            }
+            Transport::Local(store) => {
+                // Keep the codec on the path so local mode measures the same
+                // serialisation costs as remote mode, minus the fabric.
+                let req = decode_request(&encode_request(&req)).map_err(|_| KvError::Protocol)?;
+                Ok(apply(store, req))
+            }
+        }
+    }
+
+    fn check(&self, resp: Response) -> Result<Response, KvError> {
+        match resp {
+            Response::Err(m) => Err(KvError::Server(m)),
+            other => Ok(other),
+        }
+    }
+
+    /// Get a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, KvError> {
+        match self.check(self.exec(Request::Get { key: key.into() })?)? {
+            Response::Value(v) => Ok(v),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Set a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn set(&self, key: &str, value: Vec<u8>) -> Result<(), KvError> {
+        match self.check(self.exec(Request::Set {
+            key: key.into(),
+            value,
+        })?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Read a byte range (`None` if the key is missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Option<Vec<u8>>, KvError> {
+        match self.check(self.exec(Request::GetRange {
+            key: key.into(),
+            offset,
+            len,
+        })?)? {
+            Response::Value(v) => Ok(v),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Write a byte range, zero-extending the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn set_range(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<(), KvError> {
+        match self.check(self.exec(Request::SetRange {
+            key: key.into(),
+            offset,
+            data,
+        })?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Append bytes; returns the new length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError> {
+        match self.check(self.exec(Request::Append {
+            key: key.into(),
+            data,
+        })?)? {
+            Response::Len(n) => Ok(n),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Delete a key; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn del(&self, key: &str) -> Result<bool, KvError> {
+        match self.check(self.exec(Request::Del { key: key.into() })?)? {
+            Response::Bool(b) => Ok(b),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Whether the key exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn exists(&self, key: &str) -> Result<bool, KvError> {
+        match self.check(self.exec(Request::Exists { key: key.into() })?)? {
+            Response::Bool(b) => Ok(b),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Value length in bytes (0 if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn strlen(&self, key: &str) -> Result<u64, KvError> {
+        match self.check(self.exec(Request::StrLen { key: key.into() })?)? {
+            Response::Len(n) => Ok(n),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Atomically add to a counter; returns the new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn incr(&self, key: &str, delta: i64) -> Result<i64, KvError> {
+        match self.check(self.exec(Request::Incr {
+            key: key.into(),
+            delta,
+        })?)? {
+            Response::Int(n) => Ok(n),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Add a set member; returns true if newly added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn sadd(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+        match self.check(self.exec(Request::SAdd {
+            key: key.into(),
+            member: member.to_vec(),
+        })?)? {
+            Response::Bool(b) => Ok(b),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Remove a set member; returns true if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn srem(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+        match self.check(self.exec(Request::SRem {
+            key: key.into(),
+            member: member.to_vec(),
+        })?)? {
+            Response::Bool(b) => Ok(b),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// List set members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn smembers(&self, key: &str) -> Result<Vec<Vec<u8>>, KvError> {
+        match self.check(self.exec(Request::SMembers { key: key.into() })?)? {
+            Response::Values(v) => Ok(v),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Set cardinality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn scard(&self, key: &str) -> Result<u64, KvError> {
+        match self.check(self.exec(Request::SCard { key: key.into() })?)? {
+            Response::Len(n) => Ok(n),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Try to acquire a global lock once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn try_lock(&self, key: &str, mode: LockMode) -> Result<bool, KvError> {
+        match self.check(self.exec(Request::TryLock {
+            key: key.into(),
+            mode,
+            owner: self.owner,
+        })?)? {
+            Response::Bool(b) => Ok(b),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Acquire a global lock, retrying with backoff (the blocking
+    /// `lock_state_global_*` of Tab. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn lock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+        let mut backoff = Duration::from_micros(50);
+        loop {
+            if self.try_lock(key, mode)? {
+                return Ok(());
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(5));
+        }
+    }
+
+    /// Release a global lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+        match self.check(self.exec(Request::Unlock {
+            key: key.into(),
+            mode,
+            owner: self.owner,
+        })?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn ping(&self) -> Result<(), KvError> {
+        match self.check(self.exec(Request::Ping)?)? {
+            Response::Pong => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Clear the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn flush(&self) -> Result<(), KvError> {
+        match self.check(self.exec(Request::Flush)?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::KvServer;
+    use faasm_net::Fabric;
+    use std::sync::Arc;
+
+    fn remote_pair() -> (KvClient, KvServer) {
+        let fabric = Fabric::new();
+        let server_nic = fabric.add_host();
+        let client_nic = fabric.add_host();
+        let server = KvServer::start(server_nic, 2);
+        let client = KvClient::connect(client_nic, server.host_id());
+        (client, server)
+    }
+
+    #[test]
+    fn full_api_over_network() {
+        let (c, server) = remote_pair();
+        c.ping().unwrap();
+        assert_eq!(c.get("k").unwrap(), None);
+        c.set("k", b"hello".to_vec()).unwrap();
+        assert_eq!(c.get("k").unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(c.strlen("k").unwrap(), 5);
+        assert_eq!(c.get_range("k", 1, 3).unwrap(), Some(b"ell".to_vec()));
+        c.set_range("k", 0, b"J".to_vec()).unwrap();
+        assert_eq!(c.get("k").unwrap(), Some(b"Jello".to_vec()));
+        assert_eq!(c.append("k", b"!".to_vec()).unwrap(), 6);
+        assert!(c.exists("k").unwrap());
+        assert_eq!(c.incr("n", 7).unwrap(), 7);
+        assert!(c.sadd("s", b"a").unwrap());
+        assert_eq!(c.scard("s").unwrap(), 1);
+        assert_eq!(c.smembers("s").unwrap(), vec![b"a".to_vec()]);
+        assert!(c.srem("s", b"a").unwrap());
+        assert!(c.del("k").unwrap());
+        c.flush().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn local_transport_matches_remote_semantics() {
+        let store = Arc::new(KvStore::new());
+        let c = KvClient::local(store);
+        c.set("k", b"v".to_vec()).unwrap();
+        assert_eq!(c.get("k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(c.incr("n", 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn global_locks_exclude_across_clients() {
+        let store = Arc::new(KvStore::new());
+        let c1 = KvClient::local(Arc::clone(&store));
+        let c2 = KvClient::local(store);
+        c1.lock("k", LockMode::Write).unwrap();
+        assert!(!c2.try_lock("k", LockMode::Write).unwrap());
+        c1.unlock("k", LockMode::Write).unwrap();
+        assert!(c2.try_lock("k", LockMode::Write).unwrap());
+        c2.unlock("k", LockMode::Write).unwrap();
+    }
+
+    #[test]
+    fn blocking_lock_waits_for_release() {
+        let store = Arc::new(KvStore::new());
+        let c1 = Arc::new(KvClient::local(Arc::clone(&store)));
+        let c2 = KvClient::local(store);
+        c2.lock("k", LockMode::Write).unwrap();
+        let c1b = Arc::clone(&c1);
+        let t = std::thread::spawn(move || {
+            c1b.lock("k", LockMode::Write).unwrap();
+            c1b.unlock("k", LockMode::Write).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        c2.unlock("k", LockMode::Write).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn network_bytes_are_accounted() {
+        let fabric = Fabric::new();
+        let server_nic = fabric.add_host();
+        let client_nic = fabric.add_host();
+        let server = KvServer::start(server_nic, 1);
+        let client = KvClient::connect(client_nic, server.host_id());
+        let before = fabric.stats().snapshot();
+        client.set("key", vec![0u8; 1000]).unwrap();
+        let delta = fabric.stats().snapshot().delta(&before);
+        assert!(
+            delta.bytes_sent >= 1000,
+            "payload bytes must be charged: {delta:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_gone_yields_net_error() {
+        let fabric = Fabric::new();
+        let server_nic = fabric.add_host();
+        let client_nic = fabric.add_host();
+        let sid = server_nic.id();
+        fabric.remove_host(sid);
+        let client = KvClient::connect(client_nic, sid);
+        assert!(matches!(client.ping(), Err(KvError::Net(_))));
+    }
+}

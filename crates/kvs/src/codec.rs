@@ -1,0 +1,576 @@
+//! Wire protocol for the KVS: a compact hand-rolled binary codec.
+//!
+//! Every request/response crossing the fabric is encoded through this module,
+//! so the byte counts the fabric records for the global tier are faithful to
+//! the protocol (no hidden zero-cost serialisation — the paper's evaluation
+//! charges serialisation and transfer to the platform, §2.1).
+
+use bytes::{Buf, BufMut};
+
+use crate::store::LockMode;
+
+/// A client → server command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Get the value of a key.
+    Get {
+        /// State key.
+        key: String,
+    },
+    /// Set the value of a key.
+    Set {
+        /// State key.
+        key: String,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Read a byte range of a value.
+    GetRange {
+        /// State key.
+        key: String,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Write a byte range of a value, zero-extending it.
+    SetRange {
+        /// State key.
+        key: String,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Append bytes to a value.
+    Append {
+        /// State key.
+        key: String,
+        /// Bytes to append.
+        data: Vec<u8>,
+    },
+    /// Delete a key.
+    Del {
+        /// State key.
+        key: String,
+    },
+    /// Does the key exist?
+    Exists {
+        /// State key.
+        key: String,
+    },
+    /// Length of a value.
+    StrLen {
+        /// State key.
+        key: String,
+    },
+    /// Add to an 8-byte counter.
+    Incr {
+        /// Counter key.
+        key: String,
+        /// Signed delta.
+        delta: i64,
+    },
+    /// Add a set member.
+    SAdd {
+        /// Set key.
+        key: String,
+        /// Member bytes.
+        member: Vec<u8>,
+    },
+    /// Remove a set member.
+    SRem {
+        /// Set key.
+        key: String,
+        /// Member bytes.
+        member: Vec<u8>,
+    },
+    /// List set members.
+    SMembers {
+        /// Set key.
+        key: String,
+    },
+    /// Set cardinality.
+    SCard {
+        /// Set key.
+        key: String,
+    },
+    /// Try to acquire a global lock.
+    TryLock {
+        /// State key.
+        key: String,
+        /// Read or write.
+        mode: LockMode,
+        /// Caller-chosen owner token.
+        owner: u64,
+    },
+    /// Release a global lock.
+    Unlock {
+        /// State key.
+        key: String,
+        /// Read or write.
+        mode: LockMode,
+        /// Owner token used at acquisition.
+        owner: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Clear the store (tests / failure injection).
+    Flush,
+}
+
+/// A server → client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A possibly-missing value.
+    Value(Option<Vec<u8>>),
+    /// Success with no payload.
+    Ok,
+    /// A length or cardinality.
+    Len(u64),
+    /// A counter value.
+    Int(i64),
+    /// A boolean outcome.
+    Bool(bool),
+    /// A list of values.
+    Values(Vec<Vec<u8>>),
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Server-side failure.
+    Err(String),
+}
+
+/// A malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.put_u32_le(b.len() as u32);
+    out.put_slice(b);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError("truncated length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(CodecError("truncated bytes".into()));
+    }
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    Ok(v)
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, CodecError> {
+    String::from_utf8(get_bytes(buf)?).map_err(|_| CodecError("invalid utf-8".into()))
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError("truncated u64".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn mode_byte(m: LockMode) -> u8 {
+    match m {
+        LockMode::Read => 0,
+        LockMode::Write => 1,
+    }
+}
+
+fn byte_mode(b: u8) -> Result<LockMode, CodecError> {
+    match b {
+        0 => Ok(LockMode::Read),
+        1 => Ok(LockMode::Write),
+        _ => Err(CodecError("bad lock mode".into())),
+    }
+}
+
+/// Encode a request for the wire.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Get { key } => {
+            out.put_u8(0);
+            put_bytes(&mut out, key.as_bytes());
+        }
+        Request::Set { key, value } => {
+            out.put_u8(1);
+            put_bytes(&mut out, key.as_bytes());
+            put_bytes(&mut out, value);
+        }
+        Request::GetRange { key, offset, len } => {
+            out.put_u8(2);
+            put_bytes(&mut out, key.as_bytes());
+            out.put_u64_le(*offset);
+            out.put_u64_le(*len);
+        }
+        Request::SetRange { key, offset, data } => {
+            out.put_u8(3);
+            put_bytes(&mut out, key.as_bytes());
+            out.put_u64_le(*offset);
+            put_bytes(&mut out, data);
+        }
+        Request::Append { key, data } => {
+            out.put_u8(4);
+            put_bytes(&mut out, key.as_bytes());
+            put_bytes(&mut out, data);
+        }
+        Request::Del { key } => {
+            out.put_u8(5);
+            put_bytes(&mut out, key.as_bytes());
+        }
+        Request::Exists { key } => {
+            out.put_u8(6);
+            put_bytes(&mut out, key.as_bytes());
+        }
+        Request::StrLen { key } => {
+            out.put_u8(7);
+            put_bytes(&mut out, key.as_bytes());
+        }
+        Request::Incr { key, delta } => {
+            out.put_u8(8);
+            put_bytes(&mut out, key.as_bytes());
+            out.put_i64_le(*delta);
+        }
+        Request::SAdd { key, member } => {
+            out.put_u8(9);
+            put_bytes(&mut out, key.as_bytes());
+            put_bytes(&mut out, member);
+        }
+        Request::SRem { key, member } => {
+            out.put_u8(10);
+            put_bytes(&mut out, key.as_bytes());
+            put_bytes(&mut out, member);
+        }
+        Request::SMembers { key } => {
+            out.put_u8(11);
+            put_bytes(&mut out, key.as_bytes());
+        }
+        Request::SCard { key } => {
+            out.put_u8(12);
+            put_bytes(&mut out, key.as_bytes());
+        }
+        Request::TryLock { key, mode, owner } => {
+            out.put_u8(13);
+            put_bytes(&mut out, key.as_bytes());
+            out.put_u8(mode_byte(*mode));
+            out.put_u64_le(*owner);
+        }
+        Request::Unlock { key, mode, owner } => {
+            out.put_u8(14);
+            put_bytes(&mut out, key.as_bytes());
+            out.put_u8(mode_byte(*mode));
+            out.put_u64_le(*owner);
+        }
+        Request::Ping => out.put_u8(15),
+        Request::Flush => out.put_u8(16),
+    }
+    out
+}
+
+/// Decode a request.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input.
+pub fn decode_request(mut buf: &[u8]) -> Result<Request, CodecError> {
+    if buf.is_empty() {
+        return Err(CodecError("empty request".into()));
+    }
+    let op = buf.get_u8();
+    let req = match op {
+        0 => Request::Get {
+            key: get_string(&mut buf)?,
+        },
+        1 => Request::Set {
+            key: get_string(&mut buf)?,
+            value: get_bytes(&mut buf)?,
+        },
+        2 => Request::GetRange {
+            key: get_string(&mut buf)?,
+            offset: get_u64(&mut buf)?,
+            len: get_u64(&mut buf)?,
+        },
+        3 => Request::SetRange {
+            key: get_string(&mut buf)?,
+            offset: get_u64(&mut buf)?,
+            data: get_bytes(&mut buf)?,
+        },
+        4 => Request::Append {
+            key: get_string(&mut buf)?,
+            data: get_bytes(&mut buf)?,
+        },
+        5 => Request::Del {
+            key: get_string(&mut buf)?,
+        },
+        6 => Request::Exists {
+            key: get_string(&mut buf)?,
+        },
+        7 => Request::StrLen {
+            key: get_string(&mut buf)?,
+        },
+        8 => {
+            let key = get_string(&mut buf)?;
+            if buf.remaining() < 8 {
+                return Err(CodecError("truncated delta".into()));
+            }
+            Request::Incr {
+                key,
+                delta: buf.get_i64_le(),
+            }
+        }
+        9 => Request::SAdd {
+            key: get_string(&mut buf)?,
+            member: get_bytes(&mut buf)?,
+        },
+        10 => Request::SRem {
+            key: get_string(&mut buf)?,
+            member: get_bytes(&mut buf)?,
+        },
+        11 => Request::SMembers {
+            key: get_string(&mut buf)?,
+        },
+        12 => Request::SCard {
+            key: get_string(&mut buf)?,
+        },
+        13 => {
+            let key = get_string(&mut buf)?;
+            if buf.remaining() < 9 {
+                return Err(CodecError("truncated lock".into()));
+            }
+            let mode = byte_mode(buf.get_u8())?;
+            let owner = buf.get_u64_le();
+            Request::TryLock { key, mode, owner }
+        }
+        14 => {
+            let key = get_string(&mut buf)?;
+            if buf.remaining() < 9 {
+                return Err(CodecError("truncated unlock".into()));
+            }
+            let mode = byte_mode(buf.get_u8())?;
+            let owner = buf.get_u64_le();
+            Request::Unlock { key, mode, owner }
+        }
+        15 => Request::Ping,
+        16 => Request::Flush,
+        other => return Err(CodecError(format!("unknown request op {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(CodecError("trailing bytes in request".into()));
+    }
+    Ok(req)
+}
+
+/// Encode a response for the wire.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Value(None) => out.put_u8(0),
+        Response::Value(Some(v)) => {
+            out.put_u8(1);
+            put_bytes(&mut out, v);
+        }
+        Response::Ok => out.put_u8(2),
+        Response::Len(n) => {
+            out.put_u8(3);
+            out.put_u64_le(*n);
+        }
+        Response::Int(n) => {
+            out.put_u8(4);
+            out.put_i64_le(*n);
+        }
+        Response::Bool(b) => {
+            out.put_u8(5);
+            out.put_u8(*b as u8);
+        }
+        Response::Values(vs) => {
+            out.put_u8(6);
+            out.put_u32_le(vs.len() as u32);
+            for v in vs {
+                put_bytes(&mut out, v);
+            }
+        }
+        Response::Pong => out.put_u8(7),
+        Response::Err(msg) => {
+            out.put_u8(8);
+            put_bytes(&mut out, msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a response.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input.
+pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
+    if buf.is_empty() {
+        return Err(CodecError("empty response".into()));
+    }
+    let tag = buf.get_u8();
+    let resp = match tag {
+        0 => Response::Value(None),
+        1 => Response::Value(Some(get_bytes(&mut buf)?)),
+        2 => Response::Ok,
+        3 => Response::Len(get_u64(&mut buf)?),
+        4 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError("truncated int".into()));
+            }
+            Response::Int(buf.get_i64_le())
+        }
+        5 => {
+            if buf.remaining() < 1 {
+                return Err(CodecError("truncated bool".into()));
+            }
+            Response::Bool(buf.get_u8() != 0)
+        }
+        6 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError("truncated list".into()));
+            }
+            let n = buf.get_u32_le();
+            let mut vs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                vs.push(get_bytes(&mut buf)?);
+            }
+            Response::Values(vs)
+        }
+        7 => Response::Pong,
+        8 => Response::Err(get_string(&mut buf)?),
+        other => return Err(CodecError(format!("unknown response tag {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(CodecError("trailing bytes in response".into()));
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Get { key: "k".into() },
+            Request::Set {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            },
+            Request::GetRange {
+                key: "k".into(),
+                offset: 5,
+                len: 10,
+            },
+            Request::SetRange {
+                key: "k".into(),
+                offset: 3,
+                data: b"xyz".to_vec(),
+            },
+            Request::Append {
+                key: "k".into(),
+                data: b"tail".to_vec(),
+            },
+            Request::Del { key: "k".into() },
+            Request::Exists { key: "k".into() },
+            Request::StrLen { key: "k".into() },
+            Request::Incr {
+                key: "k".into(),
+                delta: -3,
+            },
+            Request::SAdd {
+                key: "s".into(),
+                member: b"m".to_vec(),
+            },
+            Request::SRem {
+                key: "s".into(),
+                member: b"m".to_vec(),
+            },
+            Request::SMembers { key: "s".into() },
+            Request::SCard { key: "s".into() },
+            Request::TryLock {
+                key: "k".into(),
+                mode: LockMode::Read,
+                owner: 42,
+            },
+            Request::Unlock {
+                key: "k".into(),
+                mode: LockMode::Write,
+                owner: 42,
+            },
+            Request::Ping,
+            Request::Flush,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Value(None),
+            Response::Value(Some(b"v".to_vec())),
+            Response::Ok,
+            Response::Len(9),
+            Response::Int(-1),
+            Response::Bool(true),
+            Response::Bool(false),
+            Response::Values(vec![b"a".to_vec(), b"bb".to_vec()]),
+            Response::Pong,
+            Response::Err("boom".into()),
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in all_requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req, "req {req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in all_responses() {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "resp {resp:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_request(&[200]).is_err());
+        assert!(decode_response(&[200]).is_err());
+        // Truncations.
+        let bytes = encode_request(&Request::Set {
+            key: "key".into(),
+            value: vec![1, 2, 3],
+        });
+        for cut in 1..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut bytes = encode_request(&Request::Ping);
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn non_utf8_key_rejected() {
+        let mut bytes = vec![0u8]; // Get
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_request(&bytes).is_err());
+    }
+}

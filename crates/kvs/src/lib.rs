@@ -1,0 +1,25 @@
+//! Distributed key-value store: the global state tier.
+//!
+//! This crate is the reproduction's Redis substitute (DESIGN.md substitution
+//! S6). It holds the authoritative value for every state key (§4.2), serves
+//! range reads/writes for chunked state, atomic counters, the scheduler's
+//! warm sets, and lease-based global read/write locks — everything the
+//! two-tier state architecture and the distributed scheduler need from the
+//! global tier.
+//!
+//! Structure: [`KvStore`] is the pure state machine; [`KvServer`] serves it
+//! over the `faasm-net` fabric with a hand-rolled binary codec ([`codec`]) so
+//! every byte is measured; [`KvClient`] is the synchronous client used by
+//! host runtimes.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod store;
+
+pub use client::{KvClient, KvError};
+pub use codec::{Request, Response};
+pub use server::KvServer;
+pub use store::{KvStore, LockMode};

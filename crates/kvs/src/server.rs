@@ -1,0 +1,316 @@
+//! The KVS server: serves a [`KvStore`] over the fabric.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use faasm_net::{Envelope, Nic};
+
+use crate::codec::{decode_request, encode_response, Request, Response};
+use crate::store::KvStore;
+
+/// A running KVS server: worker threads draining a NIC and applying
+/// commands to a shared store.
+pub struct KvServer {
+    store: Arc<KvStore>,
+    nic: Nic,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for KvServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvServer")
+            .field("host", &self.nic.id())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl KvServer {
+    /// Start a server on `nic` with `workers` threads.
+    pub fn start(nic: Nic, workers: usize) -> KvServer {
+        KvServer::start_with_store(nic, workers, Arc::new(KvStore::new()))
+    }
+
+    /// Start a server over an existing store (used to simulate restart with
+    /// retained state, or to inspect state from tests).
+    pub fn start_with_store(nic: Nic, workers: usize, store: Arc<KvStore>) -> KvServer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let nic = nic.clone();
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match nic.recv_timeout(Duration::from_millis(50)) {
+                            Ok(env) => serve_one(&store, &nic, env),
+                            Err(faasm_net::NetError::Timeout) => continue,
+                            Err(_) => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        KvServer {
+            store,
+            nic,
+            stop,
+            workers: handles,
+        }
+    }
+
+    /// The server's host id on the fabric.
+    pub fn host_id(&self) -> faasm_net::HostId {
+        self.nic.id()
+    }
+
+    /// Direct access to the underlying store (test/metric inspection).
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// Stop the worker threads and wait for them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(store: &KvStore, nic: &Nic, env: Envelope) {
+    let resp = match decode_request(&env.payload) {
+        Ok(req) => apply(store, req),
+        Err(e) => Response::Err(e.to_string()),
+    };
+    // One-way requests (fire-and-forget writes) carry no reply tag.
+    if env.reply_tag.is_some() {
+        let _ = nic.respond(&env, encode_response(&resp));
+    }
+}
+
+/// Apply one command to the store (exposed for deterministic unit tests).
+pub fn apply(store: &KvStore, req: Request) -> Response {
+    match req {
+        Request::Get { key } => Response::Value(store.get(&key)),
+        Request::Set { key, value } => {
+            store.set(&key, value);
+            Response::Ok
+        }
+        Request::GetRange { key, offset, len } => {
+            Response::Value(store.get_range(&key, offset as usize, len as usize))
+        }
+        Request::SetRange { key, offset, data } => {
+            store.set_range(&key, offset as usize, &data);
+            Response::Ok
+        }
+        Request::Append { key, data } => Response::Len(store.append(&key, &data) as u64),
+        Request::Del { key } => Response::Bool(store.del(&key)),
+        Request::Exists { key } => Response::Bool(store.exists(&key)),
+        Request::StrLen { key } => Response::Len(store.strlen(&key) as u64),
+        Request::Incr { key, delta } => Response::Int(store.incr(&key, delta)),
+        Request::SAdd { key, member } => Response::Bool(store.sadd(&key, &member)),
+        Request::SRem { key, member } => Response::Bool(store.srem(&key, &member)),
+        Request::SMembers { key } => Response::Values(store.smembers(&key)),
+        Request::SCard { key } => Response::Len(store.scard(&key) as u64),
+        Request::TryLock { key, mode, owner } => Response::Bool(store.try_lock(&key, mode, owner)),
+        Request::Unlock { key, mode, owner } => {
+            store.unlock(&key, mode, owner);
+            Response::Ok
+        }
+        Request::Ping => Response::Pong,
+        Request::Flush => {
+            store.flush();
+            Response::Ok
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::LockMode;
+    use faasm_net::Fabric;
+
+    #[test]
+    fn apply_covers_every_command() {
+        let store = KvStore::new();
+        assert_eq!(
+            apply(
+                &store,
+                Request::Set {
+                    key: "k".into(),
+                    value: b"v".to_vec()
+                }
+            ),
+            Response::Ok
+        );
+        assert_eq!(
+            apply(&store, Request::Get { key: "k".into() }),
+            Response::Value(Some(b"v".to_vec()))
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::GetRange {
+                    key: "k".into(),
+                    offset: 0,
+                    len: 1
+                }
+            ),
+            Response::Value(Some(b"v".to_vec()))
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::SetRange {
+                    key: "k".into(),
+                    offset: 1,
+                    data: b"w".to_vec()
+                }
+            ),
+            Response::Ok
+        );
+        assert_eq!(
+            apply(&store, Request::StrLen { key: "k".into() }),
+            Response::Len(2)
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::Append {
+                    key: "k".into(),
+                    data: b"x".to_vec()
+                }
+            ),
+            Response::Len(3)
+        );
+        assert_eq!(
+            apply(&store, Request::Exists { key: "k".into() }),
+            Response::Bool(true)
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::Incr {
+                    key: "c".into(),
+                    delta: 2
+                }
+            ),
+            Response::Int(2)
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::SAdd {
+                    key: "s".into(),
+                    member: b"m".to_vec()
+                }
+            ),
+            Response::Bool(true)
+        );
+        assert_eq!(
+            apply(&store, Request::SCard { key: "s".into() }),
+            Response::Len(1)
+        );
+        assert_eq!(
+            apply(&store, Request::SMembers { key: "s".into() }),
+            Response::Values(vec![b"m".to_vec()])
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::SRem {
+                    key: "s".into(),
+                    member: b"m".to_vec()
+                }
+            ),
+            Response::Bool(true)
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::TryLock {
+                    key: "k".into(),
+                    mode: LockMode::Write,
+                    owner: 1
+                }
+            ),
+            Response::Bool(true)
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::Unlock {
+                    key: "k".into(),
+                    mode: LockMode::Write,
+                    owner: 1
+                }
+            ),
+            Response::Ok
+        );
+        assert_eq!(apply(&store, Request::Ping), Response::Pong);
+        assert_eq!(
+            apply(&store, Request::Del { key: "k".into() }),
+            Response::Bool(true)
+        );
+        assert_eq!(apply(&store, Request::Flush), Response::Ok);
+        assert_eq!(store.key_count(), 0);
+    }
+
+    #[test]
+    fn server_replies_over_fabric() {
+        let fabric = Fabric::new();
+        let server_nic = fabric.add_host();
+        let client = fabric.add_host();
+        let server = KvServer::start(server_nic, 2);
+        let sid = server.host_id();
+        let resp = client
+            .call(sid, crate::codec::encode_request(&Request::Ping))
+            .unwrap();
+        assert_eq!(
+            crate::codec::decode_response(&resp).unwrap(),
+            Response::Pong
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_error_response() {
+        let fabric = Fabric::new();
+        let server_nic = fabric.add_host();
+        let client = fabric.add_host();
+        let _server = KvServer::start(server_nic.clone(), 1);
+        let resp = client.call(server_nic.id(), vec![255, 255]).unwrap();
+        assert!(matches!(
+            crate::codec::decode_response(&resp).unwrap(),
+            Response::Err(_)
+        ));
+    }
+
+    #[test]
+    fn restart_with_retained_store() {
+        let fabric = Fabric::new();
+        let nic = fabric.add_host();
+        let store = Arc::new(KvStore::new());
+        store.set("persist", b"yes".to_vec());
+        let server = KvServer::start_with_store(nic.clone(), 1, Arc::clone(&store));
+        server.shutdown();
+        // "Restart" the server process on the same authoritative state.
+        let server2 = KvServer::start_with_store(nic, 1, store);
+        assert_eq!(server2.store().get("persist"), Some(b"yes".to_vec()));
+        server2.shutdown();
+    }
+}

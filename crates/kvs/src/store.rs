@@ -1,0 +1,453 @@
+//! The KVS state machine: sharded maps, range operations, counters, sets and
+//! lease-based global read/write locks.
+//!
+//! This is the authoritative global tier of the two-tier state architecture
+//! (§4.2) — the role Redis plays in the paper's deployment. It is a plain
+//! data structure with no networking, so every behaviour is unit-testable;
+//! `server.rs` exposes it over the fabric.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+const SHARDS: usize = 16;
+
+/// Lock modes for global state locks (Tab. 2:
+/// `lock_state_global_read/write`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared read lock.
+    Read,
+    /// Exclusive write lock.
+    Write,
+}
+
+#[derive(Debug)]
+enum LockState {
+    Readers(HashMap<u64, Instant>),
+    Writer { owner: u64, expires: Instant },
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    values: HashMap<String, Vec<u8>>,
+    sets: HashMap<String, HashSet<Vec<u8>>>,
+    locks: HashMap<String, LockState>,
+}
+
+/// A sharded in-memory key-value store with global locks.
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<Mutex<Shard>>,
+    /// Lock lease duration; expired locks are reaped lazily so a crashed
+    /// client cannot deadlock the cluster.
+    lease: Duration,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore::new()
+    }
+}
+
+impl KvStore {
+    /// A store with the default 30 s lock lease.
+    pub fn new() -> KvStore {
+        KvStore::with_lease(Duration::from_secs(30))
+    }
+
+    /// A store with an explicit lock lease (tests use short leases).
+    pub fn with_lease(lease: Duration) -> KvStore {
+        KvStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            lease,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Get a value.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.shard(key).lock().values.get(key).cloned()
+    }
+
+    /// Set a value, replacing any previous one.
+    pub fn set(&self, key: &str, value: Vec<u8>) {
+        self.shard(key).lock().values.insert(key.to_string(), value);
+    }
+
+    /// Read `len` bytes at `offset`; the result is truncated (possibly
+    /// empty) if the value is shorter. Missing keys yield `None`.
+    pub fn get_range(&self, key: &str, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let shard = self.shard(key).lock();
+        let v = shard.values.get(key)?;
+        if offset >= v.len() {
+            return Some(Vec::new());
+        }
+        let end = (offset + len).min(v.len());
+        Some(v[offset..end].to_vec())
+    }
+
+    /// Write `data` at `offset`, zero-extending the value as needed
+    /// (Redis `SETRANGE` semantics; the paper's `push_state_offset`).
+    pub fn set_range(&self, key: &str, offset: usize, data: &[u8]) {
+        let mut shard = self.shard(key).lock();
+        let v = shard.values.entry(key.to_string()).or_default();
+        if v.len() < offset + data.len() {
+            v.resize(offset + data.len(), 0);
+        }
+        v[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Append data; returns the new length (the paper's `append_state`).
+    pub fn append(&self, key: &str, data: &[u8]) -> usize {
+        let mut shard = self.shard(key).lock();
+        let v = shard.values.entry(key.to_string()).or_default();
+        v.extend_from_slice(data);
+        v.len()
+    }
+
+    /// Delete a value; returns whether it existed.
+    pub fn del(&self, key: &str) -> bool {
+        self.shard(key).lock().values.remove(key).is_some()
+    }
+
+    /// Whether the key holds a value.
+    pub fn exists(&self, key: &str) -> bool {
+        self.shard(key).lock().values.contains_key(key)
+    }
+
+    /// Length of the value in bytes (0 if missing).
+    pub fn strlen(&self, key: &str) -> usize {
+        self.shard(key).lock().values.get(key).map_or(0, Vec::len)
+    }
+
+    /// Add `delta` to an 8-byte little-endian counter, creating it at zero;
+    /// returns the new value. Non-8-byte existing values are treated as
+    /// corrupt and reset (documented divergence from Redis, which errors).
+    pub fn incr(&self, key: &str, delta: i64) -> i64 {
+        let mut shard = self.shard(key).lock();
+        let v = shard.values.entry(key.to_string()).or_default();
+        let cur = if v.len() == 8 {
+            i64::from_le_bytes(v[..8].try_into().expect("length checked"))
+        } else {
+            0
+        };
+        let next = cur.wrapping_add(delta);
+        *v = next.to_le_bytes().to_vec();
+        next
+    }
+
+    /// Add a member to a set; returns true if newly added (warm-set
+    /// registration for the scheduler, §5.1).
+    pub fn sadd(&self, key: &str, member: &[u8]) -> bool {
+        self.shard(key)
+            .lock()
+            .sets
+            .entry(key.to_string())
+            .or_default()
+            .insert(member.to_vec())
+    }
+
+    /// Remove a member from a set; returns true if it was present.
+    pub fn srem(&self, key: &str, member: &[u8]) -> bool {
+        self.shard(key)
+            .lock()
+            .sets
+            .get_mut(key)
+            .is_some_and(|s| s.remove(member))
+    }
+
+    /// All members of a set (sorted for determinism).
+    pub fn smembers(&self, key: &str) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = self
+            .shard(key)
+            .lock()
+            .sets
+            .get(key)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Set cardinality.
+    pub fn scard(&self, key: &str) -> usize {
+        self.shard(key).lock().sets.get(key).map_or(0, HashSet::len)
+    }
+
+    /// Try to acquire a global lock; `owner` is a caller-chosen token used
+    /// to release and to make re-acquisition idempotent.
+    pub fn try_lock(&self, key: &str, mode: LockMode, owner: u64) -> bool {
+        let now = Instant::now();
+        let expires = now + self.lease;
+        let mut shard = self.shard(key).lock();
+        let state = shard.locks.get_mut(key);
+        match (mode, state) {
+            (LockMode::Read, None) => {
+                let mut readers = HashMap::new();
+                readers.insert(owner, expires);
+                shard
+                    .locks
+                    .insert(key.to_string(), LockState::Readers(readers));
+                true
+            }
+            (LockMode::Read, Some(LockState::Readers(readers))) => {
+                readers.retain(|_, exp| *exp > now);
+                readers.insert(owner, expires);
+                true
+            }
+            (
+                LockMode::Read,
+                Some(LockState::Writer {
+                    owner: w,
+                    expires: e,
+                }),
+            ) => {
+                if *e <= now || *w == owner {
+                    // Expired writer (or self re-entering as reader via
+                    // downgrade): replace.
+                    let mut readers = HashMap::new();
+                    readers.insert(owner, expires);
+                    shard
+                        .locks
+                        .insert(key.to_string(), LockState::Readers(readers));
+                    true
+                } else {
+                    false
+                }
+            }
+            (LockMode::Write, None) => {
+                shard
+                    .locks
+                    .insert(key.to_string(), LockState::Writer { owner, expires });
+                true
+            }
+            (LockMode::Write, Some(LockState::Readers(readers))) => {
+                readers.retain(|_, exp| *exp > now);
+                let only_self = readers.len() == 1 && readers.contains_key(&owner);
+                if readers.is_empty() || only_self {
+                    shard
+                        .locks
+                        .insert(key.to_string(), LockState::Writer { owner, expires });
+                    true
+                } else {
+                    false
+                }
+            }
+            (
+                LockMode::Write,
+                Some(LockState::Writer {
+                    owner: w,
+                    expires: e,
+                }),
+            ) => {
+                if *e <= now || *w == owner {
+                    shard
+                        .locks
+                        .insert(key.to_string(), LockState::Writer { owner, expires });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Release a lock held by `owner`; unknown owners are ignored (the lease
+    /// may have already expired and been taken over).
+    pub fn unlock(&self, key: &str, mode: LockMode, owner: u64) {
+        let mut shard = self.shard(key).lock();
+        let remove = match (mode, shard.locks.get_mut(key)) {
+            (LockMode::Read, Some(LockState::Readers(readers))) => {
+                readers.remove(&owner);
+                readers.is_empty()
+            }
+            (LockMode::Write, Some(LockState::Writer { owner: w, .. })) => *w == owner,
+            _ => false,
+        };
+        if remove {
+            shard.locks.remove(key);
+        }
+    }
+
+    /// Remove everything (tests and failure-injection).
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.values.clear();
+            s.sets.clear();
+            s.locks.clear();
+        }
+    }
+
+    /// Total bytes held in values (global-tier memory accounting).
+    pub fn total_value_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of value keys.
+    pub fn key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().values.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_del_roundtrip() {
+        let s = KvStore::new();
+        assert_eq!(s.get("k"), None);
+        s.set("k", b"value".to_vec());
+        assert_eq!(s.get("k"), Some(b"value".to_vec()));
+        assert!(s.exists("k"));
+        assert_eq!(s.strlen("k"), 5);
+        assert!(s.del("k"));
+        assert!(!s.del("k"));
+        assert!(!s.exists("k"));
+    }
+
+    #[test]
+    fn range_ops() {
+        let s = KvStore::new();
+        s.set_range("k", 4, b"abcd");
+        assert_eq!(s.strlen("k"), 8);
+        assert_eq!(s.get("k"), Some(b"\0\0\0\0abcd".to_vec()));
+        s.set_range("k", 0, b"xy");
+        assert_eq!(s.get_range("k", 0, 3), Some(b"xy\0".to_vec()));
+        assert_eq!(s.get_range("k", 6, 100), Some(b"cd".to_vec()));
+        assert_eq!(s.get_range("k", 100, 4), Some(Vec::new()));
+        assert_eq!(s.get_range("missing", 0, 4), None);
+    }
+
+    #[test]
+    fn append_returns_length() {
+        let s = KvStore::new();
+        assert_eq!(s.append("log", b"aa"), 2);
+        assert_eq!(s.append("log", b"bbb"), 5);
+        assert_eq!(s.get("log"), Some(b"aabbb".to_vec()));
+    }
+
+    #[test]
+    fn counters() {
+        let s = KvStore::new();
+        assert_eq!(s.incr("c", 5), 5);
+        assert_eq!(s.incr("c", -2), 3);
+        // Corrupt (non-8-byte) value resets.
+        s.set("c", b"xx".to_vec());
+        assert_eq!(s.incr("c", 1), 1);
+    }
+
+    #[test]
+    fn sets() {
+        let s = KvStore::new();
+        assert!(s.sadd("warm:f", b"host1"));
+        assert!(!s.sadd("warm:f", b"host1"));
+        assert!(s.sadd("warm:f", b"host0"));
+        assert_eq!(s.scard("warm:f"), 2);
+        assert_eq!(
+            s.smembers("warm:f"),
+            vec![b"host0".to_vec(), b"host1".to_vec()]
+        );
+        assert!(s.srem("warm:f", b"host1"));
+        assert!(!s.srem("warm:f", b"host1"));
+        assert_eq!(s.scard("warm:f"), 1);
+        assert_eq!(s.smembers("missing"), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn read_locks_are_shared() {
+        let s = KvStore::new();
+        assert!(s.try_lock("k", LockMode::Read, 1));
+        assert!(s.try_lock("k", LockMode::Read, 2));
+        // Writer blocked while readers hold.
+        assert!(!s.try_lock("k", LockMode::Write, 3));
+        s.unlock("k", LockMode::Read, 1);
+        assert!(!s.try_lock("k", LockMode::Write, 3));
+        s.unlock("k", LockMode::Read, 2);
+        assert!(s.try_lock("k", LockMode::Write, 3));
+    }
+
+    #[test]
+    fn write_lock_is_exclusive() {
+        let s = KvStore::new();
+        assert!(s.try_lock("k", LockMode::Write, 1));
+        assert!(!s.try_lock("k", LockMode::Write, 2));
+        assert!(!s.try_lock("k", LockMode::Read, 2));
+        // Re-entrant for the same owner.
+        assert!(s.try_lock("k", LockMode::Write, 1));
+        s.unlock("k", LockMode::Write, 1);
+        assert!(s.try_lock("k", LockMode::Read, 2));
+    }
+
+    #[test]
+    fn reader_upgrades_to_writer_when_alone() {
+        let s = KvStore::new();
+        assert!(s.try_lock("k", LockMode::Read, 1));
+        assert!(s.try_lock("k", LockMode::Write, 1), "sole reader upgrades");
+        assert!(!s.try_lock("k", LockMode::Read, 2));
+        s.unlock("k", LockMode::Write, 1);
+    }
+
+    #[test]
+    fn unlock_by_non_owner_is_ignored() {
+        let s = KvStore::new();
+        assert!(s.try_lock("k", LockMode::Write, 1));
+        s.unlock("k", LockMode::Write, 99);
+        assert!(!s.try_lock("k", LockMode::Write, 2), "still held by 1");
+    }
+
+    #[test]
+    fn expired_leases_are_reaped() {
+        let s = KvStore::with_lease(Duration::from_millis(10));
+        assert!(s.try_lock("k", LockMode::Write, 1));
+        assert!(!s.try_lock("k", LockMode::Write, 2));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(s.try_lock("k", LockMode::Write, 2), "lease expired");
+    }
+
+    #[test]
+    fn flush_and_accounting() {
+        let s = KvStore::new();
+        s.set("a", vec![0; 100]);
+        s.set("b", vec![0; 50]);
+        s.sadd("set", b"m");
+        assert_eq!(s.total_value_bytes(), 150);
+        assert_eq!(s.key_count(), 2);
+        s.flush();
+        assert_eq!(s.total_value_bytes(), 0);
+        assert_eq!(s.key_count(), 0);
+        assert_eq!(s.scard("set"), 0);
+    }
+
+    #[test]
+    fn concurrent_incr_is_atomic() {
+        let s = std::sync::Arc::new(KvStore::new());
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.incr("n", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.incr("n", 0), 8000);
+    }
+}

@@ -1,0 +1,293 @@
+//! Abstract syntax tree for FL.
+
+use crate::error::Pos;
+
+/// An FL type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    Long,
+    /// 32-bit float.
+    Float,
+    /// 64-bit float.
+    Double,
+    /// No value (function returns only).
+    Void,
+    /// A typed pointer into linear memory (represented as a 32-bit address).
+    Ptr(Box<Ty>),
+}
+
+impl Ty {
+    /// Size in bytes of a value of this type in linear memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void`, which has no size (a compiler-internal misuse, not a
+    /// user error — user code can never form a `void` value).
+    pub fn size(&self) -> u32 {
+        match self {
+            Ty::Int | Ty::Float | Ty::Ptr(_) => 4,
+            Ty::Long | Ty::Double => 8,
+            Ty::Void => panic!("void has no size"),
+        }
+    }
+
+    /// True for `int`/`long` and pointers.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Long | Ty::Ptr(_))
+    }
+
+    /// True for `float`/`double`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::Float | Ty::Double)
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Long => write!(f, "long"),
+            Ty::Float => write!(f, "float"),
+            Ty::Double => write!(f, "double"),
+            Ty::Void => write!(f, "void"),
+            Ty::Ptr(t) => write!(f, "ptr {t}"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`), yields `int` 0/1.
+    Not,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Position for diagnostics.
+    pub pos: Pos,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `42`
+    IntLit(i32),
+    /// `42L`
+    LongLit(i64),
+    /// `1.5f`
+    FloatLit(f32),
+    /// `1.5`
+    DoubleLit(f64),
+    /// A variable reference.
+    Var(String),
+    /// `f(a, b)`
+    Call(String, Vec<Expr>),
+    /// `p[i]` — load through a pointer.
+    Index(Box<Expr>, Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `(type) expr`
+    Cast(Ty, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `type name = init;`
+    Decl {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: String,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Position for diagnostics.
+        pos: Pos,
+    },
+    /// `lhs = rhs;` where `lhs` is a variable.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Position for diagnostics.
+        pos: Pos,
+    },
+    /// `p[i] = v;` — store through a pointer.
+    Store {
+        /// Pointer expression.
+        ptr: Expr,
+        /// Index expression.
+        index: Expr,
+        /// Value to store.
+        value: Expr,
+        /// Position for diagnostics.
+        pos: Pos,
+    },
+    /// An expression evaluated for its side effects.
+    ExprStmt(Expr),
+    /// `if (cond) then else otherwise`
+    If {
+        /// Condition (integer).
+        cond: Expr,
+        /// Then-branch.
+        then: Box<Stmt>,
+        /// Optional else-branch.
+        otherwise: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition (integer).
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Optional initialiser statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (defaults to true).
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Ty,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Return type.
+    pub ret: Ty,
+    /// Function name (also its export name).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Position for diagnostics.
+    pub pos: Pos,
+}
+
+/// An `extern` declaration: an import from the Faaslet host interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternDecl {
+    /// Return type.
+    pub ret: Ty,
+    /// Imported name (resolved in the `faasm` namespace).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Param>,
+    /// Position for diagnostics.
+    pub pos: Pos,
+}
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Host-interface imports, in declaration order.
+    pub externs: Vec<ExternDecl>,
+    /// Function definitions, in order.
+    pub funcs: Vec<FuncDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Ty::Int.size(), 4);
+        assert_eq!(Ty::Float.size(), 4);
+        assert_eq!(Ty::Long.size(), 8);
+        assert_eq!(Ty::Double.size(), 8);
+        assert_eq!(Ty::Ptr(Box::new(Ty::Double)).size(), 4);
+    }
+
+    #[test]
+    fn type_classification() {
+        assert!(Ty::Int.is_integer());
+        assert!(Ty::Ptr(Box::new(Ty::Int)).is_integer());
+        assert!(!Ty::Double.is_integer());
+        assert!(Ty::Float.is_float());
+        assert!(!Ty::Long.is_float());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Ty::Ptr(Box::new(Ty::Double)).to_string(), "ptr double");
+        assert_eq!(Ty::Void.to_string(), "void");
+    }
+}

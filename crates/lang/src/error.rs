@@ -1,0 +1,96 @@
+//! Compiler diagnostics with source positions.
+
+use std::fmt;
+
+/// A line/column source position (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Which compiler phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking / code generation.
+    Check,
+}
+
+/// A compile error: phase, position, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// The phase that failed.
+    pub phase: Phase,
+    /// Source position of the error.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// A lexing error.
+    pub fn lex(pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            phase: Phase::Lex,
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    /// A parse error.
+    pub fn parse(pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            phase: Phase::Parse,
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    /// A type/codegen error.
+    pub fn check(pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            phase: Phase::Check,
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "type",
+        };
+        write!(f, "{} error at {}: {}", phase, self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_phase() {
+        let e = CompileError::parse(Pos { line: 3, col: 7 }, "expected ';'");
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("parse"));
+        assert!(s.contains("';'"));
+    }
+}

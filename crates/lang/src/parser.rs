@@ -1,0 +1,659 @@
+//! Recursive-descent parser for FL.
+
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use crate::token::{lex, Kw, Tok, Token, P};
+
+/// Parse FL source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lex or parse error with its position.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_p(&mut self, p: P) -> Result<(), CompileError> {
+        if *self.peek() == Tok::P(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(CompileError::parse(
+                self.here(),
+                format!("expected {p:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn try_p(&mut self, p: P) -> bool {
+        if *self.peek() == Tok::P(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CompileError::parse(
+                self.here(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(Kw::Int)
+                | Tok::Kw(Kw::Long)
+                | Tok::Kw(Kw::Float)
+                | Tok::Kw(Kw::Double)
+                | Tok::Kw(Kw::Void)
+                | Tok::Kw(Kw::Ptr)
+        )
+    }
+
+    fn ty(&mut self) -> Result<Ty, CompileError> {
+        match self.bump() {
+            Tok::Kw(Kw::Int) => Ok(Ty::Int),
+            Tok::Kw(Kw::Long) => Ok(Ty::Long),
+            Tok::Kw(Kw::Float) => Ok(Ty::Float),
+            Tok::Kw(Kw::Double) => Ok(Ty::Double),
+            Tok::Kw(Kw::Void) => Ok(Ty::Void),
+            Tok::Kw(Kw::Ptr) => Ok(Ty::Ptr(Box::new(self.ty()?))),
+            other => Err(CompileError::parse(
+                self.here(),
+                format!("expected type, found {other:?}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while *self.peek() != Tok::Eof {
+            if *self.peek() == Tok::Kw(Kw::Extern) {
+                self.bump();
+                let pos = self.here();
+                let ret = self.ty()?;
+                let name = self.ident()?;
+                let params = self.params()?;
+                self.eat_p(P::Semi)?;
+                prog.externs.push(ExternDecl {
+                    ret,
+                    name,
+                    params,
+                    pos,
+                });
+            } else {
+                let pos = self.here();
+                let ret = self.ty()?;
+                let name = self.ident()?;
+                let params = self.params()?;
+                let body = self.block()?;
+                prog.funcs.push(FuncDef {
+                    ret,
+                    name,
+                    params,
+                    body,
+                    pos,
+                });
+            }
+        }
+        Ok(prog)
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, CompileError> {
+        self.eat_p(P::LParen)?;
+        let mut params = Vec::new();
+        if !self.try_p(P::RParen) {
+            loop {
+                let ty = self.ty()?;
+                let name = self.ident()?;
+                params.push(Param { ty, name });
+                if self.try_p(P::RParen) {
+                    break;
+                }
+                self.eat_p(P::Comma)?;
+            }
+        }
+        Ok(params)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.eat_p(P::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.try_p(P::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return Err(CompileError::parse(self.here(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        match self.peek() {
+            Tok::P(P::LBrace) => Ok(Stmt::Block(self.block()?)),
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.eat_p(P::LParen)?;
+                let cond = self.expr()?;
+                self.eat_p(P::RParen)?;
+                let then = Box::new(self.stmt()?);
+                let otherwise = if *self.peek() == Tok::Kw(Kw::Else) {
+                    self.bump();
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                })
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.eat_p(P::LParen)?;
+                let cond = self.expr()?;
+                self.eat_p(P::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.eat_p(P::LParen)?;
+                let init = if *self.peek() == Tok::P(P::Semi) {
+                    self.bump();
+                    None
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.eat_p(P::Semi)?;
+                    Some(Box::new(s))
+                };
+                let cond = if *self.peek() == Tok::P(P::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_p(P::Semi)?;
+                let step = if *self.peek() == Tok::P(P::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.eat_p(P::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                if self.try_p(P::Semi) {
+                    Ok(Stmt::Return(None, pos))
+                } else {
+                    let e = self.expr()?;
+                    self.eat_p(P::Semi)?;
+                    Ok(Stmt::Return(Some(e), pos))
+                }
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.eat_p(P::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.eat_p(P::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.eat_p(P::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A declaration, assignment, store or expression statement — the forms
+    /// allowed in `for` headers.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        if self.is_type_start() {
+            let ty = self.ty()?;
+            let name = self.ident()?;
+            let init = if self.try_p(P::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                init,
+                pos,
+            });
+        }
+        // Lookahead for `ident =` and `ident[...] =`.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if *self.peek2() == Tok::P(P::Assign) {
+                self.bump();
+                self.bump();
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { name, value, pos });
+            }
+            if *self.peek2() == Tok::P(P::LBracket) {
+                // Could be a store `p[i] = v` or an index expression used as
+                // a statement; parse the postfix chain and decide.
+                let save = self.pos;
+                self.bump(); // ident
+                self.bump(); // [
+                let index = self.expr()?;
+                self.eat_p(P::RBracket)?;
+                if self.try_p(P::Assign) {
+                    let value = self.expr()?;
+                    return Ok(Stmt::Store {
+                        ptr: Expr {
+                            pos,
+                            kind: ExprKind::Var(name),
+                        },
+                        index,
+                        value,
+                        pos,
+                    });
+                }
+                // Not a store: rewind and parse as an expression statement.
+                self.pos = save;
+            }
+        }
+        let e = self.expr()?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::P(P::OrOr) {
+            let pos = self.here();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bitor_expr()?;
+        while *self.peek() == Tok::P(P::AndAnd) {
+            let pos = self.here();
+            self.bump();
+            let rhs = self.bitor_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Bin(BinOp::And, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[(P::Pipe, BinOp::BitOr)], Self::bitxor_expr)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[(P::Caret, BinOp::BitXor)], Self::bitand_expr)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[(P::Amp, BinOp::BitAnd)], Self::eq_expr)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[(P::EqEq, BinOp::Eq), (P::NotEq, BinOp::Ne)],
+            Self::rel_expr,
+        )
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[
+                (P::Lt, BinOp::Lt),
+                (P::Le, BinOp::Le),
+                (P::Gt, BinOp::Gt),
+                (P::Ge, BinOp::Ge),
+            ],
+            Self::shift_expr,
+        )
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[(P::Shl, BinOp::Shl), (P::Shr, BinOp::Shr)],
+            Self::add_expr,
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[(P::Plus, BinOp::Add), (P::Minus, BinOp::Sub)],
+            Self::mul_expr,
+        )
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[
+                (P::Star, BinOp::Mul),
+                (P::Slash, BinOp::Div),
+                (P::Percent, BinOp::Rem),
+            ],
+            Self::unary_expr,
+        )
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(P, BinOp)],
+        next: fn(&mut Self) -> Result<Expr, CompileError>,
+    ) -> Result<Expr, CompileError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (p, op) in ops {
+                if *self.peek() == Tok::P(*p) {
+                    let pos = self.here();
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr {
+                        pos,
+                        kind: ExprKind::Bin(*op, Box::new(lhs), Box::new(rhs)),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        match self.peek() {
+            Tok::P(P::Minus) => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
+                })
+            }
+            Tok::P(P::Not) => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+                })
+            }
+            Tok::P(P::Tilde) => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::Un(UnOp::BitNot, Box::new(e)),
+                })
+            }
+            // A cast: `(type) unary`.
+            Tok::P(P::LParen)
+                if matches!(
+                    self.peek2(),
+                    Tok::Kw(Kw::Int)
+                        | Tok::Kw(Kw::Long)
+                        | Tok::Kw(Kw::Float)
+                        | Tok::Kw(Kw::Double)
+                        | Tok::Kw(Kw::Ptr)
+                ) =>
+            {
+                self.bump();
+                let ty = self.ty()?;
+                self.eat_p(P::RParen)?;
+                let e = self.unary_expr()?;
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::Cast(ty, Box::new(e)),
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let pos = self.here();
+            if self.try_p(P::LBracket) {
+                let idx = self.expr()?;
+                self.eat_p(P::RBracket)?;
+                e = Expr {
+                    pos,
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr {
+                pos,
+                kind: ExprKind::IntLit(v),
+            }),
+            Tok::LongLit(v) => Ok(Expr {
+                pos,
+                kind: ExprKind::LongLit(v),
+            }),
+            Tok::FloatLit(v) => Ok(Expr {
+                pos,
+                kind: ExprKind::FloatLit(v),
+            }),
+            Tok::DoubleLit(v) => Ok(Expr {
+                pos,
+                kind: ExprKind::DoubleLit(v),
+            }),
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::P(P::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.try_p(P::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.try_p(P::RParen) {
+                                break;
+                            }
+                            self.eat_p(P::Comma)?;
+                        }
+                    }
+                    Ok(Expr {
+                        pos,
+                        kind: ExprKind::Call(name, args),
+                    })
+                } else {
+                    Ok(Expr {
+                        pos,
+                        kind: ExprKind::Var(name),
+                    })
+                }
+            }
+            Tok::P(P::LParen) => {
+                let e = self.expr()?;
+                self.eat_p(P::RParen)?;
+                Ok(e)
+            }
+            other => Err(CompileError::parse(
+                pos,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse("int add(int a, int b) { return a + b; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Ty::Int);
+    }
+
+    #[test]
+    fn parses_externs() {
+        let p = parse("extern int read_call_input(ptr int buf, int len);\nvoid main() {}").unwrap();
+        assert_eq!(p.externs.len(), 1);
+        assert_eq!(p.externs[0].name, "read_call_input");
+        assert_eq!(p.externs[0].params[0].ty, Ty::Ptr(Box::new(Ty::Int)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!("expected return");
+        };
+        let ExprKind::Bin(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("expected add at top: {e:?}");
+        };
+        assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            int f(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    acc = acc + i;
+                    while (acc > 100) { break; }
+                }
+                return acc;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn parses_pointer_index_load_and_store() {
+        let src = "void f(ptr double a) { a[0] = a[1] + 2.0; }";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.funcs[0].body[0], Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn parses_cast() {
+        let p = parse("double f(int x) { return (double) x; }").unwrap();
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Cast(Ty::Double, _)));
+    }
+
+    #[test]
+    fn cast_vs_paren_disambiguation() {
+        let p = parse("int f(int x) { return (x) + 1; }").unwrap();
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("int f() { return 1 + ; }").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.msg.contains("expected expression"));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        assert!(parse("int f() { return 1;").is_err());
+    }
+
+    #[test]
+    fn for_with_empty_slots() {
+        let p = parse("void f() { for (;;) { break; } }").unwrap();
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.funcs[0].body[0]
+        else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn short_circuit_ops_parse() {
+        let p = parse("int f(int a, int b) { return a && b || !a; }").unwrap();
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Bin(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn index_expr_as_rvalue_statement_falls_back() {
+        // `p[0];` is a (useless but legal) expression statement, must not be
+        // misparsed as a store.
+        let p = parse("void f(ptr int p) { p[0]; }").unwrap();
+        assert!(matches!(p.funcs[0].body[0], Stmt::ExprStmt(_)));
+    }
+}

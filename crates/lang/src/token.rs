@@ -1,0 +1,458 @@
+//! Lexical analysis for FL.
+
+use crate::error::{CompileError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// 32-bit integer literal.
+    IntLit(i32),
+    /// 64-bit integer literal (`L` suffix).
+    LongLit(i64),
+    /// 32-bit float literal (`f` suffix).
+    FloatLit(f32),
+    /// 64-bit float literal.
+    DoubleLit(f64),
+    /// A keyword (`int`, `while`, ...).
+    Kw(Kw),
+    /// A punctuation or operator token.
+    P(P),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `int` — 32-bit integer type.
+    Int,
+    /// `long` — 64-bit integer type.
+    Long,
+    /// `float` — 32-bit float type.
+    Float,
+    /// `double` — 64-bit float type.
+    Double,
+    /// `void` — no value.
+    Void,
+    /// `ptr` — pointer type prefix.
+    Ptr,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `while`.
+    While,
+    /// `for`.
+    For,
+    /// `return`.
+    Return,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `extern` — host-interface import declaration.
+    Extern,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P {
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Not,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `~`.
+    Tilde,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenise FL source.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = pos!();
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::lex(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let s = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                    col += 1;
+                }
+                let word = &src[s..i];
+                let tok = match word {
+                    "int" => Tok::Kw(Kw::Int),
+                    "long" => Tok::Kw(Kw::Long),
+                    "float" => Tok::Kw(Kw::Float),
+                    "double" => Tok::Kw(Kw::Double),
+                    "void" => Tok::Kw(Kw::Void),
+                    "ptr" => Tok::Kw(Kw::Ptr),
+                    "if" => Tok::Kw(Kw::If),
+                    "else" => Tok::Kw(Kw::Else),
+                    "while" => Tok::Kw(Kw::While),
+                    "for" => Tok::Kw(Kw::For),
+                    "return" => Tok::Kw(Kw::Return),
+                    "break" => Tok::Kw(Kw::Break),
+                    "continue" => Tok::Kw(Kw::Continue),
+                    "extern" => Tok::Kw(Kw::Extern),
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { tok, pos: start });
+            }
+            '0'..='9' => {
+                let s = i;
+                let mut is_float = false;
+                if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                    i += 2;
+                    col += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                        col += 1;
+                    }
+                    let hex = &src[s + 2..i];
+                    let v = u64::from_str_radix(hex, 16)
+                        .map_err(|_| CompileError::lex(start, "bad hex literal"))?;
+                    // An `L` suffix makes it a long.
+                    if i < bytes.len() && bytes[i] == b'L' {
+                        i += 1;
+                        col += 1;
+                        out.push(Token {
+                            tok: Tok::LongLit(v as i64),
+                            pos: start,
+                        });
+                    } else {
+                        let v32 = u32::try_from(v)
+                            .map_err(|_| CompileError::lex(start, "hex literal overflows int"))?;
+                        out.push(Token {
+                            tok: Tok::IntLit(v32 as i32),
+                            pos: start,
+                        });
+                    }
+                    continue;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    col += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] | 0x20) == b'e' && is_float {
+                    i += 1;
+                    col += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                        col += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let text = &src[s..i];
+                if is_float {
+                    if i < bytes.len() && bytes[i] == b'f' {
+                        i += 1;
+                        col += 1;
+                        let v: f32 = text
+                            .parse()
+                            .map_err(|_| CompileError::lex(start, "bad float literal"))?;
+                        out.push(Token {
+                            tok: Tok::FloatLit(v),
+                            pos: start,
+                        });
+                    } else {
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| CompileError::lex(start, "bad double literal"))?;
+                        out.push(Token {
+                            tok: Tok::DoubleLit(v),
+                            pos: start,
+                        });
+                    }
+                } else if i < bytes.len() && bytes[i] == b'L' {
+                    i += 1;
+                    col += 1;
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::lex(start, "bad long literal"))?;
+                    out.push(Token {
+                        tok: Tok::LongLit(v),
+                        pos: start,
+                    });
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::lex(start, "bad int literal"))?;
+                    let v32 = i32::try_from(v)
+                        .map_err(|_| CompileError::lex(start, "int literal overflows; use L"))?;
+                    out.push(Token {
+                        tok: Tok::IntLit(v32),
+                        pos: start,
+                    });
+                }
+            }
+            _ => {
+                let (p, width) = match (c, bytes.get(i + 1).map(|b| *b as char)) {
+                    ('=', Some('=')) => (P::EqEq, 2),
+                    ('!', Some('=')) => (P::NotEq, 2),
+                    ('<', Some('=')) => (P::Le, 2),
+                    ('>', Some('=')) => (P::Ge, 2),
+                    ('<', Some('<')) => (P::Shl, 2),
+                    ('>', Some('>')) => (P::Shr, 2),
+                    ('&', Some('&')) => (P::AndAnd, 2),
+                    ('|', Some('|')) => (P::OrOr, 2),
+                    ('(', _) => (P::LParen, 1),
+                    (')', _) => (P::RParen, 1),
+                    ('{', _) => (P::LBrace, 1),
+                    ('}', _) => (P::RBrace, 1),
+                    ('[', _) => (P::LBracket, 1),
+                    (']', _) => (P::RBracket, 1),
+                    (',', _) => (P::Comma, 1),
+                    (';', _) => (P::Semi, 1),
+                    ('=', _) => (P::Assign, 1),
+                    ('+', _) => (P::Plus, 1),
+                    ('-', _) => (P::Minus, 1),
+                    ('*', _) => (P::Star, 1),
+                    ('/', _) => (P::Slash, 1),
+                    ('%', _) => (P::Percent, 1),
+                    ('<', _) => (P::Lt, 1),
+                    ('>', _) => (P::Gt, 1),
+                    ('!', _) => (P::Not, 1),
+                    ('&', _) => (P::Amp, 1),
+                    ('|', _) => (P::Pipe, 1),
+                    ('^', _) => (P::Caret, 1),
+                    ('~', _) => (P::Tilde, 1),
+                    _ => {
+                        return Err(CompileError::lex(
+                            start,
+                            format!("unexpected character {c:?}"),
+                        ))
+                    }
+                };
+                out.push(Token {
+                    tok: Tok::P(p),
+                    pos: start,
+                });
+                i += width;
+                col += width as u32;
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo extern"),
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("foo".into()),
+                Tok::Kw(Kw::Extern),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            toks("42 42L 1.5 1.5f 0x10 0xffL 1.0e3"),
+            vec![
+                Tok::IntLit(42),
+                Tok::LongLit(42),
+                Tok::DoubleLit(1.5),
+                Tok::FloatLit(1.5),
+                Tok::IntLit(16),
+                Tok::LongLit(255),
+                Tok::DoubleLit(1000.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_overflow_needs_suffix() {
+        assert!(lex("3000000000").is_err());
+        assert_eq!(
+            toks("3000000000L"),
+            vec![Tok::LongLit(3_000_000_000), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("<= << < == = && & || |"),
+            vec![
+                Tok::P(P::Le),
+                Tok::P(P::Shl),
+                Tok::P(P::Lt),
+                Tok::P(P::EqEq),
+                Tok::P(P::Assign),
+                Tok::P(P::AndAnd),
+                Tok::P(P::Amp),
+                Tok::P(P::OrOr),
+                Tok::P(P::Pipe),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // line\n b /* block\n comment */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unknown_char_rejected() {
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Frames: the backing store of one linear-memory page.
+
+use std::sync::Arc;
+
+use crate::page::Page;
+
+/// How a frame relates to its backing page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// The linear memory exclusively owns the page; writes go straight
+    /// through.
+    Private,
+    /// The page is shared with one or more [`crate::MemorySnapshot`]s; the
+    /// first write materialises a private copy (copy-on-write, §5.2).
+    Cow,
+    /// The page belongs to a [`crate::SharedRegion`] mapped into this memory
+    /// (§3.3); reads and writes operate on the common page, visible to every
+    /// memory that maps the region.
+    Shared,
+}
+
+/// One page-sized frame of a linear memory.
+#[derive(Debug)]
+pub struct Frame {
+    page: Arc<Page>,
+    kind: FrameKind,
+}
+
+impl Frame {
+    /// Create a private zero-filled frame.
+    pub fn private_zeroed() -> Frame {
+        Frame {
+            page: Arc::new(Page::zeroed()),
+            kind: FrameKind::Private,
+        }
+    }
+
+    /// Create a private frame from existing page data.
+    pub fn private(page: Arc<Page>) -> Frame {
+        Frame {
+            page,
+            kind: FrameKind::Private,
+        }
+    }
+
+    /// Create a copy-on-write frame referencing a snapshot page.
+    pub fn cow(page: Arc<Page>) -> Frame {
+        Frame {
+            page,
+            kind: FrameKind::Cow,
+        }
+    }
+
+    /// Create a shared frame referencing a shared-region page.
+    pub fn shared(page: Arc<Page>) -> Frame {
+        Frame {
+            page,
+            kind: FrameKind::Shared,
+        }
+    }
+
+    /// The frame's relationship to its page.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// Access the backing page for reading.
+    pub fn page(&self) -> &Arc<Page> {
+        &self.page
+    }
+
+    /// Prepare the frame for writing, materialising a private copy if the
+    /// frame is copy-on-write. Returns the writable page.
+    pub fn page_for_write(&mut self) -> &Arc<Page> {
+        if self.kind == FrameKind::Cow {
+            self.page = self.page.clone_data();
+            self.kind = FrameKind::Private;
+        }
+        &self.page
+    }
+
+    /// Demote a private frame to copy-on-write so its page can also be held
+    /// by a snapshot. Shared frames are unaffected: shared-region contents
+    /// are deliberately not captured by snapshots (§5.2 snapshots private
+    /// execution state only).
+    pub fn demote_to_cow(&mut self) {
+        if self.kind == FrameKind::Private {
+            self.kind = FrameKind::Cow;
+        }
+    }
+
+    /// Number of memories/snapshots currently referencing the backing page.
+    ///
+    /// Used for proportional-set-size accounting: a page shared `n` ways
+    /// contributes `PAGE_SIZE / n` to each holder's PSS (§6.5, Tab. 3).
+    pub fn sharers(&self) -> usize {
+        Arc::strong_count(&self.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_frame_writes_in_place() {
+        let mut f = Frame::private_zeroed();
+        let before = Arc::as_ptr(f.page());
+        f.page_for_write().write(0, b"x");
+        assert_eq!(Arc::as_ptr(f.page()), before, "no copy for private frame");
+        assert_eq!(f.kind(), FrameKind::Private);
+    }
+
+    #[test]
+    fn cow_frame_copies_on_first_write() {
+        let base = Arc::new(Page::from_bytes(b"orig"));
+        let mut f = Frame::cow(base.clone());
+        assert_eq!(f.kind(), FrameKind::Cow);
+        f.page_for_write().write(0, b"new!");
+        assert_eq!(f.kind(), FrameKind::Private);
+        // Original page untouched.
+        let mut buf = [0u8; 4];
+        base.read(0, &mut buf);
+        assert_eq!(&buf, b"orig");
+        let mut buf2 = [0u8; 4];
+        f.page().read(0, &mut buf2);
+        assert_eq!(&buf2, b"new!");
+    }
+
+    #[test]
+    fn cow_copies_only_once() {
+        let base = Arc::new(Page::zeroed());
+        let mut f = Frame::cow(base);
+        f.page_for_write().write(0, b"a");
+        let after_first = Arc::as_ptr(f.page());
+        f.page_for_write().write(1, b"b");
+        assert_eq!(Arc::as_ptr(f.page()), after_first);
+    }
+
+    #[test]
+    fn shared_frame_writes_through() {
+        let page = Arc::new(Page::zeroed());
+        let mut f = Frame::shared(page.clone());
+        f.page_for_write().write(0, b"s");
+        assert_eq!(f.kind(), FrameKind::Shared);
+        let mut buf = [0u8; 1];
+        page.read(0, &mut buf);
+        assert_eq!(&buf, b"s", "write visible through the region page");
+    }
+
+    #[test]
+    fn demote_only_affects_private() {
+        let mut f = Frame::private_zeroed();
+        f.demote_to_cow();
+        assert_eq!(f.kind(), FrameKind::Cow);
+        let mut s = Frame::shared(Arc::new(Page::zeroed()));
+        s.demote_to_cow();
+        assert_eq!(s.kind(), FrameKind::Shared);
+    }
+
+    #[test]
+    fn sharers_counts_references() {
+        let page = Arc::new(Page::zeroed());
+        let f = Frame::shared(page.clone());
+        assert_eq!(f.sharers(), 2);
+        drop(page);
+        assert_eq!(f.sharers(), 1);
+    }
+}

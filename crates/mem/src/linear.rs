@@ -1,0 +1,619 @@
+//! The per-Faaslet linear address space.
+
+use std::sync::Arc;
+
+use crate::error::MemError;
+use crate::frame::{Frame, FrameKind};
+use crate::page::PAGE_SIZE;
+use crate::region::SharedRegion;
+use crate::snapshot::MemorySnapshot;
+use crate::stats::MemStats;
+
+/// A WebAssembly-style linear memory: a single densely packed byte array
+/// addressed from zero, backed page-by-page by private, copy-on-write or
+/// shared frames.
+///
+/// Guest code always sees one contiguous address space; the frame table makes
+/// ranges of it alias shared regions (Fig. 2) or snapshot pages without the
+/// guest being able to tell the difference. Every access is bounds-checked
+/// and fails with [`MemError::OutOfBounds`] — the software-fault-isolation
+/// guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use faasm_mem::{LinearMemory, SharedRegion, PAGE_SIZE};
+///
+/// let mut mem = LinearMemory::new(1, 4).unwrap();
+/// mem.write(0, b"private").unwrap();
+///
+/// // Map a shared region; it appears at the end of the address space.
+/// let region = SharedRegion::from_bytes(b"shared!");
+/// let base = mem.map_shared(&region).unwrap();
+/// let mut buf = [0u8; 7];
+/// mem.read(base, &mut buf).unwrap();
+/// assert_eq!(&buf, b"shared!");
+/// ```
+#[derive(Debug)]
+pub struct LinearMemory {
+    frames: Vec<Frame>,
+    dirty: Vec<bool>,
+    max_pages: usize,
+}
+
+impl LinearMemory {
+    /// Create a memory with `initial_pages` zeroed private pages and a hard
+    /// limit of `max_pages`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::LimitExceeded`] if `initial_pages > max_pages`.
+    pub fn new(initial_pages: usize, max_pages: usize) -> Result<LinearMemory, MemError> {
+        if initial_pages > max_pages {
+            return Err(MemError::LimitExceeded {
+                requested_pages: initial_pages,
+                max_pages,
+            });
+        }
+        Ok(LinearMemory {
+            frames: (0..initial_pages)
+                .map(|_| Frame::private_zeroed())
+                .collect(),
+            dirty: vec![false; initial_pages],
+            max_pages,
+        })
+    }
+
+    /// Current size in pages.
+    pub fn size_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Current size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.frames.len() * PAGE_SIZE
+    }
+
+    /// The configured page limit.
+    pub fn max_pages(&self) -> usize {
+        self.max_pages
+    }
+
+    /// Grow the memory by `delta` zeroed private pages, returning the
+    /// previous size in pages (the `memory.grow` semantics the host interface
+    /// builds `brk`/`mmap` on, §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::LimitExceeded`] if the new size would exceed the
+    /// page limit; the memory is unchanged in that case.
+    pub fn grow(&mut self, delta: usize) -> Result<usize, MemError> {
+        let old = self.frames.len();
+        let requested = old + delta;
+        if requested > self.max_pages {
+            return Err(MemError::LimitExceeded {
+                requested_pages: requested,
+                max_pages: self.max_pages,
+            });
+        }
+        self.frames
+            .extend((0..delta).map(|_| Frame::private_zeroed()));
+        self.dirty.extend((0..delta).map(|_| false));
+        Ok(old)
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory.
+    pub fn read(&self, addr: usize, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check(addr, buf.len())?;
+        let mut pos = 0;
+        while pos < buf.len() {
+            let a = addr + pos;
+            let page = a / PAGE_SIZE;
+            let in_page = a % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - pos);
+            self.frames[page]
+                .page()
+                .read(in_page, &mut buf[pos..pos + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Write `data` starting at `addr`, materialising copy-on-write pages as
+    /// needed and marking touched pages dirty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory.
+    pub fn write(&mut self, addr: usize, data: &[u8]) -> Result<(), MemError> {
+        self.check(addr, data.len())?;
+        let mut pos = 0;
+        while pos < data.len() {
+            let a = addr + pos;
+            let page = a / PAGE_SIZE;
+            let in_page = a % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(data.len() - pos);
+            self.frames[page]
+                .page_for_write()
+                .write(in_page, &data[pos..pos + n]);
+            self.dirty[page] = true;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Fill `len` bytes starting at `addr` with `value` (`memset`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory.
+    pub fn fill(&mut self, addr: usize, len: usize, value: u8) -> Result<(), MemError> {
+        self.check(addr, len)?;
+        let mut pos = 0;
+        while pos < len {
+            let a = addr + pos;
+            let page = a / PAGE_SIZE;
+            let in_page = a % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(len - pos);
+            self.frames[page].page_for_write().fill(in_page, n, value);
+            self.dirty[page] = true;
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Copy `len` bytes from `src` to `dst` within the memory (`memmove`
+    /// semantics: overlapping ranges are handled correctly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if either range exceeds the memory.
+    pub fn copy_within(&mut self, src: usize, dst: usize, len: usize) -> Result<(), MemError> {
+        self.check(src, len)?;
+        self.check(dst, len)?;
+        let mut tmp = vec![0u8; len];
+        self.read(src, &mut tmp)?;
+        self.write(dst, &tmp)
+    }
+
+    /// Map a shared region at the end of the address space, growing the
+    /// memory by the region's page count. Returns the base address of the
+    /// mapping (the paper's "extend the linear byte array and remap the new
+    /// pages onto shared process memory", §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::LimitExceeded`] if mapping would exceed the page
+    /// limit.
+    pub fn map_shared(&mut self, region: &SharedRegion) -> Result<usize, MemError> {
+        let base_page = self.frames.len();
+        self.map_shared_at(base_page, region)?;
+        Ok(base_page * PAGE_SIZE)
+    }
+
+    /// Map a shared region so its first page lands at page index `page_idx`,
+    /// growing the memory with zeroed private pages if there is a gap.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::LimitExceeded`] if the mapping end exceeds the limit.
+    /// * [`MemError::MappingOverlap`] if any target page is already part of a
+    ///   shared mapping (remapping over a live region would silently detach
+    ///   other Faaslets, so it is refused).
+    pub fn map_shared_at(
+        &mut self,
+        page_idx: usize,
+        region: &SharedRegion,
+    ) -> Result<(), MemError> {
+        let count = region.page_count();
+        let end = page_idx + count;
+        if end > self.max_pages {
+            return Err(MemError::LimitExceeded {
+                requested_pages: end,
+                max_pages: self.max_pages,
+            });
+        }
+        for (i, frame) in self.frames.iter().enumerate().skip(page_idx) {
+            if i < end && frame.kind() == FrameKind::Shared {
+                return Err(MemError::MappingOverlap { page: i });
+            }
+        }
+        if end > self.frames.len() {
+            let grow_by = end - self.frames.len();
+            self.frames
+                .extend((0..grow_by).map(|_| Frame::private_zeroed()));
+            self.dirty.extend((0..grow_by).map(|_| false));
+        }
+        for (i, page) in region.pages().iter().enumerate() {
+            self.frames[page_idx + i] = Frame::shared(Arc::clone(page));
+        }
+        Ok(())
+    }
+
+    /// Replace the shared mapping covering `page_idx..page_idx + count` with
+    /// zeroed private pages (`munmap` of a shared region).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory.
+    pub fn unmap(&mut self, page_idx: usize, count: usize) -> Result<(), MemError> {
+        let end = page_idx + count;
+        if end > self.frames.len() {
+            return Err(MemError::OutOfBounds {
+                addr: page_idx * PAGE_SIZE,
+                len: count * PAGE_SIZE,
+                size: self.size_bytes(),
+            });
+        }
+        for i in page_idx..end {
+            self.frames[i] = Frame::private_zeroed();
+            self.dirty[i] = false;
+        }
+        Ok(())
+    }
+
+    /// The frame kind backing page `page_idx`, if the page exists.
+    pub fn frame_kind(&self, page_idx: usize) -> Option<FrameKind> {
+        self.frames.get(page_idx).map(|f| f.kind())
+    }
+
+    /// Take a snapshot of the memory's contents.
+    ///
+    /// Private pages are captured in O(1) each by demoting them to
+    /// copy-on-write and sharing the page `Arc`; shared-region pages are
+    /// captured by value (a point-in-time copy) since the region's future
+    /// writes must not leak into the snapshot.
+    pub fn snapshot(&mut self) -> MemorySnapshot {
+        let mut pages = Vec::with_capacity(self.frames.len());
+        for frame in &mut self.frames {
+            match frame.kind() {
+                FrameKind::Private => {
+                    frame.demote_to_cow();
+                    pages.push(Arc::clone(frame.page()));
+                }
+                FrameKind::Cow => pages.push(Arc::clone(frame.page())),
+                FrameKind::Shared => pages.push(frame.page().clone_data()),
+            }
+        }
+        MemorySnapshot {
+            size_pages: pages.len(),
+            max_pages: self.max_pages,
+            pages,
+        }
+    }
+
+    /// Build a new memory from a snapshot using copy-on-write mappings.
+    ///
+    /// Cost is O(pages) reference-count increments; no page data is copied
+    /// until the restored memory is written — the Proto-Faaslet restore path
+    /// (§5.2).
+    pub fn restore(snap: &MemorySnapshot) -> LinearMemory {
+        LinearMemory {
+            frames: snap
+                .pages
+                .iter()
+                .map(|p| Frame::cow(Arc::clone(p)))
+                .collect(),
+            dirty: vec![false; snap.pages.len()],
+            max_pages: snap.max_pages,
+        }
+    }
+
+    /// Indices of pages written since the last [`LinearMemory::clear_dirty`].
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect()
+    }
+
+    /// Reset all dirty bits.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Point-in-time footprint accounting (see [`MemStats`]).
+    pub fn stats(&self) -> MemStats {
+        let mut s = MemStats::default();
+        for frame in &self.frames {
+            match frame.kind() {
+                FrameKind::Private => {
+                    s.private_pages += 1;
+                    s.pss_bytes += PAGE_SIZE as f64;
+                }
+                FrameKind::Cow => {
+                    s.cow_pages += 1;
+                    s.pss_bytes += PAGE_SIZE as f64 / frame.sharers() as f64;
+                }
+                FrameKind::Shared => {
+                    s.shared_pages += 1;
+                    s.pss_bytes += PAGE_SIZE as f64 / frame.sharers() as f64;
+                }
+            }
+        }
+        s.rss_bytes = self.frames.len() * PAGE_SIZE;
+        s
+    }
+
+    /// Copy the full contents to an owned buffer (test/diagnostic helper).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.size_bytes()];
+        self.read(0, &mut out).expect("in-bounds by construction");
+        out
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<(), MemError> {
+        let size = self.size_bytes();
+        if addr.checked_add(len).is_none_or(|end| end > size) {
+            return Err(MemError::OutOfBounds { addr, len, size });
+        }
+        Ok(())
+    }
+}
+
+// Typed little-endian accessors used by the FVM's load/store instructions.
+macro_rules! typed_access {
+    ($read:ident, $write:ident, $ty:ty) => {
+        impl LinearMemory {
+            /// Read a little-endian value at `addr`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`MemError::OutOfBounds`] if the access exceeds the
+            /// memory.
+            pub fn $read(&self, addr: usize) -> Result<$ty, MemError> {
+                let mut buf = [0u8; std::mem::size_of::<$ty>()];
+                self.read(addr, &mut buf)?;
+                Ok(<$ty>::from_le_bytes(buf))
+            }
+
+            /// Write a little-endian value at `addr`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`MemError::OutOfBounds`] if the access exceeds the
+            /// memory.
+            pub fn $write(&mut self, addr: usize, value: $ty) -> Result<(), MemError> {
+                self.write(addr, &value.to_le_bytes())
+            }
+        }
+    };
+}
+
+typed_access!(read_u8, write_u8, u8);
+typed_access!(read_u16, write_u16, u16);
+typed_access!(read_u32, write_u32, u32);
+typed_access!(read_u64, write_u64, u64);
+typed_access!(read_i8, write_i8, i8);
+typed_access!(read_i16, write_i16, i16);
+typed_access!(read_i32, write_i32, i32);
+typed_access!(read_i64, write_i64, i64);
+typed_access!(read_f32, write_f32, f32);
+typed_access!(read_f64, write_f64, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_respects_limit() {
+        assert!(LinearMemory::new(4, 4).is_ok());
+        assert!(matches!(
+            LinearMemory::new(5, 4),
+            Err(MemError::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn grow_returns_old_size_and_enforces_limit() {
+        let mut mem = LinearMemory::new(1, 3).unwrap();
+        assert_eq!(mem.grow(1).unwrap(), 1);
+        assert_eq!(mem.size_pages(), 2);
+        assert!(mem.grow(2).is_err());
+        assert_eq!(mem.size_pages(), 2, "failed grow leaves memory unchanged");
+        assert_eq!(mem.grow(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn read_write_cross_page() {
+        let mut mem = LinearMemory::new(2, 2).unwrap();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write(PAGE_SIZE - 128, &data).unwrap();
+        let mut buf = vec![0u8; 256];
+        mem.read(PAGE_SIZE - 128, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_not_panicking() {
+        let mut mem = LinearMemory::new(1, 1).unwrap();
+        assert!(matches!(
+            mem.write(PAGE_SIZE - 1, &[0, 0]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        let mut buf = [0u8; 2];
+        assert!(mem.read(PAGE_SIZE - 1, &mut buf).is_err());
+        // Address arithmetic overflow also rejected.
+        assert!(mem.read(usize::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let mut mem = LinearMemory::new(1, 1).unwrap();
+        mem.write_u32(0, 0xdead_beef).unwrap();
+        assert_eq!(mem.read_u32(0).unwrap(), 0xdead_beef);
+        mem.write_i64(8, -42).unwrap();
+        assert_eq!(mem.read_i64(8).unwrap(), -42);
+        mem.write_f64(16, 3.5).unwrap();
+        assert_eq!(mem.read_f64(16).unwrap(), 3.5);
+        mem.write_f32(24, -0.25).unwrap();
+        assert_eq!(mem.read_f32(24).unwrap(), -0.25);
+        mem.write_u16(28, 0xbeef).unwrap();
+        assert_eq!(mem.read_u16(28).unwrap(), 0xbeef);
+        mem.write_i8(30, -1).unwrap();
+        assert_eq!(mem.read_i8(30).unwrap(), -1);
+    }
+
+    #[test]
+    fn fill_and_copy_within() {
+        let mut mem = LinearMemory::new(1, 1).unwrap();
+        mem.fill(0, 16, 0x11).unwrap();
+        mem.copy_within(0, 8, 8).unwrap();
+        assert_eq!(mem.read_u64(8).unwrap(), 0x1111_1111_1111_1111);
+        // Overlapping forward copy.
+        mem.write(100, b"abcdef").unwrap();
+        mem.copy_within(100, 102, 6).unwrap();
+        let mut buf = [0u8; 6];
+        mem.read(102, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn map_shared_appends_and_aliases() {
+        let region = SharedRegion::from_bytes(b"hello region");
+        let mut a = LinearMemory::new(1, 8).unwrap();
+        let mut b = LinearMemory::new(2, 8).unwrap();
+        let base_a = a.map_shared(&region).unwrap();
+        let base_b = b.map_shared(&region).unwrap();
+        assert_eq!(base_a, PAGE_SIZE);
+        assert_eq!(base_b, 2 * PAGE_SIZE);
+        // A write through one memory is visible in the other and the region.
+        a.write(base_a, b"HELLO").unwrap();
+        let mut buf = [0u8; 5];
+        b.read(base_b, &mut buf).unwrap();
+        assert_eq!(&buf, b"HELLO");
+        let mut rbuf = [0u8; 5];
+        region.read(0, &mut rbuf).unwrap();
+        assert_eq!(&rbuf, b"HELLO");
+    }
+
+    #[test]
+    fn map_shared_respects_limit() {
+        let region = SharedRegion::new(4 * PAGE_SIZE);
+        let mut mem = LinearMemory::new(1, 3).unwrap();
+        assert!(matches!(
+            mem.map_shared(&region),
+            Err(MemError::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn map_shared_at_fills_gap_and_rejects_overlap() {
+        let region = SharedRegion::new(PAGE_SIZE);
+        let mut mem = LinearMemory::new(1, 10).unwrap();
+        mem.map_shared_at(3, &region).unwrap();
+        assert_eq!(mem.size_pages(), 4);
+        assert_eq!(mem.frame_kind(1), Some(FrameKind::Private));
+        assert_eq!(mem.frame_kind(3), Some(FrameKind::Shared));
+        // Mapping another region over the live one is refused.
+        let other = SharedRegion::new(PAGE_SIZE);
+        assert!(matches!(
+            mem.map_shared_at(3, &other),
+            Err(MemError::MappingOverlap { page: 3 })
+        ));
+    }
+
+    #[test]
+    fn unmap_replaces_with_private_zero() {
+        let region = SharedRegion::from_bytes(b"data");
+        let mut mem = LinearMemory::new(0, 4).unwrap();
+        let base = mem.map_shared(&region).unwrap();
+        mem.unmap(base / PAGE_SIZE, 1).unwrap();
+        assert_eq!(mem.frame_kind(0), Some(FrameKind::Private));
+        assert_eq!(mem.read_u32(0).unwrap(), 0);
+        // Region itself unaffected.
+        let mut buf = [0u8; 4];
+        region.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"data");
+        assert!(mem.unmap(0, 2).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_contents() {
+        let mut mem = LinearMemory::new(2, 4).unwrap();
+        mem.write(10, b"state").unwrap();
+        let snap = mem.snapshot();
+        let restored = LinearMemory::restore(&snap);
+        let mut buf = [0u8; 5];
+        restored.read(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"state");
+        assert_eq!(restored.size_pages(), 2);
+        assert_eq!(restored.max_pages(), 4);
+        assert_eq!(restored.frame_kind(0), Some(FrameKind::Cow));
+    }
+
+    #[test]
+    fn writes_after_snapshot_do_not_leak_into_snapshot() {
+        let mut mem = LinearMemory::new(1, 2).unwrap();
+        mem.write(0, b"before").unwrap();
+        let snap = mem.snapshot();
+        mem.write(0, b"AFTER!").unwrap();
+        let restored = LinearMemory::restore(&snap);
+        let mut buf = [0u8; 6];
+        restored.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"before");
+    }
+
+    #[test]
+    fn restored_memories_diverge_independently() {
+        let mut mem = LinearMemory::new(1, 2).unwrap();
+        mem.write(0, b"base").unwrap();
+        let snap = mem.snapshot();
+        let mut r1 = LinearMemory::restore(&snap);
+        let mut r2 = LinearMemory::restore(&snap);
+        r1.write(0, b"one!").unwrap();
+        r2.write(0, b"two!").unwrap();
+        let mut b1 = [0u8; 4];
+        let mut b2 = [0u8; 4];
+        r1.read(0, &mut b1).unwrap();
+        r2.read(0, &mut b2).unwrap();
+        assert_eq!(&b1, b"one!");
+        assert_eq!(&b2, b"two!");
+        // Snapshot still pristine.
+        let r3 = LinearMemory::restore(&snap);
+        let mut b3 = [0u8; 4];
+        r3.read(0, &mut b3).unwrap();
+        assert_eq!(&b3, b"base");
+    }
+
+    #[test]
+    fn snapshot_of_shared_pages_copies_by_value() {
+        let region = SharedRegion::from_bytes(b"shared");
+        let mut mem = LinearMemory::new(0, 2).unwrap();
+        let base = mem.map_shared(&region).unwrap();
+        let snap = mem.snapshot();
+        // Mutate the region after the snapshot.
+        region.write(0, b"MUTATE").unwrap();
+        let restored = LinearMemory::restore(&snap);
+        let mut buf = [0u8; 6];
+        restored.read(base, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared", "snapshot holds point-in-time copy");
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut mem = LinearMemory::new(3, 3).unwrap();
+        assert!(mem.dirty_pages().is_empty());
+        mem.write(PAGE_SIZE + 5, &[1]).unwrap();
+        mem.write(2 * PAGE_SIZE, &[2]).unwrap();
+        assert_eq!(mem.dirty_pages(), vec![1, 2]);
+        mem.clear_dirty();
+        assert!(mem.dirty_pages().is_empty());
+        mem.fill(0, 1, 9).unwrap();
+        assert_eq!(mem.dirty_pages(), vec![0]);
+    }
+
+    #[test]
+    fn grow_after_restore_respects_original_limit() {
+        let mut mem = LinearMemory::new(1, 2).unwrap();
+        let snap = mem.snapshot();
+        let mut restored = LinearMemory::restore(&snap);
+        assert!(restored.grow(1).is_ok());
+        assert!(restored.grow(1).is_err());
+    }
+}

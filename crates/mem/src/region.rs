@@ -1,0 +1,305 @@
+//! Shared memory regions (§3.3, Fig. 2).
+//!
+//! A [`SharedRegion`] is a run of pages allocated from "common process
+//! memory". Several Faaslets map the same region into their private linear
+//! address spaces; their guest code sees ordinary in-bounds offsets while the
+//! underlying accesses land on the common pages — exactly the remapping trick
+//! of Fig. 2. The local state tier (`faasm-state`) stores every state-value
+//! replica in such regions, so co-located functions share data with zero
+//! copies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::MemError;
+use crate::page::{Page, PAGE_SIZE};
+use crate::pages_for_bytes;
+
+static NEXT_REGION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A region of common process memory that can be mapped into many
+/// [`crate::LinearMemory`] instances concurrently.
+#[derive(Debug, Clone)]
+pub struct SharedRegion {
+    id: u64,
+    pages: Arc<Vec<Arc<Page>>>,
+    len_bytes: usize,
+}
+
+impl SharedRegion {
+    /// Allocate a zero-filled shared region of at least `len_bytes` bytes
+    /// (rounded up to whole pages).
+    pub fn new(len_bytes: usize) -> SharedRegion {
+        let n = pages_for_bytes(len_bytes.max(1));
+        let pages = (0..n).map(|_| Arc::new(Page::zeroed())).collect();
+        SharedRegion {
+            id: NEXT_REGION_ID.fetch_add(1, Ordering::Relaxed),
+            pages: Arc::new(pages),
+            len_bytes,
+        }
+    }
+
+    /// Allocate a shared region initialised from `data`.
+    pub fn from_bytes(data: &[u8]) -> SharedRegion {
+        let region = SharedRegion::new(data.len());
+        region.write(0, data).expect("freshly sized region");
+        region
+    }
+
+    /// A process-unique identifier for the region.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Logical length in bytes (may be less than the page-rounded capacity).
+    pub fn len(&self) -> usize {
+        self.len_bytes
+    }
+
+    /// True if the region holds no logical bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    /// Number of pages backing the region.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Capacity in bytes (whole pages).
+    pub fn capacity(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// The backing pages, for mapping into a linear memory.
+    pub(crate) fn pages(&self) -> &[Arc<Page>] {
+        &self.pages
+    }
+
+    /// Read bytes directly from the region (host-side access used by the
+    /// state tier without going through a guest linear memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the region's
+    /// page-rounded capacity.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check(offset, buf.len())?;
+        let mut pos = 0;
+        while pos < buf.len() {
+            let addr = offset + pos;
+            let page = addr / PAGE_SIZE;
+            let in_page = addr % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - pos);
+            self.pages[page].read(in_page, &mut buf[pos..pos + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Write bytes directly into the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the region's
+    /// page-rounded capacity.
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<(), MemError> {
+        self.check(offset, data.len())?;
+        let mut pos = 0;
+        while pos < data.len() {
+            let addr = offset + pos;
+            let page = addr / PAGE_SIZE;
+            let in_page = addr % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(data.len() - pos);
+            self.pages[page].write(in_page, &data[pos..pos + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Copy the full logical contents out of the region.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len_bytes];
+        self.read(0, &mut out).expect("in-bounds by construction");
+        out
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<(), MemError> {
+        let cap = self.capacity();
+        if offset.checked_add(len).is_none_or(|end| end > cap) {
+            return Err(MemError::OutOfBounds {
+                addr: offset,
+                len,
+                size: cap,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A host-wide registry of named shared regions.
+///
+/// The local state tier allocates one region per state value (or per chunk
+/// run) and registers it here under the state key, so that every Faaslet on
+/// the host maps the *same* pages (Fig. 4's local tier).
+#[derive(Debug, Default)]
+pub struct SharedRegionRegistry {
+    regions: RwLock<HashMap<String, SharedRegion>>,
+}
+
+impl SharedRegionRegistry {
+    /// Create an empty registry.
+    pub fn new() -> SharedRegionRegistry {
+        SharedRegionRegistry::default()
+    }
+
+    /// Get the region registered under `key`, or create a zeroed region of
+    /// `len_bytes` and register it. Concurrent callers receive clones of the
+    /// same region.
+    pub fn get_or_create(&self, key: &str, len_bytes: usize) -> SharedRegion {
+        if let Some(r) = self.regions.read().get(key) {
+            return r.clone();
+        }
+        let mut w = self.regions.write();
+        w.entry(key.to_string())
+            .or_insert_with(|| SharedRegion::new(len_bytes))
+            .clone()
+    }
+
+    /// Look up an existing region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RegionNotFound`] if no region is registered under
+    /// `key`.
+    pub fn get(&self, key: &str) -> Result<SharedRegion, MemError> {
+        self.regions
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| MemError::RegionNotFound {
+                key: key.to_string(),
+            })
+    }
+
+    /// Replace or insert a region under `key`.
+    pub fn insert(&self, key: &str, region: SharedRegion) {
+        self.regions.write().insert(key.to_string(), region);
+    }
+
+    /// Remove the region registered under `key`, returning it if present.
+    pub fn remove(&self, key: &str) -> Option<SharedRegion> {
+        self.regions.write().remove(key)
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.read().len()
+    }
+
+    /// True if no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.read().is_empty()
+    }
+
+    /// Total bytes held by all registered regions (page-rounded).
+    pub fn total_bytes(&self) -> usize {
+        self.regions.read().values().map(|r| r.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_rounds_up_to_pages() {
+        let r = SharedRegion::new(PAGE_SIZE + 1);
+        assert_eq!(r.page_count(), 2);
+        assert_eq!(r.len(), PAGE_SIZE + 1);
+        assert_eq!(r.capacity(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn zero_length_region_still_has_a_page() {
+        let r = SharedRegion::new(0);
+        assert_eq!(r.page_count(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn read_write_roundtrip_across_pages() {
+        let r = SharedRegion::new(2 * PAGE_SIZE);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        r.write(PAGE_SIZE - 100, &data).unwrap();
+        let mut buf = vec![0u8; 200];
+        r.read(PAGE_SIZE - 100, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let r = SharedRegion::new(10);
+        let err = r.write(PAGE_SIZE - 2, &[0u8; 4]).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+        let mut buf = [0u8; 4];
+        assert!(r.read(PAGE_SIZE, &mut buf).is_err());
+    }
+
+    #[test]
+    fn clones_share_pages() {
+        let a = SharedRegion::from_bytes(b"shared data");
+        let b = a.clone();
+        b.write(0, b"SHARED").unwrap();
+        let mut buf = vec![0u8; 6];
+        a.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"SHARED");
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn registry_get_or_create_is_idempotent() {
+        let reg = SharedRegionRegistry::new();
+        let a = reg.get_or_create("k", 100);
+        let b = reg.get_or_create("k", 999_999);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn registry_get_missing_errors() {
+        let reg = SharedRegionRegistry::new();
+        assert!(matches!(
+            reg.get("nope"),
+            Err(MemError::RegionNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_remove_and_total_bytes() {
+        let reg = SharedRegionRegistry::new();
+        reg.get_or_create("a", PAGE_SIZE);
+        reg.get_or_create("b", 1);
+        assert_eq!(reg.total_bytes(), 2 * PAGE_SIZE);
+        assert!(reg.remove("a").is_some());
+        assert!(reg.remove("a").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_get_or_create_returns_same_region() {
+        let reg = Arc::new(SharedRegionRegistry::new());
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                reg.get_or_create("key", 1000).id()
+            }));
+        }
+        let ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

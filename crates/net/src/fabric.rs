@@ -1,0 +1,600 @@
+//! The cluster fabric: hosts, NICs and request/response messaging.
+//!
+//! The fabric replaces the 1 Gbps switched network of the paper's testbed
+//! (§6.1). Every host registers a [`Nic`]; messages are delivered through
+//! in-process channels while being counted by [`TrafficStats`] and subject
+//! to token-bucket shaping, so byte metrics are *measured*, not modelled.
+//! A [`NetModel`] converts measured bytes into modelled wire time for the
+//! latency figures.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::bucket::TokenBucket;
+use crate::stats::TrafficStats;
+
+/// Identifies a host on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Fixed per-message overhead charged on top of the payload (framing,
+/// headers).
+pub const MSG_HEADER_BYTES: u64 = 64;
+
+/// Errors from fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination host is not registered.
+    UnknownHost(HostId),
+    /// The peer disconnected or the fabric shut down.
+    Disconnected,
+    /// A blocking call exceeded its timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "network timeout"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// An incoming message.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sender host.
+    pub src: HostId,
+    /// Correlation tag; present when the sender awaits a reply.
+    pub reply_tag: Option<u64>,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+struct HostPort {
+    req_tx: Sender<Envelope>,
+    pending: Arc<Mutex<HashMap<u64, Sender<Vec<u8>>>>>,
+    stats: Arc<TrafficStats>,
+}
+
+struct FabricInner {
+    hosts: Mutex<HashMap<HostId, HostPort>>,
+    total: TrafficStats,
+    next_host: AtomicU64,
+    next_tag: AtomicU64,
+}
+
+/// The in-process cluster network.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("hosts", &self.inner.hosts.lock().len())
+            .field("total_bytes", &self.inner.total.total_bytes())
+            .finish()
+    }
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Fabric::new()
+    }
+}
+
+impl Fabric {
+    /// An empty fabric.
+    pub fn new() -> Fabric {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                hosts: Mutex::new(HashMap::new()),
+                total: TrafficStats::new(),
+                next_host: AtomicU64::new(0),
+                next_tag: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Register a new host, returning its NIC.
+    pub fn add_host(&self) -> Nic {
+        let id = HostId(self.inner.next_host.fetch_add(1, Ordering::Relaxed) as u32);
+        let (req_tx, req_rx) = unbounded();
+        let stats = Arc::new(TrafficStats::new());
+        let pending = Arc::new(Mutex::new(HashMap::new()));
+        self.inner.hosts.lock().insert(
+            id,
+            HostPort {
+                req_tx,
+                pending: Arc::clone(&pending),
+                stats: Arc::clone(&stats),
+            },
+        );
+        Nic {
+            inner: Arc::new(NicInner {
+                id,
+                fabric: self.clone(),
+                req_rx,
+                pending,
+                stats,
+            }),
+        }
+    }
+
+    /// Remove a host (simulating failure); in-flight sends to it error with
+    /// [`NetError::UnknownHost`] or [`NetError::Disconnected`].
+    pub fn remove_host(&self, id: HostId) {
+        self.inner.hosts.lock().remove(&id);
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.inner.hosts.lock().len()
+    }
+
+    /// Fabric-wide traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.inner.total
+    }
+
+    fn fresh_tag(&self) -> u64 {
+        self.inner.next_tag.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn route_request(&self, env: Envelope, dst: HostId) -> Result<(), NetError> {
+        let bytes = env.payload.len() as u64 + MSG_HEADER_BYTES;
+        let hosts = self.inner.hosts.lock();
+        let port = hosts.get(&dst).ok_or(NetError::UnknownHost(dst))?;
+        port.stats.record_recv(bytes);
+        self.inner.total.record_recv(bytes);
+        port.req_tx.send(env).map_err(|_| NetError::Disconnected)
+    }
+
+    fn route_response(&self, dst: HostId, tag: u64, payload: Vec<u8>) -> Result<(), NetError> {
+        let bytes = payload.len() as u64 + MSG_HEADER_BYTES;
+        let hosts = self.inner.hosts.lock();
+        let port = hosts.get(&dst).ok_or(NetError::UnknownHost(dst))?;
+        port.stats.record_recv(bytes);
+        self.inner.total.record_recv(bytes);
+        let tx = port
+            .pending
+            .lock()
+            .remove(&tag)
+            .ok_or(NetError::Disconnected)?;
+        tx.send(payload).map_err(|_| NetError::Disconnected)
+    }
+}
+
+struct NicInner {
+    id: HostId,
+    fabric: Fabric,
+    req_rx: Receiver<Envelope>,
+    pending: Arc<Mutex<HashMap<u64, Sender<Vec<u8>>>>>,
+    stats: Arc<TrafficStats>,
+}
+
+/// A host's network interface.
+///
+/// Cloneable; clones share the same queues and counters. Request/response
+/// correlation is built in: [`Nic::call`] blocks for the matching
+/// [`Nic::respond`] from the server side.
+#[derive(Clone)]
+pub struct Nic {
+    inner: Arc<NicInner>,
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic").field("id", &self.inner.id).finish()
+    }
+}
+
+/// Default timeout for blocking RPC calls.
+pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl Nic {
+    /// This NIC's host id.
+    pub fn id(&self) -> HostId {
+        self.inner.id
+    }
+
+    /// Per-host traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.inner.stats
+    }
+
+    fn record_send(&self, payload_len: usize) {
+        let bytes = payload_len as u64 + MSG_HEADER_BYTES;
+        self.inner.stats.record_send(bytes);
+        self.inner.fabric.inner.total.record_send(bytes);
+    }
+
+    /// Send a one-way message (no reply expected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownHost`] or [`NetError::Disconnected`].
+    pub fn send(&self, dst: HostId, payload: Vec<u8>) -> Result<(), NetError> {
+        self.record_send(payload.len());
+        self.inner.fabric.route_request(
+            Envelope {
+                src: self.inner.id,
+                reply_tag: None,
+                payload,
+            },
+            dst,
+        )
+    }
+
+    /// Send a request and block for its response (an RPC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] after [`DEFAULT_RPC_TIMEOUT`], or a
+    /// routing error.
+    pub fn call(&self, dst: HostId, payload: Vec<u8>) -> Result<Vec<u8>, NetError> {
+        self.call_timeout(dst, payload, DEFAULT_RPC_TIMEOUT)
+    }
+
+    /// [`Nic::call`] with an explicit timeout.
+    ///
+    /// # Errors
+    ///
+    /// See [`Nic::call`].
+    pub fn call_timeout(
+        &self,
+        dst: HostId,
+        payload: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, NetError> {
+        let tag = self.inner.fabric.fresh_tag();
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(tag, tx);
+        self.record_send(payload.len());
+        let routed = self.inner.fabric.route_request(
+            Envelope {
+                src: self.inner.id,
+                reply_tag: Some(tag),
+                payload,
+            },
+            dst,
+        );
+        if let Err(e) = routed {
+            self.inner.pending.lock().remove(&tag);
+            return Err(e);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(resp) => Ok(resp),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                self.inner.pending.lock().remove(&tag);
+                Err(NetError::Timeout)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Receive the next incoming request/one-way message, blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if the fabric shut down.
+    pub fn recv(&self) -> Result<Envelope, NetError> {
+        self.inner.req_rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Receive with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] if nothing arrives in time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError> {
+        self.inner
+            .req_rx
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+                crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+            })
+    }
+
+    /// Try to receive without blocking; `None` if the queue is empty.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.inner.req_rx.try_recv().ok()
+    }
+
+    /// Respond to a request received via [`Nic::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if the requester is gone, or
+    /// [`NetError::UnknownHost`] if its host was removed.
+    pub fn respond(&self, env: &Envelope, payload: Vec<u8>) -> Result<(), NetError> {
+        let Some(tag) = env.reply_tag else {
+            // One-way messages need no response; dropping it is a server
+            // bug, so surface it.
+            return Err(NetError::Disconnected);
+        };
+        self.record_send(payload.len());
+        self.inner.fabric.route_response(env.src, tag, payload)
+    }
+
+    /// Create a shaped virtual interface on this NIC — the per-Faaslet
+    /// network namespace + `tc` pair of §3.1.
+    pub fn virtual_interface(&self, egress: TokenBucket) -> VirtualInterface {
+        VirtualInterface {
+            nic: self.clone(),
+            shaper: egress,
+            stats: TrafficStats::new(),
+        }
+    }
+}
+
+/// A per-Faaslet virtual interface: its own counters and egress shaping,
+/// multiplexed over the host NIC.
+#[derive(Debug)]
+pub struct VirtualInterface {
+    nic: Nic,
+    shaper: TokenBucket,
+    stats: TrafficStats,
+}
+
+impl VirtualInterface {
+    /// The underlying host NIC.
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// Per-interface counters (the Faaslet's own traffic).
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Whether egress shaping is enabled.
+    pub fn is_shaped(&self) -> bool {
+        self.shaper.is_limited()
+    }
+
+    /// Shaped one-way send.
+    ///
+    /// # Errors
+    ///
+    /// See [`Nic::send`].
+    pub fn send(&self, dst: HostId, payload: Vec<u8>) -> Result<(), NetError> {
+        self.shaper
+            .acquire(payload.len() + MSG_HEADER_BYTES as usize);
+        self.stats
+            .record_send(payload.len() as u64 + MSG_HEADER_BYTES);
+        self.nic.send(dst, payload)
+    }
+
+    /// Shaped RPC.
+    ///
+    /// # Errors
+    ///
+    /// See [`Nic::call`].
+    pub fn call(&self, dst: HostId, payload: Vec<u8>) -> Result<Vec<u8>, NetError> {
+        self.shaper
+            .acquire(payload.len() + MSG_HEADER_BYTES as usize);
+        self.stats
+            .record_send(payload.len() as u64 + MSG_HEADER_BYTES);
+        let resp = self.nic.call(dst, payload)?;
+        self.stats.record_recv(resp.len() as u64 + MSG_HEADER_BYTES);
+        Ok(resp)
+    }
+}
+
+/// Bandwidth/latency model used to convert measured bytes into modelled wire
+/// time (the paper's testbed: 1 Gbps links).
+#[derive(Debug, Clone, Copy)]
+pub struct NetModel {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way message latency.
+    pub latency: Duration,
+}
+
+impl Default for NetModel {
+    fn default() -> NetModel {
+        NetModel {
+            bandwidth_bps: 1_000_000_000,
+            latency: Duration::from_micros(100),
+        }
+    }
+}
+
+impl NetModel {
+    /// Modelled time to move `bytes` across one link.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let secs = (bytes as f64 * 8.0) / self.bandwidth_bps as f64;
+        self.latency + Duration::from_secs_f64(secs)
+    }
+
+    /// Modelled time for `msgs` messages totalling `bytes`.
+    pub fn batch_time(&self, msgs: u64, bytes: u64) -> Duration {
+        let secs = (bytes as f64 * 8.0) / self.bandwidth_bps as f64;
+        self.latency * msgs as u32 + Duration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_send_and_recv() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        a.send(b.id(), b"hello".to_vec()).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.src, a.id());
+        assert_eq!(env.payload, b"hello");
+        assert!(env.reply_tag.is_none());
+    }
+
+    #[test]
+    fn rpc_roundtrip() {
+        let fabric = Fabric::new();
+        let client = fabric.add_host();
+        let server = fabric.add_host();
+        let server_id = server.id();
+        let handle = std::thread::spawn(move || {
+            let env = server.recv().unwrap();
+            let mut resp = env.payload.clone();
+            resp.reverse();
+            server.respond(&env, resp).unwrap();
+        });
+        let resp = client.call(server_id, b"abc".to_vec()).unwrap();
+        assert_eq!(resp, b"cba");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_rpcs_correlate() {
+        let fabric = Fabric::new();
+        let client = fabric.add_host();
+        let server = fabric.add_host();
+        let server_id = server.id();
+        // Server: collect two requests, respond in reverse order.
+        let handle = std::thread::spawn(move || {
+            let e1 = server.recv().unwrap();
+            let e2 = server.recv().unwrap();
+            server.respond(&e2, e2.payload.clone()).unwrap();
+            server.respond(&e1, e1.payload.clone()).unwrap();
+        });
+        let c1 = client.clone();
+        let t1 = std::thread::spawn(move || c1.call(server_id, b"one".to_vec()).unwrap());
+        // Give the first request a head start so ordering is deterministic
+        // enough; correlation must hold regardless.
+        std::thread::sleep(Duration::from_millis(10));
+        let t2 = std::thread::spawn({
+            let c = client.clone();
+            move || c.call(server_id, b"two".to_vec()).unwrap()
+        });
+        assert_eq!(t1.join().unwrap(), b"one");
+        assert_eq!(t2.join().unwrap(), b"two");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        assert_eq!(
+            a.send(HostId(99), vec![]),
+            Err(NetError::UnknownHost(HostId(99)))
+        );
+    }
+
+    #[test]
+    fn removed_host_unreachable() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        fabric.remove_host(b.id());
+        assert_eq!(fabric.host_count(), 1);
+        assert!(matches!(
+            a.send(b.id(), vec![]),
+            Err(NetError::UnknownHost(_))
+        ));
+    }
+
+    #[test]
+    fn call_times_out_without_server() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        let err = a
+            .call_timeout(b.id(), b"ping".to_vec(), Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn traffic_is_counted_with_header_overhead() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        a.send(b.id(), vec![0u8; 100]).unwrap();
+        b.recv().unwrap();
+        assert_eq!(a.stats().bytes_sent(), 100 + MSG_HEADER_BYTES);
+        assert_eq!(b.stats().bytes_received(), 100 + MSG_HEADER_BYTES);
+        assert_eq!(
+            fabric.stats().total_bytes(),
+            2 * (100 + MSG_HEADER_BYTES),
+            "fabric counts both directions"
+        );
+    }
+
+    #[test]
+    fn virtual_interface_counts_and_shapes() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        let vif = a.virtual_interface(TokenBucket::unlimited());
+        assert!(!vif.is_shaped());
+        vif.send(b.id(), vec![1, 2, 3]).unwrap();
+        assert_eq!(vif.stats().bytes_sent(), 3 + MSG_HEADER_BYTES);
+        // Host NIC sees it too.
+        assert_eq!(a.stats().bytes_sent(), 3 + MSG_HEADER_BYTES);
+
+        let shaped = a.virtual_interface(TokenBucket::new(
+            100_000,
+            64 + MSG_HEADER_BYTES as usize as u64,
+        ));
+        assert!(shaped.is_shaped());
+        let start = std::time::Instant::now();
+        shaped.send(b.id(), vec![0u8; 64]).unwrap(); // uses burst
+        shaped.send(b.id(), vec![0u8; 64]).unwrap(); // must wait ~1.3 ms
+        assert!(start.elapsed() >= Duration::from_micros(900));
+    }
+
+    #[test]
+    fn recv_timeout_and_try_recv() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        assert!(a.try_recv().is_none());
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    #[test]
+    fn net_model_times() {
+        let m = NetModel::default();
+        // 1 Gbps: 125 MB/s; 125 MB takes ~1 s + latency.
+        let t = m.transfer_time(125_000_000);
+        assert!(t >= Duration::from_secs(1));
+        assert!(t < Duration::from_millis(1200));
+        let b = m.batch_time(10, 0);
+        assert_eq!(b, m.latency * 10);
+    }
+
+    #[test]
+    fn respond_to_oneway_is_error() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        a.send(b.id(), vec![]).unwrap();
+        let env = b.recv().unwrap();
+        assert!(b.respond(&env, vec![]).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! The local scheduling decision (§5.1).
+//!
+//! "Function calls are sent round-robin to local schedulers, which execute
+//! the function locally if they are warm and have capacity, or share it with
+//! another warm host if one exists. If a function call is received and there
+//! are no instances with warm Faaslets, the instance that received the call
+//! creates a new Faaslet, incurring a 'cold start'."
+
+use faasm_net::HostId;
+
+/// Where a call should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Execute on this host in an existing warm Faaslet.
+    WarmLocal,
+    /// Forward to another host's sharing queue.
+    Forward(HostId),
+    /// Create a new Faaslet here (cold start).
+    ColdStartLocal,
+}
+
+/// Inputs to one scheduling decision, gathered by the caller (warm-set
+/// lookup is the only global operation and is passed in pre-resolved).
+#[derive(Debug, Clone, Copy)]
+pub struct Decision<'a> {
+    /// This host.
+    pub this_host: HostId,
+    /// Warm Faaslets for the function on this host.
+    pub warm_local: usize,
+    /// Idle warm Faaslets (warm and not currently executing).
+    pub idle_local: usize,
+    /// The function's warm hosts from the global tier.
+    pub warm_hosts: &'a [HostId],
+    /// Rotation seed for spreading forwarded calls.
+    pub seed: usize,
+}
+
+/// Decide a placement.
+pub fn decide(d: &Decision<'_>) -> Placement {
+    // Warm here with spare capacity: run locally.
+    if d.warm_local > 0 && d.idle_local > 0 {
+        return Placement::WarmLocal;
+    }
+    // Otherwise share with another warm host if one exists.
+    let others: Vec<HostId> = d
+        .warm_hosts
+        .iter()
+        .copied()
+        .filter(|h| *h != d.this_host)
+        .collect();
+    if !others.is_empty() {
+        return Placement::Forward(others[d.seed % others.len()]);
+    }
+    // No warm capacity anywhere: cold start here.
+    Placement::ColdStartLocal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(warm_local: usize, idle_local: usize, warm_hosts: &[HostId], seed: usize) -> Placement {
+        decide(&Decision {
+            this_host: HostId(0),
+            warm_local,
+            idle_local,
+            warm_hosts,
+            seed,
+        })
+    }
+
+    #[test]
+    fn warm_and_idle_runs_local() {
+        assert_eq!(d(2, 1, &[HostId(0), HostId(1)], 0), Placement::WarmLocal);
+    }
+
+    #[test]
+    fn warm_but_busy_forwards_to_other_warm() {
+        assert_eq!(
+            d(2, 0, &[HostId(0), HostId(1)], 0),
+            Placement::Forward(HostId(1))
+        );
+    }
+
+    #[test]
+    fn cold_host_forwards_to_warm_host() {
+        assert_eq!(d(0, 0, &[HostId(3)], 0), Placement::Forward(HostId(3)));
+    }
+
+    #[test]
+    fn nobody_warm_cold_starts_locally() {
+        assert_eq!(d(0, 0, &[], 0), Placement::ColdStartLocal);
+        // A warm set containing only ourselves (stale after eviction) also
+        // cold starts.
+        assert_eq!(d(0, 0, &[HostId(0)], 0), Placement::ColdStartLocal);
+    }
+
+    #[test]
+    fn forwarding_rotates_over_warm_hosts() {
+        let hosts = [HostId(1), HostId(2), HostId(3)];
+        let picks: Vec<Placement> = (0..3).map(|s| d(0, 0, &hosts, s)).collect();
+        assert_eq!(
+            picks,
+            vec![
+                Placement::Forward(HostId(1)),
+                Placement::Forward(HostId(2)),
+                Placement::Forward(HostId(3)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-instance sharing queues (Fig. 5).
+//!
+//! Each runtime instance owns a bounded queue of calls shared with it by
+//! other hosts' schedulers. Bounding matters: an unbounded queue would hide
+//! overload, whereas the paper's design degrades to cold starts when warm
+//! capacity is exhausted.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+
+use crate::types::CallSpec;
+
+/// A bounded multi-producer multi-consumer queue of shared calls.
+#[derive(Debug, Clone)]
+pub struct SharingQueue {
+    tx: Sender<CallSpec>,
+    rx: Receiver<CallSpec>,
+    capacity: usize,
+}
+
+impl SharingQueue {
+    /// A queue holding at most `capacity` pending calls.
+    pub fn new(capacity: usize) -> SharingQueue {
+        let (tx, rx) = bounded(capacity.max(1));
+        SharingQueue {
+            tx,
+            rx,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending calls.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True if no calls are pending.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// Offer a call; returns it back if the queue is full (caller falls back
+    /// to a cold start).
+    pub fn offer(&self, call: CallSpec) -> Result<(), CallSpec> {
+        match self.tx.try_send(call) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(c)) | Err(TrySendError::Disconnected(c)) => Err(c),
+        }
+    }
+
+    /// Take the next call if one is pending.
+    pub fn take(&self) -> Option<CallSpec> {
+        match self.rx.try_recv() {
+            Ok(c) => Some(c),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Block up to `timeout` for the next call.
+    pub fn take_timeout(&self, timeout: std::time::Duration) -> Option<CallSpec> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CallId;
+
+    fn call(n: u64) -> CallSpec {
+        CallSpec {
+            id: CallId(n),
+            user: "u".into(),
+            function: "f".into(),
+            input: vec![],
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = SharingQueue::new(4);
+        q.offer(call(1)).unwrap();
+        q.offer(call(2)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.take().unwrap().id, CallId(1));
+        assert_eq!(q.take().unwrap().id, CallId(2));
+        assert!(q.take().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_returns_call() {
+        let q = SharingQueue::new(1);
+        q.offer(call(1)).unwrap();
+        let back = q.offer(call(2)).unwrap_err();
+        assert_eq!(back.id, CallId(2));
+        assert_eq!(q.capacity(), 1);
+    }
+
+    #[test]
+    fn take_timeout_waits() {
+        let q = SharingQueue::new(2);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q2.offer(call(9)).unwrap();
+        });
+        let got = q
+            .take_timeout(std::time::Duration::from_millis(500))
+            .unwrap();
+        assert_eq!(got.id, CallId(9));
+        t.join().unwrap();
+        assert!(q
+            .take_timeout(std::time::Duration::from_millis(5))
+            .is_none());
+    }
+
+    #[test]
+    fn multiple_consumers_split_work() {
+        let q = SharingQueue::new(64);
+        for i in 0..50 {
+            q.offer(call(i)).unwrap();
+        }
+        let q1 = q.clone();
+        let q2 = q.clone();
+        let t1 = std::thread::spawn(move || std::iter::from_fn(|| q1.take()).count());
+        let t2 = std::thread::spawn(move || std::iter::from_fn(|| q2.take()).count());
+        let total = t1.join().unwrap() + t2.join().unwrap();
+        assert_eq!(total, 50);
+    }
+}

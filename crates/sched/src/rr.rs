@@ -1,0 +1,140 @@
+//! Round-robin dispatch of incoming calls to local schedulers (§5.1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use faasm_net::HostId;
+use parking_lot::RwLock;
+
+/// A thread-safe round-robin rotation over the cluster's runtime instances —
+/// the stand-in for the unmodified platform ingress that "sends calls
+/// round-robin to local schedulers".
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    hosts: RwLock<Vec<HostId>>,
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// An empty rotation.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+
+    /// A rotation over `hosts`.
+    pub fn with_hosts(hosts: Vec<HostId>) -> RoundRobin {
+        RoundRobin {
+            hosts: RwLock::new(hosts),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Add a host to the rotation (scale-up).
+    pub fn add(&self, host: HostId) {
+        let mut hosts = self.hosts.write();
+        if !hosts.contains(&host) {
+            hosts.push(host);
+        }
+    }
+
+    /// Remove a host (scale-down or failure); returns whether it was
+    /// present.
+    pub fn remove(&self, host: HostId) -> bool {
+        let mut hosts = self.hosts.write();
+        let before = hosts.len();
+        hosts.retain(|h| *h != host);
+        hosts.len() != before
+    }
+
+    /// Number of hosts in rotation.
+    pub fn len(&self) -> usize {
+        self.hosts.read().len()
+    }
+
+    /// True if no hosts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.read().is_empty()
+    }
+
+    /// The next host in rotation, or `None` if empty.
+    pub fn next(&self) -> Option<HostId> {
+        let hosts = self.hosts.read();
+        if hosts.is_empty() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        Some(hosts[i % hosts.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_in_order() {
+        let rr = RoundRobin::with_hosts(vec![HostId(0), HostId(1), HostId(2)]);
+        let picks: Vec<HostId> = (0..6).map(|_| rr.next().unwrap()).collect();
+        assert_eq!(
+            picks,
+            vec![
+                HostId(0),
+                HostId(1),
+                HostId(2),
+                HostId(0),
+                HostId(1),
+                HostId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        let rr = RoundRobin::new();
+        assert!(rr.next().is_none());
+        assert!(rr.is_empty());
+    }
+
+    #[test]
+    fn add_remove() {
+        let rr = RoundRobin::new();
+        rr.add(HostId(5));
+        rr.add(HostId(5));
+        assert_eq!(rr.len(), 1);
+        assert_eq!(rr.next(), Some(HostId(5)));
+        assert!(rr.remove(HostId(5)));
+        assert!(!rr.remove(HostId(5)));
+        assert!(rr.next().is_none());
+    }
+
+    #[test]
+    fn concurrent_next_spreads_evenly() {
+        let rr = std::sync::Arc::new(RoundRobin::with_hosts(vec![
+            HostId(0),
+            HostId(1),
+            HostId(2),
+            HostId(3),
+        ]));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let rr = rr.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut counts = [0usize; 4];
+                for _ in 0..1000 {
+                    counts[rr.next().unwrap().0 as usize] += 1;
+                }
+                counts
+            }));
+        }
+        let mut total = [0usize; 4];
+        for h in handles {
+            let c = h.join().unwrap();
+            for i in 0..4 {
+                total[i] += c[i];
+            }
+        }
+        assert_eq!(total.iter().sum::<usize>(), 4000);
+        for &c in &total {
+            assert_eq!(c, 1000, "perfectly even under atomic rotation: {total:?}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Function-call types shared by the scheduler, runtime and message bus.
+
+use bytes::{Buf, BufMut};
+
+/// A unique call identifier, as returned by `chain_call` (Tab. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallId(pub u64);
+
+impl std::fmt::Display for CallId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "call-{}", self.0)
+    }
+}
+
+/// A function invocation request travelling through the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSpec {
+    /// The call id.
+    pub id: CallId,
+    /// Owning user/tenant (namespaces functions and files).
+    pub user: String,
+    /// Function name ("users' functions have unique names", §3.2).
+    pub function: String,
+    /// Input data as a byte array — the generic, language-agnostic
+    /// interface of §3.2.
+    pub input: Vec<u8>,
+}
+
+/// Terminal status of a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallStatus {
+    /// Completed with a return code of zero.
+    Success,
+    /// Completed with a non-zero return code.
+    Failed(i32),
+    /// Trapped or errored in the runtime; carries the message.
+    Error(String),
+}
+
+/// The result of a completed call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallResult {
+    /// The call this result belongs to.
+    pub id: CallId,
+    /// Terminal status.
+    pub status: CallStatus,
+    /// Output data written by `write_call_output`.
+    pub output: Vec<u8>,
+}
+
+impl CallResult {
+    /// A successful result.
+    pub fn success(id: CallId, output: Vec<u8>) -> CallResult {
+        CallResult {
+            id,
+            status: CallStatus::Success,
+            output,
+        }
+    }
+
+    /// An errored result.
+    pub fn error(id: CallId, msg: impl Into<String>) -> CallResult {
+        CallResult {
+            id,
+            status: CallStatus::Error(msg.into()),
+            output: Vec::new(),
+        }
+    }
+
+    /// The return code convention used by `await_call`: 0 success, guest
+    /// code for `Failed`, -1 for runtime errors.
+    pub fn return_code(&self) -> i32 {
+        match &self.status {
+            CallStatus::Success => 0,
+            CallStatus::Failed(code) => *code,
+            CallStatus::Error(_) => -1,
+        }
+    }
+}
+
+/// Encode a call spec for the fabric (used when sharing work across hosts).
+pub fn encode_call(call: &CallSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u64_le(call.id.0);
+    out.put_u32_le(call.user.len() as u32);
+    out.put_slice(call.user.as_bytes());
+    out.put_u32_le(call.function.len() as u32);
+    out.put_slice(call.function.as_bytes());
+    out.put_u32_le(call.input.len() as u32);
+    out.put_slice(&call.input);
+    out
+}
+
+/// Decode a call spec from the fabric.
+pub fn decode_call(mut buf: &[u8]) -> Option<CallSpec> {
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let id = CallId(buf.get_u64_le());
+    let user = get_string(&mut buf)?;
+    let function = get_string(&mut buf)?;
+    let input = get_blob(&mut buf)?;
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(CallSpec {
+        id,
+        user,
+        function,
+        input,
+    })
+}
+
+/// Encode a call result for the fabric.
+pub fn encode_result(r: &CallResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u64_le(r.id.0);
+    match &r.status {
+        CallStatus::Success => out.put_u8(0),
+        CallStatus::Failed(code) => {
+            out.put_u8(1);
+            out.put_i32_le(*code);
+        }
+        CallStatus::Error(msg) => {
+            out.put_u8(2);
+            out.put_u32_le(msg.len() as u32);
+            out.put_slice(msg.as_bytes());
+        }
+    }
+    out.put_u32_le(r.output.len() as u32);
+    out.put_slice(&r.output);
+    out
+}
+
+/// Decode a call result from the fabric.
+pub fn decode_result(mut buf: &[u8]) -> Option<CallResult> {
+    if buf.remaining() < 9 {
+        return None;
+    }
+    let id = CallId(buf.get_u64_le());
+    let status = match buf.get_u8() {
+        0 => CallStatus::Success,
+        1 => {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            CallStatus::Failed(buf.get_i32_le())
+        }
+        2 => {
+            let msg = get_string(&mut buf)?;
+            CallStatus::Error(msg)
+        }
+        _ => return None,
+    };
+    let output = get_blob(&mut buf)?;
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(CallResult { id, status, output })
+}
+
+fn get_blob(buf: &mut &[u8]) -> Option<Vec<u8>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    Some(v)
+}
+
+fn get_string(buf: &mut &[u8]) -> Option<String> {
+    String::from_utf8(get_blob(buf)?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let call = CallSpec {
+            id: CallId(42),
+            user: "alice".into(),
+            function: "sgd_main".into(),
+            input: vec![1, 2, 3],
+        };
+        assert_eq!(decode_call(&encode_call(&call)), Some(call));
+    }
+
+    #[test]
+    fn result_roundtrips_all_statuses() {
+        for status in [
+            CallStatus::Success,
+            CallStatus::Failed(7),
+            CallStatus::Error("trap: out of fuel".into()),
+        ] {
+            let r = CallResult {
+                id: CallId(1),
+                status,
+                output: b"out".to_vec(),
+            };
+            assert_eq!(decode_result(&encode_result(&r)), Some(r));
+        }
+    }
+
+    #[test]
+    fn return_codes() {
+        assert_eq!(CallResult::success(CallId(1), vec![]).return_code(), 0);
+        assert_eq!(
+            CallResult {
+                id: CallId(1),
+                status: CallStatus::Failed(3),
+                output: vec![]
+            }
+            .return_code(),
+            3
+        );
+        assert_eq!(CallResult::error(CallId(1), "x").return_code(), -1);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(decode_call(&[]), None);
+        assert_eq!(decode_result(&[]), None);
+        let good = encode_call(&CallSpec {
+            id: CallId(1),
+            user: "u".into(),
+            function: "f".into(),
+            input: vec![9; 10],
+        });
+        for cut in 1..good.len() {
+            assert!(decode_call(&good[..cut]).is_none(), "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_call(&trailing).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Warm-set tracking in the global tier (§5.1).
+//!
+//! "The set of warm hosts for each function is held in the FAASM state
+//! global tier, and each scheduler may query and atomically update this set
+//! during the scheduling decision." Warm sets are KVS sets keyed by user and
+//! function; members are host ids.
+
+use std::sync::Arc;
+
+use faasm_kvs::{KvClient, KvError};
+use faasm_net::HostId;
+
+/// The global warm-host registry, shared by all local schedulers.
+pub struct WarmSets {
+    kv: Arc<KvClient>,
+}
+
+impl std::fmt::Debug for WarmSets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmSets").finish()
+    }
+}
+
+fn warm_key(user: &str, function: &str) -> String {
+    format!("sched:warm:{user}:{function}")
+}
+
+impl WarmSets {
+    /// A registry over the given global-tier client.
+    pub fn new(kv: Arc<KvClient>) -> WarmSets {
+        WarmSets { kv }
+    }
+
+    /// Atomically register `host` as warm for `user/function`; returns true
+    /// if it was not already registered.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn register(&self, user: &str, function: &str, host: HostId) -> Result<bool, KvError> {
+        self.kv
+            .sadd(&warm_key(user, function), &host.0.to_le_bytes())
+    }
+
+    /// Remove `host` from the warm set (e.g. when its Faaslets are evicted
+    /// or the host fails).
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn deregister(&self, user: &str, function: &str, host: HostId) -> Result<bool, KvError> {
+        self.kv
+            .srem(&warm_key(user, function), &host.0.to_le_bytes())
+    }
+
+    /// The current warm hosts for `user/function`, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn hosts(&self, user: &str, function: &str) -> Result<Vec<HostId>, KvError> {
+        let members = self.kv.smembers(&warm_key(user, function))?;
+        let mut out: Vec<HostId> = members
+            .into_iter()
+            .filter_map(|m| {
+                let bytes: [u8; 4] = m.try_into().ok()?;
+                Some(HostId(u32::from_le_bytes(bytes)))
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// A warm host other than `not`, if any (round-robin'd by `seed` so
+    /// repeated shares spread over the warm set).
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn pick_other(
+        &self,
+        user: &str,
+        function: &str,
+        not: HostId,
+        seed: usize,
+    ) -> Result<Option<HostId>, KvError> {
+        let candidates: Vec<HostId> = self
+            .hosts(user, function)?
+            .into_iter()
+            .filter(|h| *h != not)
+            .collect();
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(candidates[seed % candidates.len()]))
+    }
+
+    /// Number of warm hosts.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn count(&self, user: &str, function: &str) -> Result<u64, KvError> {
+        self.kv.scard(&warm_key(user, function))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasm_kvs::KvStore;
+
+    fn warm() -> WarmSets {
+        WarmSets::new(Arc::new(KvClient::local(Arc::new(KvStore::new()))))
+    }
+
+    #[test]
+    fn register_query_deregister() {
+        let w = warm();
+        assert!(w.register("u", "f", HostId(1)).unwrap());
+        assert!(!w.register("u", "f", HostId(1)).unwrap(), "idempotent");
+        w.register("u", "f", HostId(3)).unwrap();
+        assert_eq!(w.hosts("u", "f").unwrap(), vec![HostId(1), HostId(3)]);
+        assert_eq!(w.count("u", "f").unwrap(), 2);
+        assert!(w.deregister("u", "f", HostId(1)).unwrap());
+        assert_eq!(w.hosts("u", "f").unwrap(), vec![HostId(3)]);
+    }
+
+    #[test]
+    fn sets_are_per_user_and_function() {
+        let w = warm();
+        w.register("u1", "f", HostId(1)).unwrap();
+        w.register("u2", "f", HostId(2)).unwrap();
+        w.register("u1", "g", HostId(3)).unwrap();
+        assert_eq!(w.hosts("u1", "f").unwrap(), vec![HostId(1)]);
+        assert_eq!(w.hosts("u2", "f").unwrap(), vec![HostId(2)]);
+        assert_eq!(w.hosts("u1", "g").unwrap(), vec![HostId(3)]);
+    }
+
+    #[test]
+    fn pick_other_excludes_self_and_rotates() {
+        let w = warm();
+        assert_eq!(w.pick_other("u", "f", HostId(0), 0).unwrap(), None);
+        w.register("u", "f", HostId(0)).unwrap();
+        assert_eq!(
+            w.pick_other("u", "f", HostId(0), 0).unwrap(),
+            None,
+            "only self warm"
+        );
+        w.register("u", "f", HostId(1)).unwrap();
+        w.register("u", "f", HostId(2)).unwrap();
+        let picks: Vec<HostId> = (0..4)
+            .map(|seed| w.pick_other("u", "f", HostId(0), seed).unwrap().unwrap())
+            .collect();
+        assert_eq!(picks[0], picks[2], "rotation cycles");
+        assert_ne!(picks[0], picks[1], "rotation spreads");
+        assert!(picks.iter().all(|h| *h != HostId(0)));
+    }
+}

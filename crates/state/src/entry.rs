@@ -1,0 +1,555 @@
+//! A single state value in the two-tier architecture (§4.2).
+//!
+//! A [`StateEntry`] is one key's **local-tier replica**: a shared memory
+//! region (mapped zero-copy into every Faaslet on the host that uses the
+//! key), a chunk table tracking which parts of the authoritative global
+//! value are present locally and which local writes are dirty, plus the
+//! local read/write lock. Pulls fetch only missing chunks; pushes send only
+//! dirty chunks — the mechanism behind Listing 1's sparse matrix access and
+//! batched weight updates.
+
+use std::sync::Arc;
+
+use faasm_kvs::{KvClient, LockMode};
+use faasm_mem::SharedRegion;
+use parking_lot::Mutex;
+
+use crate::error::StateError;
+use crate::rwlock::SyncRwLock;
+
+/// Default chunk size: 16 KiB balances pull granularity against per-request
+/// overhead (the paper treats chunks as "smaller independent state values").
+pub const DEFAULT_CHUNK_SIZE: usize = 16 * 1024;
+
+#[derive(Debug)]
+struct ChunkTable {
+    present: Vec<bool>,
+    dirty: Vec<bool>,
+}
+
+/// One state key's local replica plus its synchronisation state.
+pub struct StateEntry {
+    key: String,
+    region: SharedRegion,
+    size: usize,
+    chunk_size: usize,
+    chunks: Mutex<ChunkTable>,
+    local_lock: SyncRwLock,
+    kv: Arc<KvClient>,
+}
+
+impl std::fmt::Debug for StateEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateEntry")
+            .field("key", &self.key)
+            .field("size", &self.size)
+            .field("chunk_size", &self.chunk_size)
+            .finish()
+    }
+}
+
+impl StateEntry {
+    /// Create a replica of `key` with value size `size`, backed by `region`
+    /// (which must have capacity for `size` bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::CapacityExceeded`] if the region is too small.
+    pub fn new(
+        key: &str,
+        size: usize,
+        region: SharedRegion,
+        kv: Arc<KvClient>,
+        chunk_size: usize,
+    ) -> Result<StateEntry, StateError> {
+        if size > region.capacity() {
+            return Err(StateError::CapacityExceeded {
+                requested: size,
+                capacity: region.capacity(),
+            });
+        }
+        let n_chunks = size.div_ceil(chunk_size).max(1);
+        Ok(StateEntry {
+            key: key.to_string(),
+            region,
+            size,
+            chunk_size,
+            chunks: Mutex::new(ChunkTable {
+                present: vec![false; n_chunks],
+                dirty: vec![false; n_chunks],
+            }),
+            local_lock: SyncRwLock::new(),
+            kv,
+        })
+    }
+
+    /// The state key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The value size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The chunk size in bytes.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// The backing shared region — mapped into Faaslet linear memories for
+    /// zero-copy access (§3.3). Callers mapping the region get raw access;
+    /// they must use [`StateEntry::lock_read`]/[`StateEntry::lock_write`]
+    /// for synchronised access or accept HOGWILD-style races.
+    pub fn region(&self) -> &SharedRegion {
+        &self.region
+    }
+
+    /// Number of chunks currently present in the local tier.
+    pub fn present_chunks(&self) -> usize {
+        self.chunks.lock().present.iter().filter(|p| **p).count()
+    }
+
+    /// Number of chunks dirtied by local writes since the last push.
+    pub fn dirty_chunks(&self) -> usize {
+        self.chunks.lock().dirty.iter().filter(|d| **d).count()
+    }
+
+    fn check_range(&self, offset: usize, len: usize) -> Result<(), StateError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.size) {
+            return Err(StateError::OutOfRange {
+                offset,
+                len,
+                size: self.size,
+            });
+        }
+        Ok(())
+    }
+
+    fn chunk_span(&self, offset: usize, len: usize) -> (usize, usize) {
+        let first = offset / self.chunk_size;
+        let last = if len == 0 {
+            first
+        } else {
+            (offset + len - 1) / self.chunk_size
+        };
+        (first, last)
+    }
+
+    fn chunk_bounds(&self, idx: usize) -> (usize, usize) {
+        let start = idx * self.chunk_size;
+        let end = ((idx + 1) * self.chunk_size).min(self.size);
+        (start, end)
+    }
+
+    /// Fetch any chunks in `offset..offset+len` missing from the local
+    /// replica ("the DDO implicitly performs a pull operation to ensure that
+    /// data is present... only replicates the necessary subsets", §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Global-tier or range errors.
+    pub fn pull_range(&self, offset: usize, len: usize) -> Result<(), StateError> {
+        self.check_range(offset, len)?;
+        let (first, last) = self.chunk_span(offset, len);
+        let mut table = self.chunks.lock();
+        for idx in first..=last {
+            if table.present[idx] {
+                continue;
+            }
+            let (start, end) = self.chunk_bounds(idx);
+            if let Some(data) = self
+                .kv
+                .get_range(&self.key, start as u64, (end - start) as u64)?
+            {
+                if !data.is_empty() {
+                    self.region.write(start, &data)?;
+                }
+            }
+            table.present[idx] = true;
+        }
+        Ok(())
+    }
+
+    /// Pull the entire value (`pull_state`, Tab. 2).
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn pull(&self) -> Result<(), StateError> {
+        self.pull_range(0, self.size)
+    }
+
+    /// Push dirty chunks to the global tier (`push_state`); clears dirty
+    /// bits.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn push(&self) -> Result<(), StateError> {
+        let dirty: Vec<usize> = {
+            let table = self.chunks.lock();
+            table
+                .dirty
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| d.then_some(i))
+                .collect()
+        };
+        for idx in dirty {
+            let (start, end) = self.chunk_bounds(idx);
+            let mut buf = vec![0u8; end - start];
+            self.region.read(start, &mut buf)?;
+            self.kv.set_range(&self.key, start as u64, buf)?;
+            self.chunks.lock().dirty[idx] = false;
+        }
+        Ok(())
+    }
+
+    /// Push the entire value regardless of dirty state (`push_state`,
+    /// Tab. 2). Guests that write through a mapped pointer bypass dirty
+    /// tracking (§4.2 notes pointer writes skip the implicit machinery), so
+    /// the whole-value push is the safe host-interface semantics. Marks all
+    /// chunks present and clean.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn push_full(&self) -> Result<(), StateError> {
+        let mut buf = vec![0u8; self.size];
+        self.region.read(0, &mut buf)?;
+        self.kv.set(&self.key, buf)?;
+        let mut table = self.chunks.lock();
+        table.present.iter_mut().for_each(|p| *p = true);
+        table.dirty.iter_mut().for_each(|d| *d = false);
+        Ok(())
+    }
+
+    /// Push one byte range regardless of dirty state (`push_state_offset`).
+    ///
+    /// # Errors
+    ///
+    /// Global-tier or range errors.
+    pub fn push_range(&self, offset: usize, len: usize) -> Result<(), StateError> {
+        self.check_range(offset, len)?;
+        let mut buf = vec![0u8; len];
+        self.region.read(offset, &mut buf)?;
+        self.kv.set_range(&self.key, offset as u64, buf)?;
+        // Covered whole chunks are no longer dirty.
+        let (first, last) = self.chunk_span(offset, len);
+        let mut table = self.chunks.lock();
+        for idx in first..=last {
+            let (start, end) = self.chunk_bounds(idx);
+            if offset <= start && offset + len >= end {
+                table.dirty[idx] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read from the local replica, pulling missing chunks first. Takes the
+    /// local read lock implicitly (§4.2 "locking happens implicitly as part
+    /// of all state API functions").
+    ///
+    /// # Errors
+    ///
+    /// Global-tier or range errors.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), StateError> {
+        self.pull_range(offset, buf.len())?;
+        self.local_lock.lock_read();
+        let r = self.region.read(offset, buf);
+        self.local_lock.unlock_read();
+        r.map_err(StateError::from)
+    }
+
+    /// Write to the local replica and mark dirty chunks. Chunks partially
+    /// covered by the write are pulled first (read-modify-write), so a later
+    /// push cannot clobber global bytes the Faaslet never saw. Takes the
+    /// local write lock implicitly.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier or range errors.
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<(), StateError> {
+        self.check_range(offset, data.len())?;
+        let (first, last) = self.chunk_span(offset, data.len());
+        // Pull partially-covered, absent chunks.
+        {
+            let table = self.chunks.lock();
+            let mut need_pull = Vec::new();
+            for idx in first..=last {
+                let (start, end) = self.chunk_bounds(idx);
+                let fully_covered = offset <= start && offset + data.len() >= end;
+                if !table.present[idx] && !fully_covered {
+                    need_pull.push((start, end));
+                }
+            }
+            drop(table);
+            for (start, end) in need_pull {
+                self.pull_range(start, end - start)?;
+            }
+        }
+        self.local_lock.lock_write();
+        let r = self.region.write(offset, data);
+        self.local_lock.unlock_write();
+        r?;
+        let mut table = self.chunks.lock();
+        for idx in first..=last {
+            table.dirty[idx] = true;
+            table.present[idx] = true;
+        }
+        Ok(())
+    }
+
+    /// Append to the authoritative global value (`append_state`). Appended
+    /// data bypasses the fixed-size local replica; readers use
+    /// [`StateEntry::read_appended`].
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn append(&self, data: &[u8]) -> Result<u64, StateError> {
+        Ok(self.kv.append(&self.key, data.to_vec())?)
+    }
+
+    /// Read the full current global value, including appended data beyond
+    /// the local replica size.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors; [`StateError::NotFound`] if the key is absent.
+    pub fn read_appended(&self) -> Result<Vec<u8>, StateError> {
+        self.kv.get(&self.key)?.ok_or_else(|| StateError::NotFound {
+            key: self.key.clone(),
+        })
+    }
+
+    /// Explicit local read lock (`lock_state_read`).
+    pub fn lock_read(&self) {
+        self.local_lock.lock_read();
+    }
+
+    /// Explicit local read unlock.
+    pub fn unlock_read(&self) {
+        self.local_lock.unlock_read();
+    }
+
+    /// Explicit local write lock (`lock_state_write`).
+    pub fn lock_write(&self) {
+        self.local_lock.lock_write();
+    }
+
+    /// Explicit local write unlock.
+    pub fn unlock_write(&self) {
+        self.local_lock.unlock_write();
+    }
+
+    /// Acquire the global read lock (`lock_state_global_read`), blocking.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn lock_global_read(&self) -> Result<(), StateError> {
+        Ok(self.kv.lock(&self.key, LockMode::Read)?)
+    }
+
+    /// Release the global read lock.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn unlock_global_read(&self) -> Result<(), StateError> {
+        Ok(self.kv.unlock(&self.key, LockMode::Read)?)
+    }
+
+    /// Acquire the global write lock (`lock_state_global_write`), blocking.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn lock_global_write(&self) -> Result<(), StateError> {
+        Ok(self.kv.lock(&self.key, LockMode::Write)?)
+    }
+
+    /// Release the global write lock.
+    ///
+    /// # Errors
+    ///
+    /// Global-tier errors.
+    pub fn unlock_global_write(&self) -> Result<(), StateError> {
+        Ok(self.kv.unlock(&self.key, LockMode::Write)?)
+    }
+
+    /// Forget local presence so the next access re-pulls (used after another
+    /// party is known to have changed the global value, and by tests).
+    pub fn invalidate(&self) {
+        let mut table = self.chunks.lock();
+        table.present.iter_mut().for_each(|p| *p = false);
+        table.dirty.iter_mut().for_each(|d| *d = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasm_kvs::KvStore;
+
+    fn entry_with(size: usize, chunk: usize) -> (Arc<KvClient>, StateEntry) {
+        let store = Arc::new(KvStore::new());
+        let kv = Arc::new(KvClient::local(store));
+        let region = SharedRegion::new(size.max(1));
+        let e = StateEntry::new("k", size, region, Arc::clone(&kv), chunk).unwrap();
+        (kv, e)
+    }
+
+    #[test]
+    fn write_then_read_local() {
+        let (_kv, e) = entry_with(100, 16);
+        e.write(10, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        e.read(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert!(e.dirty_chunks() > 0);
+    }
+
+    #[test]
+    fn push_sends_only_dirty_chunks() {
+        let (kv, e) = entry_with(64, 16); // 4 chunks
+        e.write(0, &[1u8; 16]).unwrap(); // chunk 0
+        e.write(48, &[2u8; 16]).unwrap(); // chunk 3
+        assert_eq!(e.dirty_chunks(), 2);
+        e.push().unwrap();
+        assert_eq!(e.dirty_chunks(), 0);
+        let global = kv.get("k").unwrap().unwrap();
+        assert_eq!(&global[0..16], &[1u8; 16]);
+        assert_eq!(&global[48..64], &[2u8; 16]);
+        // Untouched middle chunks were never sent; global zero-extended.
+        assert_eq!(&global[16..48], &[0u8; 32]);
+    }
+
+    #[test]
+    fn pull_fetches_only_missing_chunks() {
+        let (kv, e) = entry_with(64, 16);
+        kv.set("k", (0u8..64).collect()).unwrap();
+        e.pull_range(20, 4).unwrap(); // chunk 1 only
+        assert_eq!(e.present_chunks(), 1);
+        let mut buf = [0u8; 4];
+        e.read(20, &mut buf).unwrap();
+        assert_eq!(buf, [20, 21, 22, 23]);
+        e.pull().unwrap();
+        assert_eq!(e.present_chunks(), 4);
+    }
+
+    #[test]
+    fn read_pulls_implicitly() {
+        let (kv, e) = entry_with(32, 16);
+        kv.set("k", vec![7u8; 32]).unwrap();
+        let mut buf = [0u8; 8];
+        e.read(4, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8]);
+        assert_eq!(e.present_chunks(), 1, "only the covering chunk pulled");
+    }
+
+    #[test]
+    fn partial_write_to_absent_chunk_preserves_global_bytes() {
+        let (kv, e) = entry_with(32, 16);
+        kv.set("k", vec![9u8; 32]).unwrap();
+        // Partial write into chunk 0 without reading it first.
+        e.write(4, b"AB").unwrap();
+        e.push().unwrap();
+        let global = kv.get("k").unwrap().unwrap();
+        assert_eq!(global[0], 9, "pre-existing byte survives RMW");
+        assert_eq!(&global[4..6], b"AB");
+        assert_eq!(global[6], 9);
+    }
+
+    #[test]
+    fn push_range_clears_covered_chunk_dirty() {
+        let (kv, e) = entry_with(32, 16);
+        e.write(0, &[1u8; 32]).unwrap();
+        assert_eq!(e.dirty_chunks(), 2);
+        e.push_range(0, 16).unwrap();
+        assert_eq!(e.dirty_chunks(), 1);
+        assert_eq!(kv.strlen("k").unwrap(), 16);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (_kv, e) = entry_with(10, 16);
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            e.read(8, &mut buf),
+            Err(StateError::OutOfRange { .. })
+        ));
+        assert!(e.write(10, &[0]).is_err());
+        assert!(e.pull_range(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn capacity_checked_at_creation() {
+        let store = Arc::new(KvStore::new());
+        let kv = Arc::new(KvClient::local(store));
+        let region = SharedRegion::new(10); // one page capacity
+        assert!(StateEntry::new("k", faasm_mem::PAGE_SIZE + 1, region, kv, 1024).is_err());
+    }
+
+    #[test]
+    fn append_and_read_appended() {
+        let (_kv, e) = entry_with(4, 16);
+        e.write(0, b"base").unwrap();
+        e.push().unwrap();
+        assert_eq!(e.append(b"+one").unwrap(), 8);
+        assert_eq!(e.append(b"+two").unwrap(), 12);
+        assert_eq!(e.read_appended().unwrap(), b"base+one+two");
+    }
+
+    #[test]
+    fn explicit_local_locks() {
+        let (_kv, e) = entry_with(8, 16);
+        e.lock_write();
+        e.unlock_write();
+        e.lock_read();
+        e.lock_read();
+        e.unlock_read();
+        e.unlock_read();
+    }
+
+    #[test]
+    fn global_locks_roundtrip() {
+        let (_kv, e) = entry_with(8, 16);
+        e.lock_global_write().unwrap();
+        e.unlock_global_write().unwrap();
+        e.lock_global_read().unwrap();
+        e.unlock_global_read().unwrap();
+    }
+
+    #[test]
+    fn invalidate_forces_repull() {
+        let (kv, e) = entry_with(8, 16);
+        kv.set("k", vec![1u8; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        e.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 8]);
+        kv.set("k", vec![2u8; 8]).unwrap();
+        // Still cached.
+        e.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 8]);
+        e.invalidate();
+        e.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 8]);
+    }
+
+    #[test]
+    fn shared_region_visible_to_co_located_replica_users() {
+        // Two "Faaslets" with the same entry share one region: writes by one
+        // are readable by the other without any pull/push.
+        let (_kv, e) = entry_with(16, 16);
+        let e = Arc::new(e);
+        let e2 = Arc::clone(&e);
+        e.write(0, b"from-f1").unwrap();
+        let mut buf = [0u8; 7];
+        e2.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"from-f1");
+    }
+}

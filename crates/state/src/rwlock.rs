@@ -1,0 +1,169 @@
+//! A readers-writer lock with explicit lock/unlock operations.
+//!
+//! The host interface exposes `lock_state_read` / `unlock_state_read` as
+//! separate calls (Tab. 2), so guard-based locks cannot model it — the lock
+//! and unlock happen in different host-call activations. This lock keeps the
+//! count-based state explicit and panics on misuse only in debug builds;
+//! in release it saturates safely.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct LockState {
+    readers: usize,
+    writer: bool,
+}
+
+/// An explicit (guard-free) readers-writer lock.
+#[derive(Debug, Default)]
+pub struct SyncRwLock {
+    state: Mutex<LockState>,
+    cond: Condvar,
+}
+
+impl SyncRwLock {
+    /// A new unlocked lock.
+    pub fn new() -> SyncRwLock {
+        SyncRwLock::default()
+    }
+
+    /// Acquire a shared read lock, blocking while a writer holds the lock.
+    pub fn lock_read(&self) {
+        let mut s = self.state.lock();
+        while s.writer {
+            self.cond.wait(&mut s);
+        }
+        s.readers += 1;
+    }
+
+    /// Release a read lock.
+    pub fn unlock_read(&self) {
+        let mut s = self.state.lock();
+        debug_assert!(s.readers > 0, "unlock_read without lock_read");
+        s.readers = s.readers.saturating_sub(1);
+        if s.readers == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Acquire the exclusive write lock, blocking while readers or another
+    /// writer hold the lock.
+    pub fn lock_write(&self) {
+        let mut s = self.state.lock();
+        while s.writer || s.readers > 0 {
+            self.cond.wait(&mut s);
+        }
+        s.writer = true;
+    }
+
+    /// Release the write lock.
+    pub fn unlock_write(&self) {
+        let mut s = self.state.lock();
+        debug_assert!(s.writer, "unlock_write without lock_write");
+        s.writer = false;
+        self.cond.notify_all();
+    }
+
+    /// Run `f` under the read lock.
+    pub fn with_read<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.lock_read();
+        let out = f();
+        self.unlock_read();
+        out
+    }
+
+    /// Run `f` under the write lock.
+    pub fn with_write<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.lock_write();
+        let out = f();
+        self.unlock_write();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn readers_share() {
+        let l = SyncRwLock::new();
+        l.lock_read();
+        l.lock_read();
+        l.unlock_read();
+        l.unlock_read();
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let l = Arc::new(SyncRwLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        l.lock_write();
+        let l2 = Arc::clone(&l);
+        let c2 = Arc::clone(&counter);
+        let t = std::thread::spawn(move || {
+            l2.lock_read();
+            c2.store(1, Ordering::SeqCst);
+            l2.unlock_read();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "reader must wait");
+        l.unlock_write();
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn writer_waits_for_readers() {
+        let l = Arc::new(SyncRwLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        l.lock_read();
+        let l2 = Arc::clone(&l);
+        let c2 = Arc::clone(&counter);
+        let t = std::thread::spawn(move || {
+            l2.lock_write();
+            c2.store(1, Ordering::SeqCst);
+            l2.unlock_write();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "writer must wait");
+        l.unlock_read();
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn with_helpers() {
+        let l = SyncRwLock::new();
+        assert_eq!(l.with_read(|| 1), 1);
+        assert_eq!(l.with_write(|| 2), 2);
+    }
+
+    #[test]
+    fn mutual_exclusion_of_writers() {
+        let l = Arc::new(SyncRwLock::new());
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    l.lock_write();
+                    // Non-atomic read-modify-write protected by the lock.
+                    let v = shared.load(Ordering::Relaxed);
+                    std::hint::black_box(v);
+                    shared.store(v + 1, Ordering::Relaxed);
+                    l.unlock_write();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.load(Ordering::Relaxed), 2000);
+    }
+}

@@ -1,0 +1,69 @@
+//! Filesystem error types.
+
+use std::fmt;
+
+/// Errors from virtual-filesystem operations.
+///
+/// These map onto errno-style failures at the host interface; a Faaslet can
+/// never crash the runtime through the filesystem, only receive errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path does not exist (and `O_CREAT` was not given).
+    NotFound {
+        /// The path as the user supplied it.
+        path: String,
+    },
+    /// The file descriptor is not open in this Faaslet — the WASI
+    /// capability model: handles are unforgeable and per-Faaslet (§3.1).
+    BadFd {
+        /// The offending descriptor.
+        fd: u32,
+    },
+    /// Write attempted on a read-only descriptor.
+    NotWritable,
+    /// Read attempted on a write-only descriptor.
+    NotReadable,
+    /// The path escapes the user's root or contains forbidden components.
+    InvalidPath {
+        /// The rejected path.
+        path: String,
+    },
+    /// Attempt to modify the global read-only namespace.
+    ReadOnlyNamespace {
+        /// The rejected path.
+        path: String,
+    },
+    /// Seek to a negative resolved offset.
+    BadSeek,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound { path } => write!(f, "no such file: {path:?}"),
+            FsError::BadFd { fd } => write!(f, "bad file descriptor {fd}"),
+            FsError::NotWritable => write!(f, "descriptor not writable"),
+            FsError::NotReadable => write!(f, "descriptor not readable"),
+            FsError::InvalidPath { path } => write!(f, "invalid path: {path:?}"),
+            FsError::ReadOnlyNamespace { path } => {
+                write!(f, "read-only namespace: {path:?}")
+            }
+            FsError::BadSeek => write!(f, "seek before start of file"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        assert!(FsError::NotFound { path: "x".into() }
+            .to_string()
+            .contains("x"));
+        assert!(FsError::BadFd { fd: 7 }.to_string().contains('7'));
+    }
+}

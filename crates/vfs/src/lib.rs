@@ -1,0 +1,21 @@
+//! Read-global write-local virtual filesystem with capability handles.
+//!
+//! Reproduces the Faaslet filesystem of §3.1: functions read files from a
+//! cluster-wide [`ObjectStore`] (datasets, libraries, object files) and
+//! write to host-local overlay copies; the global store is never mutated
+//! through the filesystem. Descriptors live in a per-Faaslet [`FdTable`] —
+//! the WASI capability-based security model with unforgeable handles —
+//! and every path is confined to the Faaslet's user root (plus the shared
+//! read-only `shared/` namespace). This replaces layered filesystems and
+//! `chroot`, which the paper calls out as cold-start costs (§3.1, citing
+//! SOCK).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fs;
+pub mod store;
+
+pub use error::FsError;
+pub use fs::{FdTable, FileStat, HostFs, OpenFlags, Whence, SHARED_PREFIX};
+pub use store::ObjectStore;

@@ -1,0 +1,137 @@
+//! The global object store (§5.2).
+//!
+//! "FAASM provides an upload service ... which then performs code generation
+//! and writes the resulting object files to a shared object store." The same
+//! store backs the read-global side of the Faaslet filesystem: datasets,
+//! model files and language-runtime libraries are uploaded once and pulled
+//! by hosts on demand. Pulled bytes are counted so experiments can attribute
+//! data-shipping costs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A cluster-wide, content-addressed-by-path object store.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    files: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    pulled_bytes: AtomicU64,
+    pulls: AtomicU64,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    /// Upload (or replace) an object.
+    pub fn put(&self, path: &str, data: Vec<u8>) {
+        self.files.write().insert(path.to_string(), Arc::new(data));
+    }
+
+    /// Fetch an object, counting the pull (a host-cache miss — the transfer
+    /// a real deployment would pay to S3/the object store).
+    pub fn pull(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        let data = self.files.read().get(path).cloned()?;
+        self.pulled_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        Some(data)
+    }
+
+    /// Whether an object exists (no pull counted).
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Object size in bytes, if present (no pull counted).
+    pub fn size(&self, path: &str) -> Option<usize> {
+        self.files.read().get(path).map(|d| d.len())
+    }
+
+    /// Remove an object; returns whether it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.files.write().remove(path).is_some()
+    }
+
+    /// Paths starting with `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Total bytes pulled by hosts since construction.
+    pub fn pulled_bytes(&self) -> u64 {
+        self.pulled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of pulls since construction.
+    pub fn pulls(&self) -> u64 {
+        self.pulls.load(Ordering::Relaxed)
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.files.read().values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_pull_roundtrip() {
+        let s = ObjectStore::new();
+        assert!(s.pull("f").is_none());
+        s.put("f", b"data".to_vec());
+        assert_eq!(s.pull("f").unwrap().as_slice(), b"data");
+        assert!(s.exists("f"));
+        assert_eq!(s.size("f"), Some(4));
+    }
+
+    #[test]
+    fn pulls_are_counted() {
+        let s = ObjectStore::new();
+        s.put("a", vec![0u8; 100]);
+        s.pull("a");
+        s.pull("a");
+        assert_eq!(s.pulled_bytes(), 200);
+        assert_eq!(s.pulls(), 2);
+        // exists/size do not count.
+        s.exists("a");
+        s.size("a");
+        assert_eq!(s.pulls(), 2);
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let s = ObjectStore::new();
+        s.put("lib/a.py", vec![]);
+        s.put("lib/b.py", vec![]);
+        s.put("data/x", vec![]);
+        assert_eq!(s.list("lib/"), vec!["lib/a.py", "lib/b.py"]);
+        assert_eq!(s.list(""), vec!["data/x", "lib/a.py", "lib/b.py"]);
+    }
+
+    #[test]
+    fn remove_and_accounting() {
+        let s = ObjectStore::new();
+        s.put("a", vec![0u8; 10]);
+        s.put("b", vec![0u8; 5]);
+        assert_eq!(s.total_bytes(), 15);
+        assert!(s.remove("a"));
+        assert!(!s.remove("a"));
+        assert_eq!(s.total_bytes(), 5);
+    }
+}

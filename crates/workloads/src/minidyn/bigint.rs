@@ -1,0 +1,257 @@
+//! Minimal arbitrary-precision unsigned integers for MiniDyn.
+//!
+//! The paper's Fig. 9b highlights `pidigits`, which "stresses big integer
+//! arithmetic". This implementation provides exactly the operations the
+//! benchmark suite needs: add, subtract, schoolbook multiply, small-divisor
+//! divmod, comparison and decimal printing. Limbs are base-2³² stored
+//! little-endian.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    /// Little-endian base-2³² limbs; no trailing zeros (zero = empty).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// From a machine integer.
+    pub fn from_u64(v: u64) -> BigUint {
+        let mut limbs = vec![(v & 0xffff_ffff) as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of limbs (size accounting).
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = a + b + carry;
+            out.push((sum & 0xffff_ffff) as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// `self + small`.
+    pub fn add_small(&self, v: u64) -> BigUint {
+        self.add(&BigUint::from_u64(v))
+    }
+
+    /// `self - other`, or `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self.cmp_big(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        Some(BigUint { limbs: out })
+    }
+
+    /// Schoolbook `self × other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] + a as u64 * b as u64 + carry;
+                out[i + j] = cur & 0xffff_ffff;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] + carry;
+                out[k] = cur & 0xffff_ffff;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut limbs: Vec<u32> = out.into_iter().map(|v| v as u32).collect();
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `self × small`.
+    pub fn mul_small(&self, v: u64) -> BigUint {
+        self.mul(&BigUint::from_u64(v))
+    }
+
+    /// `(self / d, self % d)` for a small divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `d == 0` (callers validate).
+    pub fn divmod_small(&self, d: u32) -> (BigUint, u32) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            out[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        (BigUint { limbs: out }, rem as u32)
+    }
+
+    /// Total order.
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod_small(10);
+            digits.push(b'0' + r as u8);
+            cur = q;
+        }
+        digits.reverse();
+        write!(f, "{}", std::str::from_utf8(&digits).expect("ascii digits"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_and_display() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from_u64(0).to_string(), "0");
+        assert_eq!(BigUint::from_u64(42).to_string(), "42");
+        assert_eq!(
+            BigUint::from_u64(u64::MAX).to_string(),
+            "18446744073709551615"
+        );
+    }
+
+    #[test]
+    fn add_with_carries() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = a.add(&a);
+        assert_eq!(b.to_string(), "36893488147419103230");
+        assert_eq!(a.add_small(1).to_string(), "18446744073709551616");
+    }
+
+    #[test]
+    fn sub_and_underflow() {
+        let a = BigUint::from_u64(1000);
+        let b = BigUint::from_u64(999);
+        assert_eq!(a.checked_sub(&b).unwrap().to_string(), "1");
+        assert_eq!(a.checked_sub(&a).unwrap().to_string(), "0");
+        assert!(b.checked_sub(&a).is_none());
+        // Multi-limb borrow.
+        let big = BigUint::from_u64(1)
+            .mul(&BigUint::from_u64(1))
+            .add(&BigUint::from_u64(u64::MAX).mul_small(2));
+        let small = BigUint::from_u64(u64::MAX);
+        let d = big.checked_sub(&small).unwrap();
+        assert_eq!(d.to_string(), "18446744073709551616");
+    }
+
+    #[test]
+    fn mul_schoolbook() {
+        let a = BigUint::from_u64(u64::MAX);
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_string(), "340282366920938463426481119284349108225");
+        assert!(BigUint::zero().mul(&a).is_zero());
+        assert_eq!(a.mul_small(10).to_string(), "184467440737095516150");
+    }
+
+    #[test]
+    fn divmod() {
+        let a = BigUint::from_u64(1_000_000_007);
+        let (q, r) = a.divmod_small(10);
+        assert_eq!(q.to_string(), "100000000");
+        assert_eq!(r, 7);
+        let (q, r) = BigUint::zero().divmod_small(7);
+        assert!(q.is_zero());
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn factorial_100() {
+        let mut acc = BigUint::from_u64(1);
+        for i in 2..=100u64 {
+            acc = acc.mul_small(i);
+        }
+        let s = acc.to_string();
+        assert_eq!(s.len(), 158);
+        assert!(s.starts_with("9332621544394415268"));
+        assert!(s.ends_with("000000000000000000000000"), "24 trailing zeros");
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u64(6);
+        let c = BigUint::from_u64(u64::MAX).mul_small(2);
+        assert_eq!(a.cmp_big(&b), Ordering::Less);
+        assert_eq!(b.cmp_big(&a), Ordering::Greater);
+        assert_eq!(a.cmp_big(&a), Ordering::Equal);
+        assert_eq!(c.cmp_big(&b), Ordering::Greater);
+        assert!(c.limb_count() >= 2);
+    }
+}

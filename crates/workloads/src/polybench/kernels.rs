@@ -1,0 +1,1150 @@
+//! The kernel definitions: FL sources and their native mirrors.
+//!
+//! Every FL kernel reads/writes the packed f64 buffer at `BASE`; the native
+//! mirror performs the identical operations in the identical order on the
+//! same packed layout, so outputs are comparable to within floating-point
+//! noise (the tests require 1e-9 relative agreement).
+
+use super::{durbin_init, generic_init, nussinov_init, spd_init, Kernel};
+
+fn ludcmp_init(n: usize, mem: &mut [f64]) {
+    spd_init(n, mem);
+    for i in 0..n {
+        mem[n * n + i] = 0.5 + (i % 5) as f64; // b
+        mem[n * n + n + i] = 0.0; // x
+        mem[n * n + 2 * n + i] = 0.0; // y
+    }
+}
+
+fn trisolv_init(n: usize, mem: &mut [f64]) {
+    spd_init(n, mem);
+    for i in 0..n {
+        mem[n * n + i] = 0.0; // x
+        mem[n * n + n + i] = 1.0 + i as f64 / n as f64; // b
+    }
+}
+
+fn gramschmidt_init(n: usize, mem: &mut [f64]) {
+    generic_init(n, mem);
+    // Bump the diagonal so columns are linearly independent; dependent
+    // columns give zero norms and NaNs.
+    for i in 0..n {
+        mem[i * n + i] += 2.0 + i as f64 / n as f64;
+    }
+}
+
+fn floyd_init(n: usize, mem: &mut [f64]) {
+    for i in 0..n {
+        for j in 0..n {
+            mem[i * n + j] = if i == j {
+                0.0
+            } else {
+                ((i * j) % 7 + 1) as f64
+            };
+        }
+    }
+}
+
+/// The full Fig. 9a suite.
+#[allow(clippy::too_many_lines)]
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "2mm",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double B = A + n * n;
+    ptr double C = B + n * n;
+    ptr double T = C + n * n;
+    ptr double D = T + n * n;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + A[i * n + k] * B[k * n + j];
+            }
+            T[i * n + j] = acc;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + T[i * n + k] * C[k * n + j];
+            }
+            D[i * n + j] = acc;
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (a, b, c, t, d) = (0, n * n, 2 * n * n, 3 * n * n, 4 * n * n);
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += m[a + i * n + k] * m[b + k * n + j];
+                        }
+                        m[t + i * n + j] = acc;
+                    }
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += m[t + i * n + k] * m[c + k * n + j];
+                        }
+                        m[d + i * n + j] = acc;
+                    }
+                }
+            },
+            slots: |n| 5 * n * n,
+            init: generic_init,
+            default_n: 24,
+        },
+        Kernel {
+            name: "3mm",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double B = A + n * n;
+    ptr double C = B + n * n;
+    ptr double D = C + n * n;
+    ptr double E = D + n * n;
+    ptr double F = E + n * n;
+    ptr double G = F + n * n;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + A[i * n + k] * B[k * n + j];
+            }
+            E[i * n + j] = acc;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + C[i * n + k] * D[k * n + j];
+            }
+            F[i * n + j] = acc;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + E[i * n + k] * F[k * n + j];
+            }
+            G[i * n + j] = acc;
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let nn = n * n;
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += m[i * n + k] * m[nn + k * n + j];
+                        }
+                        m[4 * nn + i * n + j] = acc;
+                    }
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += m[2 * nn + i * n + k] * m[3 * nn + k * n + j];
+                        }
+                        m[5 * nn + i * n + j] = acc;
+                    }
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += m[4 * nn + i * n + k] * m[5 * nn + k * n + j];
+                        }
+                        m[6 * nn + i * n + j] = acc;
+                    }
+                }
+            },
+            slots: |n| 7 * n * n,
+            init: generic_init,
+            default_n: 20,
+        },
+        Kernel {
+            name: "atax",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double x = A + n * n;
+    ptr double y = x + n;
+    ptr double tmp = y + n;
+    for (int j = 0; j < n; j = j + 1) {
+        y[j] = 0.0;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        double acc = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            acc = acc + A[i * n + j] * x[j];
+        }
+        tmp[i] = acc;
+        for (int j = 0; j < n; j = j + 1) {
+            y[j] = y[j] + A[i * n + j] * acc;
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (a, x, y, tmp) = (0, n * n, n * n + n, n * n + 2 * n);
+                for j in 0..n {
+                    m[y + j] = 0.0;
+                }
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for j in 0..n {
+                        acc += m[a + i * n + j] * m[x + j];
+                    }
+                    m[tmp + i] = acc;
+                    for j in 0..n {
+                        m[y + j] += m[a + i * n + j] * acc;
+                    }
+                }
+            },
+            slots: |n| n * n + 3 * n,
+            init: generic_init,
+            default_n: 48,
+        },
+        Kernel {
+            name: "bicg",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double s = A + n * n;
+    ptr double q = s + n;
+    ptr double p = q + n;
+    ptr double r = p + n;
+    for (int i = 0; i < n; i = i + 1) {
+        s[i] = 0.0;
+        q[i] = 0.0;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            s[j] = s[j] + r[i] * A[i * n + j];
+            q[i] = q[i] + A[i * n + j] * p[j];
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (a, s, q, p, r) = (0, n * n, n * n + n, n * n + 2 * n, n * n + 3 * n);
+                for i in 0..n {
+                    m[s + i] = 0.0;
+                    m[q + i] = 0.0;
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        m[s + j] += m[r + i] * m[a + i * n + j];
+                        m[q + i] += m[a + i * n + j] * m[p + j];
+                    }
+                }
+            },
+            slots: |n| n * n + 4 * n,
+            init: generic_init,
+            default_n: 48,
+        },
+        Kernel {
+            name: "mvt",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double x1 = A + n * n;
+    ptr double x2 = x1 + n;
+    ptr double y1 = x2 + n;
+    ptr double y2 = y1 + n;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            x1[i] = x1[i] + A[i * n + j] * y1[j];
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            x2[i] = x2[i] + A[j * n + i] * y2[j];
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (a, x1, x2, y1, y2) = (0, n * n, n * n + n, n * n + 2 * n, n * n + 3 * n);
+                for i in 0..n {
+                    for j in 0..n {
+                        m[x1 + i] += m[a + i * n + j] * m[y1 + j];
+                    }
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        m[x2 + i] += m[a + j * n + i] * m[y2 + j];
+                    }
+                }
+            },
+            slots: |n| n * n + 4 * n,
+            init: generic_init,
+            default_n: 48,
+        },
+        Kernel {
+            name: "cholesky",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            double acc = A[i * n + j];
+            for (int k = 0; k < j; k = k + 1) {
+                acc = acc - A[i * n + k] * A[j * n + k];
+            }
+            A[i * n + j] = acc / A[j * n + j];
+        }
+        double diag = A[i * n + i];
+        for (int k = 0; k < i; k = k + 1) {
+            diag = diag - A[i * n + k] * A[i * n + k];
+        }
+        A[i * n + i] = sqrt(diag);
+    }
+}
+"#,
+            native: |n, m| {
+                for i in 0..n {
+                    for j in 0..i {
+                        let mut acc = m[i * n + j];
+                        for k in 0..j {
+                            acc -= m[i * n + k] * m[j * n + k];
+                        }
+                        m[i * n + j] = acc / m[j * n + j];
+                    }
+                    let mut diag = m[i * n + i];
+                    for k in 0..i {
+                        diag -= m[i * n + k] * m[i * n + k];
+                    }
+                    m[i * n + i] = diag.sqrt();
+                }
+            },
+            slots: |n| n * n,
+            init: spd_init,
+            default_n: 32,
+        },
+        Kernel {
+            name: "lu",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            double w = A[i * n + j];
+            for (int k = 0; k < j; k = k + 1) {
+                w = w - A[i * n + k] * A[k * n + j];
+            }
+            A[i * n + j] = w / A[j * n + j];
+        }
+        for (int j = i; j < n; j = j + 1) {
+            double w = A[i * n + j];
+            for (int k = 0; k < i; k = k + 1) {
+                w = w - A[i * n + k] * A[k * n + j];
+            }
+            A[i * n + j] = w;
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                for i in 0..n {
+                    for j in 0..i {
+                        let mut w = m[i * n + j];
+                        for k in 0..j {
+                            w -= m[i * n + k] * m[k * n + j];
+                        }
+                        m[i * n + j] = w / m[j * n + j];
+                    }
+                    for j in i..n {
+                        let mut w = m[i * n + j];
+                        for k in 0..i {
+                            w -= m[i * n + k] * m[k * n + j];
+                        }
+                        m[i * n + j] = w;
+                    }
+                }
+            },
+            slots: |n| n * n,
+            init: spd_init,
+            default_n: 32,
+        },
+        Kernel {
+            name: "ludcmp",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double b = A + n * n;
+    ptr double x = b + n;
+    ptr double y = x + n;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            double w = A[i * n + j];
+            for (int k = 0; k < j; k = k + 1) {
+                w = w - A[i * n + k] * A[k * n + j];
+            }
+            A[i * n + j] = w / A[j * n + j];
+        }
+        for (int j = i; j < n; j = j + 1) {
+            double w = A[i * n + j];
+            for (int k = 0; k < i; k = k + 1) {
+                w = w - A[i * n + k] * A[k * n + j];
+            }
+            A[i * n + j] = w;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        double w = b[i];
+        for (int j = 0; j < i; j = j + 1) {
+            w = w - A[i * n + j] * y[j];
+        }
+        y[i] = w;
+    }
+    for (int i = n - 1; i >= 0; i = i - 1) {
+        double w = y[i];
+        for (int j = i + 1; j < n; j = j + 1) {
+            w = w - A[i * n + j] * x[j];
+        }
+        x[i] = w / A[i * n + i];
+    }
+}
+"#,
+            native: |n, m| {
+                let (b, x, y) = (n * n, n * n + n, n * n + 2 * n);
+                for i in 0..n {
+                    for j in 0..i {
+                        let mut w = m[i * n + j];
+                        for k in 0..j {
+                            w -= m[i * n + k] * m[k * n + j];
+                        }
+                        m[i * n + j] = w / m[j * n + j];
+                    }
+                    for j in i..n {
+                        let mut w = m[i * n + j];
+                        for k in 0..i {
+                            w -= m[i * n + k] * m[k * n + j];
+                        }
+                        m[i * n + j] = w;
+                    }
+                }
+                for i in 0..n {
+                    let mut w = m[b + i];
+                    for j in 0..i {
+                        w -= m[i * n + j] * m[y + j];
+                    }
+                    m[y + i] = w;
+                }
+                for i in (0..n).rev() {
+                    let mut w = m[y + i];
+                    for j in i + 1..n {
+                        w -= m[i * n + j] * m[x + j];
+                    }
+                    m[x + i] = w / m[i * n + i];
+                }
+            },
+            slots: |n| n * n + 3 * n,
+            init: ludcmp_init,
+            default_n: 32,
+        },
+        Kernel {
+            name: "trisolv",
+            fl: r#"
+void kernel(int n) {
+    ptr double L = (ptr double) 65536;
+    ptr double x = L + n * n;
+    ptr double b = x + n;
+    for (int i = 0; i < n; i = i + 1) {
+        double w = b[i];
+        for (int j = 0; j < i; j = j + 1) {
+            w = w - L[i * n + j] * x[j];
+        }
+        x[i] = w / L[i * n + i];
+    }
+}
+"#,
+            native: |n, m| {
+                let (x, b) = (n * n, n * n + n);
+                for i in 0..n {
+                    let mut w = m[b + i];
+                    for j in 0..i {
+                        w -= m[i * n + j] * m[x + j];
+                    }
+                    m[x + i] = w / m[i * n + i];
+                }
+            },
+            slots: |n| n * n + 2 * n,
+            init: trisolv_init,
+            default_n: 64,
+        },
+        Kernel {
+            name: "durbin",
+            fl: r#"
+void kernel(int n) {
+    ptr double r = (ptr double) 65536;
+    ptr double y = r + n;
+    ptr double z = y + n;
+    y[0] = -r[0];
+    double beta = 1.0;
+    double alpha = -r[0];
+    for (int k = 1; k < n; k = k + 1) {
+        beta = (1.0 - alpha * alpha) * beta;
+        double sum = 0.0;
+        for (int i = 0; i < k; i = i + 1) {
+            sum = sum + r[k - i - 1] * y[i];
+        }
+        alpha = -(r[k] + sum) / beta;
+        for (int i = 0; i < k; i = i + 1) {
+            z[i] = y[i] + alpha * y[k - i - 1];
+        }
+        for (int i = 0; i < k; i = i + 1) {
+            y[i] = z[i];
+        }
+        y[k] = alpha;
+    }
+}
+"#,
+            native: |n, m| {
+                let (y, z) = (n, 2 * n);
+                m[y] = -m[0];
+                let mut beta = 1.0;
+                let mut alpha = -m[0];
+                for k in 1..n {
+                    beta *= 1.0 - alpha * alpha;
+                    let mut sum = 0.0;
+                    for i in 0..k {
+                        sum += m[k - i - 1] * m[y + i];
+                    }
+                    alpha = -(m[k] + sum) / beta;
+                    for i in 0..k {
+                        m[z + i] = m[y + i] + alpha * m[y + k - i - 1];
+                    }
+                    for i in 0..k {
+                        m[y + i] = m[z + i];
+                    }
+                    m[y + k] = alpha;
+                }
+            },
+            slots: |n| 3 * n,
+            init: durbin_init,
+            default_n: 64,
+        },
+        Kernel {
+            name: "jacobi-1d",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double B = A + n;
+    for (int t = 0; t < 10; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+            A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                for _t in 0..10 {
+                    for i in 1..n - 1 {
+                        m[n + i] = 0.33333 * (m[i - 1] + m[i] + m[i + 1]);
+                    }
+                    for i in 1..n - 1 {
+                        m[i] = 0.33333 * (m[n + i - 1] + m[n + i] + m[n + i + 1]);
+                    }
+                }
+            },
+            slots: |n| 2 * n,
+            init: generic_init,
+            default_n: 256,
+        },
+        Kernel {
+            name: "jacobi-2d",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double B = A + n * n;
+    for (int t = 0; t < 5; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                B[i * n + j] = 0.2 * (A[i * n + j] + A[i * n + j - 1] + A[i * n + j + 1]
+                    + A[(i + 1) * n + j] + A[(i - 1) * n + j]);
+            }
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                A[i * n + j] = 0.2 * (B[i * n + j] + B[i * n + j - 1] + B[i * n + j + 1]
+                    + B[(i + 1) * n + j] + B[(i - 1) * n + j]);
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let b = n * n;
+                for _t in 0..5 {
+                    for i in 1..n - 1 {
+                        for j in 1..n - 1 {
+                            m[b + i * n + j] = 0.2
+                                * (m[i * n + j]
+                                    + m[i * n + j - 1]
+                                    + m[i * n + j + 1]
+                                    + m[(i + 1) * n + j]
+                                    + m[(i - 1) * n + j]);
+                        }
+                    }
+                    for i in 1..n - 1 {
+                        for j in 1..n - 1 {
+                            m[i * n + j] = 0.2
+                                * (m[b + i * n + j]
+                                    + m[b + i * n + j - 1]
+                                    + m[b + i * n + j + 1]
+                                    + m[b + (i + 1) * n + j]
+                                    + m[b + (i - 1) * n + j]);
+                        }
+                    }
+                }
+            },
+            slots: |n| 2 * n * n,
+            init: generic_init,
+            default_n: 32,
+        },
+        Kernel {
+            name: "seidel-2d",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    for (int t = 0; t < 5; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                A[i * n + j] = (A[(i - 1) * n + j - 1] + A[(i - 1) * n + j] + A[(i - 1) * n + j + 1]
+                    + A[i * n + j - 1] + A[i * n + j] + A[i * n + j + 1]
+                    + A[(i + 1) * n + j - 1] + A[(i + 1) * n + j] + A[(i + 1) * n + j + 1]) / 9.0;
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                for _t in 0..5 {
+                    for i in 1..n - 1 {
+                        for j in 1..n - 1 {
+                            m[i * n + j] = (m[(i - 1) * n + j - 1]
+                                + m[(i - 1) * n + j]
+                                + m[(i - 1) * n + j + 1]
+                                + m[i * n + j - 1]
+                                + m[i * n + j]
+                                + m[i * n + j + 1]
+                                + m[(i + 1) * n + j - 1]
+                                + m[(i + 1) * n + j]
+                                + m[(i + 1) * n + j + 1])
+                                / 9.0;
+                        }
+                    }
+                }
+            },
+            slots: |n| n * n,
+            init: generic_init,
+            default_n: 32,
+        },
+        Kernel {
+            name: "fdtd-2d",
+            fl: r#"
+void kernel(int n) {
+    ptr double ex = (ptr double) 65536;
+    ptr double ey = ex + n * n;
+    ptr double hz = ey + n * n;
+    ptr double fict = hz + n * n;
+    for (int t = 0; t < 5; t = t + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            ey[j] = fict[t];
+        }
+        for (int i = 1; i < n; i = i + 1) {
+            for (int j = 0; j < n; j = j + 1) {
+                ey[i * n + j] = ey[i * n + j] - 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+            }
+        }
+        for (int i = 0; i < n; i = i + 1) {
+            for (int j = 1; j < n; j = j + 1) {
+                ex[i * n + j] = ex[i * n + j] - 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+            }
+        }
+        for (int i = 0; i < n - 1; i = i + 1) {
+            for (int j = 0; j < n - 1; j = j + 1) {
+                hz[i * n + j] = hz[i * n + j] - 0.7 * (ex[i * n + j + 1] - ex[i * n + j]
+                    + ey[(i + 1) * n + j] - ey[i * n + j]);
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (ey, hz, fict) = (n * n, 2 * n * n, 3 * n * n);
+                for t in 0..5 {
+                    for j in 0..n {
+                        m[ey + j] = m[fict + t];
+                    }
+                    for i in 1..n {
+                        for j in 0..n {
+                            m[ey + i * n + j] -=
+                                0.5 * (m[hz + i * n + j] - m[hz + (i - 1) * n + j]);
+                        }
+                    }
+                    for i in 0..n {
+                        for j in 1..n {
+                            m[i * n + j] -= 0.5 * (m[hz + i * n + j] - m[hz + i * n + j - 1]);
+                        }
+                    }
+                    for i in 0..n - 1 {
+                        for j in 0..n - 1 {
+                            m[hz + i * n + j] -= 0.7
+                                * (m[i * n + j + 1] - m[i * n + j] + m[ey + (i + 1) * n + j]
+                                    - m[ey + i * n + j]);
+                        }
+                    }
+                }
+            },
+            slots: |n| 3 * n * n + 5,
+            init: generic_init,
+            default_n: 32,
+        },
+        Kernel {
+            name: "heat-3d",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double B = A + n * n * n;
+    for (int t = 0; t < 3; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                for (int k = 1; k < n - 1; k = k + 1) {
+                    B[i * n * n + j * n + k] =
+                        0.125 * (A[(i + 1) * n * n + j * n + k] - 2.0 * A[i * n * n + j * n + k]
+                            + A[(i - 1) * n * n + j * n + k])
+                        + 0.125 * (A[i * n * n + (j + 1) * n + k] - 2.0 * A[i * n * n + j * n + k]
+                            + A[i * n * n + (j - 1) * n + k])
+                        + 0.125 * (A[i * n * n + j * n + k + 1] - 2.0 * A[i * n * n + j * n + k]
+                            + A[i * n * n + j * n + k - 1])
+                        + A[i * n * n + j * n + k];
+                }
+            }
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                for (int k = 1; k < n - 1; k = k + 1) {
+                    A[i * n * n + j * n + k] =
+                        0.125 * (B[(i + 1) * n * n + j * n + k] - 2.0 * B[i * n * n + j * n + k]
+                            + B[(i - 1) * n * n + j * n + k])
+                        + 0.125 * (B[i * n * n + (j + 1) * n + k] - 2.0 * B[i * n * n + j * n + k]
+                            + B[i * n * n + (j - 1) * n + k])
+                        + 0.125 * (B[i * n * n + j * n + k + 1] - 2.0 * B[i * n * n + j * n + k]
+                            + B[i * n * n + j * n + k - 1])
+                        + B[i * n * n + j * n + k];
+                }
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let b = n * n * n;
+                let idx = |i: usize, j: usize, k: usize| i * n * n + j * n + k;
+                for _t in 0..3 {
+                    for i in 1..n - 1 {
+                        for j in 1..n - 1 {
+                            for k in 1..n - 1 {
+                                m[b + idx(i, j, k)] = 0.125
+                                    * (m[idx(i + 1, j, k)] - 2.0 * m[idx(i, j, k)]
+                                        + m[idx(i - 1, j, k)])
+                                    + 0.125
+                                        * (m[idx(i, j + 1, k)] - 2.0 * m[idx(i, j, k)]
+                                            + m[idx(i, j - 1, k)])
+                                    + 0.125
+                                        * (m[idx(i, j, k + 1)] - 2.0 * m[idx(i, j, k)]
+                                            + m[idx(i, j, k - 1)])
+                                    + m[idx(i, j, k)];
+                            }
+                        }
+                    }
+                    for i in 1..n - 1 {
+                        for j in 1..n - 1 {
+                            for k in 1..n - 1 {
+                                m[idx(i, j, k)] = 0.125
+                                    * (m[b + idx(i + 1, j, k)] - 2.0 * m[b + idx(i, j, k)]
+                                        + m[b + idx(i - 1, j, k)])
+                                    + 0.125
+                                        * (m[b + idx(i, j + 1, k)] - 2.0 * m[b + idx(i, j, k)]
+                                            + m[b + idx(i, j - 1, k)])
+                                    + 0.125
+                                        * (m[b + idx(i, j, k + 1)] - 2.0 * m[b + idx(i, j, k)]
+                                            + m[b + idx(i, j, k - 1)])
+                                    + m[b + idx(i, j, k)];
+                            }
+                        }
+                    }
+                }
+            },
+            slots: |n| 2 * n * n * n,
+            init: generic_init,
+            default_n: 12,
+        },
+        Kernel {
+            name: "floyd-warshall",
+            fl: r#"
+void kernel(int n) {
+    ptr double path = (ptr double) 65536;
+    for (int k = 0; k < n; k = k + 1) {
+        for (int i = 0; i < n; i = i + 1) {
+            for (int j = 0; j < n; j = j + 1) {
+                double d = path[i * n + k] + path[k * n + j];
+                if (d < path[i * n + j]) {
+                    path[i * n + j] = d;
+                }
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                for k in 0..n {
+                    for i in 0..n {
+                        for j in 0..n {
+                            let d = m[i * n + k] + m[k * n + j];
+                            if d < m[i * n + j] {
+                                m[i * n + j] = d;
+                            }
+                        }
+                    }
+                }
+            },
+            slots: |n| n * n,
+            init: floyd_init,
+            default_n: 32,
+        },
+        Kernel {
+            name: "covariance",
+            fl: r#"
+void kernel(int n) {
+    ptr double data = (ptr double) 65536;
+    ptr double cov = data + n * n;
+    ptr double mean = cov + n * n;
+    for (int j = 0; j < n; j = j + 1) {
+        double acc = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            acc = acc + data[i * n + j];
+        }
+        mean[j] = acc / (double) n;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            data[i * n + j] = data[i * n + j] - mean[j];
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = i; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + data[k * n + i] * data[k * n + j];
+            }
+            acc = acc / ((double) n - 1.0);
+            cov[i * n + j] = acc;
+            cov[j * n + i] = acc;
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (cov, mean) = (n * n, 2 * n * n);
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for i in 0..n {
+                        acc += m[i * n + j];
+                    }
+                    m[mean + j] = acc / n as f64;
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        m[i * n + j] -= m[mean + j];
+                    }
+                }
+                for i in 0..n {
+                    for j in i..n {
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += m[k * n + i] * m[k * n + j];
+                        }
+                        acc /= n as f64 - 1.0;
+                        m[cov + i * n + j] = acc;
+                        m[cov + j * n + i] = acc;
+                    }
+                }
+            },
+            slots: |n| 2 * n * n + n,
+            init: generic_init,
+            default_n: 28,
+        },
+        Kernel {
+            name: "correlation",
+            fl: r#"
+void kernel(int n) {
+    ptr double data = (ptr double) 65536;
+    ptr double corr = data + n * n;
+    ptr double mean = corr + n * n;
+    ptr double stddev = mean + n;
+    for (int j = 0; j < n; j = j + 1) {
+        double acc = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            acc = acc + data[i * n + j];
+        }
+        mean[j] = acc / (double) n;
+    }
+    for (int j = 0; j < n; j = j + 1) {
+        double acc = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            double d = data[i * n + j] - mean[j];
+            acc = acc + d * d;
+        }
+        double sd = sqrt(acc / (double) n);
+        if (sd <= 0.1) {
+            sd = 1.0;
+        }
+        stddev[j] = sd;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            data[i * n + j] = (data[i * n + j] - mean[j]) / stddev[j];
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        corr[i * n + i] = 1.0;
+        for (int j = i + 1; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + data[k * n + i] * data[k * n + j];
+            }
+            acc = acc / (double) n;
+            corr[i * n + j] = acc;
+            corr[j * n + i] = acc;
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (corr, mean, stddev) = (n * n, 2 * n * n, 2 * n * n + n);
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for i in 0..n {
+                        acc += m[i * n + j];
+                    }
+                    m[mean + j] = acc / n as f64;
+                }
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for i in 0..n {
+                        let d = m[i * n + j] - m[mean + j];
+                        acc += d * d;
+                    }
+                    let mut sd = (acc / n as f64).sqrt();
+                    if sd <= 0.1 {
+                        sd = 1.0;
+                    }
+                    m[stddev + j] = sd;
+                }
+                for i in 0..n {
+                    for j in 0..n {
+                        m[i * n + j] = (m[i * n + j] - m[mean + j]) / m[stddev + j];
+                    }
+                }
+                for i in 0..n {
+                    m[corr + i * n + i] = 1.0;
+                    for j in i + 1..n {
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += m[k * n + i] * m[k * n + j];
+                        }
+                        acc /= n as f64;
+                        m[corr + i * n + j] = acc;
+                        m[corr + j * n + i] = acc;
+                    }
+                }
+            },
+            slots: |n| 2 * n * n + 2 * n,
+            init: generic_init,
+            default_n: 28,
+        },
+        Kernel {
+            name: "gramschmidt",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double R = A + n * n;
+    ptr double Q = R + n * n;
+    for (int k = 0; k < n; k = k + 1) {
+        double nrm = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            nrm = nrm + A[i * n + k] * A[i * n + k];
+        }
+        R[k * n + k] = sqrt(nrm);
+        for (int i = 0; i < n; i = i + 1) {
+            Q[i * n + k] = A[i * n + k] / R[k * n + k];
+        }
+        for (int j = k + 1; j < n; j = j + 1) {
+            double acc = 0.0;
+            for (int i = 0; i < n; i = i + 1) {
+                acc = acc + Q[i * n + k] * A[i * n + j];
+            }
+            R[k * n + j] = acc;
+            for (int i = 0; i < n; i = i + 1) {
+                A[i * n + j] = A[i * n + j] - Q[i * n + k] * acc;
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (r, q) = (n * n, 2 * n * n);
+                for k in 0..n {
+                    let mut nrm = 0.0;
+                    for i in 0..n {
+                        nrm += m[i * n + k] * m[i * n + k];
+                    }
+                    m[r + k * n + k] = nrm.sqrt();
+                    for i in 0..n {
+                        m[q + i * n + k] = m[i * n + k] / m[r + k * n + k];
+                    }
+                    for j in k + 1..n {
+                        let mut acc = 0.0;
+                        for i in 0..n {
+                            acc += m[q + i * n + k] * m[i * n + j];
+                        }
+                        m[r + k * n + j] = acc;
+                        for i in 0..n {
+                            m[i * n + j] -= m[q + i * n + k] * acc;
+                        }
+                    }
+                }
+            },
+            slots: |n| 3 * n * n,
+            init: gramschmidt_init,
+            default_n: 28,
+        },
+        Kernel {
+            name: "doitgen",
+            fl: r#"
+void kernel(int n) {
+    ptr double A = (ptr double) 65536;
+    ptr double C4 = A + n * n * n;
+    ptr double sum = C4 + n * n;
+    for (int r = 0; r < n; r = r + 1) {
+        for (int q = 0; q < n; q = q + 1) {
+            for (int p = 0; p < n; p = p + 1) {
+                double acc = 0.0;
+                for (int s = 0; s < n; s = s + 1) {
+                    acc = acc + A[r * n * n + q * n + s] * C4[s * n + p];
+                }
+                sum[p] = acc;
+            }
+            for (int p = 0; p < n; p = p + 1) {
+                A[r * n * n + q * n + p] = sum[p];
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let (c4, sum) = (n * n * n, n * n * n + n * n);
+                for r in 0..n {
+                    for q in 0..n {
+                        for p in 0..n {
+                            let mut acc = 0.0;
+                            for s in 0..n {
+                                acc += m[r * n * n + q * n + s] * m[c4 + s * n + p];
+                            }
+                            m[sum + p] = acc;
+                        }
+                        for p in 0..n {
+                            m[r * n * n + q * n + p] = m[sum + p];
+                        }
+                    }
+                }
+            },
+            slots: |n| n * n * n + n * n + n,
+            init: generic_init,
+            default_n: 12,
+        },
+        Kernel {
+            name: "nussinov",
+            fl: r#"
+void kernel(int n) {
+    ptr double seq = (ptr double) 65536;
+    ptr double table = seq + n;
+    for (int i = n - 1; i >= 0; i = i - 1) {
+        for (int j = i + 1; j < n; j = j + 1) {
+            if (j - 1 >= 0) {
+                table[i * n + j] = fmax(table[i * n + j], table[i * n + j - 1]);
+            }
+            if (i + 1 < n) {
+                table[i * n + j] = fmax(table[i * n + j], table[(i + 1) * n + j]);
+            }
+            if (j - 1 >= 0 && i + 1 < n) {
+                if (i < j - 1) {
+                    double bonus = 0.0;
+                    if (seq[i] + seq[j] == 3.0) {
+                        bonus = 1.0;
+                    }
+                    table[i * n + j] = fmax(table[i * n + j], table[(i + 1) * n + j - 1] + bonus);
+                } else {
+                    table[i * n + j] = fmax(table[i * n + j], table[(i + 1) * n + j - 1]);
+                }
+            }
+            for (int k = i + 1; k < j; k = k + 1) {
+                table[i * n + j] = fmax(table[i * n + j], table[i * n + k] + table[(k + 1) * n + j]);
+            }
+        }
+    }
+}
+"#,
+            native: |n, m| {
+                let t = n;
+                for i in (0..n).rev() {
+                    for j in i + 1..n {
+                        // `j - 1 >= 0` always holds for j >= 1.
+                        m[t + i * n + j] = m[t + i * n + j].max(m[t + i * n + j - 1]);
+                        if i + 1 < n {
+                            m[t + i * n + j] = m[t + i * n + j].max(m[t + (i + 1) * n + j]);
+                        }
+                        if i + 1 < n {
+                            if i < j - 1 {
+                                let bonus = if m[i] + m[j] == 3.0 { 1.0 } else { 0.0 };
+                                m[t + i * n + j] =
+                                    m[t + i * n + j].max(m[t + (i + 1) * n + j - 1] + bonus);
+                            } else {
+                                m[t + i * n + j] = m[t + i * n + j].max(m[t + (i + 1) * n + j - 1]);
+                            }
+                        }
+                        for k in i + 1..j {
+                            m[t + i * n + j] =
+                                m[t + i * n + j].max(m[t + i * n + k] + m[t + (k + 1) * n + j]);
+                        }
+                    }
+                }
+            },
+            slots: |n| n + n * n,
+            init: nussinov_init,
+            default_n: 32,
+        },
+    ]
+}

@@ -1,0 +1,390 @@
+//! Distributed SGD with HOGWILD! (§6.2, Listing 1).
+//!
+//! Reproduces the paper's machine-learning training workload: sparse
+//! logistic-regression SGD over an RCV1-like dataset, parallelised across
+//! serverless functions that share a central weights vector. Workers follow
+//! Listing 1: they read their column (example) range from read-only sparse
+//! matrices, update the shared weights lock-free (HOGWILD! "tolerates such
+//! inconsistencies"), and push to the global tier sporadically.
+//!
+//! The same worker body runs on both platforms through [`FaasEnv`]; the
+//! platforms differ exactly as the paper describes — Faaslets pull chunks
+//! into host-shared regions and batch pushes, containers ship whole values
+//! and write through to external storage.
+
+use std::sync::Arc;
+
+use faasm_baseline::{BaselinePlatform, ContainerApi, ContainerGuest};
+use faasm_core::{Cluster, NativeApi, NativeGuest};
+use faasm_kvs::KvClient;
+
+use crate::data::{bytes_to_f64s, bytes_to_u32s, f64s_to_bytes, u32s_to_bytes, SparseDataset};
+use crate::env::{ContainerEnv, FaasEnv, FaasmEnv};
+
+/// State keys used by the SGD application.
+pub mod keys {
+    /// CSC values (f64).
+    pub const VALS: &str = "sgd:vals";
+    /// CSC feature ids (u32).
+    pub const FEATS: &str = "sgd:feats";
+    /// CSC example pointers (u32).
+    pub const COLPTR: &str = "sgd:colptr";
+    /// Labels (f64).
+    pub const LABELS: &str = "sgd:labels";
+    /// The shared weights vector (f64).
+    pub const WEIGHTS: &str = "sgd:weights";
+}
+
+/// A worker's slice of the training job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdTask {
+    /// First example (inclusive).
+    pub start: u32,
+    /// Last example (exclusive).
+    pub end: u32,
+    /// Feature dimensionality.
+    pub features: u32,
+    /// Total examples in the dataset.
+    pub examples: u32,
+    /// Learning rate.
+    pub lr: f64,
+    /// Push the weights every this many examples (Listing 1 line 12).
+    pub push_interval: u32,
+}
+
+impl SgdTask {
+    /// Serialise for a call input.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28);
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.end.to_le_bytes());
+        out.extend_from_slice(&self.features.to_le_bytes());
+        out.extend_from_slice(&self.examples.to_le_bytes());
+        out.extend_from_slice(&self.lr.to_le_bytes());
+        out.extend_from_slice(&self.push_interval.to_le_bytes());
+        out
+    }
+
+    /// Deserialise from a call input.
+    pub fn from_bytes(b: &[u8]) -> Option<SgdTask> {
+        if b.len() != 28 {
+            return None;
+        }
+        Some(SgdTask {
+            start: u32::from_le_bytes(b[0..4].try_into().ok()?),
+            end: u32::from_le_bytes(b[4..8].try_into().ok()?),
+            features: u32::from_le_bytes(b[8..12].try_into().ok()?),
+            examples: u32::from_le_bytes(b[12..16].try_into().ok()?),
+            lr: f64::from_le_bytes(b[16..24].try_into().ok()?),
+            push_interval: u32::from_le_bytes(b[24..28].try_into().ok()?),
+        })
+    }
+}
+
+/// Upload a dataset to the global tier and initialise the weights — the
+/// driver-side setup both platforms share.
+///
+/// # Errors
+///
+/// Global-tier errors as strings.
+pub fn upload_dataset(kv: &KvClient, dataset: &SparseDataset) -> Result<(), String> {
+    let (vals, feats, col_ptr) = dataset.to_csc();
+    kv.set(keys::VALS, f64s_to_bytes(&vals))
+        .map_err(|e| e.to_string())?;
+    kv.set(keys::FEATS, u32s_to_bytes(&feats))
+        .map_err(|e| e.to_string())?;
+    kv.set(keys::COLPTR, u32s_to_bytes(&col_ptr))
+        .map_err(|e| e.to_string())?;
+    kv.set(keys::LABELS, f64s_to_bytes(&dataset.labels))
+        .map_err(|e| e.to_string())?;
+    kv.set(keys::WEIGHTS, f64s_to_bytes(&vec![0.0; dataset.features]))
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// The `weight_update` function of Listing 1, over [`FaasEnv`].
+///
+/// # Errors
+///
+/// Platform error messages.
+pub fn weight_update<E: FaasEnv>(env: &mut E) -> Result<i32, String> {
+    let task = SgdTask::from_bytes(&env.input()).ok_or("bad sgd task input")?;
+    let wsize = task.features as usize * 8;
+    let nnz_total = env.state_size(keys::VALS)? / 8;
+
+    // Pointer window for this worker's example range (a chunked pull on
+    // Faasm; whole-value ship on containers).
+    let ptr_bytes = env.state_read(
+        keys::COLPTR,
+        (task.examples as usize + 1) * 4,
+        task.start as usize * 4,
+        (task.end - task.start + 1) as usize * 4,
+    )?;
+    let ptrs = bytes_to_u32s(&ptr_bytes);
+
+    let label_bytes = env.state_read(
+        keys::LABELS,
+        task.examples as usize * 8,
+        task.start as usize * 8,
+        (task.end - task.start) as usize * 8,
+    )?;
+    let labels = bytes_to_f64s(&label_bytes);
+
+    let mut since_push = 0u32;
+    for (i, ex) in (task.start..task.end).enumerate() {
+        let lo = ptrs[i] as usize;
+        let hi = ptrs[i + 1] as usize;
+        if hi > nnz_total || lo > hi {
+            return Err(format!("corrupt colptr for example {ex}"));
+        }
+        let vals =
+            bytes_to_f64s(&env.state_read(keys::VALS, nnz_total * 8, lo * 8, (hi - lo) * 8)?);
+        let feats =
+            bytes_to_u32s(&env.state_read(keys::FEATS, nnz_total * 4, lo * 4, (hi - lo) * 4)?);
+
+        // Prediction with the current (possibly stale — HOGWILD!) weights.
+        let mut dot = 0.0;
+        let mut w = Vec::with_capacity(feats.len());
+        for (f, v) in feats.iter().zip(&vals) {
+            let wf = bytes_to_f64s(&env.state_read(keys::WEIGHTS, wsize, *f as usize * 8, 8)?)[0];
+            w.push(wf);
+            dot += wf * v;
+        }
+        let pred = 1.0 / (1.0 + (-dot).exp());
+        let target = (labels[i] + 1.0) / 2.0; // {-1,1} → {0,1}
+        let adj = task.lr * (target - pred);
+
+        // The lock-free update of Listing 1 line 11.
+        for ((f, v), wf) in feats.iter().zip(&vals).zip(&w) {
+            let new = wf + v * adj;
+            env.state_write(keys::WEIGHTS, wsize, *f as usize * 8, &new.to_le_bytes())?;
+        }
+        since_push += 1;
+        if since_push >= task.push_interval {
+            env.state_push(keys::WEIGHTS, wsize)?;
+            since_push = 0;
+        }
+    }
+    env.state_push(keys::WEIGHTS, wsize)?;
+    Ok(0)
+}
+
+/// Register the SGD worker on a FAASM cluster.
+pub fn register_faasm(cluster: &Cluster, user: &str) {
+    let guest: Arc<dyn NativeGuest> = Arc::new(|api: &mut NativeApi<'_>| {
+        let mut env = FaasmEnv::new(api);
+        weight_update(&mut env).map_err(faasm_fvm::Trap::host)
+    });
+    cluster.register_native(user, "sgd_update", guest, false);
+}
+
+/// Register the SGD worker on the container baseline.
+pub fn register_baseline(platform: &BaselinePlatform, user: &str) {
+    let guest: Arc<dyn ContainerGuest> = Arc::new(|api: &mut ContainerApi<'_>| {
+        let mut env = ContainerEnv::new(api);
+        weight_update(&mut env)
+    });
+    platform.register(user, "sgd_update", guest);
+}
+
+/// Split `examples` into `workers` contiguous tasks.
+pub fn partition(
+    examples: u32,
+    workers: u32,
+    features: u32,
+    lr: f64,
+    push_interval: u32,
+) -> Vec<SgdTask> {
+    let workers = workers.max(1);
+    let per = examples.div_ceil(workers);
+    (0..workers)
+        .filter_map(|w| {
+            let start = w * per;
+            let end = ((w + 1) * per).min(examples);
+            (start < end).then_some(SgdTask {
+                start,
+                end,
+                features,
+                examples,
+                lr,
+                push_interval,
+            })
+        })
+        .collect()
+}
+
+/// Training accuracy of the weights currently in the global tier.
+///
+/// # Errors
+///
+/// Global-tier errors as strings.
+pub fn accuracy(kv: &KvClient, dataset: &SparseDataset) -> Result<f64, String> {
+    let w = bytes_to_f64s(
+        &kv.get(keys::WEIGHTS)
+            .map_err(|e| e.to_string())?
+            .ok_or("weights missing")?,
+    );
+    let (vals, feats, col_ptr) = dataset.to_csc();
+    let mut correct = 0usize;
+    for ex in 0..dataset.examples {
+        let (lo, hi) = (col_ptr[ex] as usize, col_ptr[ex + 1] as usize);
+        let dot: f64 = (lo..hi).map(|i| w[feats[i] as usize] * vals[i]).sum();
+        let pred = if dot >= 0.0 { 1.0 } else { -1.0 };
+        if pred == dataset.labels[ex] {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / dataset.examples as f64)
+}
+
+/// Run one training epoch: dispatch every task and await completion.
+/// `invoke` abstracts the platform front door.
+pub fn run_epoch<FA, FW>(tasks: &[SgdTask], invoke: FA, await_all: FW)
+where
+    FA: Fn(&SgdTask) -> u64,
+    FW: Fn(Vec<u64>),
+{
+    let ids: Vec<u64> = tasks.iter().map(&invoke).collect();
+    await_all(ids);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::rcv1_like;
+
+    #[test]
+    fn task_roundtrip() {
+        let t = SgdTask {
+            start: 1,
+            end: 9,
+            features: 128,
+            examples: 100,
+            lr: 0.25,
+            push_interval: 4,
+        };
+        assert_eq!(SgdTask::from_bytes(&t.to_bytes()), Some(t));
+        assert_eq!(SgdTask::from_bytes(&[0; 3]), None);
+    }
+
+    #[test]
+    fn partition_covers_all_examples() {
+        let tasks = partition(100, 7, 32, 0.1, 8);
+        assert_eq!(tasks[0].start, 0);
+        assert_eq!(tasks.last().unwrap().end, 100);
+        let total: u32 = tasks.iter().map(|t| t.end - t.start).sum();
+        assert_eq!(total, 100);
+        // Degenerate cases.
+        assert_eq!(partition(3, 10, 8, 0.1, 1).len(), 3);
+        assert_eq!(partition(0, 4, 8, 0.1, 1).len(), 0);
+    }
+
+    #[test]
+    fn sgd_learns_on_faasm() {
+        let cluster = Cluster::new(2);
+        register_faasm(&cluster, "ml");
+        let dataset = rcv1_like(256, 64, 8, 42);
+        upload_dataset(cluster.kv(), &dataset).unwrap();
+
+        let tasks = partition(256, 4, 64, 0.5, 16);
+        for _epoch in 0..3 {
+            let ids: Vec<_> = tasks
+                .iter()
+                .map(|t| cluster.invoke_async("ml", "sgd_update", t.to_bytes()))
+                .collect();
+            for id in ids {
+                let r = cluster.await_result(id);
+                assert_eq!(r.return_code(), 0, "worker failed: {:?}", r.status);
+            }
+        }
+        let acc = accuracy(cluster.kv(), &dataset).unwrap();
+        assert!(acc > 0.7, "training must beat chance: accuracy {acc}");
+    }
+
+    #[test]
+    fn sgd_learns_on_baseline() {
+        let platform = BaselinePlatform::with_config(faasm_baseline::BaselineConfig {
+            hosts: 2,
+            image: faasm_baseline::ImageConfig {
+                image_bytes: 128 * 1024,
+                layers: 2,
+                boot_passes: 1,
+            },
+            ..Default::default()
+        });
+        register_baseline(&platform, "ml");
+        let dataset = rcv1_like(128, 64, 8, 42);
+        upload_dataset(platform.kv(), &dataset).unwrap();
+
+        let tasks = partition(128, 4, 64, 0.5, 16);
+        for _epoch in 0..3 {
+            let ids: Vec<_> = tasks
+                .iter()
+                .map(|t| platform.invoke_async("ml", "sgd_update", t.to_bytes()))
+                .collect();
+            for id in ids {
+                let r = platform.await_result(id);
+                assert_eq!(r.return_code(), 0, "worker failed: {:?}", r.status);
+            }
+        }
+        let acc = accuracy(platform.kv(), &dataset).unwrap();
+        assert!(acc > 0.7, "training must beat chance: accuracy {acc}");
+    }
+
+    #[test]
+    fn faasm_ships_fewer_bytes_than_baseline() {
+        // The headline Fig. 6b property at miniature scale: identical
+        // training on both platforms, compare fabric traffic.
+        let dataset = rcv1_like(128, 64, 8, 1);
+        let tasks = partition(128, 4, 64, 0.5, 16);
+
+        let cluster = Cluster::new(2);
+        register_faasm(&cluster, "ml");
+        upload_dataset(cluster.kv(), &dataset).unwrap();
+        let before = cluster.fabric().stats().snapshot();
+        let ids: Vec<_> = tasks
+            .iter()
+            .map(|t| cluster.invoke_async("ml", "sgd_update", t.to_bytes()))
+            .collect();
+        for id in ids {
+            assert_eq!(cluster.await_result(id).return_code(), 0);
+        }
+        let faasm_bytes = cluster
+            .fabric()
+            .stats()
+            .snapshot()
+            .delta(&before)
+            .total_bytes();
+
+        let platform = BaselinePlatform::with_config(faasm_baseline::BaselineConfig {
+            hosts: 2,
+            image: faasm_baseline::ImageConfig {
+                image_bytes: 128 * 1024,
+                layers: 2,
+                boot_passes: 1,
+            },
+            ..Default::default()
+        });
+        register_baseline(&platform, "ml");
+        upload_dataset(platform.kv(), &dataset).unwrap();
+        let before = platform.fabric().stats().snapshot();
+        let ids: Vec<_> = tasks
+            .iter()
+            .map(|t| platform.invoke_async("ml", "sgd_update", t.to_bytes()))
+            .collect();
+        for id in ids {
+            assert_eq!(platform.await_result(id).return_code(), 0);
+        }
+        let baseline_bytes = platform
+            .fabric()
+            .stats()
+            .snapshot()
+            .delta(&before)
+            .total_bytes();
+
+        assert!(
+            faasm_bytes < baseline_bytes,
+            "faasm {faasm_bytes} bytes must undercut baseline {baseline_bytes} bytes"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Machine-learning inference serving — the paper's §6.3 workload.
+//!
+//! Serves mobilenet-lite classifications, comparing warm-path latency with
+//! cold starts the way Fig. 7 does, on both FAASM and the container
+//! baseline.
+//!
+//! Run with: `cargo run --release --example inference_serving`
+
+use std::time::Instant;
+
+use faasm::baseline::BaselinePlatform;
+use faasm::core::Cluster;
+use faasm::workloads::data::synth_images;
+use faasm::workloads::inference;
+
+fn percentile(mut xs: Vec<u128>, p: f64) -> u128 {
+    xs.sort_unstable();
+    xs[((xs.len() - 1) as f64 * p) as usize]
+}
+
+fn main() {
+    let requests = 60;
+    let images = synth_images(requests, inference::SIDE, 7);
+
+    // FAASM: every request hits a warm Faaslet or a microsecond
+    // Proto-Faaslet restore.
+    let cluster = Cluster::new(2);
+    inference::setup_faasm(&cluster, "serve", 9);
+    let mut faasm_lat = Vec::new();
+    for img in &images {
+        let t0 = Instant::now();
+        let r = cluster.invoke("serve", "infer", img.clone());
+        assert_eq!(r.return_code(), 0);
+        faasm_lat.push(t0.elapsed().as_micros());
+    }
+
+    // Baseline: evict containers every few requests to model a 20 %
+    // cold-start ratio (each cold start re-materialises the image).
+    let platform = BaselinePlatform::new(2);
+    inference::setup_baseline(&platform, "serve", 9);
+    let mut container_lat = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        if i % 5 == 0 {
+            platform.evict_all();
+        }
+        let t0 = Instant::now();
+        let r = platform.invoke("serve", "infer", img.clone());
+        assert_eq!(r.return_code(), 0);
+        container_lat.push(t0.elapsed().as_micros());
+    }
+
+    println!("{requests} requests, latencies in µs (Fig. 7 shape):");
+    println!(
+        "  faasm:      p50 {:>7}  p99 {:>7}",
+        percentile(faasm_lat.clone(), 0.5),
+        percentile(faasm_lat, 0.99),
+    );
+    println!(
+        "  containers: p50 {:>7}  p99 {:>7}   (20% cold starts)",
+        percentile(container_lat.clone(), 0.5),
+        percentile(container_lat, 0.99),
+    );
+}

@@ -1,0 +1,41 @@
+//! Chained divide-and-conquer matrix multiplication — the paper's §6.4
+//! workload: one driver function fans out 64 block products and 16 merges
+//! through `chain_call`/`await_call`.
+//!
+//! Run with: `cargo run --release --example matmul_pipeline`
+
+use faasm::core::Cluster;
+use faasm::workloads::matmul;
+
+fn main() {
+    let cluster = Cluster::new(3);
+    matmul::register_faasm(&cluster, "la");
+
+    let n = 32;
+    matmul::upload_matrices(cluster.kv(), n, 5).expect("upload");
+
+    let before = cluster.fabric().stats().snapshot();
+    let t0 = std::time::Instant::now();
+    let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "status {:?}", r.status);
+    let elapsed = t0.elapsed();
+
+    // Verify against a single-threaded reference.
+    let distributed = matmul::read_result(cluster.kv(), n).expect("result");
+    let reference = matmul::reference_product(cluster.kv(), n).expect("reference");
+    let max_err = distributed
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    let traffic = cluster.fabric().stats().snapshot().delta(&before);
+    println!("{n}x{n} matrix multiply across 64 products + 16 merges");
+    println!("wall time:        {elapsed:.2?}");
+    println!("max error vs ref: {max_err:e}");
+    println!(
+        "network transfer: {:.2} MB",
+        traffic.total_bytes() as f64 / 1e6
+    );
+    println!("calls executed:   {}", cluster.total_calls());
+}

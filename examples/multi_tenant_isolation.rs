@@ -1,0 +1,100 @@
+//! Multi-tenant isolation: the guarantees of §3 and §5.2 in action.
+//!
+//! Three demonstrations:
+//! 1. SFI: a guest that walks past its memory traps; others are unaffected.
+//! 2. Filesystem capabilities: tenants cannot read each other's files.
+//! 3. Reset-after-call: a Faaslet that stashes a secret in private memory
+//!    leaks nothing to the next call, because it is restored from its
+//!    Proto-Faaslet.
+//!
+//! Run with: `cargo run --example multi_tenant_isolation`
+
+use faasm::core::{CallStatus, Cluster, UploadOptions};
+
+fn main() {
+    let cluster = Cluster::new(1);
+
+    // 1. Out-of-bounds access traps cleanly.
+    cluster
+        .upload_fl(
+            "tenant-a",
+            "wild",
+            r#"
+            int main() {
+                ptr int p = (ptr int) 0;
+                int acc = 0;
+                // Walk far past the memory limit.
+                for (int i = 0; i < 100000000; i = i + 65536) {
+                    acc = acc + p[i];
+                }
+                return acc;
+            }
+            "#,
+            UploadOptions::default(),
+        )
+        .unwrap();
+    let r = cluster.invoke("tenant-a", "wild", vec![]);
+    match &r.status {
+        CallStatus::Error(e) => println!("1. OOB access trapped: {e}"),
+        other => panic!("expected a trap, got {other:?}"),
+    }
+
+    // 2. Per-tenant filesystems.
+    cluster
+        .object_store()
+        .put("user:tenant-a/secret.txt", b"a's data".to_vec());
+    let probe = r#"
+        extern int open(ptr int path, int len, int flags);
+        int main() {
+            ptr int p = (ptr int) 64;
+            p[0] = 0x72636573; // "secr"
+            p[1] = 0x742e7465; // "et.t"
+            p[2] = 0x7478;     // "xt"
+            return open((ptr int) 64, 10, 1);
+        }
+    "#;
+    cluster
+        .upload_fl("tenant-a", "probe", probe, UploadOptions::default())
+        .unwrap();
+    cluster
+        .upload_fl("tenant-b", "probe", probe, UploadOptions::default())
+        .unwrap();
+    let ra = cluster.invoke("tenant-a", "probe", vec![]);
+    let rb = cluster.invoke("tenant-b", "probe", vec![]);
+    println!(
+        "2. open(\"secret.txt\"): tenant-a fd={} (own file), tenant-b fd={} (-1 = denied)",
+        ra.return_code(),
+        rb.return_code()
+    );
+    assert!(ra.return_code() >= 3 && rb.return_code() == -1);
+
+    // 3. Reset-after-call wipes private memory between tenants' requests.
+    cluster
+        .upload_fl(
+            "shared-fn",
+            "stash",
+            r#"
+            extern int input_size();
+            extern int read_call_input(ptr int buf, int len);
+            extern void write_call_output(ptr int buf, int len);
+            int main() {
+                // Leak whatever a previous call left at the stash address,
+                // then store this call's input there.
+                write_call_output((ptr int) 4096, 8);
+                read_call_input((ptr int) 4096, input_size());
+                return 0;
+            }
+            "#,
+            UploadOptions::default(),
+        )
+        .unwrap();
+    let r1 = cluster.invoke("shared-fn", "stash", b"SECRET!!".to_vec());
+    let r2 = cluster.invoke("shared-fn", "stash", b"curious?".to_vec());
+    println!(
+        "3. second call read stash = {:?} (all zero: the Proto-Faaslet reset wiped it)",
+        r2.output
+    );
+    assert_eq!(r1.output, vec![0u8; 8]);
+    assert_eq!(r2.output, vec![0u8; 8], "no cross-call leakage");
+    println!("all isolation properties hold");
+}

@@ -1,0 +1,375 @@
+//! End-to-end integration tests spanning the whole workspace: cluster
+//! invocation, cross-host scheduling, chaining, two-tier state and failure
+//! injection.
+
+use faasm::core::{
+    CallStatus, Cluster, ClusterConfig, EgressLimit, InstanceConfig, UploadOptions,
+};
+
+const ECHO: &str = r#"
+    extern int input_size();
+    extern int read_call_input(ptr int buf, int len);
+    extern void write_call_output(ptr int buf, int len);
+    int main() {
+        int n = input_size();
+        read_call_input((ptr int) 1024, n);
+        write_call_output((ptr int) 1024, n);
+        return 0;
+    }
+"#;
+
+#[test]
+fn fl_pipeline_compiles_uploads_and_executes() {
+    let cluster = Cluster::new(2);
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    for i in 0..10u8 {
+        let r = cluster.invoke("it", "echo", vec![i; 8]);
+        assert_eq!(r.status, CallStatus::Success);
+        assert_eq!(r.output, vec![i; 8]);
+    }
+    assert_eq!(cluster.total_calls(), 10);
+}
+
+#[test]
+fn calls_spread_across_hosts_via_round_robin_and_warm_sets() {
+    let cluster = Cluster::new(4);
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    // Fire enough calls that every host executes some.
+    let ids: Vec<_> = (0..32u8)
+        .map(|i| cluster.invoke_async("it", "echo", vec![i]))
+        .collect();
+    for id in ids {
+        assert_eq!(cluster.await_result(id).return_code(), 0);
+    }
+    let per_host: Vec<u64> = cluster
+        .instances()
+        .iter()
+        .map(|i| i.metrics().calls())
+        .collect();
+    assert_eq!(per_host.iter().sum::<u64>(), 32);
+    let active_hosts = per_host.iter().filter(|&&c| c > 0).count();
+    assert!(
+        active_hosts >= 2,
+        "work must spread across hosts: {per_host:?}"
+    );
+}
+
+#[test]
+fn two_tier_state_is_consistent_across_hosts() {
+    // One function pushes a value; another (likely on a different host)
+    // pulls and verifies it.
+    let cluster = Cluster::new(3);
+    cluster
+        .upload_fl(
+            "it",
+            "writer",
+            r#"
+            extern int get_state(ptr int key, int key_len, int size);
+            extern void push_state(ptr int key, int key_len);
+            int main() {
+                ptr int k = (ptr int) 64;
+                k[0] = 0x79656b; // "key"
+                ptr int s = (ptr int) get_state((ptr int) 64, 3, 16);
+                s[0] = 1234;
+                s[1] = 5678;
+                push_state((ptr int) 64, 3);
+                return 0;
+            }
+            "#,
+            UploadOptions::default(),
+        )
+        .unwrap();
+    cluster
+        .upload_fl(
+            "it",
+            "reader",
+            r#"
+            extern int get_state(ptr int key, int key_len, int size);
+            extern void write_call_output(ptr int buf, int len);
+            int main() {
+                ptr int k = (ptr int) 64;
+                k[0] = 0x79656b;
+                ptr int s = (ptr int) get_state((ptr int) 64, 3, 16);
+                write_call_output((ptr int) ((ptr int) s), 8);
+                return 0;
+            }
+            "#,
+            UploadOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(cluster.invoke("it", "writer", vec![]).return_code(), 0);
+    // Run readers on all hosts by invoking repeatedly (round-robin ingress).
+    for _ in 0..6 {
+        let r = cluster.invoke("it", "reader", vec![]);
+        assert_eq!(r.return_code(), 0, "{:?}", r.status);
+        assert_eq!(i32::from_le_bytes(r.output[0..4].try_into().unwrap()), 1234);
+        assert_eq!(i32::from_le_bytes(r.output[4..8].try_into().unwrap()), 5678);
+    }
+}
+
+#[test]
+fn deep_chains_do_not_deadlock_small_worker_pools() {
+    // A chain of depth 6 on an instance with only 2 workers: await-helping
+    // must prevent deadlock.
+    let cluster = Cluster::with_config(ClusterConfig {
+        hosts: 1,
+        instance: InstanceConfig {
+            workers: 2,
+            ..InstanceConfig::default()
+        },
+        ..ClusterConfig::default()
+    });
+    cluster
+        .upload_fl(
+            "it",
+            "countdown",
+            r#"
+            extern int input_size();
+            extern int read_call_input(ptr int buf, int len);
+            extern void write_call_output(ptr int buf, int len);
+            extern long chain_call(ptr int name, int name_len, ptr int in, int in_len);
+            extern int await_call(long id);
+            extern int get_call_output(long id, ptr int buf, int len);
+            int main() {
+                read_call_input((ptr int) 1024, 4);
+                ptr int v = (ptr int) 1024;
+                if (v[0] <= 0) {
+                    write_call_output((ptr int) 1024, 4);
+                    return 0;
+                }
+                v[0] = v[0] - 1;
+                ptr int nm = (ptr int) 2048;
+                nm[0] = 0x6e756f63; // "coun"
+                nm[1] = 0x776f6474; // "tdow"
+                nm[2] = 0x6e;       // "n"
+                long id = chain_call((ptr int) 2048, 9, (ptr int) 1024, 4);
+                if (await_call(id) != 0) { return -1; }
+                get_call_output(id, (ptr int) 3072, 4);
+                ptr int out = (ptr int) 3072;
+                out[0] = out[0] + 1;
+                write_call_output((ptr int) 3072, 4);
+                return 0;
+            }
+            "#,
+            UploadOptions::default(),
+        )
+        .unwrap();
+    let r = cluster.invoke("it", "countdown", 6i32.to_le_bytes().to_vec());
+    assert_eq!(r.status, CallStatus::Success, "{:?}", r.status);
+    assert_eq!(i32::from_le_bytes(r.output[..4].try_into().unwrap()), 6);
+}
+
+#[test]
+fn guest_traps_surface_as_errors_and_do_not_poison_the_instance() {
+    let cluster = Cluster::new(1);
+    cluster
+        .upload_fl(
+            "it",
+            "div0",
+            "int main() { int z = 0; return 1 / z; }",
+            UploadOptions::default(),
+        )
+        .unwrap();
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    let r = cluster.invoke("it", "div0", vec![]);
+    assert!(matches!(r.status, CallStatus::Error(_)));
+    // The instance keeps serving other functions.
+    let r = cluster.invoke("it", "echo", b"alive".to_vec());
+    assert_eq!(r.output, b"alive");
+}
+
+#[test]
+fn cross_host_proto_restore_via_object_store() {
+    // First call on host A generates + publishes the proto; a later call on
+    // host B must restore from the shared store rather than cold start.
+    let cluster = Cluster::new(2);
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    for i in 0..8u8 {
+        assert_eq!(cluster.invoke("it", "echo", vec![i]).return_code(), 0);
+    }
+    let cold: u64 = cluster
+        .instances()
+        .iter()
+        .map(|i| i.metrics().cold_starts())
+        .sum();
+    let restores: u64 = cluster
+        .instances()
+        .iter()
+        .map(|i| i.metrics().proto_restores())
+        .sum();
+    assert_eq!(cold, 1, "only the very first start is a full cold start");
+    // The scheduler prefers warm Faaslets, so restores may be 0 or more, but
+    // the proto must exist in the store for cross-host use.
+    assert!(cluster.object_store().exists("shared/proto/it/echo"));
+    let _ = restores;
+}
+
+#[test]
+fn kvs_flush_failure_injection_recovers() {
+    // Flushing the global tier mid-run loses state values (as a KVS node
+    // wipe would); functions re-create them and keep working.
+    let cluster = Cluster::new(2);
+    cluster
+        .upload_fl(
+            "it",
+            "bump",
+            r#"
+            extern int get_state(ptr int key, int key_len, int size);
+            extern void push_state(ptr int key, int key_len);
+            extern void write_call_output(ptr int buf, int len);
+            int main() {
+                ptr int k = (ptr int) 64;
+                k[0] = 0x6e; // "n"
+                ptr int s = (ptr int) get_state((ptr int) 64, 1, 4);
+                s[0] = s[0] + 1;
+                push_state((ptr int) 64, 1);
+                write_call_output((ptr int) ((ptr int) s), 4);
+                return 0;
+            }
+            "#,
+            UploadOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(cluster.invoke("it", "bump", vec![]).return_code(), 0);
+    cluster.kv().flush().unwrap();
+    // Still serves; state restarts from whatever the local tier holds.
+    let r = cluster.invoke("it", "bump", vec![]);
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+}
+
+#[test]
+fn metrics_align_with_traffic_accounting() {
+    let cluster = Cluster::new(2);
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    let before = cluster.fabric().stats().snapshot();
+    for _ in 0..5 {
+        cluster.invoke("it", "echo", vec![0u8; 256]);
+    }
+    let delta = cluster.fabric().stats().snapshot().delta(&before);
+    // Each call moves the 256-byte payload at least twice (invoke + result).
+    assert!(delta.total_bytes() >= 5 * 2 * 256);
+    assert!(cluster.billable_gb_seconds() > 0.0);
+    assert!(cluster.host_memory_bytes() > 0);
+}
+
+#[test]
+fn host_failure_calls_are_redispatched() {
+    let cluster = Cluster::new(3);
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    // Warm every host.
+    for i in 0..6u8 {
+        assert_eq!(cluster.invoke("it", "echo", vec![i]).return_code(), 0);
+    }
+    // Kill one instance; the cluster must keep serving.
+    cluster.kill_instance(1);
+    let mut ok = 0;
+    for i in 0..12u8 {
+        if cluster.invoke("it", "echo", vec![i]).return_code() == 0 {
+            ok += 1;
+        }
+    }
+    // A few calls may fail while the warm set still names the dead host
+    // (one-hop forwards fall back locally), but the cluster as a whole
+    // must keep making progress.
+    assert!(ok >= 10, "only {ok}/12 calls survived a host failure");
+    // And eventually it serves cleanly again.
+    assert_eq!(
+        cluster.invoke("it", "echo", b"post".to_vec()).return_code(),
+        0
+    );
+}
+
+#[test]
+fn all_hosts_dead_fails_cleanly() {
+    let cluster = Cluster::new(2);
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    cluster.kill_instance(0);
+    cluster.kill_instance(1);
+    let r = cluster.invoke("it", "echo", vec![1]);
+    assert!(matches!(r.status, CallStatus::Error(_)));
+}
+
+#[test]
+fn faaslet_egress_is_traffic_shaped() {
+    // A Faaslet with a 64 KiB/s egress limit sending ~4 KiB of socket
+    // traffic must be rate-limited; an unshaped one must not (the network
+    // namespace + tc mechanism of §3.1).
+    fn run_with(egress: Option<EgressLimit>) -> std::time::Duration {
+        let cluster = Cluster::with_config(ClusterConfig {
+            hosts: 1,
+            instance: InstanceConfig {
+                workers: 1,
+                egress,
+                ..InstanceConfig::default()
+            },
+            ..ClusterConfig::default()
+        });
+        // An echo service on its own fabric host.
+        let server = cluster.fabric().add_host();
+        let server_id = server.id();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let service = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Ok(env) = server.recv_timeout(std::time::Duration::from_millis(20)) {
+                    let _ = server.respond(&env, env.payload.clone());
+                }
+            }
+        });
+
+        let src = format!(
+            r#"
+            extern int socket();
+            extern int connect(int sock, int host);
+            extern int send(int sock, ptr int buf, int len);
+            int main() {{
+                int s = socket();
+                if (connect(s, {server_id}) != 0) {{ return -1; }}
+                for (int i = 0; i < 8; i = i + 1) {{
+                    if (send(s, (ptr int) 1024, 512) != 512) {{ return -2; }}
+                }}
+                return 0;
+            }}
+            "#,
+            server_id = server_id.0
+        );
+        cluster
+            .upload_fl("net", "blast", &src, UploadOptions::default())
+            .unwrap();
+        // Warm up so the timed run has no cold-start component.
+        assert_eq!(cluster.invoke("net", "blast", vec![]).return_code(), 0);
+        let t0 = std::time::Instant::now();
+        let r = cluster.invoke("net", "blast", vec![]);
+        let elapsed = t0.elapsed();
+        assert_eq!(r.return_code(), 0, "{:?}", r.status);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        service.join().unwrap();
+        elapsed
+    }
+
+    let unshaped = run_with(None);
+    // 8 × (512 + 64) bytes ≈ 4.6 KiB at 64 KiB/s with a 1 KiB burst →
+    // ≳ 50 ms of enforced pacing.
+    let shaped = run_with(Some(EgressLimit {
+        rate: 64 * 1024,
+        burst: 1024,
+    }));
+    assert!(
+        shaped > unshaped * 3 && shaped > std::time::Duration::from_millis(30),
+        "shaping must slow the sender: unshaped {unshaped:?}, shaped {shaped:?}"
+    );
+}

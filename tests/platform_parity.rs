@@ -1,0 +1,162 @@
+//! Platform parity: the paper's methodological requirement that "all
+//! experiments are implemented using the same code for both FAASM and
+//! Knative" (§6.1). These tests run identical workload code on both
+//! platforms and require identical *answers* with the documented
+//! *cost* differences (sharing vs. shipping).
+
+use faasm::baseline::{BaselineConfig, BaselinePlatform, ImageConfig};
+use faasm::core::Cluster;
+use faasm::workloads::data::{rcv1_like, synth_images};
+use faasm::workloads::{inference, matmul, sgd};
+
+fn small_platform(hosts: usize) -> BaselinePlatform {
+    BaselinePlatform::with_config(BaselineConfig {
+        hosts,
+        image: ImageConfig {
+            image_bytes: 256 * 1024,
+            layers: 3,
+            boot_passes: 2,
+        },
+        ..BaselineConfig::default()
+    })
+}
+
+#[test]
+fn sgd_converges_identically_enough_on_both_platforms() {
+    let dataset = rcv1_like(192, 64, 8, 11);
+    let tasks = sgd::partition(192, 4, 64, 0.5, 16);
+
+    let cluster = Cluster::new(2);
+    sgd::register_faasm(&cluster, "ml");
+    sgd::upload_dataset(cluster.kv(), &dataset).unwrap();
+    for _ in 0..2 {
+        let ids: Vec<_> = tasks
+            .iter()
+            .map(|t| cluster.invoke_async("ml", "sgd_update", t.to_bytes()))
+            .collect();
+        for id in ids {
+            assert_eq!(cluster.await_result(id).return_code(), 0);
+        }
+    }
+    let acc_faasm = sgd::accuracy(cluster.kv(), &dataset).unwrap();
+
+    let platform = small_platform(2);
+    sgd::register_baseline(&platform, "ml");
+    sgd::upload_dataset(platform.kv(), &dataset).unwrap();
+    for _ in 0..2 {
+        let ids: Vec<_> = tasks
+            .iter()
+            .map(|t| platform.invoke_async("ml", "sgd_update", t.to_bytes()))
+            .collect();
+        for id in ids {
+            assert_eq!(platform.await_result(id).return_code(), 0);
+        }
+    }
+    let acc_baseline = sgd::accuracy(platform.kv(), &dataset).unwrap();
+
+    // HOGWILD! interleavings differ, but both must genuinely learn.
+    assert!(acc_faasm > 0.7, "faasm accuracy {acc_faasm}");
+    assert!(acc_baseline > 0.7, "baseline accuracy {acc_baseline}");
+}
+
+#[test]
+fn matmul_results_are_bitwise_identical_across_platforms() {
+    let n = 16;
+
+    let cluster = Cluster::new(2);
+    matmul::register_faasm(&cluster, "la");
+    matmul::upload_matrices(cluster.kv(), n, 3).unwrap();
+    let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    let c_faasm = matmul::read_result(cluster.kv(), n).unwrap();
+
+    let platform = small_platform(2);
+    matmul::register_baseline(&platform, "la");
+    matmul::upload_matrices(platform.kv(), n, 3).unwrap();
+    let r = platform.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    let c_baseline = matmul::read_result(platform.kv(), n).unwrap();
+
+    assert_eq!(c_faasm, c_baseline, "identical code, identical result");
+}
+
+#[test]
+fn inference_classifications_match_across_platforms() {
+    let imgs = synth_images(3, inference::SIDE, 21);
+
+    let cluster = Cluster::new(1);
+    inference::setup_faasm(&cluster, "serve", 5);
+    let platform = small_platform(1);
+    inference::setup_baseline(&platform, "serve", 5);
+
+    for img in &imgs {
+        let a = cluster.invoke("serve", "infer", img.clone());
+        let b = platform.invoke("serve", "infer", img.clone());
+        assert_eq!(a.return_code(), 0);
+        assert_eq!(b.return_code(), 0);
+        assert_eq!(a.output, b.output, "same model, same scores");
+    }
+}
+
+#[test]
+fn baseline_ships_more_bytes_and_bills_more_memory() {
+    // The central quantitative contrast of §6.2 at miniature scale.
+    let dataset = rcv1_like(128, 64, 8, 5);
+    let tasks = sgd::partition(128, 4, 64, 0.5, 16);
+
+    let cluster = Cluster::new(2);
+    sgd::register_faasm(&cluster, "ml");
+    sgd::upload_dataset(cluster.kv(), &dataset).unwrap();
+    let ids: Vec<_> = tasks
+        .iter()
+        .map(|t| cluster.invoke_async("ml", "sgd_update", t.to_bytes()))
+        .collect();
+    for id in ids {
+        assert_eq!(cluster.await_result(id).return_code(), 0);
+    }
+    let faasm_bytes = cluster.fabric().stats().total_bytes();
+    let faasm_billable = cluster.billable_gb_seconds();
+
+    let platform = small_platform(2);
+    sgd::register_baseline(&platform, "ml");
+    sgd::upload_dataset(platform.kv(), &dataset).unwrap();
+    let ids: Vec<_> = tasks
+        .iter()
+        .map(|t| platform.invoke_async("ml", "sgd_update", t.to_bytes()))
+        .collect();
+    for id in ids {
+        assert_eq!(platform.await_result(id).return_code(), 0);
+    }
+    let baseline_bytes = platform.fabric().stats().total_bytes();
+    let baseline_billable = platform.billable_gb_seconds();
+
+    assert!(
+        baseline_bytes > faasm_bytes,
+        "containers ship whole values: {baseline_bytes} vs {faasm_bytes}"
+    );
+    assert!(
+        baseline_billable > faasm_billable,
+        "containers bill full private RSS: {baseline_billable} vs {faasm_billable}"
+    );
+}
+
+#[test]
+fn cold_start_latency_ordering_holds() {
+    // Tab. 3's ordering at test scale: container cold start ≫ Faaslet cold
+    // start; warm ≈ free on both.
+    let platform = small_platform(1);
+    inference::setup_baseline(&platform, "serve", 5);
+    let img = synth_images(1, inference::SIDE, 1).remove(0);
+    platform.invoke("serve", "infer", img.clone());
+    let container_cold_ns = platform.hosts()[0].metrics().mean_init_ns();
+
+    let cluster = Cluster::new(1);
+    inference::setup_faasm(&cluster, "serve", 5);
+    cluster.invoke("serve", "infer", img);
+    let faaslet_cold_ns = cluster.instances()[0].metrics().mean_init_ns();
+
+    assert!(
+        container_cold_ns > faaslet_cold_ns,
+        "container init {container_cold_ns} ns must exceed faaslet init {faaslet_cold_ns} ns"
+    );
+}

@@ -1,0 +1,298 @@
+//! Property-based tests on the workspace's core invariants.
+
+use faasm::fvm::{decode_module, encode_module, ObjectModule};
+use faasm::lang;
+use faasm::mem::{LinearMemory, MemorySnapshot, SharedRegion, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// A random arithmetic expression over two i32 variables, rendered to FL
+/// and mirrored in Rust with wrapping semantics.
+#[derive(Debug, Clone)]
+enum ExprTree {
+    X,
+    Y,
+    Const(i16),
+    Add(Box<ExprTree>, Box<ExprTree>),
+    Sub(Box<ExprTree>, Box<ExprTree>),
+    Mul(Box<ExprTree>, Box<ExprTree>),
+    And(Box<ExprTree>, Box<ExprTree>),
+    Xor(Box<ExprTree>, Box<ExprTree>),
+}
+
+impl ExprTree {
+    fn render(&self) -> String {
+        match self {
+            ExprTree::X => "x".into(),
+            ExprTree::Y => "y".into(),
+            ExprTree::Const(c) => format!("({c})"),
+            ExprTree::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            ExprTree::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            ExprTree::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            ExprTree::And(a, b) => format!("({} & {})", a.render(), b.render()),
+            ExprTree::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self, x: i32, y: i32) -> i32 {
+        match self {
+            ExprTree::X => x,
+            ExprTree::Y => y,
+            ExprTree::Const(c) => *c as i32,
+            ExprTree::Add(a, b) => a.eval(x, y).wrapping_add(b.eval(x, y)),
+            ExprTree::Sub(a, b) => a.eval(x, y).wrapping_sub(b.eval(x, y)),
+            ExprTree::Mul(a, b) => a.eval(x, y).wrapping_mul(b.eval(x, y)),
+            ExprTree::And(a, b) => a.eval(x, y) & b.eval(x, y),
+            ExprTree::Xor(a, b) => a.eval(x, y) ^ b.eval(x, y),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = ExprTree> {
+    let leaf = prop_oneof![
+        Just(ExprTree::X),
+        Just(ExprTree::Y),
+        any::<i16>().prop_map(ExprTree::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    /// Linear memory is a faithful byte store: any sequence of in-bounds
+    /// writes reads back exactly.
+    #[test]
+    fn memory_read_after_write(
+        writes in prop::collection::vec(
+            (0usize..3 * PAGE_SIZE - 64, prop::collection::vec(any::<u8>(), 1..64)),
+            1..24,
+        )
+    ) {
+        let mut mem = LinearMemory::new(3, 3).unwrap();
+        let mut model = vec![0u8; 3 * PAGE_SIZE];
+        for (addr, data) in &writes {
+            mem.write(*addr, data).unwrap();
+            model[*addr..*addr + data.len()].copy_from_slice(data);
+        }
+        prop_assert_eq!(mem.to_vec(), model);
+    }
+
+    /// Snapshots are immutable: no write to the source or any restored copy
+    /// can change what later restores observe.
+    #[test]
+    fn snapshot_immutability(
+        pre in prop::collection::vec((0usize..PAGE_SIZE - 8, any::<u64>()), 1..12),
+        post in prop::collection::vec((0usize..PAGE_SIZE - 8, any::<u64>()), 1..12),
+    ) {
+        let mut mem = LinearMemory::new(1, 2).unwrap();
+        for (addr, v) in &pre {
+            mem.write_u64(*addr, *v).unwrap();
+        }
+        let expected = mem.to_vec();
+        let snap = mem.snapshot();
+        // Mutate the original and one restored copy.
+        for (addr, v) in &post {
+            mem.write_u64(*addr, *v).unwrap();
+        }
+        let mut restored1 = LinearMemory::restore(&snap);
+        for (addr, v) in &post {
+            restored1.write_u64(*addr, v.wrapping_add(1)).unwrap();
+        }
+        // A fresh restore still sees the snapshot-time contents.
+        let restored2 = LinearMemory::restore(&snap);
+        prop_assert_eq!(restored2.to_vec(), expected);
+    }
+
+    /// Memory snapshots survive serialisation (the cross-host path).
+    #[test]
+    fn snapshot_serialisation_roundtrip(
+        writes in prop::collection::vec((0usize..2 * PAGE_SIZE - 8, any::<u64>()), 0..8)
+    ) {
+        let mut mem = LinearMemory::new(2, 4).unwrap();
+        for (addr, v) in &writes {
+            mem.write_u64(*addr, *v).unwrap();
+        }
+        let expected = mem.to_vec();
+        let snap = mem.snapshot();
+        let back = MemorySnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        prop_assert_eq!(LinearMemory::restore(&back).to_vec(), expected);
+    }
+
+    /// Shared-region writes through one mapping are exactly what every other
+    /// mapping reads (zero-copy aliasing, Fig. 2).
+    #[test]
+    fn shared_region_aliasing(
+        writes in prop::collection::vec(
+            (0usize..PAGE_SIZE - 16, prop::collection::vec(any::<u8>(), 1..16)),
+            1..10,
+        )
+    ) {
+        let region = SharedRegion::new(PAGE_SIZE);
+        let mut a = LinearMemory::new(1, 4).unwrap();
+        let mut b = LinearMemory::new(2, 4).unwrap();
+        let base_a = a.map_shared(&region).unwrap();
+        let base_b = b.map_shared(&region).unwrap();
+        for (off, data) in &writes {
+            a.write(base_a + off, data).unwrap();
+        }
+        for (off, data) in &writes {
+            let mut buf = vec![0u8; data.len()];
+            b.read(base_b + off, &mut buf).unwrap();
+            // Later writes may overlap earlier ones; re-read via region for
+            // the authoritative value.
+            let mut expect = vec![0u8; data.len()];
+            region.read(*off, &mut expect).unwrap();
+            prop_assert_eq!(buf, expect);
+        }
+    }
+
+    /// The trusted decoder never panics on arbitrary bytes and never accepts
+    /// then mis-executes garbage: decode either errors or yields a module
+    /// that re-encodes canonically.
+    #[test]
+    fn module_decoder_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(module) = decode_module(&bytes) {
+            // Anything accepted must round-trip through our own encoder.
+            let re = encode_module(&module);
+            prop_assert_eq!(decode_module(&re).unwrap(), module);
+        }
+    }
+
+    /// Bit-flipping a valid module binary must never panic the
+    /// decode/validate pipeline (SFI's upload gate is total).
+    #[test]
+    fn upload_gate_survives_bitflips(flips in prop::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
+        let module = lang::compile(
+            "int main() { int acc = 0; for (int i = 0; i < 10; i = i + 1) { acc = acc + i; } return acc; }",
+        )
+        .unwrap();
+        let mut bytes = encode_module(&module);
+        for (pos, val) in &flips {
+            let idx = *pos as usize % bytes.len();
+            bytes[idx] ^= *val;
+        }
+        // Must not panic; may succeed (benign flip) or fail.
+        let _ = ObjectModule::compile(&bytes);
+    }
+
+    /// FL programs that compile always pass the FVM validator — the
+    /// toolchain can never produce modules the trusted gate rejects.
+    #[test]
+    fn fl_codegen_always_validates(
+        a in -1000i32..1000,
+        b in 1i32..1000,
+        loops in 1u8..5,
+    ) {
+        let src = format!(
+            r#"
+            int main() {{
+                int acc = {a};
+                for (int i = 0; i < {loops}; i = i + 1) {{
+                    if (acc > 0 && i % 2 == 0) {{
+                        acc = acc - {b};
+                    }} else {{
+                        acc = acc + i * {b};
+                    }}
+                }}
+                return acc;
+            }}
+            "#
+        );
+        let module = lang::compile(&src).unwrap();
+        prop_assert!(faasm::fvm::validate(&module).is_ok());
+    }
+
+    /// FL arithmetic agrees with a Rust reference across random inputs (the
+    /// guest ISA computes correctly, not just safely).
+    #[test]
+    fn fl_arithmetic_matches_reference(x in -10_000i32..10_000, y in -10_000i32..10_000) {
+        let src = r#"
+            int f(int x, int y) {
+                int s = x + y;
+                int d = x - y;
+                int p = (x % 97) * (y % 89);
+                int m = 0;
+                if (x > y) { m = x; } else { m = y; }
+                return s * 3 + d - p + m;
+            }
+        "#;
+        let module = lang::compile(src).unwrap();
+        let object = ObjectModule::prepare(module).unwrap();
+        let mut inst = faasm::fvm::Instance::new(
+            object,
+            &faasm::fvm::Linker::new(),
+            Box::new(()),
+        )
+        .unwrap();
+        let got = inst
+            .invoke("f", &[faasm::fvm::Val::I32(x), faasm::fvm::Val::I32(y)])
+            .unwrap()
+            .unwrap();
+        let s = x.wrapping_add(y);
+        let d = x.wrapping_sub(y);
+        let p = (x % 97).wrapping_mul(y % 89);
+        let m = x.max(y);
+        let expect = s.wrapping_mul(3).wrapping_add(d).wrapping_sub(p).wrapping_add(m);
+        prop_assert_eq!(got, faasm::fvm::Val::I32(expect));
+    }
+
+    /// Random expression trees: the FL compiler + FVM interpreter agree with
+    /// a Rust reference evaluator on every tree and input (the compiler
+    /// differential test promised by DESIGN.md §6).
+    #[test]
+    fn fl_random_expression_trees_match_reference(
+        tree in expr_strategy(),
+        x in any::<i32>(),
+        y in any::<i32>(),
+    ) {
+        let src = format!("int f(int x, int y) {{ return {}; }}", tree.render());
+        let module = lang::compile(&src).unwrap();
+        let object = ObjectModule::prepare(module).unwrap();
+        let mut inst =
+            faasm::fvm::Instance::new(object, &faasm::fvm::Linker::new(), Box::new(())).unwrap();
+        let got = inst
+            .invoke("f", &[faasm::fvm::Val::I32(x), faasm::fvm::Val::I32(y)])
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(got, faasm::fvm::Val::I32(tree.eval(x, y)));
+    }
+
+    /// KVS range semantics: setrange/getrange behave like a byte array with
+    /// zero extension, matching a Vec<u8> model.
+    #[test]
+    fn kvs_range_model(
+        ops in prop::collection::vec(
+            (0u16..2048, prop::collection::vec(any::<u8>(), 1..32)),
+            1..16,
+        )
+    ) {
+        let store = faasm::kvs::KvStore::new();
+        let mut model: Vec<u8> = Vec::new();
+        for (off, data) in &ops {
+            let off = *off as usize;
+            store.set_range("k", off, data);
+            if model.len() < off + data.len() {
+                model.resize(off + data.len(), 0);
+            }
+            model[off..off + data.len()].copy_from_slice(data);
+        }
+        prop_assert_eq!(store.get("k"), Some(model.clone()));
+        // Random window reads match.
+        let win = model.len().min(100);
+        prop_assert_eq!(
+            store.get_range("k", 0, win),
+            Some(model[..win].to_vec())
+        );
+    }
+}
