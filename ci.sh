@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gates; what .github/workflows/ci.yml runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

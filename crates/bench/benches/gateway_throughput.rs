@@ -1,0 +1,171 @@
+//! Gateway throughput under offered load.
+//!
+//! Drives the ingress tier at several offered request rates and measures
+//! what it sustains: completed requests/second, queueing-delay p50/p99 and
+//! shed counts. Run with `cargo bench --bench gateway_throughput`; a full
+//! run snapshots its numbers to `BENCH_gateway.json` at the repo root.
+//! Under `cargo test` (cargo passes `--test`) it runs one tiny load as a
+//! smoke test and writes nothing.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faasm_core::{Cluster, ClusterConfig};
+use faasm_gateway::{Gateway, GatewayConfig, GatewayStatus};
+
+const WORK: &str = r#"
+    extern int input_size();
+    extern int read_call_input(ptr int buf, int len);
+    extern void write_call_output(ptr int buf, int len);
+    int main() {
+        read_call_input((ptr int) 1024, 4);
+        ptr int p = (ptr int) 1024;
+        int acc = 0;
+        for (int i = 0; i < 500; i = i + 1) {
+            acc = acc + i * p[0];
+        }
+        p[0] = acc;
+        write_call_output((ptr int) 1024, 4);
+        return 0;
+    }
+"#;
+
+struct LoadPoint {
+    offered_rps: u64,
+    requests: usize,
+    completed: u64,
+    shed: u64,
+    sustained_rps: f64,
+    p50_queue_ms: f64,
+    p99_queue_ms: f64,
+    batch_occupancy: f64,
+}
+
+/// Offer `requests` at `offered_rps` from `clients` paced client threads.
+fn drive(offered_rps: u64, requests: usize, clients: usize) -> LoadPoint {
+    let cluster = Arc::new(Cluster::with_config(ClusterConfig {
+        hosts: 4,
+        ..ClusterConfig::default()
+    }));
+    cluster
+        .upload_fl("bench", "work", WORK, Default::default())
+        .unwrap();
+    let gateway = Arc::new(Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 4,
+            max_batch: 32,
+            ..GatewayConfig::default()
+        },
+    ));
+    // Warm the proto so the sweep measures steady state, not first-upload.
+    assert!(gateway
+        .call("bench", "work", 1i32.to_le_bytes().to_vec())
+        .is_ok());
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let gw = Arc::clone(&gateway);
+        let n = requests / clients;
+        let per_client_rps = offered_rps as f64 / clients as f64;
+        handles.push(std::thread::spawn(move || {
+            let gap = Duration::from_secs_f64(1.0 / per_client_rps);
+            let start = Instant::now();
+            let mut ok = 0u64;
+            let mut shed = 0u64;
+            for i in 0..n {
+                // Open-loop pacing: send at the offered rate regardless of
+                // completions (the honest way to measure an ingress tier).
+                let due = start + gap * i as u32;
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let input = (i as i32 + c as i32).to_le_bytes().to_vec();
+                match gw.call("bench", "work", input).status {
+                    GatewayStatus::Ok => ok += 1,
+                    GatewayStatus::Overloaded | GatewayStatus::Expired => shed += 1,
+                    GatewayStatus::Failed(_) | GatewayStatus::Error(_) => {}
+                }
+            }
+            (ok, shed)
+        }));
+    }
+    let mut completed = 0;
+    let mut shed = 0;
+    for h in handles {
+        let (ok, s) = h.join().unwrap();
+        completed += ok;
+        shed += s;
+    }
+    let elapsed = t0.elapsed();
+    let m = gateway.metrics();
+    LoadPoint {
+        offered_rps,
+        requests,
+        completed,
+        shed,
+        sustained_rps: completed as f64 / elapsed.as_secs_f64(),
+        p50_queue_ms: m.queue_delay_p50_ns() as f64 / 1e6,
+        p99_queue_ms: m.queue_delay_p99_ns() as f64 / 1e6,
+        batch_occupancy: m.batch_occupancy(),
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let loads: &[(u64, usize)] = if test_mode {
+        &[(500, 50)]
+    } else {
+        &[(1_000, 2_000), (4_000, 8_000), (16_000, 16_000)]
+    };
+
+    let mut points = Vec::new();
+    println!(
+        "{:>12} {:>10} {:>12} {:>8} {:>12} {:>12} {:>10}",
+        "offered r/s", "requests", "sustained", "shed", "p50 queue", "p99 queue", "batch occ"
+    );
+    for &(rps, requests) in loads {
+        let p = drive(rps, requests, 4);
+        println!(
+            "{:>12} {:>10} {:>12.0} {:>8} {:>9.3} ms {:>9.3} ms {:>10.2}",
+            p.offered_rps,
+            p.requests,
+            p.sustained_rps,
+            p.shed,
+            p.p50_queue_ms,
+            p.p99_queue_ms,
+            p.batch_occupancy
+        );
+        points.push(p);
+    }
+
+    if test_mode {
+        println!("test bench gateway_throughput ... ok");
+        return;
+    }
+
+    // Snapshot for the repo (hand-rolled JSON: the workspace is std-only).
+    let mut json = String::from("{\n  \"bench\": \"gateway_throughput\",\n  \"hosts\": 4,\n  \"dispatchers\": 4,\n  \"loads\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"offered_rps\": {}, \"requests\": {}, \"completed\": {}, \"shed\": {}, \"sustained_rps\": {:.0}, \"p50_queue_ms\": {:.3}, \"p99_queue_ms\": {:.3}, \"batch_occupancy\": {:.2}}}{}\n",
+            p.offered_rps,
+            p.requests,
+            p.completed,
+            p.shed,
+            p.sustained_rps,
+            p.p50_queue_ms,
+            p.p99_queue_ms,
+            p.batch_occupancy,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nsnapshot written to BENCH_gateway.json"),
+        Err(e) => eprintln!("\ncould not write snapshot: {e}"),
+    }
+}

@@ -276,6 +276,84 @@ impl FaasmInstance {
         let _ = self.warm.deregister(user, function, self.host_id);
     }
 
+    /// Depth of this host's local run queue — calls accepted but not yet
+    /// executing. The backpressure signal read by the scheduler and by the
+    /// ingress tier when placing batches.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_rx.len()
+    }
+
+    /// Pre-warm up to `count` Faaslets for a function into the idle pool
+    /// (the autoscaler hook): each is built through the normal Proto-Faaslet
+    /// restore / cold-start path without running a call, so a later burst
+    /// hits only warm starts. Returns how many were created.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownFunction`] or Faaslet construction errors, only
+    /// when nothing could be built; a partial batch is reported as
+    /// `Ok(created)` and the host is registered warm for what it did build.
+    pub fn prewarm(
+        self: &Arc<Self>,
+        user: &str,
+        function: &str,
+        count: usize,
+    ) -> Result<usize, CoreError> {
+        let key = (user.to_string(), function.to_string());
+        let mut created = 0;
+        let mut first_err = None;
+        for _ in 0..count {
+            match self.build_faaslet(&key) {
+                Ok(faaslet) => {
+                    self.pool
+                        .lock()
+                        .entry(key.clone())
+                        .or_default()
+                        .push(faaslet);
+                    created += 1;
+                }
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if created > 0 {
+            let _ = self.warm.register(user, function, self.host_id);
+        }
+        match first_err {
+            Some(e) if created == 0 => Err(e),
+            _ => Ok(created),
+        }
+    }
+
+    /// Retire up to `count` idle Faaslets for a function from the pool (the
+    /// autoscaler's scale-down hook). Deregisters from the global warm set
+    /// when the pool empties. Returns how many were dropped.
+    pub fn retire_idle(&self, user: &str, function: &str, count: usize) -> usize {
+        let key = (user.to_string(), function.to_string());
+        let mut pool = self.pool.lock();
+        let Some(idle) = pool.get_mut(&key) else {
+            return 0;
+        };
+        let n = count.min(idle.len());
+        if n == 0 {
+            // Checkout leaves empty entries behind; retiring nothing must
+            // not deregister a host whose Faaslets are merely all busy.
+            return 0;
+        }
+        idle.truncate(idle.len() - n);
+        let emptied = idle.is_empty();
+        if emptied {
+            pool.remove(&key);
+        }
+        drop(pool);
+        if emptied {
+            let _ = self.warm.deregister(user, function, self.host_id);
+        }
+        n
+    }
+
     /// The environment used to build Faaslets on this host.
     fn env(self: &Arc<Self>) -> FaasletEnv {
         FaasletEnv {
@@ -328,6 +406,7 @@ impl FaasmInstance {
             warm_local: idle + busy,
             idle_local: idle,
             warm_hosts: &warm_hosts,
+            queue_depth: self.queue_rx.len(),
             seed: self.rotation.fetch_add(1, Ordering::Relaxed),
         });
         match placement {
@@ -414,6 +493,13 @@ impl FaasmInstance {
             self.metrics.record_start(StartKind::Warm, 0);
             return Ok(f);
         }
+        self.build_faaslet(key)
+    }
+
+    /// Build a fresh Faaslet (proto restore or cold start), bypassing the
+    /// pool. Shared by the call path ([`checkout`](Self::checkout)) and the
+    /// autoscaler's [`prewarm`](Self::prewarm).
+    fn build_faaslet(self: &Arc<Self>, key: &(String, String)) -> Result<Faaslet, CoreError> {
         let def = self
             .registry
             .get(&key.0, &key.1)
@@ -482,6 +568,26 @@ impl FaasmInstance {
             let msg = encode_msg(&InstanceMsg::Result { result });
             let _ = self.nic.send(reply_to, msg);
         }
+    }
+
+    /// Queue a call for execution on this instance, bypassing the local
+    /// scheduling decision — for ingress tiers that already placed the call
+    /// (the gateway scores hosts by warmth and queue depth before
+    /// dispatching; re-running `decide` here would forward by bare rotation
+    /// and fight that placement). Await with [`ChainRouter::await_call`].
+    pub fn submit_placed(&self, user: &str, function: &str, input: Vec<u8>) -> CallId {
+        let id = CallId(self.call_seq.fetch_add(1, Ordering::Relaxed));
+        self.pending.register(id.0);
+        let _ = self.queue_tx.send(QueuedCall {
+            call: CallSpec {
+                id,
+                user: user.to_string(),
+                function: function.to_string(),
+                input,
+            },
+            reply_to: self.host_id,
+        });
+        id
     }
 
     /// Direct (test/benchmark) entry: run a call on this instance and wait.

@@ -69,7 +69,7 @@ pub use faaslet::{EgressLimit, Faaslet, FaasletEnv, NATIVE_BASE_BYTES};
 pub use guest::{FunctionDef, FunctionRegistry, GuestCode, NativeGuest};
 pub use hostfuncs::faaslet_linker;
 pub use instance::{FaasmInstance, InstanceConfig, Pending};
-pub use metrics::{percentile, Metrics, StartKind};
+pub use metrics::{percentile, GatewayMetrics, Metrics, StartKind};
 pub use proto::{ProtoFaaslet, ProtoRef};
 
 // Re-export the call types every embedder needs.

@@ -130,6 +130,169 @@ impl Metrics {
     }
 }
 
+/// Ingress-tier metrics: what the gateway in front of a cluster observes.
+///
+/// Kept here (rather than in `faasm-gateway`) so every metrics consumer —
+/// the figures binary, benches, embedders — reads one crate, and so the
+/// gateway's numbers compose with [`percentile`] like the runtime's do.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed_overloaded: AtomicU64,
+    shed_ratelimited: AtomicU64,
+    shed_expired: AtomicU64,
+    batches: AtomicU64,
+    batch_items: AtomicU64,
+    prewarmed: AtomicU64,
+    retired: AtomicU64,
+    /// Sliding window of the most recent queueing-delay samples (ring
+    /// buffer): one sample lands per dispatched request, so an unbounded
+    /// Vec would grow by ~100 MB/hour at the bench's sustained rates and
+    /// make every percentile read sort the full history.
+    queue_delay_ns: Mutex<DelayWindow>,
+}
+
+/// Ring buffer of recent delay samples.
+#[derive(Debug, Default)]
+struct DelayWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+/// Queueing-delay samples retained for percentile reads.
+const DELAY_WINDOW: usize = 65_536;
+
+impl GatewayMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> GatewayMetrics {
+        GatewayMetrics::default()
+    }
+
+    /// Record a request admitted past admission control.
+    pub fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request completed end to end.
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request shed because its tenant queue was full.
+    pub fn record_shed_overloaded(&self) {
+        self.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request shed by the tenant's token bucket.
+    pub fn record_shed_ratelimited(&self) {
+        self.shed_ratelimited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request shed because its deadline passed while queued.
+    pub fn record_shed_expired(&self) {
+        self.shed_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one dispatched batch of `items` requests.
+    pub fn record_batch(&self, items: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(items as u64, Ordering::Relaxed);
+    }
+
+    /// Record time a request spent queued before dispatch.
+    pub fn record_queue_delay_ns(&self, ns: u64) {
+        let mut w = self.queue_delay_ns.lock();
+        if w.samples.len() < DELAY_WINDOW {
+            w.samples.push(ns);
+        } else {
+            let slot = w.next;
+            w.samples[slot] = ns;
+        }
+        w.next = (w.next + 1) % DELAY_WINDOW;
+    }
+
+    /// Record `n` Faaslets pre-warmed by the autoscaler.
+    pub fn record_prewarm(&self, n: usize) {
+        self.prewarmed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Record `n` idle Faaslets retired by the autoscaler.
+    pub fn record_retire(&self, n: usize) {
+        self.retired.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Requests admitted past admission control.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed end to end.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with `Overloaded` (full queue).
+    pub fn shed_overloaded(&self) -> u64 {
+        self.shed_overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with `Overloaded` (rate limit).
+    pub fn shed_ratelimited(&self) -> u64 {
+        self.shed_ratelimited.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with `Expired` (deadline passed in queue).
+    pub fn shed_expired(&self) -> u64 {
+        self.shed_expired.load(Ordering::Relaxed)
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_overloaded() + self.shed_ratelimited() + self.shed_expired()
+    }
+
+    /// Dispatched batches.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per dispatched batch (0 when none dispatched).
+    pub fn batch_occupancy(&self) -> f64 {
+        let b = self.batches.load(Ordering::Relaxed);
+        if b == 0 {
+            return 0.0;
+        }
+        self.batch_items.load(Ordering::Relaxed) as f64 / b as f64
+    }
+
+    /// Faaslets pre-warmed by the autoscaler.
+    pub fn prewarmed(&self) -> u64 {
+        self.prewarmed.load(Ordering::Relaxed)
+    }
+
+    /// Idle Faaslets retired by the autoscaler.
+    pub fn retired(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Queueing-delay percentile in nanoseconds over the most recent
+    /// [`DELAY_WINDOW`] samples (0.0–1.0; 0 when empty).
+    pub fn queue_delay_percentile_ns(&self, p: f64) -> u64 {
+        percentile(&self.queue_delay_ns.lock().samples, p)
+    }
+
+    /// p50 queueing delay in nanoseconds.
+    pub fn queue_delay_p50_ns(&self) -> u64 {
+        self.queue_delay_percentile_ns(0.5)
+    }
+
+    /// p99 queueing delay in nanoseconds.
+    pub fn queue_delay_p99_ns(&self) -> u64 {
+        self.queue_delay_percentile_ns(0.99)
+    }
+}
+
 /// Compute a latency percentile (0.0–1.0) from a sample set.
 ///
 /// Returns 0 for empty input. Uses nearest-rank on a sorted copy.
@@ -173,6 +336,42 @@ mod tests {
         assert_eq!(m.mean_init_ns(), 550);
         m.record_forward();
         assert_eq!(m.forwarded(), 1);
+    }
+
+    #[test]
+    fn gateway_metrics_accounting() {
+        let m = GatewayMetrics::new();
+        m.record_admitted();
+        m.record_batch(3);
+        m.record_batch(1);
+        m.record_shed_overloaded();
+        m.record_shed_ratelimited();
+        m.record_shed_expired();
+        m.record_prewarm(2);
+        m.record_retire(1);
+        assert_eq!(m.admitted(), 1);
+        assert_eq!(m.shed_total(), 3);
+        assert_eq!(m.batches(), 2);
+        assert!((m.batch_occupancy() - 2.0).abs() < 1e-9);
+        assert_eq!(m.prewarmed(), 2);
+        assert_eq!(m.retired(), 1);
+    }
+
+    #[test]
+    fn gateway_delay_window_is_bounded() {
+        let m = GatewayMetrics::new();
+        // Overfill the ring: old samples must be evicted, reads stay sane.
+        for i in 0..(super::DELAY_WINDOW as u64 + 10_000) {
+            m.record_queue_delay_ns(i);
+        }
+        let p100 = m.queue_delay_percentile_ns(1.0);
+        let p0 = m.queue_delay_percentile_ns(0.0);
+        assert_eq!(p100, super::DELAY_WINDOW as u64 + 9_999);
+        assert!(
+            p0 >= 10_000,
+            "oldest retained sample should be recent, got {p0}"
+        );
+        assert!(m.queue_delay_p99_ns() >= m.queue_delay_p50_ns());
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! The gateway autoscaler: queue depth in, warm-pool size out.
+//!
+//! Every `interval` the autoscaler samples the per-function backlog of the
+//! pending queue. Functions with deep backlogs get Faaslets pre-warmed on
+//! the least-loaded instance (through the Proto-Faaslet restore path, so
+//! the pre-warm itself is microseconds); functions whose backlog has
+//! drained to zero have surplus idle Faaslets retired so the host memory
+//! (the billable-memory curve of Fig. 6c) tracks demand.
+
+use std::time::Duration;
+
+/// Autoscaler tuning.
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// Sampling period.
+    pub interval: Duration,
+    /// Backlog (queued requests for one function) above which Faaslets are
+    /// pre-warmed.
+    pub backlog_high: usize,
+    /// Faaslets pre-warmed per trigger.
+    pub scale_step: usize,
+    /// Idle Faaslets to keep per function once its backlog drains.
+    pub idle_target: usize,
+    /// Hard cap on pooled Faaslets per function across the cluster.
+    pub max_warm: usize,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> AutoscaleConfig {
+        AutoscaleConfig {
+            interval: Duration::from_millis(10),
+            backlog_high: 4,
+            scale_step: 2,
+            idle_target: 1,
+            max_warm: 64,
+        }
+    }
+}

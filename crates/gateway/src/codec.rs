@@ -1,0 +1,325 @@
+//! The gateway wire protocol: length-prefixed binary frames.
+//!
+//! Same discipline as the KVS codec (`faasm-kvs`): every request/response
+//! crossing the ingress boundary is encoded through this module, so byte
+//! accounting stays faithful and no hidden zero-cost serialisation sneaks
+//! into the measurements. A frame is a `u32`-LE payload length followed by
+//! the payload; [`FrameBuf`] reassembles frames from an arbitrary byte
+//! stream (clients may deliver them fragmented or coalesced).
+
+use bytes::{Buf, BufMut};
+
+use crate::response::{GatewayResponse, GatewayStatus};
+
+/// Maximum accepted frame payload (defends the ingress against a hostile
+/// length prefix).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+const TAG_REQUEST: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+
+/// A function-call request as it arrives at the gateway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayRequest {
+    /// Client-chosen sequence number, echoed on the response.
+    pub seq: u64,
+    /// The tenant (the cluster's user namespace).
+    pub tenant: String,
+    /// Function name within the tenant's namespace.
+    pub function: String,
+    /// Milliseconds the client is willing to wait in queue; 0 means the
+    /// gateway default.
+    pub deadline_ms: u64,
+    /// Input bytes.
+    pub input: Vec<u8>,
+}
+
+/// Wrap a payload in a length-prefixed frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+    out
+}
+
+/// A length prefix exceeding [`MAX_FRAME`]: the stream is corrupt or
+/// hostile, and the connection should be dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizedFrame {
+    /// The claimed payload length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for OversizedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame length {} exceeds MAX_FRAME {MAX_FRAME}", self.len)
+    }
+}
+
+impl std::error::Error for OversizedFrame {}
+
+/// Split one frame off the front of `buf`: returns the payload and the
+/// total bytes consumed, `None` if the frame is still incomplete, or an
+/// error if the length prefix exceeds [`MAX_FRAME`].
+pub fn try_decode_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, OversizedFrame> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(OversizedFrame { len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((&buf[4..4 + len], 4 + len)))
+}
+
+/// [`try_decode_frame`] with oversized prefixes flattened into `None`, for
+/// callers holding one complete, bounded frame (not a stream).
+pub fn decode_frame(buf: &[u8]) -> Option<(&[u8], usize)> {
+    try_decode_frame(buf).ok().flatten()
+}
+
+/// Incremental frame reassembly over a byte stream.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty reassembly buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Append raw bytes received from the stream.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete frame payload. `Ok(None)` means "no complete
+    /// frame yet". An [`OversizedFrame`] error means the stream is corrupt
+    /// or hostile: the buffer is cleared (nothing behind a bad prefix is
+    /// trustworthy) and the caller should drop the connection.
+    ///
+    /// # Errors
+    ///
+    /// [`OversizedFrame`] when the next length prefix exceeds [`MAX_FRAME`].
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, OversizedFrame> {
+        match try_decode_frame(&self.buf) {
+            Ok(Some((payload, consumed))) => {
+                let payload = payload.to_vec();
+                self.buf.drain(..consumed);
+                Ok(Some(payload))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.buf.clear();
+                self.buf.shrink_to_fit();
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Encode a request payload (frame it with [`encode_frame`] for the wire).
+pub fn encode_request(req: &GatewayRequest) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u8(TAG_REQUEST);
+    out.put_u64_le(req.seq);
+    put_string(&mut out, &req.tenant);
+    put_string(&mut out, &req.function);
+    out.put_u64_le(req.deadline_ms);
+    put_blob(&mut out, &req.input);
+    out
+}
+
+/// Decode a request payload; `None` on malformed or trailing bytes.
+pub fn decode_request(mut buf: &[u8]) -> Option<GatewayRequest> {
+    if buf.remaining() < 9 || buf.get_u8() != TAG_REQUEST {
+        return None;
+    }
+    let seq = buf.get_u64_le();
+    let tenant = get_string(&mut buf)?;
+    let function = get_string(&mut buf)?;
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let deadline_ms = buf.get_u64_le();
+    let input = get_blob(&mut buf)?;
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(GatewayRequest {
+        seq,
+        tenant,
+        function,
+        deadline_ms,
+        input,
+    })
+}
+
+/// Encode a response payload.
+pub fn encode_response(resp: &GatewayResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u8(TAG_RESPONSE);
+    out.put_u64_le(resp.seq);
+    match &resp.status {
+        GatewayStatus::Ok => out.put_u8(0),
+        GatewayStatus::Failed(code) => {
+            out.put_u8(1);
+            out.put_i32_le(*code);
+        }
+        GatewayStatus::Error(msg) => {
+            out.put_u8(2);
+            put_string(&mut out, msg);
+        }
+        GatewayStatus::Overloaded => out.put_u8(3),
+        GatewayStatus::Expired => out.put_u8(4),
+    }
+    put_blob(&mut out, &resp.output);
+    out
+}
+
+/// Decode a response payload; `None` on malformed or trailing bytes.
+pub fn decode_response(mut buf: &[u8]) -> Option<GatewayResponse> {
+    if buf.remaining() < 10 || buf.get_u8() != TAG_RESPONSE {
+        return None;
+    }
+    let seq = buf.get_u64_le();
+    let status = match buf.get_u8() {
+        0 => GatewayStatus::Ok,
+        1 => {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            GatewayStatus::Failed(buf.get_i32_le())
+        }
+        2 => GatewayStatus::Error(get_string(&mut buf)?),
+        3 => GatewayStatus::Overloaded,
+        4 => GatewayStatus::Expired,
+        _ => return None,
+    };
+    let output = get_blob(&mut buf)?;
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(GatewayResponse {
+        seq,
+        status,
+        output,
+    })
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    out.put_u32_le(b.len() as u32);
+    out.put_slice(b);
+}
+
+fn get_string(buf: &mut &[u8]) -> Option<String> {
+    String::from_utf8(get_blob(buf)?).ok()
+}
+
+fn get_blob(buf: &mut &[u8]) -> Option<Vec<u8>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> GatewayRequest {
+        GatewayRequest {
+            seq: 42,
+            tenant: "alice".into(),
+            function: "double".into(),
+            deadline_ms: 250,
+            input: vec![1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = req();
+        assert_eq!(decode_request(&encode_request(&r)), Some(r));
+    }
+
+    #[test]
+    fn response_roundtrip_all_statuses() {
+        for status in [
+            GatewayStatus::Ok,
+            GatewayStatus::Failed(7),
+            GatewayStatus::Error("boom".into()),
+            GatewayStatus::Overloaded,
+            GatewayStatus::Expired,
+        ] {
+            let r = GatewayResponse {
+                seq: 9,
+                status,
+                output: b"out".to_vec(),
+            };
+            assert_eq!(decode_response(&encode_response(&r)), Some(r));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert_eq!(decode_request(&[]), None);
+        assert_eq!(decode_request(&[TAG_RESPONSE; 16]), None);
+        let mut ok = encode_request(&req());
+        ok.push(0); // trailing garbage
+        assert_eq!(decode_request(&ok), None);
+        assert_eq!(decode_response(&encode_request(&req())), None);
+    }
+
+    #[test]
+    fn frames_reassemble_from_fragments() {
+        let a = encode_frame(&encode_request(&req()));
+        let b = encode_frame(b"second");
+        let stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        let mut fb = FrameBuf::new();
+        // Feed one byte at a time.
+        for byte in &stream {
+            fb.feed(&[*byte]);
+        }
+        let first = fb.next_frame().unwrap().expect("first frame");
+        assert_eq!(decode_request(&first), Some(req()));
+        assert_eq!(fb.next_frame().unwrap().as_deref(), Some(&b"second"[..]));
+        assert_eq!(fb.next_frame(), Ok(None));
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_a_hard_error_and_resets() {
+        let mut fb = FrameBuf::new();
+        fb.feed(&u32::MAX.to_le_bytes());
+        fb.feed(&[0; 64]);
+        let err = fb.next_frame().unwrap_err();
+        assert_eq!(err.len, u32::MAX as usize);
+        // The poisoned stream was discarded, not silently buffered forever.
+        assert_eq!(fb.pending_bytes(), 0);
+        // The buffer is reusable for a fresh (reconnected) stream.
+        fb.feed(&encode_frame(b"recovered"));
+        assert_eq!(fb.next_frame().unwrap().as_deref(), Some(&b"recovered"[..]));
+    }
+}

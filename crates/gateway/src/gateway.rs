@@ -1,0 +1,531 @@
+//! The gateway runtime: admission, batching dispatch, autoscaling.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faasm_core::{ChainRouter, Cluster, FaasmInstance, GatewayMetrics};
+use faasm_net::TokenBucket;
+use parking_lot::{Condvar, Mutex};
+
+use crate::autoscale::AutoscaleConfig;
+use crate::codec::{self, GatewayRequest};
+use crate::queue::{FairQueue, Job};
+use crate::response::GatewayResponse;
+use crate::tenant::TenantPolicy;
+
+/// Gateway construction parameters.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Dispatcher threads draining the pending queue in batches.
+    pub dispatchers: usize,
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// How long a dispatcher waits for the first request of a batch before
+    /// re-checking for shutdown.
+    pub batch_wait: Duration,
+    /// Queueing deadline applied to requests that do not carry their own: a
+    /// request still queued after this long is shed with `Expired`.
+    pub default_deadline: Duration,
+    /// Upper bound a caller blocks in [`Gateway::wait`] before getting an
+    /// error response (covers runaway guests; normal sheds return fast).
+    pub wait_timeout: Duration,
+    /// Policy for tenants without an explicit one.
+    pub default_policy: TenantPolicy,
+    /// Autoscaler; `None` disables it.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            dispatchers: 2,
+            max_batch: 16,
+            batch_wait: Duration::from_millis(5),
+            default_deadline: Duration::from_secs(5),
+            wait_timeout: Duration::from_secs(120),
+            default_policy: TenantPolicy::default(),
+            autoscale: Some(AutoscaleConfig::default()),
+        }
+    }
+}
+
+/// Completion slots: ticket → eventual response.
+///
+/// Slots are normally reclaimed by [`Completions::wait`]; fulfilled slots
+/// nobody waits on (fire-and-forget submits) are swept once they outlive
+/// `ttl`, so abandoned tickets cannot grow the map without bound.
+#[derive(Debug)]
+struct Completions {
+    slots: Mutex<Slots>,
+    cv: Condvar,
+    ttl: Duration,
+}
+
+/// The slot map plus the bookkeeping that keeps the TTL sweep off the hot
+/// path: `fulfilled` counts delivered-but-unclaimed slots (live waiters do
+/// not trigger sweeps) and `last_sweep` rate-limits full-map scans.
+#[derive(Debug)]
+struct Slots {
+    map: HashMap<u64, (Option<GatewayResponse>, Instant)>,
+    fulfilled: usize,
+    last_sweep: Instant,
+}
+
+/// Unclaimed fulfilled-slot count above which `fulfill` runs the TTL sweep.
+const SWEEP_THRESHOLD: usize = 256;
+
+impl Completions {
+    fn new(ttl: Duration) -> Completions {
+        Completions {
+            slots: Mutex::new(Slots {
+                map: HashMap::new(),
+                fulfilled: 0,
+                last_sweep: Instant::now(),
+            }),
+            cv: Condvar::new(),
+            ttl,
+        }
+    }
+
+    fn register(&self, seq: u64) {
+        self.slots
+            .lock()
+            .map
+            .entry(seq)
+            .or_insert((None, Instant::now()));
+    }
+
+    fn fulfill(&self, resp: GatewayResponse) {
+        let mut slots = self.slots.lock();
+        // Only deliver into registered slots; a slot abandoned by a timed-out
+        // waiter has been removed and the response is dropped.
+        let seq = resp.seq;
+        let Slots { map, fulfilled, .. } = &mut *slots;
+        if let Some(slot) = map.get_mut(&seq) {
+            if slot.0.is_none() {
+                *fulfilled += 1;
+            }
+            *slot = (Some(resp), Instant::now());
+            self.cv.notify_all();
+        }
+        // Sweep abandoned (fulfilled, never-claimed) slots — but only when
+        // enough have accumulated and not more often than ttl/4, so steady
+        // high-concurrency traffic never pays an O(n) scan per completion.
+        if slots.fulfilled > SWEEP_THRESHOLD && slots.last_sweep.elapsed() >= self.ttl / 4 {
+            let ttl = self.ttl;
+            slots
+                .map
+                .retain(|_, (resp, at)| resp.is_none() || at.elapsed() < ttl);
+            slots.fulfilled = slots.map.values().filter(|(r, _)| r.is_some()).count();
+            slots.last_sweep = Instant::now();
+        }
+    }
+
+    fn wait(&self, seq: u64, timeout: Duration) -> Option<GatewayResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut slots = self.slots.lock();
+        loop {
+            if matches!(slots.map.get(&seq), Some((Some(_), _))) {
+                slots.fulfilled = slots.fulfilled.saturating_sub(1);
+                return slots.map.remove(&seq).and_then(|(r, _)| r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                slots.map.remove(&seq);
+                return None;
+            }
+            self.cv.wait_for(&mut slots, deadline - now);
+        }
+    }
+}
+
+/// A cached tenant bucket with the (rate, burst) it was built from.
+type BucketEntry = (u64, u64, Arc<TokenBucket>);
+
+/// State shared between the public handle and the gateway's threads. The
+/// threads hold `Arc<Inner>` (never the public [`Gateway`]), so dropping the
+/// handle reliably reaches `Gateway::drop` and tears the threads down.
+struct Inner {
+    cluster: Arc<Cluster>,
+    config: GatewayConfig,
+    queue: FairQueue,
+    policies: Mutex<HashMap<String, TenantPolicy>>,
+    /// Rate-limited tenants' buckets, keyed with the (rate, burst) they
+    /// were built from so a policy change rebuilds them on next use (a
+    /// `set_tenant_policy` racing a submit cannot resurrect a stale bucket
+    /// for more than one request). Unlimited tenants share one bucket and
+    /// cost no map entry — wire clients naming arbitrary tenants cannot
+    /// grow this map unless the operator rate-limits the default policy.
+    buckets: Mutex<HashMap<String, BucketEntry>>,
+    unlimited: Arc<TokenBucket>,
+    completions: Completions,
+    metrics: Arc<GatewayMetrics>,
+    seq: AtomicU64,
+    rotation: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// The cluster's ingress tier.
+///
+/// See the crate docs for the architecture; constructed with
+/// [`Gateway::start`], torn down on drop.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("queued", &self.inner.queue.len())
+            .field("dispatchers", &self.inner.config.dispatchers)
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Start a gateway in front of `cluster`: spawns the dispatcher threads
+    /// and (if configured) the autoscaler.
+    pub fn start(cluster: Arc<Cluster>, config: GatewayConfig) -> Gateway {
+        let completions = Completions::new(config.wait_timeout);
+        let inner = Arc::new(Inner {
+            cluster,
+            config,
+            queue: FairQueue::new(),
+            policies: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(HashMap::new()),
+            unlimited: Arc::new(TokenBucket::unlimited()),
+            completions,
+            metrics: Arc::new(GatewayMetrics::new()),
+            seq: AtomicU64::new(1),
+            rotation: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let mut threads = Vec::new();
+        for d in 0..inner.config.dispatchers.max(1) {
+            let i = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gw-dispatch{d}"))
+                    .spawn(move || i.dispatch_loop())
+                    .expect("spawn gateway dispatcher"),
+            );
+        }
+        if inner.config.autoscale.is_some() {
+            let i = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gw-autoscale".into())
+                    .spawn(move || i.autoscale_loop())
+                    .expect("spawn gateway autoscaler"),
+            );
+        }
+        Gateway {
+            inner,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Install (or replace) a tenant's admission policy.
+    pub fn set_tenant_policy(&self, tenant: &str, policy: TenantPolicy) {
+        self.inner.buckets.lock().remove(tenant);
+        self.inner
+            .policies
+            .lock()
+            .insert(tenant.to_string(), policy);
+    }
+
+    /// The gateway's metrics.
+    pub fn metrics(&self) -> &Arc<GatewayMetrics> {
+        &self.inner.metrics
+    }
+
+    /// Requests currently pending dispatch.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// The cluster behind this gateway.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.inner.cluster
+    }
+
+    /// Submit a request with the default queueing deadline; returns a
+    /// ticket for [`Gateway::wait`].
+    pub fn submit(&self, tenant: &str, function: &str, input: Vec<u8>) -> u64 {
+        let deadline = self.inner.config.default_deadline;
+        self.submit_with_deadline(tenant, function, input, deadline)
+    }
+
+    /// Submit a request that is shed with `Expired` if still queued after
+    /// `deadline`.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        function: &str,
+        input: Vec<u8>,
+        deadline: Duration,
+    ) -> u64 {
+        self.inner.submit(tenant, function, input, deadline)
+    }
+
+    /// Block for a submitted request's response.
+    pub fn wait(&self, ticket: u64) -> GatewayResponse {
+        self.inner
+            .completions
+            .wait(ticket, self.inner.config.wait_timeout)
+            .unwrap_or_else(|| GatewayResponse::error(ticket, "gateway wait timed out"))
+    }
+
+    /// Submit and wait (the synchronous client surface).
+    pub fn call(&self, tenant: &str, function: &str, input: Vec<u8>) -> GatewayResponse {
+        let ticket = self.submit(tenant, function, input);
+        self.wait(ticket)
+    }
+
+    /// The wire surface: decode one request frame, run it through the full
+    /// admission/dispatch path, return the encoded response frame. Malformed
+    /// frames get an `Error` response with `seq` 0.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let resp = match codec::decode_frame(frame)
+            .and_then(|(payload, _)| codec::decode_request(payload))
+        {
+            Some(req) => self.handle_request(req),
+            None => GatewayResponse::error(0, "malformed request frame"),
+        };
+        codec::encode_frame(&codec::encode_response(&resp))
+    }
+
+    /// Run a decoded wire request through the gateway.
+    pub fn handle_request(&self, req: GatewayRequest) -> GatewayResponse {
+        let deadline = if req.deadline_ms == 0 {
+            self.inner.config.default_deadline
+        } else {
+            Duration::from_millis(req.deadline_ms)
+        };
+        let ticket = self.submit_with_deadline(&req.tenant, &req.function, req.input, deadline);
+        let mut resp = self.wait(ticket);
+        // The wire response echoes the client's sequence number, not the
+        // gateway-internal ticket.
+        resp.seq = req.seq;
+        resp
+    }
+
+    /// Stop dispatchers and the autoscaler; shed whatever is still queued.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Fail whatever is still queued so waiters return.
+        self.inner.shed_queue("gateway shut down");
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn submit(&self, tenant: &str, function: &str, input: Vec<u8>, deadline: Duration) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.completions.register(seq);
+        // After shutdown no dispatcher will ever drain the queue; answer
+        // immediately instead of letting the waiter sit out its timeout.
+        if self.stop.load(Ordering::Relaxed) {
+            self.completions
+                .fulfill(GatewayResponse::error(seq, "gateway shut down"));
+            return seq;
+        }
+        let policy = self.policy_for(tenant);
+
+        // Admission gate 1: the tenant's token bucket.
+        if !self.bucket_for(tenant, &policy).try_acquire_one() {
+            self.metrics.record_shed_ratelimited();
+            self.completions.fulfill(GatewayResponse::overloaded(seq));
+            return seq;
+        }
+        // Admission gate 2: the tenant's bounded pending queue.
+        let now = Instant::now();
+        let job = Job {
+            seq,
+            tenant: tenant.to_string(),
+            function: function.to_string(),
+            input,
+            enqueued: now,
+            deadline: now + deadline,
+        };
+        match self.queue.push(job, policy.weight, policy.queue_cap) {
+            Ok(()) => self.metrics.record_admitted(),
+            Err(job) => {
+                self.metrics.record_shed_overloaded();
+                self.completions
+                    .fulfill(GatewayResponse::overloaded(job.seq));
+            }
+        }
+        // Re-check after the push: a shutdown that raced us may already
+        // have joined the dispatchers and drained the queue, in which case
+        // our job would sit unfulfilled forever. Draining here (idempotent
+        // with shutdown's own drain) guarantees the waiter an answer.
+        if self.stop.load(Ordering::Relaxed) {
+            self.shed_queue("gateway shut down");
+        }
+        seq
+    }
+
+    /// Drain everything queued and answer each waiter with an error.
+    fn shed_queue(&self, reason: &str) {
+        loop {
+            let leftovers = self
+                .queue
+                .drain_batch(usize::MAX, Duration::ZERO, &self.stop);
+            if leftovers.is_empty() {
+                break;
+            }
+            for job in leftovers {
+                self.completions
+                    .fulfill(GatewayResponse::error(job.seq, reason));
+            }
+        }
+    }
+
+    fn policy_for(&self, tenant: &str) -> TenantPolicy {
+        self.policies
+            .lock()
+            .get(tenant)
+            .cloned()
+            .unwrap_or_else(|| self.config.default_policy.clone())
+    }
+
+    fn bucket_for(&self, tenant: &str, policy: &TenantPolicy) -> Arc<TokenBucket> {
+        let Some(rate) = policy.rate_per_sec else {
+            return Arc::clone(&self.unlimited);
+        };
+        let burst = policy.burst.max(1);
+        let mut buckets = self.buckets.lock();
+        match buckets.get(tenant) {
+            Some((r, b, bucket)) if *r == rate && *b == burst => Arc::clone(bucket),
+            _ => {
+                let bucket = Arc::new(TokenBucket::per_second(rate, burst));
+                buckets.insert(tenant.to_string(), (rate, burst, Arc::clone(&bucket)));
+                bucket
+            }
+        }
+    }
+
+    /// Choose the instance for one call: prefer hosts with idle warm
+    /// Faaslets for the function, penalise deep run queues, break ties by
+    /// rotation. The same signals `faasm_sched::decide` uses, applied one
+    /// tier earlier.
+    fn pick_instance(&self, tenant: &str, function: &str) -> Arc<FaasmInstance> {
+        let instances = self.cluster.instances();
+        debug_assert!(!instances.is_empty());
+        let start = self.rotation.fetch_add(1, Ordering::Relaxed);
+        let mut best: Option<(i64, &Arc<FaasmInstance>)> = None;
+        for off in 0..instances.len() {
+            let inst = &instances[(start + off) % instances.len()];
+            let warm = inst.warm_count(tenant, function) as i64;
+            let depth = inst.queue_depth() as i64;
+            let score = warm * 4 - depth;
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, inst));
+            }
+        }
+        Arc::clone(best.expect("cluster has at least one instance").1)
+    }
+
+    fn dispatch_loop(self: Arc<Self>) {
+        while !self.stop.load(Ordering::Relaxed) {
+            let batch =
+                self.queue
+                    .drain_batch(self.config.max_batch, self.config.batch_wait, &self.stop);
+            if batch.is_empty() {
+                continue;
+            }
+            let now = Instant::now();
+            let mut inflight = Vec::with_capacity(batch.len());
+            for job in batch {
+                // Deadline-based shedding: anything that aged out in the
+                // queue is answered immediately instead of wasting a worker.
+                if job.deadline <= now {
+                    self.metrics.record_shed_expired();
+                    self.completions.fulfill(GatewayResponse::expired(job.seq));
+                    continue;
+                }
+                self.metrics
+                    .record_queue_delay_ns(now.duration_since(job.enqueued).as_nanos() as u64);
+                let inst = self.pick_instance(&job.tenant, &job.function);
+                // Already-placed dispatch: pick_instance scored hosts by
+                // warmth and queue depth, so skip the instance's own decide
+                // (which would re-place by depth-blind rotation when deep).
+                let id = inst.submit_placed(&job.tenant, &job.function, job.input);
+                inflight.push((job.seq, id, inst));
+            }
+            if inflight.is_empty() {
+                continue;
+            }
+            self.metrics.record_batch(inflight.len());
+            for (seq, id, inst) in inflight {
+                let result = inst.await_call(id);
+                self.metrics.record_completed();
+                self.completions
+                    .fulfill(GatewayResponse::from_call(seq, result));
+            }
+        }
+    }
+
+    fn autoscale_loop(self: Arc<Self>) {
+        let cfg = self
+            .config
+            .autoscale
+            .clone()
+            .expect("autoscale loop without config");
+        // Functions the autoscaler has seen traffic for; retirement only
+        // considers these (it never touches pools it did not grow). Keys
+        // with no backlog and nothing left to retire are dropped each tick,
+        // so wire clients naming arbitrary tenants cannot grow this set or
+        // the per-tick scan without bound.
+        let mut seen: HashSet<(String, String)> = HashSet::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(cfg.interval);
+            let backlog = self.queue.backlog();
+            seen.extend(backlog.keys().cloned());
+            let instances = self.cluster.instances();
+            seen.retain(|key| {
+                let (tenant, function) = (&key.0, &key.1);
+                let depth = backlog.get(key).copied().unwrap_or(0);
+                let idle: usize = instances
+                    .iter()
+                    .map(|i| i.warm_count(tenant, function))
+                    .sum();
+                if depth > cfg.backlog_high && idle < cfg.max_warm {
+                    // Pre-warm on the least-loaded instance.
+                    if let Some(target) = instances.iter().min_by_key(|i| i.queue_depth()) {
+                        let n = cfg.scale_step.min(cfg.max_warm - idle);
+                        if let Ok(created) = target.prewarm(tenant, function, n) {
+                            self.metrics.record_prewarm(created);
+                        }
+                    }
+                } else if depth == 0 && idle > cfg.idle_target {
+                    let mut surplus = idle - cfg.idle_target;
+                    for inst in instances {
+                        if surplus == 0 {
+                            break;
+                        }
+                        let retired = inst.retire_idle(tenant, function, surplus);
+                        self.metrics.record_retire(retired);
+                        surplus -= retired;
+                    }
+                }
+                // Keep only keys that may still need action next tick.
+                depth > 0 || idle > cfg.idle_target
+            });
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The pending queue: bounded per-tenant FIFOs drained in weighted-fair
+//! order.
+//!
+//! Draining uses deficit round-robin: each scheduling round credits every
+//! backlogged tenant `weight` tokens, and a tenant may dispatch one queued
+//! request per token. A flooding tenant therefore cannot starve a quiet
+//! one — the quiet tenant's requests leave within one round of arriving —
+//! while idle tenants accumulate no credit (deficit resets when a queue
+//! empties, the standard DRR anti-hoarding rule).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// One queued request, from admission to dispatch.
+#[derive(Debug)]
+pub struct Job {
+    /// Gateway ticket (also the response's `seq`).
+    pub seq: u64,
+    /// Tenant (cluster user namespace).
+    pub tenant: String,
+    /// Function name.
+    pub function: String,
+    /// Input bytes.
+    pub input: Vec<u8>,
+    /// When the job entered the queue (queueing-delay metric).
+    pub enqueued: Instant,
+    /// Shed with `Expired` if still queued past this instant.
+    pub deadline: Instant,
+}
+
+#[derive(Debug, Default)]
+struct TenantQueue {
+    jobs: VecDeque<Job>,
+    weight: u32,
+    deficit: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queues: HashMap<String, TenantQueue>,
+    /// Stable round-robin order over tenants (insertion order).
+    order: Vec<String>,
+    cursor: usize,
+    len: usize,
+}
+
+/// The multi-tenant pending queue.
+#[derive(Debug, Default)]
+pub struct FairQueue {
+    inner: Mutex<Inner>,
+    nonempty: Condvar,
+}
+
+impl FairQueue {
+    /// An empty queue.
+    pub fn new() -> FairQueue {
+        FairQueue::default()
+    }
+
+    /// Enqueue a job under its tenant's bounded FIFO. Returns the job back
+    /// when the tenant already has `queue_cap` requests pending (the caller
+    /// sheds it with `Overloaded`).
+    ///
+    /// # Errors
+    ///
+    /// The rejected job.
+    pub fn push(&self, job: Job, weight: u32, queue_cap: usize) -> Result<(), Job> {
+        let mut inner = self.inner.lock();
+        if !inner.queues.contains_key(&job.tenant) {
+            inner.order.push(job.tenant.clone());
+        }
+        let q = inner.queues.entry(job.tenant.clone()).or_default();
+        q.weight = weight.max(1);
+        if q.jobs.len() >= queue_cap {
+            return Err(job);
+        }
+        q.jobs.push_back(job);
+        inner.len += 1;
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Total queued requests across tenants.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queued requests for one tenant.
+    pub fn tenant_depth(&self, tenant: &str) -> usize {
+        self.inner
+            .lock()
+            .queues
+            .get(tenant)
+            .map_or(0, |q| q.jobs.len())
+    }
+
+    /// Backlog per `(tenant, function)` — the autoscaler's demand signal.
+    pub fn backlog(&self) -> HashMap<(String, String), usize> {
+        let inner = self.inner.lock();
+        let mut out: HashMap<(String, String), usize> = HashMap::new();
+        for q in inner.queues.values() {
+            for job in &q.jobs {
+                *out.entry((job.tenant.clone(), job.function.clone()))
+                    .or_default() += 1;
+            }
+        }
+        out
+    }
+
+    /// Drain up to `max` jobs in weighted-fair order, blocking up to `wait`
+    /// for the first job. Returns an empty batch on timeout or when `stop`
+    /// is set.
+    pub fn drain_batch(&self, max: usize, wait: Duration, stop: &AtomicBool) -> Vec<Job> {
+        let deadline = Instant::now() + wait;
+        let mut inner = self.inner.lock();
+        while inner.len == 0 {
+            if stop.load(Ordering::Relaxed) {
+                return Vec::new();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            self.nonempty.wait_for(&mut inner, deadline - now);
+        }
+
+        let mut batch: Vec<Job> = Vec::with_capacity(max.min(inner.len));
+        // Deficit round-robin over the tenant rotation, starting where the
+        // previous drain left off so no tenant owns the front of every batch.
+        while batch.len() < max && inner.len > 0 {
+            let n_tenants = inner.order.len();
+            let mut progressed = false;
+            for _ in 0..n_tenants {
+                if batch.len() >= max {
+                    break;
+                }
+                let idx = inner.cursor % n_tenants;
+                inner.cursor = inner.cursor.wrapping_add(1);
+                let tenant = inner.order[idx].clone();
+                let room = max - batch.len();
+                let taken = {
+                    let Some(q) = inner.queues.get_mut(&tenant) else {
+                        continue;
+                    };
+                    if q.jobs.is_empty() {
+                        q.deficit = 0;
+                        continue;
+                    }
+                    q.deficit += u64::from(q.weight);
+                    let n = (q.deficit as usize).min(room).min(q.jobs.len());
+                    q.deficit -= n as u64;
+                    let taken: Vec<Job> = q.jobs.drain(..n).collect();
+                    if q.jobs.is_empty() {
+                        q.deficit = 0;
+                    }
+                    taken
+                };
+                if !taken.is_empty() {
+                    progressed = true;
+                    inner.len -= taken.len();
+                    batch.extend(taken);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Garbage-collect drained tenants: wire clients can name arbitrary
+        // tenants, and without this every name ever seen would cost an
+        // entry in each future round-robin pass (and memory) forever.
+        let Inner { queues, order, .. } = &mut *inner;
+        queues.retain(|_, q| !q.jobs.is_empty());
+        order.retain(|t| queues.contains_key(t));
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(tenant: &str, seq: u64) -> Job {
+        Job {
+            seq,
+            tenant: tenant.into(),
+            function: "f".into(),
+            input: Vec::new(),
+            enqueued: Instant::now(),
+            deadline: Instant::now() + Duration::from_secs(60),
+        }
+    }
+
+    fn drain(q: &FairQueue, max: usize) -> Vec<Job> {
+        q.drain_batch(max, Duration::from_millis(5), &AtomicBool::new(false))
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let q = FairQueue::new();
+        q.push(job("a", 1), 1, 2).unwrap();
+        q.push(job("a", 2), 1, 2).unwrap();
+        let back = q.push(job("a", 3), 1, 2).unwrap_err();
+        assert_eq!(back.seq, 3);
+        assert_eq!(q.tenant_depth("a"), 2);
+        // Another tenant's queue is unaffected.
+        q.push(job("b", 4), 1, 2).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn equal_weights_interleave_tenants() {
+        let q = FairQueue::new();
+        for i in 0..6 {
+            q.push(job("flood", i), 1, 100).unwrap();
+        }
+        q.push(job("quiet", 100), 1, 100).unwrap();
+        let batch = drain(&q, 4);
+        let tenants: Vec<&str> = batch.iter().map(|j| j.tenant.as_str()).collect();
+        assert!(
+            tenants.contains(&"quiet"),
+            "quiet tenant must appear in the first batch despite the flood: {tenants:?}"
+        );
+    }
+
+    #[test]
+    fn weights_bias_the_drain() {
+        let q = FairQueue::new();
+        for i in 0..40 {
+            q.push(job("heavy", i), 3, 100).unwrap();
+            q.push(job("light", 100 + i), 1, 100).unwrap();
+        }
+        let batch = drain(&q, 16);
+        let heavy = batch.iter().filter(|j| j.tenant == "heavy").count();
+        let light = batch.iter().filter(|j| j.tenant == "light").count();
+        assert!(
+            heavy > light * 2,
+            "3:1 weights should drain ~3:1, got {heavy}:{light}"
+        );
+        assert!(light >= 1, "light tenant still progresses");
+    }
+
+    #[test]
+    fn fifo_within_a_tenant() {
+        let q = FairQueue::new();
+        for i in 0..10 {
+            q.push(job("t", i), 1, 100).unwrap();
+        }
+        let batch = drain(&q, 10);
+        let seqs: Vec<u64> = batch.iter().map(|j| j.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_drain_times_out() {
+        let q = FairQueue::new();
+        let t0 = Instant::now();
+        let batch = q.drain_batch(8, Duration::from_millis(20), &AtomicBool::new(false));
+        assert!(batch.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn stop_flag_aborts_wait() {
+        let q = FairQueue::new();
+        let stop = AtomicBool::new(true);
+        let batch = q.drain_batch(8, Duration::from_secs(10), &stop);
+        assert!(batch.is_empty());
+    }
+}

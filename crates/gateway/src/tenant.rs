@@ -1,0 +1,47 @@
+//! Per-tenant admission policy.
+
+/// How the gateway treats one tenant's traffic.
+#[derive(Debug, Clone)]
+pub struct TenantPolicy {
+    /// Weighted-fair-share weight: a tenant with weight 2 drains twice as
+    /// many queued requests per scheduling round as a tenant with weight 1.
+    pub weight: u32,
+    /// Sustained admission rate in requests/second (token bucket); `None`
+    /// disables rate limiting for the tenant.
+    pub rate_per_sec: Option<u64>,
+    /// Token-bucket burst: requests admitted above the sustained rate.
+    pub burst: u64,
+    /// Bounded pending-queue capacity; request `queue_cap + 1` is shed with
+    /// `Overloaded`.
+    pub queue_cap: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            weight: 1,
+            rate_per_sec: None,
+            burst: 64,
+            queue_cap: 256,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// A policy with a given fair-share weight, other fields default.
+    pub fn with_weight(weight: u32) -> TenantPolicy {
+        TenantPolicy {
+            weight: weight.max(1),
+            ..TenantPolicy::default()
+        }
+    }
+
+    /// A policy with a rate limit of `rate_per_sec` and burst `burst`.
+    pub fn rate_limited(rate_per_sec: u64, burst: u64) -> TenantPolicy {
+        TenantPolicy {
+            rate_per_sec: Some(rate_per_sec),
+            burst,
+            ..TenantPolicy::default()
+        }
+    }
+}

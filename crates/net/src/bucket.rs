@@ -2,10 +2,14 @@
 //!
 //! "To ensure fairness between co-located tenants, each Faaslet applies
 //! traffic shaping on its virtual network interface using tc, thus enforcing
-//! ingress and egress traffic rate limits." A [`TokenBucket`] enforces a byte
+//! ingress and egress traffic rate limits." A [`TokenBucket`] enforces a
 //! rate with a burst capacity; callers either poll ([`TokenBucket::try_acquire`]),
 //! block ([`TokenBucket::acquire`]) or compute the virtual delay a transfer
 //! would incur ([`TokenBucket::delay_for`]) for modelled-time experiments.
+//!
+//! The bucket is unit-agnostic: the NIC shapes *bytes*, while the cluster
+//! ingress tier (`faasm-gateway`) shapes *requests* through the same
+//! mechanics via [`TokenBucket::per_second`] / [`TokenBucket::try_acquire_one`].
 
 use std::time::{Duration, Instant};
 
@@ -38,6 +42,13 @@ impl TokenBucket {
                 last_refill: Instant::now(),
             }),
         }
+    }
+
+    /// A bucket over discrete operations: admits `ops_per_sec` sustained
+    /// with bursts of `burst` (requests, calls — any unit where one
+    /// acquisition debits one token).
+    pub fn per_second(ops_per_sec: u64, burst: u64) -> TokenBucket {
+        TokenBucket::new(ops_per_sec, burst)
     }
 
     /// A bucket that never limits (shaping disabled).
@@ -76,6 +87,11 @@ impl TokenBucket {
         } else {
             false
         }
+    }
+
+    /// Try to debit a single token (one request/operation).
+    pub fn try_acquire_one(&self) -> bool {
+        self.try_acquire(1)
     }
 
     /// Debit `bytes`, sleeping until the bucket permits it. Oversized

@@ -8,6 +8,12 @@
 
 use faasm_net::HostId;
 
+/// Local run-queue depth beyond which a host stops accepting work it could
+/// otherwise run warm, and shares it with another warm host instead. Keeps
+/// one hot host from absorbing an entire burst while warm peers idle — the
+/// queue-depth signal the ingress tier also reads when placing batches.
+pub const QUEUE_SHARE_THRESHOLD: usize = 8;
+
 /// Where a call should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -31,14 +37,19 @@ pub struct Decision<'a> {
     pub idle_local: usize,
     /// The function's warm hosts from the global tier.
     pub warm_hosts: &'a [HostId],
+    /// Depth of this host's local run queue (all functions), the
+    /// backpressure signal: a warm host drowning in queued work shares
+    /// rather than queueing more.
+    pub queue_depth: usize,
     /// Rotation seed for spreading forwarded calls.
     pub seed: usize,
 }
 
 /// Decide a placement.
 pub fn decide(d: &Decision<'_>) -> Placement {
-    // Warm here with spare capacity: run locally.
-    if d.warm_local > 0 && d.idle_local > 0 {
+    let overloaded = d.queue_depth >= QUEUE_SHARE_THRESHOLD;
+    // Warm here with spare capacity and a shallow queue: run locally.
+    if d.warm_local > 0 && d.idle_local > 0 && !overloaded {
         return Placement::WarmLocal;
     }
     // Otherwise share with another warm host if one exists.
@@ -50,6 +61,10 @@ pub fn decide(d: &Decision<'_>) -> Placement {
         .collect();
     if !others.is_empty() {
         return Placement::Forward(others[d.seed % others.len()]);
+    }
+    // No warm peer: run here even when deep — queueing beats failing.
+    if d.warm_local > 0 && d.idle_local > 0 {
+        return Placement::WarmLocal;
     }
     // No warm capacity anywhere: cold start here.
     Placement::ColdStartLocal
@@ -65,6 +80,7 @@ mod tests {
             warm_local,
             idle_local,
             warm_hosts,
+            queue_depth: 0,
             seed,
         })
     }
@@ -93,6 +109,31 @@ mod tests {
         // A warm set containing only ourselves (stale after eviction) also
         // cold starts.
         assert_eq!(d(0, 0, &[HostId(0)], 0), Placement::ColdStartLocal);
+    }
+
+    #[test]
+    fn deep_queue_shares_despite_local_warmth() {
+        // Warm and idle here, but the run queue is saturated: share with the
+        // warm peer instead of queueing deeper.
+        let got = decide(&Decision {
+            this_host: HostId(0),
+            warm_local: 2,
+            idle_local: 2,
+            warm_hosts: &[HostId(0), HostId(1)],
+            queue_depth: QUEUE_SHARE_THRESHOLD,
+            seed: 0,
+        });
+        assert_eq!(got, Placement::Forward(HostId(1)));
+        // With no warm peer, a deep queue still runs locally.
+        let got = decide(&Decision {
+            this_host: HostId(0),
+            warm_local: 2,
+            idle_local: 2,
+            warm_hosts: &[HostId(0)],
+            queue_depth: QUEUE_SHARE_THRESHOLD * 2,
+            seed: 0,
+        });
+        assert_eq!(got, Placement::WarmLocal);
     }
 
     #[test]

@@ -55,6 +55,26 @@ pub trait FaasEnv {
     /// A platform error message.
     fn state_push(&mut self, key: &str, total_size: usize) -> Result<(), String>;
 
+    /// Flush exactly `[offset, offset + len)` of `key` to the global tier
+    /// (`push_state_offset`, Tab. 2). Writers updating disjoint ranges of a
+    /// shared value must use this instead of [`FaasEnv::state_push`]:
+    /// chunk-granular pushes can clobber a neighbour's concurrent update
+    /// with stale local bytes.
+    ///
+    /// # Errors
+    ///
+    /// A platform error message.
+    fn state_push_range(
+        &mut self,
+        key: &str,
+        total_size: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), String> {
+        let _ = (offset, len);
+        self.state_push(key, total_size)
+    }
+
     /// Size of a state value in the global tier.
     ///
     /// # Errors
@@ -135,6 +155,17 @@ impl FaasEnv for FaasmEnv<'_, '_> {
     fn state_push(&mut self, key: &str, total_size: usize) -> Result<(), String> {
         let entry = self.api.state(key, total_size).map_err(|e| e.to_string())?;
         entry.push().map_err(|e| e.to_string())
+    }
+
+    fn state_push_range(
+        &mut self,
+        key: &str,
+        total_size: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), String> {
+        let entry = self.api.state(key, total_size).map_err(|e| e.to_string())?;
+        entry.push_range(offset, len).map_err(|e| e.to_string())
     }
 
     fn state_size(&self, key: &str) -> Result<usize, String> {

@@ -100,7 +100,14 @@ fn write_block<E: FaasEnv>(
             &f64s_to_bytes(&data[r * block..(r + 1) * block]),
         )?;
     }
-    env.state_push(key, total)?;
+    // Push exactly the written rows: concurrent merges on other hosts own
+    // the neighbouring bytes of each chunk, so a chunk-granular push would
+    // race and overwrite their blocks with stale local zeros.
+    for r in 0..block {
+        let row = bi * block + r;
+        let offset = (row * n + bj * block) * 8;
+        env.state_push_range(key, total, offset, block * 8)?;
+    }
     Ok(())
 }
 

@@ -12,6 +12,9 @@
 //!   copy-on-write snapshots.
 //! * [`state`] — the two-tier state architecture and distributed data
 //!   objects.
+//! * [`gateway`] — the multi-tenant ingress tier: admission control,
+//!   weighted-fair batching and warm-pool autoscaling in front of the
+//!   cluster.
 //! * [`net`], [`kvs`], [`vfs`], [`sched`] — the remaining substrates.
 //! * [`baseline`] — the container-platform baseline ("Knative").
 //! * [`workloads`] — the paper's evaluation workloads.
@@ -24,6 +27,7 @@
 pub use faasm_baseline as baseline;
 pub use faasm_core as core;
 pub use faasm_fvm as fvm;
+pub use faasm_gateway as gateway;
 pub use faasm_kvs as kvs;
 pub use faasm_lang as lang;
 pub use faasm_mem as mem;
@@ -35,3 +39,4 @@ pub use faasm_workloads as workloads;
 
 // The types almost every embedder needs, at the crate root.
 pub use faasm_core::{CallResult, CallStatus, Cluster, ClusterConfig, UploadOptions};
+pub use faasm_gateway::{Gateway, GatewayConfig, GatewayResponse, GatewayStatus, TenantPolicy};

@@ -2,9 +2,7 @@
 //! invocation, cross-host scheduling, chaining, two-tier state and failure
 //! injection.
 
-use faasm::core::{
-    CallStatus, Cluster, ClusterConfig, EgressLimit, InstanceConfig, UploadOptions,
-};
+use faasm::core::{CallStatus, Cluster, ClusterConfig, EgressLimit, InstanceConfig, UploadOptions};
 
 const ECHO: &str = r#"
     extern int input_size();

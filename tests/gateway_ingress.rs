@@ -1,0 +1,302 @@
+//! End-to-end tests for the ingress tier: multi-tenant floods through the
+//! gateway must be fair, shed explicitly, and agree with direct
+//! `Cluster::invoke` results.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use faasm::core::{Cluster, NativeApi, NativeGuest};
+use faasm::gateway::codec::{self, GatewayRequest};
+use faasm::gateway::{AutoscaleConfig, Gateway, GatewayConfig, GatewayStatus, TenantPolicy};
+
+const ECHO: &str = r#"
+    extern int input_size();
+    extern int read_call_input(ptr int buf, int len);
+    extern void write_call_output(ptr int buf, int len);
+    int main() {
+        int n = input_size();
+        read_call_input((ptr int) 1024, n);
+        write_call_output((ptr int) 1024, n);
+        return 0;
+    }
+"#;
+
+/// A deterministic-latency guest: sleeps ~2 ms, then echoes.
+fn slow_guest() -> Arc<dyn NativeGuest> {
+    Arc::new(|api: &mut NativeApi<'_>| {
+        std::thread::sleep(Duration::from_millis(2));
+        let input = api.input().to_vec();
+        api.write_output(&input);
+        Ok(0)
+    })
+}
+
+fn cluster_with_tenants(hosts: usize) -> Arc<Cluster> {
+    let cluster = Arc::new(Cluster::new(hosts));
+    for tenant in ["alice", "bob"] {
+        cluster
+            .upload_fl(tenant, "echo", ECHO, Default::default())
+            .unwrap();
+        cluster.register_native(tenant, "slow", slow_guest(), false);
+    }
+    cluster
+}
+
+#[test]
+fn gateway_results_match_direct_invoke() {
+    let cluster = cluster_with_tenants(2);
+    let gateway = Gateway::start(Arc::clone(&cluster), GatewayConfig::default());
+    for i in 0..10u8 {
+        let input = vec![i, i + 1, i + 2];
+        let via_gateway = gateway.call("alice", "echo", input.clone());
+        let direct = cluster.invoke("alice", "echo", input.clone());
+        assert_eq!(via_gateway.status, GatewayStatus::Ok, "request {i}");
+        assert_eq!(
+            via_gateway.output, direct.output,
+            "gateway and direct results must be identical"
+        );
+        assert_eq!(via_gateway.output, input);
+    }
+    // Guest return codes survive the trip too.
+    cluster
+        .upload_fl(
+            "bob",
+            "fail",
+            "int main() { return 7; }",
+            Default::default(),
+        )
+        .unwrap();
+    let resp = gateway.call("bob", "fail", vec![]);
+    assert_eq!(resp.status, GatewayStatus::Failed(7));
+    let direct = cluster.invoke("bob", "fail", vec![]);
+    assert_eq!(direct.return_code(), 7);
+}
+
+#[test]
+fn wire_frames_roundtrip_through_the_gateway() {
+    let cluster = cluster_with_tenants(1);
+    let gateway = Gateway::start(Arc::clone(&cluster), GatewayConfig::default());
+    let req = GatewayRequest {
+        seq: 777,
+        tenant: "alice".into(),
+        function: "echo".into(),
+        deadline_ms: 0,
+        input: b"over the wire".to_vec(),
+    };
+    let frame = codec::encode_frame(&codec::encode_request(&req));
+    let resp_frame = gateway.handle_frame(&frame);
+    let (payload, _) = codec::decode_frame(&resp_frame).expect("framed response");
+    let resp = codec::decode_response(payload).expect("decodable response");
+    assert_eq!(resp.seq, 777, "response echoes the client seq");
+    assert_eq!(resp.status, GatewayStatus::Ok);
+    assert_eq!(resp.output, b"over the wire");
+
+    // Malformed bytes get an explicit error, not a hang or a panic.
+    let bad = gateway.handle_frame(&codec::encode_frame(b"not a request"));
+    let (payload, _) = codec::decode_frame(&bad).unwrap();
+    let resp = codec::decode_response(payload).unwrap();
+    assert!(matches!(resp.status, GatewayStatus::Error(_)));
+}
+
+#[test]
+fn overload_is_shed_with_explicit_status_not_a_hang() {
+    let cluster = cluster_with_tenants(1);
+    let gateway = Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 1,
+            max_batch: 1,
+            autoscale: None,
+            ..GatewayConfig::default()
+        },
+    );
+    // Tiny bounded queue: the flood must overflow it.
+    gateway.set_tenant_policy(
+        "alice",
+        TenantPolicy {
+            queue_cap: 4,
+            ..TenantPolicy::default()
+        },
+    );
+    let tickets: Vec<u64> = (0..64)
+        .map(|i| gateway.submit("alice", "slow", vec![i]))
+        .collect();
+    let responses: Vec<_> = tickets.into_iter().map(|t| gateway.wait(t)).collect();
+    let shed = responses
+        .iter()
+        .filter(|r| r.status == GatewayStatus::Overloaded)
+        .count();
+    let ok = responses
+        .iter()
+        .filter(|r| r.status == GatewayStatus::Ok)
+        .count();
+    assert!(shed > 0, "a 64-deep burst into a 4-deep queue must shed");
+    assert!(ok > 0, "admitted requests still complete");
+    assert_eq!(shed + ok, 64, "every request gets a terminal answer");
+    assert_eq!(gateway.metrics().shed_overloaded(), shed as u64);
+}
+
+#[test]
+fn rate_limited_tenants_shed_with_overloaded() {
+    let cluster = cluster_with_tenants(1);
+    let gateway = Gateway::start(Arc::clone(&cluster), GatewayConfig::default());
+    // 1 request/second with a burst of 2: the third immediate request in
+    // the burst must bounce off the token bucket.
+    gateway.set_tenant_policy("alice", TenantPolicy::rate_limited(1, 2));
+    let mut statuses = Vec::new();
+    for i in 0..6u8 {
+        statuses.push(gateway.call("alice", "echo", vec![i]).status);
+    }
+    let shed = statuses
+        .iter()
+        .filter(|s| **s == GatewayStatus::Overloaded)
+        .count();
+    assert!(
+        shed >= 3,
+        "rate 1/s burst 2 over 6 requests: got {statuses:?}"
+    );
+    assert!(gateway.metrics().shed_ratelimited() >= 3);
+    // Bob is untouched by Alice's limit.
+    assert_eq!(
+        gateway.call("bob", "echo", vec![9]).status,
+        GatewayStatus::Ok
+    );
+}
+
+#[test]
+fn queued_past_deadline_is_shed_with_expired() {
+    let cluster = cluster_with_tenants(1);
+    let gateway = Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 1,
+            max_batch: 1,
+            autoscale: None,
+            ..GatewayConfig::default()
+        },
+    );
+    // Occupy the single dispatcher with slow work, then enqueue requests
+    // whose deadline will pass while they sit behind it.
+    let busy: Vec<u64> = (0..8)
+        .map(|i| gateway.submit("alice", "slow", vec![i]))
+        .collect();
+    let doomed: Vec<u64> = (0..4)
+        .map(|i| gateway.submit_with_deadline("bob", "echo", vec![i], Duration::from_millis(1)))
+        .collect();
+    let expired = doomed
+        .into_iter()
+        .map(|t| gateway.wait(t))
+        .filter(|r| r.status == GatewayStatus::Expired)
+        .count();
+    assert!(
+        expired > 0,
+        "1 ms deadlines behind ~16 ms of queued work must expire"
+    );
+    assert_eq!(gateway.metrics().shed_expired(), expired as u64);
+    for t in busy {
+        assert_eq!(gateway.wait(t).status, GatewayStatus::Ok);
+    }
+}
+
+#[test]
+fn no_tenant_starves_under_weighted_fair_share() {
+    let cluster = cluster_with_tenants(2);
+    let gateway = Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 1,
+            max_batch: 4,
+            autoscale: None,
+            ..GatewayConfig::default()
+        },
+    );
+    gateway.set_tenant_policy(
+        "alice",
+        TenantPolicy {
+            queue_cap: 1024,
+            ..TenantPolicy::default()
+        },
+    );
+    // Alice floods ~160 ms of serialised work through the single
+    // dispatcher...
+    let flood: Vec<u64> = (0..80)
+        .map(|i| gateway.submit("alice", "slow", vec![i]))
+        .collect();
+    // ...then Bob shows up with a handful of requests.
+    let modest: Vec<u64> = (0..4)
+        .map(|i| gateway.submit("bob", "slow", vec![i]))
+        .collect();
+    for t in modest {
+        let r = gateway.wait(t);
+        assert_eq!(
+            r.status,
+            GatewayStatus::Ok,
+            "bob must be served despite alice's flood"
+        );
+    }
+    // Fair share means Bob finished while Alice's backlog was still
+    // pending: he did not wait behind her entire flood.
+    assert!(
+        gateway.queue_len() > 0,
+        "alice's backlog should still be draining when bob completes"
+    );
+    for t in flood {
+        assert_eq!(gateway.wait(t).status, GatewayStatus::Ok);
+    }
+    let m = gateway.metrics();
+    assert_eq!(m.completed(), 84);
+    assert!(m.batch_occupancy() >= 1.0);
+    assert!(m.queue_delay_p99_ns() >= m.queue_delay_p50_ns());
+}
+
+#[test]
+fn autoscaler_prewarms_under_backlog_and_retires_when_idle() {
+    let cluster = cluster_with_tenants(2);
+    let gateway = Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 1,
+            max_batch: 2,
+            autoscale: Some(AutoscaleConfig {
+                interval: Duration::from_millis(2),
+                backlog_high: 2,
+                scale_step: 2,
+                idle_target: 1,
+                max_warm: 16,
+            }),
+            ..GatewayConfig::default()
+        },
+    );
+    gateway.set_tenant_policy(
+        "alice",
+        TenantPolicy {
+            queue_cap: 1024,
+            ..TenantPolicy::default()
+        },
+    );
+    // Prime one proto so prewarm can restore, then flood.
+    assert!(gateway.call("alice", "echo", vec![0]).is_ok());
+    let tickets: Vec<u64> = (0..120)
+        .map(|i| gateway.submit("alice", "slow", vec![i]))
+        .collect();
+    for t in tickets {
+        assert_eq!(gateway.wait(t).status, GatewayStatus::Ok);
+    }
+    let m = gateway.metrics();
+    assert!(
+        m.prewarmed() > 0,
+        "sustained backlog must trigger pre-warming"
+    );
+    // Give the autoscaler a few idle intervals to scale back down.
+    std::thread::sleep(Duration::from_millis(50));
+    let idle_slow: usize = cluster
+        .instances()
+        .iter()
+        .map(|i| i.warm_count("alice", "slow"))
+        .sum();
+    assert!(
+        idle_slow <= 1 || m.retired() > 0,
+        "idle pools should shrink toward the target (idle {idle_slow}, retired {})",
+        m.retired()
+    );
+}

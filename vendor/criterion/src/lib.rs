@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness with criterion's API shape: benches register
+//! through [`Criterion::bench_function`] / [`Criterion::benchmark_group`],
+//! are driven by `criterion_group!` + `criterion_main!`, and print mean
+//! per-iteration time (plus throughput when declared). Under `cargo test`
+//! (cargo passes `--test` to bench binaries) each bench body runs exactly
+//! once, so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Drives a single benchmark body; passed to the bench closure.
+pub struct Bencher<'a> {
+    iters: u64,
+    /// Total measured time, read back by the harness.
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` for the calibrated number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declared work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+    /// Target wall-clock per measurement batch.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&id.into(), None, self.test_mode, self.measure_for, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of samples (accepted for API compatibility; ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure_for = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility; ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.test_mode,
+            self.criterion.measure_for,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    measure_for: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher<'_>),
+{
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        println!("test bench {id} ... ok");
+        return;
+    }
+    // Calibrate: double the batch until it takes long enough to trust.
+    let mut iters = 1u64;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if b.elapsed >= measure_for || iters >= 1 << 24 {
+            break;
+        }
+        let target = measure_for.as_secs_f64();
+        let guess = if per_iter > 0.0 {
+            (target / per_iter).ceil() as u64
+        } else {
+            iters * 2
+        };
+        iters = guess.clamp(iters + 1, iters * 8);
+    }
+    let time_str = format_time(per_iter);
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / per_iter;
+            println!("{id:<48} time: {time_str:>12}   thrpt: {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / per_iter / (1024.0 * 1024.0);
+            println!("{id:<48} time: {time_str:>12}   thrpt: {rate:>10.1} MiB/s");
+        }
+        _ => println!("{id:<48} time: {time_str:>12}"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collects bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,403 @@
+//! MPMC channels with the `crossbeam::channel` API.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers have disconnected.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::try_send`].
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// All receivers have disconnected.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders have disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// The channel is empty and all senders have disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Bounded capacity; `usize::MAX` means unbounded.
+    cap: usize,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_tx(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn disconnected_rx(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half of a channel; cloneable (multi-producer).
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a channel; cloneable (multi-consumer).
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` messages.
+///
+/// Unlike crossbeam, `cap == 0` (rendezvous) is approximated by capacity 1.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(cap.max(1))
+}
+
+fn with_capacity<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cap,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::SeqCst);
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake receivers so they observe disconnect.
+            let _guard = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver gone: wake senders blocked on a full queue.
+            let _guard = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while the channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.0.disconnected_rx() {
+                return Err(SendError(msg));
+            }
+            if q.len() < self.0.cap {
+                q.push_back(msg);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            q = self.0.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Sends `msg` without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if self.0.disconnected_rx() {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if q.len() >= self.0.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        q.push_back(msg);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives or all senders drop.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.disconnected_tx() {
+                return Err(RecvError);
+            }
+            q = self.0.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receives a message, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.disconnected_tx() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .0
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Receives a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = q.pop_front() {
+            self.0.not_full.notify_one();
+            return Ok(v);
+        }
+        if self.0.disconnected_tx() {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator over received messages; ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// A non-blocking iterator draining currently queued messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Non-blocking iterator returned by [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<i32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn multi_consumer() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let h = thread::spawn(move || rx2.recv().unwrap());
+        tx.send(7u64).unwrap();
+        let got = h.join().unwrap();
+        assert_eq!(got, 7);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<i32>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+}

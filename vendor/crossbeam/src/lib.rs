@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` — multi-producer multi-consumer bounded and
+//! unbounded channels with the crossbeam API surface the workspace uses —
+//! implemented over `Mutex` + `Condvar`. Semantics match crossbeam where it
+//! matters to callers: cloneable `Sender`/`Receiver`, disconnect detection on
+//! both ends, and blocking/timeout/non-blocking receive flavours.
+
+pub mod channel;
