@@ -15,4 +15,7 @@ cargo build --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== remote-ingress example (smoke)"
+cargo run --release --example gateway_remote
+
 echo "CI OK"

@@ -1,17 +1,19 @@
-//! Gateway throughput under offered load.
+//! Gateway throughput under offered load, in-process and over the fabric.
 //!
-//! Drives the ingress tier at several offered request rates and measures
-//! what it sustains: completed requests/second, queueing-delay p50/p99 and
-//! shed counts. Run with `cargo bench --bench gateway_throughput`; a full
-//! run snapshots its numbers to `BENCH_gateway.json` at the repo root.
-//! Under `cargo test` (cargo passes `--test`) it runs one tiny load as a
-//! smoke test and writes nothing.
+//! Drives the ingress tier at several offered request rates through both
+//! front doors — direct `Gateway::call` and a `GatewayClient` speaking the
+//! wire protocol to a `GatewayServer` on its own fabric host — and measures
+//! what each sustains: completed requests/second, queueing-delay p50/p99
+//! and shed counts. Run with `cargo bench --bench gateway_throughput`; a
+//! full run snapshots its numbers to `BENCH_gateway.json` at the repo root.
+//! Under `cargo test` (cargo passes `--test`) it runs one tiny load per
+//! mode as a smoke test and writes nothing.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use faasm_core::{Cluster, ClusterConfig};
-use faasm_gateway::{Gateway, GatewayConfig, GatewayStatus};
+use faasm_gateway::{Gateway, GatewayClient, GatewayConfig, GatewayServer, GatewayStatus};
 
 const WORK: &str = r#"
     extern int input_size();
@@ -30,6 +32,15 @@ const WORK: &str = r#"
     }
 "#;
 
+/// Which front door the load goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ingress {
+    /// Direct `Gateway::call` (the PR-1 baseline path).
+    InProcess,
+    /// `GatewayClient` → fabric → `GatewayServer` (remote ingress).
+    OverFabric,
+}
+
 struct LoadPoint {
     offered_rps: u64,
     requests: usize,
@@ -42,7 +53,7 @@ struct LoadPoint {
 }
 
 /// Offer `requests` at `offered_rps` from `clients` paced client threads.
-fn drive(offered_rps: u64, requests: usize, clients: usize) -> LoadPoint {
+fn drive(ingress: Ingress, offered_rps: u64, requests: usize, clients: usize) -> LoadPoint {
     let cluster = Arc::new(Cluster::with_config(ClusterConfig {
         hosts: 4,
         ..ClusterConfig::default()
@@ -58,6 +69,13 @@ fn drive(offered_rps: u64, requests: usize, clients: usize) -> LoadPoint {
             ..GatewayConfig::default()
         },
     ));
+    let server = match ingress {
+        Ingress::InProcess => None,
+        Ingress::OverFabric => Some(GatewayServer::start(
+            Arc::clone(&gateway),
+            cluster.add_fabric_host(),
+        )),
+    };
     // Warm the proto so the sweep measures steady state, not first-upload.
     assert!(gateway
         .call("bench", "work", 1i32.to_le_bytes().to_vec())
@@ -67,6 +85,12 @@ fn drive(offered_rps: u64, requests: usize, clients: usize) -> LoadPoint {
     let mut handles = Vec::new();
     for c in 0..clients {
         let gw = Arc::clone(&gateway);
+        // Each over-fabric client is its own fabric host with its own
+        // connection, like distinct remote machines would be.
+        let remote = server.as_ref().map(|s| {
+            GatewayClient::connect(cluster.add_fabric_host(), s.host_id())
+                .expect("connect to ingress")
+        });
         let n = requests / clients;
         let per_client_rps = offered_rps as f64 / clients as f64;
         handles.push(std::thread::spawn(move || {
@@ -83,7 +107,14 @@ fn drive(offered_rps: u64, requests: usize, clients: usize) -> LoadPoint {
                     std::thread::sleep(due - now);
                 }
                 let input = (i as i32 + c as i32).to_le_bytes().to_vec();
-                match gw.call("bench", "work", input).status {
+                let status = match &remote {
+                    Some(client) => match client.call("bench", "work", input) {
+                        Ok(resp) => resp.status,
+                        Err(e) => panic!("remote submit failed: {e}"),
+                    },
+                    None => gw.call("bench", "work", input).status,
+                };
+                match status {
                     GatewayStatus::Ok => ok += 1,
                     GatewayStatus::Overloaded | GatewayStatus::Expired => shed += 1,
                     GatewayStatus::Failed(_) | GatewayStatus::Error(_) => {}
@@ -113,21 +144,18 @@ fn drive(offered_rps: u64, requests: usize, clients: usize) -> LoadPoint {
     }
 }
 
-fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
-    let loads: &[(u64, usize)] = if test_mode {
-        &[(500, 50)]
-    } else {
-        &[(1_000, 2_000), (4_000, 8_000), (16_000, 16_000)]
+fn run_mode(ingress: Ingress, loads: &[(u64, usize)]) -> Vec<LoadPoint> {
+    let label = match ingress {
+        Ingress::InProcess => "in-process",
+        Ingress::OverFabric => "over-fabric",
     };
-
     let mut points = Vec::new();
     println!(
-        "{:>12} {:>10} {:>12} {:>8} {:>12} {:>12} {:>10}",
+        "\n== {label} ingress ==\n{:>12} {:>10} {:>12} {:>8} {:>12} {:>12} {:>10}",
         "offered r/s", "requests", "sustained", "shed", "p50 queue", "p99 queue", "batch occ"
     );
     for &(rps, requests) in loads {
-        let p = drive(rps, requests, 4);
+        let p = drive(ingress, rps, requests, 4);
         println!(
             "{:>12} {:>10} {:>12.0} {:>8} {:>9.3} ms {:>9.3} ms {:>10.2}",
             p.offered_rps,
@@ -140,16 +168,13 @@ fn main() {
         );
         points.push(p);
     }
+    points
+}
 
-    if test_mode {
-        println!("test bench gateway_throughput ... ok");
-        return;
-    }
-
-    // Snapshot for the repo (hand-rolled JSON: the workspace is std-only).
-    let mut json = String::from("{\n  \"bench\": \"gateway_throughput\",\n  \"hosts\": 4,\n  \"dispatchers\": 4,\n  \"loads\": [\n");
+fn json_points(points: &[LoadPoint]) -> String {
+    let mut out = String::new();
     for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
+        out.push_str(&format!(
             "    {{\"offered_rps\": {}, \"requests\": {}, \"completed\": {}, \"shed\": {}, \"sustained_rps\": {:.0}, \"p50_queue_ms\": {:.3}, \"p99_queue_ms\": {:.3}, \"batch_occupancy\": {:.2}}}{}\n",
             p.offered_rps,
             p.requests,
@@ -162,6 +187,41 @@ fn main() {
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
+    out
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let loads: &[(u64, usize)] = if test_mode {
+        &[(500, 50)]
+    } else {
+        &[(1_000, 2_000), (4_000, 8_000), (16_000, 16_000)]
+    };
+
+    let local = run_mode(Ingress::InProcess, loads);
+    let remote = run_mode(Ingress::OverFabric, loads);
+
+    // The wire + service loop should cost well under a 2x throughput hit
+    // at saturation (the remote-ingress acceptance bar).
+    let local_peak = local.iter().map(|p| p.sustained_rps).fold(0.0, f64::max);
+    let remote_peak = remote.iter().map(|p| p.sustained_rps).fold(0.0, f64::max);
+    println!(
+        "\npeak sustained: in-process {local_peak:.0} req/s, over-fabric {remote_peak:.0} req/s ({:.2}x)",
+        local_peak / remote_peak.max(1.0)
+    );
+
+    if test_mode {
+        println!("test bench gateway_throughput ... ok");
+        return;
+    }
+
+    // Snapshot for the repo (hand-rolled JSON: the workspace is std-only).
+    let mut json = String::from(
+        "{\n  \"bench\": \"gateway_throughput\",\n  \"hosts\": 4,\n  \"dispatchers\": 4,\n  \"loads\": [\n",
+    );
+    json.push_str(&json_points(&local));
+    json.push_str("  ],\n  \"loads_over_fabric\": [\n");
+    json.push_str(&json_points(&remote));
     json.push_str("  ]\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway.json");
     match std::fs::write(path, &json) {

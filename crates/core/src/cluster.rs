@@ -308,6 +308,14 @@ impl Cluster {
         &self.fabric
     }
 
+    /// Register a fresh host on the cluster fabric and return its NIC —
+    /// how out-of-process tiers join the cluster network: a gateway
+    /// server binds its service loop to one of these, and remote ingress
+    /// clients connect from their own.
+    pub fn add_fabric_host(&self) -> faasm_net::Nic {
+        self.fabric.add_host()
+    }
+
     /// The shared object store.
     pub fn object_store(&self) -> &Arc<ObjectStore> {
         &self.object_store

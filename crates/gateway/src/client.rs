@@ -1,0 +1,410 @@
+//! The remote gateway client: submit/wait over the fabric.
+//!
+//! A [`GatewayClient`] opens one byte-stream connection
+//! ([`faasm_net::StreamConn`]) to a [`GatewayServer`](crate::GatewayServer)
+//! and multiplexes any number of in-flight calls over it. Submission is
+//! asynchronous: [`GatewayClient::submit`] sends the framed request (MTU
+//! fragmented) and returns a ticket immediately; a receiver thread
+//! reassembles response frames from the server's stream and correlates them
+//! to tickets by sequence number, so N outstanding calls cost N map
+//! entries, not N blocked RPCs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faasm_net::stream::{decode_stream_msg, StreamConn, StreamKind};
+use faasm_net::{HostId, NetError, Nic};
+
+use crate::codec::{self, FrameBuf, GatewayRequest, OversizedFrame};
+use crate::response::GatewayResponse;
+
+/// Gateway client construction parameters.
+#[derive(Debug, Clone)]
+pub struct GatewayClientConfig {
+    /// Fragmentation size for request frames (small values exercise
+    /// reassembly; the default mimics an Ethernet MTU).
+    pub mtu: usize,
+    /// Upper bound a caller blocks in [`GatewayClient::wait`] before
+    /// getting an error response.
+    pub wait_timeout: Duration,
+}
+
+impl Default for GatewayClientConfig {
+    fn default() -> GatewayClientConfig {
+        GatewayClientConfig {
+            mtu: faasm_net::DEFAULT_MTU,
+            wait_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Why a submission could not be sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The encoded request exceeds [`codec::MAX_FRAME`]; it was never sent
+    /// (sending it would only get the connection dropped).
+    Oversized(OversizedFrame),
+    /// The connection is closed — by the server (protocol violation on our
+    /// stream) or because the client shut down.
+    Closed(String),
+    /// Fabric-level routing failure.
+    Net(NetError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Oversized(e) => write!(f, "request too large: {e}"),
+            ClientError::Closed(reason) => write!(f, "connection closed: {reason}"),
+            ClientError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Fulfilled-but-unclaimed ticket count above which `fulfill` runs the TTL
+/// sweep (mirrors the gateway's `Completions` sweep: fire-and-forget
+/// submitters must not grow the map without bound).
+const SWEEP_THRESHOLD: usize = 256;
+
+#[derive(Debug)]
+struct ClientState {
+    /// Ticket → response slot (`None` until the response frame arrives)
+    /// plus the instant of its last transition, for the TTL sweep.
+    pending: HashMap<u64, (Option<GatewayResponse>, Instant)>,
+    /// Delivered-but-unclaimed slots; live waiters never trigger sweeps.
+    unclaimed: usize,
+    /// Rate-limits full-map sweep scans.
+    last_sweep: Instant,
+    /// Set when the connection dies; new submits fail fast.
+    closed: Option<String>,
+}
+
+impl ClientState {
+    fn new() -> ClientState {
+        ClientState {
+            pending: HashMap::new(),
+            unclaimed: 0,
+            last_sweep: Instant::now(),
+            closed: None,
+        }
+    }
+}
+
+struct ClientInner {
+    nic: Nic,
+    conn: parking_lot::Mutex<StreamConn>,
+    server: HostId,
+    wait_timeout: Duration,
+    next_seq: AtomicU64,
+    state: parking_lot::Mutex<ClientState>,
+    cv: parking_lot::Condvar,
+    stop: AtomicBool,
+}
+
+/// A connected remote-gateway client.
+pub struct GatewayClient {
+    inner: Arc<ClientInner>,
+    recv_thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for GatewayClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayClient")
+            .field("host", &self.inner.nic.id())
+            .field("server", &self.inner.server)
+            .finish()
+    }
+}
+
+impl GatewayClient {
+    /// Connect from `nic` to the gateway server at `server` with defaults.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors opening the connection.
+    pub fn connect(nic: Nic, server: HostId) -> Result<GatewayClient, NetError> {
+        GatewayClient::with_config(nic, server, GatewayClientConfig::default())
+    }
+
+    /// Connect with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors opening the connection.
+    pub fn with_config(
+        nic: Nic,
+        server: HostId,
+        config: GatewayClientConfig,
+    ) -> Result<GatewayClient, NetError> {
+        let conn = StreamConn::open(nic.clone(), server, config.mtu)?;
+        let inner = Arc::new(ClientInner {
+            nic,
+            conn: parking_lot::Mutex::new(conn),
+            server,
+            wait_timeout: config.wait_timeout,
+            next_seq: AtomicU64::new(1),
+            state: parking_lot::Mutex::new(ClientState::new()),
+            cv: parking_lot::Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let recv_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gw-client".into())
+                .spawn(move || inner.recv_loop())
+                .expect("spawn gateway client receiver")
+        };
+        Ok(GatewayClient {
+            inner,
+            recv_thread: parking_lot::Mutex::new(Some(recv_thread)),
+        })
+    }
+
+    /// This client's host id on the fabric.
+    pub fn host_id(&self) -> HostId {
+        self.inner.nic.id()
+    }
+
+    /// The client NIC (its traffic counters measure the over-fabric cost
+    /// of remote ingress).
+    pub fn nic(&self) -> &Nic {
+        &self.inner.nic
+    }
+
+    /// Submit with the gateway's default queueing deadline; returns a
+    /// ticket for [`GatewayClient::wait`] immediately (no round trip).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the request cannot be sent.
+    pub fn submit(&self, tenant: &str, function: &str, input: Vec<u8>) -> Result<u64, ClientError> {
+        self.submit_with_deadline(tenant, function, input, Duration::ZERO)
+    }
+
+    /// Submit with an explicit queueing deadline (`Duration::ZERO` means
+    /// the gateway default; sub-millisecond deadlines round up to 1 ms).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the request cannot be sent.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        function: &str,
+        input: Vec<u8>,
+        deadline: Duration,
+    ) -> Result<u64, ClientError> {
+        let deadline_ms = if deadline.is_zero() {
+            0
+        } else {
+            (deadline.as_millis() as u64).max(1)
+        };
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let req = GatewayRequest {
+            seq,
+            tenant: tenant.to_string(),
+            function: function.to_string(),
+            deadline_ms,
+            input,
+        };
+        let frame = codec::try_encode_frame(&codec::encode_request(&req))
+            .map_err(ClientError::Oversized)?;
+        {
+            let mut state = self.inner.state.lock();
+            if let Some(reason) = &state.closed {
+                return Err(ClientError::Closed(reason.clone()));
+            }
+            state.pending.insert(seq, (None, Instant::now()));
+        }
+        // The connection lock serialises fragmented writes: interleaved
+        // chunks from concurrent submitters would corrupt the stream.
+        let sent = self.inner.conn.lock().send(&frame);
+        if let Err(e) = sent {
+            self.inner.state.lock().pending.remove(&seq);
+            return Err(ClientError::Net(e));
+        }
+        Ok(seq)
+    }
+
+    /// Block for a submitted ticket's response. Tickets the server never
+    /// answers (connection cut mid-call) resolve to an error response at
+    /// the wait timeout; unknown tickets resolve immediately.
+    pub fn wait(&self, ticket: u64) -> GatewayResponse {
+        let deadline = Instant::now() + self.inner.wait_timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            match state.pending.get(&ticket) {
+                Some((Some(_), _)) => {
+                    state.unclaimed = state.unclaimed.saturating_sub(1);
+                    let resp = state
+                        .pending
+                        .remove(&ticket)
+                        .and_then(|(r, _)| r)
+                        .expect("checked above");
+                    return resp;
+                }
+                Some((None, _)) => {
+                    if let Some(reason) = &state.closed {
+                        let reason = reason.clone();
+                        state.pending.remove(&ticket);
+                        return GatewayResponse::error(ticket, reason);
+                    }
+                }
+                None => return GatewayResponse::error(ticket, "unknown ticket"),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                state.pending.remove(&ticket);
+                return GatewayResponse::error(ticket, "client wait timed out");
+            }
+            self.inner.cv.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    /// Submit and wait (the synchronous surface).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the request cannot be sent; a sent request
+    /// always resolves to a [`GatewayResponse`].
+    pub fn call(
+        &self,
+        tenant: &str,
+        function: &str,
+        input: Vec<u8>,
+    ) -> Result<GatewayResponse, ClientError> {
+        let ticket = self.submit(tenant, function, input)?;
+        Ok(self.wait(ticket))
+    }
+
+    /// True once the server (or shutdown) closed the connection.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed.is_some()
+    }
+
+    /// Tickets currently tracked (in flight or fulfilled-but-unclaimed).
+    /// Abandoned tickets are TTL-swept, so this stays bounded under
+    /// fire-and-forget traffic.
+    pub fn outstanding(&self) -> usize {
+        self.inner.state.lock().pending.len()
+    }
+
+    /// Close the connection and stop the receiver thread. Idempotent; also
+    /// runs on drop. Outstanding waits resolve to errors.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.recv_thread.lock().take() {
+            let _ = t.join();
+        }
+        self.inner.fail_all("client shut down");
+        self.inner.conn.lock().close();
+    }
+}
+
+impl Drop for GatewayClient {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ClientInner {
+    fn recv_loop(self: Arc<Self>) {
+        let my_conn = self.conn.lock().conn_id();
+        let mut fb = FrameBuf::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            let env = match self.nic.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) => env,
+                Err(faasm_net::NetError::Timeout) => continue,
+                Err(_) => {
+                    self.fail_all("fabric disconnected");
+                    return;
+                }
+            };
+            let Some(msg) = decode_stream_msg(&env.payload) else {
+                continue;
+            };
+            if msg.conn != my_conn || env.src != self.server {
+                continue;
+            }
+            match msg.kind {
+                StreamKind::Close => {
+                    // The server cut us off (protocol violation on our
+                    // stream); nothing in flight will be answered.
+                    self.fail_all("connection closed by server");
+                    return;
+                }
+                StreamKind::Data => {
+                    fb.feed(&msg.bytes);
+                    loop {
+                        match fb.next_frame() {
+                            Ok(Some(frame)) => match codec::decode_response(&frame) {
+                                Some(resp) => self.fulfill(resp),
+                                None => {
+                                    self.fail_all("malformed response from server");
+                                    return;
+                                }
+                            },
+                            Ok(None) => break,
+                            Err(_) => {
+                                self.fail_all("oversized response from server");
+                                return;
+                            }
+                        }
+                    }
+                }
+                StreamKind::Open => {}
+            }
+        }
+    }
+
+    fn fulfill(&self, resp: GatewayResponse) {
+        let mut state = self.state.lock();
+        // Responses for tickets nobody holds any more (abandoned waits)
+        // are dropped.
+        let ClientState {
+            pending, unclaimed, ..
+        } = &mut *state;
+        if let Some(slot) = pending.get_mut(&resp.seq) {
+            if slot.0.is_none() {
+                *unclaimed += 1;
+            }
+            *slot = (Some(resp), Instant::now());
+            self.cv.notify_all();
+        }
+        // Sweep responses nobody ever claimed (fire-and-forget submits) —
+        // but only when enough have accumulated and not more often than
+        // ttl/4, so steady traffic never pays an O(n) scan per response.
+        if state.unclaimed > SWEEP_THRESHOLD && state.last_sweep.elapsed() >= self.wait_timeout / 4
+        {
+            let ttl = self.wait_timeout;
+            state
+                .pending
+                .retain(|_, (resp, at)| resp.is_none() || at.elapsed() < ttl);
+            state.unclaimed = state.pending.values().filter(|(r, _)| r.is_some()).count();
+            state.last_sweep = Instant::now();
+        }
+    }
+
+    /// Resolve every outstanding ticket with an error and mark the
+    /// connection closed so new submits fail fast.
+    fn fail_all(&self, reason: &str) {
+        let mut state = self.state.lock();
+        if state.closed.is_none() {
+            state.closed = Some(reason.to_string());
+        }
+        let ClientState {
+            pending, unclaimed, ..
+        } = &mut *state;
+        for (seq, slot) in pending.iter_mut() {
+            if slot.0.is_none() {
+                *unclaimed += 1;
+                *slot = (Some(GatewayResponse::error(*seq, reason)), Instant::now());
+            }
+        }
+        self.cv.notify_all();
+    }
+}

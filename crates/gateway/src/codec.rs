@@ -35,11 +35,40 @@ pub struct GatewayRequest {
 }
 
 /// Wrap a payload in a length-prefixed frame.
+///
+/// Every receiver rejects frames above [`MAX_FRAME`], so emitting one is
+/// always a sender bug: this panics in debug builds. Wire paths (which may
+/// carry caller-supplied payloads of arbitrary size) must use
+/// [`try_encode_frame`] instead so oversized payloads fail fast at the
+/// sender rather than poisoning the receiver's stream.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        payload.len() <= MAX_FRAME,
+        "encode_frame payload {} exceeds MAX_FRAME {MAX_FRAME}",
+        payload.len()
+    );
     let mut out = Vec::with_capacity(4 + payload.len());
     out.put_u32_le(payload.len() as u32);
     out.put_slice(payload);
     out
+}
+
+/// [`encode_frame`] with the bound checked in all builds: the frame path
+/// for payloads whose size the caller does not control.
+///
+/// # Errors
+///
+/// [`OversizedFrame`] when the payload exceeds [`MAX_FRAME`] — the frame
+/// is never built, so no receiver ever sees a prefix it must treat as
+/// hostile.
+pub fn try_encode_frame(payload: &[u8]) -> Result<Vec<u8>, OversizedFrame> {
+    if payload.len() > MAX_FRAME {
+        return Err(OversizedFrame { len: payload.len() });
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+    Ok(out)
 }
 
 /// A length prefix exceeding [`MAX_FRAME`]: the stream is corrupt or
@@ -218,11 +247,21 @@ pub fn decode_response(mut buf: &[u8]) -> Option<GatewayResponse> {
 }
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
-    out.put_u32_le(s.len() as u32);
-    out.put_slice(s.as_bytes());
+    put_blob(out, s.as_bytes());
 }
 
 fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    // `len as u32` silently wraps for ≥ 4 GiB blobs, corrupting the
+    // encoding. Any blob that large also exceeds MAX_FRAME, so release
+    // builds are protected by the checked frame path (`try_encode_frame`),
+    // which rejects oversized payloads *gracefully*; here we fail fast in
+    // debug only at the wrap boundary itself, so merely-above-MAX_FRAME
+    // payloads still reach the frame path's recoverable error.
+    debug_assert!(
+        u32::try_from(b.len()).is_ok(),
+        "field length {} wraps the u32 length prefix",
+        b.len()
+    );
     out.put_u32_le(b.len() as u32);
     out.put_slice(b);
 }
@@ -307,6 +346,29 @@ mod tests {
         assert_eq!(fb.next_frame().unwrap().as_deref(), Some(&b"second"[..]));
         assert_eq!(fb.next_frame(), Ok(None));
         assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_never_becomes_a_frame() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let err = try_encode_frame(&payload).unwrap_err();
+        assert_eq!(err.len, MAX_FRAME + 1);
+        // In-bounds payloads are identical through both paths.
+        let ok = try_encode_frame(b"fine").unwrap();
+        assert_eq!(ok, encode_frame(b"fine"));
+        // A frame at exactly the cap is legal and decodes.
+        let edge = try_encode_frame(&payload[..MAX_FRAME]).unwrap();
+        let (decoded, consumed) = try_decode_frame(&edge).unwrap().unwrap();
+        assert_eq!(decoded.len(), MAX_FRAME);
+        assert_eq!(consumed, 4 + MAX_FRAME);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FRAME")]
+    #[cfg(debug_assertions)]
+    fn debug_encode_frame_asserts_on_oversize() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let _ = encode_frame(&payload);
     }
 
     #[test]

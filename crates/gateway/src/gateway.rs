@@ -51,11 +51,38 @@ impl Default for GatewayConfig {
     }
 }
 
+/// A remote waiter's completion hook, invoked exactly once with the
+/// terminal response (outside the completion lock).
+pub(crate) type CompletionFn = Box<dyn FnOnce(GatewayResponse) + Send>;
+
+/// One ticket's completion state.
+enum Slot {
+    /// Registered; a local waiter will claim it via [`Completions::wait`].
+    Pending,
+    /// Fulfilled, awaiting its waiter; swept after `ttl`.
+    Ready(GatewayResponse, Instant),
+    /// A remote waiter (wire request): fulfilment invokes the callback
+    /// instead of parking the response, so over-the-fabric calls complete
+    /// asynchronously without a blocked thread per in-flight ticket.
+    Callback(CompletionFn),
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Pending => f.write_str("Pending"),
+            Slot::Ready(..) => f.write_str("Ready"),
+            Slot::Callback(_) => f.write_str("Callback"),
+        }
+    }
+}
+
 /// Completion slots: ticket → eventual response.
 ///
-/// Slots are normally reclaimed by [`Completions::wait`]; fulfilled slots
-/// nobody waits on (fire-and-forget submits) are swept once they outlive
-/// `ttl`, so abandoned tickets cannot grow the map without bound.
+/// Slots are normally reclaimed by [`Completions::wait`] or a callback;
+/// fulfilled slots nobody waits on (fire-and-forget submits) are swept once
+/// they outlive `ttl`, so abandoned tickets cannot grow the map without
+/// bound.
 #[derive(Debug)]
 struct Completions {
     slots: Mutex<Slots>,
@@ -68,7 +95,7 @@ struct Completions {
 /// not trigger sweeps) and `last_sweep` rate-limits full-map scans.
 #[derive(Debug)]
 struct Slots {
-    map: HashMap<u64, (Option<GatewayResponse>, Instant)>,
+    map: HashMap<u64, Slot>,
     fulfilled: usize,
     last_sweep: Instant,
 }
@@ -90,36 +117,54 @@ impl Completions {
     }
 
     fn register(&self, seq: u64) {
-        self.slots
-            .lock()
-            .map
-            .entry(seq)
-            .or_insert((None, Instant::now()));
+        self.slots.lock().map.entry(seq).or_insert(Slot::Pending);
+    }
+
+    fn register_callback(&self, seq: u64, cb: CompletionFn) {
+        self.slots.lock().map.insert(seq, Slot::Callback(cb));
     }
 
     fn fulfill(&self, resp: GatewayResponse) {
-        let mut slots = self.slots.lock();
-        // Only deliver into registered slots; a slot abandoned by a timed-out
-        // waiter has been removed and the response is dropped.
-        let seq = resp.seq;
-        let Slots { map, fulfilled, .. } = &mut *slots;
-        if let Some(slot) = map.get_mut(&seq) {
-            if slot.0.is_none() {
-                *fulfilled += 1;
+        let mut resp = Some(resp);
+        let mut callback = None;
+        {
+            let mut slots = self.slots.lock();
+            let seq = resp.as_ref().expect("response present").seq;
+            // Only deliver into registered slots; a slot abandoned by a
+            // timed-out waiter has been removed and the response is dropped.
+            let Slots { map, fulfilled, .. } = &mut *slots;
+            if matches!(map.get(&seq), Some(Slot::Callback(_))) {
+                if let Some(Slot::Callback(cb)) = map.remove(&seq) {
+                    callback = Some(cb);
+                }
+            } else if let Some(slot) = map.get_mut(&seq) {
+                if matches!(slot, Slot::Pending) {
+                    *fulfilled += 1;
+                }
+                *slot = Slot::Ready(resp.take().expect("response present"), Instant::now());
+                self.cv.notify_all();
             }
-            *slot = (Some(resp), Instant::now());
-            self.cv.notify_all();
+            // Sweep abandoned (fulfilled, never-claimed) slots — but only
+            // when enough have accumulated and not more often than ttl/4, so
+            // steady high-concurrency traffic never pays an O(n) scan per
+            // completion.
+            if slots.fulfilled > SWEEP_THRESHOLD && slots.last_sweep.elapsed() >= self.ttl / 4 {
+                let ttl = self.ttl;
+                slots
+                    .map
+                    .retain(|_, slot| !matches!(slot, Slot::Ready(_, at) if at.elapsed() >= ttl));
+                slots.fulfilled = slots
+                    .map
+                    .values()
+                    .filter(|s| matches!(s, Slot::Ready(..)))
+                    .count();
+                slots.last_sweep = Instant::now();
+            }
         }
-        // Sweep abandoned (fulfilled, never-claimed) slots — but only when
-        // enough have accumulated and not more often than ttl/4, so steady
-        // high-concurrency traffic never pays an O(n) scan per completion.
-        if slots.fulfilled > SWEEP_THRESHOLD && slots.last_sweep.elapsed() >= self.ttl / 4 {
-            let ttl = self.ttl;
-            slots
-                .map
-                .retain(|_, (resp, at)| resp.is_none() || at.elapsed() < ttl);
-            slots.fulfilled = slots.map.values().filter(|(r, _)| r.is_some()).count();
-            slots.last_sweep = Instant::now();
+        // Invoked outside the lock: the callback may do arbitrary work
+        // (encode + fabric send) and must not hold up other completions.
+        if let Some(cb) = callback {
+            cb(resp.take().expect("response present"));
         }
     }
 
@@ -127,9 +172,11 @@ impl Completions {
         let deadline = Instant::now() + timeout;
         let mut slots = self.slots.lock();
         loop {
-            if matches!(slots.map.get(&seq), Some((Some(_), _))) {
+            if matches!(slots.map.get(&seq), Some(Slot::Ready(..))) {
                 slots.fulfilled = slots.fulfilled.saturating_sub(1);
-                return slots.map.remove(&seq).and_then(|(r, _)| r);
+                if let Some(Slot::Ready(resp, _)) = slots.map.remove(&seq) {
+                    return Some(resp);
+                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -300,17 +347,49 @@ impl Gateway {
 
     /// Run a decoded wire request through the gateway.
     pub fn handle_request(&self, req: GatewayRequest) -> GatewayResponse {
-        let deadline = if req.deadline_ms == 0 {
-            self.inner.config.default_deadline
-        } else {
-            Duration::from_millis(req.deadline_ms)
-        };
+        let deadline = self.wire_deadline(&req);
         let ticket = self.submit_with_deadline(&req.tenant, &req.function, req.input, deadline);
         let mut resp = self.wait(ticket);
         // The wire response echoes the client's sequence number, not the
         // gateway-internal ticket.
         resp.seq = req.seq;
         resp
+    }
+
+    /// Submit a decoded wire request without blocking: `on_complete` is
+    /// invoked exactly once with the terminal response (its `seq` mapped
+    /// back to the client's), from whichever thread produced it — a
+    /// dispatcher on completion, or the calling thread on a synchronous
+    /// shed. This is how [`GatewayServer`](crate::GatewayServer) keeps one
+    /// service thread serving many in-flight connections.
+    ///
+    /// Returns the gateway-internal ticket (for observability; the
+    /// callback is the delivery mechanism).
+    pub fn submit_async(
+        &self,
+        req: GatewayRequest,
+        on_complete: impl FnOnce(GatewayResponse) + Send + 'static,
+    ) -> u64 {
+        let deadline = self.wire_deadline(&req);
+        let client_seq = req.seq;
+        self.inner.submit_with(
+            &req.tenant,
+            &req.function,
+            req.input,
+            deadline,
+            Some(Box::new(move |mut resp: GatewayResponse| {
+                resp.seq = client_seq;
+                on_complete(resp);
+            })),
+        )
+    }
+
+    fn wire_deadline(&self, req: &GatewayRequest) -> Duration {
+        if req.deadline_ms == 0 {
+            self.inner.config.default_deadline
+        } else {
+            Duration::from_millis(req.deadline_ms)
+        }
     }
 
     /// Stop dispatchers and the autoscaler; shed whatever is still queued.
@@ -334,8 +413,27 @@ impl Drop for Gateway {
 
 impl Inner {
     fn submit(&self, tenant: &str, function: &str, input: Vec<u8>, deadline: Duration) -> u64 {
+        self.submit_with(tenant, function, input, deadline, None)
+    }
+
+    /// Submit with an optional remote completion hook. With `remote: None`
+    /// the ticket parks its response for a local [`Completions::wait`];
+    /// with a callback, fulfilment invokes it (from whichever thread
+    /// produced the terminal response — possibly this one, on a
+    /// synchronous shed).
+    fn submit_with(
+        &self,
+        tenant: &str,
+        function: &str,
+        input: Vec<u8>,
+        deadline: Duration,
+        remote: Option<CompletionFn>,
+    ) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.completions.register(seq);
+        match remote {
+            Some(cb) => self.completions.register_callback(seq, cb),
+            None => self.completions.register(seq),
+        }
         // After shutdown no dispatcher will ever drain the queue; answer
         // immediately instead of letting the waiter sit out its timeout.
         if self.stop.load(Ordering::Relaxed) {

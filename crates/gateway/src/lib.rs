@@ -17,6 +17,12 @@
 //! * **Wire codec** ([`codec`]): length-prefixed binary frames for
 //!   requests/responses, with incremental reassembly ([`codec::FrameBuf`]) —
 //!   the same no-hidden-serialisation discipline as the KVS protocol.
+//! * **Remote ingress** ([`server`], [`client`]): a [`GatewayServer`]
+//!   attaches the gateway to a `faasm_net::Nic`, so remote hosts reach
+//!   admission over the fabric — byte-stream connections, per-connection
+//!   reassembly with a pending-bytes cap, and surgical drop of corrupt
+//!   connections. [`GatewayClient`] multiplexes async submit/wait tickets
+//!   over one connection.
 //! * **Admission control** ([`TenantPolicy`], [`queue`]): per-tenant
 //!   token-bucket rate limiting (a request-unit [`faasm_net::TokenBucket`])
 //!   and bounded pending queues. Rejections are explicit —
@@ -75,14 +81,18 @@
 #![warn(missing_docs)]
 
 pub mod autoscale;
+pub mod client;
 pub mod codec;
 mod gateway;
 pub mod queue;
 mod response;
+pub mod server;
 mod tenant;
 
 pub use autoscale::AutoscaleConfig;
+pub use client::{ClientError, GatewayClient, GatewayClientConfig};
 pub use codec::{FrameBuf, GatewayRequest};
 pub use gateway::{Gateway, GatewayConfig};
 pub use response::{GatewayResponse, GatewayStatus};
+pub use server::{GatewayServer, GatewayServerConfig};
 pub use tenant::TenantPolicy;

@@ -69,19 +69,30 @@ impl FairQueue {
     /// The rejected job.
     pub fn push(&self, job: Job, weight: u32, queue_cap: usize) -> Result<(), Job> {
         let mut inner = self.inner.lock();
-        if !inner.queues.contains_key(&job.tenant) {
-            inner.order.push(job.tenant.clone());
+        // Decide admission before touching any state: a rejected push must
+        // leave no trace. (The old order appended the tenant to the DRR
+        // rotation and created an empty queue first, so a flood of over-cap
+        // submits under arbitrary tenant names bloated every scheduling
+        // pass until the next drain's GC.)
+        match inner.queues.get(&job.tenant) {
+            Some(q) if q.jobs.len() >= queue_cap => return Err(job),
+            Some(_) => {}
+            None if queue_cap == 0 => return Err(job),
+            None => inner.order.push(job.tenant.clone()),
         }
         let q = inner.queues.entry(job.tenant.clone()).or_default();
         q.weight = weight.max(1);
-        if q.jobs.len() >= queue_cap {
-            return Err(job);
-        }
         q.jobs.push_back(job);
         inner.len += 1;
         drop(inner);
         self.nonempty.notify_one();
         Ok(())
+    }
+
+    /// Tenants currently holding queued work (rotation size). A rejected
+    /// push must not grow this.
+    pub fn tenant_count(&self) -> usize {
+        self.inner.lock().order.len()
     }
 
     /// Total queued requests across tenants.
@@ -214,6 +225,33 @@ mod tests {
         // Another tenant's queue is unaffected.
         q.push(job("b", 4), 1, 2).unwrap();
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn rejected_push_leaves_no_state_behind() {
+        let q = FairQueue::new();
+        q.push(job("real", 1), 1, 8).unwrap();
+        // A flood of zero-cap submits under unique tenant names: none may
+        // enter the rotation or allocate an (empty) queue.
+        for i in 0..1000 {
+            let name = format!("ghost{i}");
+            let back = q.push(job(&name, i), 1, 0).unwrap_err();
+            assert_eq!(back.seq, i);
+            assert_eq!(q.tenant_depth(&name), 0);
+        }
+        assert_eq!(q.tenant_count(), 1, "only the admitted tenant rotates");
+        assert_eq!(q.len(), 1);
+        // Over-cap rejections on an existing tenant also leave it intact.
+        let q2 = FairQueue::new();
+        q2.push(job("a", 1), 1, 1).unwrap();
+        q2.push(job("a", 2), 1, 1).unwrap_err();
+        assert_eq!(q2.tenant_count(), 1);
+        assert_eq!(q2.tenant_depth("a"), 1);
+        // The admitted job still drains normally.
+        let batch = drain(&q2, 4);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 1);
+        assert_eq!(q2.tenant_count(), 0, "drain GC clears the rotation");
     }
 
     #[test]

@@ -158,27 +158,33 @@ impl Fabric {
         self.inner.next_tag.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Deliver a request to `dst`. Byte counters are touched only after
+    /// delivery succeeds: a send to an unknown or removed host moved
+    /// nothing across the fabric, and counting it would break the
+    /// "measured, not modelled" invariant.
     fn route_request(&self, env: Envelope, dst: HostId) -> Result<(), NetError> {
         let bytes = env.payload.len() as u64 + MSG_HEADER_BYTES;
         let hosts = self.inner.hosts.lock();
         let port = hosts.get(&dst).ok_or(NetError::UnknownHost(dst))?;
+        port.req_tx.send(env).map_err(|_| NetError::Disconnected)?;
         port.stats.record_recv(bytes);
         self.inner.total.record_recv(bytes);
-        port.req_tx.send(env).map_err(|_| NetError::Disconnected)
+        Ok(())
     }
 
     fn route_response(&self, dst: HostId, tag: u64, payload: Vec<u8>) -> Result<(), NetError> {
         let bytes = payload.len() as u64 + MSG_HEADER_BYTES;
         let hosts = self.inner.hosts.lock();
         let port = hosts.get(&dst).ok_or(NetError::UnknownHost(dst))?;
-        port.stats.record_recv(bytes);
-        self.inner.total.record_recv(bytes);
         let tx = port
             .pending
             .lock()
             .remove(&tag)
             .ok_or(NetError::Disconnected)?;
-        tx.send(payload).map_err(|_| NetError::Disconnected)
+        tx.send(payload).map_err(|_| NetError::Disconnected)?;
+        port.stats.record_recv(bytes);
+        self.inner.total.record_recv(bytes);
+        Ok(())
     }
 }
 
@@ -230,9 +236,10 @@ impl Nic {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::UnknownHost`] or [`NetError::Disconnected`].
+    /// Returns [`NetError::UnknownHost`] or [`NetError::Disconnected`];
+    /// failed sends are not counted (nothing crossed the fabric).
     pub fn send(&self, dst: HostId, payload: Vec<u8>) -> Result<(), NetError> {
-        self.record_send(payload.len());
+        let len = payload.len();
         self.inner.fabric.route_request(
             Envelope {
                 src: self.inner.id,
@@ -240,7 +247,9 @@ impl Nic {
                 payload,
             },
             dst,
-        )
+        )?;
+        self.record_send(len);
+        Ok(())
     }
 
     /// Send a request and block for its response (an RPC).
@@ -264,10 +273,23 @@ impl Nic {
         payload: Vec<u8>,
         timeout: Duration,
     ) -> Result<Vec<u8>, NetError> {
+        self.call_timeout_tracked(dst, payload, timeout).0
+    }
+
+    /// [`Nic::call_timeout`] plus whether the request was actually
+    /// delivered (`true` even on timeout: the bytes crossed the fabric,
+    /// only the reply is missing). Lets shaped interfaces keep their
+    /// counters in agreement with the NIC's.
+    fn call_timeout_tracked(
+        &self,
+        dst: HostId,
+        payload: Vec<u8>,
+        timeout: Duration,
+    ) -> (Result<Vec<u8>, NetError>, bool) {
         let tag = self.inner.fabric.fresh_tag();
         let (tx, rx) = bounded(1);
         self.inner.pending.lock().insert(tag, tx);
-        self.record_send(payload.len());
+        let len = payload.len();
         let routed = self.inner.fabric.route_request(
             Envelope {
                 src: self.inner.id,
@@ -278,16 +300,19 @@ impl Nic {
         );
         if let Err(e) = routed {
             self.inner.pending.lock().remove(&tag);
-            return Err(e);
+            return (Err(e), false);
         }
-        match rx.recv_timeout(timeout) {
+        // Counted only now: a request bounced by routing never left the host.
+        self.record_send(len);
+        let result = match rx.recv_timeout(timeout) {
             Ok(resp) => Ok(resp),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 self.inner.pending.lock().remove(&tag);
                 Err(NetError::Timeout)
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
-        }
+        };
+        (result, true)
     }
 
     /// Receive the next incoming request/one-way message, blocking.
@@ -331,8 +356,10 @@ impl Nic {
             // bug, so surface it.
             return Err(NetError::Disconnected);
         };
-        self.record_send(payload.len());
-        self.inner.fabric.route_response(env.src, tag, payload)
+        let len = payload.len();
+        self.inner.fabric.route_response(env.src, tag, payload)?;
+        self.record_send(len);
+        Ok(())
     }
 
     /// Create a shaped virtual interface on this NIC — the per-Faaslet
@@ -375,28 +402,35 @@ impl VirtualInterface {
     ///
     /// # Errors
     ///
-    /// See [`Nic::send`].
+    /// See [`Nic::send`]; failed sends are not counted.
     pub fn send(&self, dst: HostId, payload: Vec<u8>) -> Result<(), NetError> {
-        self.shaper
-            .acquire(payload.len() + MSG_HEADER_BYTES as usize);
-        self.stats
-            .record_send(payload.len() as u64 + MSG_HEADER_BYTES);
-        self.nic.send(dst, payload)
+        let len = payload.len();
+        self.shaper.acquire(len + MSG_HEADER_BYTES as usize);
+        self.nic.send(dst, payload)?;
+        self.stats.record_send(len as u64 + MSG_HEADER_BYTES);
+        Ok(())
     }
 
     /// Shaped RPC.
     ///
     /// # Errors
     ///
-    /// See [`Nic::call`].
+    /// See [`Nic::call`]. Requests bounced by routing are not counted; a
+    /// request that reached the peer but timed out awaiting the reply *is*
+    /// (the bytes crossed the fabric).
     pub fn call(&self, dst: HostId, payload: Vec<u8>) -> Result<Vec<u8>, NetError> {
-        self.shaper
-            .acquire(payload.len() + MSG_HEADER_BYTES as usize);
-        self.stats
-            .record_send(payload.len() as u64 + MSG_HEADER_BYTES);
-        let resp = self.nic.call(dst, payload)?;
-        self.stats.record_recv(resp.len() as u64 + MSG_HEADER_BYTES);
-        Ok(resp)
+        let len = payload.len();
+        self.shaper.acquire(len + MSG_HEADER_BYTES as usize);
+        let (result, delivered) = self
+            .nic
+            .call_timeout_tracked(dst, payload, DEFAULT_RPC_TIMEOUT);
+        if delivered {
+            self.stats.record_send(len as u64 + MSG_HEADER_BYTES);
+        }
+        if let Ok(resp) = &result {
+            self.stats.record_recv(resp.len() as u64 + MSG_HEADER_BYTES);
+        }
+        result
     }
 }
 
@@ -564,6 +598,64 @@ mod tests {
         shaped.send(b.id(), vec![0u8; 64]).unwrap(); // uses burst
         shaped.send(b.id(), vec![0u8; 64]).unwrap(); // must wait ~1.3 ms
         assert!(start.elapsed() >= Duration::from_micros(900));
+    }
+
+    #[test]
+    fn failed_sends_are_not_counted() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        fabric.remove_host(b.id());
+        // One-way send, RPC and shaped-interface traffic to a gone host:
+        // nothing crossed the fabric, so nothing may be counted.
+        assert!(a.send(b.id(), vec![0u8; 100]).is_err());
+        assert!(a.call(b.id(), vec![0u8; 100]).is_err());
+        let vif = a.virtual_interface(TokenBucket::unlimited());
+        assert!(vif.send(b.id(), vec![0u8; 100]).is_err());
+        assert!(vif.call(b.id(), vec![0u8; 100]).is_err());
+        assert_eq!(a.stats().bytes_sent(), 0);
+        assert_eq!(a.stats().msgs_sent(), 0);
+        assert_eq!(vif.stats().bytes_sent(), 0);
+        assert_eq!(fabric.stats().total_bytes(), 0);
+        // A successful send still counts exactly once.
+        let c = fabric.add_host();
+        a.send(c.id(), vec![0u8; 100]).unwrap();
+        assert_eq!(a.stats().bytes_sent(), 100 + MSG_HEADER_BYTES);
+    }
+
+    #[test]
+    fn undeliverable_call_agrees_across_vif_and_nic_counters() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        let b_id = b.id();
+        // Drop b's NIC while the host stays registered: routing finds the
+        // port but channel delivery fails (pre-routing Disconnected).
+        drop(b);
+        let vif = a.virtual_interface(TokenBucket::unlimited());
+        assert_eq!(
+            vif.call(b_id, vec![0u8; 50]).unwrap_err(),
+            NetError::Disconnected
+        );
+        // Nothing was delivered, so the interface and the NIC must agree:
+        // zero bytes, both.
+        assert_eq!(vif.stats().bytes_sent(), 0);
+        assert_eq!(a.stats().bytes_sent(), 0);
+    }
+
+    #[test]
+    fn timed_out_call_counts_the_request_bytes() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host();
+        let b = fabric.add_host();
+        // No server drains `b`, so the call times out — but the request
+        // really was delivered to b's queue and must be counted.
+        let err = a
+            .call_timeout(b.id(), vec![0u8; 10], Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert_eq!(a.stats().bytes_sent(), 10 + MSG_HEADER_BYTES);
+        assert_eq!(b.stats().bytes_received(), 10 + MSG_HEADER_BYTES);
     }
 
     #[test]

@@ -13,12 +13,18 @@
 //! 3. **Modelled wire time** — [`NetModel`] converts measured bytes into the
 //!    time they would take on the paper's 1 Gbps links, for latency figures
 //!    that cannot be reproduced in wall-clock on one machine.
+//!
+//! On top of the message fabric, [`stream`] layers byte-stream connections
+//! ([`StreamConn`]): MTU-fragmented `Data` chunks under `Open`/`Close`
+//! control flow, so framed protocols (the gateway's ingress codec) face
+//! realistic segmentation and must reassemble.
 
 #![warn(missing_docs)]
 
 pub mod bucket;
 pub mod fabric;
 pub mod stats;
+pub mod stream;
 
 pub use bucket::TokenBucket;
 pub use fabric::{
@@ -26,3 +32,4 @@ pub use fabric::{
     MSG_HEADER_BYTES,
 };
 pub use stats::{TrafficSnapshot, TrafficStats};
+pub use stream::{StreamConn, StreamKind, StreamMsg, DEFAULT_MTU};

@@ -39,4 +39,7 @@ pub use faasm_workloads as workloads;
 
 // The types almost every embedder needs, at the crate root.
 pub use faasm_core::{CallResult, CallStatus, Cluster, ClusterConfig, UploadOptions};
-pub use faasm_gateway::{Gateway, GatewayConfig, GatewayResponse, GatewayStatus, TenantPolicy};
+pub use faasm_gateway::{
+    Gateway, GatewayClient, GatewayConfig, GatewayResponse, GatewayServer, GatewayStatus,
+    TenantPolicy,
+};

@@ -1,9 +1,28 @@
 //! Property-based tests on the workspace's core invariants.
 
 use faasm::fvm::{decode_module, encode_module, ObjectModule};
+use faasm::gateway::codec::{self, FrameBuf, GatewayRequest, MAX_FRAME};
+use faasm::gateway::{GatewayResponse, GatewayStatus};
 use faasm::lang;
 use faasm::mem::{LinearMemory, MemorySnapshot, SharedRegion, PAGE_SIZE};
 use proptest::prelude::*;
+
+/// Arbitrary printable-ASCII strings (the vendored proptest shim has no
+/// regex strategies).
+fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0x20u8..0x7f, 0..max_len.max(1))
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn gateway_status_strategy() -> impl Strategy<Value = GatewayStatus> {
+    prop_oneof![
+        Just(GatewayStatus::Ok),
+        any::<i32>().prop_map(GatewayStatus::Failed),
+        ascii_string(40).prop_map(GatewayStatus::Error),
+        Just(GatewayStatus::Overloaded),
+        Just(GatewayStatus::Expired),
+    ]
+}
 
 /// A random arithmetic expression over two i32 variables, rendered to FL
 /// and mirrored in Rust with wrapping semantics.
@@ -294,5 +313,92 @@ proptest! {
             store.get_range("k", 0, win),
             Some(model[..win].to_vec())
         );
+    }
+
+    /// Gateway requests survive the wire codec for arbitrary field values,
+    /// bare and framed.
+    #[test]
+    fn gateway_request_codec_roundtrip(
+        seq in any::<u64>(),
+        tenant in ascii_string(24),
+        function in ascii_string(24),
+        deadline_ms in any::<u64>(),
+        input in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let req = GatewayRequest { seq, tenant, function, deadline_ms, input };
+        let payload = codec::encode_request(&req);
+        prop_assert_eq!(codec::decode_request(&payload).as_ref(), Some(&req));
+        // And through the checked frame path.
+        let frame = codec::try_encode_frame(&payload).unwrap();
+        let (framed, consumed) = codec::decode_frame(&frame).expect("frame decodes");
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(codec::decode_request(framed), Some(req));
+    }
+
+    /// Gateway responses survive the wire codec for every status shape.
+    #[test]
+    fn gateway_response_codec_roundtrip(
+        seq in any::<u64>(),
+        status in gateway_status_strategy(),
+        output in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let resp = GatewayResponse { seq, status, output };
+        let payload = codec::encode_response(&resp);
+        prop_assert_eq!(codec::decode_response(&payload), Some(resp));
+    }
+
+    /// FrameBuf reassembles any frame sequence from any fragmentation of
+    /// the byte stream: chunk boundaries never change what comes out.
+    #[test]
+    fn framebuf_reassembles_under_arbitrary_splits(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..8),
+        chunk_sizes in prop::collection::vec(1usize..64, 1..64),
+    ) {
+        let stream: Vec<u8> = payloads
+            .iter()
+            .flat_map(|p| codec::try_encode_frame(p).unwrap())
+            .collect();
+        let mut fb = FrameBuf::new();
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        let mut off = 0;
+        let mut i = 0;
+        while off < stream.len() {
+            // Cycle through the generated chunk sizes so every prefix
+            // length gets exercised, draining completed frames as we go
+            // (the interleaving a service loop performs).
+            let n = chunk_sizes[i % chunk_sizes.len()].min(stream.len() - off);
+            i += 1;
+            fb.feed(&stream[off..off + n]);
+            off += n;
+            while let Some(frame) = fb.next_frame().unwrap() {
+                out.push(frame);
+            }
+        }
+        prop_assert_eq!(out, payloads);
+        prop_assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    /// FrameBuf is total on garbage: arbitrary bytes in arbitrary chunks
+    /// either frame, stay pending, or error — never panic, and an error
+    /// always clears the buffer.
+    #[test]
+    fn framebuf_total_on_garbage(
+        garbage in prop::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..48,
+    ) {
+        let mut fb = FrameBuf::new();
+        for piece in garbage.chunks(chunk) {
+            fb.feed(piece);
+            loop {
+                match fb.next_frame() {
+                    Ok(Some(frame)) => prop_assert!(frame.len() <= MAX_FRAME),
+                    Ok(None) => break,
+                    Err(_) => {
+                        prop_assert_eq!(fb.pending_bytes(), 0);
+                        break;
+                    }
+                }
+            }
+        }
     }
 }
