@@ -18,4 +18,7 @@ cargo test --workspace -q
 echo "== remote-ingress example (smoke)"
 cargo run --release --example gateway_remote
 
+echo "== gateway throughput bench, batched mode included (smoke)"
+cargo bench -p faasm-bench --bench gateway_throughput -- --test
+
 echo "CI OK"

@@ -225,6 +225,14 @@ impl BaselineHost {
                         let _ = self.queue_tx.send(QueuedCall { call, reply_to });
                     }
                     Some(InstanceMsg::Result { result }) => self.pending.fulfill(result),
+                    // The container baseline has no batch submit path; a
+                    // batched message still executes every call (protocol
+                    // compatibility with the FAASM ingress tier).
+                    Some(InstanceMsg::InvokeBatch { calls, reply_to }) => {
+                        for call in calls {
+                            let _ = self.queue_tx.send(QueuedCall { call, reply_to });
+                        }
+                    }
                     None => {}
                 },
                 Err(faasm_net::NetError::Timeout) => {}

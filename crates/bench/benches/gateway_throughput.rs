@@ -13,7 +13,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use faasm_core::{Cluster, ClusterConfig};
-use faasm_gateway::{Gateway, GatewayClient, GatewayConfig, GatewayServer, GatewayStatus};
+use faasm_gateway::{
+    Gateway, GatewayClient, GatewayConfig, GatewayServer, GatewayStatus, TenantPolicy,
+};
 
 const WORK: &str = r#"
     extern int input_size();
@@ -32,13 +34,19 @@ const WORK: &str = r#"
     }
 "#;
 
-/// Which front door the load goes through.
+/// Which front door the load goes through, and how.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ingress {
-    /// Direct `Gateway::call` (the PR-1 baseline path).
+    /// Direct blocking `Gateway::call` (the PR-1 baseline path): each
+    /// client thread has at most one request in flight.
     InProcess,
     /// `GatewayClient` → fabric → `GatewayServer` (remote ingress).
     OverFabric,
+    /// Pipelined `Gateway::submit` + deferred `wait`: many requests in
+    /// flight per client, so drained batches actually fill and the
+    /// batch-aware dispatch path (`submit_placed_batch`, one bus message
+    /// per instance per batch) carries the load.
+    Batched,
 }
 
 struct LoadPoint {
@@ -66,11 +74,32 @@ fn drive(ingress: Ingress, offered_rps: u64, requests: usize, clients: usize) ->
         GatewayConfig {
             dispatchers: 4,
             max_batch: 32,
+            // Enough submitted-but-incomplete calls to keep every worker
+            // busy between drains without swamping the instance run queues
+            // (the cluster has 16 workers).
+            max_inflight: 64,
+            // This bench measures dispatch throughput; the pipelined mode
+            // holds a deliberately deep backlog, which would otherwise keep
+            // the autoscaler pre-warming against a queue no warm pool can
+            // shrink (all workers already busy), stealing cycles from the
+            // measurement.
+            autoscale: None,
             ..GatewayConfig::default()
         },
     ));
+    // Open-loop pipelined submission keeps thousands of requests queued at
+    // once (that is the point: full batches). Size the bench tenant's
+    // bounded queue for that, in every mode alike, so the measurement is
+    // of dispatch throughput rather than of the default burst cap.
+    gateway.set_tenant_policy(
+        "bench",
+        TenantPolicy {
+            queue_cap: 32_768,
+            ..TenantPolicy::default()
+        },
+    );
     let server = match ingress {
-        Ingress::InProcess => None,
+        Ingress::InProcess | Ingress::Batched => None,
         Ingress::OverFabric => Some(GatewayServer::start(
             Arc::clone(&gateway),
             cluster.add_fabric_host(),
@@ -96,17 +125,46 @@ fn drive(ingress: Ingress, offered_rps: u64, requests: usize, clients: usize) ->
         handles.push(std::thread::spawn(move || {
             let gap = Duration::from_secs_f64(1.0 / per_client_rps);
             let start = Instant::now();
+            // Pipelined mode: a paired waiter drains responses while this
+            // thread keeps submitting, so the client is never the
+            // serialisation point.
+            let (ticket_tx, ticket_rx) = std::sync::mpsc::channel::<u64>();
+            let waiter = (ingress == Ingress::Batched).then(|| {
+                let gw = Arc::clone(&gw);
+                std::thread::spawn(move || {
+                    let mut ok = 0u64;
+                    let mut shed = 0u64;
+                    for ticket in ticket_rx {
+                        match gw.wait(ticket).status {
+                            GatewayStatus::Ok => ok += 1,
+                            GatewayStatus::Overloaded | GatewayStatus::Expired => shed += 1,
+                            GatewayStatus::Failed(_) | GatewayStatus::Error(_) => {}
+                        }
+                    }
+                    (ok, shed)
+                })
+            });
             let mut ok = 0u64;
             let mut shed = 0u64;
+            // Batched clients pace in small bursts: the offered rate is the
+            // same, but a sleep per request would cost 16k timer wakeups a
+            // second at the top load — measuring the clock, not the tier.
+            let burst = if ingress == Ingress::Batched { 16 } else { 1 };
             for i in 0..n {
                 // Open-loop pacing: send at the offered rate regardless of
                 // completions (the honest way to measure an ingress tier).
-                let due = start + gap * i as u32;
-                let now = Instant::now();
-                if due > now {
-                    std::thread::sleep(due - now);
+                if i % burst == 0 {
+                    let due = start + gap * i as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
                 }
                 let input = (i as i32 + c as i32).to_le_bytes().to_vec();
+                if ingress == Ingress::Batched {
+                    let _ = ticket_tx.send(gw.submit("bench", "work", input));
+                    continue;
+                }
                 let status = match &remote {
                     Some(client) => match client.call("bench", "work", input) {
                         Ok(resp) => resp.status,
@@ -119,6 +177,12 @@ fn drive(ingress: Ingress, offered_rps: u64, requests: usize, clients: usize) ->
                     GatewayStatus::Overloaded | GatewayStatus::Expired => shed += 1,
                     GatewayStatus::Failed(_) | GatewayStatus::Error(_) => {}
                 }
+            }
+            drop(ticket_tx);
+            if let Some(w) = waiter {
+                let (w_ok, w_shed) = w.join().expect("waiter thread");
+                ok += w_ok;
+                shed += w_shed;
             }
             (ok, shed)
         }));
@@ -148,6 +212,7 @@ fn run_mode(ingress: Ingress, loads: &[(u64, usize)]) -> Vec<LoadPoint> {
     let label = match ingress {
         Ingress::InProcess => "in-process",
         Ingress::OverFabric => "over-fabric",
+        Ingress::Batched => "batched",
     };
     let mut points = Vec::new();
     println!(
@@ -200,13 +265,15 @@ fn main() {
 
     let local = run_mode(Ingress::InProcess, loads);
     let remote = run_mode(Ingress::OverFabric, loads);
+    let batched = run_mode(Ingress::Batched, loads);
 
     // The wire + service loop should cost well under a 2x throughput hit
     // at saturation (the remote-ingress acceptance bar).
     let local_peak = local.iter().map(|p| p.sustained_rps).fold(0.0, f64::max);
     let remote_peak = remote.iter().map(|p| p.sustained_rps).fold(0.0, f64::max);
+    let batched_peak = batched.iter().map(|p| p.sustained_rps).fold(0.0, f64::max);
     println!(
-        "\npeak sustained: in-process {local_peak:.0} req/s, over-fabric {remote_peak:.0} req/s ({:.2}x)",
+        "\npeak sustained: in-process {local_peak:.0} req/s, over-fabric {remote_peak:.0} req/s ({:.2}x), batched {batched_peak:.0} req/s",
         local_peak / remote_peak.max(1.0)
     );
 
@@ -222,6 +289,8 @@ fn main() {
     json.push_str(&json_points(&local));
     json.push_str("  ],\n  \"loads_over_fabric\": [\n");
     json.push_str(&json_points(&remote));
+    json.push_str("  ],\n  \"loads_batched\": [\n");
+    json.push_str(&json_points(&batched));
     json.push_str("  ]\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway.json");
     match std::fs::write(path, &json) {

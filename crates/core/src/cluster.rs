@@ -18,8 +18,9 @@ use parking_lot::Mutex;
 
 use crate::error::CoreError;
 use crate::guest::{FunctionDef, FunctionRegistry, GuestCode, NativeGuest};
-use crate::instance::{FaasmInstance, InstanceConfig, Pending};
+use crate::instance::{FaasmInstance, InstanceConfig};
 use crate::msg::{decode_msg, encode_msg, InstanceMsg};
+use crate::pending::Pending;
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -585,6 +586,149 @@ mod tests {
             assert_eq!(r.output, vec![i as u8]);
         }
         assert_eq!(cluster.total_calls(), 32);
+    }
+
+    #[test]
+    fn batch_submit_matches_per_call_submit() {
+        use crate::ctx::ChainRouter;
+        use crate::instance::PlacedCall;
+        use std::sync::mpsc;
+
+        let cluster = Cluster::new(1);
+        cluster
+            .upload_fl("u", "echo", ECHO, UploadOptions::default())
+            .unwrap();
+        let inst = &cluster.instances()[0];
+
+        // Per-call path: one submit_placed + await_call each.
+        let per_call: Vec<Vec<u8>> = (0..8u8)
+            .map(|i| {
+                let id = inst.submit_placed("u", "echo", vec![i, i + 1]);
+                inst.await_call(id)
+            })
+            .map(|r| {
+                assert_eq!(r.status, CallStatus::Success);
+                r.output
+            })
+            .collect();
+
+        // Batch path: one bus message for all eight, completion callbacks.
+        let (tx, rx) = mpsc::channel();
+        let calls: Vec<PlacedCall> = (0..8u8)
+            .map(|i| {
+                let tx = tx.clone();
+                PlacedCall {
+                    user: "u".into(),
+                    function: "echo".into(),
+                    input: vec![i, i + 1],
+                    on_complete: Box::new(move |result| {
+                        let _ = tx.send(result);
+                    }),
+                }
+            })
+            .collect();
+        let ids = inst.submit_placed_batch(calls);
+        assert_eq!(ids.len(), 8);
+        let mut batched: Vec<(u64, Vec<u8>)> = (0..8)
+            .map(|_| {
+                let r = rx
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("batch completion");
+                assert_eq!(r.status, CallStatus::Success);
+                (r.id.0, r.output)
+            })
+            .collect();
+        batched.sort_by_key(|(id, _)| *id);
+        let batched: Vec<Vec<u8>> = batched.into_iter().map(|(_, out)| out).collect();
+        assert_eq!(batched, per_call, "batched results must match per-call");
+        assert_eq!(cluster.total_calls(), 16);
+    }
+
+    #[test]
+    fn shutdown_answers_every_batched_callback() {
+        use crate::instance::PlacedCall;
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        // One host, slow native calls: most of the batch is still queued
+        // when shutdown runs. Every callback must fire anyway — a leaked
+        // callback would wedge any ingress tier counting in-flight slots.
+        let cluster = Cluster::new(1);
+        let slow: Arc<dyn NativeGuest> = Arc::new(|api: &mut NativeApi<'_>| {
+            std::thread::sleep(Duration::from_millis(20));
+            api.write_output(b"done");
+            Ok(0)
+        });
+        cluster.register_native("u", "slow", slow, false);
+        let inst = &cluster.instances()[0];
+        let (tx, rx) = mpsc::channel();
+        let calls: Vec<PlacedCall> = (0..16)
+            .map(|_| {
+                let tx = tx.clone();
+                PlacedCall {
+                    user: "u".into(),
+                    function: "slow".into(),
+                    input: Vec::new(),
+                    on_complete: Box::new(move |result| {
+                        let _ = tx.send(result);
+                    }),
+                }
+            })
+            .collect();
+        let ids = inst.submit_placed_batch(calls);
+        assert_eq!(ids.len(), 16);
+        std::thread::sleep(Duration::from_millis(5));
+        inst.shutdown();
+        for i in 0..16 {
+            let r = rx
+                .recv_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|_| panic!("callback {i} never fired after shutdown"));
+            assert!(
+                matches!(r.status, CallStatus::Success | CallStatus::Error(_)),
+                "terminal answer expected, got {:?}",
+                r.status
+            );
+        }
+    }
+
+    #[test]
+    fn forward_is_counted_only_on_successful_send() {
+        use crate::ctx::ChainRouter;
+
+        // Positive case: a live warm peer really receives the forward.
+        let cluster = Cluster::new(2);
+        cluster
+            .upload_fl("u", "echo", ECHO, UploadOptions::default())
+            .unwrap();
+        let a = &cluster.instances()[0];
+        let b = &cluster.instances()[1];
+        // Warm the function on B only, so A's local decision forwards.
+        let id = b.submit_placed("u", "echo", vec![1]);
+        assert_eq!(b.await_call(id).status, CallStatus::Success);
+        let r = a.invoke_local("u", "echo", vec![2]);
+        assert_eq!(r.status, CallStatus::Success);
+        assert_eq!(a.metrics().forwarded(), 1, "delivered forward counts");
+
+        // Regression: a vanished peer that falls back to local execution
+        // must NOT count as forwarded (stats measured, not modelled).
+        let cluster = Cluster::new(2);
+        cluster
+            .upload_fl("u", "echo", ECHO, UploadOptions::default())
+            .unwrap();
+        let b = &cluster.instances()[1];
+        let id = b.submit_placed("u", "echo", vec![1]);
+        assert_eq!(b.await_call(id).status, CallStatus::Success);
+        // Kill B: it stays in the global warm set (stale entry), but the
+        // fabric send to it now fails.
+        cluster.kill_instance(1);
+        let a = &cluster.instances()[0];
+        let r = a.invoke_local("u", "echo", vec![3]);
+        assert_eq!(r.status, CallStatus::Success, "local fallback executes");
+        assert_eq!(
+            a.metrics().forwarded(),
+            0,
+            "a send that never left the host is not a forward"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use faasm_net::{Fabric, HostId, Nic};
 use faasm_sched::{decide, CallId, CallResult, CallSpec, Decision, Placement, WarmSets};
 use faasm_state::StateManager;
 use faasm_vfs::{HostFs, ObjectStore};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 
 use crate::cgroup::CgroupCpu;
 use crate::ctx::ChainRouter;
@@ -28,6 +28,7 @@ use crate::guest::{FunctionRegistry, GuestCode};
 use crate::hostfuncs::faaslet_linker;
 use crate::metrics::{Metrics, StartKind};
 use crate::msg::{decode_msg, encode_msg, InstanceMsg};
+use crate::pending::{Pending, PendingCallback};
 use crate::proto::{ProtoFaaslet, ProtoRef};
 
 /// Instance tuning knobs.
@@ -63,50 +64,27 @@ struct QueuedCall {
     reply_to: HostId,
 }
 
-/// Blocking result slots shared between awaiters and the message bus; also
-/// used by embedders building their own gateways (e.g. the container
-/// baseline platform).
-#[derive(Debug, Default)]
-pub struct Pending {
-    slots: Mutex<HashMap<u64, Option<CallResult>>>,
-    cv: Condvar,
+/// One pre-placed call in a [`FaasmInstance::submit_placed_batch`], with
+/// its completion hook: `on_complete` is invoked exactly once with the
+/// terminal result, from whichever thread produced it.
+pub struct PlacedCall {
+    /// Owning tenant.
+    pub user: String,
+    /// Function name.
+    pub function: String,
+    /// Input bytes.
+    pub input: Vec<u8>,
+    /// Completion callback (no thread parks per in-flight call).
+    pub on_complete: PendingCallback<CallResult>,
 }
 
-impl Pending {
-    /// Reserve a slot for a call about to be dispatched.
-    pub fn register(&self, id: u64) {
-        self.slots.lock().entry(id).or_insert(None);
-    }
-
-    /// Deliver a result, waking any waiter.
-    pub fn fulfill(&self, result: CallResult) {
-        self.slots.lock().insert(result.id.0, Some(result));
-        self.cv.notify_all();
-    }
-
-    /// Take a completed result without blocking.
-    pub fn try_take(&self, id: u64) -> Option<CallResult> {
-        let mut slots = self.slots.lock();
-        if matches!(slots.get(&id), Some(Some(_))) {
-            return slots.remove(&id).flatten();
-        }
-        None
-    }
-
-    /// Block up to `timeout` for a result.
-    pub fn wait(&self, id: u64, timeout: Duration) -> Option<CallResult> {
-        let deadline = Instant::now() + timeout;
-        let mut slots = self.slots.lock();
-        loop {
-            if matches!(slots.get(&id), Some(Some(_))) {
-                return slots.remove(&id).flatten();
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            self.cv.wait_for(&mut slots, deadline - now);
-        }
+impl std::fmt::Debug for PlacedCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlacedCall")
+            .field("user", &self.user)
+            .field("function", &self.function)
+            .field("input_len", &self.input.len())
+            .finish()
     }
 }
 
@@ -133,6 +111,14 @@ pub struct FaasmInstance {
     call_seq: Arc<AtomicU64>,
     rotation: AtomicUsize,
     stop: Arc<AtomicBool>,
+    /// Orders batch submits against shutdown: submitters hold a read guard
+    /// across their stop-check + send, and shutdown barriers on the write
+    /// side after setting `stop` — so every message a submitter managed to
+    /// send is already in the NIC queue when shutdown's drain runs, and
+    /// every later submitter observes `stop` and fails fast. Without this,
+    /// a submitter descheduled between check and send could land a batch
+    /// nobody will ever answer.
+    shutdown_gate: RwLock<()>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     config: InstanceConfig,
 }
@@ -187,6 +173,7 @@ impl FaasmInstance {
             call_seq,
             rotation: AtomicUsize::new(0),
             stop: Arc::new(AtomicBool::new(false)),
+            shutdown_gate: RwLock::new(()),
             threads: Mutex::new(Vec::new()),
             config,
         });
@@ -377,6 +364,15 @@ impl FaasmInstance {
                         forwarded,
                     }) => self.handle_invoke(call, reply_to, forwarded),
                     Some(InstanceMsg::Result { result }) => self.pending.fulfill(result),
+                    // Batched calls were already placed by an ingress tier:
+                    // queue them all, skipping the local scheduling decision
+                    // (like forwarded calls — re-deciding would fight the
+                    // placement that chose this host).
+                    Some(InstanceMsg::InvokeBatch { calls, reply_to }) => {
+                        for call in calls {
+                            let _ = self.queue_tx.send(QueuedCall { call, reply_to });
+                        }
+                    }
                     // Non-protocol traffic (e.g. a guest socket aimed at a
                     // runtime host) is dropped.
                     None => {}
@@ -414,13 +410,16 @@ impl FaasmInstance {
                 let _ = self.queue_tx.send(QueuedCall { call, reply_to });
             }
             Placement::Forward(other) => {
-                self.metrics.record_forward();
                 let msg = encode_msg(&InstanceMsg::Invoke {
                     call: call.clone(),
                     reply_to,
                     forwarded: true,
                 });
-                if self.nic.send(other, msg).is_err() {
+                if self.nic.send(other, msg).is_ok() {
+                    // Counted only after the send succeeds: a vanished peer
+                    // forwards nothing ("stats measured, not modelled").
+                    self.metrics.record_forward();
+                } else {
                     // Peer vanished: run it here after all.
                     let _ = self.queue_tx.send(QueuedCall { call, reply_to });
                 }
@@ -535,8 +534,13 @@ impl FaasmInstance {
                     .record_start(StartKind::Cold, t0.elapsed().as_nanos() as u64);
                 if let Some(proto) = f.capture_proto() {
                     let proto = Arc::new(proto);
-                    self.object_store
-                        .put(&ProtoFaaslet::store_path(&key.0, &key.1), proto.to_bytes());
+                    // A snapshot too large for the wire encoding stays
+                    // host-local: restores here still work from the cache,
+                    // other hosts cold start (never a corrupt frame).
+                    if let Ok(bytes) = proto.to_bytes() {
+                        self.object_store
+                            .put(&ProtoFaaslet::store_path(&key.0, &key.1), bytes);
+                    }
                     self.protos.write().insert(key.clone(), proto);
                 }
                 Ok(f)
@@ -590,6 +594,74 @@ impl FaasmInstance {
         id
     }
 
+    /// Queue `calls` for execution on this instance as **one bus message**
+    /// ([`InstanceMsg::InvokeBatch`]), bypassing the local scheduling
+    /// decision like [`submit_placed`](Self::submit_placed). Each call's
+    /// `on_complete` is invoked exactly once with its terminal result, from
+    /// the worker that produced it — no thread parks per in-flight call, so
+    /// an ingress dispatcher can return to draining immediately.
+    ///
+    /// Returns the assigned call ids, in input order.
+    pub fn submit_placed_batch(&self, calls: Vec<PlacedCall>) -> Vec<CallId> {
+        let mut specs = Vec::with_capacity(calls.len());
+        let mut ids = Vec::with_capacity(calls.len());
+        for call in calls {
+            let id = CallId(self.call_seq.fetch_add(1, Ordering::Relaxed));
+            // A call whose encoding would wrap the batch codec's u32
+            // length prefix corrupts the whole message (the receiver drops
+            // it, losing every call in the batch): fail just this call
+            // fast instead. 24 bytes cover the id and length prefixes.
+            let encoded = call
+                .user
+                .len()
+                .saturating_add(call.function.len())
+                .saturating_add(call.input.len())
+                .saturating_add(24);
+            if encoded > u32::MAX as usize {
+                (call.on_complete)(CallResult::error(id, "call too large for batch submit"));
+                ids.push(id);
+                continue;
+            }
+            // Register-before-fulfill: the callback must be in place before
+            // any worker can deliver the result.
+            self.pending.register_callback(id.0, call.on_complete);
+            specs.push(CallSpec {
+                id,
+                user: call.user,
+                function: call.function,
+                input: call.input,
+            });
+            ids.push(id);
+        }
+        if specs.is_empty() {
+            return ids;
+        }
+        let registered: Vec<CallId> = specs.iter().map(|s| s.id).collect();
+        let msg = encode_msg(&InstanceMsg::InvokeBatch {
+            calls: specs,
+            reply_to: self.host_id,
+        });
+        // One self-addressed bus message for the whole batch: N calls cost
+        // one message-bus hop instead of N, and the fabric's byte counters
+        // see the real coordination cost. The gate guarantees that if the
+        // send happens, it happens before shutdown's drain (which will
+        // answer it), and that a stop observed here is final.
+        let failed = {
+            let _submitting = self.shutdown_gate.read();
+            self.stop.load(Ordering::Relaxed) || self.nic.send(self.host_id, msg).is_err()
+        };
+        if failed {
+            // Instance shutting down or fabric host gone: the bus loop will
+            // never queue these, so answer every registered callback now
+            // (oversized calls were already answered above).
+            for id in &registered {
+                self.pending
+                    .fulfill(CallResult::error(*id, "runtime shutting down"));
+            }
+        }
+        ids
+    }
+
     /// Direct (test/benchmark) entry: run a call on this instance and wait.
     pub fn invoke_local(
         self: &Arc<Self>,
@@ -604,9 +676,45 @@ impl FaasmInstance {
     /// Stop threads and drop pooled Faaslets. Idempotent.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Barrier against in-flight batch submitters: once the write guard
+        // is acquired, every submitter has either finished its send (the
+        // message is in the NIC queue, the drain below answers it) or will
+        // observe `stop` under the read guard and fail its batch fast.
+        drop(self.shutdown_gate.write());
         let handles: Vec<_> = self.threads.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        // Answer everything the stopped threads will never execute: calls
+        // still in the run queue, and bus messages the bus loop never
+        // decoded. Without this, completion callbacks registered by batch
+        // submitters never fire — a gateway would leak its in-flight slots
+        // and wedge once enough accumulated.
+        while let Ok(q) = self.queue_rx.try_recv() {
+            self.deliver(
+                CallResult::error(q.call.id, "runtime shutting down"),
+                q.reply_to,
+            );
+        }
+        while let Some(env) = self.nic.try_recv() {
+            match decode_msg(&env.payload) {
+                Some(InstanceMsg::Invoke { call, reply_to, .. }) => {
+                    self.deliver(
+                        CallResult::error(call.id, "runtime shutting down"),
+                        reply_to,
+                    );
+                }
+                Some(InstanceMsg::InvokeBatch { calls, reply_to }) => {
+                    for call in calls {
+                        self.deliver(
+                            CallResult::error(call.id, "runtime shutting down"),
+                            reply_to,
+                        );
+                    }
+                }
+                Some(InstanceMsg::Result { result }) => self.pending.fulfill(result),
+                None => {}
+            }
         }
         // Break the Arc cycle (pool faaslets hold the instance as router).
         self.pool.lock().clear();

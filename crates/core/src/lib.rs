@@ -58,6 +58,7 @@ pub mod hostfuncs;
 pub mod instance;
 pub mod metrics;
 pub mod msg;
+pub mod pending;
 pub mod proto;
 pub mod rng;
 
@@ -68,9 +69,10 @@ pub use error::CoreError;
 pub use faaslet::{EgressLimit, Faaslet, FaasletEnv, NATIVE_BASE_BYTES};
 pub use guest::{FunctionDef, FunctionRegistry, GuestCode, NativeGuest};
 pub use hostfuncs::faaslet_linker;
-pub use instance::{FaasmInstance, InstanceConfig, Pending};
+pub use instance::{FaasmInstance, InstanceConfig, PlacedCall};
 pub use metrics::{percentile, GatewayMetrics, Metrics, StartKind};
-pub use proto::{ProtoFaaslet, ProtoRef};
+pub use pending::{Pending, PendingCallback, PendingMap};
+pub use proto::{ProtoEncodeError, ProtoFaaslet, ProtoRef};
 
 // Re-export the call types every embedder needs.
 pub use faasm_sched::{CallId, CallResult, CallSpec, CallStatus};

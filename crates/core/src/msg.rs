@@ -26,6 +26,16 @@ pub enum InstanceMsg {
         /// The result.
         result: CallResult,
     },
+    /// N already-placed calls in one bus message (batch-aware dispatch:
+    /// the coordination cost the paper's scheduler counts is per-message,
+    /// not per-call). Batched calls skip the local scheduling decision and
+    /// execute on the receiving host, like forwarded calls.
+    InvokeBatch {
+        /// The calls to execute, in order.
+        calls: Vec<CallSpec>,
+        /// Where every result goes.
+        reply_to: HostId,
+    },
 }
 
 /// Encode a message for the fabric.
@@ -45,6 +55,26 @@ pub fn encode_msg(msg: &InstanceMsg) -> Vec<u8> {
         InstanceMsg::Result { result } => {
             out.put_u8(1);
             out.extend_from_slice(&encode_result(result));
+        }
+        InstanceMsg::InvokeBatch { calls, reply_to } => {
+            out.put_u8(2);
+            out.put_u32_le(reply_to.0);
+            out.put_u32_le(calls.len() as u32);
+            for call in calls {
+                // Each call is length-prefixed: `decode_call` consumes an
+                // exact buffer, so the decoder needs the boundaries. A
+                // wrapped prefix would make the receiver drop the whole
+                // batch; senders must bound call sizes (the runtime's
+                // batch submit rejects oversized calls before encoding).
+                let bytes = encode_call(call);
+                debug_assert!(
+                    u32::try_from(bytes.len()).is_ok(),
+                    "batched call length {} wraps the u32 prefix",
+                    bytes.len()
+                );
+                out.put_u32_le(bytes.len() as u32);
+                out.extend_from_slice(&bytes);
+            }
         }
     }
     out
@@ -72,6 +102,31 @@ pub fn decode_msg(mut buf: &[u8]) -> Option<InstanceMsg> {
         1 => Some(InstanceMsg::Result {
             result: decode_result(buf)?,
         }),
+        2 => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let reply_to = HostId(buf.get_u32_le());
+            let count = buf.get_u32_le() as usize;
+            // Cap the preallocation by what the buffer could possibly hold
+            // (a hostile count must not drive a huge allocation).
+            let mut calls = Vec::with_capacity(count.min(buf.remaining() / 4 + 1));
+            for _ in 0..count {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                calls.push(decode_call(&buf[..len])?);
+                buf.advance(len);
+            }
+            if buf.has_remaining() {
+                return None;
+            }
+            Some(InstanceMsg::InvokeBatch { calls, reply_to })
+        }
         _ => None,
     }
 }
@@ -109,9 +164,54 @@ mod tests {
     }
 
     #[test]
+    fn invoke_batch_roundtrip() {
+        let calls: Vec<CallSpec> = (0..3)
+            .map(|i| CallSpec {
+                id: CallId(100 + i),
+                user: "tenant".into(),
+                function: format!("f{i}"),
+                input: vec![i as u8; i as usize],
+            })
+            .collect();
+        let msg = InstanceMsg::InvokeBatch {
+            calls,
+            reply_to: HostId(9),
+        };
+        assert_eq!(decode_msg(&encode_msg(&msg)), Some(msg));
+        // Empty batches are legal on the wire.
+        let empty = InstanceMsg::InvokeBatch {
+            calls: Vec::new(),
+            reply_to: HostId(0),
+        };
+        assert_eq!(decode_msg(&encode_msg(&empty)), Some(empty));
+    }
+
+    #[test]
     fn malformed_rejected() {
         assert_eq!(decode_msg(&[]), None);
         assert_eq!(decode_msg(&[7]), None);
         assert_eq!(decode_msg(&[0, 1, 2]), None);
+        // Batch with a hostile count and no payload.
+        let mut bad = vec![2u8];
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_msg(&bad), None);
+        // Truncated batch: cut anywhere must reject, trailing bytes too.
+        let msg = InstanceMsg::InvokeBatch {
+            calls: vec![CallSpec {
+                id: CallId(1),
+                user: "u".into(),
+                function: "f".into(),
+                input: vec![1, 2, 3],
+            }],
+            reply_to: HostId(2),
+        };
+        let good = encode_msg(&msg);
+        for cut in 1..good.len() {
+            assert_eq!(decode_msg(&good[..cut]), None, "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(decode_msg(&trailing), None);
     }
 }

@@ -1,0 +1,398 @@
+//! Completion slots shared by every submit/await pair in the system.
+//!
+//! The runtime instance's `Pending`, the cluster front door and the
+//! gateway's completion table are all the same data structure — a slot map
+//! keyed by call/ticket id plus a condvar — differing only in two policies:
+//!
+//! * **store-unregistered**: whether a result arriving for an id nobody
+//!   registered is parked for a later taker (the message-bus semantics:
+//!   results may beat the waiter to the map) or dropped (the gateway
+//!   semantics: a slot abandoned by a timed-out waiter must not leak its
+//!   response).
+//! * **TTL sweep**: whether fulfilled slots nobody ever claims
+//!   (fire-and-forget submits) are eventually swept.
+//!
+//! [`PendingMap`] captures both behind knobs; [`Pending`] is the
+//! store-unregistered instantiation over [`CallResult`] used by the runtime,
+//! the cluster ingress and the container baseline.
+//!
+//! **Register-before-fulfill invariant.** Waiter-style callers must
+//! [`PendingMap::register`] an id *before* the work that fulfils it is
+//! dispatched; otherwise a non-storing map drops the result and the waiter
+//! blocks out its timeout. The in-tree callers hold this: the cluster front
+//! door registers before `Nic::send`, the instance registers in
+//! `chain_call`/`submit_placed` before queueing, the baseline platform
+//! registers before its gateway send, and the gateway registers a ticket
+//! before admission. Callback waiters ([`PendingMap::register_callback`])
+//! are exempt — a callback registered after an early fulfilment is invoked
+//! immediately when the map stores unregistered results.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use faasm_sched::CallResult;
+use parking_lot::{Condvar, Mutex};
+
+/// A completion hook invoked exactly once with the terminal value, from
+/// whichever thread fulfilled it.
+pub type PendingCallback<T> = Box<dyn FnOnce(T) + Send>;
+
+/// One id's completion state.
+enum Slot<T> {
+    /// Registered; a blocking waiter will claim it.
+    Waiting,
+    /// Fulfilled, awaiting its taker; swept after the TTL (if any).
+    Ready(T, Instant),
+    /// A callback waiter: fulfilment invokes the hook instead of parking
+    /// the value, so no thread blocks per in-flight id.
+    Callback(PendingCallback<T>),
+}
+
+impl<T> std::fmt::Debug for Slot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Waiting => f.write_str("Waiting"),
+            Slot::Ready(..) => f.write_str("Ready"),
+            Slot::Callback(_) => f.write_str("Callback"),
+        }
+    }
+}
+
+/// The slot map plus the bookkeeping that keeps the TTL sweep off the hot
+/// path: `fulfilled` counts delivered-but-unclaimed slots (live waiters do
+/// not trigger sweeps) and `last_sweep` rate-limits full-map scans.
+#[derive(Debug)]
+struct Slots<T> {
+    map: HashMap<u64, Slot<T>>,
+    fulfilled: usize,
+    last_sweep: Instant,
+}
+
+/// Unclaimed fulfilled-slot count above which `fulfill` runs the TTL sweep.
+const SWEEP_THRESHOLD: usize = 256;
+
+/// Generic completion slots: id → eventual value, with blocking and
+/// callback waiters. See the module docs for the two policy knobs.
+#[derive(Debug)]
+pub struct PendingMap<T> {
+    slots: Mutex<Slots<T>>,
+    cv: Condvar,
+    store_unregistered: bool,
+    ttl: Option<Duration>,
+}
+
+impl<T: Send> Default for PendingMap<T> {
+    fn default() -> PendingMap<T> {
+        PendingMap::new(true, None)
+    }
+}
+
+impl<T: Send> PendingMap<T> {
+    /// A map with explicit policies: `store_unregistered` parks values
+    /// fulfilled for ids nobody registered (message-bus semantics; such a
+    /// map also keeps timed-out waiters' slots so a late value is not
+    /// lost), `ttl` sweeps fulfilled-but-unclaimed slots after the given
+    /// age (fire-and-forget hygiene).
+    pub fn new(store_unregistered: bool, ttl: Option<Duration>) -> PendingMap<T> {
+        PendingMap {
+            slots: Mutex::new(Slots {
+                map: HashMap::new(),
+                fulfilled: 0,
+                last_sweep: Instant::now(),
+            }),
+            cv: Condvar::new(),
+            store_unregistered,
+            ttl,
+        }
+    }
+
+    /// Reserve a slot for an id about to be dispatched.
+    pub fn register(&self, id: u64) {
+        self.slots.lock().map.entry(id).or_insert(Slot::Waiting);
+    }
+
+    /// Register a callback waiter: fulfilment invokes `cb` exactly once
+    /// with the value, outside the map lock. If a value is already parked
+    /// for `id` (store-unregistered maps), the callback runs immediately.
+    pub fn register_callback(&self, id: u64, cb: PendingCallback<T>) {
+        let ready = {
+            let mut slots = self.slots.lock();
+            if matches!(slots.map.get(&id), Some(Slot::Ready(..))) {
+                slots.fulfilled = slots.fulfilled.saturating_sub(1);
+                match slots.map.remove(&id) {
+                    Some(Slot::Ready(v, _)) => Some(v),
+                    _ => unreachable!("checked Ready above"),
+                }
+            } else {
+                slots.map.insert(id, Slot::Callback(cb));
+                return;
+            }
+        };
+        if let Some(v) = ready {
+            cb(v);
+        }
+    }
+
+    /// Deliver a value: invokes a registered callback (outside the lock),
+    /// wakes a blocking waiter, or — on store-unregistered maps — parks it
+    /// for a later taker. Non-storing maps drop values for unknown ids (the
+    /// waiter abandoned its slot).
+    pub fn fulfill(&self, id: u64, value: T) {
+        let mut value = Some(value);
+        let mut callback = None;
+        {
+            let mut slots = self.slots.lock();
+            if matches!(slots.map.get(&id), Some(Slot::Callback(_))) {
+                if let Some(Slot::Callback(cb)) = slots.map.remove(&id) {
+                    callback = Some(cb);
+                }
+            } else {
+                let known = slots.map.contains_key(&id);
+                if known || self.store_unregistered {
+                    if !matches!(slots.map.get(&id), Some(Slot::Ready(..))) {
+                        slots.fulfilled += 1;
+                    }
+                    let v = value.take().expect("value present");
+                    slots.map.insert(id, Slot::Ready(v, Instant::now()));
+                    self.cv.notify_all();
+                }
+            }
+            // Sweep abandoned (fulfilled, never-claimed) slots — but only
+            // when enough have accumulated and not more often than ttl/4,
+            // so steady traffic never pays an O(n) scan per completion.
+            if let Some(ttl) = self.ttl {
+                if slots.fulfilled > SWEEP_THRESHOLD && slots.last_sweep.elapsed() >= ttl / 4 {
+                    Self::sweep_slots(&mut slots, ttl);
+                }
+            }
+        }
+        // Invoked outside the lock: the callback may do arbitrary work
+        // (encode + fabric send) and must not hold up other completions.
+        if let Some(cb) = callback {
+            cb(value.take().expect("value present"));
+        }
+    }
+
+    /// Take a fulfilled value without blocking.
+    pub fn try_take(&self, id: u64) -> Option<T> {
+        let mut slots = self.slots.lock();
+        if matches!(slots.map.get(&id), Some(Slot::Ready(..))) {
+            slots.fulfilled = slots.fulfilled.saturating_sub(1);
+            match slots.map.remove(&id) {
+                Some(Slot::Ready(v, _)) => return Some(v),
+                _ => unreachable!("checked Ready above"),
+            }
+        }
+        None
+    }
+
+    /// Block up to `timeout` for a value. On timeout, non-storing maps
+    /// abandon the slot (a late value is dropped, not leaked);
+    /// store-unregistered maps keep it so a later wait or take still
+    /// succeeds.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut slots = self.slots.lock();
+        loop {
+            if matches!(slots.map.get(&id), Some(Slot::Ready(..))) {
+                slots.fulfilled = slots.fulfilled.saturating_sub(1);
+                match slots.map.remove(&id) {
+                    Some(Slot::Ready(v, _)) => return Some(v),
+                    _ => unreachable!("checked Ready above"),
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                if !self.store_unregistered {
+                    slots.map.remove(&id);
+                }
+                return None;
+            }
+            self.cv.wait_for(&mut slots, deadline - now);
+        }
+    }
+
+    /// Run the TTL sweep now (tests, shutdown): drops fulfilled slots older
+    /// than the TTL. No-op on maps without one.
+    pub fn sweep(&self) {
+        if let Some(ttl) = self.ttl {
+            Self::sweep_slots(&mut self.slots.lock(), ttl);
+        }
+    }
+
+    /// Slots currently tracked (waiting, fulfilled or callback).
+    pub fn len(&self) -> usize {
+        self.slots.lock().map.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn sweep_slots(slots: &mut Slots<T>, ttl: Duration) {
+        slots
+            .map
+            .retain(|_, slot| !matches!(slot, Slot::Ready(_, at) if at.elapsed() >= ttl));
+        slots.fulfilled = slots
+            .map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(..)))
+            .count();
+        slots.last_sweep = Instant::now();
+    }
+}
+
+/// Blocking result slots shared between awaiters and the message bus; also
+/// used by embedders building their own gateways (e.g. the container
+/// baseline platform). A store-unregistered [`PendingMap`] over
+/// [`CallResult`], keyed by call id.
+#[derive(Debug, Default)]
+pub struct Pending {
+    map: PendingMap<CallResult>,
+}
+
+impl Pending {
+    /// Reserve a slot for a call about to be dispatched.
+    pub fn register(&self, id: u64) {
+        self.map.register(id);
+    }
+
+    /// Register a completion callback for a call about to be dispatched
+    /// (the batch-submit path: no thread parks per in-flight call).
+    pub fn register_callback(&self, id: u64, cb: PendingCallback<CallResult>) {
+        self.map.register_callback(id, cb);
+    }
+
+    /// Deliver a result, waking any waiter or invoking its callback.
+    pub fn fulfill(&self, result: CallResult) {
+        self.map.fulfill(result.id.0, result);
+    }
+
+    /// Take a completed result without blocking.
+    pub fn try_take(&self, id: u64) -> Option<CallResult> {
+        self.map.try_take(id)
+    }
+
+    /// Block up to `timeout` for a result.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<CallResult> {
+        self.map.wait(id, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn store_unregistered_parks_early_results() {
+        let m: PendingMap<u32> = PendingMap::new(true, None);
+        m.fulfill(7, 70);
+        assert_eq!(m.try_take(7), Some(70));
+        assert_eq!(m.try_take(7), None, "taken once");
+    }
+
+    #[test]
+    fn non_storing_drops_unregistered_results() {
+        let m: PendingMap<u32> = PendingMap::new(false, None);
+        m.fulfill(7, 70);
+        assert_eq!(m.try_take(7), None);
+        assert!(m.is_empty());
+        // Registered ids are delivered.
+        m.register(8);
+        m.fulfill(8, 80);
+        assert_eq!(m.try_take(8), Some(80));
+    }
+
+    #[test]
+    fn wait_timeout_policies_differ() {
+        let storing: PendingMap<u32> = PendingMap::new(true, None);
+        storing.register(1);
+        assert_eq!(storing.wait(1, Duration::from_millis(5)), None);
+        // Slot survived the timeout: a late result still lands.
+        storing.fulfill(1, 10);
+        assert_eq!(storing.try_take(1), Some(10));
+
+        let dropping: PendingMap<u32> = PendingMap::new(false, None);
+        dropping.register(1);
+        assert_eq!(dropping.wait(1, Duration::from_millis(5)), None);
+        // Slot abandoned: the late result is dropped.
+        dropping.fulfill(1, 10);
+        assert_eq!(dropping.try_take(1), None);
+    }
+
+    #[test]
+    fn callback_fires_once_from_fulfill() {
+        let m: PendingMap<u32> = PendingMap::new(false, None);
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        m.register_callback(
+            3,
+            Box::new(move |v| {
+                assert_eq!(v, 33);
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        m.fulfill(3, 33);
+        m.fulfill(3, 34); // second fulfilment has no slot to land in
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn callback_registered_after_parked_result_fires_immediately() {
+        let m: PendingMap<u32> = PendingMap::new(true, None);
+        m.fulfill(5, 55);
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        m.register_callback(
+            5,
+            Box::new(move |v| {
+                assert_eq!(v, 55);
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn blocking_waiter_wakes_on_fulfill() {
+        let m: Arc<PendingMap<u32>> = Arc::new(PendingMap::new(true, None));
+        m.register(9);
+        let waiter = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.wait(9, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        m.fulfill(9, 99);
+        assert_eq!(waiter.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn ttl_sweep_drops_only_stale_ready_slots() {
+        let m: PendingMap<u32> = PendingMap::new(false, Some(Duration::ZERO));
+        m.register(1); // waiting: must survive
+        m.register_callback(2, Box::new(|_| {})); // callback: must survive
+        m.register(3);
+        m.fulfill(3, 30); // ready with ttl 0: sweepable
+        m.sweep();
+        assert_eq!(m.len(), 2, "only the stale Ready slot is swept");
+        assert_eq!(m.try_take(3), None);
+    }
+
+    #[test]
+    fn pending_wrapper_keeps_call_result_semantics() {
+        use faasm_sched::CallId;
+        let p = Pending::default();
+        p.register(4);
+        p.fulfill(CallResult::success(CallId(4), b"out".to_vec()));
+        let r = p.wait(4, Duration::from_millis(50)).expect("fulfilled");
+        assert_eq!(r.output, b"out");
+        // Unregistered results are parked (message-bus semantics).
+        p.fulfill(CallResult::success(CallId(5), vec![]));
+        assert!(p.try_take(5).is_some());
+    }
+}

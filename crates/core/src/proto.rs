@@ -14,6 +14,33 @@ use bytes::{Buf, BufMut};
 use faasm_fvm::InstanceSnapshot;
 use faasm_mem::MemorySnapshot;
 
+/// A snapshot section too large for its `u32` length prefix: encoding it
+/// would wrap and corrupt the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoEncodeError {
+    /// Which section overflowed.
+    pub section: &'static str,
+    /// Its actual length in elements/bytes.
+    pub len: usize,
+}
+
+impl std::fmt::Display for ProtoEncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "proto section {:?} length {} exceeds the u32 length prefix",
+            self.section, self.len
+        )
+    }
+}
+
+impl std::error::Error for ProtoEncodeError {}
+
+/// The `u32` length prefix for a section, or the error naming it.
+fn checked_len(len: usize, section: &'static str) -> Result<u32, ProtoEncodeError> {
+    u32::try_from(len).map_err(|_| ProtoEncodeError { section, len })
+}
+
 /// A restorable snapshot of an initialised Faaslet.
 #[derive(Debug, Clone)]
 pub struct ProtoFaaslet {
@@ -32,26 +59,37 @@ impl ProtoFaaslet {
     }
 
     /// Serialise for the shared object store (cross-host distribution).
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// Every variable-length section carries a `u32` length prefix, so a
+    /// field at or beyond 4 GiB cannot be represented: `len as u32` would
+    /// silently wrap and corrupt the frame for every future restore. Like
+    /// the gateway codec's `try_encode_frame`, the bound is checked in all
+    /// builds and oversized snapshots fail fast at the encoder.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoEncodeError`] naming the offending section; nothing is
+    /// emitted, so no reader ever sees a wrapped prefix.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ProtoEncodeError> {
         let mut out = Vec::new();
-        out.put_u32_le(self.user.len() as u32);
+        out.put_u32_le(checked_len(self.user.len(), "user")?);
         out.put_slice(self.user.as_bytes());
-        out.put_u32_le(self.function.len() as u32);
+        out.put_u32_le(checked_len(self.function.len(), "function")?);
         out.put_slice(self.function.as_bytes());
         match &self.snapshot.mem {
             Some(mem) => {
                 out.put_u8(1);
                 let bytes = mem.to_bytes();
-                out.put_u32_le(bytes.len() as u32);
+                out.put_u32_le(checked_len(bytes.len(), "memory snapshot")?);
                 out.put_slice(&bytes);
             }
             None => out.put_u8(0),
         }
-        out.put_u32_le(self.snapshot.globals.len() as u32);
+        out.put_u32_le(checked_len(self.snapshot.globals.len(), "globals")?);
         for g in &self.snapshot.globals {
             out.put_u64_le(*g);
         }
-        out.put_u32_le(self.snapshot.table.len() as u32);
+        out.put_u32_le(checked_len(self.snapshot.table.len(), "table")?);
         for t in &self.snapshot.table {
             match t {
                 Some(f) => {
@@ -61,7 +99,7 @@ impl ProtoFaaslet {
                 None => out.put_u8(0),
             }
         }
-        out
+        Ok(out)
     }
 
     /// Deserialise a snapshot previously produced by
@@ -112,6 +150,11 @@ impl ProtoFaaslet {
             return None;
         }
         let nt = buf.get_u32_le() as usize;
+        // Each entry costs ≥ 1 byte: a hostile count can claim at most what
+        // the buffer holds, so the count cannot drive a huge preallocation.
+        if nt > buf.remaining() {
+            return None;
+        }
         let mut table = Vec::with_capacity(nt);
         for _ in 0..nt {
             if buf.remaining() < 1 {
@@ -181,7 +224,7 @@ mod tests {
     #[test]
     fn roundtrip_serialisation() {
         let proto = sample_proto();
-        let bytes = proto.to_bytes();
+        let bytes = proto.to_bytes().unwrap();
         let back = ProtoFaaslet::from_bytes(&bytes).unwrap();
         assert_eq!(back.user, "alice");
         assert_eq!(back.function, "f");
@@ -195,8 +238,40 @@ mod tests {
     }
 
     #[test]
+    fn oversized_sections_error_instead_of_wrapping() {
+        // The length check itself, with sizes no test could allocate.
+        assert_eq!(checked_len(0, "x"), Ok(0));
+        assert_eq!(checked_len(u32::MAX as usize, "x"), Ok(u32::MAX));
+        let err = checked_len(u32::MAX as usize + 1, "memory snapshot").unwrap_err();
+        assert_eq!(err.section, "memory snapshot");
+        assert_eq!(err.len, u32::MAX as usize + 1);
+        assert!(err.to_string().contains("memory snapshot"));
+        // In-bounds snapshots still encode.
+        assert!(sample_proto().to_bytes().is_ok());
+    }
+
+    #[test]
+    fn hostile_table_count_rejected_without_allocation() {
+        // A frame claiming u32::MAX table entries but carrying none: decode
+        // must reject before preallocating for the claimed count.
+        let proto = ProtoFaaslet {
+            user: "u".into(),
+            function: "f".into(),
+            snapshot: InstanceSnapshot {
+                mem: None,
+                globals: vec![],
+                table: vec![],
+            },
+        };
+        let mut bytes = proto.to_bytes().unwrap();
+        let tail = bytes.len() - 4;
+        bytes[tail..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ProtoFaaslet::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
     fn malformed_rejected() {
-        let bytes = sample_proto().to_bytes();
+        let bytes = sample_proto().to_bytes().unwrap();
         assert!(ProtoFaaslet::from_bytes(&[]).is_none());
         for cut in [1usize, 8, 16, bytes.len() - 1] {
             assert!(

@@ -7,7 +7,10 @@
 //! drained to zero have surplus idle Faaslets retired so the host memory
 //! (the billable-memory curve of Fig. 6c) tracks demand.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use faasm_core::FaasmInstance;
 
 /// Autoscaler tuning.
 #[derive(Debug, Clone)]
@@ -34,5 +37,78 @@ impl Default for AutoscaleConfig {
             idle_target: 1,
             max_warm: 64,
         }
+    }
+}
+
+/// Pre-warm `count` Faaslets for a function, spread one at a time across
+/// the instances in ascending load order (run-queue depth, then pooled
+/// Faaslets) — instead of aiming the whole step at a single host, so calls
+/// the schedulers later forward also land warm. Returns how many Faaslets
+/// were actually created.
+pub fn spread_prewarm(
+    instances: &[Arc<FaasmInstance>],
+    user: &str,
+    function: &str,
+    count: usize,
+) -> usize {
+    if instances.is_empty() || count == 0 {
+        return 0;
+    }
+    let mut order: Vec<&Arc<FaasmInstance>> = instances.iter().collect();
+    order.sort_by_key(|i| (i.queue_depth(), i.pooled_faaslets()));
+    let mut created = 0;
+    for k in 0..count {
+        if let Ok(n) = order[k % order.len()].prewarm(user, function, 1) {
+            created += n;
+        }
+    }
+    created
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasm_core::Cluster;
+
+    const ECHO: &str = r#"
+        extern int input_size();
+        extern int read_call_input(ptr int buf, int len);
+        extern void write_call_output(ptr int buf, int len);
+        int main() {
+            int n = input_size();
+            read_call_input((ptr int) 1024, n);
+            write_call_output((ptr int) 1024, n);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn prewarm_step_spreads_across_instances() {
+        let cluster = Cluster::new(3);
+        cluster
+            .upload_fl("u", "echo", ECHO, Default::default())
+            .unwrap();
+        // Prime the proto so pre-warms restore instead of cold starting.
+        cluster.invoke("u", "echo", vec![1]);
+        let created = spread_prewarm(cluster.instances(), "u", "echo", 3);
+        assert_eq!(created, 3);
+        for (i, inst) in cluster.instances().iter().enumerate() {
+            assert!(
+                inst.warm_count("u", "echo") >= 1,
+                "instance {i} got no pre-warm: the step must spread, not pile up"
+            );
+        }
+        // A larger step wraps around the rotation instead of stopping.
+        let more = spread_prewarm(cluster.instances(), "u", "echo", 5);
+        assert_eq!(more, 5);
+        let total: usize = cluster
+            .instances()
+            .iter()
+            .map(|i| i.warm_count("u", "echo"))
+            .sum();
+        assert!(
+            total >= 8,
+            "3 + 5 pre-warms pooled (plus the primer), got {total}"
+        );
     }
 }

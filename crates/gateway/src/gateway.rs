@@ -5,11 +5,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use faasm_core::{ChainRouter, Cluster, FaasmInstance, GatewayMetrics};
+use faasm_core::{Cluster, FaasmInstance, GatewayMetrics, PendingMap, PlacedCall};
 use faasm_net::TokenBucket;
 use parking_lot::{Condvar, Mutex};
 
-use crate::autoscale::AutoscaleConfig;
+use crate::autoscale::{spread_prewarm, AutoscaleConfig};
 use crate::codec::{self, GatewayRequest};
 use crate::queue::{FairQueue, Job};
 use crate::response::GatewayResponse;
@@ -35,6 +35,12 @@ pub struct GatewayConfig {
     pub default_policy: TenantPolicy,
     /// Autoscaler; `None` disables it.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Requests submitted to the cluster but not yet completed, across all
+    /// dispatchers — the admission tier's backpressure signal. While the
+    /// cap is reached, dispatchers stop draining (so tenant queues fill and
+    /// shed `Overloaded`) but keep shedding expired jobs on time. `0`
+    /// means `dispatchers × max_batch`.
+    pub max_inflight: usize,
 }
 
 impl Default for GatewayConfig {
@@ -47,146 +53,22 @@ impl Default for GatewayConfig {
             wait_timeout: Duration::from_secs(120),
             default_policy: TenantPolicy::default(),
             autoscale: Some(AutoscaleConfig::default()),
+            max_inflight: 0,
         }
     }
 }
 
 /// A remote waiter's completion hook, invoked exactly once with the
 /// terminal response (outside the completion lock).
-pub(crate) type CompletionFn = Box<dyn FnOnce(GatewayResponse) + Send>;
-
-/// One ticket's completion state.
-enum Slot {
-    /// Registered; a local waiter will claim it via [`Completions::wait`].
-    Pending,
-    /// Fulfilled, awaiting its waiter; swept after `ttl`.
-    Ready(GatewayResponse, Instant),
-    /// A remote waiter (wire request): fulfilment invokes the callback
-    /// instead of parking the response, so over-the-fabric calls complete
-    /// asynchronously without a blocked thread per in-flight ticket.
-    Callback(CompletionFn),
-}
-
-impl std::fmt::Debug for Slot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Slot::Pending => f.write_str("Pending"),
-            Slot::Ready(..) => f.write_str("Ready"),
-            Slot::Callback(_) => f.write_str("Callback"),
-        }
-    }
-}
+pub(crate) type CompletionFn = faasm_core::PendingCallback<GatewayResponse>;
 
 /// Completion slots: ticket → eventual response.
 ///
-/// Slots are normally reclaimed by [`Completions::wait`] or a callback;
-/// fulfilled slots nobody waits on (fire-and-forget submits) are swept once
-/// they outlive `ttl`, so abandoned tickets cannot grow the map without
-/// bound.
-#[derive(Debug)]
-struct Completions {
-    slots: Mutex<Slots>,
-    cv: Condvar,
-    ttl: Duration,
-}
-
-/// The slot map plus the bookkeeping that keeps the TTL sweep off the hot
-/// path: `fulfilled` counts delivered-but-unclaimed slots (live waiters do
-/// not trigger sweeps) and `last_sweep` rate-limits full-map scans.
-#[derive(Debug)]
-struct Slots {
-    map: HashMap<u64, Slot>,
-    fulfilled: usize,
-    last_sweep: Instant,
-}
-
-/// Unclaimed fulfilled-slot count above which `fulfill` runs the TTL sweep.
-const SWEEP_THRESHOLD: usize = 256;
-
-impl Completions {
-    fn new(ttl: Duration) -> Completions {
-        Completions {
-            slots: Mutex::new(Slots {
-                map: HashMap::new(),
-                fulfilled: 0,
-                last_sweep: Instant::now(),
-            }),
-            cv: Condvar::new(),
-            ttl,
-        }
-    }
-
-    fn register(&self, seq: u64) {
-        self.slots.lock().map.entry(seq).or_insert(Slot::Pending);
-    }
-
-    fn register_callback(&self, seq: u64, cb: CompletionFn) {
-        self.slots.lock().map.insert(seq, Slot::Callback(cb));
-    }
-
-    fn fulfill(&self, resp: GatewayResponse) {
-        let mut resp = Some(resp);
-        let mut callback = None;
-        {
-            let mut slots = self.slots.lock();
-            let seq = resp.as_ref().expect("response present").seq;
-            // Only deliver into registered slots; a slot abandoned by a
-            // timed-out waiter has been removed and the response is dropped.
-            let Slots { map, fulfilled, .. } = &mut *slots;
-            if matches!(map.get(&seq), Some(Slot::Callback(_))) {
-                if let Some(Slot::Callback(cb)) = map.remove(&seq) {
-                    callback = Some(cb);
-                }
-            } else if let Some(slot) = map.get_mut(&seq) {
-                if matches!(slot, Slot::Pending) {
-                    *fulfilled += 1;
-                }
-                *slot = Slot::Ready(resp.take().expect("response present"), Instant::now());
-                self.cv.notify_all();
-            }
-            // Sweep abandoned (fulfilled, never-claimed) slots — but only
-            // when enough have accumulated and not more often than ttl/4, so
-            // steady high-concurrency traffic never pays an O(n) scan per
-            // completion.
-            if slots.fulfilled > SWEEP_THRESHOLD && slots.last_sweep.elapsed() >= self.ttl / 4 {
-                let ttl = self.ttl;
-                slots
-                    .map
-                    .retain(|_, slot| !matches!(slot, Slot::Ready(_, at) if at.elapsed() >= ttl));
-                slots.fulfilled = slots
-                    .map
-                    .values()
-                    .filter(|s| matches!(s, Slot::Ready(..)))
-                    .count();
-                slots.last_sweep = Instant::now();
-            }
-        }
-        // Invoked outside the lock: the callback may do arbitrary work
-        // (encode + fabric send) and must not hold up other completions.
-        if let Some(cb) = callback {
-            cb(resp.take().expect("response present"));
-        }
-    }
-
-    fn wait(&self, seq: u64, timeout: Duration) -> Option<GatewayResponse> {
-        let deadline = Instant::now() + timeout;
-        let mut slots = self.slots.lock();
-        loop {
-            if matches!(slots.map.get(&seq), Some(Slot::Ready(..))) {
-                slots.fulfilled = slots.fulfilled.saturating_sub(1);
-                if let Some(Slot::Ready(resp, _)) = slots.map.remove(&seq) {
-                    return Some(resp);
-                }
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                slots.map.remove(&seq);
-                return None;
-            }
-            self.cv.wait_for(&mut slots, deadline - now);
-        }
-    }
-}
+/// A non-storing [`PendingMap`]: responses for tickets nobody registered
+/// (abandoned by a timed-out waiter) are dropped, and fulfilled slots
+/// nobody claims (fire-and-forget submits) are TTL-swept — the gateway
+/// half of the ROADMAP's `Pending`/`Completions` unification.
+type Completions = PendingMap<GatewayResponse>;
 
 /// A cached tenant bucket with the (rate, burst) it was built from.
 type BucketEntry = (u64, u64, Arc<TokenBucket>);
@@ -212,6 +94,12 @@ struct Inner {
     seq: AtomicU64,
     rotation: AtomicUsize,
     stop: AtomicBool,
+    /// Calls submitted to the cluster whose completion callback has not yet
+    /// fired. Dispatchers reserve room here before draining and completions
+    /// release it, so admission backpressure survives the non-blocking
+    /// dispatch path.
+    inflight: Mutex<usize>,
+    inflight_cv: Condvar,
 }
 
 /// The cluster's ingress tier.
@@ -236,7 +124,7 @@ impl Gateway {
     /// Start a gateway in front of `cluster`: spawns the dispatcher threads
     /// and (if configured) the autoscaler.
     pub fn start(cluster: Arc<Cluster>, config: GatewayConfig) -> Gateway {
-        let completions = Completions::new(config.wait_timeout);
+        let completions = Completions::new(false, Some(config.wait_timeout));
         let inner = Arc::new(Inner {
             cluster,
             config,
@@ -249,6 +137,8 @@ impl Gateway {
             seq: AtomicU64::new(1),
             rotation: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            inflight: Mutex::new(0),
+            inflight_cv: Condvar::new(),
         });
         let mut threads = Vec::new();
         for d in 0..inner.config.dispatchers.max(1) {
@@ -438,15 +328,17 @@ impl Inner {
         // immediately instead of letting the waiter sit out its timeout.
         if self.stop.load(Ordering::Relaxed) {
             self.completions
-                .fulfill(GatewayResponse::error(seq, "gateway shut down"));
+                .fulfill(seq, GatewayResponse::error(seq, "gateway shut down"));
             return seq;
         }
         let policy = self.policy_for(tenant);
 
         // Admission gate 1: the tenant's token bucket.
-        if !self.bucket_for(tenant, &policy).try_acquire_one() {
+        let bucket = self.bucket_for(tenant, &policy);
+        if !bucket.try_acquire_one() {
             self.metrics.record_shed_ratelimited();
-            self.completions.fulfill(GatewayResponse::overloaded(seq));
+            self.completions
+                .fulfill(seq, GatewayResponse::overloaded(seq));
             return seq;
         }
         // Admission gate 2: the tenant's bounded pending queue.
@@ -462,9 +354,13 @@ impl Inner {
         match self.queue.push(job, policy.weight, policy.queue_cap) {
             Ok(()) => self.metrics.record_admitted(),
             Err(job) => {
+                // The request consumed no capacity: give the token back so
+                // a tenant at its queue cap is not also drained of rate
+                // budget (shed once, not twice).
+                bucket.refund_one();
                 self.metrics.record_shed_overloaded();
                 self.completions
-                    .fulfill(GatewayResponse::overloaded(job.seq));
+                    .fulfill(job.seq, GatewayResponse::overloaded(job.seq));
             }
         }
         // Re-check after the push: a shutdown that raced us may already
@@ -488,7 +384,7 @@ impl Inner {
             }
             for job in leftovers {
                 self.completions
-                    .fulfill(GatewayResponse::error(job.seq, reason));
+                    .fulfill(job.seq, GatewayResponse::error(job.seq, reason));
             }
         }
     }
@@ -538,42 +434,149 @@ impl Inner {
         Arc::clone(best.expect("cluster has at least one instance").1)
     }
 
+    /// Effective in-flight cap (`0` in config means dispatchers × batch).
+    fn max_inflight(&self) -> usize {
+        if self.config.max_inflight > 0 {
+            return self.config.max_inflight;
+        }
+        (self.config.dispatchers.max(1) * self.config.max_batch.max(1)).max(1)
+    }
+
+    /// Reserve up to `want` in-flight slots; returns how many were granted.
+    fn reserve_inflight(&self, want: usize, cap: usize) -> usize {
+        let mut inflight = self.inflight.lock();
+        let granted = want.min(cap.saturating_sub(*inflight));
+        *inflight += granted;
+        granted
+    }
+
+    /// Return `n` in-flight slots and wake a dispatcher once enough room
+    /// has accumulated for a real batch. Waking on every released slot
+    /// would hand saturated dispatchers one slot at a time — batches of
+    /// one, a bus message per call, exactly the overhead batching exists
+    /// to remove. Dispatchers also re-poll on their `batch_wait` cadence,
+    /// so small leftovers are never stranded.
+    fn release_inflight(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let cap = self.max_inflight();
+        let room = {
+            let mut inflight = self.inflight.lock();
+            *inflight = inflight.saturating_sub(n);
+            cap.saturating_sub(*inflight)
+        };
+        if room > self.config.max_batch.max(1) / 2 {
+            self.inflight_cv.notify_one();
+        }
+    }
+
+    /// Block up to `timeout` for in-flight room (woken by completions).
+    fn wait_for_room(&self, cap: usize, timeout: Duration) {
+        let mut inflight = self.inflight.lock();
+        if *inflight >= cap {
+            self.inflight_cv.wait_for(&mut inflight, timeout);
+        }
+    }
+
+    /// Shed every queued job whose deadline has passed. Runs each
+    /// dispatcher iteration, whether or not there is capacity to dispatch,
+    /// so `Expired` responses stay bounded by `batch_wait` even when every
+    /// submit slot is occupied by slow work.
+    fn shed_expired_jobs(&self) {
+        for job in self.queue.shed_expired(Instant::now()) {
+            self.metrics.record_shed_expired();
+            self.completions
+                .fulfill(job.seq, GatewayResponse::expired(job.seq));
+        }
+    }
+
+    /// The batch-aware dispatcher: drain in weighted-fair order, group the
+    /// batch by placement target, hand each instance **one** batch submit
+    /// (one bus message carrying N calls), and go straight back to
+    /// draining. Completions fulfil tickets through callbacks, so no
+    /// dispatcher ever parks in `await_call` — the head-of-line blocking
+    /// that used to let expired jobs rot in the queue at saturation.
     fn dispatch_loop(self: Arc<Self>) {
+        let cap = self.max_inflight();
         while !self.stop.load(Ordering::Relaxed) {
-            let batch =
-                self.queue
-                    .drain_batch(self.config.max_batch, self.config.batch_wait, &self.stop);
+            self.shed_expired_jobs();
+            let granted = self.reserve_inflight(self.config.max_batch.max(1), cap);
+            if granted == 0 {
+                // Saturated: no draining, but keep polling the deadline
+                // shed above at batch_wait cadence.
+                self.wait_for_room(cap, self.config.batch_wait);
+                continue;
+            }
+            let batch = self
+                .queue
+                .drain_batch(granted, self.config.batch_wait, &self.stop);
+            if batch.len() < granted {
+                self.release_inflight(granted - batch.len());
+            }
             if batch.is_empty() {
                 continue;
             }
             let now = Instant::now();
-            let mut inflight = Vec::with_capacity(batch.len());
+            // Group by placement target so each instance gets one batch
+            // submit. pick_instance scores hosts by warmth and queue depth;
+            // the instance skips its own `decide` for placed calls.
+            let mut groups: HashMap<faasm_net::HostId, (Arc<FaasmInstance>, Vec<Job>)> =
+                HashMap::new();
+            let mut dispatched = 0usize;
+            let mut expired = 0usize;
             for job in batch {
                 // Deadline-based shedding: anything that aged out in the
                 // queue is answered immediately instead of wasting a worker.
                 if job.deadline <= now {
+                    expired += 1;
                     self.metrics.record_shed_expired();
-                    self.completions.fulfill(GatewayResponse::expired(job.seq));
+                    self.completions
+                        .fulfill(job.seq, GatewayResponse::expired(job.seq));
                     continue;
                 }
                 self.metrics
                     .record_queue_delay_ns(now.duration_since(job.enqueued).as_nanos() as u64);
                 let inst = self.pick_instance(&job.tenant, &job.function);
-                // Already-placed dispatch: pick_instance scored hosts by
-                // warmth and queue depth, so skip the instance's own decide
-                // (which would re-place by depth-blind rotation when deep).
-                let id = inst.submit_placed(&job.tenant, &job.function, job.input);
-                inflight.push((job.seq, id, inst));
+                groups
+                    .entry(inst.host_id())
+                    .or_insert_with(|| (inst, Vec::new()))
+                    .1
+                    .push(job);
+                dispatched += 1;
             }
-            if inflight.is_empty() {
+            self.release_inflight(expired);
+            if dispatched == 0 {
                 continue;
             }
-            self.metrics.record_batch(inflight.len());
-            for (seq, id, inst) in inflight {
-                let result = inst.await_call(id);
-                self.metrics.record_completed();
-                self.completions
-                    .fulfill(GatewayResponse::from_call(seq, result));
+            self.metrics.record_batch(dispatched);
+            for (_, (inst, jobs)) in groups {
+                let calls: Vec<PlacedCall> = jobs
+                    .into_iter()
+                    .map(|job| {
+                        let seq = job.seq;
+                        // Weak: completion slots at the instance must not
+                        // keep the gateway (and through it the cluster)
+                        // alive in a cycle.
+                        let inner = Arc::downgrade(&self);
+                        PlacedCall {
+                            user: job.tenant,
+                            function: job.function,
+                            input: job.input,
+                            on_complete: Box::new(move |result| {
+                                let Some(inner) = inner.upgrade() else {
+                                    return;
+                                };
+                                inner.metrics.record_completed();
+                                inner
+                                    .completions
+                                    .fulfill(seq, GatewayResponse::from_call(seq, result));
+                                inner.release_inflight(1);
+                            }),
+                        }
+                    })
+                    .collect();
+                inst.submit_placed_batch(calls);
             }
         }
     }
@@ -603,13 +606,11 @@ impl Inner {
                     .map(|i| i.warm_count(tenant, function))
                     .sum();
                 if depth > cfg.backlog_high && idle < cfg.max_warm {
-                    // Pre-warm on the least-loaded instance.
-                    if let Some(target) = instances.iter().min_by_key(|i| i.queue_depth()) {
-                        let n = cfg.scale_step.min(cfg.max_warm - idle);
-                        if let Ok(created) = target.prewarm(tenant, function, n) {
-                            self.metrics.record_prewarm(created);
-                        }
-                    }
+                    // Spread the pre-warm step across the least-loaded
+                    // instances, so forwarded calls also land warm.
+                    let n = cfg.scale_step.min(cfg.max_warm - idle);
+                    let created = spread_prewarm(instances, tenant, function, n);
+                    self.metrics.record_prewarm(created);
                 } else if depth == 0 && idle > cfg.idle_target {
                     let mut surplus = idle - cfg.idle_target;
                     for inst in instances {

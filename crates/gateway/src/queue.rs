@@ -36,6 +36,27 @@ struct TenantQueue {
     jobs: VecDeque<Job>,
     weight: u32,
     deficit: u64,
+    /// Lower bound on the earliest deadline among `jobs` — conservative
+    /// (drains may remove the minimum without recomputing), so the expiry
+    /// scan can skip a whole tenant in O(1) when nothing can be expired.
+    min_deadline: Option<Instant>,
+    /// Queued requests per function, maintained incrementally: the
+    /// autoscaler samples the backlog every tick, and recounting a deep
+    /// queue job-by-job would cost O(jobs) exactly when it is deepest.
+    /// Keyed by function only (the tenant is this queue's key), so the
+    /// hot-path decrement is a borrowed lookup — no string clones.
+    fn_counts: HashMap<String, usize>,
+}
+
+impl TenantQueue {
+    fn count_drained(&mut self, job: &Job) {
+        if let Some(n) = self.fn_counts.get_mut(&job.function) {
+            *n -= 1;
+            if *n == 0 {
+                self.fn_counts.remove(&job.function);
+            }
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -82,6 +103,15 @@ impl FairQueue {
         }
         let q = inner.queues.entry(job.tenant.clone()).or_default();
         q.weight = weight.max(1);
+        if let Some(n) = q.fn_counts.get_mut(&job.function) {
+            *n += 1;
+        } else {
+            q.fn_counts.insert(job.function.clone(), 1);
+        }
+        q.min_deadline = Some(match q.min_deadline {
+            Some(d) => d.min(job.deadline),
+            None => job.deadline,
+        });
         q.jobs.push_back(job);
         inner.len += 1;
         drop(inner);
@@ -115,14 +145,55 @@ impl FairQueue {
     }
 
     /// Backlog per `(tenant, function)` — the autoscaler's demand signal.
+    /// Served from incrementally maintained counts: O(active functions),
+    /// never O(queued jobs).
     pub fn backlog(&self) -> HashMap<(String, String), usize> {
         let inner = self.inner.lock();
-        let mut out: HashMap<(String, String), usize> = HashMap::new();
-        for q in inner.queues.values() {
-            for job in &q.jobs {
-                *out.entry((job.tenant.clone(), job.function.clone()))
-                    .or_default() += 1;
+        let mut out = HashMap::new();
+        for (tenant, q) in &inner.queues {
+            for (function, n) in &q.fn_counts {
+                out.insert((tenant.clone(), function.clone()), *n);
             }
+        }
+        out
+    }
+
+    /// Remove and return every job whose deadline has passed, preserving
+    /// FIFO order within each tenant. Decouples deadline shedding from
+    /// dispatch: a dispatcher can shed on time even when it has no capacity
+    /// to drain (all submit slots in flight), so `Expired` responses are
+    /// bounded by the dispatcher's polling cadence, not by how long the
+    /// current in-flight work takes.
+    pub fn shed_expired(&self, now: Instant) -> Vec<Job> {
+        let mut inner = self.inner.lock();
+        if inner.len == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for q in inner.queues.values_mut() {
+            // O(1) fast path: nothing in this tenant's queue can have
+            // expired yet (the bound is conservative, never late).
+            if q.min_deadline.is_none_or(|d| d > now) {
+                continue;
+            }
+            if q.jobs.iter().any(|j| j.deadline <= now) {
+                let (expired, live): (Vec<Job>, Vec<Job>) =
+                    q.jobs.drain(..).partition(|j| j.deadline <= now);
+                q.jobs = live.into();
+                for job in &expired {
+                    q.count_drained(job);
+                }
+                out.extend(expired);
+            }
+            // The stale bound paid for one scan; recompute it exactly.
+            q.min_deadline = q.jobs.iter().map(|j| j.deadline).min();
+        }
+        if !out.is_empty() {
+            inner.len -= out.len();
+            // GC tenants the shed emptied, as drain does.
+            let Inner { queues, order, .. } = &mut *inner;
+            queues.retain(|_, q| !q.jobs.is_empty());
+            order.retain(|t| queues.contains_key(t));
         }
         out
     }
@@ -170,6 +241,9 @@ impl FairQueue {
                     let n = (q.deficit as usize).min(room).min(q.jobs.len());
                     q.deficit -= n as u64;
                     let taken: Vec<Job> = q.jobs.drain(..n).collect();
+                    for job in &taken {
+                        q.count_drained(job);
+                    }
                     if q.jobs.is_empty() {
                         q.deficit = 0;
                     }
@@ -295,6 +369,59 @@ mod tests {
         let batch = drain(&q, 10);
         let seqs: Vec<u64> = batch.iter().map(|j| j.seq).collect();
         assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shed_expired_removes_only_aged_jobs() {
+        let q = FairQueue::new();
+        let mut doomed = job("a", 1);
+        doomed.deadline = Instant::now() - Duration::from_millis(1);
+        q.push(doomed, 1, 10).unwrap();
+        q.push(job("a", 2), 1, 10).unwrap();
+        let mut doomed_b = job("b", 3);
+        doomed_b.deadline = Instant::now() - Duration::from_millis(1);
+        q.push(doomed_b, 1, 10).unwrap();
+
+        let shed = q.shed_expired(Instant::now());
+        let mut seqs: Vec<u64> = shed.iter().map(|j| j.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 3]);
+        assert_eq!(q.len(), 1);
+        // Tenant b was emptied by the shed and left the rotation.
+        assert_eq!(q.tenant_count(), 1);
+        // The survivor still drains in order.
+        let batch = drain(&q, 4);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 2);
+        // Nothing expired: the fast path sheds nothing.
+        q.push(job("a", 9), 1, 10).unwrap();
+        assert!(q.shed_expired(Instant::now()).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn backlog_counts_track_push_drain_and_shed() {
+        let q = FairQueue::new();
+        for i in 0..5 {
+            q.push(job("a", i), 1, 10).unwrap();
+        }
+        let mut doomed = job("b", 9);
+        doomed.deadline = Instant::now() - Duration::from_millis(1);
+        q.push(doomed, 1, 10).unwrap();
+        let backlog = q.backlog();
+        assert_eq!(backlog.get(&("a".into(), "f".into())), Some(&5));
+        assert_eq!(backlog.get(&("b".into(), "f".into())), Some(&1));
+        // Rejected pushes leave no count behind.
+        q.push(job("ghost", 99), 1, 0).unwrap_err();
+        assert!(!q.backlog().contains_key(&("ghost".into(), "f".into())));
+        // Sheds and drains decrement; emptied functions drop their entry.
+        q.shed_expired(Instant::now());
+        assert!(!q.backlog().contains_key(&("b".into(), "f".into())));
+        let n = drain(&q, 3).len();
+        assert_eq!(n, 3);
+        assert_eq!(q.backlog().get(&("a".into(), "f".into())), Some(&2));
+        drain(&q, 10);
+        assert!(q.backlog().is_empty());
     }
 
     #[test]

@@ -115,6 +115,20 @@ impl TokenBucket {
         }
     }
 
+    /// Return one previously debited token, capped at the burst capacity.
+    ///
+    /// For admission pipelines with gates behind the bucket: a request that
+    /// passes the rate limit but is shed by a later gate (e.g. a full
+    /// queue) consumed no capacity, so charging it would double-penalise
+    /// the tenant — shed at the queue *and* drained from the rate budget.
+    pub fn refund_one(&self) {
+        if self.rate.is_none() {
+            return;
+        }
+        let mut s = self.state.lock();
+        s.tokens = (s.tokens + 1.0).min(self.capacity);
+    }
+
     /// The virtual delay `bytes` would incur at the configured rate,
     /// ignoring current bucket state (used for modelled-time accounting).
     pub fn delay_for(&self, bytes: usize) -> Duration {
@@ -154,6 +168,24 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         // ~5000 bytes refilled, capped at capacity 1000.
         assert!(b.try_acquire(1000));
+    }
+
+    #[test]
+    fn refund_restores_a_token_capped_at_capacity() {
+        let b = TokenBucket::per_second(1, 2);
+        assert!(b.try_acquire_one());
+        assert!(b.try_acquire_one());
+        assert!(!b.try_acquire_one(), "burst drained at 1/s");
+        b.refund_one();
+        assert!(b.try_acquire_one(), "refunded token is usable");
+        // Refunds never exceed the burst capacity.
+        let full = TokenBucket::per_second(1, 1);
+        full.refund_one();
+        full.refund_one();
+        assert!(full.try_acquire_one());
+        assert!(!full.try_acquire_one(), "capacity caps refunds");
+        // Unlimited buckets ignore refunds.
+        TokenBucket::unlimited().refund_one();
     }
 
     #[test]

@@ -198,6 +198,106 @@ fn queued_past_deadline_is_shed_with_expired() {
     }
 }
 
+/// A guest slow enough to pin a submit slot for a long time.
+fn very_slow_guest(ms: u64) -> Arc<dyn NativeGuest> {
+    Arc::new(move |api: &mut NativeApi<'_>| {
+        std::thread::sleep(Duration::from_millis(ms));
+        let input = api.input().to_vec();
+        api.write_output(&input);
+        Ok(0)
+    })
+}
+
+/// The head-of-line regression the batch-aware dispatcher fixes: with every
+/// in-flight slot pinned by slow work, short-deadline requests must still be
+/// shed `Expired` on a `batch_wait` cadence — not after the slow batch
+/// completes (the old dispatcher parked in `await_call`), and certainly not
+/// at `wait_timeout`.
+#[test]
+fn expired_shed_is_prompt_while_dispatchers_are_saturated() {
+    let cluster = Arc::new(Cluster::new(1));
+    cluster.register_native("alice", "versylow", very_slow_guest(400), false);
+    for tenant in ["alice", "bob"] {
+        cluster
+            .upload_fl(tenant, "echo", ECHO, Default::default())
+            .unwrap();
+    }
+    let gateway = Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 1,
+            max_batch: 4, // max_inflight defaults to 1×4
+            batch_wait: Duration::from_millis(5),
+            autoscale: None,
+            ..GatewayConfig::default()
+        },
+    );
+    // Pin all four in-flight slots (and more) with 400 ms calls.
+    let busy: Vec<u64> = (0..8)
+        .map(|i| gateway.submit("alice", "versylow", vec![i]))
+        .collect();
+    // Give the dispatcher a beat to take the slow batch in flight.
+    std::thread::sleep(Duration::from_millis(30));
+    // Short-deadline requests behind the wall of slow work.
+    let doomed: Vec<u64> = (0..4)
+        .map(|i| gateway.submit_with_deadline("bob", "echo", vec![i], Duration::from_millis(10)))
+        .collect();
+    let t0 = std::time::Instant::now();
+    for t in doomed {
+        let r = gateway.wait(t);
+        assert_eq!(
+            r.status,
+            GatewayStatus::Expired,
+            "deadline passed while all submit slots were pinned"
+        );
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(150),
+        "expired sheds must be bounded by batch_wait cadence, not by the \
+         400 ms in-flight work (took {elapsed:?})"
+    );
+    assert_eq!(gateway.metrics().shed_expired(), 4);
+    // The slow work still completes correctly behind the sheds.
+    for t in busy {
+        assert_eq!(gateway.wait(t).status, GatewayStatus::Ok);
+    }
+}
+
+/// A submit that passes the token bucket but is shed `Overloaded` at the
+/// queue cap must refund its token: being at the queue cap must not also
+/// drain the rate budget.
+#[test]
+fn queue_full_shed_refunds_the_rate_limit_token() {
+    let cluster = cluster_with_tenants(1);
+    let gateway = Gateway::start(Arc::clone(&cluster), GatewayConfig::default());
+    // Rate 1/s with burst 2, and a queue that admits nothing: every submit
+    // passes the bucket (thanks to refunds) and sheds at the queue.
+    gateway.set_tenant_policy(
+        "alice",
+        TenantPolicy {
+            queue_cap: 0,
+            ..TenantPolicy::rate_limited(1, 2)
+        },
+    );
+    for i in 0..6u8 {
+        let r = gateway.call("alice", "echo", vec![i]);
+        assert_eq!(r.status, GatewayStatus::Overloaded);
+    }
+    let m = gateway.metrics();
+    assert_eq!(
+        m.shed_overloaded(),
+        6,
+        "all six sheds come from the queue cap"
+    );
+    assert_eq!(
+        m.shed_ratelimited(),
+        0,
+        "refunded tokens mean the bucket never empties: without the refund \
+         a burst of 2 would have rate-limited the third submit"
+    );
+}
+
 #[test]
 fn no_tenant_starves_under_weighted_fair_share() {
     let cluster = cluster_with_tenants(2);

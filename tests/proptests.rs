@@ -1,5 +1,10 @@
 //! Property-based tests on the workspace's core invariants.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use faasm::core::PendingMap;
 use faasm::fvm::{decode_module, encode_module, ObjectModule};
 use faasm::gateway::codec::{self, FrameBuf, GatewayRequest, MAX_FRAME};
 use faasm::gateway::{GatewayResponse, GatewayStatus};
@@ -86,6 +91,124 @@ fn expr_strategy() -> impl Strategy<Value = ExprTree> {
                 .prop_map(|(a, b)| ExprTree::Xor(Box::new(a), Box::new(b))),
         ]
     })
+}
+
+/// One step against a [`PendingMap`] in the model-based property test.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// Reserve a waiter slot.
+    Register(u8),
+    /// Install a callback waiter (the value is a unique token assigned at
+    /// execution time, so every fire can be attributed to its callback).
+    RegisterCb(u8),
+    /// Deliver a value.
+    Fulfill(u8, u32),
+    /// Non-blocking take.
+    TryTake(u8),
+    /// Force the TTL sweep (with a zero TTL every unclaimed fulfilled slot
+    /// is stale, so the sweep's effect is deterministic).
+    Sweep,
+}
+
+fn pending_op_strategy() -> impl Strategy<Value = PendingOp> {
+    prop_oneof![
+        (0u8..6).prop_map(PendingOp::Register),
+        (0u8..6).prop_map(PendingOp::RegisterCb),
+        (0u8..6, any::<u32>()).prop_map(|(id, v)| PendingOp::Fulfill(id, v)),
+        (0u8..6).prop_map(PendingOp::TryTake),
+        Just(PendingOp::Sweep),
+    ]
+}
+
+/// Reference model of one slot's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelSlot {
+    Waiting,
+    Ready(u32),
+    /// Callback identified by its registration token.
+    Callback(u32),
+}
+
+/// Drive a [`PendingMap`] and an in-model twin through the same op
+/// sequence; every observable (try_take results, callback firings with
+/// their values and order, final slot count) must agree.
+fn check_pending_map_model(ops: &[PendingOp], store_unregistered: bool, ttl: bool) {
+    let map: PendingMap<u32> = PendingMap::new(store_unregistered, ttl.then_some(Duration::ZERO));
+    let fired: Arc<Mutex<Vec<(u32, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut model: HashMap<u8, ModelSlot> = HashMap::new();
+    let mut expected_fired: Vec<(u32, u32)> = Vec::new();
+    let mut next_token = 0u32;
+
+    for op in ops {
+        match *op {
+            PendingOp::Register(id) => {
+                map.register(u64::from(id));
+                model.entry(id).or_insert(ModelSlot::Waiting);
+            }
+            PendingOp::RegisterCb(id) => {
+                let token = next_token;
+                next_token += 1;
+                let fired = Arc::clone(&fired);
+                map.register_callback(
+                    u64::from(id),
+                    Box::new(move |v| fired.lock().unwrap().push((token, v))),
+                );
+                match model.get(&id) {
+                    // A parked value fires the new callback immediately.
+                    Some(ModelSlot::Ready(v)) => {
+                        expected_fired.push((token, *v));
+                        model.remove(&id);
+                    }
+                    // Overwrites any waiter (a replaced callback is
+                    // dropped, never fired — caller misuse, but defined).
+                    _ => {
+                        model.insert(id, ModelSlot::Callback(token));
+                    }
+                }
+            }
+            PendingOp::Fulfill(id, v) => {
+                map.fulfill(u64::from(id), v);
+                match model.get(&id) {
+                    Some(ModelSlot::Callback(token)) => {
+                        expected_fired.push((*token, v));
+                        model.remove(&id);
+                    }
+                    Some(_) => {
+                        model.insert(id, ModelSlot::Ready(v));
+                    }
+                    None if store_unregistered => {
+                        model.insert(id, ModelSlot::Ready(v));
+                    }
+                    None => {} // non-storing maps drop unknown ids
+                }
+            }
+            PendingOp::TryTake(id) => {
+                let got = map.try_take(u64::from(id));
+                let want = match model.get(&id) {
+                    Some(ModelSlot::Ready(v)) => {
+                        let v = *v;
+                        model.remove(&id);
+                        Some(v)
+                    }
+                    _ => None,
+                };
+                assert_eq!(got, want, "try_take({id}) diverged from the model");
+            }
+            PendingOp::Sweep => {
+                map.sweep();
+                if ttl {
+                    // Zero TTL: every unclaimed Ready slot is stale.
+                    model.retain(|_, s| !matches!(s, ModelSlot::Ready(_)));
+                }
+            }
+        }
+    }
+    assert_eq!(
+        *fired.lock().unwrap(),
+        expected_fired,
+        "callback firings (values and order) diverged from the model"
+    );
+    assert_eq!(map.len(), model.len(), "slot counts diverged");
 }
 
 proptest! {
@@ -376,6 +499,19 @@ proptest! {
         }
         prop_assert_eq!(out, payloads);
         prop_assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    /// PendingMap agrees with a reference model across arbitrary
+    /// register/fulfill/take/TTL-sweep interleavings, in all four policy
+    /// combinations (store-unregistered × TTL) — the invariant behind the
+    /// Pending/Completions unification.
+    #[test]
+    fn pending_map_matches_model(
+        ops in prop::collection::vec(pending_op_strategy(), 0..64),
+        store_unregistered in any::<bool>(),
+        ttl in any::<bool>(),
+    ) {
+        check_pending_map_model(&ops, store_unregistered, ttl);
     }
 
     /// FrameBuf is total on garbage: arbitrary bytes in arbitrary chunks
