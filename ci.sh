@@ -21,4 +21,7 @@ cargo run --release --example gateway_remote
 echo "== gateway throughput bench, batched mode included (smoke)"
 cargo bench -p faasm-bench --bench gateway_throughput -- --test
 
+echo "== state throughput bench, batching + shard scaling (smoke)"
+cargo bench -p faasm-bench --bench state_throughput -- --test
+
 echo "CI OK"

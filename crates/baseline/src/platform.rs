@@ -16,7 +16,7 @@ use bytes::{Buf, BufMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use faasm_core::msg::{decode_msg, encode_msg, InstanceMsg};
 use faasm_core::{Metrics, Pending, StartKind};
-use faasm_kvs::{KvClient, KvServer};
+use faasm_kvs::{KvClient, KvServer, SharedKv};
 use faasm_net::{Fabric, HostId, Nic};
 use faasm_sched::{CallId, CallResult, CallSpec, RoundRobin};
 use faasm_vfs::ObjectStore;
@@ -467,7 +467,7 @@ pub struct BaselinePlatform {
     gateway_pending: Arc<Pending>,
     gateway_stop: Arc<AtomicBool>,
     gateway_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
-    driver_kv: Arc<KvClient>,
+    driver_kv: SharedKv,
     call_seq: Arc<AtomicU64>,
     config: BaselineConfig,
 }
@@ -543,7 +543,7 @@ impl BaselinePlatform {
                 })
                 .expect("spawn gateway")
         };
-        let driver_kv = Arc::new(KvClient::connect(fabric.add_host(), kvs_host));
+        let driver_kv: SharedKv = Arc::new(KvClient::connect(fabric.add_host(), kvs_host));
 
         BaselinePlatform {
             fabric,
@@ -624,7 +624,7 @@ impl BaselinePlatform {
     }
 
     /// Driver-side KVS client.
-    pub fn kv(&self) -> &Arc<KvClient> {
+    pub fn kv(&self) -> &SharedKv {
         &self.driver_kv
     }
 

@@ -1,0 +1,352 @@
+//! Global-tier state throughput: chunk batching and shard scaling.
+//!
+//! Two experiments against live `KvServer`s on the fabric:
+//!
+//! 1. **Chunk batching** — pull/push of a 64-chunk value through the
+//!    seed's per-chunk protocol (one `GetRange`/`SetRange` round-trip plus
+//!    one region copy per chunk) versus the batched
+//!    `MultiGetRange`/`MultiSetRange` path `StateEntry` now uses (one
+//!    round-trip per flush). 4 KiB chunks, so the per-request overhead
+//!    batching removes is visible against the in-process fabric's
+//!    microsecond RPCs; `modelled_*` fields restate the same message and
+//!    byte counts as wire time on the paper's 1 Gbps / 100 µs testbed
+//!    links, where the 64:1 round-trip ratio dominates.
+//! 2. **Shard scaling** — aggregate pull/push throughput of 8 concurrent
+//!    workers against 1, 2 and 4 state shards. Each shard server's NIC is
+//!    token-bucket shaped (the paper's testbed runs the tier on 1 Gbps
+//!    links, so a shard's NIC — not this machine's CPU — is the contended
+//!    resource); keys are chosen so every shard owns an equal share.
+//!
+//! Run with `cargo bench --bench state_throughput`; a full run snapshots
+//! `BENCH_state.json` at the repo root. Under `--test` it runs a tiny
+//! smoke pass and writes nothing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faasm_kvs::{KvBackend, KvClient, KvServer, KvStore, ShardedKvClient};
+use faasm_mem::SharedRegion;
+use faasm_net::{Fabric, HostId, TokenBucket};
+use faasm_state::StateEntry;
+
+/// Shard-scaling series: the default 16 KiB chunks.
+const CHUNK: usize = 16 * 1024;
+const CHUNKS: usize = 64;
+const VALUE: usize = CHUNK * CHUNKS;
+
+/// Chunk-batching series: 64 chunks of 4 KiB.
+const BATCH_CHUNK: usize = 4 * 1024;
+const BATCH_VALUE: usize = BATCH_CHUNK * CHUNKS;
+
+/// Shard-scaling parameters: per-shard NIC rate and worker threads.
+const SHARD_NIC_BYTES_PER_SEC: u64 = 24 * 1024 * 1024;
+const SHARD_NIC_BURST: u64 = 512 * 1024;
+const WORKERS: usize = 8;
+
+struct Tier {
+    fabric: Fabric,
+    servers: Vec<KvServer>,
+}
+
+impl Tier {
+    fn start(shards: usize, shaped: bool) -> Tier {
+        let fabric = Fabric::new();
+        let servers = (0..shards)
+            .map(|_| {
+                let shaping = shaped
+                    .then(|| Arc::new(TokenBucket::new(SHARD_NIC_BYTES_PER_SEC, SHARD_NIC_BURST)));
+                KvServer::start_shaped(fabric.add_host(), 2, Arc::new(KvStore::new()), shaping)
+            })
+            .collect();
+        Tier { fabric, servers }
+    }
+
+    fn hosts(&self) -> Vec<HostId> {
+        self.servers.iter().map(KvServer::host_id).collect()
+    }
+
+    fn client(&self) -> Arc<ShardedKvClient> {
+        let nic = self.fabric.add_host();
+        Arc::new(ShardedKvClient::new(
+            self.hosts()
+                .iter()
+                .map(|h| KvClient::connect(nic.clone(), *h))
+                .collect(),
+        ))
+    }
+}
+
+/// Keys that spread `per_shard` keys onto each of `shards` shards
+/// (rendezvous routing is a pure function of key and shard count, so no
+/// live clients are needed to probe placement).
+fn balanced_keys(shards: usize, per_shard: usize) -> Vec<String> {
+    let mut per = vec![0usize; shards];
+    let mut keys = Vec::new();
+    let mut i = 0usize;
+    while keys.len() < shards * per_shard {
+        let key = format!("st:k{i}");
+        let owner = ShardedKvClient::shard_index_for(&key, shards);
+        if per[owner] < per_shard {
+            per[owner] += 1;
+            keys.push(key);
+        }
+        i += 1;
+    }
+    keys
+}
+
+struct BatchPoint {
+    per_chunk_ms: f64,
+    batched_ms: f64,
+    speedup: f64,
+}
+
+/// Time `iters` runs of `op` after a short warmup, returning the median
+/// milliseconds per run (robust against scheduler spikes on a shared box).
+fn time_ms(iters: usize, op: impl FnMut()) -> f64 {
+    time_ms_with_setup(iters, || {}, op)
+}
+
+/// [`time_ms`] with an untimed per-iteration `setup` step run before each
+/// timed `op` (and before each warmup run).
+fn time_ms_with_setup(iters: usize, mut setup: impl FnMut(), mut op: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        setup();
+        op();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            setup();
+            let t0 = Instant::now();
+            op();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Chunk batching: the seed's per-chunk protocol (one RPC and one region
+/// copy per chunk) vs one batched round-trip, same server, same bytes.
+fn bench_batching(iters: usize) -> (BatchPoint, BatchPoint) {
+    let tier = Tier::start(1, false);
+    let kv = tier.client();
+    kv.set("batch:k", vec![7u8; BATCH_VALUE]).unwrap();
+    let entry = StateEntry::new(
+        "batch:k",
+        BATCH_VALUE,
+        SharedRegion::new(BATCH_VALUE),
+        Arc::clone(&kv) as faasm_kvs::SharedKv,
+        BATCH_CHUNK,
+    )
+    .unwrap();
+    let region = SharedRegion::new(BATCH_VALUE);
+
+    // Pull: the seed protocol fetched every chunk with its own RPC and
+    // copied it into the replica region chunk by chunk.
+    let per_chunk_pull = time_ms(iters, || {
+        for c in 0..CHUNKS {
+            let data = kv
+                .get_range("batch:k", (c * BATCH_CHUNK) as u64, BATCH_CHUNK as u64)
+                .unwrap()
+                .unwrap();
+            region.write(c * BATCH_CHUNK, &data).unwrap();
+        }
+    });
+    let batched_pull = time_ms(iters, || {
+        entry.invalidate();
+        entry.pull().unwrap();
+    });
+
+    // Push: all chunks dirty — per-chunk region read + SetRange, vs one
+    // MultiSetRange. Only the flush is timed; the application's region
+    // write that dirties the replica is identical in both protocols.
+    let buf = vec![9u8; BATCH_VALUE];
+    region.write(0, &buf).unwrap();
+    let per_chunk_push = time_ms(iters, || {
+        for c in 0..CHUNKS {
+            let mut b = vec![0u8; BATCH_CHUNK];
+            region.read(c * BATCH_CHUNK, &mut b).unwrap();
+            kv.set_range("batch:k", (c * BATCH_CHUNK) as u64, b)
+                .unwrap();
+        }
+    });
+    let batched_push = time_ms_with_setup(
+        iters,
+        || entry.write(0, &buf).unwrap(),
+        || entry.push().unwrap(),
+    );
+
+    (
+        BatchPoint {
+            per_chunk_ms: per_chunk_pull,
+            batched_ms: batched_pull,
+            speedup: per_chunk_pull / batched_pull,
+        },
+        BatchPoint {
+            per_chunk_ms: per_chunk_push,
+            batched_ms: batched_push,
+            speedup: per_chunk_push / batched_push,
+        },
+    )
+}
+
+#[derive(Clone, Copy)]
+enum Op {
+    Pull,
+    Push,
+}
+
+struct ScalePoint {
+    shards: usize,
+    pull_mbps: f64,
+    push_mbps: f64,
+}
+
+/// Aggregate MB/s of `WORKERS` concurrent workers for `secs` wall seconds.
+fn drive_shards(tier: &Tier, keys: &[String], op: Op, secs: f64) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let bytes = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = keys
+        .iter()
+        .map(|key| {
+            let kv = tier.client();
+            let key = key.clone();
+            let stop = Arc::clone(&stop);
+            let bytes = Arc::clone(&bytes);
+            std::thread::spawn(move || {
+                let entry = StateEntry::new(
+                    &key,
+                    VALUE,
+                    SharedRegion::new(VALUE),
+                    Arc::clone(&kv) as faasm_kvs::SharedKv,
+                    CHUNK,
+                )
+                .unwrap();
+                let buf = vec![3u8; VALUE];
+                while !stop.load(Ordering::Relaxed) {
+                    match op {
+                        Op::Pull => {
+                            entry.invalidate();
+                            entry.pull().unwrap();
+                        }
+                        Op::Push => {
+                            entry.write(0, &buf).unwrap();
+                            entry.push().unwrap();
+                        }
+                    }
+                    bytes.fetch_add(VALUE as u64, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    bytes.load(Ordering::Relaxed) as f64 / elapsed / (1024.0 * 1024.0)
+}
+
+fn bench_shards(shards: usize, secs: f64) -> ScalePoint {
+    let tier = Tier::start(shards, true);
+    // The same 8 workers at every shard count, balanced over the shards.
+    let keys = balanced_keys(shards, WORKERS / shards);
+    let driver = tier.client();
+    for key in &keys {
+        driver.set(key, vec![7u8; VALUE]).unwrap();
+    }
+    let pull_mbps = drive_shards(&tier, &keys, Op::Pull, secs);
+    let push_mbps = drive_shards(&tier, &keys, Op::Push, secs);
+    ScalePoint {
+        shards,
+        pull_mbps,
+        push_mbps,
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (iters, secs) = if test_mode { (2, 0.2) } else { (20, 1.5) };
+
+    println!("== chunk batching ({CHUNKS} x {BATCH_CHUNK} B chunks, 1 shard, unshaped) ==");
+    let (pull, push) = bench_batching(iters);
+    println!(
+        "pull: per-chunk {:.3} ms, batched {:.3} ms ({:.1}x)",
+        pull.per_chunk_ms, pull.batched_ms, pull.speedup
+    );
+    println!(
+        "push: per-chunk {:.3} ms, batched {:.3} ms ({:.1}x)",
+        push.per_chunk_ms, push.batched_ms, push.speedup
+    );
+    // The same message/byte counts restated on the paper's testbed links:
+    // 64 round-trips (128 one-way messages) vs one.
+    let model = faasm_net::NetModel::default();
+    let modelled_per_chunk = model.batch_time(2 * CHUNKS as u64, BATCH_VALUE as u64);
+    let modelled_batched = model.batch_time(2, BATCH_VALUE as u64);
+    println!(
+        "modelled wire time (1 Gbps, 100 us latency): per-chunk {:.2} ms, batched {:.2} ms ({:.0}x)",
+        modelled_per_chunk.as_secs_f64() * 1e3,
+        modelled_batched.as_secs_f64() * 1e3,
+        modelled_per_chunk.as_secs_f64() / modelled_batched.as_secs_f64()
+    );
+
+    println!(
+        "\n== shard scaling ({WORKERS} workers, {} MB/s NIC per shard) ==",
+        SHARD_NIC_BYTES_PER_SEC / (1024 * 1024)
+    );
+    let mut series = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let p = bench_shards(shards, secs);
+        println!(
+            "{} shard(s): pull {:.1} MB/s, push {:.1} MB/s aggregate",
+            p.shards, p.pull_mbps, p.push_mbps
+        );
+        series.push(p);
+    }
+    let pull_scaling = series[2].pull_mbps / series[0].pull_mbps;
+    let push_scaling = series[2].push_mbps / series[0].push_mbps;
+    println!("4-shard scaling: pull {pull_scaling:.2}x, push {push_scaling:.2}x");
+
+    if test_mode {
+        println!("test bench state_throughput ... ok");
+        return;
+    }
+
+    // Snapshot for the repo (hand-rolled JSON: the workspace is std-only).
+    let mut json = String::from("{\n  \"bench\": \"state_throughput\",\n  \"chunks\": 64,\n");
+    json.push_str(&format!(
+        "  \"batching\": {{\n    \"chunk_bytes\": {BATCH_CHUNK},\n    \"value_bytes\": {BATCH_VALUE},\n    \"pull\": {{\"per_chunk_ms\": {:.3}, \"batched_ms\": {:.3}, \"speedup\": {:.2}}},\n    \"push\": {{\"per_chunk_ms\": {:.3}, \"batched_ms\": {:.3}, \"speedup\": {:.2}}},\n    \"modelled_wire_ms\": {{\"per_chunk\": {:.2}, \"batched\": {:.2}}}\n  }},\n",
+        pull.per_chunk_ms, pull.batched_ms, pull.speedup,
+        push.per_chunk_ms, push.batched_ms, push.speedup,
+        modelled_per_chunk.as_secs_f64() * 1e3,
+        modelled_batched.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"shard_value_bytes\": {VALUE},\n  \"shard_chunk_bytes\": {CHUNK},\n"
+    ));
+    json.push_str(&format!(
+        "  \"shard_scaling\": {{\n    \"workers\": {WORKERS},\n    \"shard_nic_mbps\": {},\n    \"series\": [\n",
+        SHARD_NIC_BYTES_PER_SEC / (1024 * 1024)
+    ));
+    for (i, p) in series.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"shards\": {}, \"pull_mbps\": {:.1}, \"push_mbps\": {:.1}}}{}\n",
+            p.shards,
+            p.pull_mbps,
+            p.push_mbps,
+            if i + 1 == series.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"pull_scaling_4x\": {pull_scaling:.2},\n    \"push_scaling_4x\": {push_scaling:.2}\n  }}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_state.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nsnapshot written to BENCH_state.json"),
+        Err(e) => eprintln!("\ncould not write snapshot: {e}"),
+    }
+}

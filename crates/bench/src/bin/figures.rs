@@ -60,7 +60,7 @@ fn run_sgd_faasm(
 ) -> Option<(Duration, u64, f64)> {
     let cluster = faasm_cluster(4, 8);
     sgd::register_faasm(&cluster, "ml");
-    sgd::upload_dataset(cluster.kv(), dataset).ok()?;
+    sgd::upload_dataset(cluster.kv().as_ref(), dataset).ok()?;
     let tasks = sgd::partition(
         dataset.examples as u32,
         parallelism,
@@ -100,7 +100,7 @@ fn run_sgd_baseline(
     // Fig. 6a "Knative exhausts memory with over 30 functions" shape.
     let platform = baseline_platform(4, 8, 2 * 1024 * 1024, 12 * 1024 * 1024);
     sgd::register_baseline(&platform, "ml");
-    sgd::upload_dataset(platform.kv(), dataset).ok()?;
+    sgd::upload_dataset(platform.kv().as_ref(), dataset).ok()?;
     let tasks = sgd::partition(
         dataset.examples as u32,
         parallelism,
@@ -351,7 +351,7 @@ fn fig8() {
     for n in [16usize, 32, 64, 128] {
         let cluster = faasm_cluster(2, 8);
         matmul::register_faasm(&cluster, "la");
-        matmul::upload_matrices(cluster.kv(), n, 5).unwrap();
+        matmul::upload_matrices(cluster.kv().as_ref(), n, 5).unwrap();
         // Steady-state measurement: one warm-up multiplication first.
         cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
         let before = cluster.fabric().stats().snapshot();
@@ -367,7 +367,7 @@ fn fig8() {
 
         let platform = baseline_platform(2, 8, 2 * 1024 * 1024, 1 << 30);
         matmul::register_baseline(&platform, "la");
-        matmul::upload_matrices(platform.kv(), n, 5).unwrap();
+        matmul::upload_matrices(platform.kv().as_ref(), n, 5).unwrap();
         platform.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
         let before = platform.fabric().stats().snapshot();
         let (r, b_time) =

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use faasm_fvm::{ExportKind, ObjectModule};
-use faasm_kvs::{KvClient, KvServer};
+use faasm_kvs::{KvClient, KvServer, ShardedKvClient, SharedKv};
 use faasm_net::Fabric;
 use faasm_sched::{CallId, CallResult, CallSpec, RoundRobin};
 use faasm_vfs::ObjectStore;
@@ -27,8 +27,12 @@ use crate::pending::Pending;
 pub struct ClusterConfig {
     /// Number of runtime instances (hosts).
     pub hosts: usize,
-    /// KVS server worker threads.
+    /// KVS server worker threads (per shard).
     pub kvs_workers: usize,
+    /// Global-tier shard servers: each state key (value, counters, locks,
+    /// warm sets) lives on exactly one shard, chosen by rendezvous hashing.
+    /// 1 reproduces the paper's single-server tier.
+    pub state_shards: usize,
     /// Per-instance configuration.
     pub instance: InstanceConfig,
     /// Default timeout for synchronous invocations.
@@ -40,6 +44,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             hosts: 2,
             kvs_workers: 2,
+            state_shards: 1,
             instance: InstanceConfig::default(),
             invoke_timeout: Duration::from_secs(60),
         }
@@ -70,7 +75,7 @@ impl Default for UploadOptions {
 /// A running FAASM cluster.
 pub struct Cluster {
     fabric: Fabric,
-    kvs: Option<KvServer>,
+    kvs: Vec<KvServer>,
     object_store: Arc<ObjectStore>,
     registry: Arc<FunctionRegistry>,
     instances: Vec<Arc<FaasmInstance>>,
@@ -79,7 +84,7 @@ pub struct Cluster {
     gateway_pending: Arc<Pending>,
     gateway_stop: Arc<AtomicBool>,
     gateway_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
-    driver_kv: Arc<KvClient>,
+    driver_kv: SharedKv,
     call_seq: Arc<AtomicU64>,
     invoke_timeout: Duration,
 }
@@ -104,9 +109,11 @@ impl Cluster {
     /// Start a cluster from explicit configuration.
     pub fn with_config(config: ClusterConfig) -> Cluster {
         let fabric = Fabric::new();
-        let kvs_nic = fabric.add_host();
-        let kvs = KvServer::start(kvs_nic, config.kvs_workers.max(1));
-        let kvs_host = kvs.host_id();
+        // The global tier: one fabric host per shard server.
+        let kvs: Vec<KvServer> = (0..config.state_shards.max(1))
+            .map(|_| KvServer::start(fabric.add_host(), config.kvs_workers.max(1)))
+            .collect();
+        let kvs_hosts: Vec<faasm_net::HostId> = kvs.iter().map(KvServer::host_id).collect();
         let object_store = Arc::new(ObjectStore::new());
         let registry = Arc::new(FunctionRegistry::new());
         let call_seq = Arc::new(AtomicU64::new(1));
@@ -115,7 +122,7 @@ impl Cluster {
             .map(|_| {
                 FaasmInstance::start(
                     &fabric,
-                    kvs_host,
+                    &kvs_hosts,
                     Arc::clone(&object_store),
                     Arc::clone(&registry),
                     Arc::clone(&call_seq),
@@ -153,11 +160,17 @@ impl Cluster {
                 .expect("spawn gateway thread")
         };
 
-        let driver_kv = Arc::new(KvClient::connect(fabric.add_host(), kvs_host));
+        let driver_nic = fabric.add_host();
+        let driver_kv: SharedKv = Arc::new(ShardedKvClient::new(
+            kvs_hosts
+                .iter()
+                .map(|h| KvClient::connect(driver_nic.clone(), *h))
+                .collect(),
+        ));
 
         Cluster {
             fabric,
-            kvs: Some(kvs),
+            kvs,
             object_store,
             registry,
             instances,
@@ -322,9 +335,15 @@ impl Cluster {
         &self.object_store
     }
 
-    /// A driver-side KVS client (dataset upload, DDO initialisation).
-    pub fn kv(&self) -> &Arc<KvClient> {
+    /// A driver-side KVS client (dataset upload, DDO initialisation),
+    /// routing over every state shard.
+    pub fn kv(&self) -> &SharedKv {
         &self.driver_kv
+    }
+
+    /// The global tier's shard servers (test/metric inspection).
+    pub fn state_shards(&self) -> &[KvServer] {
+        &self.kvs
     }
 
     /// The runtime instances.
@@ -365,7 +384,7 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(kvs) = self.kvs.take() {
+        for kvs in self.kvs.drain(..) {
             kvs.shutdown();
         }
     }

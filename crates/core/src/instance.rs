@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use faasm_fvm::Linker;
-use faasm_kvs::KvClient;
+use faasm_kvs::{KvClient, ShardedKvClient, SharedKv};
 use faasm_net::{Fabric, HostId, Nic};
 use faasm_sched::{decide, CallId, CallResult, CallSpec, Decision, Placement, WarmSets};
 use faasm_state::StateManager;
@@ -92,7 +92,7 @@ impl std::fmt::Debug for PlacedCall {
 pub struct FaasmInstance {
     host_id: HostId,
     nic: Nic,
-    kv: Arc<KvClient>,
+    kv: SharedKv,
     state: Arc<StateManager>,
     hostfs: Arc<HostFs>,
     object_store: Arc<ObjectStore>,
@@ -133,17 +133,24 @@ impl std::fmt::Debug for FaasmInstance {
 }
 
 impl FaasmInstance {
-    /// Start an instance on a new fabric host.
+    /// Start an instance on a new fabric host. `kvs_hosts` names the global
+    /// tier's shard servers (one entry per shard); the instance routes every
+    /// state key to its owning shard.
     pub fn start(
         fabric: &Fabric,
-        kvs_host: HostId,
+        kvs_hosts: &[HostId],
         object_store: Arc<ObjectStore>,
         registry: Arc<FunctionRegistry>,
         call_seq: Arc<AtomicU64>,
         config: InstanceConfig,
     ) -> Arc<FaasmInstance> {
         let nic = fabric.add_host();
-        let kv = Arc::new(KvClient::connect(nic.clone(), kvs_host));
+        let kv: SharedKv = Arc::new(ShardedKvClient::new(
+            kvs_hosts
+                .iter()
+                .map(|h| KvClient::connect(nic.clone(), *h))
+                .collect(),
+        ));
         let state = Arc::new(StateManager::with_chunk_size(
             Arc::clone(&kv),
             config.chunk_size,
@@ -212,7 +219,7 @@ impl FaasmInstance {
     }
 
     /// The global-tier client.
-    pub fn kv(&self) -> &Arc<KvClient> {
+    pub fn kv(&self) -> &SharedKv {
         &self.kv
     }
 

@@ -1,0 +1,258 @@
+//! The routing abstraction over the global tier.
+//!
+//! Everything above the KVS (state entries, warm sets, workload drivers)
+//! talks to the global tier through [`KvBackend`], not a concrete client.
+//! A [`KvClient`](crate::KvClient) is the single-server backend; a
+//! [`ShardedKvClient`](crate::ShardedKvClient) routes every key to exactly
+//! one of N shard servers. Tests inject fault- or latency-wrapped backends
+//! through the same seam.
+
+use std::sync::Arc;
+
+use crate::client::{KvClient, KvError};
+use crate::store::LockMode;
+
+/// A handle to the global tier shared across a host's runtime.
+pub type SharedKv = Arc<dyn KvBackend>;
+
+/// Operations the global state tier serves (Tab. 2's state tier plus the
+/// scheduler's warm sets and counters). Every method routes on its key, so
+/// a sharded backend places each key's value, locks, counters and sets on
+/// one owning shard.
+pub trait KvBackend: Send + Sync {
+    /// Get a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, KvError>;
+
+    /// Set a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn set(&self, key: &str, value: Vec<u8>) -> Result<(), KvError>;
+
+    /// Read a byte range (`None` if the key is missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Option<Vec<u8>>, KvError>;
+
+    /// Write a byte range, zero-extending the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn set_range(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<(), KvError>;
+
+    /// Read several byte ranges of one value in one round-trip (`None` if
+    /// the key is missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn multi_get_range(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> Result<Option<Vec<Vec<u8>>>, KvError>;
+
+    /// Write several byte ranges of one value in one round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn multi_set_range(&self, key: &str, writes: Vec<(u64, Vec<u8>)>) -> Result<(), KvError>;
+
+    /// Append bytes; returns the new length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError>;
+
+    /// Delete a key; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn del(&self, key: &str) -> Result<bool, KvError>;
+
+    /// Whether the key exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn exists(&self, key: &str) -> Result<bool, KvError>;
+
+    /// Value length in bytes (0 if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn strlen(&self, key: &str) -> Result<u64, KvError>;
+
+    /// Atomically add to a counter; returns the new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn incr(&self, key: &str, delta: i64) -> Result<i64, KvError>;
+
+    /// Add a set member; returns true if newly added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn sadd(&self, key: &str, member: &[u8]) -> Result<bool, KvError>;
+
+    /// Remove a set member; returns true if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn srem(&self, key: &str, member: &[u8]) -> Result<bool, KvError>;
+
+    /// List set members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn smembers(&self, key: &str) -> Result<Vec<Vec<u8>>, KvError>;
+
+    /// Set cardinality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn scard(&self, key: &str) -> Result<u64, KvError>;
+
+    /// Try to acquire a global lock once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn try_lock(&self, key: &str, mode: LockMode) -> Result<bool, KvError>;
+
+    /// Acquire a global lock, retrying with backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn lock(&self, key: &str, mode: LockMode) -> Result<(), KvError>;
+
+    /// Release a global lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError>;
+
+    /// Liveness probe (all shards for a sharded backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn ping(&self) -> Result<(), KvError>;
+
+    /// Clear the store (all shards for a sharded backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn flush(&self) -> Result<(), KvError>;
+
+    /// How many shards back this handle (1 for a plain client).
+    fn shard_count(&self) -> usize {
+        1
+    }
+}
+
+impl KvBackend for KvClient {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, KvError> {
+        KvClient::get(self, key)
+    }
+
+    fn set(&self, key: &str, value: Vec<u8>) -> Result<(), KvError> {
+        KvClient::set(self, key, value)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Option<Vec<u8>>, KvError> {
+        KvClient::get_range(self, key, offset, len)
+    }
+
+    fn set_range(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<(), KvError> {
+        KvClient::set_range(self, key, offset, data)
+    }
+
+    fn multi_get_range(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> Result<Option<Vec<Vec<u8>>>, KvError> {
+        KvClient::multi_get_range(self, key, spans)
+    }
+
+    fn multi_set_range(&self, key: &str, writes: Vec<(u64, Vec<u8>)>) -> Result<(), KvError> {
+        KvClient::multi_set_range(self, key, writes)
+    }
+
+    fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError> {
+        KvClient::append(self, key, data)
+    }
+
+    fn del(&self, key: &str) -> Result<bool, KvError> {
+        KvClient::del(self, key)
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, KvError> {
+        KvClient::exists(self, key)
+    }
+
+    fn strlen(&self, key: &str) -> Result<u64, KvError> {
+        KvClient::strlen(self, key)
+    }
+
+    fn incr(&self, key: &str, delta: i64) -> Result<i64, KvError> {
+        KvClient::incr(self, key, delta)
+    }
+
+    fn sadd(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+        KvClient::sadd(self, key, member)
+    }
+
+    fn srem(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+        KvClient::srem(self, key, member)
+    }
+
+    fn smembers(&self, key: &str) -> Result<Vec<Vec<u8>>, KvError> {
+        KvClient::smembers(self, key)
+    }
+
+    fn scard(&self, key: &str) -> Result<u64, KvError> {
+        KvClient::scard(self, key)
+    }
+
+    fn try_lock(&self, key: &str, mode: LockMode) -> Result<bool, KvError> {
+        KvClient::try_lock(self, key, mode)
+    }
+
+    fn lock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+        KvClient::lock(self, key, mode)
+    }
+
+    fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+        KvClient::unlock(self, key, mode)
+    }
+
+    fn ping(&self) -> Result<(), KvError> {
+        KvClient::ping(self)
+    }
+
+    fn flush(&self) -> Result<(), KvError> {
+        KvClient::flush(self)
+    }
+}

@@ -174,6 +174,45 @@ impl KvClient {
         }
     }
 
+    /// Read several byte ranges of one value in a single round-trip
+    /// (`None` if the key is missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn multi_get_range(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> Result<Option<Vec<Vec<u8>>>, KvError> {
+        match self.check(self.exec(Request::MultiGetRange {
+            key: key.into(),
+            spans: spans.to_vec(),
+        })?)? {
+            // A reply must answer every span: a short run list silently
+            // accepted would leave chunks unfetched behind an Ok.
+            Response::Spans(Some(runs)) if runs.len() != spans.len() => Err(KvError::Protocol),
+            Response::Spans(runs) => Ok(runs),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Write several byte ranges of one value in a single round-trip,
+    /// zero-extending it as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn multi_set_range(&self, key: &str, writes: Vec<(u64, Vec<u8>)>) -> Result<(), KvError> {
+        match self.check(self.exec(Request::MultiSetRange {
+            key: key.into(),
+            writes,
+        })?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
     /// Append bytes; returns the new length.
     ///
     /// # Errors

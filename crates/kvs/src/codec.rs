@@ -117,6 +117,22 @@ pub enum Request {
     Ping,
     /// Clear the store (tests / failure injection).
     Flush,
+    /// Read several byte ranges of one value in a single round-trip (the
+    /// batched chunk pull: one request for every missing chunk span).
+    MultiGetRange {
+        /// State key.
+        key: String,
+        /// `(offset, len)` spans to read.
+        spans: Vec<(u64, u64)>,
+    },
+    /// Write several byte ranges of one value in a single round-trip (the
+    /// batched chunk push), zero-extending it as needed.
+    MultiSetRange {
+        /// State key.
+        key: String,
+        /// `(offset, data)` writes to apply, in order.
+        writes: Vec<(u64, Vec<u8>)>,
+    },
 }
 
 /// A server → client reply.
@@ -138,6 +154,9 @@ pub enum Response {
     Pong,
     /// Server-side failure.
     Err(String),
+    /// Reply to [`Request::MultiGetRange`]: `None` if the key is missing,
+    /// otherwise one (possibly truncated) byte run per requested span.
+    Spans(Option<Vec<Vec<u8>>>),
 }
 
 /// A malformed message.
@@ -162,12 +181,15 @@ fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
         return Err(CodecError("truncated length".into()));
     }
     let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
+    if buf.len() < len {
         return Err(CodecError("truncated bytes".into()));
     }
-    let mut v = vec![0u8; len];
-    buf.copy_to_slice(&mut v);
-    Ok(v)
+    // Slice-and-copy rather than zero-fill-then-overwrite: chunked state
+    // payloads run to megabytes, and the wasted zeroing shows up directly
+    // in pull/push latency.
+    let (head, tail) = buf.split_at(len);
+    *buf = tail;
+    Ok(head.to_vec())
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, CodecError> {
@@ -196,9 +218,37 @@ fn byte_mode(b: u8) -> Result<LockMode, CodecError> {
     }
 }
 
+/// Payload bytes a request encoding will need beyond its fixed fields —
+/// sizing the output buffer up front keeps megabyte-scale batched pushes
+/// from paying doubling reallocations.
+fn request_payload_len(req: &Request) -> usize {
+    match req {
+        Request::Set { key, value } => key.len() + value.len(),
+        Request::SetRange { key, data, .. } | Request::Append { key, data } => {
+            key.len() + data.len()
+        }
+        Request::SAdd { key, member } | Request::SRem { key, member } => key.len() + member.len(),
+        Request::MultiGetRange { key, spans } => key.len() + spans.len() * 16,
+        Request::MultiSetRange { key, writes } => {
+            key.len() + writes.iter().map(|(_, d)| d.len() + 12).sum::<usize>()
+        }
+        Request::Get { key }
+        | Request::GetRange { key, .. }
+        | Request::Del { key }
+        | Request::Exists { key }
+        | Request::StrLen { key }
+        | Request::Incr { key, .. }
+        | Request::SMembers { key }
+        | Request::SCard { key }
+        | Request::TryLock { key, .. }
+        | Request::Unlock { key, .. } => key.len(),
+        Request::Ping | Request::Flush => 0,
+    }
+}
+
 /// Encode a request for the wire.
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(32 + request_payload_len(req));
     match req {
         Request::Get { key } => {
             out.put_u8(0);
@@ -275,6 +325,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Ping => out.put_u8(15),
         Request::Flush => out.put_u8(16),
+        Request::MultiGetRange { key, spans } => {
+            out.put_u8(17);
+            put_bytes(&mut out, key.as_bytes());
+            out.put_u32_le(spans.len() as u32);
+            for (offset, len) in spans {
+                out.put_u64_le(*offset);
+                out.put_u64_le(*len);
+            }
+        }
+        Request::MultiSetRange { key, writes } => {
+            out.put_u8(18);
+            put_bytes(&mut out, key.as_bytes());
+            out.put_u32_le(writes.len() as u32);
+            for (offset, data) in writes {
+                out.put_u64_le(*offset);
+                put_bytes(&mut out, data);
+            }
+        }
     }
     out
 }
@@ -364,6 +432,44 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, CodecError> {
         }
         15 => Request::Ping,
         16 => Request::Flush,
+        17 => {
+            let key = get_string(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(CodecError("truncated span count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            // Guard before allocating: every span costs 16 bytes on the
+            // wire, so a hostile count cannot out-size the buffer it rode
+            // in on.
+            if buf.remaining() < n.saturating_mul(16) {
+                return Err(CodecError("span count exceeds payload".into()));
+            }
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                let offset = buf.get_u64_le();
+                let len = buf.get_u64_le();
+                spans.push((offset, len));
+            }
+            Request::MultiGetRange { key, spans }
+        }
+        18 => {
+            let key = get_string(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(CodecError("truncated write count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            // Each write carries at least an 8-byte offset + 4-byte length.
+            if buf.remaining() < n.saturating_mul(12) {
+                return Err(CodecError("write count exceeds payload".into()));
+            }
+            let mut writes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let offset = get_u64(&mut buf)?;
+                let data = get_bytes(&mut buf)?;
+                writes.push((offset, data));
+            }
+            Request::MultiSetRange { key, writes }
+        }
         other => return Err(CodecError(format!("unknown request op {other}"))),
     };
     if buf.has_remaining() {
@@ -374,7 +480,14 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, CodecError> {
 
 /// Encode a response for the wire.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut out = Vec::new();
+    let payload = match resp {
+        Response::Value(Some(v)) => v.len(),
+        Response::Values(vs) => vs.iter().map(|v| v.len() + 4).sum(),
+        Response::Spans(Some(runs)) => runs.iter().map(|r| r.len() + 4).sum(),
+        Response::Err(msg) => msg.len(),
+        _ => 0,
+    };
+    let mut out = Vec::with_capacity(16 + payload);
     match resp {
         Response::Value(None) => out.put_u8(0),
         Response::Value(Some(v)) => {
@@ -405,6 +518,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Err(msg) => {
             out.put_u8(8);
             put_bytes(&mut out, msg.as_bytes());
+        }
+        Response::Spans(None) => out.put_u8(9),
+        Response::Spans(Some(runs)) => {
+            out.put_u8(10);
+            out.put_u32_le(runs.len() as u32);
+            for run in runs {
+                put_bytes(&mut out, run);
+            }
         }
     }
     out
@@ -450,6 +571,22 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
         }
         7 => Response::Pong,
         8 => Response::Err(get_string(&mut buf)?),
+        9 => Response::Spans(None),
+        10 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError("truncated span list".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            // Every run costs at least its 4-byte length prefix.
+            if buf.remaining() < n.saturating_mul(4) {
+                return Err(CodecError("span list count exceeds payload".into()));
+            }
+            let mut runs = Vec::with_capacity(n);
+            for _ in 0..n {
+                runs.push(get_bytes(&mut buf)?);
+            }
+            Response::Spans(Some(runs))
+        }
         other => return Err(CodecError(format!("unknown response tag {other}"))),
     };
     if buf.has_remaining() {
@@ -512,6 +649,18 @@ mod tests {
             },
             Request::Ping,
             Request::Flush,
+            Request::MultiGetRange {
+                key: "k".into(),
+                spans: vec![(0, 16), (32, 16), (64, 8)],
+            },
+            Request::MultiGetRange {
+                key: "k".into(),
+                spans: vec![],
+            },
+            Request::MultiSetRange {
+                key: "k".into(),
+                writes: vec![(0, b"aa".to_vec()), (7, Vec::new()), (100, b"z".to_vec())],
+            },
         ]
     }
 
@@ -527,6 +676,8 @@ mod tests {
             Response::Values(vec![b"a".to_vec(), b"bb".to_vec()]),
             Response::Pong,
             Response::Err("boom".into()),
+            Response::Spans(None),
+            Response::Spans(Some(vec![b"run1".to_vec(), Vec::new(), b"r".to_vec()])),
         ]
     }
 
@@ -564,6 +715,41 @@ mod tests {
         let mut bytes = encode_request(&Request::Ping);
         bytes.push(0);
         assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_batch_counts_rejected_before_allocation() {
+        // MultiGetRange claiming u32::MAX spans in a tiny payload.
+        let mut bytes = vec![17u8];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'k');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
+        // MultiSetRange with an outsized write count.
+        let mut bytes = vec![18u8];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'k');
+        bytes.extend_from_slice(&0x4000_0000u32.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
+        // Spans response with a count its payload cannot back.
+        let mut bytes = vec![10u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_truncations_rejected() {
+        let bytes = encode_request(&Request::MultiSetRange {
+            key: "key".into(),
+            writes: vec![(4, vec![1, 2, 3]), (9, vec![4])],
+        });
+        for cut in 1..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let bytes = encode_response(&Response::Spans(Some(vec![vec![1, 2], vec![3]])));
+        for cut in 1..bytes.len() {
+            assert!(decode_response(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -10,16 +10,23 @@
 //! Structure: [`KvStore`] is the pure state machine; [`KvServer`] serves it
 //! over the `faasm-net` fabric with a hand-rolled binary codec ([`codec`]) so
 //! every byte is measured; [`KvClient`] is the synchronous client used by
-//! host runtimes.
+//! host runtimes. Consumers hold a [`SharedKv`] ([`KvBackend`] trait
+//! object): a single [`KvClient`] for one-server deployments, or a
+//! [`ShardedKvClient`] routing each key to one of N shard servers by
+//! rendezvous hashing.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod client;
 pub mod codec;
 pub mod server;
+pub mod sharded;
 pub mod store;
 
+pub use backend::{KvBackend, SharedKv};
 pub use client::{KvClient, KvError};
 pub use codec::{Request, Response};
-pub use server::KvServer;
+pub use server::{KvServer, ServerShaping};
+pub use sharded::ShardedKvClient;
 pub use store::{KvStore, LockMode};

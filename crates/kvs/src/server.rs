@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use faasm_net::{Envelope, Nic};
+use faasm_net::{Envelope, Nic, TokenBucket, MSG_HEADER_BYTES};
 
 use crate::codec::{decode_request, encode_response, Request, Response};
 use crate::store::KvStore;
@@ -18,6 +18,12 @@ pub struct KvServer {
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
 }
+
+/// Per-server NIC bandwidth shaping: request and response bytes debit one
+/// token bucket shared by all worker threads — the `tc` cap on the global
+/// tier host's interface (the paper's testbed runs the tier on 1 Gbps
+/// links, so a shard's NIC, not its CPU, is the contended resource).
+pub type ServerShaping = Option<Arc<TokenBucket>>;
 
 impl std::fmt::Debug for KvServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -37,16 +43,29 @@ impl KvServer {
     /// Start a server over an existing store (used to simulate restart with
     /// retained state, or to inspect state from tests).
     pub fn start_with_store(nic: Nic, workers: usize, store: Arc<KvStore>) -> KvServer {
+        KvServer::start_shaped(nic, workers, store, None)
+    }
+
+    /// [`KvServer::start_with_store`] with optional NIC bandwidth shaping:
+    /// every served request debits its request + response bytes from the
+    /// bucket before the reply leaves the host.
+    pub fn start_shaped(
+        nic: Nic,
+        workers: usize,
+        store: Arc<KvStore>,
+        shaping: ServerShaping,
+    ) -> KvServer {
         let stop = Arc::new(AtomicBool::new(false));
         let handles = (0..workers.max(1))
             .map(|_| {
                 let nic = nic.clone();
                 let store = Arc::clone(&store);
                 let stop = Arc::clone(&stop);
+                let shaping = shaping.clone();
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         match nic.recv_timeout(Duration::from_millis(50)) {
-                            Ok(env) => serve_one(&store, &nic, env),
+                            Ok(env) => serve_one(&store, &nic, env, shaping.as_deref()),
                             Err(faasm_net::NetError::Timeout) => continue,
                             Err(_) => break,
                         }
@@ -90,15 +109,31 @@ impl Drop for KvServer {
     }
 }
 
-fn serve_one(store: &KvStore, nic: &Nic, env: Envelope) {
+fn serve_one(store: &KvStore, nic: &Nic, env: Envelope, shaper: Option<&TokenBucket>) {
     let resp = match decode_request(&env.payload) {
         Ok(req) => apply(store, req),
         Err(e) => Response::Err(e.to_string()),
     };
     // One-way requests (fire-and-forget writes) carry no reply tag.
     if env.reply_tag.is_some() {
-        let _ = nic.respond(&env, encode_response(&resp));
+        let bytes = encode_response(&resp);
+        if let Some(bucket) = shaper {
+            bucket.acquire(env.payload.len() + bytes.len() + 2 * MSG_HEADER_BYTES as usize);
+        }
+        let _ = nic.respond(&env, bytes);
+    } else if let Some(bucket) = shaper {
+        bucket.acquire(env.payload.len() + MSG_HEADER_BYTES as usize);
     }
+}
+
+/// The largest value a single range write may create. Range writes
+/// zero-extend, so without a cap one hostile frame with an offset near
+/// `u64::MAX` would panic (or OOM) the worker thread that served it —
+/// the codec's count guards bound the *message*, this bounds the *store*.
+pub const MAX_VALUE_BYTES: u64 = 256 * 1024 * 1024;
+
+fn write_in_bounds(offset: u64, len: usize) -> bool {
+    offset.saturating_add(len as u64) <= MAX_VALUE_BYTES
 }
 
 /// Apply one command to the store (exposed for deterministic unit tests).
@@ -113,6 +148,9 @@ pub fn apply(store: &KvStore, req: Request) -> Response {
             Response::Value(store.get_range(&key, offset as usize, len as usize))
         }
         Request::SetRange { key, offset, data } => {
+            if !write_in_bounds(offset, data.len()) {
+                return Response::Err("set_range beyond max value size".into());
+            }
             store.set_range(&key, offset as usize, &data);
             Response::Ok
         }
@@ -133,6 +171,19 @@ pub fn apply(store: &KvStore, req: Request) -> Response {
         Request::Ping => Response::Pong,
         Request::Flush => {
             store.flush();
+            Response::Ok
+        }
+        Request::MultiGetRange { key, spans } => {
+            Response::Spans(store.multi_get_range(&key, &spans))
+        }
+        Request::MultiSetRange { key, writes } => {
+            if writes
+                .iter()
+                .any(|(offset, data)| !write_in_bounds(*offset, data.len()))
+            {
+                return Response::Err("multi_set_range beyond max value size".into());
+            }
+            store.multi_set_range(&key, &writes);
             Response::Ok
         }
     }
@@ -261,6 +312,40 @@ mod tests {
             ),
             Response::Ok
         );
+        assert_eq!(
+            apply(
+                &store,
+                Request::MultiSetRange {
+                    key: "m".into(),
+                    writes: vec![(0, b"ab".to_vec()), (4, b"cd".to_vec())]
+                }
+            ),
+            Response::Ok
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::MultiGetRange {
+                    key: "m".into(),
+                    spans: vec![(0, 2), (4, 2)]
+                }
+            ),
+            Response::Spans(Some(vec![b"ab".to_vec(), b"cd".to_vec()]))
+        );
+        assert_eq!(
+            apply(
+                &store,
+                Request::MultiGetRange {
+                    key: "absent".into(),
+                    spans: vec![(0, 2)]
+                }
+            ),
+            Response::Spans(None)
+        );
+        assert_eq!(
+            apply(&store, Request::Del { key: "m".into() }),
+            Response::Bool(true)
+        );
         assert_eq!(apply(&store, Request::Ping), Response::Pong);
         assert_eq!(
             apply(&store, Request::Del { key: "k".into() }),
@@ -277,6 +362,65 @@ mod tests {
         let client = fabric.add_host();
         let server = KvServer::start(server_nic, 2);
         let sid = server.host_id();
+        let resp = client
+            .call(sid, crate::codec::encode_request(&Request::Ping))
+            .unwrap();
+        assert_eq!(
+            crate::codec::decode_response(&resp).unwrap(),
+            Response::Pong
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn hostile_offsets_get_errors_and_do_not_kill_workers() {
+        // Offsets near u64::MAX pass the codec (the message is tiny) but
+        // would panic the zero-extending store write; the apply layer must
+        // reject them and the single worker must keep serving afterwards.
+        let fabric = Fabric::new();
+        let server_nic = fabric.add_host();
+        let client = fabric.add_host();
+        let server = KvServer::start(server_nic, 1);
+        let sid = server.host_id();
+        for req in [
+            Request::SetRange {
+                key: "k".into(),
+                offset: u64::MAX,
+                data: vec![1],
+            },
+            Request::MultiSetRange {
+                key: "k".into(),
+                writes: vec![(0, vec![1]), (u64::MAX - 1, vec![2, 3])],
+            },
+        ] {
+            let resp = client
+                .call(sid, crate::codec::encode_request(&req))
+                .unwrap();
+            assert!(
+                matches!(
+                    crate::codec::decode_response(&resp).unwrap(),
+                    Response::Err(_)
+                ),
+                "hostile write must be rejected: {req:?}"
+            );
+        }
+        // Huge read lengths truncate instead of wrapping slice bounds.
+        server.store().set("k", vec![7u8; 8]);
+        let resp = client
+            .call(
+                sid,
+                crate::codec::encode_request(&Request::GetRange {
+                    key: "k".into(),
+                    offset: 2,
+                    len: u64::MAX,
+                }),
+            )
+            .unwrap();
+        assert_eq!(
+            crate::codec::decode_response(&resp).unwrap(),
+            Response::Value(Some(vec![7u8; 6]))
+        );
+        // The lone worker survived all of it.
         let resp = client
             .call(sid, crate::codec::encode_request(&Request::Ping))
             .unwrap();

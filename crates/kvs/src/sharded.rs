@@ -1,0 +1,326 @@
+//! A sharded global tier: rendezvous-hashed routing over N shard servers.
+//!
+//! The paper's global tier is "a distributed key-value store" (§4.2); one
+//! `KvServer` per cluster caps state throughput at one host's NIC and one
+//! store's locks. [`ShardedKvClient`] removes that ceiling: each key —
+//! value, counter, lock and set alike — is owned by exactly one shard,
+//! chosen by highest-random-weight (rendezvous) hashing, so adding shards
+//! multiplies aggregate tier bandwidth while an unchanged shard set never
+//! moves a key.
+
+use crate::backend::KvBackend;
+use crate::client::{KvClient, KvError};
+use crate::store::LockMode;
+
+/// A client routing each key to its owning shard.
+///
+/// Owns one [`KvClient`] per shard. Lock ownership is consistent because a
+/// key always routes to the same shard client (and therefore the same
+/// owner token) for the lifetime of this handle.
+pub struct ShardedKvClient {
+    shards: Vec<KvClient>,
+}
+
+impl std::fmt::Debug for ShardedKvClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedKvClient")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finaliser: decorrelates the per-shard weights so rendezvous
+/// choice is uniform even for similar keys.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ShardedKvClient {
+    /// A routing client over per-shard clients; panics if `shards` is empty.
+    pub fn new(shards: Vec<KvClient>) -> ShardedKvClient {
+        assert!(
+            !shards.is_empty(),
+            "sharded client needs at least one shard"
+        );
+        ShardedKvClient { shards }
+    }
+
+    /// The shard owning `key` among `shard_count` shards — a pure function
+    /// of its arguments (rendezvous hashing: the shard with the highest
+    /// mixed hash of `(key, shard)` wins, so removing one shard reassigns
+    /// only that shard's keys). Usable for placement questions without any
+    /// live clients; panics if `shard_count` is zero.
+    pub fn shard_index_for(key: &str, shard_count: usize) -> usize {
+        assert!(shard_count > 0, "no shards to route to");
+        let kh = fnv1a(key.as_bytes());
+        let mut best = 0usize;
+        let mut best_w = 0u64;
+        for i in 0..shard_count {
+            let w = mix(kh ^ mix(i as u64));
+            if i == 0 || w > best_w {
+                best = i;
+                best_w = w;
+            }
+        }
+        best
+    }
+
+    /// The shard index owning `key` on this client.
+    pub fn shard_index(&self, key: &str) -> usize {
+        ShardedKvClient::shard_index_for(key, self.shards.len())
+    }
+
+    fn route(&self, key: &str) -> &KvClient {
+        &self.shards[self.shard_index(key)]
+    }
+}
+
+impl KvBackend for ShardedKvClient {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, KvError> {
+        self.route(key).get(key)
+    }
+
+    fn set(&self, key: &str, value: Vec<u8>) -> Result<(), KvError> {
+        self.route(key).set(key, value)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Option<Vec<u8>>, KvError> {
+        self.route(key).get_range(key, offset, len)
+    }
+
+    fn set_range(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<(), KvError> {
+        self.route(key).set_range(key, offset, data)
+    }
+
+    fn multi_get_range(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> Result<Option<Vec<Vec<u8>>>, KvError> {
+        self.route(key).multi_get_range(key, spans)
+    }
+
+    fn multi_set_range(&self, key: &str, writes: Vec<(u64, Vec<u8>)>) -> Result<(), KvError> {
+        self.route(key).multi_set_range(key, writes)
+    }
+
+    fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError> {
+        self.route(key).append(key, data)
+    }
+
+    fn del(&self, key: &str) -> Result<bool, KvError> {
+        self.route(key).del(key)
+    }
+
+    fn exists(&self, key: &str) -> Result<bool, KvError> {
+        self.route(key).exists(key)
+    }
+
+    fn strlen(&self, key: &str) -> Result<u64, KvError> {
+        self.route(key).strlen(key)
+    }
+
+    fn incr(&self, key: &str, delta: i64) -> Result<i64, KvError> {
+        self.route(key).incr(key, delta)
+    }
+
+    fn sadd(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+        self.route(key).sadd(key, member)
+    }
+
+    fn srem(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+        self.route(key).srem(key, member)
+    }
+
+    fn smembers(&self, key: &str) -> Result<Vec<Vec<u8>>, KvError> {
+        self.route(key).smembers(key)
+    }
+
+    fn scard(&self, key: &str) -> Result<u64, KvError> {
+        self.route(key).scard(key)
+    }
+
+    fn try_lock(&self, key: &str, mode: LockMode) -> Result<bool, KvError> {
+        self.route(key).try_lock(key, mode)
+    }
+
+    fn lock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+        self.route(key).lock(key, mode)
+    }
+
+    fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+        self.route(key).unlock(key, mode)
+    }
+
+    fn ping(&self) -> Result<(), KvError> {
+        for shard in &self.shards {
+            shard.ping()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), KvError> {
+        for shard in &self.shards {
+            shard.flush()?;
+        }
+        Ok(())
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KvStore;
+    use std::sync::Arc;
+
+    fn sharded(n: usize) -> (Vec<Arc<KvStore>>, ShardedKvClient) {
+        let stores: Vec<Arc<KvStore>> = (0..n).map(|_| Arc::new(KvStore::new())).collect();
+        let clients = stores
+            .iter()
+            .map(|s| KvClient::local(Arc::clone(s)))
+            .collect();
+        (stores, ShardedKvClient::new(clients))
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_full_api() {
+        let (_stores, c) = sharded(4);
+        c.set("k", b"v".to_vec()).unwrap();
+        assert_eq!(c.get("k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(c.strlen("k").unwrap(), 1);
+        c.set_range("k", 1, b"w".to_vec()).unwrap();
+        assert_eq!(c.get_range("k", 0, 2).unwrap(), Some(b"vw".to_vec()));
+        assert_eq!(c.append("k", b"!".to_vec()).unwrap(), 3);
+        assert!(c.exists("k").unwrap());
+        assert_eq!(c.incr("n", 2).unwrap(), 2);
+        assert!(c.sadd("s", b"m").unwrap());
+        assert_eq!(c.scard("s").unwrap(), 1);
+        assert_eq!(c.smembers("s").unwrap(), vec![b"m".to_vec()]);
+        assert!(c.srem("s", b"m").unwrap());
+        c.multi_set_range("mk", vec![(0, b"ab".to_vec()), (4, b"cd".to_vec())])
+            .unwrap();
+        assert_eq!(
+            c.multi_get_range("mk", &[(0, 2), (4, 2)]).unwrap(),
+            Some(vec![b"ab".to_vec(), b"cd".to_vec()])
+        );
+        assert!(c.del("k").unwrap());
+        c.ping().unwrap();
+    }
+
+    #[test]
+    fn every_op_on_a_key_lands_on_the_owning_shard() {
+        let (stores, c) = sharded(4);
+        for key in ["alpha", "mm:C", "sched:warm:u:f", "ctr:9"] {
+            let owner = c.shard_index(key);
+            c.set(key, b"v".to_vec()).unwrap();
+            c.sadd(key, b"m").unwrap();
+            // The counter is its own key with its own owner shard.
+            let ctr = format!("{key}:n");
+            c.incr(&ctr, 1).unwrap();
+            for (i, store) in stores.iter().enumerate() {
+                assert_eq!(
+                    store.exists(&ctr),
+                    i == c.shard_index(&ctr),
+                    "counter {ctr} must live only on its owner shard"
+                );
+            }
+            assert!(c.try_lock(key, LockMode::Write).unwrap());
+            for (i, store) in stores.iter().enumerate() {
+                let holds_value = store.exists(key);
+                let holds_set = store.scard(key) > 0;
+                // The write lock is held, so only the owner can be blocked.
+                let lock_free = store.try_lock(key, LockMode::Write, u64::MAX);
+                if lock_free {
+                    store.unlock(key, LockMode::Write, u64::MAX);
+                }
+                if i == owner {
+                    assert!(holds_value && holds_set, "owner shard {i} must hold {key}");
+                    assert!(!lock_free, "owner shard {i} must hold the lock on {key}");
+                } else {
+                    assert!(
+                        !holds_value && !holds_set && lock_free,
+                        "shard {i} must not see {key}"
+                    );
+                }
+            }
+            c.unlock(key, LockMode::Write).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_it() {
+        let (stores, c) = sharded(1);
+        for i in 0..64 {
+            c.set(&format!("k{i}"), vec![i]).unwrap();
+        }
+        assert_eq!(stores[0].key_count(), 64);
+        assert_eq!(c.shard_count(), 1);
+    }
+
+    #[test]
+    fn load_is_balanced_across_shards() {
+        let (stores, c) = sharded(4);
+        let keys = 1000;
+        for i in 0..keys {
+            c.set(&format!("state:key:{i}"), vec![0u8; 8]).unwrap();
+        }
+        let mean = keys as f64 / 4.0;
+        for (i, store) in stores.iter().enumerate() {
+            let n = store.key_count();
+            assert!(
+                (n as f64) <= 2.0 * mean && n > 0,
+                "shard {i} holds {n} of {keys} keys (mean {mean})"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_clears_every_shard() {
+        let (stores, c) = sharded(3);
+        for i in 0..32 {
+            c.set(&format!("k{i}"), vec![1]).unwrap();
+        }
+        c.flush().unwrap();
+        for store in &stores {
+            assert_eq!(store.key_count(), 0);
+        }
+    }
+
+    #[test]
+    fn locks_exclude_across_sharded_clients() {
+        let stores: Vec<Arc<KvStore>> = (0..2).map(|_| Arc::new(KvStore::new())).collect();
+        let a = ShardedKvClient::new(
+            stores
+                .iter()
+                .map(|s| KvClient::local(Arc::clone(s)))
+                .collect(),
+        );
+        let b = ShardedKvClient::new(
+            stores
+                .iter()
+                .map(|s| KvClient::local(Arc::clone(s)))
+                .collect(),
+        );
+        assert!(a.try_lock("k", LockMode::Write).unwrap());
+        assert!(!b.try_lock("k", LockMode::Write).unwrap());
+        a.unlock("k", LockMode::Write).unwrap();
+        assert!(b.try_lock("k", LockMode::Write).unwrap());
+        b.unlock("k", LockMode::Write).unwrap();
+    }
+}

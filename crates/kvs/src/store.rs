@@ -92,7 +92,9 @@ impl KvStore {
         if offset >= v.len() {
             return Some(Vec::new());
         }
-        let end = (offset + len).min(v.len());
+        // Saturate: a wire-supplied `len` near usize::MAX must truncate,
+        // not wrap the slice bounds.
+        let end = offset.saturating_add(len).min(v.len());
         Some(v[offset..end].to_vec())
     }
 
@@ -105,6 +107,46 @@ impl KvStore {
             v.resize(offset + data.len(), 0);
         }
         v[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Read several ranges of one value under a single shard-lock
+    /// acquisition (the batched chunk pull). `None` if the key is missing;
+    /// otherwise one byte run per span, truncated like
+    /// [`KvStore::get_range`] where the value is shorter.
+    pub fn multi_get_range(&self, key: &str, spans: &[(u64, u64)]) -> Option<Vec<Vec<u8>>> {
+        let shard = self.shard(key).lock();
+        let v = shard.values.get(key)?;
+        Some(
+            spans
+                .iter()
+                .map(|&(offset, len)| {
+                    let offset = offset as usize;
+                    if offset >= v.len() {
+                        return Vec::new();
+                    }
+                    let end = offset.saturating_add(len as usize).min(v.len());
+                    v[offset..end].to_vec()
+                })
+                .collect(),
+        )
+    }
+
+    /// Apply several range writes to one value under a single shard-lock
+    /// acquisition (the batched chunk push), zero-extending as needed.
+    /// Writes land in order, so overlapping ranges resolve last-writer-wins.
+    pub fn multi_set_range(&self, key: &str, writes: &[(u64, Vec<u8>)]) {
+        if writes.is_empty() {
+            return;
+        }
+        let mut shard = self.shard(key).lock();
+        let v = shard.values.entry(key.to_string()).or_default();
+        for (offset, data) in writes {
+            let offset = *offset as usize;
+            if v.len() < offset + data.len() {
+                v.resize(offset + data.len(), 0);
+            }
+            v[offset..offset + data.len()].copy_from_slice(data);
+        }
     }
 
     /// Append data; returns the new length (the paper's `append_state`).
@@ -331,6 +373,24 @@ mod tests {
         assert_eq!(s.get_range("k", 6, 100), Some(b"cd".to_vec()));
         assert_eq!(s.get_range("k", 100, 4), Some(Vec::new()));
         assert_eq!(s.get_range("missing", 0, 4), None);
+    }
+
+    #[test]
+    fn multi_range_ops() {
+        let s = KvStore::new();
+        assert_eq!(s.multi_get_range("missing", &[(0, 4)]), None);
+        s.multi_set_range("k", &[(0, b"abcd".to_vec()), (8, b"ef".to_vec())]);
+        assert_eq!(s.get("k"), Some(b"abcd\0\0\0\0ef".to_vec()));
+        assert_eq!(
+            s.multi_get_range("k", &[(0, 2), (8, 100), (100, 4), (9, 0)]),
+            Some(vec![b"ab".to_vec(), b"ef".to_vec(), Vec::new(), Vec::new()])
+        );
+        // Overlaps resolve in order (last writer wins).
+        s.multi_set_range("k", &[(0, b"XX".to_vec()), (1, b"Y".to_vec())]);
+        assert_eq!(s.get_range("k", 0, 3), Some(b"XYc".to_vec()));
+        // An empty batch creates nothing.
+        s.multi_set_range("fresh", &[]);
+        assert!(!s.exists("fresh"));
     }
 
     #[test]

@@ -64,8 +64,15 @@ impl Page {
             let in_word = byte_addr % 8;
             let avail = (8 - in_word).min(buf.len() - pos);
             let word = self.words[word_idx].load(Ordering::Relaxed);
-            let bytes = word.to_le_bytes();
-            buf[pos..pos + avail].copy_from_slice(&bytes[in_word..in_word + avail]);
+            if in_word == 0 && avail == 8 {
+                // Aligned whole-word fast path, mirroring [`Page::write`]:
+                // the fixed-length copy lets bulk reads (state pushes read
+                // whole replicas) compile to straight-line code.
+                buf[pos..pos + 8].copy_from_slice(&word.to_le_bytes());
+            } else {
+                let bytes = word.to_le_bytes();
+                buf[pos..pos + avail].copy_from_slice(&bytes[in_word..in_word + avail]);
+            }
             pos += avail;
         }
     }

@@ -5,14 +5,12 @@
 //! during the scheduling decision." Warm sets are KVS sets keyed by user and
 //! function; members are host ids.
 
-use std::sync::Arc;
-
-use faasm_kvs::{KvClient, KvError};
+use faasm_kvs::{KvError, SharedKv};
 use faasm_net::HostId;
 
 /// The global warm-host registry, shared by all local schedulers.
 pub struct WarmSets {
-    kv: Arc<KvClient>,
+    kv: SharedKv,
 }
 
 impl std::fmt::Debug for WarmSets {
@@ -27,7 +25,7 @@ fn warm_key(user: &str, function: &str) -> String {
 
 impl WarmSets {
     /// A registry over the given global-tier client.
-    pub fn new(kv: Arc<KvClient>) -> WarmSets {
+    pub fn new(kv: SharedKv) -> WarmSets {
         WarmSets { kv }
     }
 
@@ -108,7 +106,8 @@ impl WarmSets {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faasm_kvs::KvStore;
+    use faasm_kvs::{KvClient, KvStore};
+    use std::sync::Arc;
 
     fn warm() -> WarmSets {
         WarmSets::new(Arc::new(KvClient::local(Arc::new(KvStore::new()))))

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use faasm_kvs::{KvClient, LockMode};
+use faasm_kvs::{KvBackend, LockMode, SharedKv};
 
 use crate::entry::StateEntry;
 use crate::error::StateError;
@@ -204,7 +204,7 @@ impl MatrixReadOnly {
     /// Global-tier errors; panics are avoided — a size mismatch returns
     /// [`StateError::OutOfRange`].
     pub fn create(
-        kv: &KvClient,
+        kv: &dyn KvBackend,
         key: &str,
         rows: usize,
         cols: usize,
@@ -333,7 +333,7 @@ impl SparseMatrixBuilder {
     /// # Errors
     ///
     /// Global-tier errors.
-    pub fn upload(&self, kv: &KvClient, key: &str) -> Result<(), StateError> {
+    pub fn upload(&self, kv: &dyn KvBackend, key: &str) -> Result<(), StateError> {
         let mut sorted = self.triplets.clone();
         sorted.sort_by_key(|(r, c, _)| (*c, *r));
         let mut vals = Vec::with_capacity(sorted.len());
@@ -429,7 +429,7 @@ impl SparseMatrixReadOnly {
 /// "lazily pull values only when they are accessed, such as in a distributed
 /// dictionary"). Fields live in the global tier as independent keys.
 pub struct SharedDict {
-    kv: Arc<KvClient>,
+    kv: SharedKv,
     key: String,
 }
 
@@ -505,7 +505,7 @@ impl SharedDict {
 /// example of a list needing explicit locking to "perform multiple writes to
 /// its state value when atomically adding an element").
 pub struct SharedList {
-    kv: Arc<KvClient>,
+    kv: SharedKv,
     key: String,
 }
 
@@ -589,7 +589,7 @@ impl SharedList {
 /// A strongly-consistent distributed counter (every update is an atomic
 /// global-tier operation).
 pub struct SharedCounter {
-    kv: Arc<KvClient>,
+    kv: SharedKv,
     key: String,
 }
 
@@ -632,7 +632,7 @@ impl SharedCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faasm_kvs::KvStore;
+    use faasm_kvs::{KvClient, KvStore};
 
     fn two_hosts() -> (StateManager, StateManager, Arc<KvClient>) {
         let store = Arc::new(KvStore::new());
@@ -683,7 +683,7 @@ mod tests {
         let rows = 64;
         let cols = 64;
         let data: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
-        MatrixReadOnly::create(&driver, "m", rows, cols, &data).unwrap();
+        MatrixReadOnly::create(driver.as_ref(), "m", rows, cols, &data).unwrap();
         let m = MatrixReadOnly::open(&store_mgr, "m", rows, cols).unwrap();
         let col5 = m.column(5).unwrap();
         assert_eq!(col5[0], (5 * rows) as f64);
@@ -695,7 +695,7 @@ mod tests {
     #[test]
     fn matrix_create_validates_shape() {
         let (_h1, _h2, driver) = two_hosts();
-        assert!(MatrixReadOnly::create(&driver, "m", 2, 2, &[1.0]).is_err());
+        assert!(MatrixReadOnly::create(driver.as_ref(), "m", 2, 2, &[1.0]).is_err());
     }
 
     #[test]
@@ -704,7 +704,7 @@ mod tests {
         let mut b = SparseMatrixBuilder::new(4, 3);
         b.push(0, 0, 1.0).push(2, 0, 3.0).push(1, 2, 5.0);
         assert_eq!(b.nnz(), 3);
-        b.upload(&driver, "sm").unwrap();
+        b.upload(driver.as_ref(), "sm").unwrap();
         let m = SparseMatrixReadOnly::open(&h1, "sm", 4, 3).unwrap();
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.column(0).unwrap(), vec![(0, 1.0), (2, 3.0)]);

@@ -8,9 +8,7 @@
 //! dirty chunks — the mechanism behind Listing 1's sparse matrix access and
 //! batched weight updates.
 
-use std::sync::Arc;
-
-use faasm_kvs::{KvClient, LockMode};
+use faasm_kvs::{LockMode, SharedKv};
 use faasm_mem::SharedRegion;
 use parking_lot::Mutex;
 
@@ -35,7 +33,7 @@ pub struct StateEntry {
     chunk_size: usize,
     chunks: Mutex<ChunkTable>,
     local_lock: SyncRwLock,
-    kv: Arc<KvClient>,
+    kv: SharedKv,
 }
 
 impl std::fmt::Debug for StateEntry {
@@ -59,7 +57,7 @@ impl StateEntry {
         key: &str,
         size: usize,
         region: SharedRegion,
-        kv: Arc<KvClient>,
+        kv: SharedKv,
         chunk_size: usize,
     ) -> Result<StateEntry, StateError> {
         if size > region.capacity() {
@@ -143,9 +141,28 @@ impl StateEntry {
         (start, end)
     }
 
+    /// Coalesce sorted chunk indices into contiguous `(start, end)` byte
+    /// spans (adjacent chunks merge into one wire span).
+    fn coalesce(&self, chunks: &[usize]) -> Vec<(usize, usize)> {
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for &idx in chunks {
+            let (start, end) = self.chunk_bounds(idx);
+            match spans.last_mut() {
+                Some((_, e)) if *e == start => *e = end,
+                _ => spans.push((start, end)),
+            }
+        }
+        spans
+    }
+
     /// Fetch any chunks in `offset..offset+len` missing from the local
     /// replica ("the DDO implicitly performs a pull operation to ensure that
     /// data is present... only replicates the necessary subsets", §4.1).
+    ///
+    /// Missing chunks are coalesced into contiguous spans and fetched with
+    /// **one** batched round-trip; the chunk table is never locked while
+    /// the request is on the wire, so concurrent operations on other
+    /// chunks of this key proceed at memory speed.
     ///
     /// # Errors
     ///
@@ -153,21 +170,51 @@ impl StateEntry {
     pub fn pull_range(&self, offset: usize, len: usize) -> Result<(), StateError> {
         self.check_range(offset, len)?;
         let (first, last) = self.chunk_span(offset, len);
+        // Snapshot the missing set, then release the lock before the fetch.
+        let missing: Vec<usize> = {
+            let table = self.chunks.lock();
+            (first..=last).filter(|&i| !table.present[i]).collect()
+        };
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let spans = self.coalesce(&missing);
+        let wire_spans: Vec<(u64, u64)> = spans
+            .iter()
+            .map(|&(s, e)| (s as u64, (e - s) as u64))
+            .collect();
+        let fetched = self.kv.multi_get_range(&self.key, &wire_spans)?;
+        // Reconcile under the lock: a chunk that became present meanwhile
+        // (a concurrent write dirtied it, or another pull landed first)
+        // keeps its local bytes — global data fetched before the race
+        // resolved must not clobber it.
         let mut table = self.chunks.lock();
-        for idx in first..=last {
-            if table.present[idx] {
-                continue;
-            }
-            let (start, end) = self.chunk_bounds(idx);
-            if let Some(data) = self
-                .kv
-                .get_range(&self.key, start as u64, (end - start) as u64)?
-            {
-                if !data.is_empty() {
-                    self.region.write(start, &data)?;
+        match fetched {
+            Some(runs) => {
+                for (&(span_start, span_end), run) in spans.iter().zip(&runs) {
+                    let mut idx = span_start / self.chunk_size;
+                    loop {
+                        let (start, end) = self.chunk_bounds(idx);
+                        if start >= span_end {
+                            break;
+                        }
+                        if !table.present[idx] {
+                            // The run may be truncated if the global value
+                            // is shorter than the span.
+                            let have = run.len().saturating_sub(start - span_start);
+                            let take = have.min(end - start);
+                            if take > 0 {
+                                let rel = start - span_start;
+                                self.region.write(start, &run[rel..rel + take])?;
+                            }
+                            table.present[idx] = true;
+                        }
+                        idx += 1;
+                    }
                 }
             }
-            table.present[idx] = true;
+            // Key absent globally: the zeroed region is authoritative.
+            None => missing.iter().for_each(|&i| table.present[i] = true),
         }
         Ok(())
     }
@@ -182,29 +229,47 @@ impl StateEntry {
     }
 
     /// Push dirty chunks to the global tier (`push_state`); clears dirty
-    /// bits.
+    /// bits. Adjacent dirty chunks coalesce into contiguous spans sent in
+    /// **one** batched round-trip, with no table lock held on the wire.
     ///
     /// # Errors
     ///
     /// Global-tier errors.
     pub fn push(&self) -> Result<(), StateError> {
+        // Claim the dirty set up front (bits clear now): a write racing
+        // this push re-dirties its chunk and is owed the *next* push —
+        // clearing after the send would silently absorb it into this one.
+        // On error the claimed bits are restored so no write is lost.
         let dirty: Vec<usize> = {
-            let table = self.chunks.lock();
-            table
+            let mut table = self.chunks.lock();
+            let dirty: Vec<usize> = table
                 .dirty
                 .iter()
                 .enumerate()
                 .filter_map(|(i, d)| d.then_some(i))
-                .collect()
+                .collect();
+            dirty.iter().for_each(|&i| table.dirty[i] = false);
+            dirty
         };
-        for idx in dirty {
-            let (start, end) = self.chunk_bounds(idx);
-            let mut buf = vec![0u8; end - start];
-            self.region.read(start, &mut buf)?;
-            self.kv.set_range(&self.key, start as u64, buf)?;
-            self.chunks.lock().dirty[idx] = false;
+        if dirty.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let result = (|| {
+            let spans = self.coalesce(&dirty);
+            let mut writes = Vec::with_capacity(spans.len());
+            for &(start, end) in &spans {
+                let mut buf = vec![0u8; end - start];
+                self.region.read(start, &mut buf)?;
+                writes.push((start as u64, buf));
+            }
+            self.kv.multi_set_range(&self.key, writes)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            let mut table = self.chunks.lock();
+            dirty.iter().for_each(|&i| table.dirty[i] = true);
+        }
+        result
     }
 
     /// Push the entire value regardless of dirty state (`push_state`,
@@ -232,20 +297,78 @@ impl StateEntry {
     ///
     /// Global-tier or range errors.
     pub fn push_range(&self, offset: usize, len: usize) -> Result<(), StateError> {
-        self.check_range(offset, len)?;
-        let mut buf = vec![0u8; len];
-        self.region.read(offset, &mut buf)?;
-        self.kv.set_range(&self.key, offset as u64, buf)?;
-        // Covered whole chunks are no longer dirty.
-        let (first, last) = self.chunk_span(offset, len);
+        self.push_ranges(&[(offset, len)])
+    }
+
+    /// Push several byte ranges regardless of dirty state, in **one**
+    /// batched round-trip — the safe flush for writers updating scattered
+    /// disjoint ranges of a shared value (chunk-granular [`StateEntry::push`]
+    /// would overwrite neighbouring bytes they never touched).
+    ///
+    /// # Errors
+    ///
+    /// Global-tier or range errors.
+    pub fn push_ranges(&self, ranges: &[(usize, usize)]) -> Result<(), StateError> {
+        for &(offset, len) in ranges {
+            self.check_range(offset, len)?;
+        }
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        // Claim fully covered dirty chunks up front, like [`StateEntry::push`]:
+        // a write racing this flush re-dirties its chunk *after* the claim
+        // and is owed the next push — clearing after the send would mark a
+        // racing write clean without its bytes ever leaving the host.
+        let claimed: Vec<usize> = {
+            let mut table = self.chunks.lock();
+            let mut claimed = Vec::new();
+            for &(offset, len) in ranges {
+                let (first, last) = self.chunk_span(offset, len);
+                for idx in first..=last {
+                    let (start, end) = self.chunk_bounds(idx);
+                    if offset <= start && offset + len >= end && table.dirty[idx] {
+                        table.dirty[idx] = false;
+                        claimed.push(idx);
+                    }
+                }
+            }
+            claimed
+        };
+        let result = (|| {
+            let mut writes = Vec::with_capacity(ranges.len());
+            for &(offset, len) in ranges {
+                let mut buf = vec![0u8; len];
+                self.region.read(offset, &mut buf)?;
+                writes.push((offset as u64, buf));
+            }
+            self.kv.multi_set_range(&self.key, writes)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            let mut table = self.chunks.lock();
+            claimed.iter().for_each(|&i| table.dirty[i] = true);
+        }
+        result
+    }
+
+    /// Clear dirty bits for every chunk overlapping `ranges` — the settle
+    /// step of the range-flush protocol. A writer that flushes **all** of
+    /// its writes through [`StateEntry::push_ranges`] holds nothing locally
+    /// newer than the global tier in the chunks it touched, so it clears
+    /// them here; otherwise a later chunk-granular [`StateEntry::push`]
+    /// would re-upload whole stale chunks and, on a shared-output value,
+    /// clobber other writers' bytes. Out-of-range entries are ignored.
+    pub fn clear_dirty_ranges(&self, ranges: &[(usize, usize)]) {
         let mut table = self.chunks.lock();
-        for idx in first..=last {
-            let (start, end) = self.chunk_bounds(idx);
-            if offset <= start && offset + len >= end {
+        for &(offset, len) in ranges {
+            if offset.checked_add(len).is_none_or(|end| end > self.size) {
+                continue;
+            }
+            let (first, last) = self.chunk_span(offset, len);
+            for idx in first..=last {
                 table.dirty[idx] = false;
             }
         }
-        Ok(())
     }
 
     /// Read from the local replica, pulling missing chunks first. Takes the
@@ -290,6 +413,17 @@ impl StateEntry {
                 self.pull_range(start, end - start)?;
             }
         }
+        // Claim every covered chunk present *before* touching the region:
+        // a pull whose batched fetch is already on the wire reconciles
+        // under the table lock and skips present chunks, so the claim is
+        // what stops stale global bytes from overwriting this write once
+        // it lands (the fetch-in-flight/write race).
+        {
+            let mut table = self.chunks.lock();
+            for idx in first..=last {
+                table.present[idx] = true;
+            }
+        }
         self.local_lock.lock_write();
         let r = self.region.write(offset, data);
         self.local_lock.unlock_write();
@@ -297,7 +431,6 @@ impl StateEntry {
         let mut table = self.chunks.lock();
         for idx in first..=last {
             table.dirty[idx] = true;
-            table.present[idx] = true;
         }
         Ok(())
     }
@@ -393,14 +526,121 @@ impl StateEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faasm_kvs::KvStore;
+    use faasm_kvs::{KvBackend, KvClient, KvError, KvStore};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     fn entry_with(size: usize, chunk: usize) -> (Arc<KvClient>, StateEntry) {
         let store = Arc::new(KvStore::new());
         let kv = Arc::new(KvClient::local(store));
         let region = SharedRegion::new(size.max(1));
-        let e = StateEntry::new("k", size, region, Arc::clone(&kv), chunk).unwrap();
+        let e = StateEntry::new("k", size, region, Arc::clone(&kv) as SharedKv, chunk).unwrap();
         (kv, e)
+    }
+
+    /// Forwards every non-batched [`KvBackend`] method to an inner client
+    /// field, so test wrappers only spell out the batched ops they alter.
+    macro_rules! forward_kv_passthrough {
+        ($field:tt) => {
+            fn get(&self, key: &str) -> Result<Option<Vec<u8>>, KvError> {
+                self.$field.get(key)
+            }
+            fn set(&self, key: &str, value: Vec<u8>) -> Result<(), KvError> {
+                self.$field.set(key, value)
+            }
+            fn get_range(
+                &self,
+                key: &str,
+                offset: u64,
+                len: u64,
+            ) -> Result<Option<Vec<u8>>, KvError> {
+                self.$field.get_range(key, offset, len)
+            }
+            fn set_range(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<(), KvError> {
+                self.$field.set_range(key, offset, data)
+            }
+            fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError> {
+                self.$field.append(key, data)
+            }
+            fn del(&self, key: &str) -> Result<bool, KvError> {
+                self.$field.del(key)
+            }
+            fn exists(&self, key: &str) -> Result<bool, KvError> {
+                self.$field.exists(key)
+            }
+            fn strlen(&self, key: &str) -> Result<u64, KvError> {
+                self.$field.strlen(key)
+            }
+            fn incr(&self, key: &str, delta: i64) -> Result<i64, KvError> {
+                self.$field.incr(key, delta)
+            }
+            fn sadd(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+                self.$field.sadd(key, member)
+            }
+            fn srem(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
+                self.$field.srem(key, member)
+            }
+            fn smembers(&self, key: &str) -> Result<Vec<Vec<u8>>, KvError> {
+                self.$field.smembers(key)
+            }
+            fn scard(&self, key: &str) -> Result<u64, KvError> {
+                self.$field.scard(key)
+            }
+            fn try_lock(&self, key: &str, mode: LockMode) -> Result<bool, KvError> {
+                self.$field.try_lock(key, mode)
+            }
+            fn lock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+                self.$field.lock(key, mode)
+            }
+            fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
+                self.$field.unlock(key, mode)
+            }
+            fn ping(&self) -> Result<(), KvError> {
+                self.$field.ping()
+            }
+            fn flush(&self) -> Result<(), KvError> {
+                self.$field.flush()
+            }
+        };
+    }
+
+    /// A backend that counts batched calls and stalls batched *reads* on
+    /// demand — the latency-injection seam for lock-discipline tests.
+    struct SlowKv {
+        inner: Arc<KvClient>,
+        delay: Duration,
+        multi_gets: std::sync::atomic::AtomicUsize,
+        multi_sets: std::sync::atomic::AtomicUsize,
+    }
+
+    impl SlowKv {
+        fn new(inner: Arc<KvClient>, delay: Duration) -> SlowKv {
+            SlowKv {
+                inner,
+                delay,
+                multi_gets: std::sync::atomic::AtomicUsize::new(0),
+                multi_sets: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl KvBackend for SlowKv {
+        forward_kv_passthrough!(inner);
+        fn multi_get_range(
+            &self,
+            key: &str,
+            spans: &[(u64, u64)],
+        ) -> Result<Option<Vec<Vec<u8>>>, KvError> {
+            self.multi_gets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            std::thread::sleep(self.delay);
+            self.inner.multi_get_range(key, spans)
+        }
+        fn multi_set_range(&self, key: &str, writes: Vec<(u64, Vec<u8>)>) -> Result<(), KvError> {
+            self.multi_sets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.multi_set_range(key, writes)
+        }
     }
 
     #[test]
@@ -538,6 +778,230 @@ mod tests {
         e.invalidate();
         e.read(0, &mut buf).unwrap();
         assert_eq!(buf, [2u8; 8]);
+    }
+
+    #[test]
+    fn pull_and_push_batch_into_single_round_trips() {
+        let store = Arc::new(KvStore::new());
+        let plain = Arc::new(KvClient::local(Arc::clone(&store)));
+        plain.set("k", (0u8..64).collect()).unwrap();
+        let kv = Arc::new(SlowKv::new(Arc::clone(&plain), Duration::ZERO));
+        let e = StateEntry::new(
+            "k",
+            64,
+            SharedRegion::new(64),
+            Arc::clone(&kv) as SharedKv,
+            16,
+        )
+        .unwrap();
+        // 4 missing chunks, one wire round-trip.
+        e.pull().unwrap();
+        assert_eq!(kv.multi_gets.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let mut buf = [0u8; 64];
+        e.read(0, &mut buf).unwrap();
+        assert_eq!(buf.to_vec(), (0u8..64).collect::<Vec<u8>>());
+        // Scattered dirty chunks (0, 1 and 3): still one round-trip, and
+        // the untouched chunk 2 is not clobbered.
+        e.write(0, &[9u8; 32]).unwrap();
+        e.write(48, &[8u8; 16]).unwrap();
+        e.push().unwrap();
+        assert_eq!(kv.multi_sets.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let global = plain.get("k").unwrap().unwrap();
+        assert_eq!(&global[0..32], &[9u8; 32]);
+        assert_eq!(&global[32..48], &(32u8..48).collect::<Vec<u8>>()[..]);
+        assert_eq!(&global[48..64], &[8u8; 16]);
+    }
+
+    #[test]
+    fn pull_zero_fills_beyond_a_short_global_value() {
+        let store = Arc::new(KvStore::new());
+        let kv = Arc::new(KvClient::local(Arc::clone(&store)));
+        kv.set("k", vec![7u8; 20]).unwrap();
+        let region = SharedRegion::new(64);
+        let e = StateEntry::new("k", 64, region, Arc::clone(&kv) as SharedKv, 16).unwrap();
+        let mut buf = [0u8; 64];
+        e.read(0, &mut buf).unwrap();
+        assert_eq!(&buf[..20], &[7u8; 20]);
+        assert_eq!(&buf[20..], &[0u8; 44]);
+        assert_eq!(e.present_chunks(), 4);
+    }
+
+    #[test]
+    fn slow_pull_does_not_block_ops_on_other_chunks() {
+        // Regression for the chunk-table mutex held across KV round-trips:
+        // while one thread's pull is stalled on the wire, local writes,
+        // dirty queries and range pushes on *other* chunks must proceed.
+        let store = Arc::new(KvStore::new());
+        let plain = Arc::new(KvClient::local(Arc::clone(&store)));
+        plain.set("k", vec![5u8; 64]).unwrap();
+        // Delay reads only, so the concurrent push is not itself slowed.
+        let slow = Arc::new(SlowKv::new(Arc::clone(&plain), Duration::from_millis(400)));
+        let e = Arc::new(
+            StateEntry::new(
+                "k",
+                64,
+                SharedRegion::new(64),
+                Arc::clone(&slow) as SharedKv,
+                16,
+            )
+            .unwrap(),
+        );
+        let puller = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || e.pull_range(0, 16).unwrap())
+        };
+        // Let the puller reach its stalled round-trip.
+        while slow.multi_gets.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let t0 = std::time::Instant::now();
+        e.write(48, &[1u8; 16]).unwrap();
+        assert_eq!(e.dirty_chunks(), 1);
+        e.push_range(48, 16).unwrap();
+        let elapsed = t0.elapsed();
+        puller.join().unwrap();
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "ops on other chunks stalled {elapsed:?} behind a slow pull"
+        );
+        // And the slow pull still landed its chunk.
+        let mut buf = [0u8; 16];
+        e.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 16]);
+    }
+
+    #[test]
+    fn write_during_inflight_pull_is_not_clobbered_by_stale_fetch() {
+        // The fetch-in-flight/write race: a pull's batched read is on the
+        // wire (no lock held) when a fully-covering write lands on one of
+        // the chunks being fetched. The write's claim must win — the
+        // pull's reconcile may not overwrite it with stale global bytes,
+        // and the next push must upload the fresh write.
+        let store = Arc::new(KvStore::new());
+        let plain = Arc::new(KvClient::local(Arc::clone(&store)));
+        plain.set("k", vec![5u8; 32]).unwrap();
+        let slow = Arc::new(SlowKv::new(Arc::clone(&plain), Duration::from_millis(300)));
+        let e = Arc::new(
+            StateEntry::new(
+                "k",
+                32,
+                SharedRegion::new(32),
+                Arc::clone(&slow) as SharedKv,
+                16,
+            )
+            .unwrap(),
+        );
+        let puller = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || e.pull().unwrap())
+        };
+        while slow.multi_gets.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The fetch (stale 5s) is in flight; overwrite chunk 0 locally.
+        e.write(0, &[9u8; 16]).unwrap();
+        puller.join().unwrap();
+        let mut buf = [0u8; 16];
+        e.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 16], "in-flight pull must not clobber the write");
+        e.push().unwrap();
+        assert_eq!(
+            plain.get_range("k", 0, 16).unwrap().unwrap(),
+            vec![9u8; 16],
+            "push uploads the surviving write"
+        );
+    }
+
+    #[test]
+    fn clear_dirty_ranges_settles_flushed_chunks() {
+        let store = Arc::new(KvStore::new());
+        let plain = Arc::new(KvClient::local(Arc::clone(&store)));
+        let kv = Arc::new(SlowKv::new(Arc::clone(&plain), Duration::ZERO));
+        let e = StateEntry::new(
+            "k",
+            64,
+            SharedRegion::new(64),
+            Arc::clone(&kv) as SharedKv,
+            16,
+        )
+        .unwrap();
+        // Scattered partial-chunk writes flushed by range stay dirty...
+        e.write(0, &[1u8; 4]).unwrap();
+        e.write(40, &[2u8; 4]).unwrap();
+        e.push_ranges(&[(0, 4), (40, 4)]).unwrap();
+        assert_eq!(e.dirty_chunks(), 2);
+        // ...until the writer settles them; a later chunk push then sends
+        // nothing (no stale-chunk clobber on shared-output values).
+        e.clear_dirty_ranges(&[(0, 4), (40, 4)]);
+        assert_eq!(e.dirty_chunks(), 0);
+        let sets_before = kv.multi_sets.load(std::sync::atomic::Ordering::Relaxed);
+        e.push().unwrap();
+        assert_eq!(
+            kv.multi_sets.load(std::sync::atomic::Ordering::Relaxed),
+            sets_before,
+            "nothing dirty, nothing sent"
+        );
+        // Out-of-range settles are ignored.
+        e.clear_dirty_ranges(&[(usize::MAX, 2), (60, 8)]);
+    }
+
+    #[test]
+    fn push_ranges_is_one_round_trip_and_preserves_neighbours() {
+        let store = Arc::new(KvStore::new());
+        let plain = Arc::new(KvClient::local(Arc::clone(&store)));
+        plain.set("k", vec![3u8; 64]).unwrap();
+        let kv = Arc::new(SlowKv::new(Arc::clone(&plain), Duration::ZERO));
+        let e = StateEntry::new(
+            "k",
+            64,
+            SharedRegion::new(64),
+            Arc::clone(&kv) as SharedKv,
+            16,
+        )
+        .unwrap();
+        // Scattered 4-byte writes within chunks this entry never pulled.
+        e.write(0, &[1u8; 4]).unwrap();
+        e.write(20, &[2u8; 4]).unwrap();
+        e.push_ranges(&[(0, 4), (20, 4)]).unwrap();
+        assert_eq!(kv.multi_sets.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let global = plain.get("k").unwrap().unwrap();
+        assert_eq!(&global[0..4], &[1u8; 4]);
+        assert_eq!(&global[4..20], &[3u8; 16], "neighbour bytes survive");
+        assert_eq!(&global[20..24], &[2u8; 4]);
+        assert_eq!(&global[24..], &[3u8; 40]);
+        // Partial-chunk pushes leave the chunks dirty (not fully covered).
+        assert_eq!(e.dirty_chunks(), 2);
+        // Out-of-range ranges are rejected before any wire traffic.
+        assert!(e.push_ranges(&[(60, 8)]).is_err());
+    }
+
+    #[test]
+    fn failed_push_restores_dirty_bits() {
+        struct FailingSets(Arc<KvClient>);
+        impl KvBackend for FailingSets {
+            forward_kv_passthrough!(0);
+            fn multi_get_range(
+                &self,
+                key: &str,
+                spans: &[(u64, u64)],
+            ) -> Result<Option<Vec<Vec<u8>>>, KvError> {
+                self.0.multi_get_range(key, spans)
+            }
+            fn multi_set_range(&self, _: &str, _: Vec<(u64, Vec<u8>)>) -> Result<(), KvError> {
+                Err(KvError::Server("injected".into()))
+            }
+        }
+        let store = Arc::new(KvStore::new());
+        let kv = Arc::new(FailingSets(Arc::new(KvClient::local(store))));
+        let e = StateEntry::new("k", 32, SharedRegion::new(32), kv as SharedKv, 16).unwrap();
+        e.write(0, &[1u8; 32]).unwrap();
+        assert_eq!(e.dirty_chunks(), 2);
+        assert!(e.push().is_err());
+        assert_eq!(e.dirty_chunks(), 2, "failed push must not lose dirt");
+        // The range flush claims fully covered chunks the same way and
+        // must also restore them when the send fails.
+        assert!(e.push_range(0, 16).is_err());
+        assert_eq!(e.dirty_chunks(), 2, "failed push_ranges must not lose dirt");
     }
 
     #[test]

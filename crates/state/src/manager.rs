@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use faasm_kvs::KvClient;
+use faasm_kvs::SharedKv;
 use faasm_mem::SharedRegion;
 use parking_lot::RwLock;
 
@@ -18,7 +18,7 @@ use crate::error::StateError;
 
 /// Per-host local-tier manager.
 pub struct StateManager {
-    kv: Arc<KvClient>,
+    kv: SharedKv,
     entries: RwLock<HashMap<String, Arc<StateEntry>>>,
     chunk_size: usize,
 }
@@ -34,12 +34,12 @@ impl std::fmt::Debug for StateManager {
 
 impl StateManager {
     /// A manager over the given global-tier client.
-    pub fn new(kv: Arc<KvClient>) -> StateManager {
+    pub fn new(kv: SharedKv) -> StateManager {
         StateManager::with_chunk_size(kv, DEFAULT_CHUNK_SIZE)
     }
 
     /// A manager with an explicit chunk size.
-    pub fn with_chunk_size(kv: Arc<KvClient>, chunk_size: usize) -> StateManager {
+    pub fn with_chunk_size(kv: SharedKv, chunk_size: usize) -> StateManager {
         StateManager {
             kv,
             entries: RwLock::new(HashMap::new()),
@@ -48,7 +48,7 @@ impl StateManager {
     }
 
     /// The global-tier client.
-    pub fn kv(&self) -> &Arc<KvClient> {
+    pub fn kv(&self) -> &SharedKv {
         &self.kv
     }
 
@@ -154,7 +154,7 @@ impl StateManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faasm_kvs::KvStore;
+    use faasm_kvs::{KvClient, KvStore};
 
     fn manager() -> StateManager {
         let store = Arc::new(KvStore::new());

@@ -75,6 +75,48 @@ pub trait FaasEnv {
         self.state_push(key, total_size)
     }
 
+    /// Flush several disjoint `(offset, len)` ranges of `key` — the
+    /// batched form of [`FaasEnv::state_push_range`] for writers that
+    /// touched scattered ranges of a shared value. On Faasm this is a
+    /// single global-tier round-trip; the default falls back to one
+    /// [`FaasEnv::state_push_range`] per range.
+    ///
+    /// # Errors
+    ///
+    /// A platform error message.
+    fn state_push_ranges(
+        &mut self,
+        key: &str,
+        total_size: usize,
+        ranges: &[(usize, usize)],
+    ) -> Result<(), String> {
+        for &(offset, len) in ranges {
+            self.state_push_range(key, total_size, offset, len)?;
+        }
+        Ok(())
+    }
+
+    /// Settle after a range-flush protocol: the caller asserts every local
+    /// write it made to `key` within `ranges` has been flushed (via
+    /// [`FaasEnv::state_push_range`]/[`FaasEnv::state_push_ranges`]), so
+    /// the platform may drop its local dirty claim on those ranges — a
+    /// later chunk-granular [`FaasEnv::state_push`] must not re-upload
+    /// whole stale chunks of a shared value. No-op on platforms without
+    /// local dirty tracking (containers write through).
+    ///
+    /// # Errors
+    ///
+    /// A platform error message.
+    fn state_settle_ranges(
+        &mut self,
+        key: &str,
+        total_size: usize,
+        ranges: &[(usize, usize)],
+    ) -> Result<(), String> {
+        let _ = (key, total_size, ranges);
+        Ok(())
+    }
+
     /// Size of a state value in the global tier.
     ///
     /// # Errors
@@ -166,6 +208,27 @@ impl FaasEnv for FaasmEnv<'_, '_> {
     ) -> Result<(), String> {
         let entry = self.api.state(key, total_size).map_err(|e| e.to_string())?;
         entry.push_range(offset, len).map_err(|e| e.to_string())
+    }
+
+    fn state_push_ranges(
+        &mut self,
+        key: &str,
+        total_size: usize,
+        ranges: &[(usize, usize)],
+    ) -> Result<(), String> {
+        let entry = self.api.state(key, total_size).map_err(|e| e.to_string())?;
+        entry.push_ranges(ranges).map_err(|e| e.to_string())
+    }
+
+    fn state_settle_ranges(
+        &mut self,
+        key: &str,
+        total_size: usize,
+        ranges: &[(usize, usize)],
+    ) -> Result<(), String> {
+        let entry = self.api.state(key, total_size).map_err(|e| e.to_string())?;
+        entry.clear_dirty_ranges(ranges);
+        Ok(())
     }
 
     fn state_size(&self, key: &str) -> Result<usize, String> {

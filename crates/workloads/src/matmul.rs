@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use faasm_baseline::{BaselinePlatform, ContainerApi, ContainerGuest};
 use faasm_core::{Cluster, NativeApi, NativeGuest};
-use faasm_kvs::KvClient;
+use faasm_kvs::KvBackend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,12 +102,18 @@ fn write_block<E: FaasEnv>(
     }
     // Push exactly the written rows: concurrent merges on other hosts own
     // the neighbouring bytes of each chunk, so a chunk-granular push would
-    // race and overwrite their blocks with stale local zeros.
-    for r in 0..block {
-        let row = bi * block + r;
-        let offset = (row * n + bj * block) * 8;
-        env.state_push_range(key, total, offset, block * 8)?;
-    }
+    // race and overwrite their blocks with stale local zeros. All rows go
+    // in one batched flush (one global-tier round-trip on Faasm).
+    let ranges: Vec<(usize, usize)> = (0..block)
+        .map(|r| {
+            let row = bi * block + r;
+            ((row * n + bj * block) * 8, block * 8)
+        })
+        .collect();
+    env.state_push_ranges(key, total, &ranges)?;
+    // The pushed ranges are exactly the written ranges, so the block's
+    // chunks carry nothing locally newer than the global tier.
+    env.state_settle_ranges(key, total, &ranges)?;
     Ok(())
 }
 
@@ -240,7 +246,7 @@ pub fn register_baseline(platform: &BaselinePlatform, user: &str) {
 /// # Errors
 ///
 /// Global-tier errors as strings.
-pub fn upload_matrices(kv: &KvClient, n: usize, seed: u64) -> Result<(), String> {
+pub fn upload_matrices(kv: &dyn KvBackend, n: usize, seed: u64) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -258,7 +264,7 @@ pub fn upload_matrices(kv: &KvClient, n: usize, seed: u64) -> Result<(), String>
 /// # Errors
 ///
 /// Global-tier errors as strings.
-pub fn reference_product(kv: &KvClient, n: usize) -> Result<Vec<f64>, String> {
+pub fn reference_product(kv: &dyn KvBackend, n: usize) -> Result<Vec<f64>, String> {
     let a = bytes_to_f64s(
         &kv.get(keys::A)
             .map_err(|e| e.to_string())?
@@ -286,7 +292,7 @@ pub fn reference_product(kv: &KvClient, n: usize) -> Result<Vec<f64>, String> {
 /// # Errors
 ///
 /// Global-tier errors as strings.
-pub fn read_result(kv: &KvClient, n: usize) -> Result<Vec<f64>, String> {
+pub fn read_result(kv: &dyn KvBackend, n: usize) -> Result<Vec<f64>, String> {
     let c = bytes_to_f64s(
         &kv.get(keys::C)
             .map_err(|e| e.to_string())?
@@ -318,11 +324,11 @@ mod tests {
         let cluster = Cluster::new(2);
         register_faasm(&cluster, "la");
         let n = 16;
-        upload_matrices(cluster.kv(), n, 5).unwrap();
+        upload_matrices(cluster.kv().as_ref(), n, 5).unwrap();
         let r = cluster.invoke("la", "mm_main", encode_task(&[n as u32]));
         assert_eq!(r.return_code(), 0, "status {:?}", r.status);
-        let c = read_result(cluster.kv(), n).unwrap();
-        let expected = reference_product(cluster.kv(), n).unwrap();
+        let c = read_result(cluster.kv().as_ref(), n).unwrap();
+        let expected = reference_product(cluster.kv().as_ref(), n).unwrap();
         assert_close(&c, &expected);
     }
 
@@ -339,11 +345,11 @@ mod tests {
         });
         register_baseline(&platform, "la");
         let n = 16;
-        upload_matrices(platform.kv(), n, 5).unwrap();
+        upload_matrices(platform.kv().as_ref(), n, 5).unwrap();
         let r = platform.invoke("la", "mm_main", encode_task(&[n as u32]));
         assert_eq!(r.return_code(), 0, "status {:?}", r.status);
-        let c = read_result(platform.kv(), n).unwrap();
-        let expected = reference_product(platform.kv(), n).unwrap();
+        let c = read_result(platform.kv().as_ref(), n).unwrap();
+        let expected = reference_product(platform.kv().as_ref(), n).unwrap();
         assert_close(&c, &expected);
     }
 
@@ -351,7 +357,7 @@ mod tests {
     fn bad_sizes_rejected() {
         let cluster = Cluster::new(1);
         register_faasm(&cluster, "la");
-        upload_matrices(cluster.kv(), 6, 1).unwrap();
+        upload_matrices(cluster.kv().as_ref(), 6, 1).unwrap();
         let r = cluster.invoke("la", "mm_main", encode_task(&[6]));
         assert!(matches!(r.status, faasm_core::CallStatus::Error(_)));
         let r = cluster.invoke("la", "mm_main", vec![1, 2, 3]);

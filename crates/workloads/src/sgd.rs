@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use faasm_baseline::{BaselinePlatform, ContainerApi, ContainerGuest};
 use faasm_core::{Cluster, NativeApi, NativeGuest};
-use faasm_kvs::KvClient;
+use faasm_kvs::KvBackend;
 
 use crate::data::{bytes_to_f64s, bytes_to_u32s, f64s_to_bytes, u32s_to_bytes, SparseDataset};
 use crate::env::{ContainerEnv, FaasEnv, FaasmEnv};
@@ -87,7 +87,7 @@ impl SgdTask {
 /// # Errors
 ///
 /// Global-tier errors as strings.
-pub fn upload_dataset(kv: &KvClient, dataset: &SparseDataset) -> Result<(), String> {
+pub fn upload_dataset(kv: &dyn KvBackend, dataset: &SparseDataset) -> Result<(), String> {
     let (vals, feats, col_ptr) = dataset.to_csc();
     kv.set(keys::VALS, f64s_to_bytes(&vals))
         .map_err(|e| e.to_string())?;
@@ -102,7 +102,31 @@ pub fn upload_dataset(kv: &KvClient, dataset: &SparseDataset) -> Result<(), Stri
     Ok(())
 }
 
+/// Coalesce sorted, deduplicated element offsets (each `width` bytes) into
+/// contiguous `(offset, len)` byte ranges for a batched push.
+fn coalesce_ranges(offsets: &mut Vec<usize>, width: usize) -> Vec<(usize, usize)> {
+    offsets.sort_unstable();
+    offsets.dedup();
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for &off in offsets.iter() {
+        match ranges.last_mut() {
+            Some((start, len)) if *start + *len == off => *len += width,
+            _ => ranges.push((off, width)),
+        }
+    }
+    offsets.clear();
+    ranges
+}
+
 /// The `weight_update` function of Listing 1, over [`FaasEnv`].
+///
+/// The weights vector is a **shared-output** value: many workers update
+/// disjoint (and, HOGWILD-style, occasionally overlapping) features
+/// concurrently. Flushes therefore push exactly the byte ranges this
+/// worker wrote — a chunk-granular `push_state` would overwrite
+/// neighbouring weights in the same 16 KiB chunk with the stale local
+/// copies this worker pulled before the others updated them (the seed's
+/// matmul `C` bug pattern).
 ///
 /// # Errors
 ///
@@ -131,6 +155,10 @@ pub fn weight_update<E: FaasEnv>(env: &mut E) -> Result<i32, String> {
     let labels = bytes_to_f64s(&label_bytes);
 
     let mut since_push = 0u32;
+    // Feature byte offsets written since the last flush, and every range
+    // flushed so far (settled at the end of the call).
+    let mut touched: Vec<usize> = Vec::new();
+    let mut flushed: Vec<(usize, usize)> = Vec::new();
     for (i, ex) in (task.start..task.end).enumerate() {
         let lo = ptrs[i] as usize;
         let hi = ptrs[i + 1] as usize;
@@ -158,14 +186,22 @@ pub fn weight_update<E: FaasEnv>(env: &mut E) -> Result<i32, String> {
         for ((f, v), wf) in feats.iter().zip(&vals).zip(&w) {
             let new = wf + v * adj;
             env.state_write(keys::WEIGHTS, wsize, *f as usize * 8, &new.to_le_bytes())?;
+            touched.push(*f as usize * 8);
         }
         since_push += 1;
         if since_push >= task.push_interval {
-            env.state_push(keys::WEIGHTS, wsize)?;
+            let ranges = coalesce_ranges(&mut touched, 8);
+            env.state_push_ranges(keys::WEIGHTS, wsize, &ranges)?;
+            flushed.extend_from_slice(&ranges);
             since_push = 0;
         }
     }
-    env.state_push(keys::WEIGHTS, wsize)?;
+    let ranges = coalesce_ranges(&mut touched, 8);
+    env.state_push_ranges(keys::WEIGHTS, wsize, &ranges)?;
+    flushed.extend_from_slice(&ranges);
+    // Everything this worker wrote is now global: drop the local dirty
+    // claim so no later chunk-granular push can re-upload stale chunks.
+    env.state_settle_ranges(keys::WEIGHTS, wsize, &flushed)?;
     Ok(0)
 }
 
@@ -218,7 +254,7 @@ pub fn partition(
 /// # Errors
 ///
 /// Global-tier errors as strings.
-pub fn accuracy(kv: &KvClient, dataset: &SparseDataset) -> Result<f64, String> {
+pub fn accuracy(kv: &dyn KvBackend, dataset: &SparseDataset) -> Result<f64, String> {
     let w = bytes_to_f64s(
         &kv.get(keys::WEIGHTS)
             .map_err(|e| e.to_string())?
@@ -280,11 +316,71 @@ mod tests {
     }
 
     #[test]
+    fn coalesce_merges_adjacent_and_dedups() {
+        let mut offs = vec![16, 0, 8, 8, 40];
+        assert_eq!(coalesce_ranges(&mut offs, 8), vec![(0, 24), (40, 8)]);
+        assert!(offs.is_empty(), "buffer recycles");
+        let mut none: Vec<usize> = Vec::new();
+        assert_eq!(coalesce_ranges(&mut none, 8), Vec::new());
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_chunk_keep_each_others_updates() {
+        use faasm_core::{ChainRouter, NativeApi};
+
+        // The shared-output regression behind the range-push conversion:
+        // two hosts hold stale replicas of the same (single-chunk) weights
+        // value, each writes its own half, each flushes. A chunk-granular
+        // push would overwrite the other host's half with stale zeros; the
+        // range push must keep both.
+        let cluster = Cluster::new(2);
+        cluster
+            .kv()
+            .set("w", crate::data::f64s_to_bytes(&[0.0; 16]))
+            .unwrap();
+        let mk = |val: f64, start: usize| -> Arc<dyn NativeGuest> {
+            Arc::new(move |api: &mut NativeApi<'_>| {
+                let mut env = FaasmEnv::new(api);
+                let phase = env.input();
+                // Pull the whole value into this host's local replica.
+                env.state_read("w", 128, 0, 128)
+                    .map_err(faasm_fvm::Trap::host)?;
+                if phase == b"write" {
+                    for i in 0..8 {
+                        env.state_write("w", 128, (start + i) * 8, &val.to_le_bytes())
+                            .map_err(faasm_fvm::Trap::host)?;
+                    }
+                    env.state_push_ranges("w", 128, &[(start * 8, 64)])
+                        .map_err(faasm_fvm::Trap::host)?;
+                }
+                Ok(0)
+            })
+        };
+        cluster.register_native("ml", "left", mk(1.0, 0), false);
+        cluster.register_native("ml", "right", mk(2.0, 8), false);
+        let a = &cluster.instances()[0];
+        let b = &cluster.instances()[1];
+        // Both hosts prime their replicas while the value is all zeros...
+        for (inst, f) in [(a, "left"), (b, "right")] {
+            let id = inst.submit_placed("ml", f, b"prime".to_vec());
+            assert_eq!(inst.await_call(id).return_code(), 0);
+        }
+        // ...then write and flush their halves from those stale replicas.
+        for (inst, f) in [(a, "left"), (b, "right")] {
+            let id = inst.submit_placed("ml", f, b"write".to_vec());
+            assert_eq!(inst.await_call(id).return_code(), 0);
+        }
+        let w = crate::data::bytes_to_f64s(&cluster.kv().get("w").unwrap().unwrap());
+        assert_eq!(&w[..8], &[1.0; 8], "left half survives the right flush");
+        assert_eq!(&w[8..], &[2.0; 8], "right half survives the left flush");
+    }
+
+    #[test]
     fn sgd_learns_on_faasm() {
         let cluster = Cluster::new(2);
         register_faasm(&cluster, "ml");
         let dataset = rcv1_like(256, 64, 8, 42);
-        upload_dataset(cluster.kv(), &dataset).unwrap();
+        upload_dataset(cluster.kv().as_ref(), &dataset).unwrap();
 
         let tasks = partition(256, 4, 64, 0.5, 16);
         for _epoch in 0..3 {
@@ -297,8 +393,20 @@ mod tests {
                 assert_eq!(r.return_code(), 0, "worker failed: {:?}", r.status);
             }
         }
-        let acc = accuracy(cluster.kv(), &dataset).unwrap();
+        let acc = accuracy(cluster.kv().as_ref(), &dataset).unwrap();
         assert!(acc > 0.7, "training must beat chance: accuracy {acc}");
+        // Every worker settled its flushed ranges, so no host's cached
+        // weights replica is left dirty (a stale dirty chunk would prime a
+        // future chunk-granular push to clobber other hosts' updates).
+        for inst in cluster.instances() {
+            let entry = inst.state().get(keys::WEIGHTS, 64 * 8).unwrap();
+            assert_eq!(
+                entry.dirty_chunks(),
+                0,
+                "weights replica left dirty on {:?}",
+                inst.host_id()
+            );
+        }
     }
 
     #[test]
@@ -314,7 +422,7 @@ mod tests {
         });
         register_baseline(&platform, "ml");
         let dataset = rcv1_like(128, 64, 8, 42);
-        upload_dataset(platform.kv(), &dataset).unwrap();
+        upload_dataset(platform.kv().as_ref(), &dataset).unwrap();
 
         let tasks = partition(128, 4, 64, 0.5, 16);
         for _epoch in 0..3 {
@@ -327,7 +435,7 @@ mod tests {
                 assert_eq!(r.return_code(), 0, "worker failed: {:?}", r.status);
             }
         }
-        let acc = accuracy(platform.kv(), &dataset).unwrap();
+        let acc = accuracy(platform.kv().as_ref(), &dataset).unwrap();
         assert!(acc > 0.7, "training must beat chance: accuracy {acc}");
     }
 
@@ -340,7 +448,7 @@ mod tests {
 
         let cluster = Cluster::new(2);
         register_faasm(&cluster, "ml");
-        upload_dataset(cluster.kv(), &dataset).unwrap();
+        upload_dataset(cluster.kv().as_ref(), &dataset).unwrap();
         let before = cluster.fabric().stats().snapshot();
         let ids: Vec<_> = tasks
             .iter()
@@ -366,7 +474,7 @@ mod tests {
             ..Default::default()
         });
         register_baseline(&platform, "ml");
-        upload_dataset(platform.kv(), &dataset).unwrap();
+        upload_dataset(platform.kv().as_ref(), &dataset).unwrap();
         let before = platform.fabric().stats().snapshot();
         let ids: Vec<_> = tasks
             .iter()

@@ -12,7 +12,7 @@ fn main() {
     matmul::register_faasm(&cluster, "la");
 
     let n = 32;
-    matmul::upload_matrices(cluster.kv(), n, 5).expect("upload");
+    matmul::upload_matrices(cluster.kv().as_ref(), n, 5).expect("upload");
 
     let before = cluster.fabric().stats().snapshot();
     let t0 = std::time::Instant::now();
@@ -21,8 +21,8 @@ fn main() {
     let elapsed = t0.elapsed();
 
     // Verify against a single-threaded reference.
-    let distributed = matmul::read_result(cluster.kv(), n).expect("result");
-    let reference = matmul::reference_product(cluster.kv(), n).expect("reference");
+    let distributed = matmul::read_result(cluster.kv().as_ref(), n).expect("result");
+    let reference = matmul::reference_product(cluster.kv().as_ref(), n).expect("reference");
     let max_err = distributed
         .iter()
         .zip(&reference)

@@ -17,7 +17,7 @@ fn main() {
 
     // A scaled-down RCV1-like dataset (paper: 800 K docs; here 2 K).
     let dataset = rcv1_like(2048, 512, 12, 42);
-    sgd::upload_dataset(cluster.kv(), &dataset).expect("upload dataset");
+    sgd::upload_dataset(cluster.kv().as_ref(), &dataset).expect("upload dataset");
 
     let workers = 8;
     let tasks = sgd::partition(
@@ -38,7 +38,7 @@ fn main() {
             let r = cluster.await_result(id);
             assert_eq!(r.return_code(), 0, "worker failed: {:?}", r.status);
         }
-        let acc = sgd::accuracy(cluster.kv(), &dataset).expect("accuracy");
+        let acc = sgd::accuracy(cluster.kv().as_ref(), &dataset).expect("accuracy");
         println!("epoch {epoch}: training accuracy {:.3}", acc);
     }
     let elapsed = t0.elapsed();

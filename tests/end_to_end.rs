@@ -3,6 +3,8 @@
 //! injection.
 
 use faasm::core::{CallStatus, Cluster, ClusterConfig, EgressLimit, InstanceConfig, UploadOptions};
+use faasm::workloads::data::{rcv1_like, synth_images};
+use faasm::workloads::{inference, matmul, sgd};
 
 const ECHO: &str = r#"
     extern int input_size();
@@ -309,6 +311,120 @@ fn all_hosts_dead_fails_cleanly() {
     cluster.kill_instance(1);
     let r = cluster.invoke("it", "echo", vec![1]);
     assert!(matches!(r.status, CallStatus::Error(_)));
+}
+
+fn sharded_cluster(hosts: usize, state_shards: usize) -> Cluster {
+    Cluster::with_config(ClusterConfig {
+        hosts,
+        state_shards,
+        ..ClusterConfig::default()
+    })
+}
+
+/// Shards of the cluster's global tier that hold at least one value.
+fn occupied_shards(cluster: &Cluster) -> usize {
+    cluster
+        .state_shards()
+        .iter()
+        .filter(|s| s.store().key_count() > 0)
+        .count()
+}
+
+#[test]
+fn sharded_tier_matches_single_shard_for_matmul() {
+    let n = 16;
+    let run = |shards: usize| {
+        let cluster = sharded_cluster(2, shards);
+        matmul::register_faasm(&cluster, "la");
+        matmul::upload_matrices(cluster.kv().as_ref(), n, 3).unwrap();
+        let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+        assert_eq!(r.return_code(), 0, "{:?}", r.status);
+        let c = matmul::read_result(cluster.kv().as_ref(), n).unwrap();
+        let spread = occupied_shards(&cluster);
+        (c, spread)
+    };
+    let (single, _) = run(1);
+    let (sharded, spread) = run(4);
+    assert_eq!(single, sharded, "identical code, identical result");
+    assert!(
+        spread >= 2,
+        "matmul's keys must spread over the shards, got {spread}"
+    );
+    let expected = {
+        let cluster = sharded_cluster(1, 1);
+        matmul::upload_matrices(cluster.kv().as_ref(), n, 3).unwrap();
+        matmul::reference_product(cluster.kv().as_ref(), n).unwrap()
+    };
+    for (a, b) in sharded.iter().zip(&expected) {
+        assert!((a - b).abs() < 1e-9, "sharded result must stay correct");
+    }
+}
+
+#[test]
+fn sharded_tier_matches_single_shard_for_sgd() {
+    let dataset = rcv1_like(192, 64, 8, 11);
+    let tasks = sgd::partition(192, 4, 64, 0.5, 16);
+    let run = |shards: usize| {
+        let cluster = sharded_cluster(2, shards);
+        sgd::register_faasm(&cluster, "ml");
+        sgd::upload_dataset(cluster.kv().as_ref(), &dataset).unwrap();
+        for _epoch in 0..3 {
+            let ids: Vec<_> = tasks
+                .iter()
+                .map(|t| cluster.invoke_async("ml", "sgd_update", t.to_bytes()))
+                .collect();
+            for id in ids {
+                assert_eq!(cluster.await_result(id).return_code(), 0);
+            }
+        }
+        let acc = sgd::accuracy(cluster.kv().as_ref(), &dataset).unwrap();
+        (acc, occupied_shards(&cluster))
+    };
+    let (acc_single, _) = run(1);
+    let (acc_sharded, spread) = run(4);
+    // HOGWILD interleaving is nondeterministic; both runs must train, not
+    // match bitwise.
+    assert!(
+        acc_single > 0.7,
+        "single-shard training works: {acc_single}"
+    );
+    assert!(acc_sharded > 0.7, "sharded training works: {acc_sharded}");
+    assert!(spread >= 2, "sgd's keys must spread over the shards");
+}
+
+#[test]
+fn sharded_tier_matches_single_shard_for_inference() {
+    let imgs = synth_images(3, inference::SIDE, 21);
+    let run = |shards: usize| {
+        let cluster = sharded_cluster(1, shards);
+        inference::setup_faasm(&cluster, "serve", 5);
+        imgs.iter()
+            .map(|img| {
+                let r = cluster.invoke("serve", "infer", img.clone());
+                assert_eq!(r.return_code(), 0, "{:?}", r.status);
+                r.output
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(4), "same model, same scores on both tiers");
+}
+
+#[test]
+fn sharded_tier_serves_chained_state_and_survives_flush() {
+    // The generic cluster paths — warm sets, chained calls, two-tier state,
+    // failure injection — on a 4-shard tier.
+    let cluster = sharded_cluster(3, 4);
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    for i in 0..12u8 {
+        let r = cluster.invoke("it", "echo", vec![i; 4]);
+        assert_eq!(r.status, CallStatus::Success);
+        assert_eq!(r.output, vec![i; 4]);
+    }
+    cluster.kv().flush().unwrap();
+    let r = cluster.invoke("it", "echo", b"post-flush".to_vec());
+    assert_eq!(r.status, CallStatus::Success);
 }
 
 #[test]

@@ -28,7 +28,7 @@ fn sgd_converges_identically_enough_on_both_platforms() {
 
     let cluster = Cluster::new(2);
     sgd::register_faasm(&cluster, "ml");
-    sgd::upload_dataset(cluster.kv(), &dataset).unwrap();
+    sgd::upload_dataset(cluster.kv().as_ref(), &dataset).unwrap();
     for _ in 0..2 {
         let ids: Vec<_> = tasks
             .iter()
@@ -38,11 +38,11 @@ fn sgd_converges_identically_enough_on_both_platforms() {
             assert_eq!(cluster.await_result(id).return_code(), 0);
         }
     }
-    let acc_faasm = sgd::accuracy(cluster.kv(), &dataset).unwrap();
+    let acc_faasm = sgd::accuracy(cluster.kv().as_ref(), &dataset).unwrap();
 
     let platform = small_platform(2);
     sgd::register_baseline(&platform, "ml");
-    sgd::upload_dataset(platform.kv(), &dataset).unwrap();
+    sgd::upload_dataset(platform.kv().as_ref(), &dataset).unwrap();
     for _ in 0..2 {
         let ids: Vec<_> = tasks
             .iter()
@@ -52,7 +52,7 @@ fn sgd_converges_identically_enough_on_both_platforms() {
             assert_eq!(platform.await_result(id).return_code(), 0);
         }
     }
-    let acc_baseline = sgd::accuracy(platform.kv(), &dataset).unwrap();
+    let acc_baseline = sgd::accuracy(platform.kv().as_ref(), &dataset).unwrap();
 
     // HOGWILD! interleavings differ, but both must genuinely learn.
     assert!(acc_faasm > 0.7, "faasm accuracy {acc_faasm}");
@@ -65,17 +65,17 @@ fn matmul_results_are_bitwise_identical_across_platforms() {
 
     let cluster = Cluster::new(2);
     matmul::register_faasm(&cluster, "la");
-    matmul::upload_matrices(cluster.kv(), n, 3).unwrap();
+    matmul::upload_matrices(cluster.kv().as_ref(), n, 3).unwrap();
     let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
     assert_eq!(r.return_code(), 0, "{:?}", r.status);
-    let c_faasm = matmul::read_result(cluster.kv(), n).unwrap();
+    let c_faasm = matmul::read_result(cluster.kv().as_ref(), n).unwrap();
 
     let platform = small_platform(2);
     matmul::register_baseline(&platform, "la");
-    matmul::upload_matrices(platform.kv(), n, 3).unwrap();
+    matmul::upload_matrices(platform.kv().as_ref(), n, 3).unwrap();
     let r = platform.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
     assert_eq!(r.return_code(), 0, "{:?}", r.status);
-    let c_baseline = matmul::read_result(platform.kv(), n).unwrap();
+    let c_baseline = matmul::read_result(platform.kv().as_ref(), n).unwrap();
 
     assert_eq!(c_faasm, c_baseline, "identical code, identical result");
 }
@@ -106,7 +106,7 @@ fn baseline_ships_more_bytes_and_bills_more_memory() {
 
     let cluster = Cluster::new(2);
     sgd::register_faasm(&cluster, "ml");
-    sgd::upload_dataset(cluster.kv(), &dataset).unwrap();
+    sgd::upload_dataset(cluster.kv().as_ref(), &dataset).unwrap();
     let ids: Vec<_> = tasks
         .iter()
         .map(|t| cluster.invoke_async("ml", "sgd_update", t.to_bytes()))
@@ -119,7 +119,7 @@ fn baseline_ships_more_bytes_and_bills_more_memory() {
 
     let platform = small_platform(2);
     sgd::register_baseline(&platform, "ml");
-    sgd::upload_dataset(platform.kv(), &dataset).unwrap();
+    sgd::upload_dataset(platform.kv().as_ref(), &dataset).unwrap();
     let ids: Vec<_> = tasks
         .iter()
         .map(|t| platform.invoke_async("ml", "sgd_update", t.to_bytes()))

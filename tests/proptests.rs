@@ -8,6 +8,7 @@ use faasm::core::PendingMap;
 use faasm::fvm::{decode_module, encode_module, ObjectModule};
 use faasm::gateway::codec::{self, FrameBuf, GatewayRequest, MAX_FRAME};
 use faasm::gateway::{GatewayResponse, GatewayStatus};
+use faasm::kvs::{self, KvClient, KvStore, ShardedKvClient};
 use faasm::lang;
 use faasm::mem::{LinearMemory, MemorySnapshot, SharedRegion, PAGE_SIZE};
 use proptest::prelude::*;
@@ -535,6 +536,113 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// The batched chunk messages roundtrip through the KVS codec for
+    /// arbitrary keys, span lists and write payloads.
+    #[test]
+    fn kvs_batched_requests_roundtrip(
+        key in ascii_string(24),
+        spans in prop::collection::vec((any::<u32>(), any::<u32>()), 0..12),
+        writes in prop::collection::vec(
+            (any::<u32>(), prop::collection::vec(any::<u8>(), 0..40)),
+            0..8,
+        ),
+    ) {
+        let req = kvs::Request::MultiGetRange {
+            key: key.clone(),
+            spans: spans.iter().map(|&(o, l)| (o as u64, l as u64)).collect(),
+        };
+        let decoded = kvs::codec::decode_request(&kvs::codec::encode_request(&req)).unwrap();
+        prop_assert_eq!(decoded, req);
+        let req = kvs::Request::MultiSetRange {
+            key,
+            writes: writes
+                .iter()
+                .map(|(o, d)| (*o as u64, d.clone()))
+                .collect(),
+        };
+        let decoded = kvs::codec::decode_request(&kvs::codec::encode_request(&req)).unwrap();
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// The span-list response roundtrips, present or missing.
+    #[test]
+    fn kvs_spans_response_roundtrips(
+        runs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..10),
+        present in any::<bool>(),
+    ) {
+        let resp = kvs::Response::Spans(present.then_some(runs));
+        let decoded = kvs::codec::decode_response(&kvs::codec::encode_response(&resp)).unwrap();
+        prop_assert_eq!(decoded, resp);
+    }
+
+    /// The KVS codec is total on garbage: arbitrary bytes decode to a
+    /// value or an error, never a panic or an oversized preallocation.
+    #[test]
+    fn kvs_codec_total_on_garbage(garbage in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = kvs::codec::decode_request(&garbage);
+        let _ = kvs::codec::decode_response(&garbage);
+    }
+
+    /// Rendezvous routing is deterministic and stable: two independently
+    /// built clients over the same shard count agree on every key, and
+    /// growing the shard set only ever moves keys to the *new* shard.
+    #[test]
+    fn rendezvous_routing_is_stable(
+        shards in 1usize..6,
+        keys in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let build = |n: usize| {
+            ShardedKvClient::new(
+                (0..n)
+                    .map(|_| KvClient::local(std::sync::Arc::new(KvStore::new())))
+                    .collect(),
+            )
+        };
+        let a = build(shards);
+        let b = build(shards);
+        let grown = build(shards + 1);
+        for k in &keys {
+            let key = format!("state:{k}");
+            let owner = a.shard_index(&key);
+            prop_assert!(owner < shards);
+            prop_assert_eq!(b.shard_index(&key), owner, "routing is a pure function");
+            let new_owner = grown.shard_index(&key);
+            prop_assert!(
+                new_owner == owner || new_owner == shards,
+                "adding a shard may move a key only onto the new shard \
+                 (was {}, now {})",
+                owner,
+                new_owner
+            );
+        }
+    }
+
+    /// Rendezvous routing is balanced: 1000 distinct keys over 4 shards
+    /// leave no shard above twice the mean (and none empty).
+    #[test]
+    fn rendezvous_routing_is_balanced(salt in any::<u32>()) {
+        let client = ShardedKvClient::new(
+            (0..4)
+                .map(|_| KvClient::local(std::sync::Arc::new(KvStore::new())))
+                .collect(),
+        );
+        let keys = 1000usize;
+        let mut per = [0usize; 4];
+        for i in 0..keys {
+            per[client.shard_index(&format!("key:{salt}:{i}"))] += 1;
+        }
+        let mean = keys as f64 / 4.0;
+        for (shard, n) in per.iter().enumerate() {
+            prop_assert!(
+                (*n as f64) <= 2.0 * mean && *n > 0,
+                "shard {} holds {} of {} keys",
+                shard,
+                n,
+                keys
+            );
         }
     }
 }

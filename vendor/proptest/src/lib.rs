@@ -2,9 +2,15 @@
 //!
 //! Implements the strategy combinators the workspace's property tests use —
 //! ranges, tuples, `any`, `Just`, `prop_map`, `prop_recursive`, `prop_oneof!`
-//! and `collection::vec` — over a deterministic per-test PRNG. There is no
-//! shrinking: a failing case panics with the seed so it can be replayed by
-//! re-running the test (generation is deterministic per test name).
+//! and `collection::vec` — over a deterministic per-test PRNG.
+//!
+//! Failing cases are **minimised with a halving shrinker**: integers halve
+//! toward the range origin, vectors halve in length and shrink their
+//! elements, tuples shrink one component at a time, and unions try every
+//! branch's candidates. `prop_map` values are opaque to the shrinker (the
+//! mapping cannot be inverted), so structure generators built with it
+//! report the original failing case unshrunk. The minimal input is re-run
+//! outside the catch so the test still fails with its real panic.
 //!
 //! Case count defaults to 32 per property; override with `PROPTEST_CASES`.
 
@@ -65,6 +71,23 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// The default is no candidates (the value is opaque, e.g. `prop_map`
+    /// output); combinators that know their structure override this.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Whether this strategy could have generated `value`. The default
+    /// `true` is safe for opaque strategies; bounded ones override it so
+    /// union shrinking never reports a "minimal failing input" outside
+    /// the generator's domain.
+    fn contains(&self, value: &Self::Value) -> bool {
+        let _ = value;
+        true
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -123,6 +146,14 @@ impl<V> Strategy for BoxedStrategy<V> {
     fn generate(&self, rng: &mut TestRng) -> V {
         self.0.generate(rng)
     }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.shrink(value)
+    }
+
+    fn contains(&self, value: &V) -> bool {
+        self.0.contains(value)
+    }
 }
 
 /// Strategy producing one fixed value.
@@ -175,12 +206,34 @@ impl<V> Strategy for Union<V> {
         let i = rng.index(self.options.len());
         self.options[i].generate(rng)
     }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // The generating branch is unknown, so try every branch — but a
+        // branch shrinking a value from *another* branch's domain can
+        // propose values no branch generates (0..10 halving 95 yields 47);
+        // keep only candidates some branch could have produced. Failing
+        // candidates are otherwise adopted, not discarded.
+        self.options
+            .iter()
+            .flat_map(|o| o.shrink(value))
+            .filter(|c| self.options.iter().any(|o| o.contains(c)))
+            .collect()
+    }
+
+    fn contains(&self, value: &V) -> bool {
+        self.options.iter().any(|o| o.contains(value))
+    }
 }
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Generates an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of `self`, simplest first.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! arbitrary_int {
@@ -188,6 +241,19 @@ macro_rules! arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                // Halve toward zero, then step one toward zero.
+                let step = if v as i128 > 0 { v - 1 } else { v + 1 };
+                let mut out = vec![0 as $t, v / 2, step];
+                out.retain(|c| *c != v);
+                out.dedup();
+                out
             }
         }
     )*};
@@ -198,6 +264,14 @@ arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -215,6 +289,25 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+/// Halving candidates toward `lo`, in `$t`'s domain via i128 arithmetic.
+fn shrink_toward<T: Copy + PartialEq>(lo: i128, v: i128, back: impl Fn(i128) -> T) -> Vec<T> {
+    if v == lo {
+        return Vec::new();
+    }
+    let candidates = [lo, lo + (v - lo) / 2, v - 1];
+    let mut out: Vec<T> = Vec::new();
+    for c in candidates {
+        if c != v && !out.iter().any(|x| *x == back(c)) {
+            out.push(back(c));
+        }
+    }
+    out
 }
 
 macro_rules! strategy_for_int_range {
@@ -228,6 +321,14 @@ macro_rules! strategy_for_int_range {
                 let off = (rng.next_u64() as u128) % span;
                 (self.start as i128 + off as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128, |c| c as $t)
+            }
+
+            fn contains(&self, value: &$t) -> bool {
+                (self.start..self.end).contains(value)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -239,6 +340,14 @@ macro_rules! strategy_for_int_range {
                 let off = (rng.next_u64() as u128) % span;
                 (lo as i128 + off as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128, |c| c as $t)
+            }
+
+            fn contains(&self, value: &$t) -> bool {
+                (*self.start()..=*self.end()).contains(value)
+            }
         }
     )*};
 }
@@ -247,11 +356,31 @@ strategy_for_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
 macro_rules! strategy_for_tuple {
     ($($name:ident : $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out: Vec<Self::Value> = Vec::new();
+                // Shrink one component at a time, holding the rest fixed.
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+
+            fn contains(&self, value: &Self::Value) -> bool {
+                $(self.$idx.contains(&value.$idx) &&)+ true
             }
         }
     };
@@ -315,13 +444,43 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo).max(1);
             let len = self.size.lo + rng.index(span);
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Length halving first (toward the strategy's minimum), then
+            // dropping one element, then element-wise shrinks.
+            if value.len() > self.size.lo {
+                let half = self.size.lo.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            for (i, elem) in value.iter().enumerate().take(8) {
+                for cand in self.elem.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+
+        fn contains(&self, value: &Vec<S::Value>) -> bool {
+            value.len() >= self.size.lo
+                && value.len() < self.size.hi
+                && value.iter().all(|v| self.elem.contains(v))
         }
     }
 }
@@ -366,18 +525,104 @@ macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
+thread_local! {
+    /// Whether the *current thread* is inside a shrink loop (its candidate
+    /// re-runs panic on purpose; their reports are noise).
+    static SILENCE_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install — once per process — a wrapper around the current panic hook
+/// that drops reports from threads currently shrinking. Tests run in
+/// parallel, so swapping the global hook per shrink would race other
+/// properties' restores and swallow unrelated tests' diagnostics;
+/// a per-thread flag under one permanent wrapper cannot.
+fn install_silenceable_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_PANICS.with(std::cell::Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Drives one property: generate `cases()` inputs, and on the first
+/// failure minimise it with [`Strategy::shrink`] (adopting the first
+/// still-failing candidate each round, with this thread's per-attempt
+/// panics silenced) and return the minimal failing input for the caller
+/// to re-run un-caught.
+///
+/// Returns `None` if every case passed.
+pub fn run_property<S>(name: &str, strat: &S, run: impl Fn(&S::Value) -> bool) -> Option<S::Value>
+where
+    S: Strategy,
+{
+    let mut rng = TestRng::from_name(name);
+    for case in 0..test_runner::cases() {
+        let vals = strat.generate(&mut rng);
+        if run(&vals) {
+            continue;
+        }
+        install_silenceable_hook();
+        SILENCE_PANICS.with(|s| s.set(true));
+        let mut cur = vals;
+        let mut steps = 0u32;
+        let mut budget = 256u32;
+        'shrinking: while budget > 0 {
+            let mut advanced = false;
+            for cand in strat.shrink(&cur) {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                if !run(&cand) {
+                    cur = cand;
+                    steps += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break 'shrinking;
+            }
+        }
+        SILENCE_PANICS.with(|s| s.set(false));
+        eprintln!(
+            "proptest {name}: case {case} failed; minimised in {steps} shrink step(s), \
+             re-running the minimal input:"
+        );
+        return Some(cur);
+    }
+    None
+}
+
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running the body over generated inputs.
+/// becomes a `#[test]` running the body over generated inputs. A failing
+/// case is minimised with the halving shrinker (values must be `Clone`),
+/// then re-run outside the catch so the test fails with its real panic.
 #[macro_export]
 macro_rules! proptest {
     ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-                for __case in 0..$crate::test_runner::cases() {
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __strat = ($($strat,)+);
+                let __minimal = $crate::run_property(stringify!($name), &__strat, |__vals| {
+                    let ($($arg,)+) = __vals.clone();
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        $body
+                    }))
+                    .is_ok()
+                });
+                if let Some(__min) = __minimal {
+                    let ($($arg,)+) = __min;
                     $body
+                    panic!(
+                        "proptest {}: the shrunken case no longer fails (flaky property)",
+                        stringify!($name)
+                    );
                 }
             }
         )*
@@ -410,6 +655,44 @@ mod tests {
         ) {
             prop_assert!(e == 0 || (1..=81).contains(&e));
         }
+    }
+
+    #[test]
+    fn shrinker_minimises_range_failures_to_the_boundary() {
+        // "x < 10" fails for x >= 10; the halving shrinker must land on 10.
+        let strat = (0i32..1000,);
+        let min = crate::run_property("shrinker_range", &strat, |(x,)| *x < 10);
+        let (x,) = min.expect("cases in 0..1000 must include a failure");
+        assert_eq!(x, 10, "minimal failing input is the boundary");
+    }
+
+    #[test]
+    fn shrinker_minimises_vec_length() {
+        // "len < 3" fails for length >= 3; truncation must reach exactly 3.
+        let strat = (prop::collection::vec(any::<u8>(), 0..40),);
+        let min = crate::run_property("shrinker_vec", &strat, |(v,)| v.len() < 3);
+        let (v,) = min.expect("lengths in 0..40 must include a failure");
+        assert_eq!(v.len(), 3, "minimal failing length");
+        assert!(v.iter().all(|b| *b == 0), "elements shrink toward zero");
+    }
+
+    #[test]
+    fn union_shrinking_stays_inside_the_strategy_domain() {
+        // 95 fails "x < 90"; the 0..10 branch would halve it to 47, which
+        // also fails but is outside both branches — the minimal reported
+        // input must be a value the union can actually generate.
+        let strat = (prop_oneof![0i32..10, 90i32..100],);
+        let min = crate::run_property("shrinker_union_domain", &strat, |(x,)| *x < 90);
+        let (x,) = min.expect("values in 90..100 must occur");
+        assert_eq!(x, 90, "minimal in-domain failing input");
+    }
+
+    #[test]
+    fn shrinker_minimises_tuple_components_independently() {
+        let strat = ((0u32..100, 0u32..100),);
+        let min = crate::run_property("shrinker_tuple", &strat, |((a, b),)| a + b < 50);
+        let ((a, b),) = min.expect("sums over 50 must occur");
+        assert_eq!(a + b, 50, "minimal failing sum: {a} + {b}");
     }
 
     #[test]
