@@ -18,6 +18,9 @@ cargo test --workspace -q
 echo "== remote-ingress example (smoke)"
 cargo run --release --example gateway_remote
 
+echo "== live-reshard example (smoke): workload keeps writing while a shard joins"
+cargo run --release --example reshard_live
+
 echo "== gateway throughput bench, batched mode included (smoke)"
 cargo bench -p faasm-bench --bench gateway_throughput -- --test
 

@@ -25,7 +25,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use faasm_kvs::{KvBackend, KvClient, KvServer, KvStore, ShardedKvClient};
+use faasm_kvs::{
+    reshard, KvBackend, KvClient, KvServer, KvStore, RoutingCell, RoutingTable, ShardRouting,
+    ShardedKvClient,
+};
 use faasm_mem::SharedRegion;
 use faasm_net::{Fabric, HostId, TokenBucket};
 use faasm_state::StateEntry;
@@ -251,6 +254,151 @@ fn drive_shards(tier: &Tier, keys: &[String], op: Op, secs: f64) -> f64 {
     bytes.load(Ordering::Relaxed) as f64 / elapsed / (1024.0 * 1024.0)
 }
 
+struct ReshardPoint {
+    before_mbps: f64,
+    during_mbps: f64,
+    after_mbps: f64,
+    min_window_mbps: f64,
+    migration_ms: f64,
+}
+
+/// Live reshard under load: 6 workers keep pushing 1 MiB values through
+/// cell-connected clients while a third shard joins the 2-shard tier.
+/// Throughput is sampled in 25 ms windows; the series records the rate
+/// before / during / after the migration and the worst single window
+/// (which must stay above zero — service never fully stops).
+fn bench_reshard(secs: f64) -> ReshardPoint {
+    const RESHARD_WORKERS: usize = 6;
+    let fabric = Fabric::new();
+    let servers: Vec<KvServer> = (0..2)
+        .map(|i| {
+            KvServer::start_routed(
+                fabric.add_host(),
+                2,
+                Arc::new(KvStore::new()),
+                ShardRouting::new(1, 2, i),
+            )
+        })
+        .collect();
+    let cell = RoutingCell::new(RoutingTable {
+        epoch: 1,
+        hosts: servers.iter().map(KvServer::host_id).collect(),
+    });
+    let keys = balanced_keys(2, RESHARD_WORKERS / 2);
+    let driver = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
+    for key in &keys {
+        driver.set(key, vec![7u8; VALUE]).unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let bytes = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = keys
+        .iter()
+        .map(|key| {
+            let kv = Arc::new(ShardedKvClient::connect(
+                fabric.add_host(),
+                Arc::clone(&cell),
+            ));
+            let key = key.clone();
+            let stop = Arc::clone(&stop);
+            let bytes = Arc::clone(&bytes);
+            std::thread::spawn(move || {
+                let entry = StateEntry::new(
+                    &key,
+                    VALUE,
+                    SharedRegion::new(VALUE),
+                    kv as faasm_kvs::SharedKv,
+                    CHUNK,
+                )
+                .unwrap();
+                let buf = vec![3u8; VALUE];
+                while !stop.load(Ordering::Relaxed) {
+                    entry.write(0, &buf).unwrap();
+                    entry.push().unwrap();
+                    bytes.fetch_add(VALUE as u64, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Sample cumulative bytes every 25 ms for the whole run.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let samples: Arc<std::sync::Mutex<Vec<(Instant, u64)>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sampler = {
+        let sampling = Arc::clone(&sampling);
+        let samples = Arc::clone(&samples);
+        let bytes = Arc::clone(&bytes);
+        std::thread::spawn(move || {
+            while sampling.load(Ordering::Relaxed) {
+                samples
+                    .lock()
+                    .unwrap()
+                    .push((Instant::now(), bytes.load(Ordering::Relaxed)));
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    let grow_start = Instant::now();
+    let joiner = KvServer::start_routed(
+        fabric.add_host(),
+        2,
+        Arc::new(KvStore::new()),
+        ShardRouting::new(2, 3, 2),
+    );
+    reshard::grow(&fabric.add_host(), &cell, joiner.host_id()).unwrap();
+    let grow_end = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(secs));
+
+    sampling.store(false, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // Classify the sampled windows by their overlap with the migration.
+    let samples = samples.lock().unwrap();
+    let mut phase_bytes = [0u64; 3];
+    let mut phase_secs = [0f64; 3];
+    let mut min_window_mbps = f64::INFINITY;
+    for pair in samples.windows(2) {
+        let (t0, b0) = pair[0];
+        let (t1, b1) = pair[1];
+        let dur = t1.duration_since(t0).as_secs_f64();
+        if dur <= 0.0 {
+            continue;
+        }
+        let phase = if t1 <= grow_start {
+            0
+        } else if t0 < grow_end {
+            1
+        } else {
+            2
+        };
+        phase_bytes[phase] += b1 - b0;
+        phase_secs[phase] += dur;
+        let mbps = (b1 - b0) as f64 / dur / (1024.0 * 1024.0);
+        min_window_mbps = min_window_mbps.min(mbps);
+    }
+    let rate = |p: usize| {
+        if phase_secs[p] > 0.0 {
+            phase_bytes[p] as f64 / phase_secs[p] / (1024.0 * 1024.0)
+        } else {
+            0.0
+        }
+    };
+    ReshardPoint {
+        before_mbps: rate(0),
+        during_mbps: rate(1),
+        after_mbps: rate(2),
+        min_window_mbps,
+        migration_ms: grow_end.duration_since(grow_start).as_secs_f64() * 1e3,
+    }
+}
+
 fn bench_shards(shards: usize, secs: f64) -> ScalePoint {
     let tier = Tier::start(shards, true);
     // The same 8 workers at every shard count, balanced over the shards.
@@ -311,6 +459,21 @@ fn main() {
     let push_scaling = series[2].push_mbps / series[0].push_mbps;
     println!("4-shard scaling: pull {pull_scaling:.2}x, push {push_scaling:.2}x");
 
+    println!("\n== live reshard (6 push workers, third shard joins mid-run) ==");
+    let reshard = bench_reshard(secs);
+    println!(
+        "throughput: before {:.1} MB/s, during {:.1} MB/s, after {:.1} MB/s",
+        reshard.before_mbps, reshard.during_mbps, reshard.after_mbps
+    );
+    println!(
+        "migration {:.1} ms; worst 25 ms window {:.1} MB/s",
+        reshard.migration_ms, reshard.min_window_mbps
+    );
+    assert!(
+        reshard.during_mbps > 0.0,
+        "service must continue during a live reshard"
+    );
+
     if test_mode {
         println!("test bench state_throughput ... ok");
         return;
@@ -342,7 +505,15 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "    ],\n    \"pull_scaling_4x\": {pull_scaling:.2},\n    \"push_scaling_4x\": {push_scaling:.2}\n  }}\n}}\n"
+        "    ],\n    \"pull_scaling_4x\": {pull_scaling:.2},\n    \"push_scaling_4x\": {push_scaling:.2}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"reshard_live\": {{\n    \"workers\": 6,\n    \"shards\": \"2 -> 3\",\n    \"before_mbps\": {:.1},\n    \"during_mbps\": {:.1},\n    \"after_mbps\": {:.1},\n    \"min_window_mbps\": {:.1},\n    \"migration_ms\": {:.1}\n  }}\n}}\n",
+        reshard.before_mbps,
+        reshard.during_mbps,
+        reshard.after_mbps,
+        reshard.min_window_mbps,
+        reshard.migration_ms
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_state.json");
     match std::fs::write(path, &json) {

@@ -50,6 +50,78 @@ fn main() {
     if all || which == "fig10" {
         fig10();
     }
+    if all || which == "shards" {
+        shard_skew();
+    }
+}
+
+// ── Shard skew: the global tier's load distribution ─────────────────────
+
+/// Per-shard load of the global tier (key count, value bytes, per-op
+/// counters via `Request::Stats`) before and after a live shard join —
+/// what the migration planner and the tier autoscaler see.
+fn shard_skew() {
+    println!("\n=== Global-tier shard skew (live reshard 4 -> 5 shards) ===");
+    let cluster = faasm_core::Cluster::with_config(faasm_core::ClusterConfig {
+        hosts: 2,
+        state_shards: 4,
+        ..faasm_core::ClusterConfig::default()
+    });
+    for i in 0..2000u32 {
+        cluster
+            .kv()
+            .set(&format!("skew:{i}"), vec![0u8; 64 + (i % 7) as usize * 64])
+            .unwrap();
+    }
+    let print_stats = |label: &str| {
+        let stats = cluster.state_shard_stats().expect("shard stats");
+        let mut t = Table::new(&[
+            "shard",
+            "keys",
+            "value KiB",
+            "reads",
+            "writes",
+            "wrong-epoch",
+        ]);
+        for (i, s) in stats.iter().enumerate() {
+            t.row(&[
+                format!("{i}"),
+                s.keys.to_string(),
+                format!("{:.1}", s.value_bytes as f64 / 1024.0),
+                s.reads.to_string(),
+                s.writes.to_string(),
+                s.wrong_epoch.to_string(),
+            ]);
+        }
+        println!("{label} (epoch {})", cluster.state_routing().epoch());
+        t.print();
+    };
+    print_stats("before join");
+    // The planner's preview: enumerate every shard's keys (`key_sizes`)
+    // and compute the exact rendezvous delta a join would migrate —
+    // before doing it.
+    let sizes: Vec<(String, u64)> = cluster
+        .state_shards()
+        .iter()
+        .flat_map(|s| s.store().key_sizes())
+        .collect();
+    let shards = cluster.state_shard_count();
+    let keys: Vec<&str> = sizes.iter().map(|(k, _)| k.as_str()).collect();
+    let delta = faasm_kvs::rendezvous_delta(&keys, shards, shards + 1);
+    let moving_bytes: u64 = {
+        let by_key: std::collections::HashMap<&str, u64> =
+            sizes.iter().map(|(k, b)| (k.as_str(), *b)).collect();
+        delta.iter().map(|(k, _)| by_key[k.as_str()]).sum()
+    };
+    println!(
+        "join preview: {} of {} keys would move ({:.1} KiB, {:.1}% of keys)",
+        delta.len(),
+        sizes.len(),
+        moving_bytes as f64 / 1024.0,
+        delta.len() as f64 / sizes.len().max(1) as f64 * 100.0
+    );
+    cluster.add_state_shard().expect("live shard join");
+    print_stats("after join");
 }
 
 // ── Fig. 6: SGD training ────────────────────────────────────────────────

@@ -10,7 +10,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use faasm_fvm::{ExportKind, ObjectModule};
-use faasm_kvs::{KvClient, KvServer, ShardedKvClient, SharedKv};
+use faasm_kvs::{
+    reshard, KvError, KvServer, KvStore, RoutingCell, RoutingTable, ShardRouting, ShardStats,
+    ShardedKvClient, SharedKv,
+};
 use faasm_net::Fabric;
 use faasm_sched::{CallId, CallResult, CallSpec, RoundRobin};
 use faasm_vfs::ObjectStore;
@@ -75,7 +78,15 @@ impl Default for UploadOptions {
 /// A running FAASM cluster.
 pub struct Cluster {
     fabric: Fabric,
-    kvs: Vec<KvServer>,
+    kvs: Mutex<Vec<KvServer>>,
+    /// The global tier's live routing table, shared with every instance's
+    /// and driver's sharded client — publishing here redirects the whole
+    /// cluster after a reshard.
+    routing: Arc<RoutingCell>,
+    /// Serialises reshard operations (one epoch change at a time).
+    reshard_lock: Mutex<()>,
+    coord_nic: faasm_net::Nic,
+    kvs_workers: usize,
     object_store: Arc<ObjectStore>,
     registry: Arc<FunctionRegistry>,
     instances: Vec<Arc<FaasmInstance>>,
@@ -109,11 +120,23 @@ impl Cluster {
     /// Start a cluster from explicit configuration.
     pub fn with_config(config: ClusterConfig) -> Cluster {
         let fabric = Fabric::new();
-        // The global tier: one fabric host per shard server.
-        let kvs: Vec<KvServer> = (0..config.state_shards.max(1))
-            .map(|_| KvServer::start(fabric.add_host(), config.kvs_workers.max(1)))
+        // The global tier: one fabric host per shard server, each routed
+        // (it checks key ownership and speaks the resharding protocol).
+        let shards = config.state_shards.max(1);
+        let kvs: Vec<KvServer> = (0..shards)
+            .map(|i| {
+                KvServer::start_routed(
+                    fabric.add_host(),
+                    config.kvs_workers.max(1),
+                    Arc::new(KvStore::new()),
+                    ShardRouting::new(1, shards, i),
+                )
+            })
             .collect();
-        let kvs_hosts: Vec<faasm_net::HostId> = kvs.iter().map(KvServer::host_id).collect();
+        let routing = RoutingCell::new(RoutingTable {
+            epoch: 1,
+            hosts: kvs.iter().map(KvServer::host_id).collect(),
+        });
         let object_store = Arc::new(ObjectStore::new());
         let registry = Arc::new(FunctionRegistry::new());
         let call_seq = Arc::new(AtomicU64::new(1));
@@ -122,7 +145,7 @@ impl Cluster {
             .map(|_| {
                 FaasmInstance::start(
                     &fabric,
-                    &kvs_hosts,
+                    &routing,
                     Arc::clone(&object_store),
                     Arc::clone(&registry),
                     Arc::clone(&call_seq),
@@ -161,16 +184,18 @@ impl Cluster {
         };
 
         let driver_nic = fabric.add_host();
-        let driver_kv: SharedKv = Arc::new(ShardedKvClient::new(
-            kvs_hosts
-                .iter()
-                .map(|h| KvClient::connect(driver_nic.clone(), *h))
-                .collect(),
+        let driver_kv: SharedKv = Arc::new(ShardedKvClient::connect(
+            driver_nic.clone(),
+            Arc::clone(&routing),
         ));
 
         Cluster {
             fabric,
-            kvs,
+            kvs: Mutex::new(kvs),
+            routing,
+            reshard_lock: Mutex::new(()),
+            coord_nic: driver_nic,
+            kvs_workers: config.kvs_workers.max(1),
             object_store,
             registry,
             instances,
@@ -336,14 +361,92 @@ impl Cluster {
     }
 
     /// A driver-side KVS client (dataset upload, DDO initialisation),
-    /// routing over every state shard.
+    /// routing over every state shard and following routing epochs.
     pub fn kv(&self) -> &SharedKv {
         &self.driver_kv
     }
 
-    /// The global tier's shard servers (test/metric inspection).
-    pub fn state_shards(&self) -> &[KvServer] {
-        &self.kvs
+    /// The global tier's shard servers (test/metric inspection). Holds the
+    /// tier lock while the guard lives — don't hold it across a reshard.
+    pub fn state_shards(&self) -> parking_lot::MutexGuard<'_, Vec<KvServer>> {
+        self.kvs.lock()
+    }
+
+    /// How many shards currently serve the global tier.
+    pub fn state_shard_count(&self) -> usize {
+        self.routing.load().hosts.len()
+    }
+
+    /// The tier's routing cell (shared with every consumer; out-of-process
+    /// tools connect their own `ShardedKvClient` through it).
+    pub fn state_routing(&self) -> &Arc<RoutingCell> {
+        &self.routing
+    }
+
+    /// Per-shard load reports (key count, value bytes, per-op counters) in
+    /// shard-index order — the migration planner's skew signal.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError`] when a shard cannot be reached.
+    pub fn state_shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
+        self.driver_kv.shard_stats()
+    }
+
+    /// Grow the global tier by one shard, live: boots a new `KvServer`
+    /// fabric host routed at the next epoch, drives the epoch-bumped
+    /// migration (freeze → handoff → commit) and publishes the new routing
+    /// table. Requests in flight during the migration are redirected via
+    /// `WrongEpoch`, never lost. Returns the new shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError`] when migration fails; the tier is rolled back to the old
+    /// table and the new server is torn down.
+    pub fn add_state_shard(&self) -> Result<usize, KvError> {
+        let _one_at_a_time = self.reshard_lock.lock();
+        let table = self.routing.load();
+        let new_index = table.hosts.len();
+        let server = KvServer::start_routed(
+            self.fabric.add_host(),
+            self.kvs_workers,
+            Arc::new(KvStore::new()),
+            ShardRouting::new(table.epoch + 1, new_index + 1, new_index),
+        );
+        match reshard::grow(&self.coord_nic, &self.routing, server.host_id()) {
+            Ok(new_table) => {
+                let count = new_table.hosts.len();
+                self.kvs.lock().push(server);
+                Ok(count)
+            }
+            Err(e) => {
+                let host = server.host_id();
+                self.fabric.remove_host(host);
+                server.shutdown();
+                Err(e)
+            }
+        }
+    }
+
+    /// Retire the tier's last shard, live: its keys migrate to their new
+    /// owners under the shrunk table, the epoch commits, the table
+    /// publishes, and the retired server leaves the fabric. Returns the
+    /// new shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError`] when only one shard remains or migration fails.
+    pub fn remove_state_shard(&self) -> Result<usize, KvError> {
+        let _one_at_a_time = self.reshard_lock.lock();
+        let (new_table, retired) = reshard::shrink(&self.coord_nic, &self.routing)?;
+        let mut kvs = self.kvs.lock();
+        if let Some(idx) = kvs.iter().position(|s| s.host_id() == retired) {
+            let server = kvs.remove(idx);
+            drop(kvs);
+            self.fabric.remove_host(retired);
+            server.shutdown();
+        }
+        Ok(new_table.hosts.len())
     }
 
     /// The runtime instances.
@@ -384,7 +487,7 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
-        for kvs in self.kvs.drain(..) {
+        for kvs in self.kvs.lock().drain(..) {
             kvs.shutdown();
         }
     }

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use faasm_fvm::Linker;
-use faasm_kvs::{KvClient, ShardedKvClient, SharedKv};
+use faasm_kvs::{RoutingCell, ShardedKvClient, SharedKv};
 use faasm_net::{Fabric, HostId, Nic};
 use faasm_sched::{decide, CallId, CallResult, CallSpec, Decision, Placement, WarmSets};
 use faasm_state::StateManager;
@@ -133,24 +133,20 @@ impl std::fmt::Debug for FaasmInstance {
 }
 
 impl FaasmInstance {
-    /// Start an instance on a new fabric host. `kvs_hosts` names the global
-    /// tier's shard servers (one entry per shard); the instance routes every
-    /// state key to its owning shard.
+    /// Start an instance on a new fabric host. `routing` is the global
+    /// tier's live routing cell: the instance routes every state key to its
+    /// owning shard under the published epoch, and transparently follows
+    /// epoch changes when the tier reshards.
     pub fn start(
         fabric: &Fabric,
-        kvs_hosts: &[HostId],
+        routing: &Arc<RoutingCell>,
         object_store: Arc<ObjectStore>,
         registry: Arc<FunctionRegistry>,
         call_seq: Arc<AtomicU64>,
         config: InstanceConfig,
     ) -> Arc<FaasmInstance> {
         let nic = fabric.add_host();
-        let kv: SharedKv = Arc::new(ShardedKvClient::new(
-            kvs_hosts
-                .iter()
-                .map(|h| KvClient::connect(nic.clone(), *h))
-                .collect(),
-        ));
+        let kv: SharedKv = Arc::new(ShardedKvClient::connect(nic.clone(), Arc::clone(routing)));
         let state = Arc::new(StateManager::with_chunk_size(
             Arc::clone(&kv),
             config.chunk_size,

@@ -146,6 +146,7 @@ pub struct GatewayMetrics {
     batch_items: AtomicU64,
     prewarmed: AtomicU64,
     retired: AtomicU64,
+    tier_scaleups: AtomicU64,
     /// Sliding window of the most recent queueing-delay samples (ring
     /// buffer): one sample lands per dispatched request, so an unbounded
     /// Vec would grow by ~100 MB/hour at the bench's sustained rates and
@@ -222,6 +223,11 @@ impl GatewayMetrics {
         self.retired.fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    /// Record one live state-shard addition driven by tier load.
+    pub fn record_tier_scale(&self) {
+        self.tier_scaleups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests admitted past admission control.
     pub fn admitted(&self) -> u64 {
         self.admitted.load(Ordering::Relaxed)
@@ -274,6 +280,11 @@ impl GatewayMetrics {
     /// Idle Faaslets retired by the autoscaler.
     pub fn retired(&self) -> u64 {
         self.retired.load(Ordering::Relaxed)
+    }
+
+    /// State shards added live by the tier autoscaler.
+    pub fn tier_scaleups(&self) -> u64 {
+        self.tier_scaleups.load(Ordering::Relaxed)
     }
 
     /// Queueing-delay percentile in nanoseconds over the most recent

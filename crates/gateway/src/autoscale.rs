@@ -26,6 +26,13 @@ pub struct AutoscaleConfig {
     pub idle_target: usize,
     /// Hard cap on pooled Faaslets per function across the cluster.
     pub max_warm: usize,
+    /// Global-tier scale-up trigger: when the KVS ops served per shard in
+    /// one sampling interval exceed this, the autoscaler adds a state
+    /// shard live (`Cluster::add_state_shard`, Cloudburst-style storage
+    /// autoscaling). `None` disables tier scaling.
+    pub tier_ops_high: Option<u64>,
+    /// Hard cap on state shards the autoscaler may grow the tier to.
+    pub tier_max_shards: usize,
 }
 
 impl Default for AutoscaleConfig {
@@ -36,8 +43,21 @@ impl Default for AutoscaleConfig {
             scale_step: 2,
             idle_target: 1,
             max_warm: 64,
+            tier_ops_high: None,
+            tier_max_shards: 8,
         }
     }
+}
+
+/// Whether one sampling interval's tier load warrants adding a shard:
+/// `ops_delta` KVS ops were served since the previous tick across
+/// `shard_count` shards. Pure decision logic, unit-testable without a
+/// cluster.
+pub fn tier_scale_wanted(ops_delta: u64, shard_count: usize, cfg: &AutoscaleConfig) -> bool {
+    let Some(high) = cfg.tier_ops_high else {
+        return false;
+    };
+    shard_count > 0 && shard_count < cfg.tier_max_shards && ops_delta / shard_count as u64 > high
 }
 
 /// Pre-warm `count` Faaslets for a function, spread one at a time across
@@ -81,6 +101,25 @@ mod tests {
             return 0;
         }
     "#;
+
+    #[test]
+    fn tier_scale_decision_tracks_per_shard_load() {
+        let cfg = AutoscaleConfig {
+            tier_ops_high: Some(100),
+            tier_max_shards: 4,
+            ..AutoscaleConfig::default()
+        };
+        // Below the per-shard threshold: no scale.
+        assert!(!tier_scale_wanted(150, 2, &cfg));
+        // Above it: scale.
+        assert!(tier_scale_wanted(300, 2, &cfg));
+        // At the shard cap: never scale, whatever the load.
+        assert!(!tier_scale_wanted(10_000, 4, &cfg));
+        // Disabled by default.
+        assert!(!tier_scale_wanted(10_000, 1, &AutoscaleConfig::default()));
+        // Degenerate shard counts never divide by zero.
+        assert!(!tier_scale_wanted(10_000, 0, &cfg));
+    }
 
     #[test]
     fn prewarm_step_spreads_across_instances() {

@@ -9,7 +9,7 @@ use faasm_core::{Cluster, FaasmInstance, GatewayMetrics, PendingMap, PlacedCall}
 use faasm_net::TokenBucket;
 use parking_lot::{Condvar, Mutex};
 
-use crate::autoscale::{spread_prewarm, AutoscaleConfig};
+use crate::autoscale::{spread_prewarm, tier_scale_wanted, AutoscaleConfig};
 use crate::codec::{self, GatewayRequest};
 use crate::queue::{FairQueue, Job};
 use crate::response::GatewayResponse;
@@ -41,6 +41,14 @@ pub struct GatewayConfig {
     /// shed `Overloaded`) but keep shedding expired jobs on time. `0`
     /// means `dispatchers × max_batch`.
     pub max_inflight: usize,
+    /// Target dispatch delay (time a job may stand in the queue before
+    /// dispatch — CoDel's sojourn-time target) for the admission
+    /// back-pressure loop. When the measured EWMA stands above this,
+    /// effective per-tenant queue caps shrink multiplicatively
+    /// (CoDel-lite: shed at admission instead of queueing work the
+    /// cluster cannot serve in time); when it drops below half the
+    /// target — or the gateway fully drains — caps grow back additively.
+    pub target_dispatch_latency: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -54,9 +62,23 @@ impl Default for GatewayConfig {
             default_policy: TenantPolicy::default(),
             autoscale: Some(AutoscaleConfig::default()),
             max_inflight: 0,
+            target_dispatch_latency: Duration::from_millis(25),
         }
     }
 }
+
+/// Admission cap scale denominator: a scale of `CAP_SCALE_ONE` applies
+/// tenants' configured queue caps unchanged.
+const CAP_SCALE_ONE: u64 = 1024;
+
+/// Floor for the AIMD shrink: caps never fall below 1/16 of configured.
+const CAP_SCALE_MIN: u64 = CAP_SCALE_ONE / 16;
+
+/// Additive step per adjustment tick on recovery.
+const CAP_SCALE_STEP: u64 = CAP_SCALE_ONE / 32;
+
+/// How often the AIMD loop re-evaluates the EWMA.
+const ADJUST_EVERY: Duration = Duration::from_millis(10);
 
 /// A remote waiter's completion hook, invoked exactly once with the
 /// terminal response (outside the completion lock).
@@ -100,6 +122,16 @@ struct Inner {
     /// dispatch path.
     inflight: Mutex<usize>,
     inflight_cv: Condvar,
+    /// EWMA of measured dispatch delay in nanoseconds (0 = no samples):
+    /// how long each dispatched job stood in the queue — CoDel's sojourn
+    /// time, fed on every dispatch.
+    dispatch_ewma_ns: AtomicU64,
+    /// Effective per-tenant queue-cap scale in 1/[`CAP_SCALE_ONE`]ths,
+    /// driven by the AIMD loop over the EWMA.
+    cap_scale: AtomicU64,
+    /// When the AIMD loop last adjusted (rate-limits adjustments so one
+    /// standing-delay episode shrinks caps geometrically, not per sample).
+    last_adjust: Mutex<Instant>,
 }
 
 /// The cluster's ingress tier.
@@ -139,6 +171,9 @@ impl Gateway {
             stop: AtomicBool::new(false),
             inflight: Mutex::new(0),
             inflight_cv: Condvar::new(),
+            dispatch_ewma_ns: AtomicU64::new(0),
+            cap_scale: AtomicU64::new(CAP_SCALE_ONE),
+            last_adjust: Mutex::new(Instant::now()),
         });
         let mut threads = Vec::new();
         for d in 0..inner.config.dispatchers.max(1) {
@@ -187,6 +222,18 @@ impl Gateway {
     /// The cluster behind this gateway.
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.inner.cluster
+    }
+
+    /// The measured dispatch-delay EWMA — time jobs stand in the queue
+    /// before dispatch (zero before any job has been dispatched).
+    pub fn dispatch_latency_ewma(&self) -> Duration {
+        Duration::from_nanos(self.inner.dispatch_ewma_ns.load(Ordering::Relaxed))
+    }
+
+    /// The current admission cap scale in `(0, 1]`: the fraction of each
+    /// tenant's configured queue cap the back-pressure loop is admitting.
+    pub fn admission_cap_scale(&self) -> f64 {
+        self.inner.cap_scale.load(Ordering::Relaxed) as f64 / CAP_SCALE_ONE as f64
     }
 
     /// Submit a request with the default queueing deadline; returns a
@@ -341,7 +388,11 @@ impl Inner {
                 .fulfill(seq, GatewayResponse::overloaded(seq));
             return seq;
         }
-        // Admission gate 2: the tenant's bounded pending queue.
+        // Admission gate 2: the tenant's bounded pending queue, scaled by
+        // the dispatch-latency back-pressure loop — under standing delay
+        // the gateway sheds here, at admission, instead of queueing work
+        // the cluster cannot serve before it expires.
+        let queue_cap = self.effective_queue_cap(policy.queue_cap);
         let now = Instant::now();
         let job = Job {
             seq,
@@ -351,7 +402,7 @@ impl Inner {
             enqueued: now,
             deadline: now + deadline,
         };
-        match self.queue.push(job, policy.weight, policy.queue_cap) {
+        match self.queue.push(job, policy.weight, queue_cap) {
             Ok(()) => self.metrics.record_admitted(),
             Err(job) => {
                 // The request consumed no capacity: give the token back so
@@ -434,6 +485,66 @@ impl Inner {
         Arc::clone(best.expect("cluster has at least one instance").1)
     }
 
+    /// A tenant's queue cap under the current back-pressure scale (never
+    /// below 1 — a tenant with any cap at all can always queue one job).
+    fn effective_queue_cap(&self, configured: usize) -> usize {
+        let scale = self.cap_scale.load(Ordering::Relaxed);
+        if scale >= CAP_SCALE_ONE || configured == 0 {
+            return configured;
+        }
+        ((configured as u64 * scale / CAP_SCALE_ONE) as usize).max(1)
+    }
+
+    /// Fold one measured dispatch delay (job enqueue → batch dispatch,
+    /// CoDel's sojourn time) into the EWMA. Racy read-modify-write by
+    /// design: samples arrive from several dispatchers and the control
+    /// loop only needs the trend, not an exact fold order.
+    fn record_dispatch_delay(&self, ns: u64) {
+        let old = self.dispatch_ewma_ns.load(Ordering::Relaxed);
+        let next = if old == 0 { ns } else { (old * 7 + ns) / 8 };
+        self.dispatch_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// The AIMD control loop (CoDel-lite), run on the dispatcher cadence:
+    /// standing delay above target shrinks the admission cap scale
+    /// multiplicatively; delay below half the target grows it back
+    /// additively. A fully drained gateway (empty queue, nothing in
+    /// flight) decays the EWMA so caps recover after a burst ends even
+    /// though no new completions arrive to pull the average down.
+    fn adjust_admission(&self) {
+        {
+            let mut last = self.last_adjust.lock();
+            let now = Instant::now();
+            if now.duration_since(*last) < ADJUST_EVERY {
+                return;
+            }
+            *last = now;
+        }
+        let drained = self.queue.is_empty() && *self.inflight.lock() == 0;
+        let mut ewma = self.dispatch_ewma_ns.load(Ordering::Relaxed);
+        if drained && ewma > 0 {
+            ewma = ewma * 3 / 4;
+            self.dispatch_ewma_ns.store(ewma, Ordering::Relaxed);
+        }
+        if ewma == 0 {
+            return;
+        }
+        let target = self.config.target_dispatch_latency.as_nanos() as u64;
+        let scale = self.cap_scale.load(Ordering::Relaxed);
+        if ewma > target && !drained {
+            // Multiplicative decrease only under *standing* delay: a high
+            // EWMA with nothing queued or in flight is a memory of the
+            // last burst, not congestion — decaying it (above) is enough.
+            self.cap_scale
+                .store((scale * 3 / 4).max(CAP_SCALE_MIN), Ordering::Relaxed);
+        } else if ewma < target / 2 {
+            self.cap_scale.store(
+                (scale + CAP_SCALE_STEP).min(CAP_SCALE_ONE),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
     /// Effective in-flight cap (`0` in config means dispatchers × batch).
     fn max_inflight(&self) -> usize {
         if self.config.max_inflight > 0 {
@@ -501,6 +612,7 @@ impl Inner {
         let cap = self.max_inflight();
         while !self.stop.load(Ordering::Relaxed) {
             self.shed_expired_jobs();
+            self.adjust_admission();
             let granted = self.reserve_inflight(self.config.max_batch.max(1), cap);
             if granted == 0 {
                 // Saturated: no draining, but keep polling the deadline
@@ -535,8 +647,13 @@ impl Inner {
                         .fulfill(job.seq, GatewayResponse::expired(job.seq));
                     continue;
                 }
-                self.metrics
-                    .record_queue_delay_ns(now.duration_since(job.enqueued).as_nanos() as u64);
+                let queued_ns = now.duration_since(job.enqueued).as_nanos() as u64;
+                self.metrics.record_queue_delay_ns(queued_ns);
+                // The admission back-pressure signal is CoDel's sojourn
+                // time — how long the job stood in the queue before
+                // dispatch — NOT service time: a merely slow function on
+                // an idle cluster must not shrink anyone's caps.
+                self.record_dispatch_delay(queued_ns);
                 let inst = self.pick_instance(&job.tenant, &job.function);
                 groups
                     .entry(inst.host_id())
@@ -593,8 +710,22 @@ impl Inner {
         // so wire clients naming arbitrary tenants cannot grow this set or
         // the per-tick scan without bound.
         let mut seen: HashSet<(String, String)> = HashSet::new();
+        // Tier scaling tracks the op-count delta between ticks.
+        let mut last_tier_ops: Option<u64> = None;
         while !self.stop.load(Ordering::Relaxed) {
             std::thread::sleep(cfg.interval);
+            if cfg.tier_ops_high.is_some() {
+                if let Ok(stats) = self.cluster.state_shard_stats() {
+                    let total: u64 = stats.iter().map(|s| s.reads + s.writes + s.lock_ops).sum();
+                    let delta = total.saturating_sub(last_tier_ops.unwrap_or(total));
+                    last_tier_ops = Some(total);
+                    if tier_scale_wanted(delta, stats.len(), &cfg)
+                        && self.cluster.add_state_shard().is_ok()
+                    {
+                        self.metrics.record_tier_scale();
+                    }
+                }
+            }
             let backlog = self.queue.backlog();
             seen.extend(backlog.keys().cloned());
             let instances = self.cluster.instances();

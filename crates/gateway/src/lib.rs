@@ -89,7 +89,7 @@ mod response;
 pub mod server;
 mod tenant;
 
-pub use autoscale::{spread_prewarm, AutoscaleConfig};
+pub use autoscale::{spread_prewarm, tier_scale_wanted, AutoscaleConfig};
 pub use client::{ClientError, GatewayClient, GatewayClientConfig};
 pub use codec::{FrameBuf, GatewayRequest};
 pub use gateway::{Gateway, GatewayConfig};

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use crate::client::{KvClient, KvError};
-use crate::store::LockMode;
+use crate::store::{LockMode, ShardStats};
 
 /// A handle to the global tier shared across a host's runtime.
 pub type SharedKv = Arc<dyn KvBackend>;
@@ -169,6 +169,18 @@ pub trait KvBackend: Send + Sync {
     fn shard_count(&self) -> usize {
         1
     }
+
+    /// Per-shard load reports in shard-index order (key count, value
+    /// bytes, per-op counters) — the migration planner's and the tier
+    /// autoscaler's skew signal. Backends with nothing to report (test
+    /// wrappers) return an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
+        Ok(Vec::new())
+    }
 }
 
 impl KvBackend for KvClient {
@@ -254,5 +266,9 @@ impl KvBackend for KvClient {
 
     fn flush(&self) -> Result<(), KvError> {
         KvClient::flush(self)
+    }
+
+    fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
+        Ok(vec![KvClient::stats(self)?])
     }
 }

@@ -5,9 +5,11 @@ use std::time::Duration;
 
 use faasm_net::{HostId, NetError, Nic};
 
-use crate::codec::{decode_request, decode_response, encode_request, Request, Response};
-use crate::server::apply;
-use crate::store::{KvStore, LockMode};
+use crate::codec::{
+    decode_request_epoch, decode_response, encode_request_at, Request, Response, EPOCH_ANY,
+};
+use crate::server::apply_routed;
+use crate::store::{KvStore, LockMode, ShardStats};
 
 static NEXT_OWNER: AtomicU64 = AtomicU64::new(1);
 
@@ -20,6 +22,17 @@ pub enum KvError {
     Server(String),
     /// The server replied with an unexpected response shape.
     Protocol,
+    /// The shard does not own the key under its routing table: refresh the
+    /// routing table to at least `epoch` and retry on the owning shard.
+    /// [`ShardedKvClient`](crate::ShardedKvClient) handles this internally;
+    /// it surfaces only when the retry budget is exhausted or the client
+    /// has no routing cell to refresh from.
+    WrongEpoch {
+        /// The epoch the routing table must reach.
+        epoch: u64,
+        /// That epoch's shard count.
+        shard_count: u64,
+    },
 }
 
 impl std::fmt::Display for KvError {
@@ -28,6 +41,10 @@ impl std::fmt::Display for KvError {
             KvError::Net(e) => write!(f, "kvs network error: {e}"),
             KvError::Server(m) => write!(f, "kvs server error: {m}"),
             KvError::Protocol => write!(f, "kvs protocol violation"),
+            KvError::WrongEpoch { epoch, shard_count } => write!(
+                f,
+                "kvs routing stale: shard does not own the key (epoch {epoch}, {shard_count} shards)"
+            ),
         }
     }
 }
@@ -56,6 +73,9 @@ enum Transport {
 pub struct KvClient {
     transport: Transport,
     owner: u64,
+    /// The routing epoch stamped on every request ([`EPOCH_ANY`] for
+    /// clients that do not track routing tables).
+    epoch: u64,
 }
 
 impl std::fmt::Debug for KvClient {
@@ -74,9 +94,23 @@ impl std::fmt::Debug for KvClient {
 impl KvClient {
     /// A client that reaches the server at `server` over `nic`.
     pub fn connect(nic: Nic, server: HostId) -> KvClient {
+        KvClient::connect_at(
+            nic,
+            server,
+            EPOCH_ANY,
+            NEXT_OWNER.fetch_add(1, Ordering::Relaxed),
+        )
+    }
+
+    /// A client stamped with a routing `epoch` and an explicit lock-`owner`
+    /// token — how a sharded client rebuilds its per-shard connections on
+    /// an epoch change while keeping one stable owner, so locks taken
+    /// before a reshard are still *its* locks after.
+    pub fn connect_at(nic: Nic, server: HostId, epoch: u64, owner: u64) -> KvClient {
         KvClient {
             transport: Transport::Remote { nic, server },
-            owner: NEXT_OWNER.fetch_add(1, Ordering::Relaxed),
+            owner,
+            epoch,
         }
     }
 
@@ -85,7 +119,14 @@ impl KvClient {
         KvClient {
             transport: Transport::Local(store),
             owner: NEXT_OWNER.fetch_add(1, Ordering::Relaxed),
+            epoch: EPOCH_ANY,
         }
+    }
+
+    /// Allocate a fresh lock-owner token (the same pool client
+    /// constructors draw from).
+    pub fn fresh_owner() -> u64 {
+        NEXT_OWNER.fetch_add(1, Ordering::Relaxed)
     }
 
     /// This client's lock-owner token.
@@ -93,24 +134,40 @@ impl KvClient {
         self.owner
     }
 
-    fn exec(&self, req: Request) -> Result<Response, KvError> {
+    /// The routing epoch stamped on this client's requests.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn exec(&self, req: &Request) -> Result<Response, KvError> {
         match &self.transport {
             Transport::Remote { nic, server } => {
-                let resp = nic.call(*server, encode_request(&req))?;
+                let resp = nic.call(*server, encode_request_at(req, self.epoch))?;
                 decode_response(&resp).map_err(|_| KvError::Protocol)
             }
             Transport::Local(store) => {
                 // Keep the codec on the path so local mode measures the same
                 // serialisation costs as remote mode, minus the fabric.
-                let req = decode_request(&encode_request(&req)).map_err(|_| KvError::Protocol)?;
-                Ok(apply(store, req))
+                let (req, epoch) = decode_request_epoch(&encode_request_at(req, self.epoch))
+                    .map_err(|_| KvError::Protocol)?;
+                Ok(apply_routed(store, None, req, epoch))
             }
         }
+    }
+
+    /// Execute a pre-built request, mapping server-side errors. Borrowing
+    /// the request lets the sharded client retry one built request across
+    /// epochs without cloning megabyte write payloads per attempt.
+    pub(crate) fn request(&self, req: &Request) -> Result<Response, KvError> {
+        self.check(self.exec(req)?)
     }
 
     fn check(&self, resp: Response) -> Result<Response, KvError> {
         match resp {
             Response::Err(m) => Err(KvError::Server(m)),
+            Response::WrongEpoch { epoch, shard_count } => {
+                Err(KvError::WrongEpoch { epoch, shard_count })
+            }
             other => Ok(other),
         }
     }
@@ -121,7 +178,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, KvError> {
-        match self.check(self.exec(Request::Get { key: key.into() })?)? {
+        match self.check(self.exec(&Request::Get { key: key.into() })?)? {
             Response::Value(v) => Ok(v),
             _ => Err(KvError::Protocol),
         }
@@ -133,7 +190,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn set(&self, key: &str, value: Vec<u8>) -> Result<(), KvError> {
-        match self.check(self.exec(Request::Set {
+        match self.check(self.exec(&Request::Set {
             key: key.into(),
             value,
         })?)? {
@@ -148,7 +205,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Option<Vec<u8>>, KvError> {
-        match self.check(self.exec(Request::GetRange {
+        match self.check(self.exec(&Request::GetRange {
             key: key.into(),
             offset,
             len,
@@ -164,7 +221,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn set_range(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<(), KvError> {
-        match self.check(self.exec(Request::SetRange {
+        match self.check(self.exec(&Request::SetRange {
             key: key.into(),
             offset,
             data,
@@ -185,7 +242,7 @@ impl KvClient {
         key: &str,
         spans: &[(u64, u64)],
     ) -> Result<Option<Vec<Vec<u8>>>, KvError> {
-        match self.check(self.exec(Request::MultiGetRange {
+        match self.check(self.exec(&Request::MultiGetRange {
             key: key.into(),
             spans: spans.to_vec(),
         })?)? {
@@ -204,7 +261,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn multi_set_range(&self, key: &str, writes: Vec<(u64, Vec<u8>)>) -> Result<(), KvError> {
-        match self.check(self.exec(Request::MultiSetRange {
+        match self.check(self.exec(&Request::MultiSetRange {
             key: key.into(),
             writes,
         })?)? {
@@ -219,7 +276,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError> {
-        match self.check(self.exec(Request::Append {
+        match self.check(self.exec(&Request::Append {
             key: key.into(),
             data,
         })?)? {
@@ -234,7 +291,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn del(&self, key: &str) -> Result<bool, KvError> {
-        match self.check(self.exec(Request::Del { key: key.into() })?)? {
+        match self.check(self.exec(&Request::Del { key: key.into() })?)? {
             Response::Bool(b) => Ok(b),
             _ => Err(KvError::Protocol),
         }
@@ -246,7 +303,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn exists(&self, key: &str) -> Result<bool, KvError> {
-        match self.check(self.exec(Request::Exists { key: key.into() })?)? {
+        match self.check(self.exec(&Request::Exists { key: key.into() })?)? {
             Response::Bool(b) => Ok(b),
             _ => Err(KvError::Protocol),
         }
@@ -258,7 +315,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn strlen(&self, key: &str) -> Result<u64, KvError> {
-        match self.check(self.exec(Request::StrLen { key: key.into() })?)? {
+        match self.check(self.exec(&Request::StrLen { key: key.into() })?)? {
             Response::Len(n) => Ok(n),
             _ => Err(KvError::Protocol),
         }
@@ -270,7 +327,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn incr(&self, key: &str, delta: i64) -> Result<i64, KvError> {
-        match self.check(self.exec(Request::Incr {
+        match self.check(self.exec(&Request::Incr {
             key: key.into(),
             delta,
         })?)? {
@@ -285,7 +342,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn sadd(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
-        match self.check(self.exec(Request::SAdd {
+        match self.check(self.exec(&Request::SAdd {
             key: key.into(),
             member: member.to_vec(),
         })?)? {
@@ -300,7 +357,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn srem(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
-        match self.check(self.exec(Request::SRem {
+        match self.check(self.exec(&Request::SRem {
             key: key.into(),
             member: member.to_vec(),
         })?)? {
@@ -315,7 +372,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn smembers(&self, key: &str) -> Result<Vec<Vec<u8>>, KvError> {
-        match self.check(self.exec(Request::SMembers { key: key.into() })?)? {
+        match self.check(self.exec(&Request::SMembers { key: key.into() })?)? {
             Response::Values(v) => Ok(v),
             _ => Err(KvError::Protocol),
         }
@@ -327,7 +384,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn scard(&self, key: &str) -> Result<u64, KvError> {
-        match self.check(self.exec(Request::SCard { key: key.into() })?)? {
+        match self.check(self.exec(&Request::SCard { key: key.into() })?)? {
             Response::Len(n) => Ok(n),
             _ => Err(KvError::Protocol),
         }
@@ -339,7 +396,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn try_lock(&self, key: &str, mode: LockMode) -> Result<bool, KvError> {
-        match self.check(self.exec(Request::TryLock {
+        match self.check(self.exec(&Request::TryLock {
             key: key.into(),
             mode,
             owner: self.owner,
@@ -372,7 +429,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
-        match self.check(self.exec(Request::Unlock {
+        match self.check(self.exec(&Request::Unlock {
             key: key.into(),
             mode,
             owner: self.owner,
@@ -388,7 +445,7 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn ping(&self) -> Result<(), KvError> {
-        match self.check(self.exec(Request::Ping)?)? {
+        match self.check(self.exec(&Request::Ping)?)? {
             Response::Pong => Ok(()),
             _ => Err(KvError::Protocol),
         }
@@ -400,7 +457,62 @@ impl KvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn flush(&self) -> Result<(), KvError> {
-        match self.check(self.exec(Request::Flush)?)? {
+        match self.check(self.exec(&Request::Flush)?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// The shard's load report (key count, value bytes, per-op counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn stats(&self) -> Result<ShardStats, KvError> {
+        match self.check(self.exec(&Request::Stats)?)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Begin a migration on this shard toward `(epoch, shard_count)`:
+    /// freezes the moving keys and returns their exported state (the
+    /// coordinator forwards them to the receiving shard via
+    /// [`KvClient::handoff`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn migrate(
+        &self,
+        epoch: u64,
+        shard_count: u64,
+    ) -> Result<Vec<crate::store::KeyMigration>, KvError> {
+        match self.check(self.exec(&Request::Migrate { epoch, shard_count })?)? {
+            Response::Handoff(entries) => Ok(entries),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Install migrated key state on this shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn handoff(&self, entries: Vec<crate::store::KeyMigration>) -> Result<(), KvError> {
+        match self.check(self.exec(&Request::Handoff { entries })?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Commit a routing epoch on this shard (donors purge moved keys).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn epoch_commit(&self, epoch: u64, shard_count: u64) -> Result<(), KvError> {
+        match self.check(self.exec(&Request::EpochCommit { epoch, shard_count })?)? {
             Response::Ok => Ok(()),
             _ => Err(KvError::Protocol),
         }

@@ -7,7 +7,13 @@
 
 use bytes::{Buf, BufMut};
 
-use crate::store::LockMode;
+use crate::store::{KeyMigration, LockMigration, LockMode, ShardStats};
+
+/// The epoch sent by clients that do not track routing epochs (plain
+/// [`KvClient`](crate::KvClient)s and test drivers). Servers still apply the
+/// key-ownership check — the sentinel only opts the client out of the
+/// "epochs match" fast path, never out of correctness.
+pub const EPOCH_ANY: u64 = u64::MAX;
 
 /// A client → server command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +139,68 @@ pub enum Request {
         /// `(offset, data)` writes to apply, in order.
         writes: Vec<(u64, Vec<u8>)>,
     },
+    /// Report this shard's load (key count, value bytes, per-op counters) —
+    /// the migration planner's and the tier autoscaler's skew signal.
+    Stats,
+    /// Begin migrating this shard toward a new routing table: the shard
+    /// freezes every key it will no longer own under `shard_count` shards
+    /// (answering [`Response::WrongEpoch`] until the epoch commits) and
+    /// replies [`Response::Handoff`] with the complete exported state of
+    /// exactly those moving keys.
+    Migrate {
+        /// The routing epoch being migrated to.
+        epoch: u64,
+        /// The shard count of the new routing table.
+        shard_count: u64,
+    },
+    /// Install migrated key state on the receiving shard (values, set
+    /// members, counters-as-values and lock state with owners preserved).
+    Handoff {
+        /// The moving keys' exported state.
+        entries: Vec<KeyMigration>,
+    },
+    /// Commit a routing epoch: the shard adopts `(epoch, shard_count)` as
+    /// its serving table and purges every key it no longer owns (the
+    /// donor's post-handoff cleanup).
+    EpochCommit {
+        /// The committed routing epoch.
+        epoch: u64,
+        /// The committed shard count.
+        shard_count: u64,
+    },
+}
+
+impl Request {
+    /// The state key this request routes on, if any — migration, stats and
+    /// liveness commands are shard-addressed, not key-addressed, and skip
+    /// the server's ownership check.
+    pub fn key(&self) -> Option<&str> {
+        match self {
+            Request::Get { key }
+            | Request::Set { key, .. }
+            | Request::GetRange { key, .. }
+            | Request::SetRange { key, .. }
+            | Request::Append { key, .. }
+            | Request::Del { key }
+            | Request::Exists { key }
+            | Request::StrLen { key }
+            | Request::Incr { key, .. }
+            | Request::SAdd { key, .. }
+            | Request::SRem { key, .. }
+            | Request::SMembers { key }
+            | Request::SCard { key }
+            | Request::TryLock { key, .. }
+            | Request::Unlock { key, .. }
+            | Request::MultiGetRange { key, .. }
+            | Request::MultiSetRange { key, .. } => Some(key),
+            Request::Ping
+            | Request::Flush
+            | Request::Stats
+            | Request::Migrate { .. }
+            | Request::Handoff { .. }
+            | Request::EpochCommit { .. } => None,
+        }
+    }
 }
 
 /// A server → client reply.
@@ -157,6 +225,20 @@ pub enum Response {
     /// Reply to [`Request::MultiGetRange`]: `None` if the key is missing,
     /// otherwise one (possibly truncated) byte run per requested span.
     Spans(Option<Vec<Vec<u8>>>),
+    /// The shard does not own the request's key under its current routing
+    /// table: the client should refresh its table to at least `epoch` and
+    /// retry against the owning shard.
+    WrongEpoch {
+        /// The epoch the client must reach before retrying.
+        epoch: u64,
+        /// The shard count of that epoch's routing table.
+        shard_count: u64,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(ShardStats),
+    /// Reply to [`Request::Migrate`]: the exported state of every moving
+    /// key (also the payload shape of [`Request::Handoff`]).
+    Handoff(Vec<KeyMigration>),
 }
 
 /// A malformed message.
@@ -218,6 +300,19 @@ fn byte_mode(b: u8) -> Result<LockMode, CodecError> {
     }
 }
 
+/// Payload bytes one migration entry needs on the wire.
+fn entry_payload_len(e: &KeyMigration) -> usize {
+    let lock = match &e.lock {
+        None => 1,
+        Some(LockMigration::Readers(r)) => 5 + r.len() * 16,
+        Some(LockMigration::Writer { .. }) => 17,
+    };
+    9 + e.key.len()
+        + e.value.as_ref().map_or(0, |v| v.len() + 4)
+        + e.set.iter().map(|m| m.len() + 4).sum::<usize>()
+        + lock
+}
+
 /// Payload bytes a request encoding will need beyond its fixed fields —
 /// sizing the output buffer up front keeps megabyte-scale batched pushes
 /// from paying doubling reallocations.
@@ -242,13 +337,138 @@ fn request_payload_len(req: &Request) -> usize {
         | Request::SCard { key }
         | Request::TryLock { key, .. }
         | Request::Unlock { key, .. } => key.len(),
-        Request::Ping | Request::Flush => 0,
+        Request::Ping | Request::Flush | Request::Stats => 0,
+        Request::Migrate { .. } | Request::EpochCommit { .. } => 16,
+        Request::Handoff { entries } => entries.iter().map(entry_payload_len).sum(),
     }
 }
 
-/// Encode a request for the wire.
+fn put_entry(out: &mut Vec<u8>, e: &KeyMigration) {
+    put_bytes(out, e.key.as_bytes());
+    match &e.value {
+        Some(v) => {
+            out.put_u8(1);
+            put_bytes(out, v);
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u32_le(e.set.len() as u32);
+    for member in &e.set {
+        put_bytes(out, member);
+    }
+    match &e.lock {
+        None => out.put_u8(0),
+        Some(LockMigration::Readers(readers)) => {
+            out.put_u8(1);
+            out.put_u32_le(readers.len() as u32);
+            for (owner, remaining) in readers {
+                out.put_u64_le(*owner);
+                out.put_u64_le(*remaining);
+            }
+        }
+        Some(LockMigration::Writer {
+            owner,
+            remaining_ms,
+        }) => {
+            out.put_u8(2);
+            out.put_u64_le(*owner);
+            out.put_u64_le(*remaining_ms);
+        }
+    }
+}
+
+fn get_entry(buf: &mut &[u8]) -> Result<KeyMigration, CodecError> {
+    let key = get_string(buf)?;
+    if buf.remaining() < 1 {
+        return Err(CodecError("truncated value flag".into()));
+    }
+    let value = match buf.get_u8() {
+        0 => None,
+        1 => Some(get_bytes(buf)?),
+        _ => return Err(CodecError("bad value flag".into())),
+    };
+    if buf.remaining() < 4 {
+        return Err(CodecError("truncated member count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    // Every member costs at least its 4-byte length prefix.
+    if buf.remaining() < n.saturating_mul(4) {
+        return Err(CodecError("member count exceeds payload".into()));
+    }
+    let mut set = Vec::with_capacity(n);
+    for _ in 0..n {
+        set.push(get_bytes(buf)?);
+    }
+    if buf.remaining() < 1 {
+        return Err(CodecError("truncated lock kind".into()));
+    }
+    let lock = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError("truncated reader count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n.saturating_mul(16) {
+                return Err(CodecError("reader count exceeds payload".into()));
+            }
+            let mut readers = Vec::with_capacity(n);
+            for _ in 0..n {
+                let owner = buf.get_u64_le();
+                let remaining = buf.get_u64_le();
+                readers.push((owner, remaining));
+            }
+            Some(LockMigration::Readers(readers))
+        }
+        2 => {
+            if buf.remaining() < 16 {
+                return Err(CodecError("truncated writer lock".into()));
+            }
+            Some(LockMigration::Writer {
+                owner: buf.get_u64_le(),
+                remaining_ms: buf.get_u64_le(),
+            })
+        }
+        _ => return Err(CodecError("bad lock kind".into())),
+    };
+    Ok(KeyMigration {
+        key,
+        value,
+        set,
+        lock,
+    })
+}
+
+fn get_entries(buf: &mut &[u8]) -> Result<Vec<KeyMigration>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError("truncated entry count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    // Every entry costs at least 9 bytes of fixed framing (key length,
+    // value flag, member count, lock kind), so a hostile count cannot
+    // out-size the buffer it rode in on.
+    if buf.remaining() < n.saturating_mul(9) {
+        return Err(CodecError("entry count exceeds payload".into()));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(get_entry(buf)?);
+    }
+    Ok(entries)
+}
+
+/// Encode a request for the wire without epoch information
+/// ([`encode_request_at`] with [`EPOCH_ANY`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32 + request_payload_len(req));
+    encode_request_at(req, EPOCH_ANY)
+}
+
+/// Encode a request for the wire, stamped with the client's routing epoch.
+/// Every request carries the epoch so a shard can recognise stale routing
+/// at a glance (and skip the per-key ownership hash when epochs match).
+pub fn encode_request_at(req: &Request, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + request_payload_len(req));
+    out.put_u64_le(epoch);
     match req {
         Request::Get { key } => {
             out.put_u8(0);
@@ -343,16 +563,47 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_bytes(&mut out, data);
             }
         }
+        Request::Stats => out.put_u8(19),
+        Request::Migrate { epoch, shard_count } => {
+            out.put_u8(20);
+            out.put_u64_le(*epoch);
+            out.put_u64_le(*shard_count);
+        }
+        Request::Handoff { entries } => {
+            out.put_u8(21);
+            out.put_u32_le(entries.len() as u32);
+            for entry in entries {
+                put_entry(&mut out, entry);
+            }
+        }
+        Request::EpochCommit { epoch, shard_count } => {
+            out.put_u8(22);
+            out.put_u64_le(*epoch);
+            out.put_u64_le(*shard_count);
+        }
     }
     out
 }
 
-/// Decode a request.
+/// Decode a request, discarding the client epoch.
 ///
 /// # Errors
 ///
 /// Returns [`CodecError`] on malformed input.
-pub fn decode_request(mut buf: &[u8]) -> Result<Request, CodecError> {
+pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
+    decode_request_epoch(buf).map(|(req, _)| req)
+}
+
+/// Decode a request together with the client's routing epoch.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input.
+pub fn decode_request_epoch(mut buf: &[u8]) -> Result<(Request, u64), CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError("truncated epoch".into()));
+    }
+    let epoch = buf.get_u64_le();
     if buf.is_empty() {
         return Err(CodecError("empty request".into()));
     }
@@ -470,12 +721,34 @@ pub fn decode_request(mut buf: &[u8]) -> Result<Request, CodecError> {
             }
             Request::MultiSetRange { key, writes }
         }
+        19 => Request::Stats,
+        20 => {
+            if buf.remaining() < 16 {
+                return Err(CodecError("truncated migrate".into()));
+            }
+            Request::Migrate {
+                epoch: buf.get_u64_le(),
+                shard_count: buf.get_u64_le(),
+            }
+        }
+        21 => Request::Handoff {
+            entries: get_entries(&mut buf)?,
+        },
+        22 => {
+            if buf.remaining() < 16 {
+                return Err(CodecError("truncated epoch commit".into()));
+            }
+            Request::EpochCommit {
+                epoch: buf.get_u64_le(),
+                shard_count: buf.get_u64_le(),
+            }
+        }
         other => return Err(CodecError(format!("unknown request op {other}"))),
     };
     if buf.has_remaining() {
         return Err(CodecError("trailing bytes in request".into()));
     }
-    Ok(req)
+    Ok((req, epoch))
 }
 
 /// Encode a response for the wire.
@@ -485,6 +758,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Values(vs) => vs.iter().map(|v| v.len() + 4).sum(),
         Response::Spans(Some(runs)) => runs.iter().map(|r| r.len() + 4).sum(),
         Response::Err(msg) => msg.len(),
+        Response::Handoff(entries) => entries.iter().map(entry_payload_len).sum(),
+        Response::Stats(_) => 56,
         _ => 0,
     };
     let mut out = Vec::with_capacity(16 + payload);
@@ -525,6 +800,28 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u32_le(runs.len() as u32);
             for run in runs {
                 put_bytes(&mut out, run);
+            }
+        }
+        Response::WrongEpoch { epoch, shard_count } => {
+            out.put_u8(11);
+            out.put_u64_le(*epoch);
+            out.put_u64_le(*shard_count);
+        }
+        Response::Stats(stats) => {
+            out.put_u8(12);
+            out.put_u64_le(stats.epoch);
+            out.put_u64_le(stats.keys);
+            out.put_u64_le(stats.value_bytes);
+            out.put_u64_le(stats.reads);
+            out.put_u64_le(stats.writes);
+            out.put_u64_le(stats.lock_ops);
+            out.put_u64_le(stats.wrong_epoch);
+        }
+        Response::Handoff(entries) => {
+            out.put_u8(13);
+            out.put_u32_le(entries.len() as u32);
+            for entry in entries {
+                put_entry(&mut out, entry);
             }
         }
     }
@@ -587,6 +884,30 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
             }
             Response::Spans(Some(runs))
         }
+        11 => {
+            if buf.remaining() < 16 {
+                return Err(CodecError("truncated wrong-epoch".into()));
+            }
+            Response::WrongEpoch {
+                epoch: buf.get_u64_le(),
+                shard_count: buf.get_u64_le(),
+            }
+        }
+        12 => {
+            if buf.remaining() < 56 {
+                return Err(CodecError("truncated stats".into()));
+            }
+            Response::Stats(ShardStats {
+                epoch: buf.get_u64_le(),
+                keys: buf.get_u64_le(),
+                value_bytes: buf.get_u64_le(),
+                reads: buf.get_u64_le(),
+                writes: buf.get_u64_le(),
+                lock_ops: buf.get_u64_le(),
+                wrong_epoch: buf.get_u64_le(),
+            })
+        }
+        13 => Response::Handoff(get_entries(&mut buf)?),
         other => return Err(CodecError(format!("unknown response tag {other}"))),
     };
     if buf.has_remaining() {
@@ -661,6 +982,47 @@ mod tests {
                 key: "k".into(),
                 writes: vec![(0, b"aa".to_vec()), (7, Vec::new()), (100, b"z".to_vec())],
             },
+            Request::Stats,
+            Request::Migrate {
+                epoch: 4,
+                shard_count: 3,
+            },
+            Request::Handoff {
+                entries: migration_entries(),
+            },
+            Request::Handoff {
+                entries: Vec::new(),
+            },
+            Request::EpochCommit {
+                epoch: 4,
+                shard_count: 3,
+            },
+        ]
+    }
+
+    fn migration_entries() -> Vec<KeyMigration> {
+        vec![
+            KeyMigration {
+                key: "plain".into(),
+                value: Some(b"v".to_vec()),
+                set: Vec::new(),
+                lock: None,
+            },
+            KeyMigration {
+                key: "locked".into(),
+                value: None,
+                set: vec![b"m1".to_vec(), Vec::new()],
+                lock: Some(LockMigration::Writer {
+                    owner: 42,
+                    remaining_ms: 1000,
+                }),
+            },
+            KeyMigration {
+                key: "readers".into(),
+                value: Some(Vec::new()),
+                set: Vec::new(),
+                lock: Some(LockMigration::Readers(vec![(1, 10), (2, 20)])),
+            },
         ]
     }
 
@@ -678,6 +1040,20 @@ mod tests {
             Response::Err("boom".into()),
             Response::Spans(None),
             Response::Spans(Some(vec![b"run1".to_vec(), Vec::new(), b"r".to_vec()])),
+            Response::WrongEpoch {
+                epoch: 7,
+                shard_count: 4,
+            },
+            Response::Stats(ShardStats {
+                epoch: 3,
+                keys: 10,
+                value_bytes: 4096,
+                reads: 100,
+                writes: 50,
+                lock_ops: 5,
+                wrong_epoch: 2,
+            }),
+            Response::Handoff(migration_entries()),
         ]
     }
 
@@ -686,6 +1062,13 @@ mod tests {
         for req in all_requests() {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req, "req {req:?}");
+            // The client epoch rides every request and roundtrips exactly.
+            let bytes = encode_request_at(&req, 17);
+            assert_eq!(
+                decode_request_epoch(&bytes).unwrap(),
+                (req.clone(), 17),
+                "epoch-stamped {req:?}"
+            );
         }
     }
 
@@ -717,16 +1100,23 @@ mod tests {
         assert!(decode_request(&bytes).is_err());
     }
 
+    /// An epoch-prefixed request frame starting at op `op`.
+    fn raw_request(op: u8) -> Vec<u8> {
+        let mut bytes = EPOCH_ANY.to_le_bytes().to_vec();
+        bytes.push(op);
+        bytes
+    }
+
     #[test]
     fn hostile_batch_counts_rejected_before_allocation() {
         // MultiGetRange claiming u32::MAX spans in a tiny payload.
-        let mut bytes = vec![17u8];
+        let mut bytes = raw_request(17);
         bytes.extend_from_slice(&1u32.to_le_bytes());
         bytes.push(b'k');
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(&bytes).is_err());
         // MultiSetRange with an outsized write count.
-        let mut bytes = vec![18u8];
+        let mut bytes = raw_request(18);
         bytes.extend_from_slice(&1u32.to_le_bytes());
         bytes.push(b'k');
         bytes.extend_from_slice(&0x4000_0000u32.to_le_bytes());
@@ -735,6 +1125,27 @@ mod tests {
         let mut bytes = vec![10u8];
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_response(&bytes).is_err());
+        // Handoff with a hostile entry count.
+        let mut bytes = raw_request(21);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
+        // Handoff response with a hostile entry count.
+        let mut bytes = vec![13u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(&bytes).is_err());
+        // A hostile reader count inside one entry.
+        let req = Request::Handoff {
+            entries: vec![KeyMigration {
+                key: "k".into(),
+                value: None,
+                set: Vec::new(),
+                lock: Some(LockMigration::Readers(vec![(1, 1)])),
+            }],
+        };
+        let mut bytes = encode_request(&req);
+        let n = bytes.len();
+        bytes[n - 20..n - 16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
     }
 
     #[test]
@@ -754,7 +1165,7 @@ mod tests {
 
     #[test]
     fn non_utf8_key_rejected() {
-        let mut bytes = vec![0u8]; // Get
+        let mut bytes = raw_request(0); // Get
         bytes.extend_from_slice(&2u32.to_le_bytes());
         bytes.extend_from_slice(&[0xff, 0xfe]);
         assert!(decode_request(&bytes).is_err());

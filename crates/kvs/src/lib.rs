@@ -20,13 +20,14 @@
 pub mod backend;
 pub mod client;
 pub mod codec;
+pub mod reshard;
 pub mod server;
 pub mod sharded;
 pub mod store;
 
 pub use backend::{KvBackend, SharedKv};
 pub use client::{KvClient, KvError};
-pub use codec::{Request, Response};
-pub use server::{KvServer, ServerShaping};
-pub use sharded::ShardedKvClient;
-pub use store::{KvStore, LockMode};
+pub use codec::{Request, Response, EPOCH_ANY};
+pub use server::{KvServer, ServerShaping, ShardRouting};
+pub use sharded::{rendezvous_delta, shard_index_for, RoutingCell, RoutingTable, ShardedKvClient};
+pub use store::{KeyMigration, KvStore, LockMigration, LockMode, ShardStats};

@@ -1,0 +1,393 @@
+//! The live-resharding coordinator: epoch-bumped key migration.
+//!
+//! Growing or shrinking the tier is a three-phase, wire-driven protocol
+//! (Cloudburst-style storage autoscaling; the rendezvous routing in
+//! [`sharded`](crate::sharded) guarantees the delta is minimal):
+//!
+//! 1. **Freeze + export** — each donor shard receives `Migrate{epoch+1,
+//!    new_count}`: it atomically switches its ownership check to the new
+//!    table (in-flight and future operations on *moving* keys answer
+//!    `WrongEpoch` and are retried by clients), then exports exactly the
+//!    moving keys — values, counters, sets and lock state with owners and
+//!    remaining leases intact. The freeze-and-export runs behind the
+//!    shard's serving gate, so all of the donor's keyed traffic pauses
+//!    for the export snapshot itself; outside that snapshot, non-moving
+//!    keys are served throughout the migration.
+//! 2. **Handoff** — the coordinator streams each donor's export to the
+//!    keys' new owner shard, which installs it.
+//! 3. **Commit + publish** — every shard of the new table receives
+//!    `EpochCommit{epoch+1, new_count}` (donors purge the keys they no
+//!    longer own); only then is the new [`RoutingTable`] published through
+//!    the shared [`RoutingCell`], releasing every client blocked on the
+//!    `WrongEpoch` handshake onto the new table.
+//!
+//! No acknowledged write can be lost: a write either lands before the
+//! freeze (and is exported with the key) or is rejected with `WrongEpoch`
+//! and retried against the new owner after the commit. No read can see the
+//! wrong shard: ownership is checked on every keyed request.
+
+use std::sync::Arc;
+
+use faasm_net::{HostId, Nic};
+
+use crate::client::{KvClient, KvError};
+use crate::codec::EPOCH_ANY;
+use crate::sharded::{shard_index_for, RoutingCell, RoutingTable};
+use crate::store::KeyMigration;
+
+fn control(coord: &Nic, host: HostId) -> KvClient {
+    KvClient::connect_at(coord.clone(), host, EPOCH_ANY, KvClient::fresh_owner())
+}
+
+/// Grow the tier by one shard: migrate every key whose rendezvous owner
+/// under `old_count + 1` shards is the new shard onto `new_host` (which
+/// must already be serving, routed at the next epoch), commit the epoch on
+/// every shard and publish the new table through `cell`.
+///
+/// On a mid-protocol failure the frozen donors are rolled back to the old
+/// table (their keys were never purged) and the error is returned; the
+/// caller owns shutting down the unused new server.
+///
+/// # Errors
+///
+/// Returns [`KvError`] when a shard cannot be reached or rejects a phase.
+pub fn grow(
+    coord: &Nic,
+    cell: &RoutingCell,
+    new_host: HostId,
+) -> Result<Arc<RoutingTable>, KvError> {
+    let old = cell.load();
+    let new_epoch = old.epoch + 1;
+    let mut hosts = old.hosts.clone();
+    hosts.push(new_host);
+    let new_count = hosts.len() as u64;
+
+    let target = control(coord, new_host);
+    let mut frozen: Vec<HostId> = Vec::new();
+    let migrated = (|| {
+        for &donor in &old.hosts {
+            frozen.push(donor);
+            let entries = control(coord, donor).migrate(new_epoch, new_count)?;
+            if !entries.is_empty() {
+                target.handoff(entries)?;
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = migrated {
+        // Roll back: donors re-commit the old table. Nothing was purged,
+        // so service resumes exactly as before the attempt.
+        for &donor in &frozen {
+            let _ = control(coord, donor).epoch_commit(old.epoch, old.hosts.len() as u64);
+        }
+        return Err(e);
+    }
+    // Commit is best-effort per shard, and the table publishes regardless:
+    // every donor is already pending on the new table (its ownership
+    // answers are identical to the committed state), and the new shard
+    // booted routed at the new epoch — so service is correct even if a
+    // commit frame is lost. A shard that missed its commit merely delays
+    // purging its moved copies until the next epoch change overwrites its
+    // pending state. Aborting here instead would be strictly worse: the
+    // donors' freeze only releases once the cell reaches the epoch they
+    // name in `WrongEpoch`.
+    for &host in &hosts {
+        let _ = control(coord, host).epoch_commit(new_epoch, new_count);
+    }
+    cell.store(RoutingTable {
+        epoch: new_epoch,
+        hosts,
+    });
+    Ok(cell.load())
+}
+
+/// Shrink the tier by one shard: the last shard of the table exports
+/// **all** of its keys (frozen for the duration), the coordinator hands
+/// each key to its owner under the shrunk table, the remaining shards
+/// commit the epoch and the new table is published. Returns the new table
+/// and the retired host (the caller owns shutting its server down).
+///
+/// # Errors
+///
+/// Returns [`KvError`] when the tier has only one shard, or a shard cannot
+/// be reached mid-protocol (the retiring shard is then rolled back).
+pub fn shrink(coord: &Nic, cell: &RoutingCell) -> Result<(Arc<RoutingTable>, HostId), KvError> {
+    let old = cell.load();
+    if old.hosts.len() <= 1 {
+        return Err(KvError::Server("cannot retire the last state shard".into()));
+    }
+    let new_epoch = old.epoch + 1;
+    let hosts = old.hosts[..old.hosts.len() - 1].to_vec();
+    let retiring = *old.hosts.last().expect("len checked");
+    let new_count = hosts.len() as u64;
+
+    let entries = control(coord, retiring).migrate(new_epoch, new_count)?;
+    // Group the retiring shard's keys by their owner under the new table.
+    let mut per_target: Vec<Vec<KeyMigration>> = vec![Vec::new(); hosts.len()];
+    for entry in entries {
+        per_target[shard_index_for(&entry.key, hosts.len())].push(entry);
+    }
+    let handed = (|| {
+        for (idx, batch) in per_target.into_iter().enumerate() {
+            if !batch.is_empty() {
+                control(coord, hosts[idx]).handoff(batch)?;
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = handed {
+        let _ = control(coord, retiring).epoch_commit(old.epoch, old.hosts.len() as u64);
+        return Err(e);
+    }
+    // Unlike grow, the surviving shards have seen nothing yet: until each
+    // commits, it still rejects the keys it just imported. A commit
+    // failure therefore rolls the whole shrink back — retiring shard
+    // first (releasing its freeze; its copies were never purged), then
+    // any survivor that already committed (re-committing the old table,
+    // whose purge also drops the imported copies it no longer owns).
+    let mut committed: Vec<HostId> = Vec::new();
+    for &host in &hosts {
+        if let Err(e) = control(coord, host).epoch_commit(new_epoch, new_count) {
+            let _ = control(coord, retiring).epoch_commit(old.epoch, old.hosts.len() as u64);
+            for &done in &committed {
+                let _ = control(coord, done).epoch_commit(old.epoch, old.hosts.len() as u64);
+            }
+            return Err(e);
+        }
+        committed.push(host);
+    }
+    cell.store(RoutingTable {
+        epoch: new_epoch,
+        hosts,
+    });
+    Ok((cell.load(), retiring))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::KvBackend;
+    use crate::server::{KvServer, ShardRouting};
+    use crate::sharded::ShardedKvClient;
+    use crate::store::{KvStore, LockMode};
+    use faasm_net::Fabric;
+    use std::time::Duration;
+
+    /// A routed tier of `n` shards at epoch 1 plus its routing cell.
+    fn routed_tier(fabric: &Fabric, n: usize) -> (Vec<KvServer>, Arc<RoutingCell>) {
+        let servers: Vec<KvServer> = (0..n)
+            .map(|i| {
+                KvServer::start_routed(
+                    fabric.add_host(),
+                    2,
+                    Arc::new(KvStore::new()),
+                    ShardRouting::new(1, n, i),
+                )
+            })
+            .collect();
+        let cell = RoutingCell::new(RoutingTable {
+            epoch: 1,
+            hosts: servers.iter().map(KvServer::host_id).collect(),
+        });
+        (servers, cell)
+    }
+
+    /// Boot one more routed shard at the next epoch, ready to join.
+    fn joining_shard(fabric: &Fabric, cell: &RoutingCell) -> KvServer {
+        let table = cell.load();
+        KvServer::start_routed(
+            fabric.add_host(),
+            2,
+            Arc::new(KvStore::new()),
+            ShardRouting::new(table.epoch + 1, table.hosts.len() + 1, table.hosts.len()),
+        )
+    }
+
+    #[test]
+    fn grow_moves_exactly_the_rendezvous_delta_and_loses_nothing() {
+        let fabric = Fabric::new();
+        let (servers, cell) = routed_tier(&fabric, 2);
+        let client = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
+        let keys: Vec<String> = (0..64).map(|i| format!("reshard:k{i}")).collect();
+        for (i, key) in keys.iter().enumerate() {
+            client.set(key, vec![i as u8; 8]).unwrap();
+            client.incr(&format!("{key}:ctr"), i as i64).unwrap();
+            client.sadd(&format!("{key}:set"), key.as_bytes()).unwrap();
+        }
+
+        let newcomer = joining_shard(&fabric, &cell);
+        let table = grow(&fabric.add_host(), &cell, newcomer.host_id()).unwrap();
+        assert_eq!(table.epoch, 2);
+        assert_eq!(table.hosts.len(), 3);
+
+        // Every acknowledged write is still readable through the client…
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(client.get(key).unwrap(), Some(vec![i as u8; 8]), "{key}");
+            assert_eq!(client.incr(&format!("{key}:ctr"), 0).unwrap(), i as i64);
+            assert_eq!(client.scard(&format!("{key}:set")).unwrap(), 1);
+        }
+        // …and each key lives on exactly its new owner shard (no wrong-shard
+        // copies left behind, no gratuitous movement beyond the delta).
+        let stores: Vec<_> = servers
+            .iter()
+            .map(|s| Arc::clone(s.store()))
+            .chain(std::iter::once(Arc::clone(newcomer.store())))
+            .collect();
+        for key in &keys {
+            let owner = shard_index_for(key, 3);
+            for (idx, store) in stores.iter().enumerate() {
+                assert_eq!(
+                    store.exists(key),
+                    idx == owner,
+                    "{key} must live only on shard {owner}, found on {idx}"
+                );
+            }
+            assert_eq!(
+                shard_index_for(key, 2) != owner,
+                owner == 2,
+                "a moved key moved only because the new shard won it"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_clients_are_redirected_not_failed() {
+        let fabric = Fabric::new();
+        let (_servers, cell) = routed_tier(&fabric, 2);
+        // This client builds its connections now and learns of the grow
+        // only through the WrongEpoch handshake.
+        let stale = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
+        for i in 0..32 {
+            stale.set(&format!("k{i}"), vec![i]).unwrap();
+        }
+        let epoch_before = stale.epoch();
+
+        let newcomer = joining_shard(&fabric, &cell);
+        grow(&fabric.add_host(), &cell, newcomer.host_id()).unwrap();
+
+        // Some of these keys moved to the new shard; the stale client must
+        // transparently refresh and serve all of them.
+        for i in 0..32 {
+            assert_eq!(stale.get(&format!("k{i}")).unwrap(), Some(vec![i]));
+        }
+        assert!(stale.epoch() > epoch_before, "client followed the epoch");
+        assert!(
+            newcomer.store().key_count() > 0,
+            "the delta for 32 keys over 2→3 shards is virtually never empty"
+        );
+        assert!(
+            newcomer.routing().unwrap().wrong_epoch_count() == 0,
+            "nothing should hit the new shard before the table was published"
+        );
+    }
+
+    #[test]
+    fn lock_owners_survive_migration() {
+        let fabric = Fabric::new();
+        let (_servers, cell) = routed_tier(&fabric, 2);
+        let holder = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
+        let rival = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
+        let keys: Vec<String> = (0..16).map(|i| format!("locked:{i}")).collect();
+        for key in &keys {
+            assert!(holder.try_lock(key, LockMode::Write).unwrap());
+        }
+
+        let newcomer = joining_shard(&fabric, &cell);
+        grow(&fabric.add_host(), &cell, newcomer.host_id()).unwrap();
+
+        for key in &keys {
+            assert!(
+                !rival.try_lock(key, LockMode::Write).unwrap(),
+                "{key}: the migrated lock must still exclude other owners"
+            );
+            holder.unlock(key, LockMode::Write).unwrap();
+            assert!(
+                rival.try_lock(key, LockMode::Write).unwrap(),
+                "{key}: the original owner's unlock must release the moved lock"
+            );
+            rival.unlock(key, LockMode::Write).unwrap();
+        }
+    }
+
+    #[test]
+    fn writes_during_the_freeze_window_block_then_land_on_the_new_owner() {
+        let fabric = Fabric::new();
+        let (servers, cell) = routed_tier(&fabric, 2);
+        let client = Arc::new(ShardedKvClient::connect(
+            fabric.add_host(),
+            Arc::clone(&cell),
+        ));
+        // Find a key that moves to the new shard under 3 shards.
+        let key = (0..1000)
+            .map(|i| format!("mover:{i}"))
+            .find(|k| shard_index_for(k, 3) == 2)
+            .expect("some key moves to the new shard");
+        client.set(&key, b"old".to_vec()).unwrap();
+
+        // Freeze the donors by hand (Migrate without commit): the key is
+        // now in its migration window.
+        let coord = fabric.add_host();
+        let newcomer = joining_shard(&fabric, &cell);
+        let mut exported = Vec::new();
+        for server in &servers {
+            exported.extend(control(&coord, server.host_id()).migrate(2, 3).unwrap());
+        }
+
+        // A write issued mid-window must not fail and must not land on the
+        // donor: it blocks in the WrongEpoch handshake until the commit.
+        let writer = {
+            let client = Arc::clone(&client);
+            let key = key.clone();
+            std::thread::spawn(move || client.set(&key, b"new".to_vec()))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!writer.is_finished(), "the write must wait out the freeze");
+
+        // Complete the migration: handoff, commit, publish.
+        control(&coord, newcomer.host_id())
+            .handoff(exported)
+            .unwrap();
+        let mut hosts: Vec<HostId> = servers.iter().map(KvServer::host_id).collect();
+        hosts.push(newcomer.host_id());
+        for &host in &hosts {
+            control(&coord, host).epoch_commit(2, 3).unwrap();
+        }
+        cell.store(RoutingTable { epoch: 2, hosts });
+
+        writer.join().unwrap().unwrap();
+        assert_eq!(
+            newcomer.store().get(&key),
+            Some(b"new".to_vec()),
+            "the blocked write lands on the new owner after the commit"
+        );
+        assert_eq!(client.get(&key).unwrap(), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn shrink_returns_the_retired_shards_keys_to_the_survivors() {
+        let fabric = Fabric::new();
+        let (servers, cell) = routed_tier(&fabric, 3);
+        let client = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
+        for i in 0..48 {
+            client.set(&format!("shrink:{i}"), vec![i]).unwrap();
+        }
+        let coord = fabric.add_host();
+        let (table, retired) = shrink(&coord, &cell).unwrap();
+        assert_eq!(table.hosts.len(), 2);
+        assert_eq!(retired, servers[2].host_id());
+        for i in 0..48 {
+            assert_eq!(client.get(&format!("shrink:{i}")).unwrap(), Some(vec![i]));
+        }
+        // And the two survivors hold everything between them, correctly
+        // placed under the shrunk table.
+        for i in 0..48 {
+            let key = format!("shrink:{i}");
+            let owner = shard_index_for(&key, 2);
+            assert!(servers[owner].store().exists(&key), "{key}");
+        }
+        // One shard cannot be retired.
+        let lone_fabric = Fabric::new();
+        let (_s, lone_cell) = routed_tier(&lone_fabric, 1);
+        assert!(shrink(&lone_fabric.add_host(), &lone_cell).is_err());
+    }
+}

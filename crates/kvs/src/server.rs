@@ -1,19 +1,131 @@
 //! The KVS server: serves a [`KvStore`] over the fabric.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use faasm_net::{Envelope, Nic, TokenBucket, MSG_HEADER_BYTES};
+use parking_lot::RwLock;
 
-use crate::codec::{decode_request, encode_response, Request, Response};
+use crate::codec::{decode_request_epoch, encode_response, Request, Response};
+use crate::sharded::shard_index_for;
 use crate::store::KvStore;
+
+#[derive(Debug, Clone, Copy)]
+struct RouteState {
+    epoch: u64,
+    shard_count: usize,
+    index: usize,
+    /// A migration in flight: the `(epoch, shard_count)` being moved to.
+    /// While pending, the ownership check uses the *new* table — moving
+    /// keys are frozen (rejected with `WrongEpoch`) so no write can land
+    /// on the donor after its export snapshot and be lost.
+    pending: Option<(u64, usize)>,
+}
+
+/// One shard server's view of the cluster routing table: which epoch it
+/// serves, how many shards that table has, and which index this shard is.
+///
+/// Drives the ownership check behind [`Response::WrongEpoch`]: a keyed
+/// request whose key does not rendezvous-route to this shard under the
+/// effective table is rejected, so a client with a stale table can never
+/// read or write the wrong shard.
+pub struct ShardRouting {
+    state: RwLock<RouteState>,
+    /// Serialises migration state changes against in-flight keyed ops:
+    /// every keyed request holds a read guard across its ownership check
+    /// **and** store apply, while `Migrate`/`EpochCommit` hold the write
+    /// guard across freeze + export / commit + purge. Without it, a worker
+    /// that passed the check before `Migrate` landed could apply a write
+    /// *after* the export snapshot — an acknowledged write silently lost.
+    gate: RwLock<()>,
+    wrong_epoch: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardRouting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = *self.state.read();
+        f.debug_struct("ShardRouting")
+            .field("epoch", &s.epoch)
+            .field("shard_count", &s.shard_count)
+            .field("index", &s.index)
+            .field("pending", &s.pending)
+            .finish()
+    }
+}
+
+impl ShardRouting {
+    /// A routing view serving `(epoch, shard_count)` as shard `index`.
+    pub fn new(epoch: u64, shard_count: usize, index: usize) -> Arc<ShardRouting> {
+        assert!(shard_count > 0, "a routed shard needs a non-empty table");
+        Arc::new(ShardRouting {
+            state: RwLock::new(RouteState {
+                epoch,
+                shard_count,
+                index,
+                pending: None,
+            }),
+            gate: RwLock::new(()),
+            wrong_epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// The epoch this shard currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().epoch
+    }
+
+    /// The shard count of the serving table.
+    pub fn shard_count(&self) -> usize {
+        self.state.read().shard_count
+    }
+
+    /// This shard's index in the table.
+    pub fn index(&self) -> usize {
+        self.state.read().index
+    }
+
+    /// Keyed requests rejected with `WrongEpoch` so far.
+    pub fn wrong_epoch_count(&self) -> u64 {
+        self.wrong_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Ownership check for one keyed request: `None` when this shard owns
+    /// `key` under the effective table, else the `(epoch, shard_count)` the
+    /// client must reach before retrying.
+    fn check(&self, key: &str, client_epoch: u64) -> Option<(u64, u64)> {
+        let s = *self.state.read();
+        if s.pending.is_none() && client_epoch == s.epoch {
+            // The client routed with this exact table, so the pure routing
+            // function already sent the key to its owner — skip the hash.
+            return None;
+        }
+        let (epoch, count) = s.pending.unwrap_or((s.epoch, s.shard_count));
+        if s.index < count && shard_index_for(key, count) == s.index {
+            return None;
+        }
+        self.wrong_epoch.fetch_add(1, Ordering::Relaxed);
+        Some((epoch, count as u64))
+    }
+
+    fn begin(&self, epoch: u64, shard_count: usize) {
+        self.state.write().pending = Some((epoch, shard_count));
+    }
+
+    fn commit(&self, epoch: u64, shard_count: usize) {
+        let mut s = self.state.write();
+        s.epoch = epoch;
+        s.shard_count = shard_count;
+        s.pending = None;
+    }
+}
 
 /// A running KVS server: worker threads draining a NIC and applying
 /// commands to a shared store.
 pub struct KvServer {
     store: Arc<KvStore>,
+    routing: Option<Arc<ShardRouting>>,
     nic: Nic,
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
@@ -55,6 +167,30 @@ impl KvServer {
         store: Arc<KvStore>,
         shaping: ServerShaping,
     ) -> KvServer {
+        KvServer::start_full(nic, workers, store, shaping, None)
+    }
+
+    /// Start a shard server with an explicit routing view: keyed requests
+    /// for keys this shard does not own answer [`Response::WrongEpoch`],
+    /// and the server participates in the `Migrate`/`Handoff`/`EpochCommit`
+    /// resharding protocol.
+    pub fn start_routed(
+        nic: Nic,
+        workers: usize,
+        store: Arc<KvStore>,
+        routing: Arc<ShardRouting>,
+    ) -> KvServer {
+        KvServer::start_full(nic, workers, store, None, Some(routing))
+    }
+
+    /// The fully general constructor: store, shaping and routing view.
+    pub fn start_full(
+        nic: Nic,
+        workers: usize,
+        store: Arc<KvStore>,
+        shaping: ServerShaping,
+        routing: Option<Arc<ShardRouting>>,
+    ) -> KvServer {
         let stop = Arc::new(AtomicBool::new(false));
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -62,10 +198,13 @@ impl KvServer {
                 let store = Arc::clone(&store);
                 let stop = Arc::clone(&stop);
                 let shaping = shaping.clone();
+                let routing = routing.clone();
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         match nic.recv_timeout(Duration::from_millis(50)) {
-                            Ok(env) => serve_one(&store, &nic, env, shaping.as_deref()),
+                            Ok(env) => {
+                                serve_one(&store, routing.as_deref(), &nic, env, shaping.as_deref())
+                            }
                             Err(faasm_net::NetError::Timeout) => continue,
                             Err(_) => break,
                         }
@@ -75,6 +214,7 @@ impl KvServer {
             .collect();
         KvServer {
             store,
+            routing,
             nic,
             stop,
             workers: handles,
@@ -89,6 +229,11 @@ impl KvServer {
     /// Direct access to the underlying store (test/metric inspection).
     pub fn store(&self) -> &Arc<KvStore> {
         &self.store
+    }
+
+    /// The shard's routing view, if it serves one.
+    pub fn routing(&self) -> Option<&Arc<ShardRouting>> {
+        self.routing.as_ref()
     }
 
     /// Stop the worker threads and wait for them.
@@ -109,9 +254,15 @@ impl Drop for KvServer {
     }
 }
 
-fn serve_one(store: &KvStore, nic: &Nic, env: Envelope, shaper: Option<&TokenBucket>) {
-    let resp = match decode_request(&env.payload) {
-        Ok(req) => apply(store, req),
+fn serve_one(
+    store: &KvStore,
+    routing: Option<&ShardRouting>,
+    nic: &Nic,
+    env: Envelope,
+    shaper: Option<&TokenBucket>,
+) {
+    let resp = match decode_request_epoch(&env.payload) {
+        Ok((req, epoch)) => apply_routed(store, routing, req, epoch),
         Err(e) => Response::Err(e.to_string()),
     };
     // One-way requests (fire-and-forget writes) carry no reply tag.
@@ -185,6 +336,82 @@ pub fn apply(store: &KvStore, req: Request) -> Response {
             }
             store.multi_set_range(&key, &writes);
             Response::Ok
+        }
+        Request::Stats => Response::Stats(store.stats()),
+        Request::Handoff { entries } => {
+            if entries.iter().any(|e| {
+                e.value
+                    .as_ref()
+                    .is_some_and(|v| v.len() as u64 > MAX_VALUE_BYTES)
+            }) {
+                return Response::Err("handoff value beyond max value size".into());
+            }
+            store.import_keys(&entries);
+            Response::Ok
+        }
+        Request::Migrate { .. } | Request::EpochCommit { .. } => {
+            Response::Err("resharding requires a routed shard".into())
+        }
+    }
+}
+
+/// Apply one command through a shard's routing view: keyed requests are
+/// ownership-checked (and rejected with [`Response::WrongEpoch`] when the
+/// key routes elsewhere), and the resharding protocol messages mutate the
+/// view. With `routing: None` this is plain [`apply`].
+pub fn apply_routed(
+    store: &KvStore,
+    routing: Option<&ShardRouting>,
+    req: Request,
+    client_epoch: u64,
+) -> Response {
+    let Some(routing) = routing else {
+        return apply(store, req);
+    };
+    match req {
+        Request::Stats => {
+            let mut stats = store.stats();
+            stats.epoch = routing.epoch();
+            stats.wrong_epoch = routing.wrong_epoch_count();
+            Response::Stats(stats)
+        }
+        Request::Migrate { epoch, shard_count } => {
+            if shard_count == 0 {
+                return Response::Err("migrate to an empty table".into());
+            }
+            // Write side of the gate: from here on no in-flight keyed op
+            // can land between the freeze and the export snapshot.
+            let _migrating = routing.gate.write();
+            routing.begin(epoch, shard_count as usize);
+            let index = routing.index();
+            let moving = |key: &str| {
+                index >= shard_count as usize || shard_index_for(key, shard_count as usize) != index
+            };
+            Response::Handoff(store.export_keys(moving))
+        }
+        Request::EpochCommit { epoch, shard_count } => {
+            if shard_count == 0 {
+                return Response::Err("commit of an empty table".into());
+            }
+            let _migrating = routing.gate.write();
+            routing.commit(epoch, shard_count as usize);
+            let index = routing.index();
+            let moved = |key: &str| {
+                index >= shard_count as usize || shard_index_for(key, shard_count as usize) != index
+            };
+            store.purge_keys(moved);
+            Response::Ok
+        }
+        req => {
+            // Read side of the gate: the ownership check and the store
+            // apply are atomic with respect to a concurrent freeze.
+            let _serving = routing.gate.read();
+            if let Some(key) = req.key() {
+                if let Some((epoch, shard_count)) = routing.check(key, client_epoch) {
+                    return Response::WrongEpoch { epoch, shard_count };
+                }
+            }
+            apply(store, req)
         }
     }
 }

@@ -7,24 +7,114 @@
 //! chosen by highest-random-weight (rendezvous) hashing, so adding shards
 //! multiplies aggregate tier bandwidth while an unchanged shard set never
 //! moves a key.
+//!
+//! The shard set is a **live** property: the routing table is versioned by
+//! an epoch and published through a shared [`RoutingCell`]. A client that
+//! reaches a shard which no longer owns its key (mid-migration, or with a
+//! stale table) gets `WrongEpoch`, waits for the cell to reach the named
+//! epoch, rebuilds its per-shard connections and retries — in-flight
+//! operations during a reshard are redirected, never lost.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use faasm_net::{HostId, Nic};
+use parking_lot::RwLock;
 
 use crate::backend::KvBackend;
 use crate::client::{KvClient, KvError};
-use crate::store::LockMode;
+use crate::codec::{Request, Response, EPOCH_ANY};
+use crate::store::{LockMode, ShardStats};
+
+/// One immutable version of the tier's routing: which fabric hosts serve
+/// which shard index, stamped with the epoch that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    /// The table's routing epoch (bumped once per reshard).
+    pub epoch: u64,
+    /// Shard servers in index order: key `k` is owned by
+    /// `hosts[shard_index_for(k, hosts.len())]`.
+    pub hosts: Vec<HostId>,
+}
+
+/// An epoch-versioned routing-table cell (ArcSwap-style): readers `load` a
+/// cheap `Arc` snapshot, the resharding coordinator `store`s the next
+/// epoch's table after migration commits. Shared by every consumer of one
+/// tier, so a single publish redirects the whole cluster.
+#[derive(Debug)]
+pub struct RoutingCell {
+    table: RwLock<Arc<RoutingTable>>,
+}
+
+impl RoutingCell {
+    /// A cell initially publishing `table`.
+    pub fn new(table: RoutingTable) -> Arc<RoutingCell> {
+        assert!(!table.hosts.is_empty(), "a routing table needs shards");
+        Arc::new(RoutingCell {
+            table: RwLock::new(Arc::new(table)),
+        })
+    }
+
+    /// The current table (an `Arc` snapshot; never blocks writers long).
+    pub fn load(&self) -> Arc<RoutingTable> {
+        Arc::clone(&self.table.read())
+    }
+
+    /// Publish the next table. Called by the resharding coordinator once
+    /// every shard has committed the new epoch.
+    pub fn store(&self, table: RoutingTable) {
+        assert!(!table.hosts.is_empty(), "a routing table needs shards");
+        *self.table.write() = Arc::new(table);
+    }
+
+    /// The published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.table.read().epoch
+    }
+}
+
+/// One epoch's connections: the table it was built from, materialised as a
+/// `KvClient` per shard (all sharing the owning client's lock-owner token).
+struct ShardSet {
+    epoch: u64,
+    clients: Vec<KvClient>,
+}
+
+enum Source {
+    /// A fixed shard set (tests, static single-epoch deployments): no cell
+    /// to refresh from, so `WrongEpoch` surfaces to the caller.
+    Static(Arc<ShardSet>),
+    /// Cell-connected: the client rebuilds its per-shard connections
+    /// whenever the published epoch moves past the one it is holding.
+    Cell {
+        nic: Nic,
+        cell: Arc<RoutingCell>,
+        current: RwLock<Arc<ShardSet>>,
+    },
+}
+
+/// How long one operation may wait, in total, for the routing cell to
+/// reach an epoch a shard named in `WrongEpoch` (covers the freeze window
+/// of a migration in flight) before the error surfaces to the caller.
+const MAX_ROUTING_WAIT: Duration = Duration::from_secs(10);
 
 /// A client routing each key to its owning shard.
 ///
-/// Owns one [`KvClient`] per shard. Lock ownership is consistent because a
-/// key always routes to the same shard client (and therefore the same
-/// owner token) for the lifetime of this handle.
+/// Lock ownership is consistent across resharding: the client carries one
+/// stable owner token, and rebuilt per-shard connections re-use it, so a
+/// global lock taken before a migration is still this client's lock after
+/// its key moves shards (the server migrates lock state owner-intact).
 pub struct ShardedKvClient {
-    shards: Vec<KvClient>,
+    source: Source,
+    owner: u64,
 }
 
 impl std::fmt::Debug for ShardedKvClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let set = self.current();
         f.debug_struct("ShardedKvClient")
-            .field("shards", &self.shards.len())
+            .field("shards", &set.clients.len())
+            .field("epoch", &set.epoch)
             .finish()
     }
 }
@@ -47,61 +137,279 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The shard owning `key` among `shard_count` shards — a pure function of
+/// its arguments (rendezvous hashing: the shard with the highest mixed hash
+/// of `(key, shard)` wins, so changing the shard count by one reassigns
+/// only the keys whose winner changed). Shared by clients (routing),
+/// servers (the ownership check behind `WrongEpoch`) and the migration
+/// planner (the epoch delta); panics if `shard_count` is zero.
+pub fn shard_index_for(key: &str, shard_count: usize) -> usize {
+    assert!(shard_count > 0, "no shards to route to");
+    let kh = fnv1a(key.as_bytes());
+    let mut best = 0usize;
+    let mut best_w = 0u64;
+    for i in 0..shard_count {
+        let w = mix(kh ^ mix(i as u64));
+        if i == 0 || w > best_w {
+            best = i;
+            best_w = w;
+        }
+    }
+    best
+}
+
+/// The exact key movement of an epoch change: every key in `keys` whose
+/// owner differs between `old_count` and `new_count` shards, paired with
+/// its new owner. Growing by one shard moves keys only *onto* the new
+/// shard; shrinking by one moves only the retiring shard's keys — the
+/// rendezvous minimal-movement property the migration protocol relies on.
+pub fn rendezvous_delta<S: AsRef<str>>(
+    keys: &[S],
+    old_count: usize,
+    new_count: usize,
+) -> Vec<(String, usize)> {
+    keys.iter()
+        .filter_map(|key| {
+            let key = key.as_ref();
+            let new_owner = shard_index_for(key, new_count);
+            (shard_index_for(key, old_count) != new_owner).then(|| (key.to_string(), new_owner))
+        })
+        .collect()
+}
+
 impl ShardedKvClient {
-    /// A routing client over per-shard clients; panics if `shards` is empty.
+    /// A routing client over a fixed set of per-shard clients; panics if
+    /// `shards` is empty. The set never refreshes — use
+    /// [`ShardedKvClient::connect`] for tiers that reshard live.
     pub fn new(shards: Vec<KvClient>) -> ShardedKvClient {
         assert!(
             !shards.is_empty(),
             "sharded client needs at least one shard"
         );
-        ShardedKvClient { shards }
+        ShardedKvClient {
+            source: Source::Static(Arc::new(ShardSet {
+                epoch: EPOCH_ANY,
+                clients: shards,
+            })),
+            owner: KvClient::fresh_owner(),
+        }
     }
 
-    /// The shard owning `key` among `shard_count` shards — a pure function
-    /// of its arguments (rendezvous hashing: the shard with the highest
-    /// mixed hash of `(key, shard)` wins, so removing one shard reassigns
-    /// only that shard's keys). Usable for placement questions without any
-    /// live clients; panics if `shard_count` is zero.
+    /// A live-routed client over `nic`: per-shard connections are built
+    /// from the cell's current table and rebuilt whenever the published
+    /// epoch moves (a reshard landing mid-operation is retried against the
+    /// new table instead of failing).
+    pub fn connect(nic: Nic, cell: Arc<RoutingCell>) -> ShardedKvClient {
+        let owner = KvClient::fresh_owner();
+        let current = RwLock::new(Arc::new(build_set(&nic, &cell.load(), owner)));
+        ShardedKvClient {
+            source: Source::Cell { nic, cell, current },
+            owner,
+        }
+    }
+
+    /// The shard owning `key` among `shard_count` shards (the free function
+    /// [`shard_index_for`], kept here for discoverability). Usable for
+    /// placement questions without any live clients; panics if
+    /// `shard_count` is zero.
     pub fn shard_index_for(key: &str, shard_count: usize) -> usize {
-        assert!(shard_count > 0, "no shards to route to");
-        let kh = fnv1a(key.as_bytes());
-        let mut best = 0usize;
-        let mut best_w = 0u64;
-        for i in 0..shard_count {
-            let w = mix(kh ^ mix(i as u64));
-            if i == 0 || w > best_w {
-                best = i;
-                best_w = w;
+        shard_index_for(key, shard_count)
+    }
+
+    /// The shard index owning `key` on this client's current table.
+    pub fn shard_index(&self, key: &str) -> usize {
+        shard_index_for(key, self.current().clients.len())
+    }
+
+    /// The routing epoch this client is currently operating at
+    /// ([`EPOCH_ANY`] for a static client).
+    pub fn epoch(&self) -> u64 {
+        self.current().epoch
+    }
+
+    /// This client's lock-owner token, stable across epoch changes.
+    /// Meaningful for cell-connected clients ([`ShardedKvClient::connect`]),
+    /// whose rebuilt per-shard connections all carry it; a static client
+    /// ([`ShardedKvClient::new`]) locks with the *inner* clients' own
+    /// tokens and never uses this one.
+    pub fn owner(&self) -> u64 {
+        self.owner
+    }
+
+    /// The current shard set, synchronised with the routing cell: if the
+    /// published epoch moved past the held one, per-shard connections are
+    /// rebuilt (same owner token, new epoch stamp).
+    fn current(&self) -> Arc<ShardSet> {
+        match &self.source {
+            Source::Static(set) => Arc::clone(set),
+            Source::Cell { nic, cell, current } => {
+                let held = Arc::clone(&current.read());
+                let table = cell.load();
+                if table.epoch == held.epoch {
+                    return held;
+                }
+                let mut slot = current.write();
+                // Double-check under the write lock: another thread may
+                // have rebuilt while we waited.
+                if slot.epoch != table.epoch {
+                    *slot = Arc::new(build_set(nic, &table, self.owner));
+                }
+                Arc::clone(&slot)
             }
         }
-        best
     }
 
-    /// The shard index owning `key` on this client.
-    pub fn shard_index(&self, key: &str) -> usize {
-        ShardedKvClient::shard_index_for(key, self.shards.len())
+    /// Wait for the routing cell to publish at least `target` — the other
+    /// half of the `WrongEpoch` handshake. The first stale hit retries
+    /// immediately (the table may simply be newer than the one this
+    /// operation loaded); repeated hits back off while the migration's
+    /// freeze window passes.
+    fn wait_for_epoch(
+        &self,
+        target: u64,
+        attempt: &mut u32,
+        waited: &mut Duration,
+        err: KvError,
+    ) -> Result<(), KvError> {
+        let Source::Cell { cell, .. } = &self.source else {
+            // No cell to refresh from: surface the stale-routing error.
+            return Err(err);
+        };
+        // The budget bounds *every* wait path: repeated rejections at an
+        // already-published epoch (a mis-paired table, a commit fan-out
+        // that never lands) must surface the error, not retry forever.
+        if *waited >= MAX_ROUTING_WAIT {
+            return Err(err);
+        }
+        if *attempt == 0 && cell.epoch() >= target {
+            *attempt += 1;
+            return Ok(());
+        }
+        *attempt += 1;
+        // Wait for the named epoch, but only for a bounded slice per
+        // round: a failed migration rolls the shards back and the epoch
+        // is *never* published, yet a re-attempt at the current table
+        // succeeds immediately — so periodically retry the operation
+        // instead of waiting out the full budget for an epoch that may
+        // never come.
+        const RETRY_SLICE: Duration = Duration::from_millis(100);
+        let mut backoff = Duration::from_micros(50);
+        let mut sliced = Duration::ZERO;
+        while cell.epoch() < target && sliced < RETRY_SLICE {
+            if *waited >= MAX_ROUTING_WAIT {
+                return Err(err);
+            }
+            std::thread::sleep(backoff);
+            *waited += backoff;
+            sliced += backoff;
+            backoff = (backoff * 2).min(Duration::from_millis(2));
+        }
+        if cell.epoch() >= target {
+            // The epoch is published but this op was still rejected (e.g.
+            // the commit fan-out is mid-flight): pause — longer on each
+            // repeat — before retrying so repeated rejections don't spin.
+            let pause =
+                Duration::from_micros(100 << (*attempt).min(6)).min(Duration::from_millis(5));
+            std::thread::sleep(pause);
+            *waited += pause;
+        }
+        Ok(())
     }
 
-    fn route(&self, key: &str) -> &KvClient {
-        &self.shards[self.shard_index(key)]
+    /// Run `op` against `key`'s owning shard, transparently following
+    /// routing-epoch changes: `WrongEpoch` waits out the migration and
+    /// retries on the new table; a network error against a table the cell
+    /// has since replaced (a shard retired mid-call) refreshes and retries.
+    fn with_retry<T>(
+        &self,
+        key: &str,
+        op: impl Fn(&KvClient) -> Result<T, KvError>,
+    ) -> Result<T, KvError> {
+        let mut attempt = 0u32;
+        let mut waited = Duration::ZERO;
+        loop {
+            let set = self.current();
+            let client = &set.clients[shard_index_for(key, set.clients.len())];
+            match op(client) {
+                Err(KvError::WrongEpoch { epoch, shard_count }) => {
+                    self.wait_for_epoch(
+                        epoch,
+                        &mut attempt,
+                        &mut waited,
+                        KvError::WrongEpoch { epoch, shard_count },
+                    )?;
+                }
+                Err(KvError::Net(e)) => {
+                    let newer = match &self.source {
+                        Source::Cell { cell, .. } => cell.epoch() != set.epoch,
+                        Source::Static(_) => false,
+                    };
+                    if !newer {
+                        return Err(KvError::Net(e));
+                    }
+                    // The table moved under us (the shard we called may be
+                    // retired): loop to rebuild and retry.
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Every live shard's load report, in shard-index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
+        self.current().clients.iter().map(KvClient::stats).collect()
+    }
+}
+
+/// Materialise a routing table into per-shard connections sharing `owner`.
+fn build_set(nic: &Nic, table: &RoutingTable, owner: u64) -> ShardSet {
+    ShardSet {
+        epoch: table.epoch,
+        clients: table
+            .hosts
+            .iter()
+            .map(|&host| KvClient::connect_at(nic.clone(), host, table.epoch, owner))
+            .collect(),
     }
 }
 
 impl KvBackend for ShardedKvClient {
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, KvError> {
-        self.route(key).get(key)
+        self.with_retry(key, |c| c.get(key))
     }
 
     fn set(&self, key: &str, value: Vec<u8>) -> Result<(), KvError> {
-        self.route(key).set(key, value)
+        // Write payloads are moved into one request and retried by
+        // reference: no per-attempt clone of megabyte values on the hot
+        // path (the encode copy inside the client is unavoidable).
+        let req = Request::Set {
+            key: key.into(),
+            value,
+        };
+        match self.with_retry(key, |c| c.request(&req))? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Option<Vec<u8>>, KvError> {
-        self.route(key).get_range(key, offset, len)
+        self.with_retry(key, |c| c.get_range(key, offset, len))
     }
 
     fn set_range(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<(), KvError> {
-        self.route(key).set_range(key, offset, data)
+        let req = Request::SetRange {
+            key: key.into(),
+            offset,
+            data,
+        };
+        match self.with_retry(key, |c| c.request(&req))? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
     }
 
     fn multi_get_range(
@@ -109,77 +417,105 @@ impl KvBackend for ShardedKvClient {
         key: &str,
         spans: &[(u64, u64)],
     ) -> Result<Option<Vec<Vec<u8>>>, KvError> {
-        self.route(key).multi_get_range(key, spans)
+        self.with_retry(key, |c| c.multi_get_range(key, spans))
     }
 
     fn multi_set_range(&self, key: &str, writes: Vec<(u64, Vec<u8>)>) -> Result<(), KvError> {
-        self.route(key).multi_set_range(key, writes)
+        let req = Request::MultiSetRange {
+            key: key.into(),
+            writes,
+        };
+        match self.with_retry(key, |c| c.request(&req))? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
     }
 
     fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError> {
-        self.route(key).append(key, data)
+        let req = Request::Append {
+            key: key.into(),
+            data,
+        };
+        match self.with_retry(key, |c| c.request(&req))? {
+            Response::Len(n) => Ok(n),
+            _ => Err(KvError::Protocol),
+        }
     }
 
     fn del(&self, key: &str) -> Result<bool, KvError> {
-        self.route(key).del(key)
+        self.with_retry(key, |c| c.del(key))
     }
 
     fn exists(&self, key: &str) -> Result<bool, KvError> {
-        self.route(key).exists(key)
+        self.with_retry(key, |c| c.exists(key))
     }
 
     fn strlen(&self, key: &str) -> Result<u64, KvError> {
-        self.route(key).strlen(key)
+        self.with_retry(key, |c| c.strlen(key))
     }
 
     fn incr(&self, key: &str, delta: i64) -> Result<i64, KvError> {
-        self.route(key).incr(key, delta)
+        self.with_retry(key, |c| c.incr(key, delta))
     }
 
     fn sadd(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
-        self.route(key).sadd(key, member)
+        self.with_retry(key, |c| c.sadd(key, member))
     }
 
     fn srem(&self, key: &str, member: &[u8]) -> Result<bool, KvError> {
-        self.route(key).srem(key, member)
+        self.with_retry(key, |c| c.srem(key, member))
     }
 
     fn smembers(&self, key: &str) -> Result<Vec<Vec<u8>>, KvError> {
-        self.route(key).smembers(key)
+        self.with_retry(key, |c| c.smembers(key))
     }
 
     fn scard(&self, key: &str) -> Result<u64, KvError> {
-        self.route(key).scard(key)
+        self.with_retry(key, |c| c.scard(key))
     }
 
     fn try_lock(&self, key: &str, mode: LockMode) -> Result<bool, KvError> {
-        self.route(key).try_lock(key, mode)
+        self.with_retry(key, |c| c.try_lock(key, mode))
     }
 
     fn lock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
-        self.route(key).lock(key, mode)
+        // The blocking loop lives here (not in the per-shard client) so a
+        // reshard landing mid-wait re-routes the next attempt to the key's
+        // new owner instead of spinning on the donor.
+        let mut backoff = Duration::from_micros(50);
+        loop {
+            if self.try_lock(key, mode)? {
+                return Ok(());
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(5));
+        }
     }
 
     fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
-        self.route(key).unlock(key, mode)
+        self.with_retry(key, |c| c.unlock(key, mode))
     }
 
     fn ping(&self) -> Result<(), KvError> {
-        for shard in &self.shards {
+        for shard in &self.current().clients {
             shard.ping()?;
         }
         Ok(())
     }
 
     fn flush(&self) -> Result<(), KvError> {
-        for shard in &self.shards {
+        for shard in &self.current().clients {
             shard.flush()?;
         }
         Ok(())
     }
 
     fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.current().clients.len()
+    }
+
+    fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
+        ShardedKvClient::shard_stats(self)
     }
 }
 

@@ -7,6 +7,7 @@
 //! `server.rs` exposes it over the fabric.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -36,6 +37,58 @@ struct Shard {
     locks: HashMap<String, LockState>,
 }
 
+/// Exported lock state for one migrating key: owners and remaining lease.
+///
+/// Leases are exported as *remaining* milliseconds (not absolute instants)
+/// so the receiving shard re-anchors them to its own clock — the owner's
+/// exclusivity window never shrinks or grows across the handoff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockMigration {
+    /// Shared readers: `(owner, remaining_ms)` per holder.
+    Readers(Vec<(u64, u64)>),
+    /// Exclusive writer.
+    Writer {
+        /// Owner token used at acquisition.
+        owner: u64,
+        /// Remaining lease milliseconds.
+        remaining_ms: u64,
+    },
+}
+
+/// One key's complete state as it moves between shards during resharding:
+/// value bytes, set members and lock state (with owners preserved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyMigration {
+    /// The state key.
+    pub key: String,
+    /// Value bytes, if the key holds a value.
+    pub value: Option<Vec<u8>>,
+    /// Set members, if the key holds a set (empty = no set).
+    pub set: Vec<Vec<u8>>,
+    /// Live (unexpired) lock state, if any.
+    pub lock: Option<LockMigration>,
+}
+
+/// A per-shard load report: size plus coarse per-op counters
+/// (the migration planner's and the tier autoscaler's skew signal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's routing epoch (0 for unrouted/standalone servers).
+    pub epoch: u64,
+    /// Distinct keys holding a value.
+    pub keys: u64,
+    /// Total value bytes held.
+    pub value_bytes: u64,
+    /// Read-side ops served (gets, range/batched reads, membership probes).
+    pub reads: u64,
+    /// Write-side ops served (sets, range/batched writes, counters, sets).
+    pub writes: u64,
+    /// Lock ops served (try_lock / unlock).
+    pub lock_ops: u64,
+    /// Keyed requests rejected because this shard does not own the key.
+    pub wrong_epoch: u64,
+}
+
 /// A sharded in-memory key-value store with global locks.
 #[derive(Debug)]
 pub struct KvStore {
@@ -43,6 +96,9 @@ pub struct KvStore {
     /// Lock lease duration; expired locks are reaped lazily so a crashed
     /// client cannot deadlock the cluster.
     lease: Duration,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    lock_ops: AtomicU64,
 }
 
 impl Default for KvStore {
@@ -62,6 +118,9 @@ impl KvStore {
         KvStore {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             lease,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            lock_ops: AtomicU64::new(0),
         }
     }
 
@@ -74,19 +133,30 @@ impl KvStore {
         &self.shards[(h as usize) % SHARDS]
     }
 
+    fn count_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Get a value.
     pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.count_read();
         self.shard(key).lock().values.get(key).cloned()
     }
 
     /// Set a value, replacing any previous one.
     pub fn set(&self, key: &str, value: Vec<u8>) {
+        self.count_write();
         self.shard(key).lock().values.insert(key.to_string(), value);
     }
 
     /// Read `len` bytes at `offset`; the result is truncated (possibly
     /// empty) if the value is shorter. Missing keys yield `None`.
     pub fn get_range(&self, key: &str, offset: usize, len: usize) -> Option<Vec<u8>> {
+        self.count_read();
         let shard = self.shard(key).lock();
         let v = shard.values.get(key)?;
         if offset >= v.len() {
@@ -101,6 +171,7 @@ impl KvStore {
     /// Write `data` at `offset`, zero-extending the value as needed
     /// (Redis `SETRANGE` semantics; the paper's `push_state_offset`).
     pub fn set_range(&self, key: &str, offset: usize, data: &[u8]) {
+        self.count_write();
         let mut shard = self.shard(key).lock();
         let v = shard.values.entry(key.to_string()).or_default();
         if v.len() < offset + data.len() {
@@ -114,6 +185,7 @@ impl KvStore {
     /// otherwise one byte run per span, truncated like
     /// [`KvStore::get_range`] where the value is shorter.
     pub fn multi_get_range(&self, key: &str, spans: &[(u64, u64)]) -> Option<Vec<Vec<u8>>> {
+        self.count_read();
         let shard = self.shard(key).lock();
         let v = shard.values.get(key)?;
         Some(
@@ -135,6 +207,7 @@ impl KvStore {
     /// acquisition (the batched chunk push), zero-extending as needed.
     /// Writes land in order, so overlapping ranges resolve last-writer-wins.
     pub fn multi_set_range(&self, key: &str, writes: &[(u64, Vec<u8>)]) {
+        self.count_write();
         if writes.is_empty() {
             return;
         }
@@ -151,6 +224,7 @@ impl KvStore {
 
     /// Append data; returns the new length (the paper's `append_state`).
     pub fn append(&self, key: &str, data: &[u8]) -> usize {
+        self.count_write();
         let mut shard = self.shard(key).lock();
         let v = shard.values.entry(key.to_string()).or_default();
         v.extend_from_slice(data);
@@ -159,16 +233,19 @@ impl KvStore {
 
     /// Delete a value; returns whether it existed.
     pub fn del(&self, key: &str) -> bool {
+        self.count_write();
         self.shard(key).lock().values.remove(key).is_some()
     }
 
     /// Whether the key holds a value.
     pub fn exists(&self, key: &str) -> bool {
+        self.count_read();
         self.shard(key).lock().values.contains_key(key)
     }
 
     /// Length of the value in bytes (0 if missing).
     pub fn strlen(&self, key: &str) -> usize {
+        self.count_read();
         self.shard(key).lock().values.get(key).map_or(0, Vec::len)
     }
 
@@ -176,6 +253,7 @@ impl KvStore {
     /// returns the new value. Non-8-byte existing values are treated as
     /// corrupt and reset (documented divergence from Redis, which errors).
     pub fn incr(&self, key: &str, delta: i64) -> i64 {
+        self.count_write();
         let mut shard = self.shard(key).lock();
         let v = shard.values.entry(key.to_string()).or_default();
         let cur = if v.len() == 8 {
@@ -191,6 +269,7 @@ impl KvStore {
     /// Add a member to a set; returns true if newly added (warm-set
     /// registration for the scheduler, §5.1).
     pub fn sadd(&self, key: &str, member: &[u8]) -> bool {
+        self.count_write();
         self.shard(key)
             .lock()
             .sets
@@ -201,6 +280,7 @@ impl KvStore {
 
     /// Remove a member from a set; returns true if it was present.
     pub fn srem(&self, key: &str, member: &[u8]) -> bool {
+        self.count_write();
         self.shard(key)
             .lock()
             .sets
@@ -210,6 +290,7 @@ impl KvStore {
 
     /// All members of a set (sorted for determinism).
     pub fn smembers(&self, key: &str) -> Vec<Vec<u8>> {
+        self.count_read();
         let mut out: Vec<Vec<u8>> = self
             .shard(key)
             .lock()
@@ -223,12 +304,14 @@ impl KvStore {
 
     /// Set cardinality.
     pub fn scard(&self, key: &str) -> usize {
+        self.count_read();
         self.shard(key).lock().sets.get(key).map_or(0, HashSet::len)
     }
 
     /// Try to acquire a global lock; `owner` is a caller-chosen token used
     /// to release and to make re-acquisition idempotent.
     pub fn try_lock(&self, key: &str, mode: LockMode, owner: u64) -> bool {
+        self.lock_ops.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let expires = now + self.lease;
         let mut shard = self.shard(key).lock();
@@ -307,6 +390,7 @@ impl KvStore {
     /// Release a lock held by `owner`; unknown owners are ignored (the lease
     /// may have already expired and been taken over).
     pub fn unlock(&self, key: &str, mode: LockMode, owner: u64) {
+        self.lock_ops.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(key).lock();
         let remove = match (mode, shard.locks.get_mut(key)) {
             (LockMode::Read, Some(LockState::Readers(readers))) => {
@@ -342,6 +426,170 @@ impl KvStore {
     /// Number of value keys.
     pub fn key_count(&self) -> usize {
         self.shards.iter().map(|s| s.lock().values.len()).sum()
+    }
+
+    /// Every distinct key with its value size in bytes (0 for keys holding
+    /// only a set or a lock) — the per-key enumeration a migration planner
+    /// snapshots to *preview* a reshard (pair it with
+    /// [`rendezvous_delta`](crate::rendezvous_delta) to see exactly which
+    /// keys and how many bytes an epoch change would move; the `figures
+    /// shards` table does). The migration itself exports by predicate
+    /// ([`KvStore::export_keys`]) and never needs the full listing.
+    pub fn key_sizes(&self) -> Vec<(String, u64)> {
+        let mut out: HashMap<String, u64> = HashMap::new();
+        for shard in &self.shards {
+            let s = shard.lock();
+            for (k, v) in &s.values {
+                out.insert(k.clone(), v.len() as u64);
+            }
+            for k in s.sets.keys() {
+                out.entry(k.clone()).or_insert(0);
+            }
+            for k in s.locks.keys() {
+                out.entry(k.clone()).or_insert(0);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Load/size counters for this store (the per-shard half of
+    /// [`ShardStats`]; the serving layer adds epoch and rejection counts).
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            epoch: 0,
+            keys: self.key_count() as u64,
+            value_bytes: self.total_value_bytes() as u64,
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            lock_ops: self.lock_ops.load(Ordering::Relaxed),
+            wrong_epoch: 0,
+        }
+    }
+
+    /// Export the complete state (value, set members, live lock with its
+    /// owners and remaining lease) of every key matching `moving` — the
+    /// donor half of a shard migration. Non-destructive: the caller purges
+    /// via [`KvStore::purge_keys`] once the new epoch commits, so an
+    /// aborted migration loses nothing.
+    pub fn export_keys(&self, moving: impl Fn(&str) -> bool) -> Vec<KeyMigration> {
+        let now = Instant::now();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock();
+            let mut keys: HashSet<&String> = s.values.keys().collect();
+            keys.extend(s.sets.keys());
+            keys.extend(s.locks.keys());
+            for key in keys {
+                if !moving(key) {
+                    continue;
+                }
+                let lock = s.locks.get(key.as_str()).and_then(|state| match state {
+                    LockState::Readers(readers) => {
+                        let live: Vec<(u64, u64)> = readers
+                            .iter()
+                            .filter(|(_, exp)| **exp > now)
+                            .map(|(owner, exp)| {
+                                (*owner, exp.duration_since(now).as_millis() as u64)
+                            })
+                            .collect();
+                        (!live.is_empty()).then_some(LockMigration::Readers(live))
+                    }
+                    LockState::Writer { owner, expires } => {
+                        (*expires > now).then(|| LockMigration::Writer {
+                            owner: *owner,
+                            remaining_ms: expires.duration_since(now).as_millis() as u64,
+                        })
+                    }
+                });
+                out.push(KeyMigration {
+                    key: key.clone(),
+                    value: s.values.get(key.as_str()).cloned(),
+                    set: s
+                        .sets
+                        .get(key.as_str())
+                        .map(|m| {
+                            let mut v: Vec<Vec<u8>> = m.iter().cloned().collect();
+                            v.sort();
+                            v
+                        })
+                        .unwrap_or_default(),
+                    lock,
+                });
+            }
+        }
+        out
+    }
+
+    /// Install migrated key state — the receiving half of a shard
+    /// migration. Replaces any existing state for each key; lock leases are
+    /// re-anchored to this store's clock with their exported remaining
+    /// time, so lock owners survive the move with their windows intact.
+    pub fn import_keys(&self, entries: &[KeyMigration]) {
+        let now = Instant::now();
+        for entry in entries {
+            let mut shard = self.shard(&entry.key).lock();
+            match &entry.value {
+                Some(v) => {
+                    shard.values.insert(entry.key.clone(), v.clone());
+                }
+                None => {
+                    shard.values.remove(&entry.key);
+                }
+            }
+            if entry.set.is_empty() {
+                shard.sets.remove(&entry.key);
+            } else {
+                shard
+                    .sets
+                    .insert(entry.key.clone(), entry.set.iter().cloned().collect());
+            }
+            let lock = entry.lock.as_ref().map(|l| match l {
+                LockMigration::Readers(readers) => LockState::Readers(
+                    readers
+                        .iter()
+                        .map(|(owner, ms)| (*owner, now + Duration::from_millis(*ms)))
+                        .collect(),
+                ),
+                LockMigration::Writer {
+                    owner,
+                    remaining_ms,
+                } => LockState::Writer {
+                    owner: *owner,
+                    expires: now + Duration::from_millis(*remaining_ms),
+                },
+            });
+            match lock {
+                Some(state) => {
+                    shard.locks.insert(entry.key.clone(), state);
+                }
+                None => {
+                    shard.locks.remove(&entry.key);
+                }
+            }
+        }
+    }
+
+    /// Drop every key matching `moved` (value, set and lock state) — the
+    /// donor's cleanup once the new routing epoch has committed and the
+    /// receiving shard owns the keys. Returns how many keys were dropped.
+    pub fn purge_keys(&self, moved: impl Fn(&str) -> bool) -> usize {
+        let mut purged = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let doomed: HashSet<String> = s
+                .values
+                .keys()
+                .chain(s.sets.keys())
+                .chain(s.locks.keys())
+                .filter(|k| moved(k))
+                .cloned()
+                .collect();
+            s.values.retain(|k, _| !doomed.contains(k));
+            s.sets.retain(|k, _| !doomed.contains(k));
+            s.locks.retain(|k, _| !doomed.contains(k));
+            purged += doomed.len();
+        }
+        purged
     }
 }
 
@@ -491,6 +739,111 @@ mod tests {
         assert_eq!(s.total_value_bytes(), 0);
         assert_eq!(s.key_count(), 0);
         assert_eq!(s.scard("set"), 0);
+    }
+
+    #[test]
+    fn key_sizes_enumerates_values_sets_and_locks() {
+        let s = KvStore::new();
+        s.set("v", vec![1u8; 10]);
+        s.sadd("members", b"m");
+        assert!(s.try_lock("locked", LockMode::Write, 9));
+        let mut sizes = s.key_sizes();
+        sizes.sort();
+        assert_eq!(
+            sizes,
+            vec![
+                ("locked".to_string(), 0),
+                ("members".to_string(), 0),
+                ("v".to_string(), 10)
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_report_load_and_op_counters() {
+        let s = KvStore::new();
+        s.set("a", vec![0; 100]);
+        s.set("b", vec![0; 20]);
+        let _ = s.get("a");
+        let _ = s.get("missing");
+        s.try_lock("a", LockMode::Read, 1);
+        s.unlock("a", LockMode::Read, 1);
+        let st = s.stats();
+        assert_eq!(st.keys, 2);
+        assert_eq!(st.value_bytes, 120);
+        assert_eq!(st.writes, 2);
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.lock_ops, 2);
+    }
+
+    #[test]
+    fn export_import_moves_values_sets_and_lock_owners() {
+        let donor = KvStore::new();
+        donor.set("moves", b"payload".to_vec());
+        donor.sadd("moves", b"m1");
+        donor.sadd("moves", b"m2");
+        assert!(donor.try_lock("moves", LockMode::Write, 42));
+        donor.set("stays", b"here".to_vec());
+        // A set-only key and a lock-only key move too.
+        donor.sadd("set-only", b"s");
+        assert!(donor.try_lock("lock-only", LockMode::Read, 7));
+
+        let moving = |k: &str| k != "stays";
+        let entries = donor.export_keys(moving);
+        assert_eq!(entries.len(), 3);
+
+        let target = KvStore::new();
+        target.import_keys(&entries);
+        assert_eq!(target.get("moves"), Some(b"payload".to_vec()));
+        assert_eq!(
+            target.smembers("moves"),
+            vec![b"m1".to_vec(), b"m2".to_vec()]
+        );
+        // Lock state moved with its owner: a stranger cannot take it, the
+        // original owner can re-enter and release it.
+        assert!(!target.try_lock("moves", LockMode::Write, 99));
+        assert!(target.try_lock("moves", LockMode::Write, 42));
+        target.unlock("moves", LockMode::Write, 42);
+        assert!(target.try_lock("moves", LockMode::Write, 99));
+        assert!(target.scard("set-only") == 1);
+        assert!(!target.try_lock("lock-only", LockMode::Write, 99));
+        assert!(
+            target.try_lock("lock-only", LockMode::Read, 8),
+            "read lock shared"
+        );
+
+        // Export was non-destructive; purge drops exactly the moved keys.
+        assert!(donor.exists("moves"));
+        let purged = donor.purge_keys(moving);
+        assert_eq!(purged, 3);
+        assert!(!donor.exists("moves"));
+        assert_eq!(donor.scard("set-only"), 0);
+        assert!(donor.exists("stays"));
+    }
+
+    #[test]
+    fn expired_locks_are_not_exported() {
+        let s = KvStore::with_lease(Duration::from_millis(5));
+        assert!(s.try_lock("k", LockMode::Write, 1));
+        std::thread::sleep(Duration::from_millis(10));
+        let entries = s.export_keys(|_| true);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lock, None, "expired writer must not migrate");
+    }
+
+    #[test]
+    fn imported_lease_is_reanchored_with_remaining_time() {
+        let donor = KvStore::with_lease(Duration::from_millis(60));
+        assert!(donor.try_lock("k", LockMode::Write, 5));
+        let entries = donor.export_keys(|_| true);
+        let target = KvStore::new();
+        target.import_keys(&entries);
+        assert!(!target.try_lock("k", LockMode::Write, 6), "still held");
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(
+            target.try_lock("k", LockMode::Write, 6),
+            "remaining lease expires on the target's clock"
+        );
     }
 
     #[test]

@@ -264,6 +264,84 @@ fn expired_shed_is_prompt_while_dispatchers_are_saturated() {
     }
 }
 
+/// The dispatch-latency back-pressure loop: under saturation the measured
+/// EWMA stands above target, the effective per-tenant queue caps shrink
+/// (AIMD multiplicative decrease) and load is shed `Overloaded` **at
+/// admission** instead of queueing work the cluster cannot serve; once the
+/// gateway drains, the caps grow back.
+#[test]
+fn standing_dispatch_delay_shrinks_admission_caps_then_recovers() {
+    let cluster = Arc::new(Cluster::new(1));
+    cluster.register_native("alice", "crawl", very_slow_guest(25), false);
+    let gateway = Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 1,
+            max_batch: 4,
+            batch_wait: Duration::from_millis(2),
+            // Arrivals outpace the 25 ms service rate, so jobs stand in
+            // the queue far beyond the 2 ms sojourn target by design.
+            target_dispatch_latency: Duration::from_millis(2),
+            // Deadlines long enough that nothing sheds as Expired — every
+            // shed in this test is the admission loop's doing.
+            default_deadline: Duration::from_secs(60),
+            autoscale: None,
+            ..GatewayConfig::default()
+        },
+    );
+    assert_eq!(gateway.admission_cap_scale(), 1.0, "caps start unscaled");
+
+    // A paced flood: slow enough that the configured cap of 256 would
+    // never fill on its own, fast enough to keep the dispatcher saturated.
+    let mut tickets = Vec::new();
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < Duration::from_millis(1200) {
+        tickets.push(gateway.submit("alice", "crawl", Vec::new()));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let scale_under_load = gateway.admission_cap_scale();
+    let queued_under_load = gateway.queue_len();
+    let sheds = gateway.metrics().shed_overloaded();
+    assert!(
+        scale_under_load < 1.0,
+        "standing delay must shrink the cap scale, still at {scale_under_load}"
+    );
+    assert!(
+        gateway.dispatch_latency_ewma() > Duration::from_millis(2),
+        "the EWMA has seen the standing queue"
+    );
+    assert!(
+        sheds > 0,
+        "saturation must shed Overloaded at admission (scale {scale_under_load})"
+    );
+    assert!(
+        queued_under_load < 64,
+        "load is shed at admission, not queued: {queued_under_load} queued \
+         against a configured cap of 256"
+    );
+
+    // Drain, then the loop grows the caps back (the drained gateway decays
+    // the EWMA below target/2 even with no fresh completions).
+    for t in tickets {
+        let r = gateway.wait(t);
+        assert!(
+            matches!(r.status, GatewayStatus::Ok | GatewayStatus::Overloaded),
+            "unexpected terminal status {:?}",
+            r.status
+        );
+    }
+    let trough = gateway.admission_cap_scale();
+    let recovered = (0..200).find_map(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        let s = gateway.admission_cap_scale();
+        (s > trough).then_some(s)
+    });
+    assert!(
+        recovered.is_some(),
+        "caps must grow back on drain (stuck at {trough})"
+    );
+}
+
 /// A submit that passes the token bucket but is shed `Overloaded` at the
 /// queue cap must refund its token: being at the queue cap must not also
 /// drain the rate budget.
@@ -363,6 +441,7 @@ fn autoscaler_prewarms_under_backlog_and_retires_when_idle() {
                 scale_step: 2,
                 idle_target: 1,
                 max_warm: 16,
+                ..AutoscaleConfig::default()
             }),
             ..GatewayConfig::default()
         },

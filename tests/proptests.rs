@@ -620,6 +620,100 @@ proptest! {
         }
     }
 
+    /// The epoch N→N+1 rendezvous delta is exactly the keys whose owner
+    /// changed — no gratuitous movement — and every moved key lands on the
+    /// newly added shard. Shrinking back moves exactly the retiring
+    /// shard's keys. (The migration coordinator and the donors' export
+    /// predicate both stand on this.)
+    #[test]
+    fn rendezvous_epoch_delta_is_exact(
+        shards in 1usize..6,
+        raw in prop::collection::vec(any::<u64>(), 1..128),
+    ) {
+        let keys: Vec<String> = raw.iter().map(|k| format!("state:{k}")).collect();
+
+        // Identity epoch change: nothing moves.
+        prop_assert!(kvs::rendezvous_delta(&keys, shards, shards).is_empty());
+
+        // Grow by one: the delta is exactly the owner-changed set.
+        let grow: HashMap<String, usize> =
+            kvs::rendezvous_delta(&keys, shards, shards + 1).into_iter().collect();
+        for key in &keys {
+            let old = kvs::shard_index_for(key, shards);
+            let new = kvs::shard_index_for(key, shards + 1);
+            if old == new {
+                prop_assert!(
+                    !grow.contains_key(key.as_str()),
+                    "{key} did not change owner but is in the delta"
+                );
+            } else {
+                prop_assert_eq!(
+                    grow.get(key.as_str()),
+                    Some(&new),
+                    "owner-changed key missing from the delta or mistargeted"
+                );
+                prop_assert_eq!(
+                    new, shards,
+                    "growth may move keys only onto the new shard"
+                );
+            }
+        }
+
+        // Shrink back: exactly the retiring shard's keys move, each to its
+        // owner under the shrunk table.
+        let shrink: HashMap<String, usize> =
+            kvs::rendezvous_delta(&keys, shards + 1, shards).into_iter().collect();
+        for key in &keys {
+            let was = kvs::shard_index_for(key, shards + 1);
+            if was == shards {
+                prop_assert_eq!(
+                    shrink.get(key.as_str()),
+                    Some(&kvs::shard_index_for(key, shards))
+                );
+            } else {
+                prop_assert!(!shrink.contains_key(key.as_str()));
+            }
+        }
+    }
+
+    /// The migration-entry codec roundtrips arbitrary key state — values,
+    /// set members and lock owners survive the wire bit-exact.
+    #[test]
+    fn kvs_handoff_roundtrips(
+        entries in prop::collection::vec(
+            (
+                ascii_string(16),
+                (any::<bool>(), prop::collection::vec(any::<u8>(), 0..40)),
+                prop::collection::vec(prop::collection::vec(any::<u8>(), 0..12), 0..4),
+                (any::<bool>(), any::<u64>(), any::<u32>()),
+            ),
+            0..6,
+        ),
+        epoch in any::<u64>(),
+    ) {
+        let entries: Vec<kvs::KeyMigration> = entries
+            .into_iter()
+            .map(|(key, (has_value, value), set, (locked, owner, ms))| kvs::KeyMigration {
+                key,
+                value: has_value.then_some(value),
+                set,
+                lock: locked.then_some(kvs::LockMigration::Writer {
+                    owner,
+                    remaining_ms: u64::from(ms),
+                }),
+            })
+            .collect();
+        let req = kvs::Request::Handoff { entries: entries.clone() };
+        let bytes = kvs::codec::encode_request_at(&req, epoch);
+        prop_assert_eq!(
+            kvs::codec::decode_request_epoch(&bytes).unwrap(),
+            (req, epoch)
+        );
+        let resp = kvs::Response::Handoff(entries);
+        let bytes = kvs::codec::encode_response(&resp);
+        prop_assert_eq!(kvs::codec::decode_response(&bytes).unwrap(), resp);
+    }
+
     /// Rendezvous routing is balanced: 1000 distinct keys over 4 shards
     /// leave no shard above twice the mean (and none empty).
     #[test]
