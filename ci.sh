@@ -21,6 +21,9 @@ cargo run --release --example gateway_remote
 echo "== live-reshard example (smoke): workload keeps writing while a shard joins"
 cargo run --release --example reshard_live
 
+echo "== trace-storm example (smoke): span tree from admission to state and back"
+cargo run --release --example trace_storm
+
 echo "== gateway throughput bench, batched mode included (smoke)"
 cargo bench -p faasm-bench --bench gateway_throughput -- --test
 

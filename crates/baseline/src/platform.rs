@@ -228,7 +228,9 @@ impl BaselineHost {
                     // The container baseline has no batch submit path; a
                     // batched message still executes every call (protocol
                     // compatibility with the FAASM ingress tier).
-                    Some(InstanceMsg::InvokeBatch { calls, reply_to }) => {
+                    Some(InstanceMsg::InvokeBatch {
+                        calls, reply_to, ..
+                    }) => {
                         for call in calls {
                             let _ = self.queue_tx.send(QueuedCall { call, reply_to });
                         }
@@ -394,6 +396,7 @@ impl HttpRouter for BaselineHost {
             user: user.to_string(),
             function: function.to_string(),
             input,
+            trace: faasm_sched::TraceCtx::NONE,
         };
         // Chaining goes back through the gateway: pick any host (including
         // possibly ourselves) and pay HTTP framing for the hop.
@@ -585,6 +588,7 @@ impl BaselinePlatform {
             user: user.to_string(),
             function: function.to_string(),
             input,
+            trace: faasm_sched::TraceCtx::NONE,
         };
         let Some(target) = self.routing.next() else {
             self.gateway_pending

@@ -255,6 +255,21 @@ fn json_points(points: &[LoadPoint]) -> String {
     out
 }
 
+/// Tracing-on vs tracing-off throughput on the batched path at the top
+/// load: the tentpole's <2% overhead bar. Wire formats carry trace ids in
+/// both runs (toggling must not change codecs); `set_enabled` gates only
+/// span/histogram recording. Off runs first so the on run inherits any
+/// warm-up advantage — a conservative ordering for the overhead claim.
+fn tracing_overhead(loads: &[(u64, usize)]) -> (f64, f64, f64) {
+    let &(rps, requests) = loads.last().expect("at least one load");
+    faasm_telemetry::set_enabled(false);
+    let off = drive(Ingress::Batched, rps, requests, 4).sustained_rps;
+    faasm_telemetry::set_enabled(true);
+    let on = drive(Ingress::Batched, rps, requests, 4).sustained_rps;
+    let overhead_pct = (off - on) / off.max(1.0) * 100.0;
+    (on, off, overhead_pct)
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let loads: &[(u64, usize)] = if test_mode {
@@ -266,6 +281,12 @@ fn main() {
     let local = run_mode(Ingress::InProcess, loads);
     let remote = run_mode(Ingress::OverFabric, loads);
     let batched = run_mode(Ingress::Batched, loads);
+
+    let (tracing_on_rps, tracing_off_rps, overhead_pct) = tracing_overhead(loads);
+    println!(
+        "
+tracing overhead (batched, top load): off {tracing_off_rps:.0} req/s, on {tracing_on_rps:.0} req/s, delta {overhead_pct:+.2}%"
+    );
 
     // The wire + service loop should cost well under a 2x throughput hit
     // at saturation (the remote-ingress acceptance bar).
@@ -291,7 +312,9 @@ fn main() {
     json.push_str(&json_points(&remote));
     json.push_str("  ],\n  \"loads_batched\": [\n");
     json.push_str(&json_points(&batched));
-    json.push_str("  ]\n}\n");
+    json.push_str(&format!(
+        "  ],\n  \"tracing_overhead\": {{\"tracing_off_rps\": {tracing_off_rps:.0}, \"tracing_on_rps\": {tracing_on_rps:.0}, \"overhead_pct\": {overhead_pct:.2}}}\n}}\n"
+    ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gateway.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nsnapshot written to BENCH_gateway.json"),

@@ -2,7 +2,14 @@
 //!
 //! Usage: `cargo run -p faasm-bench --release --bin figures [EXPERIMENT]`
 //! where EXPERIMENT is one of `fig6`, `fig6-small`, `fig7`, `fig8`, `fig9a`,
-//! `fig9b`, `table3`, `fig10`, or `all` (default).
+//! `fig9b`, `table3`, `fig10`, `shards`, `trace`, `metrics`, or `all`
+//! (default; excludes the telemetry commands).
+//!
+//! `trace` runs a built-in scenario — a gateway storm over a
+//! state-touching function with a live reshard mid-storm — then renders
+//! one call's cross-tier span tree; pass `json` for the machine-readable
+//! dump. `metrics` runs the same scenario and prints the cluster-wide
+//! per-tier histogram table plus gateway counters (`json` likewise).
 //!
 //! Workloads are scaled to laptop size (factors printed with each figure);
 //! EXPERIMENTS.md records these outputs next to the paper's numbers. Shapes
@@ -53,6 +60,149 @@ fn main() {
     if all || which == "shards" {
         shard_skew();
     }
+    if which == "trace" {
+        trace_cmd(std::env::args().nth(2).as_deref() == Some("json"));
+    }
+    if which == "metrics" {
+        metrics_cmd(std::env::args().nth(2).as_deref() == Some("json"));
+    }
+}
+
+// ── Telemetry: one call's span tree, cluster-wide metrics ───────────────
+
+/// The built-in telemetry scenario: a gateway in front of a 2-host cluster
+/// with a sharded state tier, a function doing real state I/O per call, a
+/// storm of gateway calls with a live reshard in the middle (so some state
+/// round-trips park on `WrongEpoch` and retry), and finally one traced
+/// call whose span tree is the exhibit. Returns that call's trace id and
+/// the gateway (for its metrics snapshot).
+fn telemetry_scenario() -> (u64, faasm_gateway::Gateway) {
+    let cluster = Arc::new(faasm_core::Cluster::with_config(
+        faasm_core::ClusterConfig {
+            hosts: 2,
+            state_shards: 2,
+            ..faasm_core::ClusterConfig::default()
+        },
+    ));
+    // A state-touching native function: read-modify-write a shared
+    // accumulator row, then push — one pull and one push per call.
+    let guest: Arc<dyn faasm_core::NativeGuest> =
+        Arc::new(|api: &mut faasm_core::NativeApi<'_>| {
+            let slot = api.input().first().copied().unwrap_or(0) as usize;
+            let entry = api
+                .state("telemetry:acc", 4096)
+                .map_err(faasm_fvm::Trap::host)?;
+            let mut buf = [0u8; 8];
+            entry
+                .read(slot * 8, &mut buf)
+                .map_err(faasm_fvm::Trap::host)?;
+            let v = u64::from_le_bytes(buf).wrapping_add(1);
+            entry
+                .write(slot * 8, &v.to_le_bytes())
+                .map_err(faasm_fvm::Trap::host)?;
+            entry.push().map_err(faasm_fvm::Trap::host)?;
+            api.write_output(&v.to_le_bytes());
+            Ok(0)
+        });
+    cluster.register_native("tel", "bump", guest, false);
+    let gw = faasm_gateway::Gateway::start(
+        Arc::clone(&cluster),
+        faasm_gateway::GatewayConfig::default(),
+    );
+
+    // Storm with a live reshard in the middle: the epoch bump parks
+    // in-flight state ops on `WrongEpoch`, producing retry spans.
+    let mut tickets = Vec::new();
+    for i in 0..128u8 {
+        tickets.push(gw.submit("tel", "bump", vec![i % 64]));
+        if i == 64 {
+            cluster.add_state_shard().expect("live shard join");
+        }
+    }
+    for t in tickets {
+        let _ = gw.wait(t);
+    }
+
+    // The exhibit: traced calls racing a second live reshard. A call whose
+    // state round-trip lands while the tier is frozen parks on `WrongEpoch`
+    // and retries — that park shows up as a span in its tree. Prefer such
+    // a call; fall back to the last traced call if the race never lands.
+    let resharder = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            cluster.add_state_shard().expect("live shard join");
+        })
+    };
+    let trace_id = loop {
+        let done = resharder.is_finished();
+        let (resp, tid) = gw.call_traced("tel", "bump", vec![7]);
+        assert!(
+            matches!(resp.status, faasm_gateway::GatewayStatus::Ok),
+            "traced call failed: {:?}",
+            resp.status
+        );
+        let kinds = faasm_bench::telemetry_export::trace_kinds(tid);
+        if kinds.contains(&faasm_telemetry::SpanKind::WrongEpochRetry) || done {
+            break tid;
+        }
+    };
+    resharder.join().expect("resharder thread");
+    (trace_id, gw)
+}
+
+fn trace_cmd(json: bool) {
+    let (trace_id, _gw) = telemetry_scenario();
+    if json {
+        println!(
+            "{}",
+            faasm_bench::telemetry_export::trace_tree_json(trace_id)
+        );
+        return;
+    }
+    println!(
+        "
+=== One gateway call, admission to state and back ==="
+    );
+    print!(
+        "{}",
+        faasm_bench::telemetry_export::render_trace_tree(trace_id)
+    );
+}
+
+fn metrics_cmd(json: bool) {
+    let (_, gw) = telemetry_scenario();
+    let g = gw.metrics().snapshot();
+    if json {
+        let tele = faasm_bench::telemetry_export::metrics_json();
+        println!(
+            "{{\"gateway\":{{\"admitted\":{},\"completed\":{},\"shed\":{},\"batches\":{},\
+             \"batch_items\":{},\"queue_delay_p50_ns\":{},\"queue_delay_p99_ns\":{}}},\
+             \"telemetry\":{tele}}}",
+            g.admitted,
+            g.completed,
+            g.shed_total(),
+            g.batches,
+            g.batch_items,
+            g.queue_delay.percentile(50.0),
+            g.queue_delay.percentile(99.0),
+        );
+        return;
+    }
+    println!(
+        "
+=== Cluster-wide telemetry snapshot ==="
+    );
+    faasm_bench::telemetry_export::print_metrics_table();
+    println!(
+        "gateway: {} admitted, {} completed, {} shed; {} batches ({:.1} calls/batch); queue delay p50 {}us p99 {}us",
+        g.admitted,
+        g.completed,
+        g.shed_total(),
+        g.batches,
+        g.batch_occupancy(),
+        g.queue_delay.percentile(50.0) / 1_000,
+        g.queue_delay.percentile(99.0) / 1_000,
+    );
 }
 
 // ── Shard skew: the global tier's load distribution ─────────────────────
@@ -82,15 +232,26 @@ fn shard_skew() {
             "reads",
             "writes",
             "wrong-epoch",
+            "freeze-wait us",
+            "batched ops",
+            "batch width",
         ]);
         for (i, s) in stats.iter().enumerate() {
+            let width = if s.batched_ops == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", s.batched_items as f64 / s.batched_ops as f64)
+            };
             t.row(&[
                 format!("{i}"),
                 s.keys.to_string(),
                 format!("{:.1}", s.value_bytes as f64 / 1024.0),
                 s.reads.to_string(),
                 s.writes.to_string(),
-                s.wrong_epoch.to_string(),
+                s.wrong_epoch_redirects.to_string(),
+                (s.freeze_wait_ns / 1_000).to_string(),
+                s.batched_ops.to_string(),
+                width,
             ]);
         }
         println!("{label} (epoch {})", cluster.state_routing().epoch());
@@ -592,6 +753,7 @@ fn table3() {
         user: "u".into(),
         function: "noop".into(),
         input: vec![],
+        trace: faasm_core::TraceCtx::NONE,
     };
     f.run(&call);
     let fuel = f.fuel_consumed();

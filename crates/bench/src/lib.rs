@@ -6,6 +6,8 @@
 //! constructors, timing helpers and the plain-text table printer whose
 //! output EXPERIMENTS.md records.
 
+pub mod telemetry_export;
+
 use std::time::{Duration, Instant};
 
 use faasm_baseline::{BaselineConfig, BaselinePlatform, ImageConfig};

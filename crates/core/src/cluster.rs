@@ -302,6 +302,12 @@ impl Cluster {
             user: user.to_string(),
             function: function.to_string(),
             input,
+            // Driver-ingress calls root a fresh trace (unless the caller is
+            // itself traced, e.g. a test following one call end to end).
+            trace: match faasm_telemetry::current() {
+                ctx if ctx.is_none() => faasm_telemetry::TraceCtx::new_root(),
+                ctx => ctx,
+            },
         };
         let msg = encode_msg(&InstanceMsg::Invoke {
             call,
@@ -743,6 +749,7 @@ mod tests {
                     user: "u".into(),
                     function: "echo".into(),
                     input: vec![i, i + 1],
+                    trace: faasm_telemetry::TraceCtx::NONE,
                     on_complete: Box::new(move |result| {
                         let _ = tx.send(result);
                     }),
@@ -791,6 +798,7 @@ mod tests {
                     user: "u".into(),
                     function: "slow".into(),
                     input: Vec::new(),
+                    trace: faasm_telemetry::TraceCtx::NONE,
                     on_complete: Box::new(move |result| {
                         let _ = tx.send(result);
                     }),

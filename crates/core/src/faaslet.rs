@@ -429,6 +429,7 @@ pub(crate) mod tests {
             user: "u".into(),
             function: "f".into(),
             input: input.to_vec(),
+            trace: faasm_sched::TraceCtx::NONE,
         }
     }
 

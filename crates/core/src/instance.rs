@@ -17,6 +17,7 @@ use faasm_kvs::{RoutingCell, ShardedKvClient, SharedKv};
 use faasm_net::{Fabric, HostId, Nic};
 use faasm_sched::{decide, CallId, CallResult, CallSpec, Decision, Placement, WarmSets};
 use faasm_state::StateManager;
+use faasm_telemetry::{SpanKind, TraceCtx};
 use faasm_vfs::{HostFs, ObjectStore};
 use parking_lot::{Mutex, RwLock};
 
@@ -74,6 +75,10 @@ pub struct PlacedCall {
     pub function: String,
     /// Input bytes.
     pub input: Vec<u8>,
+    /// The ingress call's trace context ([`TraceCtx::NONE`] when
+    /// untraced) — carried into the batched [`CallSpec`] so every stage
+    /// downstream of placement links back to the same trace.
+    pub trace: TraceCtx,
     /// Completion callback (no thread parks per in-flight call).
     pub on_complete: PendingCallback<CallResult>,
 }
@@ -371,8 +376,19 @@ impl FaasmInstance {
                     // queue them all, skipping the local scheduling decision
                     // (like forwarded calls — re-deciding would fight the
                     // placement that chose this host).
-                    Some(InstanceMsg::InvokeBatch { calls, reply_to }) => {
+                    Some(InstanceMsg::InvokeBatch {
+                        calls,
+                        reply_to,
+                        sent_at_ns,
+                    }) => {
+                        let recorder = worker_recorder();
                         for call in calls {
+                            if sent_at_ns != 0 && !call.trace.is_none() {
+                                // One bus-transit span per call: encode +
+                                // send + fabric queueing + decode, measured
+                                // against the sender's stamp.
+                                recorder.span(SpanKind::BusTransit, call.trace, sent_at_ns, 0);
+                            }
                             let _ = self.queue_tx.send(QueuedCall { call, reply_to });
                         }
                     }
@@ -453,8 +469,27 @@ impl FaasmInstance {
         *self.busy.lock().entry(key.clone()).or_insert(0) += 1;
 
         let t0 = Instant::now();
-        let result = faaslet.run(&q.call);
+        let start_ns = faasm_telemetry::now_ns();
+        // The worker-exec span is allocated *before* the run and installed
+        // as the thread's active context, so every state pull/push, lock
+        // wait and KVS request the Faaslet issues nests under it.
+        let exec_ctx = q.call.trace.child();
+        let result = {
+            let _tracing = faasm_telemetry::set_current(exec_ctx);
+            faaslet.run(&q.call)
+        };
         let exec_ns = t0.elapsed().as_nanos() as u64;
+        if !exec_ctx.is_none() {
+            worker_recorder().record(faasm_telemetry::SpanRecord {
+                trace_id: exec_ctx.trace_id,
+                span_id: exec_ctx.span_id,
+                parent_id: q.call.trace.span_id,
+                kind: SpanKind::WorkerExec,
+                start_ns,
+                end_ns: faasm_telemetry::now_ns(),
+                extra: q.call.id.0,
+            });
+        }
         self.metrics
             .record_call(exec_ns, faaslet.fuel_consumed(), faaslet.pss_bytes());
 
@@ -591,6 +626,7 @@ impl FaasmInstance {
                 user: user.to_string(),
                 function: function.to_string(),
                 input,
+                trace: faasm_telemetry::current(),
             },
             reply_to: self.host_id,
         });
@@ -633,6 +669,7 @@ impl FaasmInstance {
                 user: call.user,
                 function: call.function,
                 input: call.input,
+                trace: call.trace,
             });
             ids.push(id);
         }
@@ -643,6 +680,7 @@ impl FaasmInstance {
         let msg = encode_msg(&InstanceMsg::InvokeBatch {
             calls: specs,
             reply_to: self.host_id,
+            sent_at_ns: faasm_telemetry::now_ns(),
         });
         // One self-addressed bus message for the whole batch: N calls cost
         // one message-bus hop instead of N, and the fabric's byte counters
@@ -707,7 +745,9 @@ impl FaasmInstance {
                         reply_to,
                     );
                 }
-                Some(InstanceMsg::InvokeBatch { calls, reply_to }) => {
+                Some(InstanceMsg::InvokeBatch {
+                    calls, reply_to, ..
+                }) => {
                     for call in calls {
                         self.deliver(
                             CallResult::error(call.id, "runtime shutting down"),
@@ -734,6 +774,9 @@ impl ChainRouter for FaasmInstance {
             user: user.to_string(),
             function: function.to_string(),
             input,
+            // Chained calls inherit the caller Faaslet's active context,
+            // so a chain's workers all nest under the ingress trace.
+            trace: faasm_telemetry::current(),
         };
         if let Some(me) = self.self_arc() {
             me.handle_invoke(call, self.host_id, false);
@@ -794,6 +837,13 @@ impl FaasmInstance {
             .lock()
             .insert(self.host_id, Arc::downgrade(self));
     }
+}
+
+/// The runtime instances' telemetry recorder (one per process; cached so
+/// bus and worker loops never touch the registry lock).
+fn worker_recorder() -> &'static Arc<faasm_telemetry::Recorder> {
+    static REC: std::sync::OnceLock<Arc<faasm_telemetry::Recorder>> = std::sync::OnceLock::new();
+    REC.get_or_init(|| faasm_telemetry::tier("worker"))
 }
 
 static SELF_REGISTRY: once_registry::SelfRegistry = once_registry::SelfRegistry::new();

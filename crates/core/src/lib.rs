@@ -75,4 +75,4 @@ pub use pending::{Pending, PendingCallback, PendingMap};
 pub use proto::{ProtoEncodeError, ProtoFaaslet, ProtoRef};
 
 // Re-export the call types every embedder needs.
-pub use faasm_sched::{CallId, CallResult, CallSpec, CallStatus};
+pub use faasm_sched::{CallId, CallResult, CallSpec, CallStatus, TraceCtx};

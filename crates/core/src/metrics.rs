@@ -11,6 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use faasm_telemetry::{Hist, HistSnapshot};
 use parking_lot::Mutex;
 
 /// Which path created a Faaslet for a call.
@@ -128,6 +129,64 @@ impl Metrics {
         }
         times.iter().sum::<u64>() / times.len() as u64
     }
+
+    /// A coherent point-in-time copy of every counter. Individual getters
+    /// race against concurrent recording, so an exporter reading them one
+    /// by one can tabulate counters from different instants (e.g. more
+    /// completed calls than started ones); tables and JSON dumps should
+    /// read one snapshot instead.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            cold_starts: self.cold_starts.load(Ordering::Relaxed),
+            proto_restores: self.proto_restores.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            exec_ns: self.exec_ns.load(Ordering::Relaxed),
+            fuel: self.fuel.load(Ordering::Relaxed),
+            billable_gb_seconds: self.billable_gb_seconds(),
+            mean_init_ns: self.mean_init_ns(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`], taken in one pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Completed calls.
+    pub calls: u64,
+    /// Warm starts.
+    pub warm_starts: u64,
+    /// Cold starts.
+    pub cold_starts: u64,
+    /// Proto-Faaslet restores.
+    pub proto_restores: u64,
+    /// Calls forwarded to other hosts.
+    pub forwarded: u64,
+    /// Total guest execution nanoseconds.
+    pub exec_ns: u64,
+    /// Total interpreter fuel.
+    pub fuel: u64,
+    /// Billable memory in GB-seconds.
+    pub billable_gb_seconds: f64,
+    /// Mean initialisation time (cold + restore), nanoseconds.
+    pub mean_init_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Sum two snapshots (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.calls += other.calls;
+        self.warm_starts += other.warm_starts;
+        self.cold_starts += other.cold_starts;
+        self.proto_restores += other.proto_restores;
+        self.forwarded += other.forwarded;
+        self.exec_ns += other.exec_ns;
+        self.fuel += other.fuel;
+        self.billable_gb_seconds += other.billable_gb_seconds;
+        // Means do not sum; keep the max as a representative figure.
+        self.mean_init_ns = self.mean_init_ns.max(other.mean_init_ns);
+    }
 }
 
 /// Ingress-tier metrics: what the gateway in front of a cluster observes.
@@ -147,22 +206,13 @@ pub struct GatewayMetrics {
     prewarmed: AtomicU64,
     retired: AtomicU64,
     tier_scaleups: AtomicU64,
-    /// Sliding window of the most recent queueing-delay samples (ring
-    /// buffer): one sample lands per dispatched request, so an unbounded
-    /// Vec would grow by ~100 MB/hour at the bench's sustained rates and
-    /// make every percentile read sort the full history.
-    queue_delay_ns: Mutex<DelayWindow>,
+    /// Queueing-delay distribution: a lock-free log2-bucket histogram.
+    /// One sample lands per dispatched request, so the previous sorted-Vec
+    /// ring cost a lock plus an O(n log n) sort per percentile read and
+    /// 512 KiB of samples; the histogram is 64 atomic counters — fixed
+    /// memory at any sample volume, and percentile reads never allocate.
+    queue_delay_ns: Hist,
 }
-
-/// Ring buffer of recent delay samples.
-#[derive(Debug, Default)]
-struct DelayWindow {
-    samples: Vec<u64>,
-    next: usize,
-}
-
-/// Queueing-delay samples retained for percentile reads.
-const DELAY_WINDOW: usize = 65_536;
 
 impl GatewayMetrics {
     /// Fresh zeroed metrics.
@@ -203,14 +253,7 @@ impl GatewayMetrics {
 
     /// Record time a request spent queued before dispatch.
     pub fn record_queue_delay_ns(&self, ns: u64) {
-        let mut w = self.queue_delay_ns.lock();
-        if w.samples.len() < DELAY_WINDOW {
-            w.samples.push(ns);
-        } else {
-            let slot = w.next;
-            w.samples[slot] = ns;
-        }
-        w.next = (w.next + 1) % DELAY_WINDOW;
+        self.queue_delay_ns.record(ns);
     }
 
     /// Record `n` Faaslets pre-warmed by the autoscaler.
@@ -287,10 +330,11 @@ impl GatewayMetrics {
         self.tier_scaleups.load(Ordering::Relaxed)
     }
 
-    /// Queueing-delay percentile in nanoseconds over the most recent
-    /// [`DELAY_WINDOW`] samples (0.0–1.0; 0 when empty).
+    /// Queueing-delay percentile in nanoseconds (0.0–1.0; 0 when empty).
+    /// Log2-bucket approximation: the estimate lands within a factor of
+    /// two of the exact sample, clamped to the observed min/max.
     pub fn queue_delay_percentile_ns(&self, p: f64) -> u64 {
-        percentile(&self.queue_delay_ns.lock().samples, p)
+        self.queue_delay_ns.percentile(p.clamp(0.0, 1.0) * 100.0)
     }
 
     /// p50 queueing delay in nanoseconds.
@@ -301,6 +345,67 @@ impl GatewayMetrics {
     /// p99 queueing delay in nanoseconds.
     pub fn queue_delay_p99_ns(&self) -> u64 {
         self.queue_delay_percentile_ns(0.99)
+    }
+
+    /// A coherent point-in-time copy of every gateway counter plus the
+    /// queue-delay histogram — see [`Metrics::snapshot`] for why exporters
+    /// must not assemble tables from individual getters.
+    pub fn snapshot(&self) -> GatewayMetricsSnapshot {
+        GatewayMetricsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_overloaded: self.shed_overloaded.load(Ordering::Relaxed),
+            shed_ratelimited: self.shed_ratelimited.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
+            prewarmed: self.prewarmed.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
+            tier_scaleups: self.tier_scaleups.load(Ordering::Relaxed),
+            queue_delay: self.queue_delay_ns.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`GatewayMetrics`], taken in one pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GatewayMetricsSnapshot {
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests completed end to end.
+    pub completed: u64,
+    /// Requests shed because their tenant queue was full.
+    pub shed_overloaded: u64,
+    /// Requests shed by a tenant token bucket.
+    pub shed_ratelimited: u64,
+    /// Requests shed because their deadline passed while queued.
+    pub shed_expired: u64,
+    /// Dispatched batches.
+    pub batches: u64,
+    /// Requests carried by those batches.
+    pub batch_items: u64,
+    /// Faaslets pre-warmed by the autoscaler.
+    pub prewarmed: u64,
+    /// Idle Faaslets retired by the autoscaler.
+    pub retired: u64,
+    /// State shards added live by the tier autoscaler.
+    pub tier_scaleups: u64,
+    /// Queue-delay histogram at snapshot time.
+    pub queue_delay: HistSnapshot,
+}
+
+impl GatewayMetricsSnapshot {
+    /// Total requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_overloaded + self.shed_ratelimited + self.shed_expired
+    }
+
+    /// Mean requests per dispatched batch (0 when none dispatched).
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_items as f64 / self.batches as f64
     }
 }
 
@@ -369,20 +474,54 @@ mod tests {
     }
 
     #[test]
-    fn gateway_delay_window_is_bounded() {
+    fn gateway_delay_storm_stays_within_fixed_memory() {
+        // 1M-sample storm: the histogram's memory is its struct size — no
+        // heap growth, no eviction bookkeeping — and reads stay coherent.
         let m = GatewayMetrics::new();
-        // Overfill the ring: old samples must be evicted, reads stay sane.
-        for i in 0..(super::DELAY_WINDOW as u64 + 10_000) {
+        for i in 0..1_000_000u64 {
             m.record_queue_delay_ns(i);
         }
-        let p100 = m.queue_delay_percentile_ns(1.0);
-        let p0 = m.queue_delay_percentile_ns(0.0);
-        assert_eq!(p100, super::DELAY_WINDOW as u64 + 9_999);
-        assert!(
-            p0 >= 10_000,
-            "oldest retained sample should be recent, got {p0}"
-        );
-        assert!(m.queue_delay_p99_ns() >= m.queue_delay_p50_ns());
+        let snap = m.snapshot();
+        assert_eq!(snap.queue_delay.count, 1_000_000);
+        assert_eq!(snap.queue_delay.min, 0);
+        assert_eq!(snap.queue_delay.max, 999_999);
+        // The delay distribution lives in a fixed-size inline array; the
+        // type holds no heap-backed sample storage to grow.
+        assert!(std::mem::size_of::<faasm_telemetry::HistSnapshot>() <= 64 * 8 + 64);
+        let p50 = m.queue_delay_p50_ns();
+        let p99 = m.queue_delay_p99_ns();
+        assert!(p50 > 0 && p99 >= p50, "p50 {p50} p99 {p99}");
+        // Log2 buckets: estimates stay within 2x of the exact percentile.
+        assert!((250_000..=1_000_000).contains(&p50), "p50 {p50}");
+        assert!((495_000..=1_000_000).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn snapshots_are_coherent_copies() {
+        let m = Metrics::new();
+        m.record_call(1_000, 5, 0.0);
+        m.record_start(StartKind::Cold, 400);
+        let snap = m.snapshot();
+        assert_eq!(snap.calls, 1);
+        assert_eq!(snap.cold_starts, 1);
+        assert_eq!(snap.mean_init_ns, 400);
+        let mut merged = snap;
+        merged.merge(&snap);
+        assert_eq!(merged.calls, 2);
+
+        let g = GatewayMetrics::new();
+        g.record_admitted();
+        g.record_batch(4);
+        g.record_shed_expired();
+        g.record_queue_delay_ns(77);
+        let gs = g.snapshot();
+        assert_eq!(gs.admitted, 1);
+        assert_eq!(gs.shed_total(), 1);
+        assert!((gs.batch_occupancy() - 4.0).abs() < 1e-9);
+        assert_eq!(gs.queue_delay.count, 1);
+        // The snapshot is frozen: later recording does not change it.
+        g.record_admitted();
+        assert_eq!(gs.admitted, 1);
     }
 
     #[test]

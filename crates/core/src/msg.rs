@@ -35,6 +35,10 @@ pub enum InstanceMsg {
         calls: Vec<CallSpec>,
         /// Where every result goes.
         reply_to: HostId,
+        /// Telemetry-clock send timestamp ([`faasm_telemetry::now_ns`]):
+        /// the receiving bus loop records the batch's bus-transit span as
+        /// `recv - sent_at_ns` per call. 0 = unstamped.
+        sent_at_ns: u64,
     },
 }
 
@@ -56,9 +60,14 @@ pub fn encode_msg(msg: &InstanceMsg) -> Vec<u8> {
             out.put_u8(1);
             out.extend_from_slice(&encode_result(result));
         }
-        InstanceMsg::InvokeBatch { calls, reply_to } => {
+        InstanceMsg::InvokeBatch {
+            calls,
+            reply_to,
+            sent_at_ns,
+        } => {
             out.put_u8(2);
             out.put_u32_le(reply_to.0);
+            out.put_u64_le(*sent_at_ns);
             out.put_u32_le(calls.len() as u32);
             for call in calls {
                 // Each call is length-prefixed: `decode_call` consumes an
@@ -103,10 +112,11 @@ pub fn decode_msg(mut buf: &[u8]) -> Option<InstanceMsg> {
             result: decode_result(buf)?,
         }),
         2 => {
-            if buf.remaining() < 8 {
+            if buf.remaining() < 16 {
                 return None;
             }
             let reply_to = HostId(buf.get_u32_le());
+            let sent_at_ns = buf.get_u64_le();
             let count = buf.get_u32_le() as usize;
             // Cap the preallocation by what the buffer could possibly hold
             // (a hostile count must not drive a huge allocation).
@@ -125,7 +135,11 @@ pub fn decode_msg(mut buf: &[u8]) -> Option<InstanceMsg> {
             if buf.has_remaining() {
                 return None;
             }
-            Some(InstanceMsg::InvokeBatch { calls, reply_to })
+            Some(InstanceMsg::InvokeBatch {
+                calls,
+                reply_to,
+                sent_at_ns,
+            })
         }
         _ => None,
     }
@@ -144,6 +158,10 @@ mod tests {
                 user: "u".into(),
                 function: "f".into(),
                 input: vec![1, 2],
+                trace: faasm_sched::TraceCtx {
+                    trace_id: 5,
+                    span_id: 6,
+                },
             },
             reply_to: HostId(3),
             forwarded: true,
@@ -171,17 +189,20 @@ mod tests {
                 user: "tenant".into(),
                 function: format!("f{i}"),
                 input: vec![i as u8; i as usize],
+                trace: faasm_sched::TraceCtx::NONE,
             })
             .collect();
         let msg = InstanceMsg::InvokeBatch {
             calls,
             reply_to: HostId(9),
+            sent_at_ns: 12_345,
         };
         assert_eq!(decode_msg(&encode_msg(&msg)), Some(msg));
         // Empty batches are legal on the wire.
         let empty = InstanceMsg::InvokeBatch {
             calls: Vec::new(),
             reply_to: HostId(0),
+            sent_at_ns: 0,
         };
         assert_eq!(decode_msg(&encode_msg(&empty)), Some(empty));
     }
@@ -203,8 +224,10 @@ mod tests {
                 user: "u".into(),
                 function: "f".into(),
                 input: vec![1, 2, 3],
+                trace: faasm_sched::TraceCtx::NONE,
             }],
             reply_to: HostId(2),
+            sent_at_ns: 7,
         };
         let good = encode_msg(&msg);
         for cut in 1..good.len() {

@@ -198,10 +198,34 @@ impl GatewayClient {
         input: Vec<u8>,
         deadline: Duration,
     ) -> Result<u64, ClientError> {
+        self.submit_traced(tenant, function, input, deadline)
+            .map(|(ticket, _)| ticket)
+    }
+
+    /// Submit under a fresh client-minted trace root; returns the ticket
+    /// and the trace id, so after [`GatewayClient::wait`] the caller can
+    /// pull the call's full span tree with `faasm_telemetry::trace_tree`.
+    /// An active thread-local trace context is adopted instead of minting,
+    /// so chained remote calls stay on one trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the request cannot be sent.
+    pub fn submit_traced(
+        &self,
+        tenant: &str,
+        function: &str,
+        input: Vec<u8>,
+        deadline: Duration,
+    ) -> Result<(u64, u64), ClientError> {
         let deadline_ms = if deadline.is_zero() {
             0
         } else {
             (deadline.as_millis() as u64).max(1)
+        };
+        let trace = match faasm_telemetry::current() {
+            ctx if ctx.is_none() => faasm_telemetry::TraceCtx::new_root(),
+            ctx => ctx,
         };
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         let req = GatewayRequest {
@@ -209,6 +233,7 @@ impl GatewayClient {
             tenant: tenant.to_string(),
             function: function.to_string(),
             deadline_ms,
+            trace,
             input,
         };
         let frame = codec::try_encode_frame(&codec::encode_request(&req))
@@ -227,7 +252,7 @@ impl GatewayClient {
             self.inner.state.lock().pending.remove(&seq);
             return Err(ClientError::Net(e));
         }
-        Ok(seq)
+        Ok((seq, trace.trace_id))
     }
 
     /// Block for a submitted ticket's response. Tickets the server never

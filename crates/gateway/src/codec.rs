@@ -8,6 +8,7 @@
 //! stream (clients may deliver them fragmented or coalesced).
 
 use bytes::{Buf, BufMut};
+use faasm_telemetry::TraceCtx;
 
 use crate::response::{GatewayResponse, GatewayStatus};
 
@@ -30,6 +31,11 @@ pub struct GatewayRequest {
     /// Milliseconds the client is willing to wait in queue; 0 means the
     /// gateway default.
     pub deadline_ms: u64,
+    /// Trace context stamped by the client ([`TraceCtx::NONE`] when the
+    /// caller is not tracing): the gateway adopts it as the root of this
+    /// call's span tree so ingress, dispatch, worker and state spans all
+    /// share one trace id.
+    pub trace: TraceCtx,
     /// Input bytes.
     pub input: Vec<u8>,
 }
@@ -165,6 +171,8 @@ pub fn encode_request(req: &GatewayRequest) -> Vec<u8> {
     put_string(&mut out, &req.tenant);
     put_string(&mut out, &req.function);
     out.put_u64_le(req.deadline_ms);
+    out.put_u64_le(req.trace.trace_id);
+    out.put_u64_le(req.trace.span_id);
     put_blob(&mut out, &req.input);
     out
 }
@@ -177,10 +185,14 @@ pub fn decode_request(mut buf: &[u8]) -> Option<GatewayRequest> {
     let seq = buf.get_u64_le();
     let tenant = get_string(&mut buf)?;
     let function = get_string(&mut buf)?;
-    if buf.remaining() < 8 {
+    if buf.remaining() < 24 {
         return None;
     }
     let deadline_ms = buf.get_u64_le();
+    let trace = TraceCtx {
+        trace_id: buf.get_u64_le(),
+        span_id: buf.get_u64_le(),
+    };
     let input = get_blob(&mut buf)?;
     if buf.has_remaining() {
         return None;
@@ -190,6 +202,7 @@ pub fn decode_request(mut buf: &[u8]) -> Option<GatewayRequest> {
         tenant,
         function,
         deadline_ms,
+        trace,
         input,
     })
 }
@@ -293,6 +306,7 @@ mod tests {
             tenant: "alice".into(),
             function: "double".into(),
             deadline_ms: 250,
+            trace: TraceCtx::NONE,
             input: vec![1, 2, 3, 4],
         }
     }
@@ -301,6 +315,23 @@ mod tests {
     fn request_roundtrip() {
         let r = req();
         assert_eq!(decode_request(&encode_request(&r)), Some(r));
+        // A traced request carries its context across the wire untouched.
+        let traced = GatewayRequest {
+            trace: TraceCtx {
+                trace_id: 0x5EED,
+                span_id: 0xF00D,
+            },
+            ..req()
+        };
+        assert_eq!(decode_request(&encode_request(&traced)), Some(traced));
+    }
+
+    #[test]
+    fn truncated_requests_rejected() {
+        let good = encode_request(&req());
+        for cut in 1..good.len() {
+            assert!(decode_request(&good[..cut]).is_none(), "cut {cut}");
+        }
     }
 
     #[test]

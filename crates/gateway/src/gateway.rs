@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use faasm_core::{Cluster, FaasmInstance, GatewayMetrics, PendingMap, PlacedCall};
 use faasm_net::TokenBucket;
+use faasm_telemetry::{Recorder, SpanKind, TraceCtx};
 use parking_lot::{Condvar, Mutex};
 
 use crate::autoscale::{spread_prewarm, tier_scale_wanted, AutoscaleConfig};
@@ -79,6 +80,13 @@ const CAP_SCALE_STEP: u64 = CAP_SCALE_ONE / 32;
 
 /// How often the AIMD loop re-evaluates the EWMA.
 const ADJUST_EVERY: Duration = Duration::from_millis(10);
+
+/// The gateway tier's flight recorder, fetched once: `tier()` takes a
+/// registry lock, which the admission path must not pay per request.
+fn gw_recorder() -> &'static Arc<Recorder> {
+    static RECORDER: std::sync::OnceLock<Arc<Recorder>> = std::sync::OnceLock::new();
+    RECORDER.get_or_init(|| faasm_telemetry::tier("gateway"))
+}
 
 /// A remote waiter's completion hook, invoked exactly once with the
 /// terminal response (outside the completion lock).
@@ -255,6 +263,36 @@ impl Gateway {
         self.inner.submit(tenant, function, input, deadline)
     }
 
+    /// Submit under a fresh trace root and return `(ticket, trace_id)`:
+    /// after the call completes, `faasm_telemetry::trace_tree(trace_id)`
+    /// holds its admission→dispatch→execution→state span tree. This is the
+    /// in-process equivalent of a wire client stamping
+    /// [`GatewayRequest::trace`](crate::GatewayRequest).
+    pub fn submit_traced(&self, tenant: &str, function: &str, input: Vec<u8>) -> (u64, u64) {
+        let root = TraceCtx::new_root();
+        let ticket = self.inner.submit_with(
+            tenant,
+            function,
+            input,
+            self.inner.config.default_deadline,
+            None,
+            root,
+        );
+        (ticket, root.trace_id)
+    }
+
+    /// [`Gateway::submit_traced`] + [`Gateway::wait`]: the synchronous
+    /// traced surface. Returns the response and the trace id.
+    pub fn call_traced(
+        &self,
+        tenant: &str,
+        function: &str,
+        input: Vec<u8>,
+    ) -> (GatewayResponse, u64) {
+        let (ticket, trace_id) = self.submit_traced(tenant, function, input);
+        (self.wait(ticket), trace_id)
+    }
+
     /// Block for a submitted request's response.
     pub fn wait(&self, ticket: u64) -> GatewayResponse {
         self.inner
@@ -285,7 +323,14 @@ impl Gateway {
     /// Run a decoded wire request through the gateway.
     pub fn handle_request(&self, req: GatewayRequest) -> GatewayResponse {
         let deadline = self.wire_deadline(&req);
-        let ticket = self.submit_with_deadline(&req.tenant, &req.function, req.input, deadline);
+        let ticket = self.inner.submit_with(
+            &req.tenant,
+            &req.function,
+            req.input,
+            deadline,
+            None,
+            req.trace,
+        );
         let mut resp = self.wait(ticket);
         // The wire response echoes the client's sequence number, not the
         // gateway-internal ticket.
@@ -318,6 +363,7 @@ impl Gateway {
                 resp.seq = client_seq;
                 on_complete(resp);
             })),
+            req.trace,
         )
     }
 
@@ -350,7 +396,16 @@ impl Drop for Gateway {
 
 impl Inner {
     fn submit(&self, tenant: &str, function: &str, input: Vec<u8>, deadline: Duration) -> u64 {
-        self.submit_with(tenant, function, input, deadline, None)
+        // Inherit an active trace (a traced caller chaining through the
+        // gateway) or leave it to `submit_with` to mint a fresh root.
+        self.submit_with(
+            tenant,
+            function,
+            input,
+            deadline,
+            None,
+            faasm_telemetry::current(),
+        )
     }
 
     /// Submit with an optional remote completion hook. With `remote: None`
@@ -365,7 +420,17 @@ impl Inner {
         input: Vec<u8>,
         deadline: Duration,
         remote: Option<CompletionFn>,
+        trace: TraceCtx,
     ) -> u64 {
+        // Every admitted request is traced: an untraced submit gets a
+        // fresh root here, at the ingress boundary, so the flight recorder
+        // always holds recent spans to dump on an anomaly.
+        let trace = if trace.is_none() {
+            TraceCtx::new_root()
+        } else {
+            trace
+        };
+        let admit_start_ns = faasm_telemetry::now_ns();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         match remote {
             Some(cb) => self.completions.register_callback(seq, cb),
@@ -401,9 +466,13 @@ impl Inner {
             input,
             enqueued: now,
             deadline: now + deadline,
+            trace,
         };
         match self.queue.push(job, policy.weight, queue_cap) {
-            Ok(()) => self.metrics.record_admitted(),
+            Ok(()) => {
+                self.metrics.record_admitted();
+                gw_recorder().span(SpanKind::Admission, trace, admit_start_ns, seq);
+            }
             Err(job) => {
                 // The request consumed no capacity: give the token back so
                 // a tenant at its queue cap is not also drained of rate
@@ -535,8 +604,17 @@ impl Inner {
             // Multiplicative decrease only under *standing* delay: a high
             // EWMA with nothing queued or in flight is a memory of the
             // last burst, not congestion — decaying it (above) is enough.
-            self.cap_scale
-                .store((scale * 3 / 4).max(CAP_SCALE_MIN), Ordering::Relaxed);
+            let next = (scale * 3 / 4).max(CAP_SCALE_MIN);
+            self.cap_scale.store(next, Ordering::Relaxed);
+            if next < scale {
+                // A shed burst is an anomaly worth a flight-recorder dump:
+                // the spans leading into it show which tenants' sojourn
+                // times pushed the EWMA over target.
+                gw_recorder().note_anomaly(&format!(
+                    "admission cap shrink to {next}/{CAP_SCALE_ONE} (dispatch ewma {} us over target)",
+                    ewma / 1_000,
+                ));
+            }
         } else if ewma < target / 2 {
             self.cap_scale.store(
                 (scale + CAP_SCALE_STEP).min(CAP_SCALE_ONE),
@@ -649,6 +727,14 @@ impl Inner {
                 }
                 let queued_ns = now.duration_since(job.enqueued).as_nanos() as u64;
                 self.metrics.record_queue_delay_ns(queued_ns);
+                // The sojourn span's start is reconstructed from the queue
+                // delay: enqueue happened `queued_ns` before this drain.
+                gw_recorder().span(
+                    SpanKind::QueueSojourn,
+                    job.trace,
+                    faasm_telemetry::now_ns().saturating_sub(queued_ns),
+                    0,
+                );
                 // The admission back-pressure signal is CoDel's sojourn
                 // time — how long the job stood in the queue before
                 // dispatch — NOT service time: a merely slow function on
@@ -667,11 +753,21 @@ impl Inner {
                 continue;
             }
             self.metrics.record_batch(dispatched);
+            let dispatch_start_ns = faasm_telemetry::now_ns();
             for (_, (inst, jobs)) in groups {
+                let group_size = jobs.len() as u64;
                 let calls: Vec<PlacedCall> = jobs
                     .into_iter()
                     .map(|job| {
                         let seq = job.seq;
+                        // Dispatch span: grouping + batch-submit cost, with
+                        // the realised group width in `extra`.
+                        gw_recorder().span(
+                            SpanKind::Dispatch,
+                            job.trace,
+                            dispatch_start_ns,
+                            group_size,
+                        );
                         // Weak: completion slots at the instance must not
                         // keep the gateway (and through it the cluster)
                         // alive in a cycle.
@@ -680,6 +776,7 @@ impl Inner {
                             user: job.tenant,
                             function: job.function,
                             input: job.input,
+                            trace: job.trace,
                             on_complete: Box::new(move |result| {
                                 let Some(inner) = inner.upgrade() else {
                                     return;

@@ -12,6 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use faasm_telemetry::TraceCtx;
 use parking_lot::{Condvar, Mutex};
 
 /// One queued request, from admission to dispatch.
@@ -29,6 +30,8 @@ pub struct Job {
     pub enqueued: Instant,
     /// Shed with `Expired` if still queued past this instant.
     pub deadline: Instant,
+    /// The call's trace context (minted or adopted at admission).
+    pub trace: TraceCtx,
 }
 
 #[derive(Debug, Default)]
@@ -88,6 +91,9 @@ impl FairQueue {
     /// # Errors
     ///
     /// The rejected job.
+    // The Err payload IS the job handed back to the caller for shedding —
+    // a Box would just make the accept path pay the allocation instead.
+    #[allow(clippy::result_large_err)]
     pub fn push(&self, job: Job, weight: u32, queue_cap: usize) -> Result<(), Job> {
         let mut inner = self.inner.lock();
         // Decide admission before touching any state: a rejected push must
@@ -281,6 +287,7 @@ mod tests {
             input: Vec::new(),
             enqueued: Instant::now(),
             deadline: Instant::now() + Duration::from_secs(60),
+            trace: TraceCtx::NONE,
         }
     }
 

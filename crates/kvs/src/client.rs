@@ -6,9 +6,9 @@ use std::time::Duration;
 use faasm_net::{HostId, NetError, Nic};
 
 use crate::codec::{
-    decode_request_epoch, decode_response, encode_request_at, Request, Response, EPOCH_ANY,
+    decode_request_traced, decode_response, encode_request_at, Request, Response, EPOCH_ANY,
 };
-use crate::server::apply_routed;
+use crate::server::apply_traced;
 use crate::store::{KvStore, LockMode, ShardStats};
 
 static NEXT_OWNER: AtomicU64 = AtomicU64::new(1);
@@ -148,9 +148,10 @@ impl KvClient {
             Transport::Local(store) => {
                 // Keep the codec on the path so local mode measures the same
                 // serialisation costs as remote mode, minus the fabric.
-                let (req, epoch) = decode_request_epoch(&encode_request_at(req, self.epoch))
-                    .map_err(|_| KvError::Protocol)?;
-                Ok(apply_routed(store, None, req, epoch))
+                let (req, epoch, trace) =
+                    decode_request_traced(&encode_request_at(req, self.epoch))
+                        .map_err(|_| KvError::Protocol)?;
+                Ok(apply_traced(store, None, req, epoch, trace))
             }
         }
     }

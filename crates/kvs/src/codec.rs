@@ -6,6 +6,7 @@
 //! charges serialisation and transfer to the platform, §2.1).
 
 use bytes::{Buf, BufMut};
+use faasm_telemetry::TraceCtx;
 
 use crate::store::{KeyMigration, LockMigration, LockMode, ShardStats};
 
@@ -463,12 +464,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     encode_request_at(req, EPOCH_ANY)
 }
 
-/// Encode a request for the wire, stamped with the client's routing epoch.
-/// Every request carries the epoch so a shard can recognise stale routing
-/// at a glance (and skip the per-key ownership hash when epochs match).
+/// Encode a request for the wire, stamped with the client's routing epoch
+/// and the calling thread's active trace context ([`faasm_telemetry::current`]) —
+/// so a Faaslet's state I/O carries its ingress call's trace to the shard
+/// without any per-call-site plumbing.
 pub fn encode_request_at(req: &Request, epoch: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(40 + request_payload_len(req));
+    encode_request_traced(req, epoch, faasm_telemetry::current())
+}
+
+/// Encode a request for the wire, stamped with the client's routing epoch
+/// and an explicit trace context. Every request carries the epoch so a
+/// shard can recognise stale routing at a glance (and skip the per-key
+/// ownership hash when epochs match); the trace context lets the shard
+/// parent its apply spans under the ingress call that caused the work.
+pub fn encode_request_traced(req: &Request, epoch: u64, trace: TraceCtx) -> Vec<u8> {
+    let mut out = Vec::with_capacity(56 + request_payload_len(req));
     out.put_u64_le(epoch);
+    out.put_u64_le(trace.trace_id);
+    out.put_u64_le(trace.span_id);
     match req {
         Request::Get { key } => {
             out.put_u8(0);
@@ -594,16 +607,31 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
     decode_request_epoch(buf).map(|(req, _)| req)
 }
 
-/// Decode a request together with the client's routing epoch.
+/// Decode a request together with the client's routing epoch, discarding
+/// the trace context.
 ///
 /// # Errors
 ///
 /// Returns [`CodecError`] on malformed input.
-pub fn decode_request_epoch(mut buf: &[u8]) -> Result<(Request, u64), CodecError> {
-    if buf.remaining() < 8 {
+pub fn decode_request_epoch(buf: &[u8]) -> Result<(Request, u64), CodecError> {
+    decode_request_traced(buf).map(|(req, epoch, _)| (req, epoch))
+}
+
+/// Decode a request together with the client's routing epoch and trace
+/// context.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input.
+pub fn decode_request_traced(mut buf: &[u8]) -> Result<(Request, u64, TraceCtx), CodecError> {
+    if buf.remaining() < 24 {
         return Err(CodecError("truncated epoch".into()));
     }
     let epoch = buf.get_u64_le();
+    let trace = TraceCtx {
+        trace_id: buf.get_u64_le(),
+        span_id: buf.get_u64_le(),
+    };
     if buf.is_empty() {
         return Err(CodecError("empty request".into()));
     }
@@ -748,7 +776,7 @@ pub fn decode_request_epoch(mut buf: &[u8]) -> Result<(Request, u64), CodecError
     if buf.has_remaining() {
         return Err(CodecError("trailing bytes in request".into()));
     }
-    Ok((req, epoch))
+    Ok((req, epoch, trace))
 }
 
 /// Encode a response for the wire.
@@ -759,7 +787,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Spans(Some(runs)) => runs.iter().map(|r| r.len() + 4).sum(),
         Response::Err(msg) => msg.len(),
         Response::Handoff(entries) => entries.iter().map(entry_payload_len).sum(),
-        Response::Stats(_) => 56,
+        Response::Stats(_) => 80,
         _ => 0,
     };
     let mut out = Vec::with_capacity(16 + payload);
@@ -815,7 +843,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(stats.reads);
             out.put_u64_le(stats.writes);
             out.put_u64_le(stats.lock_ops);
-            out.put_u64_le(stats.wrong_epoch);
+            out.put_u64_le(stats.wrong_epoch_redirects);
+            out.put_u64_le(stats.freeze_wait_ns);
+            out.put_u64_le(stats.batched_ops);
+            out.put_u64_le(stats.batched_items);
         }
         Response::Handoff(entries) => {
             out.put_u8(13);
@@ -894,7 +925,7 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
             }
         }
         12 => {
-            if buf.remaining() < 56 {
+            if buf.remaining() < 80 {
                 return Err(CodecError("truncated stats".into()));
             }
             Response::Stats(ShardStats {
@@ -904,7 +935,10 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
                 reads: buf.get_u64_le(),
                 writes: buf.get_u64_le(),
                 lock_ops: buf.get_u64_le(),
-                wrong_epoch: buf.get_u64_le(),
+                wrong_epoch_redirects: buf.get_u64_le(),
+                freeze_wait_ns: buf.get_u64_le(),
+                batched_ops: buf.get_u64_le(),
+                batched_items: buf.get_u64_le(),
             })
         }
         13 => Response::Handoff(get_entries(&mut buf)?),
@@ -1051,7 +1085,10 @@ mod tests {
                 reads: 100,
                 writes: 50,
                 lock_ops: 5,
-                wrong_epoch: 2,
+                wrong_epoch_redirects: 2,
+                freeze_wait_ns: 1_500_000,
+                batched_ops: 12,
+                batched_items: 480,
             }),
             Response::Handoff(migration_entries()),
         ]
@@ -1069,7 +1106,33 @@ mod tests {
                 (req.clone(), 17),
                 "epoch-stamped {req:?}"
             );
+            // So does the trace context.
+            let trace = TraceCtx {
+                trace_id: 0xDEAD_BEEF,
+                span_id: 0xCAFE,
+            };
+            let bytes = encode_request_traced(&req, 17, trace);
+            assert_eq!(
+                decode_request_traced(&bytes).unwrap(),
+                (req.clone(), 17, trace),
+                "trace-stamped {req:?}"
+            );
         }
+    }
+
+    #[test]
+    fn thread_local_trace_is_stamped() {
+        let ctx = TraceCtx::new_root();
+        let guard = faasm_telemetry::set_current(ctx);
+        let bytes = encode_request_at(&Request::Get { key: "k".into() }, 3);
+        drop(guard);
+        let (_, epoch, trace) = decode_request_traced(&bytes).unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(trace, ctx);
+        // Outside a traced call the stamp is the untraced sentinel.
+        let bytes = encode_request_at(&Request::Get { key: "k".into() }, 3);
+        let (_, _, trace) = decode_request_traced(&bytes).unwrap();
+        assert!(trace.is_none());
     }
 
     #[test]
@@ -1100,9 +1163,10 @@ mod tests {
         assert!(decode_request(&bytes).is_err());
     }
 
-    /// An epoch-prefixed request frame starting at op `op`.
+    /// An epoch+trace-prefixed request frame starting at op `op`.
     fn raw_request(op: u8) -> Vec<u8> {
         let mut bytes = EPOCH_ANY.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]); // untraced ctx
         bytes.push(op);
         bytes
     }

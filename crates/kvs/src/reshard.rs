@@ -56,6 +56,9 @@ pub fn grow(
     cell: &RoutingCell,
     new_host: HostId,
 ) -> Result<Arc<RoutingTable>, KvError> {
+    // Flight-recorder trigger: snapshot recent shard activity at migration
+    // boundaries, where retry storms and freeze waits cluster.
+    faasm_telemetry::tier("state-shard").note_anomaly("reshard grow begin");
     let old = cell.load();
     let new_epoch = old.epoch + 1;
     let mut hosts = old.hosts.clone();
@@ -98,6 +101,7 @@ pub fn grow(
         epoch: new_epoch,
         hosts,
     });
+    faasm_telemetry::tier("state-shard").note_anomaly("reshard grow commit");
     Ok(cell.load())
 }
 
@@ -112,6 +116,7 @@ pub fn grow(
 /// Returns [`KvError`] when the tier has only one shard, or a shard cannot
 /// be reached mid-protocol (the retiring shard is then rolled back).
 pub fn shrink(coord: &Nic, cell: &RoutingCell) -> Result<(Arc<RoutingTable>, HostId), KvError> {
+    faasm_telemetry::tier("state-shard").note_anomaly("reshard shrink begin");
     let old = cell.load();
     if old.hosts.len() <= 1 {
         return Err(KvError::Server("cannot retire the last state shard".into()));
@@ -160,6 +165,7 @@ pub fn shrink(coord: &Nic, cell: &RoutingCell) -> Result<(Arc<RoutingTable>, Hos
         epoch: new_epoch,
         hosts,
     });
+    faasm_telemetry::tier("state-shard").note_anomaly("reshard shrink commit");
     Ok((cell.load(), retiring))
 }
 

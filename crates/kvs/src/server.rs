@@ -6,11 +6,19 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use faasm_net::{Envelope, Nic, TokenBucket, MSG_HEADER_BYTES};
+use faasm_telemetry::{SpanKind, TraceCtx};
 use parking_lot::RwLock;
 
-use crate::codec::{decode_request_epoch, encode_response, Request, Response};
+use crate::codec::{decode_request_traced, encode_response, Request, Response};
 use crate::sharded::shard_index_for;
 use crate::store::KvStore;
+
+/// The state tier's telemetry recorder (shared by every shard server in the
+/// process; cached so the hot path never touches the registry lock).
+fn shard_recorder() -> &'static Arc<faasm_telemetry::Recorder> {
+    static REC: std::sync::OnceLock<Arc<faasm_telemetry::Recorder>> = std::sync::OnceLock::new();
+    REC.get_or_init(|| faasm_telemetry::tier("state-shard"))
+}
 
 #[derive(Debug, Clone, Copy)]
 struct RouteState {
@@ -41,6 +49,9 @@ pub struct ShardRouting {
     /// *after* the export snapshot — an acknowledged write silently lost.
     gate: RwLock<()>,
     wrong_epoch: AtomicU64,
+    /// Total ns keyed requests spent blocked on `gate` while a migration
+    /// held the write side (the freeze cost clients actually observed).
+    freeze_wait: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardRouting {
@@ -68,6 +79,7 @@ impl ShardRouting {
             }),
             gate: RwLock::new(()),
             wrong_epoch: AtomicU64::new(0),
+            freeze_wait: AtomicU64::new(0),
         })
     }
 
@@ -89,6 +101,12 @@ impl ShardRouting {
     /// Keyed requests rejected with `WrongEpoch` so far.
     pub fn wrong_epoch_count(&self) -> u64 {
         self.wrong_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Total ns keyed requests have spent blocked on the migration freeze
+    /// gate.
+    pub fn freeze_wait_ns(&self) -> u64 {
+        self.freeze_wait.load(Ordering::Relaxed)
     }
 
     /// Ownership check for one keyed request: `None` when this shard owns
@@ -261,8 +279,8 @@ fn serve_one(
     env: Envelope,
     shaper: Option<&TokenBucket>,
 ) {
-    let resp = match decode_request_epoch(&env.payload) {
-        Ok((req, epoch)) => apply_routed(store, routing, req, epoch),
+    let resp = match decode_request_traced(&env.payload) {
+        Ok((req, epoch, trace)) => apply_traced(store, routing, req, epoch, trace),
         Err(e) => Response::Err(e.to_string()),
     };
     // One-way requests (fire-and-forget writes) carry no reply tag.
@@ -365,6 +383,20 @@ pub fn apply_routed(
     req: Request,
     client_epoch: u64,
 ) -> Response {
+    apply_traced(store, routing, req, client_epoch, TraceCtx::NONE)
+}
+
+/// [`apply_routed`] with the request's decoded trace context: a traced
+/// keyed op records a [`SpanKind::ShardApply`] span (parented under the
+/// client's stamp) covering freeze-gate wait + ownership check + apply, so
+/// the state tier appears in the ingress call's span tree.
+pub fn apply_traced(
+    store: &KvStore,
+    routing: Option<&ShardRouting>,
+    req: Request,
+    client_epoch: u64,
+    trace: TraceCtx,
+) -> Response {
     let Some(routing) = routing else {
         return apply(store, req);
     };
@@ -372,7 +404,8 @@ pub fn apply_routed(
         Request::Stats => {
             let mut stats = store.stats();
             stats.epoch = routing.epoch();
-            stats.wrong_epoch = routing.wrong_epoch_count();
+            stats.wrong_epoch_redirects = routing.wrong_epoch_count();
+            stats.freeze_wait_ns = routing.freeze_wait_ns();
             Response::Stats(stats)
         }
         Request::Migrate { epoch, shard_count } => {
@@ -403,15 +436,30 @@ pub fn apply_routed(
             Response::Ok
         }
         req => {
+            let entered_ns = faasm_telemetry::now_ns();
             // Read side of the gate: the ownership check and the store
             // apply are atomic with respect to a concurrent freeze.
-            let _serving = routing.gate.read();
+            let serving = routing.gate.try_read().unwrap_or_else(|| {
+                // Contended: a migration holds the write side. Account the
+                // block so `figures shards` can show the freeze cost.
+                let g = routing.gate.read();
+                routing.freeze_wait.fetch_add(
+                    faasm_telemetry::now_ns().saturating_sub(entered_ns),
+                    Ordering::Relaxed,
+                );
+                g
+            });
             if let Some(key) = req.key() {
                 if let Some((epoch, shard_count)) = routing.check(key, client_epoch) {
                     return Response::WrongEpoch { epoch, shard_count };
                 }
             }
-            apply(store, req)
+            let resp = apply(store, req);
+            drop(serving);
+            if !trace.is_none() {
+                shard_recorder().span(SpanKind::ShardApply, trace, entered_ns, 0);
+            }
+            resp
         }
     }
 }

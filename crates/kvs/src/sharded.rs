@@ -21,10 +21,19 @@ use std::time::Duration;
 use faasm_net::{HostId, Nic};
 use parking_lot::RwLock;
 
+use faasm_telemetry::SpanKind;
+
 use crate::backend::KvBackend;
 use crate::client::{KvClient, KvError};
 use crate::codec::{Request, Response, EPOCH_ANY};
 use crate::store::{LockMode, ShardStats};
+
+/// The sharded client's telemetry recorder (cached; see
+/// [`faasm_telemetry::tier`]).
+fn client_recorder() -> &'static Arc<faasm_telemetry::Recorder> {
+    static REC: std::sync::OnceLock<Arc<faasm_telemetry::Recorder>> = std::sync::OnceLock::new();
+    REC.get_or_init(|| faasm_telemetry::tier("kvs-client"))
+}
 
 /// One immutable version of the tier's routing: which fabric hosts serve
 /// which shard index, stamped with the epoch that produced it.
@@ -332,12 +341,26 @@ impl ShardedKvClient {
             let client = &set.clients[shard_index_for(key, set.clients.len())];
             match op(client) {
                 Err(KvError::WrongEpoch { epoch, shard_count }) => {
-                    self.wait_for_epoch(
+                    // The park+retry is a first-class latency stage: record
+                    // it as a span under the caller's active trace so epoch
+                    // storms show up in the ingress call's tree.
+                    let parked_ns = faasm_telemetry::now_ns();
+                    let outcome = self.wait_for_epoch(
                         epoch,
                         &mut attempt,
                         &mut waited,
                         KvError::WrongEpoch { epoch, shard_count },
-                    )?;
+                    );
+                    let ctx = faasm_telemetry::current();
+                    if !ctx.is_none() {
+                        client_recorder().span(
+                            SpanKind::WrongEpochRetry,
+                            ctx,
+                            parked_ns,
+                            u64::from(attempt),
+                        );
+                    }
+                    outcome?;
                 }
                 Err(KvError::Net(e)) => {
                     let newer = match &self.source {

@@ -85,8 +85,16 @@ pub struct ShardStats {
     pub writes: u64,
     /// Lock ops served (try_lock / unlock).
     pub lock_ops: u64,
-    /// Keyed requests rejected because this shard does not own the key.
-    pub wrong_epoch: u64,
+    /// Keyed requests rejected because this shard does not own the key —
+    /// the retry-pressure signal during migrations.
+    pub wrong_epoch_redirects: u64,
+    /// Total ns keyed requests spent blocked on the migration freeze gate.
+    pub freeze_wait_ns: u64,
+    /// Batched requests served (`MultiGetRange` / `MultiSetRange` calls).
+    pub batched_ops: u64,
+    /// Items carried by those batched requests (spans read + ranges
+    /// written); `batched_items / batched_ops` is the realised batch width.
+    pub batched_items: u64,
 }
 
 /// A sharded in-memory key-value store with global locks.
@@ -99,6 +107,8 @@ pub struct KvStore {
     reads: AtomicU64,
     writes: AtomicU64,
     lock_ops: AtomicU64,
+    batched_ops: AtomicU64,
+    batched_items: AtomicU64,
 }
 
 impl Default for KvStore {
@@ -121,6 +131,8 @@ impl KvStore {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             lock_ops: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+            batched_items: AtomicU64::new(0),
         }
     }
 
@@ -139,6 +151,12 @@ impl KvStore {
 
     fn count_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_batch(&self, items: usize) {
+        self.batched_ops.fetch_add(1, Ordering::Relaxed);
+        self.batched_items
+            .fetch_add(items as u64, Ordering::Relaxed);
     }
 
     /// Get a value.
@@ -186,6 +204,7 @@ impl KvStore {
     /// [`KvStore::get_range`] where the value is shorter.
     pub fn multi_get_range(&self, key: &str, spans: &[(u64, u64)]) -> Option<Vec<Vec<u8>>> {
         self.count_read();
+        self.count_batch(spans.len());
         let shard = self.shard(key).lock();
         let v = shard.values.get(key)?;
         Some(
@@ -208,6 +227,7 @@ impl KvStore {
     /// Writes land in order, so overlapping ranges resolve last-writer-wins.
     pub fn multi_set_range(&self, key: &str, writes: &[(u64, Vec<u8>)]) {
         self.count_write();
+        self.count_batch(writes.len());
         if writes.is_empty() {
             return;
         }
@@ -462,7 +482,10 @@ impl KvStore {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             lock_ops: self.lock_ops.load(Ordering::Relaxed),
-            wrong_epoch: 0,
+            wrong_epoch_redirects: 0,
+            freeze_wait_ns: 0,
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            batched_items: self.batched_items.load(Ordering::Relaxed),
         }
     }
 

@@ -24,4 +24,7 @@ pub use types::{
     decode_call, decode_result, encode_call, encode_result, CallId, CallResult, CallSpec,
     CallStatus,
 };
+// Re-exported so consumers building `CallSpec`s can name the trace context
+// without depending on the telemetry crate directly.
+pub use types::TraceCtx;
 pub use warm::WarmSets;

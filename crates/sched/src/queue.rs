@@ -77,6 +77,7 @@ mod tests {
             user: "u".into(),
             function: "f".into(),
             input: vec![],
+            trace: crate::types::TraceCtx::NONE,
         }
     }
 

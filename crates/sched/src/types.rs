@@ -1,6 +1,7 @@
 //! Function-call types shared by the scheduler, runtime and message bus.
 
 use bytes::{Buf, BufMut};
+pub use faasm_telemetry::TraceCtx;
 
 /// A unique call identifier, as returned by `chain_call` (Tab. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,6 +25,10 @@ pub struct CallSpec {
     /// Input data as a byte array — the generic, language-agnostic
     /// interface of §3.2.
     pub input: Vec<u8>,
+    /// The ingress call's trace context ([`TraceCtx::NONE`] for untraced
+    /// calls): rides the call across forwards and batch dispatch so every
+    /// tier's spans link back to one trace.
+    pub trace: TraceCtx,
 }
 
 /// Terminal status of a call.
@@ -82,6 +87,8 @@ impl CallResult {
 pub fn encode_call(call: &CallSpec) -> Vec<u8> {
     let mut out = Vec::new();
     out.put_u64_le(call.id.0);
+    out.put_u64_le(call.trace.trace_id);
+    out.put_u64_le(call.trace.span_id);
     out.put_u32_le(call.user.len() as u32);
     out.put_slice(call.user.as_bytes());
     out.put_u32_le(call.function.len() as u32);
@@ -93,10 +100,14 @@ pub fn encode_call(call: &CallSpec) -> Vec<u8> {
 
 /// Decode a call spec from the fabric.
 pub fn decode_call(mut buf: &[u8]) -> Option<CallSpec> {
-    if buf.remaining() < 8 {
+    if buf.remaining() < 24 {
         return None;
     }
     let id = CallId(buf.get_u64_le());
+    let trace = TraceCtx {
+        trace_id: buf.get_u64_le(),
+        span_id: buf.get_u64_le(),
+    };
     let user = get_string(&mut buf)?;
     let function = get_string(&mut buf)?;
     let input = get_blob(&mut buf)?;
@@ -108,6 +119,7 @@ pub fn decode_call(mut buf: &[u8]) -> Option<CallSpec> {
         user,
         function,
         input,
+        trace,
     })
 }
 
@@ -187,8 +199,18 @@ mod tests {
             user: "alice".into(),
             function: "sgd_main".into(),
             input: vec![1, 2, 3],
+            trace: TraceCtx::NONE,
         };
-        assert_eq!(decode_call(&encode_call(&call)), Some(call));
+        assert_eq!(decode_call(&encode_call(&call)), Some(call.clone()));
+        // A traced call carries its context across the fabric untouched.
+        let traced = CallSpec {
+            trace: TraceCtx {
+                trace_id: 7,
+                span_id: 9,
+            },
+            ..call
+        };
+        assert_eq!(decode_call(&encode_call(&traced)), Some(traced));
     }
 
     #[test]
@@ -231,6 +253,7 @@ mod tests {
             user: "u".into(),
             function: "f".into(),
             input: vec![9; 10],
+            trace: TraceCtx::NONE,
         });
         for cut in 1..good.len() {
             assert!(decode_call(&good[..cut]).is_none(), "cut {cut}");

@@ -10,10 +10,46 @@
 
 use faasm_kvs::{LockMode, SharedKv};
 use faasm_mem::SharedRegion;
+use faasm_telemetry::{Recorder, SpanKind};
 use parking_lot::Mutex;
 
 use crate::error::StateError;
 use crate::rwlock::SyncRwLock;
+
+/// The state tier's flight recorder, fetched once (the `tier()` registry
+/// lock must not sit on the pull/push hot path).
+fn state_recorder() -> &'static std::sync::Arc<Recorder> {
+    static RECORDER: std::sync::OnceLock<std::sync::Arc<Recorder>> = std::sync::OnceLock::new();
+    RECORDER.get_or_init(|| faasm_telemetry::tier("state"))
+}
+
+/// Run one global-tier round trip under its own child span. The span's
+/// context is installed as the thread-local current for the duration, so
+/// KVS requests encoded inside `f` carry it — the shard's `ShardApply`
+/// span (and any `WrongEpochRetry` park) nests under this pull/push span
+/// in the trace tree. Untraced callers pay one thread-local read.
+fn state_span<T>(kind: SpanKind, extra: u64, f: impl FnOnce() -> T) -> T {
+    let parent = faasm_telemetry::current();
+    if parent.is_none() {
+        return f();
+    }
+    let ctx = parent.child();
+    let start_ns = faasm_telemetry::now_ns();
+    let out = {
+        let _tracing = faasm_telemetry::set_current(ctx);
+        f()
+    };
+    state_recorder().record(faasm_telemetry::SpanRecord {
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_id: parent.span_id,
+        kind,
+        start_ns,
+        end_ns: faasm_telemetry::now_ns(),
+        extra,
+    });
+    out
+}
 
 /// Default chunk size: 16 KiB balances pull granularity against per-request
 /// overhead (the paper treats chunks as "smaller independent state values").
@@ -183,7 +219,10 @@ impl StateEntry {
             .iter()
             .map(|&(s, e)| (s as u64, (e - s) as u64))
             .collect();
-        let fetched = self.kv.multi_get_range(&self.key, &wire_spans)?;
+        let pulled_bytes: u64 = wire_spans.iter().map(|&(_, len)| len).sum();
+        let fetched = state_span(SpanKind::StatePull, pulled_bytes, || {
+            self.kv.multi_get_range(&self.key, &wire_spans)
+        })?;
         // Reconcile under the lock: a chunk that became present meanwhile
         // (a concurrent write dirtied it, or another pull landed first)
         // keeps its local bytes — global data fetched before the race
@@ -262,7 +301,10 @@ impl StateEntry {
                 self.region.read(start, &mut buf)?;
                 writes.push((start as u64, buf));
             }
-            self.kv.multi_set_range(&self.key, writes)?;
+            let pushed_bytes: u64 = writes.iter().map(|(_, buf)| buf.len() as u64).sum();
+            state_span(SpanKind::StatePush, pushed_bytes, || {
+                self.kv.multi_set_range(&self.key, writes)
+            })?;
             Ok(())
         })();
         if result.is_err() {
@@ -284,7 +326,9 @@ impl StateEntry {
     pub fn push_full(&self) -> Result<(), StateError> {
         let mut buf = vec![0u8; self.size];
         self.region.read(0, &mut buf)?;
-        self.kv.set(&self.key, buf)?;
+        state_span(SpanKind::StatePush, self.size as u64, || {
+            self.kv.set(&self.key, buf)
+        })?;
         let mut table = self.chunks.lock();
         table.present.iter_mut().for_each(|p| *p = true);
         table.dirty.iter_mut().for_each(|d| *d = false);
@@ -341,7 +385,10 @@ impl StateEntry {
                 self.region.read(offset, &mut buf)?;
                 writes.push((offset as u64, buf));
             }
-            self.kv.multi_set_range(&self.key, writes)?;
+            let pushed_bytes: u64 = writes.iter().map(|(_, buf)| buf.len() as u64).sum();
+            state_span(SpanKind::StatePush, pushed_bytes, || {
+                self.kv.multi_set_range(&self.key, writes)
+            })?;
             Ok(())
         })();
         if result.is_err() {
@@ -443,7 +490,10 @@ impl StateEntry {
     ///
     /// Global-tier errors.
     pub fn append(&self, data: &[u8]) -> Result<u64, StateError> {
-        Ok(self.kv.append(&self.key, data.to_vec())?)
+        let len = data.len() as u64;
+        Ok(state_span(SpanKind::StatePush, len, || {
+            self.kv.append(&self.key, data.to_vec())
+        })?)
     }
 
     /// Read the full current global value, including appended data beyond
@@ -453,8 +503,10 @@ impl StateEntry {
     ///
     /// Global-tier errors; [`StateError::NotFound`] if the key is absent.
     pub fn read_appended(&self) -> Result<Vec<u8>, StateError> {
-        self.kv.get(&self.key)?.ok_or_else(|| StateError::NotFound {
-            key: self.key.clone(),
+        state_span(SpanKind::StatePull, 0, || self.kv.get(&self.key))?.ok_or_else(|| {
+            StateError::NotFound {
+                key: self.key.clone(),
+            }
         })
     }
 
@@ -484,7 +536,9 @@ impl StateEntry {
     ///
     /// Global-tier errors.
     pub fn lock_global_read(&self) -> Result<(), StateError> {
-        Ok(self.kv.lock(&self.key, LockMode::Read)?)
+        Ok(state_span(SpanKind::LockWait, 0, || {
+            self.kv.lock(&self.key, LockMode::Read)
+        })?)
     }
 
     /// Release the global read lock.
@@ -502,7 +556,9 @@ impl StateEntry {
     ///
     /// Global-tier errors.
     pub fn lock_global_write(&self) -> Result<(), StateError> {
-        Ok(self.kv.lock(&self.key, LockMode::Write)?)
+        Ok(state_span(SpanKind::LockWait, 1, || {
+            self.kv.lock(&self.key, LockMode::Write)
+        })?)
     }
 
     /// Release the global write lock.

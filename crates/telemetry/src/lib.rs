@@ -1,0 +1,748 @@
+//! End-to-end tracing and telemetry for the FAASM reproduction.
+//!
+//! One ingress call yields a causally-linked span tree across every tier it
+//! touches: the gateway stamps a root [`TraceCtx`] on the wire, the runtime
+//! derives child contexts per stage, and the state tier reads the context
+//! straight off the KVS request header. Spans land in two sinks:
+//!
+//! * **Histograms** — per-[`SpanKind`] lock-free log2-bucket [`Hist`]s with
+//!   fixed memory (64 atomic buckets), cheap enough to stay on in benches.
+//! * **Flight recorder** — a bounded per-tier ring of recent [`SpanRecord`]s
+//!   ([`Recorder`]), dumpable on anomaly triggers and merged cluster-wide by
+//!   trace id ([`trace_tree`]).
+//!
+//! The crate sits at the bottom of the workspace dependency graph (below
+//! `faasm-kvs`) so every tier can record without new plumbing: tiers obtain
+//! their recorder from the process-global registry ([`tier`]) and worker
+//! threads publish the active context through a thread-local
+//! ([`set_current`] / [`current`]) so deep layers (state chunks, the KVS
+//! client) can stamp requests without signature churn.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+// ---------------------------------------------------------------------------
+// Trace context
+// ---------------------------------------------------------------------------
+
+/// A compact trace context carried on every wire format: which ingress call
+/// this work belongs to (`trace_id`) and the span it is causally nested
+/// under (`span_id`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The ingress call's trace, 0 = untraced.
+    pub trace_id: u64,
+    /// The enclosing span (the parent for spans recorded under this ctx).
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The untraced sentinel (what untouched wire paths carry).
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Whether this context traces anything.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// A fresh root context: new trace id, new root span id.
+    pub fn new_root() -> TraceCtx {
+        TraceCtx {
+            trace_id: next_id(),
+            span_id: next_id(),
+        }
+    }
+
+    /// A child context under `self`: same trace, fresh span id. Returns
+    /// `NONE` for `NONE` so untraced calls never fabricate spans.
+    pub fn child(&self) -> TraceCtx {
+        if self.is_none() {
+            return TraceCtx::NONE;
+        }
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: next_id(),
+        }
+    }
+}
+
+/// Globally-unique non-zero id: a process-wide counter passed through
+/// splitmix64 so ids from concurrent traces don't cluster.
+fn next_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let raw = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut z = raw.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 0 is the untraced sentinel; remap the (1-in-2^64) collision.
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local current context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: std::cell::Cell<TraceCtx> = const { std::cell::Cell::new(TraceCtx::NONE) };
+}
+
+/// The calling thread's active trace context ([`TraceCtx::NONE`] outside a
+/// traced call). Deep layers use this to stamp outgoing KVS requests and to
+/// parent their spans without any signature changes.
+pub fn current() -> TraceCtx {
+    CURRENT.with(std::cell::Cell::get)
+}
+
+/// Install `ctx` as the thread's active context for the guard's lifetime;
+/// the previous context is restored on drop (so chained calls nest).
+pub fn set_current(ctx: TraceCtx) -> CtxGuard {
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    CtxGuard { prev }
+}
+
+/// Restores the previous thread-local context on drop.
+#[must_use = "dropping the guard immediately restores the previous context"]
+pub struct CtxGuard {
+    prev: TraceCtx,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clock and enablement
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds since the process-wide telemetry epoch. Monotone across all
+/// tiers (everything shares one process), so span timestamps from different
+/// hosts order correctly in a merged tree.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether span recording is on. Wire formats always carry the context —
+/// only the recording sinks are gated, so toggling cannot skew codecs.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Toggle span recording (benches measure the on/off throughput delta).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Span taxonomy
+// ---------------------------------------------------------------------------
+
+/// The per-stage span taxonomy: each variant is one histogram and one kind
+/// of flight-recorder entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Gateway admission: policy + token bucket + enqueue.
+    Admission = 0,
+    /// Time a job sat in its tenant queue before a dispatcher drained it.
+    QueueSojourn = 1,
+    /// Dispatch grouping: drain → per-host batches handed to the bus.
+    Dispatch = 2,
+    /// Message-bus transit: batch encode/send → instance bus loop decode.
+    BusTransit = 3,
+    /// Worker execution (the Faaslet run itself).
+    WorkerExec = 4,
+    /// State pull round-trip (global tier → local tier).
+    StatePull = 5,
+    /// State push round-trip (local tier → global tier).
+    StatePush = 6,
+    /// Global lock wait (acquire latency, not hold time).
+    LockWait = 7,
+    /// `WrongEpoch` park + retry at the sharded KVS client.
+    WrongEpochRetry = 8,
+    /// Server-side apply of one routed keyed op at a state shard.
+    ShardApply = 9,
+}
+
+/// Number of span kinds (histogram array size).
+pub const SPAN_KINDS: usize = 10;
+
+impl SpanKind {
+    /// All kinds, in wire order.
+    pub const ALL: [SpanKind; SPAN_KINDS] = [
+        SpanKind::Admission,
+        SpanKind::QueueSojourn,
+        SpanKind::Dispatch,
+        SpanKind::BusTransit,
+        SpanKind::WorkerExec,
+        SpanKind::StatePull,
+        SpanKind::StatePush,
+        SpanKind::LockWait,
+        SpanKind::WrongEpochRetry,
+        SpanKind::ShardApply,
+    ];
+
+    /// Stable display name (also the JSON key).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Admission => "admission",
+            SpanKind::QueueSojourn => "queue_sojourn",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::BusTransit => "bus_transit",
+            SpanKind::WorkerExec => "worker_exec",
+            SpanKind::StatePull => "state_pull",
+            SpanKind::StatePush => "state_push",
+            SpanKind::LockWait => "lock_wait",
+            SpanKind::WrongEpochRetry => "wrong_epoch_retry",
+            SpanKind::ShardApply => "shard_apply",
+        }
+    }
+}
+
+/// One completed span in the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 = root-parented / no parent in this process).
+    pub parent_id: u64,
+    /// Stage.
+    pub kind: SpanKind,
+    /// Start, ns since the telemetry epoch.
+    pub start_ns: u64,
+    /// End, ns since the telemetry epoch.
+    pub end_ns: u64,
+    /// Kind-specific payload (e.g. retry attempts, bytes moved); 0 if unused.
+    pub extra: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (saturating; clocks are monotone but
+    /// cross-thread stamps may tie).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log2-bucket histogram
+// ---------------------------------------------------------------------------
+
+const BUCKETS: usize = 64;
+
+/// A lock-free, fixed-memory log2-bucket histogram. Bucket `i` counts values
+/// `v` with `bit_len(v) == i` (bucket 0 holds zeros), so the full `u64`
+/// range fits in 64 atomic counters — recording is two relaxed atomic adds
+/// and percentile reads never allocate.
+#[derive(Debug)]
+pub struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist::new()
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros(v)` clamped
+/// into range — i.e. values in `[2^(i-1), 2^i)` share bucket `i`.
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Representative value reported for a bucket (its midpoint), so percentile
+/// estimates sit inside the bucket rather than at its edge.
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        return 0;
+    }
+    let lo = 1u64 << (i - 1);
+    let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+    lo + (hi - lo) / 2
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free: two relaxed adds plus min/max updates.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate percentile (`p` in 0..=100): the midpoint of the bucket
+    /// holding the p-th sample, clamped to the observed min/max so p0/p100
+    /// are exact. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+
+    /// A point-in-time copy (buckets first, then count — a racing `record`
+    /// can make the copy conservative but never inconsistent beyond one
+    /// in-flight sample).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned histogram snapshot: mergeable and readable without atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples (mean = sum / count).
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Log2 bucket counts.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Merge another snapshot into this one (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate percentile — see [`Hist::percentile`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Spans kept in a tier's flight-recorder ring.
+const RING_CAP: usize = 65_536;
+/// Spans captured per anomaly dump (the tail of the ring at trigger time).
+const ANOMALY_TAIL: usize = 256;
+/// Anomaly dumps retained per tier.
+const ANOMALY_CAP: usize = 16;
+
+/// One anomaly-triggered flight-recorder dump.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// When the trigger fired, ns since the telemetry epoch.
+    pub at_ns: u64,
+    /// What fired it (e.g. `"admission cap shrink"`, `"reshard begin"`).
+    pub reason: String,
+    /// The tail of the span ring at trigger time.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// A per-tier telemetry sink: per-kind histograms (always cheap) plus a
+/// bounded ring of recent spans (the flight recorder).
+#[derive(Debug)]
+pub struct Recorder {
+    tier: &'static str,
+    hists: [Hist; SPAN_KINDS],
+    ring: Mutex<VecDeque<SpanRecord>>,
+    anomalies: Mutex<VecDeque<Anomaly>>,
+    dropped: AtomicU64,
+}
+
+impl Recorder {
+    fn new(tier: &'static str) -> Recorder {
+        Recorder {
+            tier,
+            hists: std::array::from_fn(|_| Hist::new()),
+            ring: Mutex::new(VecDeque::with_capacity(1024)),
+            anomalies: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The tier name this recorder was registered under.
+    pub fn tier(&self) -> &'static str {
+        self.tier
+    }
+
+    /// Record a completed span: duration into the kind's histogram, the
+    /// record into the flight-recorder ring (evicting the oldest when
+    /// full — memory stays fixed). No-op while recording is disabled.
+    pub fn record(&self, span: SpanRecord) {
+        if !enabled() {
+            return;
+        }
+        self.hists[span.kind as usize].record(span.duration_ns());
+        if span.trace_id == 0 {
+            return; // untraced work feeds histograms only
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() >= RING_CAP {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// Convenience: record a span that started at `start_ns` and ends now,
+    /// parented under `ctx` with a fresh span id. Returns the span id (the
+    /// caller may have published it to children beforehand via
+    /// [`TraceCtx::child`] — then use [`record`](Self::record) directly).
+    pub fn span(&self, kind: SpanKind, ctx: TraceCtx, start_ns: u64, extra: u64) -> u64 {
+        let child = ctx.child();
+        self.record(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: child.span_id,
+            parent_id: ctx.span_id,
+            kind,
+            start_ns,
+            end_ns: now_ns(),
+            extra,
+        });
+        child.span_id
+    }
+
+    /// The kind's histogram (live; snapshot for coherent reads).
+    pub fn hist(&self, kind: SpanKind) -> &Hist {
+        &self.hists[kind as usize]
+    }
+
+    /// Copy of the current span ring, oldest first.
+    pub fn dump(&self) -> Vec<SpanRecord> {
+        self.ring.lock().iter().copied().collect()
+    }
+
+    /// Spans evicted from the ring since startup.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Anomaly trigger: capture the ring tail under `reason`. Bounded
+    /// (oldest dump evicted past [`ANOMALY_CAP`]).
+    pub fn note_anomaly(&self, reason: &str) {
+        if !enabled() {
+            return;
+        }
+        let ring = self.ring.lock();
+        let tail: Vec<SpanRecord> = ring
+            .iter()
+            .rev()
+            .take(ANOMALY_TAIL)
+            .rev()
+            .copied()
+            .collect();
+        drop(ring);
+        let mut anomalies = self.anomalies.lock();
+        if anomalies.len() >= ANOMALY_CAP {
+            anomalies.pop_front();
+        }
+        anomalies.push_back(Anomaly {
+            at_ns: now_ns(),
+            reason: reason.to_string(),
+            spans: tail,
+        });
+    }
+
+    /// Anomaly dumps captured so far, oldest first.
+    pub fn anomalies(&self) -> Vec<Anomaly> {
+        self.anomalies.lock().iter().cloned().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global tier registry
+// ---------------------------------------------------------------------------
+
+fn registry() -> &'static RwLock<Vec<Arc<Recorder>>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Arc<Recorder>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// The named tier's recorder, created and registered on first use. Tier
+/// names are static so tiers can call this from hot paths without
+/// allocating; repeated calls return the same recorder.
+pub fn tier(name: &'static str) -> Arc<Recorder> {
+    {
+        let reg = registry().read();
+        if let Some(r) = reg.iter().find(|r| r.tier == name) {
+            return Arc::clone(r);
+        }
+    }
+    let mut reg = registry().write();
+    if let Some(r) = reg.iter().find(|r| r.tier == name) {
+        return Arc::clone(r);
+    }
+    let r = Arc::new(Recorder::new(name));
+    reg.push(Arc::clone(&r));
+    r
+}
+
+/// All registered tier recorders.
+pub fn tiers() -> Vec<Arc<Recorder>> {
+    registry().read().iter().map(Arc::clone).collect()
+}
+
+/// Merge every tier's flight recorder and return the spans belonging to
+/// `trace_id`, tagged with their tier and sorted by start time — one call's
+/// causally-linked span tree.
+pub fn trace_tree(trace_id: u64) -> Vec<(&'static str, SpanRecord)> {
+    let mut spans: Vec<(&'static str, SpanRecord)> = Vec::new();
+    for rec in tiers() {
+        for span in rec.dump() {
+            if span.trace_id == trace_id {
+                spans.push((rec.tier(), span));
+            }
+        }
+    }
+    spans.sort_by_key(|(_, s)| (s.start_ns, s.span_id));
+    spans
+}
+
+/// A coherent cluster-wide metrics view: per-tier, per-kind histogram
+/// snapshots taken in one pass.
+pub fn metrics_snapshot() -> Vec<(&'static str, Vec<(SpanKind, HistSnapshot)>)> {
+    tiers()
+        .iter()
+        .map(|rec| {
+            let kinds = SpanKind::ALL
+                .iter()
+                .map(|&k| (k, rec.hist(k).snapshot()))
+                .filter(|(_, s)| s.count > 0)
+                .collect();
+            (rec.tier(), kinds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn child_keeps_trace_id() {
+        let root = TraceCtx::new_root();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+        assert_eq!(TraceCtx::NONE.child(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn thread_local_ctx_nests_and_restores() {
+        assert!(current().is_none());
+        let a = TraceCtx::new_root();
+        let g1 = set_current(a);
+        assert_eq!(current(), a);
+        {
+            let b = a.child();
+            let _g2 = set_current(b);
+            assert_eq!(current(), b);
+        }
+        assert_eq!(current(), a);
+        drop(g1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn hist_percentiles_bracket_samples() {
+        let h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        // Log2 buckets: estimates land within a factor of two of the truth.
+        assert!((250..=1000).contains(&p50), "p50 {p50}");
+        assert!((500..=1000).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.mean(), (1..=1000u64).sum::<u64>() / 1000);
+    }
+
+    #[test]
+    fn hist_extremes_are_exact() {
+        let h = Hist::new();
+        h.record(7);
+        assert_eq!(h.percentile(0.0), 7);
+        assert_eq!(h.percentile(100.0), 7);
+        assert_eq!(h.percentile(50.0), 7);
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let a = Hist::new();
+        let b = Hist::new();
+        a.record(10);
+        b.record(1000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.min, 10);
+        assert_eq!(m.max, 1000);
+    }
+
+    #[test]
+    fn recorder_ring_is_bounded() {
+        let rec = Recorder::new("test-bounded");
+        let ctx = TraceCtx::new_root();
+        for i in 0..(RING_CAP + 100) {
+            rec.record(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: i as u64 + 1,
+                parent_id: ctx.span_id,
+                kind: SpanKind::WorkerExec,
+                start_ns: i as u64,
+                end_ns: i as u64 + 1,
+                extra: 0,
+            });
+        }
+        assert_eq!(rec.dump().len(), RING_CAP);
+        assert_eq!(rec.dropped(), 100);
+        assert_eq!(
+            rec.hist(SpanKind::WorkerExec).count(),
+            (RING_CAP + 100) as u64
+        );
+    }
+
+    #[test]
+    fn trace_tree_merges_across_tiers() {
+        let a = tier("test-tier-a");
+        let b = tier("test-tier-b");
+        let root = TraceCtx::new_root();
+        let id_a = a.span(SpanKind::Admission, root, now_ns(), 0);
+        let child = TraceCtx {
+            trace_id: root.trace_id,
+            span_id: id_a,
+        };
+        b.span(SpanKind::StatePull, child, now_ns(), 0);
+        let tree = trace_tree(root.trace_id);
+        assert_eq!(tree.len(), 2);
+        assert!(tree.iter().all(|(_, s)| s.trace_id == root.trace_id));
+        assert!(tree.iter().any(|(t, _)| *t == "test-tier-a"));
+        assert!(tree.iter().any(|(t, _)| *t == "test-tier-b"));
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let rec = tier("test-tier-disabled");
+        set_enabled(false);
+        rec.span(SpanKind::Dispatch, TraceCtx::new_root(), now_ns(), 0);
+        set_enabled(true);
+        assert_eq!(rec.hist(SpanKind::Dispatch).count(), 0);
+        assert!(rec.dump().is_empty());
+    }
+
+    #[test]
+    fn anomalies_capture_ring_tail() {
+        let rec = tier("test-tier-anomaly");
+        let ctx = TraceCtx::new_root();
+        rec.span(SpanKind::QueueSojourn, ctx, now_ns(), 0);
+        rec.note_anomaly("unit trigger");
+        let an = rec.anomalies();
+        assert_eq!(an.len(), 1);
+        assert_eq!(an[0].reason, "unit trigger");
+        assert!(!an[0].spans.is_empty());
+    }
+}

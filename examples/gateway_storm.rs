@@ -99,6 +99,7 @@ fn main() {
                             tenant: tenant.into(),
                             function: "work".into(),
                             deadline_ms: 2000,
+                            trace: faasm::telemetry::TraceCtx::NONE,
                             input,
                         };
                         let frame = codec::encode_frame(&codec::encode_request(&req));

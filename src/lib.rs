@@ -16,6 +16,7 @@
 //!   weighted-fair batching and warm-pool autoscaling in front of the
 //!   cluster.
 //! * [`net`], [`kvs`], [`vfs`], [`sched`] — the remaining substrates.
+//! * [`telemetry`] — distributed tracing and fixed-memory histograms.
 //! * [`baseline`] — the container-platform baseline ("Knative").
 //! * [`workloads`] — the paper's evaluation workloads.
 //!
@@ -34,6 +35,7 @@ pub use faasm_mem as mem;
 pub use faasm_net as net;
 pub use faasm_sched as sched;
 pub use faasm_state as state;
+pub use faasm_telemetry as telemetry;
 pub use faasm_vfs as vfs;
 pub use faasm_workloads as workloads;
 

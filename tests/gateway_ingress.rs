@@ -81,6 +81,7 @@ fn wire_frames_roundtrip_through_the_gateway() {
         tenant: "alice".into(),
         function: "echo".into(),
         deadline_ms: 0,
+        trace: faasm::telemetry::TraceCtx::NONE,
         input: b"over the wire".to_vec(),
     };
     let frame = codec::encode_frame(&codec::encode_request(&req));

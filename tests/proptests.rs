@@ -4,13 +4,16 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use faasm::core::PendingMap;
+use faasm::core::msg::{decode_msg, encode_msg, InstanceMsg};
+use faasm::core::{CallId, CallSpec, PendingMap};
 use faasm::fvm::{decode_module, encode_module, ObjectModule};
 use faasm::gateway::codec::{self, FrameBuf, GatewayRequest, MAX_FRAME};
 use faasm::gateway::{GatewayResponse, GatewayStatus};
 use faasm::kvs::{self, KvClient, KvStore, ShardedKvClient};
 use faasm::lang;
 use faasm::mem::{LinearMemory, MemorySnapshot, SharedRegion, PAGE_SIZE};
+use faasm::net::HostId;
+use faasm::telemetry::TraceCtx;
 use proptest::prelude::*;
 
 /// Arbitrary printable-ASCII strings (the vendored proptest shim has no
@@ -18,6 +21,28 @@ use proptest::prelude::*;
 fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
     prop::collection::vec(0x20u8..0x7f, 0..max_len.max(1))
         .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+/// A representative sample of KVS request shapes (point ops, range ops and
+/// variable-length payloads) for codec roundtrips.
+fn kvs_request_strategy() -> impl Strategy<Value = kvs::codec::Request> {
+    use kvs::codec::Request;
+    prop_oneof![
+        ascii_string(24).prop_map(|key| Request::Get { key }),
+        (ascii_string(24), prop::collection::vec(any::<u8>(), 0..100))
+            .prop_map(|(key, value)| Request::Set { key, value }),
+        (ascii_string(24), any::<u64>(), any::<u64>())
+            .prop_map(|(key, offset, len)| Request::GetRange { key, offset, len }),
+        (
+            ascii_string(24),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..100)
+        )
+            .prop_map(|(key, offset, data)| Request::SetRange { key, offset, data }),
+        (ascii_string(24), prop::collection::vec(any::<u8>(), 0..100))
+            .prop_map(|(key, data)| Request::Append { key, data }),
+        ascii_string(24).prop_map(|key| Request::Del { key }),
+    ]
 }
 
 fn gateway_status_strategy() -> impl Strategy<Value = GatewayStatus> {
@@ -440,16 +465,19 @@ proptest! {
     }
 
     /// Gateway requests survive the wire codec for arbitrary field values,
-    /// bare and framed.
+    /// bare and framed — including the ingress trace context.
     #[test]
     fn gateway_request_codec_roundtrip(
-        seq in any::<u64>(),
+        // The vendored proptest tops out at 5-tuples, so the u64 fields
+        // share one strategy slot.
+        nums in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         tenant in ascii_string(24),
         function in ascii_string(24),
-        deadline_ms in any::<u64>(),
         input in prop::collection::vec(any::<u8>(), 0..200),
     ) {
-        let req = GatewayRequest { seq, tenant, function, deadline_ms, input };
+        let (seq, deadline_ms, trace_id, span_id) = nums;
+        let trace = TraceCtx { trace_id, span_id };
+        let req = GatewayRequest { seq, tenant, function, deadline_ms, trace, input };
         let payload = codec::encode_request(&req);
         prop_assert_eq!(codec::decode_request(&payload).as_ref(), Some(&req));
         // And through the checked frame path.
@@ -457,6 +485,57 @@ proptest! {
         let (framed, consumed) = codec::decode_frame(&frame).expect("frame decodes");
         prop_assert_eq!(consumed, frame.len());
         prop_assert_eq!(codec::decode_request(framed), Some(req));
+    }
+
+    /// Batched dispatch messages survive the bus codec: every call keeps
+    /// its id, payload and trace context, and the batch send timestamp
+    /// rides along for bus-transit spans.
+    #[test]
+    fn invoke_batch_codec_roundtrip(
+        reply_to in any::<u32>(),
+        sent_at_ns in any::<u64>(),
+        raw_calls in prop::collection::vec(
+            (
+                (any::<u64>(), ascii_string(16), ascii_string(16)),
+                (prop::collection::vec(any::<u8>(), 0..64), any::<u64>(), any::<u64>()),
+            ),
+            0..6,
+        ),
+    ) {
+        let calls: Vec<CallSpec> = raw_calls
+            .into_iter()
+            .map(|((id, user, function), (input, trace_id, span_id))| CallSpec {
+                id: CallId(id),
+                user,
+                function,
+                input,
+                trace: TraceCtx { trace_id, span_id },
+            })
+            .collect();
+        let msg = InstanceMsg::InvokeBatch {
+            calls,
+            reply_to: HostId(reply_to),
+            sent_at_ns,
+        };
+        prop_assert_eq!(decode_msg(&encode_msg(&msg)), Some(msg));
+    }
+
+    /// KVS requests carry the routing epoch and trace context through the
+    /// wire codec unchanged, for every request shape.
+    #[test]
+    fn kvs_request_codec_stamps_epoch_and_trace(
+        req in kvs_request_strategy(),
+        epoch in any::<u64>(),
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+    ) {
+        let trace = TraceCtx { trace_id, span_id };
+        let bytes = kvs::codec::encode_request_traced(&req, epoch, trace);
+        let (got, got_epoch, got_trace) =
+            kvs::codec::decode_request_traced(&bytes).expect("traced request decodes");
+        prop_assert_eq!(got, req);
+        prop_assert_eq!(got_epoch, epoch);
+        prop_assert_eq!(got_trace, trace);
     }
 
     /// Gateway responses survive the wire codec for every status shape.

@@ -195,7 +195,7 @@ fn adding_and_removing_shards_under_chained_state_workload_loses_nothing() {
         .state_shard_stats()
         .unwrap()
         .iter()
-        .map(|s| s.wrong_epoch)
+        .map(|s| s.wrong_epoch_redirects)
         .sum();
     assert!(
         wrong_epoch > 0,

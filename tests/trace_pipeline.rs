@@ -1,0 +1,140 @@
+//! End-to-end tracing: one traced gateway call with state I/O must leave a
+//! causally-linked span tree covering every tier — admission through
+//! dispatch and worker execution down to the sharded state tier and back.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use faasm::core::{Cluster, ClusterConfig, NativeApi, NativeGuest};
+use faasm::gateway::{Gateway, GatewayConfig, GatewayStatus};
+use faasm::telemetry::{SpanKind, SpanRecord};
+
+/// Read-modify-write a shared accumulator and push it: one global-tier
+/// round trip per call, so the trace has state spans to link.
+fn state_guest() -> Arc<dyn NativeGuest> {
+    Arc::new(|api: &mut NativeApi<'_>| {
+        let entry = api.state("trace:acc", 64).map_err(faasm::fvm::Trap::host)?;
+        let mut buf = [0u8; 8];
+        entry.read(0, &mut buf).map_err(faasm::fvm::Trap::host)?;
+        let v = u64::from_le_bytes(buf).wrapping_add(1);
+        entry
+            .write(0, &v.to_le_bytes())
+            .map_err(faasm::fvm::Trap::host)?;
+        entry.push().map_err(faasm::fvm::Trap::host)?;
+        api.write_output(&v.to_le_bytes());
+        Ok(0)
+    })
+}
+
+#[test]
+fn traced_call_leaves_linked_span_tree_across_tiers() {
+    let cluster = Arc::new(Cluster::with_config(ClusterConfig {
+        hosts: 2,
+        state_shards: 2,
+        ..ClusterConfig::default()
+    }));
+    cluster.register_native("tracer", "bump", state_guest(), false);
+    let gw = Gateway::start(Arc::clone(&cluster), GatewayConfig::default());
+
+    let (resp, trace_id) = gw.call_traced("tracer", "bump", vec![1]);
+    assert_eq!(resp.status, GatewayStatus::Ok, "traced call failed");
+    assert_ne!(trace_id, 0, "traced call minted no trace id");
+
+    let spans = faasm::telemetry::trace_tree(trace_id);
+    assert!(!spans.is_empty(), "traced call recorded no spans");
+
+    // Every span belongs to this trace, has an id, and its clock is
+    // monotone (start never after end).
+    for (tier, s) in &spans {
+        assert_eq!(s.trace_id, trace_id, "[{tier}] span from another trace");
+        assert_ne!(s.span_id, 0, "[{tier}] span without an id");
+        assert!(
+            s.start_ns <= s.end_ns,
+            "[{tier}] {:?} span runs backwards: {} > {}",
+            s.kind,
+            s.start_ns,
+            s.end_ns
+        );
+    }
+
+    // The whole pipeline is covered: ingress, queueing, dispatch, bus,
+    // execution, and the state round trip down to the shard server.
+    let kinds: Vec<SpanKind> = spans.iter().map(|(_, s)| s.kind).collect();
+    for kind in [
+        SpanKind::Admission,
+        SpanKind::QueueSojourn,
+        SpanKind::Dispatch,
+        SpanKind::BusTransit,
+        SpanKind::WorkerExec,
+        SpanKind::StatePush,
+        SpanKind::ShardApply,
+    ] {
+        assert!(kinds.contains(&kind), "trace is missing a {kind:?} span");
+    }
+
+    // Parentage is consistent: spans whose parent was recorded start no
+    // earlier than that parent, and spans whose parent was NOT recorded
+    // all hang off the single ingress root context.
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|(_, s)| (s.span_id, s)).collect();
+    let mut root_parents: Vec<u64> = Vec::new();
+    for (tier, s) in &spans {
+        match by_id.get(&s.parent_id) {
+            Some(parent) => assert!(
+                parent.start_ns <= s.start_ns,
+                "[{tier}] {:?} starts before its parent {:?}",
+                s.kind,
+                parent.kind
+            ),
+            None => root_parents.push(s.parent_id),
+        }
+    }
+    root_parents.sort_unstable();
+    root_parents.dedup();
+    assert_eq!(
+        root_parents.len(),
+        1,
+        "top-level spans disagree on the root context: {root_parents:?}"
+    );
+
+    // Causal stage ordering: admission precedes dispatch, dispatch
+    // precedes execution, and the state round trip happens inside the
+    // worker's span.
+    let first = |kind: SpanKind| -> &SpanRecord {
+        spans
+            .iter()
+            .map(|(_, s)| s)
+            .filter(|s| s.kind == kind)
+            .min_by_key(|s| s.start_ns)
+            .unwrap()
+    };
+    let admission = first(SpanKind::Admission);
+    let dispatch = first(SpanKind::Dispatch);
+    let worker = first(SpanKind::WorkerExec);
+    let push = first(SpanKind::StatePush);
+    assert!(
+        admission.start_ns <= dispatch.start_ns,
+        "dispatch before admission"
+    );
+    assert!(
+        dispatch.start_ns <= worker.start_ns,
+        "execution before dispatch"
+    );
+    assert!(
+        worker.start_ns <= push.start_ns && push.end_ns <= worker.end_ns,
+        "state push escapes the worker span: worker {}..{}, push {}..{}",
+        worker.start_ns,
+        worker.end_ns,
+        push.start_ns,
+        push.end_ns
+    );
+    // The state push is the parent of the shard-side apply.
+    let apply = first(SpanKind::ShardApply);
+    let apply_parent = by_id
+        .get(&apply.parent_id)
+        .expect("shard apply has a recorded parent");
+    assert!(
+        matches!(apply_parent.kind, SpanKind::StatePush | SpanKind::StatePull),
+        "shard apply hangs off {:?}, not a state span",
+        apply_parent.kind
+    );
+}
