@@ -21,6 +21,9 @@ cargo run --release --example gateway_remote
 echo "== live-reshard example (smoke): workload keeps writing while a shard joins"
 cargo run --release --example reshard_live
 
+echo "== failover-storm example (smoke): primary killed at R=2, zero lost acked writes"
+cargo run --release --example failover_storm
+
 echo "== trace-storm example (smoke): span tree from admission to state and back"
 cargo run --release --example trace_storm
 

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use faasm_core::{Cluster, ClusterConfig};
 use faasm_kvs::{
     reshard, KvBackend, KvClient, KvServer, KvStore, RoutingCell, RoutingTable, ShardRouting,
     ShardedKvClient,
@@ -280,10 +281,10 @@ fn bench_reshard(secs: f64) -> ReshardPoint {
             )
         })
         .collect();
-    let cell = RoutingCell::new(RoutingTable {
-        epoch: 1,
-        hosts: servers.iter().map(KvServer::host_id).collect(),
-    });
+    let cell = RoutingCell::new(RoutingTable::new(
+        1,
+        servers.iter().map(KvServer::host_id).collect(),
+    ));
     let keys = balanced_keys(2, RESHARD_WORKERS / 2);
     let driver = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
     for key in &keys {
@@ -399,6 +400,123 @@ fn bench_reshard(secs: f64) -> ReshardPoint {
     }
 }
 
+struct ReplPoint {
+    replication: usize,
+    set_ms: f64,
+    sets_per_sec: f64,
+}
+
+/// The write cost of quorum replication: median driver `set` latency on a
+/// 3-shard tier at a given replication factor. An R=2 write pays one
+/// synchronous forward (export + RPC to the backup's replica NIC) inside
+/// the acknowledgement path; R=1 is the single-owner tier unchanged.
+fn bench_replicated_write(iters: usize, replication: usize) -> ReplPoint {
+    const SETS_PER_ITER: usize = 32;
+    let cluster = Cluster::with_config(ClusterConfig {
+        hosts: 1,
+        state_shards: 3,
+        replication_factor: replication,
+        ..ClusterConfig::default()
+    });
+    let value = vec![5u8; 16 * 1024];
+    let iter_ms = time_ms(iters, || {
+        for i in 0..SETS_PER_ITER {
+            cluster.kv().set(&format!("rw:{i}"), value.clone()).unwrap();
+        }
+    });
+    cluster.shutdown();
+    let set_ms = iter_ms / SETS_PER_ITER as f64;
+    ReplPoint {
+        replication,
+        set_ms,
+        sets_per_sec: 1e3 / set_ms,
+    }
+}
+
+struct FailoverPoint {
+    blackout_ms: f64,
+    acked_writes: u64,
+    lost_writes: u64,
+    promotions: u64,
+}
+
+/// Failover blackout under a write storm: 4 writers hammer an R=2 tier,
+/// a primary slot is killed abruptly, and the liveness monitor drives the
+/// failover epoch. The blackout is the wall time a write primaried on the
+/// dead slot waits between the kill and the promoted backup serving it;
+/// every acknowledged write is audited afterwards (`lost_writes` must be
+/// zero — that is the replication invariant, not a performance number).
+fn bench_failover(secs: f64) -> FailoverPoint {
+    const FO_WORKERS: usize = 4;
+    let cluster = Arc::new(Cluster::with_config(ClusterConfig {
+        hosts: 1,
+        state_shards: 3,
+        replication_factor: 2,
+        ..ClusterConfig::default()
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..FO_WORKERS)
+        .map(|w| {
+            let cluster = Arc::clone(&cluster);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    cluster
+                        .kv()
+                        .set(&format!("fo:{w}:{n}"), n.to_le_bytes().to_vec())
+                        .expect("acknowledged write");
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    let victim = 1usize;
+    let table = cluster.state_routing().load();
+    let blackout_key = (0..10_000)
+        .map(|i| format!("fo:blackout:{i}"))
+        .find(|k| table.primary_for(k) == victim)
+        .expect("some key is primaried on the victim");
+    drop(table);
+    cluster.kill_state_shard(victim);
+    // Detection (liveness monitor) + failover epoch + promotion, measured
+    // as the wait of one write that can only be served by the new primary.
+    let t0 = Instant::now();
+    cluster
+        .kv()
+        .set(&blackout_key, b"post-failover".to_vec())
+        .expect("write lands on the promoted backup");
+    let blackout_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+
+    let per_worker: Vec<u64> = writers.into_iter().map(|w| w.join().unwrap()).collect();
+    let acked_writes: u64 = per_worker.iter().sum();
+    let mut lost_writes = 0u64;
+    for (w, &acked) in per_worker.iter().enumerate() {
+        for n in 0..acked {
+            let got = cluster.kv().get(&format!("fo:{w}:{n}")).unwrap();
+            if got != Some(n.to_le_bytes().to_vec()) {
+                lost_writes += 1;
+            }
+        }
+    }
+    let promotions = cluster
+        .state_shard_stats()
+        .map(|stats| stats.iter().map(|s| s.promotions).sum())
+        .unwrap_or(0);
+    cluster.shutdown();
+    FailoverPoint {
+        blackout_ms,
+        acked_writes,
+        lost_writes,
+        promotions,
+    }
+}
+
 fn bench_shards(shards: usize, secs: f64) -> ScalePoint {
     let tier = Tier::start(shards, true);
     // The same 8 workers at every shard count, balanced over the shards.
@@ -474,6 +592,32 @@ fn main() {
         "service must continue during a live reshard"
     );
 
+    println!("\n== replicated writes (3 shards, driver sets of 16 KiB) ==");
+    let repl: Vec<ReplPoint> = [1usize, 2]
+        .iter()
+        .map(|&r| {
+            let p = bench_replicated_write(iters, r);
+            println!(
+                "R={}: {:.3} ms/set, {:.0} sets/s",
+                p.replication, p.set_ms, p.sets_per_sec
+            );
+            p
+        })
+        .collect();
+    let repl_overhead = repl[1].set_ms / repl[0].set_ms;
+    println!("R=2 write cost: {repl_overhead:.2}x the R=1 write");
+
+    println!("\n== failover blackout (R=2, 4 writers, primary killed mid-storm) ==");
+    let failover = bench_failover(secs);
+    println!(
+        "blackout {:.1} ms (kill -> promoted backup serves); {} acked writes, {} lost; {} promotion(s)",
+        failover.blackout_ms, failover.acked_writes, failover.lost_writes, failover.promotions
+    );
+    assert_eq!(
+        failover.lost_writes, 0,
+        "an acknowledged write must never be lost across failover"
+    );
+
     if test_mode {
         println!("test bench state_throughput ... ok");
         return;
@@ -508,12 +652,29 @@ fn main() {
         "    ],\n    \"pull_scaling_4x\": {pull_scaling:.2},\n    \"push_scaling_4x\": {push_scaling:.2}\n  }},\n"
     ));
     json.push_str(&format!(
-        "  \"reshard_live\": {{\n    \"workers\": 6,\n    \"shards\": \"2 -> 3\",\n    \"before_mbps\": {:.1},\n    \"during_mbps\": {:.1},\n    \"after_mbps\": {:.1},\n    \"min_window_mbps\": {:.1},\n    \"migration_ms\": {:.1}\n  }}\n}}\n",
+        "  \"reshard_live\": {{\n    \"workers\": 6,\n    \"shards\": \"2 -> 3\",\n    \"before_mbps\": {:.1},\n    \"during_mbps\": {:.1},\n    \"after_mbps\": {:.1},\n    \"min_window_mbps\": {:.1},\n    \"migration_ms\": {:.1}\n  }},\n",
         reshard.before_mbps,
         reshard.during_mbps,
         reshard.after_mbps,
         reshard.min_window_mbps,
         reshard.migration_ms
+    ));
+    json.push_str("  \"replicated_write\": {\n    \"shards\": 3,\n    \"series\": [\n");
+    for (i, p) in repl.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"replication\": {}, \"set_ms\": {:.3}, \"sets_per_sec\": {:.0}}}{}\n",
+            p.replication,
+            p.set_ms,
+            p.sets_per_sec,
+            if i + 1 == repl.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"r2_write_cost_x\": {repl_overhead:.2}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"failover_blackout\": {{\n    \"replication\": 2,\n    \"shards\": 3,\n    \"writers\": 4,\n    \"blackout_ms\": {:.1},\n    \"acked_writes\": {},\n    \"lost_writes\": {},\n    \"promotions\": {}\n  }}\n}}\n",
+        failover.blackout_ms, failover.acked_writes, failover.lost_writes, failover.promotions
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_state.json");
     match std::fs::write(path, &json) {

@@ -2,8 +2,14 @@
 //!
 //! Usage: `cargo run -p faasm-bench --release --bin figures [EXPERIMENT]`
 //! where EXPERIMENT is one of `fig6`, `fig6-small`, `fig7`, `fig8`, `fig9a`,
-//! `fig9b`, `table3`, `fig10`, `shards`, `trace`, `metrics`, or `all`
-//! (default; excludes the telemetry commands).
+//! `fig9b`, `table3`, `fig10`, `shards`, `replicas`, `trace`, `metrics`, or
+//! `all` (default; excludes the telemetry and fault-injection commands).
+//!
+//! `replicas` boots a replication-factor-2 tier, prints the per-slot
+//! replica roles (primary/backup key counts), replication lag and the
+//! quorum-wait tail, then kills a primary and shows the liveness monitor's
+//! failover: the promoted table, the post-failover roles and the flight
+//! recorder's anomaly snapshot.
 //!
 //! `trace` runs a built-in scenario — a gateway storm over a
 //! state-touching function with a live reshard mid-storm — then renders
@@ -59,6 +65,9 @@ fn main() {
     }
     if all || which == "shards" {
         shard_skew();
+    }
+    if which == "replicas" {
+        replicas_cmd();
     }
     if which == "trace" {
         trace_cmd(std::env::args().nth(2).as_deref() == Some("json"));
@@ -203,6 +212,128 @@ fn metrics_cmd(json: bool) {
         g.queue_delay.percentile(50.0) / 1_000,
         g.queue_delay.percentile(99.0) / 1_000,
     );
+}
+
+// ── Replicas: roles, lag and failover of the replicated tier ────────────
+
+/// The replicated tier's operator view: per-slot replica roles (how many
+/// keys each shard primaries vs backs up), forward counts, replication
+/// lag and the quorum-wait tail at R=2 — then a primary is killed, the
+/// liveness monitor drives the failover epoch, and the table is printed
+/// again alongside the flight recorder's promotion anomaly.
+fn replicas_cmd() {
+    println!("\n=== Replicated state tier (3 shards, R=2, kill + failover) ===");
+    let cluster = Arc::new(faasm_core::Cluster::with_config(
+        faasm_core::ClusterConfig {
+            hosts: 1,
+            state_shards: 3,
+            replication_factor: 2,
+            ..faasm_core::ClusterConfig::default()
+        },
+    ));
+    const KEYS: u32 = 2000;
+    for i in 0..KEYS {
+        // Traced writes: shard spans (ReplForward, QuorumWait) only record
+        // under a trace context, matching the rest of the telemetry tier.
+        let _tracing = faasm_telemetry::set_current(faasm_telemetry::TraceCtx::new_root());
+        cluster
+            .kv()
+            .set(&format!("repl:{i}"), vec![0u8; 64 + (i % 7) as usize * 64])
+            .unwrap();
+    }
+
+    let shard_rec = faasm_telemetry::tier("state-shard");
+    let print_roles = |label: &str| {
+        let stats = cluster.state_shard_stats().expect("shard stats");
+        let table = cluster.state_routing().load();
+        let mut t = Table::new(&[
+            "slot",
+            "primary keys",
+            "backup keys",
+            "repl forwards",
+            "lag us/fwd",
+            "promotions",
+        ]);
+        // `shard_stats` reports live slots only, in slot order.
+        for (&slot, s) in table.live_slots().iter().zip(stats.iter()) {
+            let lag = if s.repl_forwards == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", s.repl_lag_ns as f64 / s.repl_forwards as f64 / 1e3)
+            };
+            t.row(&[
+                slot.to_string(),
+                s.primary_keys.to_string(),
+                s.backup_keys.to_string(),
+                s.repl_forwards.to_string(),
+                lag,
+                s.promotions.to_string(),
+            ]);
+        }
+        println!(
+            "{label} (epoch {}, {} live / {} dead slots)",
+            table.epoch,
+            table.live_count(),
+            table.dead.len()
+        );
+        t.print();
+        let qw = shard_rec.hist(faasm_telemetry::SpanKind::QuorumWait);
+        println!(
+            "quorum wait: {} forwards, p50 {} us, p99 {} us",
+            qw.count(),
+            qw.percentile(50.0) / 1_000,
+            qw.percentile(99.0) / 1_000
+        );
+    };
+    print_roles("before failover");
+
+    // Kill a primary slot abruptly; the liveness monitor detects the dead
+    // host and drives the failover epoch on its own.
+    let victim = 1usize;
+    cluster.kill_state_shard(victim);
+    let t0 = Instant::now();
+    while !cluster.state_routing().load().dead.contains(&victim) {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "liveness monitor must fail the slot over"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!(
+        "\nslot {victim} killed; monitor failed it over in {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Every key is still served (promoted backups own the victim's keys).
+    for i in 0..KEYS {
+        assert!(
+            cluster
+                .kv()
+                .get(&format!("repl:{i}"))
+                .expect("tier serves")
+                .is_some(),
+            "repl:{i} lost in failover"
+        );
+    }
+    println!("all {KEYS} keys still served after promotion");
+    print_roles("after failover");
+
+    // The flight recorder snapshotted the promotion.
+    let anomalies = shard_rec.anomalies();
+    let promo: Vec<_> = anomalies
+        .iter()
+        .filter(|a| a.reason.contains("failover") || a.reason.contains("promotion"))
+        .collect();
+    println!("anomaly snapshots ({} failover-related):", promo.len());
+    for a in promo.iter().rev().take(4).rev() {
+        println!(
+            "  [{:.1} ms] {} ({} spans captured)",
+            a.at_ns as f64 / 1e6,
+            a.reason,
+            a.spans.len()
+        );
+    }
+    cluster.shutdown();
 }
 
 // ── Shard skew: the global tier's load distribution ─────────────────────

@@ -36,6 +36,13 @@ pub struct ClusterConfig {
     /// warm sets) lives on exactly one shard, chosen by rendezvous hashing.
     /// 1 reproduces the paper's single-server tier.
     pub state_shards: usize,
+    /// Replicas per state key (primary included): the key's top-R
+    /// rendezvous-ranked shards. Writes ack only after every backup
+    /// replica applied them, so a dead shard's keys promote onto their
+    /// first backup with no acknowledged write lost (a liveness monitor
+    /// drives the failover epoch automatically). 1 — the default —
+    /// reproduces the unreplicated tier exactly.
+    pub replication_factor: usize,
     /// Per-instance configuration.
     pub instance: InstanceConfig,
     /// Default timeout for synchronous invocations.
@@ -48,6 +55,7 @@ impl Default for ClusterConfig {
             hosts: 2,
             kvs_workers: 2,
             state_shards: 1,
+            replication_factor: 1,
             instance: InstanceConfig::default(),
             invoke_timeout: Duration::from_secs(60),
         }
@@ -83,8 +91,12 @@ pub struct Cluster {
     /// and driver's sharded client — publishing here redirects the whole
     /// cluster after a reshard.
     routing: Arc<RoutingCell>,
-    /// Serialises reshard operations (one epoch change at a time).
-    reshard_lock: Mutex<()>,
+    /// Serialises reshard operations (one epoch change at a time); shared
+    /// with the liveness monitor so an automatic failover and a manual
+    /// reshard cannot race.
+    reshard_lock: Arc<Mutex<()>>,
+    monitor_stop: Arc<AtomicBool>,
+    monitor_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
     coord_nic: faasm_net::Nic,
     kvs_workers: usize,
     object_store: Arc<ObjectStore>,
@@ -121,22 +133,61 @@ impl Cluster {
     pub fn with_config(config: ClusterConfig) -> Cluster {
         let fabric = Fabric::new();
         // The global tier: one fabric host per shard server, each routed
-        // (it checks key ownership and speaks the resharding protocol).
+        // (it checks key ownership and speaks the resharding protocol). A
+        // replicated tier gives every shard a second host for inbound
+        // replica traffic, served by workers that never issue outbound
+        // quorum calls.
         let shards = config.state_shards.max(1);
-        let kvs: Vec<KvServer> = (0..shards)
-            .map(|i| {
-                KvServer::start_routed(
-                    fabric.add_host(),
-                    config.kvs_workers.max(1),
-                    Arc::new(KvStore::new()),
-                    ShardRouting::new(1, shards, i),
-                )
-            })
-            .collect();
-        let routing = RoutingCell::new(RoutingTable {
-            epoch: 1,
-            hosts: kvs.iter().map(KvServer::host_id).collect(),
-        });
+        let replication = config.replication_factor.clamp(1, shards);
+        let kvs: Vec<KvServer>;
+        let table;
+        if replication > 1 {
+            let main_nics: Vec<faasm_net::Nic> = (0..shards).map(|_| fabric.add_host()).collect();
+            let repl_nics: Vec<faasm_net::Nic> = (0..shards).map(|_| fabric.add_host()).collect();
+            let repl_hosts: Vec<faasm_net::HostId> =
+                repl_nics.iter().map(faasm_net::Nic::id).collect();
+            kvs = main_nics
+                .into_iter()
+                .zip(repl_nics)
+                .enumerate()
+                .map(|(i, (nic, repl_nic))| {
+                    KvServer::start_replicated(
+                        nic,
+                        repl_nic,
+                        config.kvs_workers.max(1),
+                        Arc::new(KvStore::new()),
+                        ShardRouting::replicated(
+                            1,
+                            shards,
+                            i,
+                            replication,
+                            Vec::new(),
+                            repl_hosts.clone(),
+                        ),
+                    )
+                })
+                .collect();
+            table = RoutingTable::replicated(
+                1,
+                kvs.iter().map(KvServer::host_id).collect(),
+                replication,
+                Vec::new(),
+                repl_hosts,
+            );
+        } else {
+            kvs = (0..shards)
+                .map(|i| {
+                    KvServer::start_routed(
+                        fabric.add_host(),
+                        config.kvs_workers.max(1),
+                        Arc::new(KvStore::new()),
+                        ShardRouting::new(1, shards, i),
+                    )
+                })
+                .collect();
+            table = RoutingTable::new(1, kvs.iter().map(KvServer::host_id).collect());
+        }
+        let routing = RoutingCell::new(table);
         let object_store = Arc::new(ObjectStore::new());
         let registry = Arc::new(FunctionRegistry::new());
         let call_seq = Arc::new(AtomicU64::new(1));
@@ -189,11 +240,26 @@ impl Cluster {
             Arc::clone(&routing),
         ));
 
+        let reshard_lock = Arc::new(Mutex::new(()));
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let monitor_thread = (replication > 1).then(|| {
+            let nic = fabric.add_host();
+            let cell = Arc::clone(&routing);
+            let lock = Arc::clone(&reshard_lock);
+            let stop = Arc::clone(&monitor_stop);
+            std::thread::Builder::new()
+                .name("state-liveness".into())
+                .spawn(move || liveness_monitor(&nic, &cell, &lock, &stop))
+                .expect("spawn liveness monitor")
+        });
+
         Cluster {
             fabric,
             kvs: Mutex::new(kvs),
             routing,
-            reshard_lock: Mutex::new(()),
+            reshard_lock,
+            monitor_stop,
+            monitor_thread: Mutex::new(monitor_thread),
             coord_nic: driver_nic,
             kvs_workers: config.kvs_workers.max(1),
             object_store,
@@ -378,9 +444,9 @@ impl Cluster {
         self.kvs.lock()
     }
 
-    /// How many shards currently serve the global tier.
+    /// How many shards currently serve the global tier (live slots only).
     pub fn state_shard_count(&self) -> usize {
-        self.routing.load().hosts.len()
+        self.routing.load().live_count()
     }
 
     /// The tier's routing cell (shared with every consumer; out-of-process
@@ -413,25 +479,81 @@ impl Cluster {
         let _one_at_a_time = self.reshard_lock.lock();
         let table = self.routing.load();
         let new_index = table.hosts.len();
-        let server = KvServer::start_routed(
-            self.fabric.add_host(),
-            self.kvs_workers,
-            Arc::new(KvStore::new()),
-            ShardRouting::new(table.epoch + 1, new_index + 1, new_index),
-        );
-        match reshard::grow(&self.coord_nic, &self.routing, server.host_id()) {
+        let server = if table.replication > 1 {
+            let repl_nic = self.fabric.add_host();
+            let mut repl_hosts = table.repl_hosts.clone();
+            repl_hosts.push(repl_nic.id());
+            KvServer::start_replicated(
+                self.fabric.add_host(),
+                repl_nic,
+                self.kvs_workers,
+                Arc::new(KvStore::new()),
+                ShardRouting::replicated(
+                    table.epoch + 1,
+                    new_index + 1,
+                    new_index,
+                    table.replication,
+                    table.dead.clone(),
+                    repl_hosts,
+                ),
+            )
+        } else {
+            KvServer::start_routed(
+                self.fabric.add_host(),
+                self.kvs_workers,
+                Arc::new(KvStore::new()),
+                ShardRouting::new(table.epoch + 1, new_index + 1, new_index),
+            )
+        };
+        match reshard::grow_replicated(
+            &self.coord_nic,
+            &self.routing,
+            server.host_id(),
+            server.repl_host_id(),
+        ) {
             Ok(new_table) => {
-                let count = new_table.hosts.len();
+                let count = new_table.live_count();
                 self.kvs.lock().push(server);
                 Ok(count)
             }
             Err(e) => {
-                let host = server.host_id();
-                self.fabric.remove_host(host);
+                for host in server.host_ids() {
+                    self.fabric.remove_host(host);
+                }
                 server.shutdown();
                 Err(e)
             }
         }
+    }
+
+    /// Simulate the failure of the state shard at `slot`: its fabric hosts
+    /// (serving and replica NIC) disappear and its threads stop. Nothing
+    /// in the routing table is touched — on a replicated tier the liveness
+    /// monitor detects the dead slot and drives the failover epoch, after
+    /// which the shard's keys are served by their promoted backups.
+    pub fn kill_state_shard(&self, slot: usize) {
+        let table = self.routing.load();
+        let Some(&host) = table.hosts.get(slot) else {
+            return;
+        };
+        let mut kvs = self.kvs.lock();
+        if let Some(idx) = kvs.iter().position(|s| s.host_id() == host) {
+            let server = kvs.remove(idx);
+            drop(kvs);
+            faasm_kvs::testutil::crash_server(&self.fabric, server);
+        }
+    }
+
+    /// Manually drive the failover of `slot` (what the liveness monitor
+    /// does on detection): tombstone the slot at the next epoch, promote
+    /// its keys' backups and restore replication. Returns the new table.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError`] when the slot is not live or is the last live slot.
+    pub fn fail_over_state_shard(&self, slot: usize) -> Result<Arc<RoutingTable>, KvError> {
+        let _one_at_a_time = self.reshard_lock.lock();
+        reshard::failover(&self.coord_nic, &self.routing, slot)
     }
 
     /// Retire the tier's last shard, live: its keys migrate to their new
@@ -444,15 +566,28 @@ impl Cluster {
     /// [`KvError`] when only one shard remains or migration fails.
     pub fn remove_state_shard(&self) -> Result<usize, KvError> {
         let _one_at_a_time = self.reshard_lock.lock();
-        let (new_table, retired) = reshard::shrink(&self.coord_nic, &self.routing)?;
+        let table = self.routing.load();
+        let (new_table, retired) = if table.replication > 1 || !table.dead.is_empty() {
+            // Replicated (or tombstoned) tier: no migration needed — retire
+            // the last live slot; its keys' backups already hold everything.
+            let slot = *table
+                .live_slots()
+                .last()
+                .ok_or_else(|| KvError::Server("no live state shards".into()))?;
+            reshard::retire(&self.coord_nic, &self.routing, slot)?
+        } else {
+            reshard::shrink(&self.coord_nic, &self.routing)?
+        };
         let mut kvs = self.kvs.lock();
         if let Some(idx) = kvs.iter().position(|s| s.host_id() == retired) {
             let server = kvs.remove(idx);
             drop(kvs);
-            self.fabric.remove_host(retired);
+            for host in server.host_ids() {
+                self.fabric.remove_host(host);
+            }
             server.shutdown();
         }
-        Ok(new_table.hosts.len())
+        Ok(new_table.live_count())
     }
 
     /// The runtime instances.
@@ -480,12 +615,74 @@ impl Cluster {
 
     /// Stop every component. Called automatically on drop.
     pub fn shutdown(&self) {
+        self.monitor_stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.monitor_thread.lock().take() {
+            let _ = t.join();
+        }
         for i in &self.instances {
             i.shutdown();
         }
         self.gateway_stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.gateway_thread.lock().take() {
             let _ = t.join();
+        }
+    }
+}
+
+/// How often the liveness monitor sweeps the tier, how long it waits for
+/// one shard's pong, and how many consecutive failures condemn a slot.
+/// A removed fabric host (a crash, not a partition) errors instantly and
+/// skips the strike count, so crash detection is one sweep, not three.
+const MONITOR_INTERVAL: Duration = Duration::from_millis(20);
+const MONITOR_PING_TIMEOUT: Duration = Duration::from_millis(250);
+const MONITOR_STRIKES: u32 = 3;
+
+fn liveness_monitor(
+    nic: &faasm_net::Nic,
+    cell: &RoutingCell,
+    reshard_lock: &Mutex<()>,
+    stop: &AtomicBool,
+) {
+    let ping = faasm_kvs::codec::encode_request(&faasm_kvs::Request::Ping);
+    let mut strikes: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    let mut last_epoch = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(MONITOR_INTERVAL);
+        let table = cell.load();
+        if table.epoch != last_epoch {
+            // Any epoch change re-arms detection from scratch.
+            strikes.clear();
+            last_epoch = table.epoch;
+        }
+        for slot in table.live_slots() {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let verdict = nic.call_timeout(table.hosts[slot], ping.clone(), MONITOR_PING_TIMEOUT);
+            let condemned = match verdict {
+                Ok(_) => {
+                    strikes.remove(&slot);
+                    false
+                }
+                // The host is gone from the fabric: a crash, not a slow
+                // network — condemn immediately.
+                Err(faasm_net::NetError::UnknownHost(_)) => true,
+                Err(_) => {
+                    let s = strikes.entry(slot).or_insert(0);
+                    *s += 1;
+                    *s >= MONITOR_STRIKES
+                }
+            };
+            if condemned {
+                let _one_at_a_time = reshard_lock.lock();
+                // Re-check under the lock: a manual reshard or an earlier
+                // failover may already have handled this slot.
+                let cur = cell.load();
+                if cur.epoch == table.epoch && cur.is_live(slot) && cur.live_count() > 1 {
+                    let _ = reshard::failover(nic, cell, slot);
+                }
+                strikes.remove(&slot);
+            }
         }
     }
 }

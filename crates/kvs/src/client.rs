@@ -33,6 +33,25 @@ pub enum KvError {
         /// That epoch's shard count.
         shard_count: u64,
     },
+    /// The shard holds the key only as a backup replica: retry on the
+    /// primary (after refreshing the routing table to at least `epoch`).
+    /// Like [`KvError::WrongEpoch`], the sharded client absorbs this
+    /// internally.
+    NotPrimary {
+        /// The epoch the routing table must reach.
+        epoch: u64,
+        /// That epoch's total slot count (live and dead).
+        shard_count: u64,
+    },
+    /// The primary could not reach a write quorum (a backup replica is
+    /// down): wait for the failover epoch `epoch + 1` and retry. The
+    /// sharded client absorbs this internally.
+    Unavailable {
+        /// The primary's current epoch when the quorum failed.
+        epoch: u64,
+        /// That epoch's total slot count (live and dead).
+        shard_count: u64,
+    },
 }
 
 impl std::fmt::Display for KvError {
@@ -44,6 +63,14 @@ impl std::fmt::Display for KvError {
             KvError::WrongEpoch { epoch, shard_count } => write!(
                 f,
                 "kvs routing stale: shard does not own the key (epoch {epoch}, {shard_count} shards)"
+            ),
+            KvError::NotPrimary { epoch, shard_count } => write!(
+                f,
+                "kvs replica is not the primary for the key (epoch {epoch}, {shard_count} shards)"
+            ),
+            KvError::Unavailable { epoch, shard_count } => write!(
+                f,
+                "kvs write quorum unavailable (epoch {epoch}, {shard_count} shards)"
             ),
         }
     }
@@ -151,7 +178,7 @@ impl KvClient {
                 let (req, epoch, trace) =
                     decode_request_traced(&encode_request_at(req, self.epoch))
                         .map_err(|_| KvError::Protocol)?;
-                Ok(apply_traced(store, None, req, epoch, trace))
+                Ok(apply_traced(store, None, None, req, epoch, trace))
             }
         }
     }
@@ -168,6 +195,12 @@ impl KvClient {
             Response::Err(m) => Err(KvError::Server(m)),
             Response::WrongEpoch { epoch, shard_count } => {
                 Err(KvError::WrongEpoch { epoch, shard_count })
+            }
+            Response::NotPrimary { epoch, shard_count } => {
+                Err(KvError::NotPrimary { epoch, shard_count })
+            }
+            Response::Unavailable { epoch, shard_count } => {
+                Err(KvError::Unavailable { epoch, shard_count })
             }
             other => Ok(other),
         }
@@ -508,13 +541,80 @@ impl KvClient {
     }
 
     /// Commit a routing epoch on this shard (donors purge moved keys).
+    /// `dead` lists the slot indices tombstoned at that epoch and `hosts`
+    /// the replica-traffic host ids per slot (both empty for a
+    /// replication-factor-1 tier, reproducing the legacy wire shape).
     ///
     /// # Errors
     ///
     /// Returns [`KvError`] on network/server failure.
-    pub fn epoch_commit(&self, epoch: u64, shard_count: u64) -> Result<(), KvError> {
-        match self.check(self.exec(&Request::EpochCommit { epoch, shard_count })?)? {
+    pub fn epoch_commit(
+        &self,
+        epoch: u64,
+        shard_count: u64,
+        dead: &[u32],
+        hosts: &[u32],
+    ) -> Result<(), KvError> {
+        match self.check(self.exec(&Request::EpochCommit {
+            epoch,
+            shard_count,
+            dead: dead.to_vec(),
+            hosts: hosts.to_vec(),
+        })?)? {
             Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Ship replicated key state to a backup replica (primary-side call).
+    /// Returns the number of entries the backup applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn replicate(&self, entries: Vec<crate::store::KeyMigration>) -> Result<u64, KvError> {
+        match self.check(self.exec(&Request::Replicate { entries })?)? {
+            Response::ReplAck { applied } => Ok(applied),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Install one bounded frame of a chunked handoff (`seq` starts at 0
+    /// per transfer `xfer`; `last` marks the final frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn handoff_frame(
+        &self,
+        xfer: u64,
+        seq: u32,
+        last: bool,
+        entries: Vec<crate::store::KeyMigration>,
+    ) -> Result<(), KvError> {
+        match self.check(self.exec(&Request::HandoffFrame {
+            xfer,
+            seq,
+            last,
+            entries,
+        })?)? {
+            Response::Ok => Ok(()),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// Ask a shard to re-ship replicas for keys whose replica set gained
+    /// members relative to the routing table with `prev_dead` tombstones.
+    /// Returns how many keys were re-shipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn rebuild(&self, prev_dead: &[u32]) -> Result<u64, KvError> {
+        match self.check(self.exec(&Request::Rebuild {
+            prev_dead: prev_dead.to_vec(),
+        })?)? {
+            Response::Len(n) => Ok(n),
             _ => Err(KvError::Protocol),
         }
     }

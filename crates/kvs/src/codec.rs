@@ -160,14 +160,50 @@ pub enum Request {
         /// The moving keys' exported state.
         entries: Vec<KeyMigration>,
     },
-    /// Commit a routing epoch: the shard adopts `(epoch, shard_count)` as
-    /// its serving table and purges every key it no longer owns (the
-    /// donor's post-handoff cleanup).
+    /// Commit a routing epoch: the shard adopts the named table as its
+    /// serving table and purges every key outside its replica sets (the
+    /// donor's post-handoff cleanup). Also the failover path: a commit
+    /// with no pending migration installs the table directly, which is how
+    /// a backup learns it has been promoted.
     EpochCommit {
         /// The committed routing epoch.
         epoch: u64,
-        /// The committed shard count.
+        /// The committed slot count (dead slots included).
         shard_count: u64,
+        /// Tombstoned slot indices of the committed table.
+        dead: Vec<u32>,
+        /// Per-slot replication endpoints (the hosts primaries forward
+        /// [`Request::Replicate`] to); empty for replication factor 1.
+        hosts: Vec<u32>,
+    },
+    /// Primary → backup state shipping: install the full exported state of
+    /// the carried keys (an entry with no value, members or lock deletes
+    /// the key). Shard-addressed — backups accept it even for keys they
+    /// are not primary for.
+    Replicate {
+        /// Exported state of the replicated keys.
+        entries: Vec<KeyMigration>,
+    },
+    /// One bounded frame of a chunked handoff: frames of one transfer
+    /// carry consecutive sequence numbers and are imported as they arrive;
+    /// the receiver rejects gaps or reordering.
+    HandoffFrame {
+        /// Transfer id (unique per migration stream).
+        xfer: u64,
+        /// 0-based frame sequence number within the transfer.
+        seq: u32,
+        /// Whether this is the transfer's final frame.
+        last: bool,
+        /// This frame's slice of the exported entries.
+        entries: Vec<KeyMigration>,
+    },
+    /// Post-failover replica rebuild: the shard re-ships, for every key it
+    /// is now primary for, the key's state to replica-set members added by
+    /// the last tombstone (computed against `prev_dead`, the dead list
+    /// *before* the failover).
+    Rebuild {
+        /// The tombstoned slots of the previous epoch's table.
+        prev_dead: Vec<u32>,
     },
 }
 
@@ -199,7 +235,10 @@ impl Request {
             | Request::Stats
             | Request::Migrate { .. }
             | Request::Handoff { .. }
-            | Request::EpochCommit { .. } => None,
+            | Request::EpochCommit { .. }
+            | Request::Replicate { .. }
+            | Request::HandoffFrame { .. }
+            | Request::Rebuild { .. } => None,
         }
     }
 }
@@ -240,6 +279,30 @@ pub enum Response {
     /// Reply to [`Request::Migrate`]: the exported state of every moving
     /// key (also the payload shape of [`Request::Handoff`]).
     Handoff(Vec<KeyMigration>),
+    /// Reply to [`Request::Replicate`]: the backup installed the entries.
+    ReplAck {
+        /// Number of entries applied.
+        applied: u64,
+    },
+    /// The request's key is replicated on this shard but served by a
+    /// different primary: the client should refresh its table to at least
+    /// `epoch` and retry — the same redirect-and-retry loop as
+    /// [`Response::WrongEpoch`].
+    NotPrimary {
+        /// The epoch the client should reach before retrying.
+        epoch: u64,
+        /// The slot count of that epoch's routing table.
+        shard_count: u64,
+    },
+    /// The primary could not assemble its write quorum (a backup is dead
+    /// or partitioned): nothing was acked. The client should park for the
+    /// failover epoch (`epoch + 1`) and retry.
+    Unavailable {
+        /// The primary's current epoch.
+        epoch: u64,
+        /// The slot count of that epoch's routing table.
+        shard_count: u64,
+    },
 }
 
 /// A malformed message.
@@ -284,6 +347,30 @@ fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
         return Err(CodecError("truncated u64".into()));
     }
     Ok(buf.get_u64_le())
+}
+
+fn put_u32_list(out: &mut Vec<u8>, list: &[u32]) {
+    out.put_u32_le(list.len() as u32);
+    for v in list {
+        out.put_u32_le(*v);
+    }
+}
+
+fn get_u32_list(buf: &mut &[u8]) -> Result<Vec<u32>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError("truncated list count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    // Every element costs 4 bytes, so a hostile count cannot out-size the
+    // buffer it rode in on.
+    if buf.remaining() < n.saturating_mul(4) {
+        return Err(CodecError("list count exceeds payload".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_u32_le());
+    }
+    Ok(out)
 }
 
 fn mode_byte(m: LockMode) -> u8 {
@@ -339,8 +426,15 @@ fn request_payload_len(req: &Request) -> usize {
         | Request::TryLock { key, .. }
         | Request::Unlock { key, .. } => key.len(),
         Request::Ping | Request::Flush | Request::Stats => 0,
-        Request::Migrate { .. } | Request::EpochCommit { .. } => 16,
-        Request::Handoff { entries } => entries.iter().map(entry_payload_len).sum(),
+        Request::Migrate { .. } => 16,
+        Request::EpochCommit { dead, hosts, .. } => 24 + (dead.len() + hosts.len()) * 4,
+        Request::Handoff { entries } | Request::Replicate { entries } => {
+            entries.iter().map(entry_payload_len).sum()
+        }
+        Request::HandoffFrame { entries, .. } => {
+            17 + entries.iter().map(entry_payload_len).sum::<usize>()
+        }
+        Request::Rebuild { prev_dead } => 4 + prev_dead.len() * 4,
     }
 }
 
@@ -589,10 +683,43 @@ pub fn encode_request_traced(req: &Request, epoch: u64, trace: TraceCtx) -> Vec<
                 put_entry(&mut out, entry);
             }
         }
-        Request::EpochCommit { epoch, shard_count } => {
+        Request::EpochCommit {
+            epoch,
+            shard_count,
+            dead,
+            hosts,
+        } => {
             out.put_u8(22);
             out.put_u64_le(*epoch);
             out.put_u64_le(*shard_count);
+            put_u32_list(&mut out, dead);
+            put_u32_list(&mut out, hosts);
+        }
+        Request::Replicate { entries } => {
+            out.put_u8(23);
+            out.put_u32_le(entries.len() as u32);
+            for entry in entries {
+                put_entry(&mut out, entry);
+            }
+        }
+        Request::HandoffFrame {
+            xfer,
+            seq,
+            last,
+            entries,
+        } => {
+            out.put_u8(24);
+            out.put_u64_le(*xfer);
+            out.put_u32_le(*seq);
+            out.put_u8(*last as u8);
+            out.put_u32_le(entries.len() as u32);
+            for entry in entries {
+                put_entry(&mut out, entry);
+            }
+        }
+        Request::Rebuild { prev_dead } => {
+            out.put_u8(25);
+            put_u32_list(&mut out, prev_dead);
         }
     }
     out
@@ -769,8 +896,34 @@ pub fn decode_request_traced(mut buf: &[u8]) -> Result<(Request, u64, TraceCtx),
             Request::EpochCommit {
                 epoch: buf.get_u64_le(),
                 shard_count: buf.get_u64_le(),
+                dead: get_u32_list(&mut buf)?,
+                hosts: get_u32_list(&mut buf)?,
             }
         }
+        23 => Request::Replicate {
+            entries: get_entries(&mut buf)?,
+        },
+        24 => {
+            if buf.remaining() < 13 {
+                return Err(CodecError("truncated handoff frame".into()));
+            }
+            let xfer = buf.get_u64_le();
+            let seq = buf.get_u32_le();
+            let last = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError("bad frame flag".into())),
+            };
+            Request::HandoffFrame {
+                xfer,
+                seq,
+                last,
+                entries: get_entries(&mut buf)?,
+            }
+        }
+        25 => Request::Rebuild {
+            prev_dead: get_u32_list(&mut buf)?,
+        },
         other => return Err(CodecError(format!("unknown request op {other}"))),
     };
     if buf.has_remaining() {
@@ -787,7 +940,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Spans(Some(runs)) => runs.iter().map(|r| r.len() + 4).sum(),
         Response::Err(msg) => msg.len(),
         Response::Handoff(entries) => entries.iter().map(entry_payload_len).sum(),
-        Response::Stats(_) => 80,
+        Response::Stats(_) => 128,
         _ => 0,
     };
     let mut out = Vec::with_capacity(16 + payload);
@@ -847,6 +1000,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u64_le(stats.freeze_wait_ns);
             out.put_u64_le(stats.batched_ops);
             out.put_u64_le(stats.batched_items);
+            out.put_u64_le(stats.replication);
+            out.put_u64_le(stats.repl_forwards);
+            out.put_u64_le(stats.repl_lag_ns);
+            out.put_u64_le(stats.promotions);
+            out.put_u64_le(stats.primary_keys);
+            out.put_u64_le(stats.backup_keys);
         }
         Response::Handoff(entries) => {
             out.put_u8(13);
@@ -854,6 +1013,20 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for entry in entries {
                 put_entry(&mut out, entry);
             }
+        }
+        Response::ReplAck { applied } => {
+            out.put_u8(14);
+            out.put_u64_le(*applied);
+        }
+        Response::NotPrimary { epoch, shard_count } => {
+            out.put_u8(15);
+            out.put_u64_le(*epoch);
+            out.put_u64_le(*shard_count);
+        }
+        Response::Unavailable { epoch, shard_count } => {
+            out.put_u8(16);
+            out.put_u64_le(*epoch);
+            out.put_u64_le(*shard_count);
         }
     }
     out
@@ -925,7 +1098,7 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
             }
         }
         12 => {
-            if buf.remaining() < 80 {
+            if buf.remaining() < 128 {
                 return Err(CodecError("truncated stats".into()));
             }
             Response::Stats(ShardStats {
@@ -939,9 +1112,36 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
                 freeze_wait_ns: buf.get_u64_le(),
                 batched_ops: buf.get_u64_le(),
                 batched_items: buf.get_u64_le(),
+                replication: buf.get_u64_le(),
+                repl_forwards: buf.get_u64_le(),
+                repl_lag_ns: buf.get_u64_le(),
+                promotions: buf.get_u64_le(),
+                primary_keys: buf.get_u64_le(),
+                backup_keys: buf.get_u64_le(),
             })
         }
         13 => Response::Handoff(get_entries(&mut buf)?),
+        14 => Response::ReplAck {
+            applied: get_u64(&mut buf)?,
+        },
+        15 => {
+            if buf.remaining() < 16 {
+                return Err(CodecError("truncated not-primary".into()));
+            }
+            Response::NotPrimary {
+                epoch: buf.get_u64_le(),
+                shard_count: buf.get_u64_le(),
+            }
+        }
+        16 => {
+            if buf.remaining() < 16 {
+                return Err(CodecError("truncated unavailable".into()));
+            }
+            Response::Unavailable {
+                epoch: buf.get_u64_le(),
+                shard_count: buf.get_u64_le(),
+            }
+        }
         other => return Err(CodecError(format!("unknown response tag {other}"))),
     };
     if buf.has_remaining() {
@@ -1030,6 +1230,38 @@ mod tests {
             Request::EpochCommit {
                 epoch: 4,
                 shard_count: 3,
+                dead: Vec::new(),
+                hosts: Vec::new(),
+            },
+            Request::EpochCommit {
+                epoch: 9,
+                shard_count: 5,
+                dead: vec![1, 3],
+                hosts: vec![10, 11, 12, 13, 14],
+            },
+            Request::Replicate {
+                entries: migration_entries(),
+            },
+            Request::Replicate {
+                entries: Vec::new(),
+            },
+            Request::HandoffFrame {
+                xfer: 77,
+                seq: 2,
+                last: true,
+                entries: migration_entries(),
+            },
+            Request::HandoffFrame {
+                xfer: 77,
+                seq: 0,
+                last: false,
+                entries: Vec::new(),
+            },
+            Request::Rebuild {
+                prev_dead: vec![0, 4],
+            },
+            Request::Rebuild {
+                prev_dead: Vec::new(),
             },
         ]
     }
@@ -1089,8 +1321,23 @@ mod tests {
                 freeze_wait_ns: 1_500_000,
                 batched_ops: 12,
                 batched_items: 480,
+                replication: 2,
+                repl_forwards: 31,
+                repl_lag_ns: 9_000,
+                promotions: 1,
+                primary_keys: 7,
+                backup_keys: 3,
             }),
             Response::Handoff(migration_entries()),
+            Response::ReplAck { applied: 6 },
+            Response::NotPrimary {
+                epoch: 5,
+                shard_count: 3,
+            },
+            Response::Unavailable {
+                epoch: 5,
+                shard_count: 3,
+            },
         ]
     }
 
@@ -1197,6 +1444,27 @@ mod tests {
         let mut bytes = vec![13u8];
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_response(&bytes).is_err());
+        // Replicate with a hostile entry count.
+        let mut bytes = raw_request(23);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
+        // A handoff frame with a hostile entry count.
+        let mut bytes = raw_request(24);
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
+        // EpochCommit with a hostile dead-slot count.
+        let mut bytes = raw_request(22);
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
+        // Rebuild with a hostile slot count.
+        let mut bytes = raw_request(25);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
         // A hostile reader count inside one entry.
         let req = Request::Handoff {
             entries: vec![KeyMigration {

@@ -24,10 +24,14 @@ pub mod reshard;
 pub mod server;
 pub mod sharded;
 pub mod store;
+pub mod testutil;
 
 pub use backend::{KvBackend, SharedKv};
 pub use client::{KvClient, KvError};
 pub use codec::{Request, Response, EPOCH_ANY};
 pub use server::{KvServer, ServerShaping, ShardRouting};
-pub use sharded::{rendezvous_delta, shard_index_for, RoutingCell, RoutingTable, ShardedKvClient};
+pub use sharded::{
+    primary_index_live, rendezvous_delta, replica_set_for, replica_set_live, shard_index_for,
+    RoutingCell, RoutingTable, ShardedKvClient,
+};
 pub use store::{KeyMigration, KvStore, LockMigration, LockMode, ShardStats};

@@ -25,7 +25,21 @@
 //! freeze (and is exported with the key) or is rejected with `WrongEpoch`
 //! and retried against the new owner after the commit. No read can see the
 //! wrong shard: ownership is checked on every keyed request.
+//!
+//! On a replicated tier (`replication > 1`) two more epoch transitions
+//! exist, neither of which migrates any data:
+//!
+//! - [`failover`] — a slot died. Its index is tombstoned in the new table,
+//!   which re-ranks every one of its keys onto the key's first surviving
+//!   replica: the promotion *is* the epoch bump, because the backup
+//!   already holds every acknowledged write (the quorum guaranteed it).
+//!   Survivors then re-ship replicas to the members each key gained, so
+//!   the tier returns to full redundancy.
+//! - [`retire`] — a planned removal: identical, except the victim also
+//!   receives the commit (purging its entire store) and is returned for
+//!   shutdown.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use faasm_net::{HostId, Nic};
@@ -37,6 +51,56 @@ use crate::store::KeyMigration;
 
 fn control(coord: &Nic, host: HostId) -> KvClient {
     KvClient::connect_at(coord.clone(), host, EPOCH_ANY, KvClient::fresh_owner())
+}
+
+/// Transfer ids for chunked handoffs: process-wide so two concurrent
+/// migrations to one receiver can never interleave frame sequences.
+static NEXT_XFER: AtomicU64 = AtomicU64::new(1);
+
+fn entry_weight(e: &KeyMigration) -> usize {
+    e.key.len()
+        + e.value.as_ref().map_or(0, |v| v.len())
+        + e.set.iter().map(|m| m.len()).sum::<usize>()
+        + 17
+}
+
+/// Stream `entries` to `target` as bounded, sequence-numbered
+/// [`HandoffFrame`](crate::codec::Request::HandoffFrame)s — no single
+/// fabric message carries an unbounded export.
+pub fn send_handoff_chunked(target: &KvClient, entries: Vec<KeyMigration>) -> Result<(), KvError> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let mut frames: Vec<Vec<KeyMigration>> = vec![Vec::new()];
+    let mut bytes = 0usize;
+    for e in entries {
+        let w = entry_weight(&e);
+        let cur = frames.last_mut().expect("one frame always exists");
+        if !cur.is_empty()
+            && (cur.len() >= crate::server::HANDOFF_FRAME_ENTRIES
+                || bytes + w > crate::server::HANDOFF_FRAME_BYTES)
+        {
+            frames.push(Vec::new());
+            bytes = 0;
+        }
+        bytes += w;
+        frames.last_mut().expect("one frame always exists").push(e);
+    }
+    let xfer = NEXT_XFER.fetch_add(1, Ordering::Relaxed);
+    let last = frames.len() - 1;
+    for (seq, frame) in frames.into_iter().enumerate() {
+        target.handoff_frame(xfer, seq as u32, seq == last, frame)?;
+    }
+    Ok(())
+}
+
+/// The `(dead, hosts)` wire arguments of an
+/// [`EpochCommit`](crate::codec::Request::EpochCommit) for `table`.
+fn commit_args(table: &RoutingTable) -> (Vec<u32>, Vec<u32>) {
+    (
+        table.dead.iter().map(|d| *d as u32).collect(),
+        table.repl_hosts.iter().map(|h| h.0).collect(),
+    )
 }
 
 /// Grow the tier by one shard: migrate every key whose rendezvous owner
@@ -56,24 +120,57 @@ pub fn grow(
     cell: &RoutingCell,
     new_host: HostId,
 ) -> Result<Arc<RoutingTable>, KvError> {
+    grow_replicated(coord, cell, new_host, None)
+}
+
+/// [`grow`] on a replicated tier: `new_repl_host` is the joining shard's
+/// replica-traffic host (required when the table replicates). Rendezvous
+/// ranking over the surviving slots is unchanged by the new slot, so the
+/// only member any key's replica set gains is the newcomer — every
+/// exported entry streams to it, chunked.
+///
+/// # Errors
+///
+/// Returns [`KvError`] when a shard cannot be reached or rejects a phase.
+pub fn grow_replicated(
+    coord: &Nic,
+    cell: &RoutingCell,
+    new_host: HostId,
+    new_repl_host: Option<HostId>,
+) -> Result<Arc<RoutingTable>, KvError> {
     // Flight-recorder trigger: snapshot recent shard activity at migration
     // boundaries, where retry storms and freeze waits cluster.
     faasm_telemetry::tier("state-shard").note_anomaly("reshard grow begin");
     let old = cell.load();
+    if old.replication > 1 && new_repl_host.is_none() {
+        return Err(KvError::Server(
+            "a replicated tier's new shard needs a replica-traffic host".into(),
+        ));
+    }
     let new_epoch = old.epoch + 1;
     let mut hosts = old.hosts.clone();
     hosts.push(new_host);
+    let mut repl_hosts = old.repl_hosts.clone();
+    repl_hosts.extend(new_repl_host);
     let new_count = hosts.len() as u64;
+    let new_table = RoutingTable::replicated(
+        new_epoch,
+        hosts,
+        old.replication,
+        old.dead.clone(),
+        repl_hosts,
+    );
+    let (dead_u32, hosts_u32) = commit_args(&new_table);
+    let (old_dead_u32, old_hosts_u32) = commit_args(&old);
 
     let target = control(coord, new_host);
     let mut frozen: Vec<HostId> = Vec::new();
     let migrated = (|| {
-        for &donor in &old.hosts {
+        for slot in old.live_slots() {
+            let donor = old.hosts[slot];
             frozen.push(donor);
             let entries = control(coord, donor).migrate(new_epoch, new_count)?;
-            if !entries.is_empty() {
-                target.handoff(entries)?;
-            }
+            send_handoff_chunked(&target, entries)?;
         }
         Ok(())
     })();
@@ -81,7 +178,12 @@ pub fn grow(
         // Roll back: donors re-commit the old table. Nothing was purged,
         // so service resumes exactly as before the attempt.
         for &donor in &frozen {
-            let _ = control(coord, donor).epoch_commit(old.epoch, old.hosts.len() as u64);
+            let _ = control(coord, donor).epoch_commit(
+                old.epoch,
+                old.hosts.len() as u64,
+                &old_dead_u32,
+                &old_hosts_u32,
+            );
         }
         return Err(e);
     }
@@ -94,15 +196,116 @@ pub fn grow(
     // pending state. Aborting here instead would be strictly worse: the
     // donors' freeze only releases once the cell reaches the epoch they
     // name in `WrongEpoch`.
-    for &host in &hosts {
-        let _ = control(coord, host).epoch_commit(new_epoch, new_count);
+    for slot in new_table.live_slots() {
+        let _ = control(coord, new_table.hosts[slot])
+            .epoch_commit(new_epoch, new_count, &dead_u32, &hosts_u32);
     }
-    cell.store(RoutingTable {
-        epoch: new_epoch,
-        hosts,
-    });
+    cell.store(new_table);
     faasm_telemetry::tier("state-shard").note_anomaly("reshard grow commit");
     Ok(cell.load())
+}
+
+/// Fail a dead slot out of a replicated tier: tombstone its index at
+/// `epoch + 1`, commit the new table to every surviving slot (service for
+/// the dead slot's keys resumes at each survivor's commit — this window
+/// is the failover blackout), publish, then have every survivor re-ship
+/// replicas for the set members its keys gained, restoring redundancy.
+///
+/// No data migrates at the epoch bump itself: tombstoning re-ranks each of
+/// the dead slot's keys onto its first surviving replica, which — because
+/// acked writes required the full quorum — already holds every
+/// acknowledged write. On an unreplicated tier (`replication == 1`) the
+/// failover still reroutes the keys but their data is lost with the shard.
+///
+/// # Errors
+///
+/// Returns [`KvError`] when `dead_slot` is not a live slot of the current
+/// table or is the last one.
+pub fn failover(
+    coord: &Nic,
+    cell: &RoutingCell,
+    dead_slot: usize,
+) -> Result<Arc<RoutingTable>, KvError> {
+    fail_slot(coord, cell, dead_slot, false).map(|(table, _)| table)
+}
+
+/// Planned removal of a live slot from a replicated tier: [`failover`]
+/// except the victim also receives the commit — purging its entire store —
+/// and its main host is returned for shutdown.
+///
+/// # Errors
+///
+/// Returns [`KvError`] when `slot` is not live or is the last live slot.
+pub fn retire(
+    coord: &Nic,
+    cell: &RoutingCell,
+    slot: usize,
+) -> Result<(Arc<RoutingTable>, HostId), KvError> {
+    fail_slot(coord, cell, slot, true)
+}
+
+fn fail_slot(
+    coord: &Nic,
+    cell: &RoutingCell,
+    dead_slot: usize,
+    planned: bool,
+) -> Result<(Arc<RoutingTable>, HostId), KvError> {
+    let old = cell.load();
+    if dead_slot >= old.hosts.len() || !old.is_live(dead_slot) {
+        return Err(KvError::Server(format!(
+            "slot {dead_slot} is not a live slot of the current table"
+        )));
+    }
+    if old.live_count() <= 1 {
+        return Err(KvError::Server(
+            "cannot fail over the last live shard".into(),
+        ));
+    }
+    faasm_telemetry::tier("state-shard").note_anomaly(if planned {
+        "state shard retire begin"
+    } else {
+        "state shard failover begin"
+    });
+    let victim = old.hosts[dead_slot];
+    let new_epoch = old.epoch + 1;
+    let mut dead = old.dead.clone();
+    dead.push(dead_slot);
+    dead.sort_unstable();
+    let new_table = RoutingTable::replicated(
+        new_epoch,
+        old.hosts.clone(),
+        old.replication,
+        dead,
+        old.repl_hosts.clone(),
+    );
+    let (dead_u32, hosts_u32) = commit_args(&new_table);
+    let count = old.hosts.len() as u64;
+    if planned {
+        // The victim must stop serving (and purge) before its keys are
+        // served elsewhere; a dead host in an unplanned failover cannot.
+        control(coord, victim).epoch_commit(new_epoch, count, &dead_u32, &hosts_u32)?;
+    }
+    // Best-effort per survivor, publish regardless: a survivor that missed
+    // its commit redirects clients by epoch until it catches up.
+    for slot in new_table.live_slots() {
+        let _ = control(coord, new_table.hosts[slot])
+            .epoch_commit(new_epoch, count, &dead_u32, &hosts_u32);
+    }
+    cell.store(new_table);
+    // Blackout over: parked clients resume against the promoted replicas.
+    // Now restore full redundancy — each survivor re-ships the keys whose
+    // replica set gained a member when the slot was tombstoned.
+    let prev_dead_u32: Vec<u32> = old.dead.iter().map(|d| *d as u32).collect();
+    let installed = cell.load();
+    for slot in installed.live_slots() {
+        let _ = control(coord, installed.hosts[slot]).rebuild(&prev_dead_u32);
+    }
+    faasm_telemetry::tier("state-shard").note_anomaly(if planned {
+        "state shard retire commit"
+    } else {
+        "state shard failover commit"
+    });
+    Ok((installed, victim))
 }
 
 /// Shrink the tier by one shard: the last shard of the table exports
@@ -118,6 +321,13 @@ pub fn grow(
 pub fn shrink(coord: &Nic, cell: &RoutingCell) -> Result<(Arc<RoutingTable>, HostId), KvError> {
     faasm_telemetry::tier("state-shard").note_anomaly("reshard shrink begin");
     let old = cell.load();
+    if old.replication > 1 || !old.dead.is_empty() {
+        // On a replicated (or already-tombstoned) table a planned removal
+        // needs no migration at all: retire the last live slot instead.
+        return Err(KvError::Server(
+            "shrink is for unreplicated tables; use retire on a replicated tier".into(),
+        ));
+    }
     if old.hosts.len() <= 1 {
         return Err(KvError::Server("cannot retire the last state shard".into()));
     }
@@ -135,13 +345,13 @@ pub fn shrink(coord: &Nic, cell: &RoutingCell) -> Result<(Arc<RoutingTable>, Hos
     let handed = (|| {
         for (idx, batch) in per_target.into_iter().enumerate() {
             if !batch.is_empty() {
-                control(coord, hosts[idx]).handoff(batch)?;
+                send_handoff_chunked(&control(coord, hosts[idx]), batch)?;
             }
         }
         Ok(())
     })();
     if let Err(e) = handed {
-        let _ = control(coord, retiring).epoch_commit(old.epoch, old.hosts.len() as u64);
+        let _ = control(coord, retiring).epoch_commit(old.epoch, old.hosts.len() as u64, &[], &[]);
         return Err(e);
     }
     // Unlike grow, the surviving shards have seen nothing yet: until each
@@ -152,19 +362,18 @@ pub fn shrink(coord: &Nic, cell: &RoutingCell) -> Result<(Arc<RoutingTable>, Hos
     // whose purge also drops the imported copies it no longer owns).
     let mut committed: Vec<HostId> = Vec::new();
     for &host in &hosts {
-        if let Err(e) = control(coord, host).epoch_commit(new_epoch, new_count) {
-            let _ = control(coord, retiring).epoch_commit(old.epoch, old.hosts.len() as u64);
+        if let Err(e) = control(coord, host).epoch_commit(new_epoch, new_count, &[], &[]) {
+            let _ =
+                control(coord, retiring).epoch_commit(old.epoch, old.hosts.len() as u64, &[], &[]);
             for &done in &committed {
-                let _ = control(coord, done).epoch_commit(old.epoch, old.hosts.len() as u64);
+                let _ =
+                    control(coord, done).epoch_commit(old.epoch, old.hosts.len() as u64, &[], &[]);
             }
             return Err(e);
         }
         committed.push(host);
     }
-    cell.store(RoutingTable {
-        epoch: new_epoch,
-        hosts,
-    });
+    cell.store(RoutingTable::new(new_epoch, hosts));
     faasm_telemetry::tier("state-shard").note_anomaly("reshard shrink commit");
     Ok((cell.load(), retiring))
 }
@@ -191,10 +400,10 @@ mod tests {
                 )
             })
             .collect();
-        let cell = RoutingCell::new(RoutingTable {
-            epoch: 1,
-            hosts: servers.iter().map(KvServer::host_id).collect(),
-        });
+        let cell = RoutingCell::new(RoutingTable::new(
+            1,
+            servers.iter().map(KvServer::host_id).collect(),
+        ));
         (servers, cell)
     }
 
@@ -356,9 +565,9 @@ mod tests {
         let mut hosts: Vec<HostId> = servers.iter().map(KvServer::host_id).collect();
         hosts.push(newcomer.host_id());
         for &host in &hosts {
-            control(&coord, host).epoch_commit(2, 3).unwrap();
+            control(&coord, host).epoch_commit(2, 3, &[], &[]).unwrap();
         }
-        cell.store(RoutingTable { epoch: 2, hosts });
+        cell.store(RoutingTable::new(2, hosts));
 
         writer.join().unwrap().unwrap();
         assert_eq!(

@@ -1,17 +1,20 @@
 //! The KVS server: serves a [`KvStore`] over the fabric.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use faasm_net::{Envelope, Nic, TokenBucket, MSG_HEADER_BYTES};
+use faasm_net::{Envelope, HostId, Nic, TokenBucket, MSG_HEADER_BYTES};
 use faasm_telemetry::{SpanKind, TraceCtx};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use crate::codec::{decode_request_traced, encode_response, Request, Response};
-use crate::sharded::shard_index_for;
-use crate::store::KvStore;
+use crate::codec::{
+    decode_request_traced, decode_response, encode_request_at, encode_response, Request, Response,
+};
+use crate::sharded::{primary_index_live, replica_set_live};
+use crate::store::{KeyMigration, KvStore};
 
 /// The state tier's telemetry recorder (shared by every shard server in the
 /// process; cached so the hot path never touches the registry lock).
@@ -20,16 +23,39 @@ fn shard_recorder() -> &'static Arc<faasm_telemetry::Recorder> {
     REC.get_or_init(|| faasm_telemetry::tier("state-shard"))
 }
 
-#[derive(Debug, Clone, Copy)]
-struct RouteState {
+/// One routing table generation as a shard sees it: the epoch, the total
+/// slot count (live *and* dead), and the tombstoned slot indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TableInfo {
     epoch: u64,
     shard_count: usize,
+    dead: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct RouteState {
+    cur: TableInfo,
     index: usize,
-    /// A migration in flight: the `(epoch, shard_count)` being moved to.
-    /// While pending, the ownership check uses the *new* table — moving
-    /// keys are frozen (rejected with `WrongEpoch`) so no write can land
-    /// on the donor after its export snapshot and be lost.
-    pending: Option<(u64, usize)>,
+    /// A migration in flight: the table being moved to. While pending, a
+    /// keyed op is served only if the key's replica set is identical under
+    /// both tables and this shard is its primary — moving keys are frozen
+    /// (rejected with `WrongEpoch`) so no write can land on the donor
+    /// after its export snapshot and be lost.
+    pending: Option<TableInfo>,
+}
+
+/// Striped ordering locks for outbound replication: same fnv1a hash as the
+/// store's internal shards, so two writes to one key always forward in
+/// their apply order.
+const REPL_STRIPES: usize = 16;
+
+fn repl_stripe(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % REPL_STRIPES
 }
 
 /// One shard server's view of the cluster routing table: which epoch it
@@ -41,6 +67,9 @@ struct RouteState {
 /// read or write the wrong shard.
 pub struct ShardRouting {
     state: RwLock<RouteState>,
+    /// How many replicas (primary included) hold every key. Fixed for the
+    /// life of the tier; `1` reproduces the unreplicated behaviour.
+    replication: usize,
     /// Serialises migration state changes against in-flight keyed ops:
     /// every keyed request holds a read guard across its ownership check
     /// **and** store apply, while `Migrate`/`EpochCommit` hold the write
@@ -48,49 +77,99 @@ pub struct ShardRouting {
     /// that passed the check before `Migrate` landed could apply a write
     /// *after* the export snapshot — an acknowledged write silently lost.
     gate: RwLock<()>,
+    /// Replica-traffic host per slot (where `Replicate` frames are sent);
+    /// empty on an unreplicated tier.
+    peers: RwLock<Vec<HostId>>,
+    /// Ordering locks for outbound replication, striped by key. A forward
+    /// re-exports the key's *current* state under its stripe lock, so the
+    /// last forward in lock order always carries the newest state and a
+    /// backup can never end behind an acknowledged write.
+    repl_stripes: Vec<Mutex<()>>,
+    /// Chunked-handoff reassembly: transfer id → next expected frame seq.
+    xfers: Mutex<HashMap<u64, u32>>,
     wrong_epoch: AtomicU64,
     /// Total ns keyed requests spent blocked on `gate` while a migration
     /// held the write side (the freeze cost clients actually observed).
     freeze_wait: AtomicU64,
+    /// `Replicate` frames this primary has sent to backups.
+    repl_forwards: AtomicU64,
+    /// Total ns writes spent waiting for their backup acks (quorum wait).
+    repl_lag_ns: AtomicU64,
+    /// Epochs installed directly (no pending migration) that tombstoned a
+    /// new slot — each one is a failover this replica lived through.
+    promotions: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardRouting {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = *self.state.read();
+        let s = self.state.read().clone();
         f.debug_struct("ShardRouting")
-            .field("epoch", &s.epoch)
-            .field("shard_count", &s.shard_count)
+            .field("epoch", &s.cur.epoch)
+            .field("shard_count", &s.cur.shard_count)
+            .field("dead", &s.cur.dead)
             .field("index", &s.index)
+            .field("replication", &self.replication)
             .field("pending", &s.pending)
             .finish()
     }
 }
 
 impl ShardRouting {
-    /// A routing view serving `(epoch, shard_count)` as shard `index`.
+    /// A routing view serving `(epoch, shard_count)` as shard `index`,
+    /// unreplicated.
     pub fn new(epoch: u64, shard_count: usize, index: usize) -> Arc<ShardRouting> {
+        ShardRouting::replicated(epoch, shard_count, index, 1, Vec::new(), Vec::new())
+    }
+
+    /// A routing view over a replicated tier: `replication` replicas per
+    /// key, `dead` tombstoned slots, and the replica-traffic host per slot
+    /// in `peers` (indexed by slot; may be empty when `replication == 1`).
+    pub fn replicated(
+        epoch: u64,
+        shard_count: usize,
+        index: usize,
+        replication: usize,
+        dead: Vec<usize>,
+        peers: Vec<HostId>,
+    ) -> Arc<ShardRouting> {
         assert!(shard_count > 0, "a routed shard needs a non-empty table");
+        assert!(replication >= 1, "replication factor must be at least 1");
         Arc::new(ShardRouting {
             state: RwLock::new(RouteState {
-                epoch,
-                shard_count,
+                cur: TableInfo {
+                    epoch,
+                    shard_count,
+                    dead,
+                },
                 index,
                 pending: None,
             }),
+            replication,
             gate: RwLock::new(()),
+            peers: RwLock::new(peers),
+            repl_stripes: (0..REPL_STRIPES).map(|_| Mutex::new(())).collect(),
+            xfers: Mutex::new(HashMap::new()),
             wrong_epoch: AtomicU64::new(0),
             freeze_wait: AtomicU64::new(0),
+            repl_forwards: AtomicU64::new(0),
+            repl_lag_ns: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
         })
     }
 
     /// The epoch this shard currently serves.
     pub fn epoch(&self) -> u64 {
-        self.state.read().epoch
+        self.state.read().cur.epoch
     }
 
-    /// The shard count of the serving table.
+    /// The shard count of the serving table (live and dead slots).
     pub fn shard_count(&self) -> usize {
-        self.state.read().shard_count
+        self.state.read().cur.shard_count
+    }
+
+    /// The tombstoned slot indices of the serving table.
+    pub fn dead_slots(&self) -> Vec<usize> {
+        self.state.read().cur.dead.clone()
     }
 
     /// This shard's index in the table.
@@ -98,7 +177,12 @@ impl ShardRouting {
         self.state.read().index
     }
 
-    /// Keyed requests rejected with `WrongEpoch` so far.
+    /// Replicas per key (primary included).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Keyed requests rejected with `WrongEpoch`/`NotPrimary` so far.
     pub fn wrong_epoch_count(&self) -> u64 {
         self.wrong_epoch.load(Ordering::Relaxed)
     }
@@ -109,33 +193,80 @@ impl ShardRouting {
         self.freeze_wait.load(Ordering::Relaxed)
     }
 
-    /// Ownership check for one keyed request: `None` when this shard owns
-    /// `key` under the effective table, else the `(epoch, shard_count)` the
-    /// client must reach before retrying.
-    fn check(&self, key: &str, client_epoch: u64) -> Option<(u64, u64)> {
-        let s = *self.state.read();
-        if s.pending.is_none() && client_epoch == s.epoch {
+    /// Failover epochs this replica has installed (see `promotions` field).
+    pub fn promotions_count(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Ownership check for one keyed request: `None` when this shard is
+    /// the serving primary for `key`, else the redirect response the
+    /// client must act on (`WrongEpoch` to refresh its table, `NotPrimary`
+    /// when it reached a backup replica).
+    fn check(&self, key: &str, client_epoch: u64) -> Option<Response> {
+        let s = self.state.read();
+        if s.pending.is_none() && client_epoch == s.cur.epoch {
             // The client routed with this exact table, so the pure routing
-            // function already sent the key to its owner — skip the hash.
+            // function already sent the key to its primary — skip the hash.
             return None;
         }
-        let (epoch, count) = s.pending.unwrap_or((s.epoch, s.shard_count));
-        if s.index < count && shard_index_for(key, count) == s.index {
-            return None;
-        }
+        let cur_set = replica_set_live(key, s.cur.shard_count, &s.cur.dead, self.replication);
+        let resp = match &s.pending {
+            None => {
+                if cur_set.first() == Some(&s.index) {
+                    return None;
+                }
+                if cur_set.contains(&s.index) {
+                    Response::NotPrimary {
+                        epoch: s.cur.epoch,
+                        shard_count: s.cur.shard_count as u64,
+                    }
+                } else {
+                    Response::WrongEpoch {
+                        epoch: s.cur.epoch,
+                        shard_count: s.cur.shard_count as u64,
+                    }
+                }
+            }
+            Some(new) => {
+                // Migration pending: serve only keys whose replica set is
+                // untouched by the move (and whose primary we are) — all
+                // others are frozen until the commit.
+                let new_set = replica_set_live(key, new.shard_count, &new.dead, self.replication);
+                if new_set.first() == Some(&s.index) && new_set == cur_set {
+                    return None;
+                }
+                Response::WrongEpoch {
+                    epoch: new.epoch,
+                    shard_count: new.shard_count as u64,
+                }
+            }
+        };
         self.wrong_epoch.fetch_add(1, Ordering::Relaxed);
-        Some((epoch, count as u64))
+        Some(resp)
     }
 
-    fn begin(&self, epoch: u64, shard_count: usize) {
-        self.state.write().pending = Some((epoch, shard_count));
+    fn begin(&self, info: TableInfo) {
+        self.state.write().pending = Some(info);
     }
 
-    fn commit(&self, epoch: u64, shard_count: usize) {
+    /// Install `info` as the serving table. Returns `true` when this was a
+    /// direct install (no migration pending) that tombstoned at least one
+    /// new slot — i.e. a failover promotion this replica lived through.
+    fn commit(&self, info: TableInfo, peers: Option<Vec<HostId>>) -> bool {
         let mut s = self.state.write();
-        s.epoch = epoch;
-        s.shard_count = shard_count;
+        let promoted = s.pending.is_none()
+            && self.replication > 1
+            && info.dead.iter().any(|d| !s.cur.dead.contains(d));
+        if promoted {
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        s.cur = info;
         s.pending = None;
+        drop(s);
+        if let Some(p) = peers {
+            *self.peers.write() = p;
+        }
+        promoted
     }
 }
 
@@ -145,6 +276,11 @@ pub struct KvServer {
     store: Arc<KvStore>,
     routing: Option<Arc<ShardRouting>>,
     nic: Nic,
+    /// Dedicated replica-traffic NIC (replicated tiers only). Its workers
+    /// never issue outbound quorum calls, so two primaries forwarding to
+    /// each other can always make progress even with every main worker
+    /// blocked on a forward.
+    repl_nic: Option<Nic>,
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -209,31 +345,68 @@ impl KvServer {
         shaping: ServerShaping,
         routing: Option<Arc<ShardRouting>>,
     ) -> KvServer {
+        KvServer::start_replicated_full(nic, None, workers, store, shaping, routing)
+    }
+
+    /// Start a replicated shard server: `nic` serves clients (and forwards
+    /// writes to backups), `repl_nic` serves only inbound replica traffic
+    /// on dedicated workers so quorum forwards can never deadlock.
+    pub fn start_replicated(
+        nic: Nic,
+        repl_nic: Nic,
+        workers: usize,
+        store: Arc<KvStore>,
+        routing: Arc<ShardRouting>,
+    ) -> KvServer {
+        KvServer::start_replicated_full(nic, Some(repl_nic), workers, store, None, Some(routing))
+    }
+
+    fn start_replicated_full(
+        nic: Nic,
+        repl_nic: Option<Nic>,
+        workers: usize,
+        store: Arc<KvStore>,
+        shaping: ServerShaping,
+        routing: Option<Arc<ShardRouting>>,
+    ) -> KvServer {
         let stop = Arc::new(AtomicBool::new(false));
-        let handles = (0..workers.max(1))
-            .map(|_| {
-                let nic = nic.clone();
-                let store = Arc::clone(&store);
-                let stop = Arc::clone(&stop);
-                let shaping = shaping.clone();
-                let routing = routing.clone();
-                std::thread::spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        match nic.recv_timeout(Duration::from_millis(50)) {
-                            Ok(env) => {
-                                serve_one(&store, routing.as_deref(), &nic, env, shaping.as_deref())
-                            }
-                            Err(faasm_net::NetError::Timeout) => continue,
-                            Err(_) => break,
-                        }
+        let spawn_loop = |nic: Nic, forwards: bool| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let shaping = shaping.clone();
+            let routing = routing.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match nic.recv_timeout(Duration::from_millis(50)) {
+                        Ok(env) => serve_one(
+                            &store,
+                            routing.as_deref(),
+                            &nic,
+                            forwards,
+                            env,
+                            shaping.as_deref(),
+                        ),
+                        Err(faasm_net::NetError::Timeout) => continue,
+                        Err(_) => break,
                     }
-                })
+                }
             })
+        };
+        let mut handles: Vec<JoinHandle<()>> = (0..workers.max(1))
+            .map(|_| spawn_loop(nic.clone(), true))
             .collect();
+        if let Some(rn) = &repl_nic {
+            // Two replica workers: one can drain a rebuild stream while the
+            // other keeps acking live write forwards.
+            for _ in 0..2 {
+                handles.push(spawn_loop(rn.clone(), false));
+            }
+        }
         KvServer {
             store,
             routing,
             nic,
+            repl_nic,
             stop,
             workers: handles,
         }
@@ -242,6 +415,18 @@ impl KvServer {
     /// The server's host id on the fabric.
     pub fn host_id(&self) -> faasm_net::HostId {
         self.nic.id()
+    }
+
+    /// The replica-traffic host id, when this server runs one.
+    pub fn repl_host_id(&self) -> Option<faasm_net::HostId> {
+        self.repl_nic.as_ref().map(|n| n.id())
+    }
+
+    /// Every fabric host this server answers on (main + replica NIC).
+    pub fn host_ids(&self) -> Vec<faasm_net::HostId> {
+        let mut ids = vec![self.nic.id()];
+        ids.extend(self.repl_nic.as_ref().map(|n| n.id()));
+        ids
     }
 
     /// Direct access to the underlying store (test/metric inspection).
@@ -276,11 +461,14 @@ fn serve_one(
     store: &KvStore,
     routing: Option<&ShardRouting>,
     nic: &Nic,
+    forwards: bool,
     env: Envelope,
     shaper: Option<&TokenBucket>,
 ) {
     let resp = match decode_request_traced(&env.payload) {
-        Ok((req, epoch, trace)) => apply_traced(store, routing, req, epoch, trace),
+        Ok((req, epoch, trace)) => {
+            apply_traced(store, routing, forwards.then_some(nic), req, epoch, trace)
+        }
         Err(e) => Response::Err(e.to_string()),
     };
     // One-way requests (fire-and-forget writes) carry no reply tag.
@@ -370,6 +558,9 @@ pub fn apply(store: &KvStore, req: Request) -> Response {
         Request::Migrate { .. } | Request::EpochCommit { .. } => {
             Response::Err("resharding requires a routed shard".into())
         }
+        Request::Replicate { .. } | Request::HandoffFrame { .. } | Request::Rebuild { .. } => {
+            Response::Err("replication requires a routed shard".into())
+        }
     }
 }
 
@@ -383,16 +574,207 @@ pub fn apply_routed(
     req: Request,
     client_epoch: u64,
 ) -> Response {
-    apply_traced(store, routing, req, client_epoch, TraceCtx::NONE)
+    apply_traced(store, routing, None, req, client_epoch, TraceCtx::NONE)
 }
 
-/// [`apply_routed`] with the request's decoded trace context: a traced
-/// keyed op records a [`SpanKind::ShardApply`] span (parented under the
-/// client's stamp) covering freeze-gate wait + ownership check + apply, so
-/// the state tier appears in the ingress call's span tree.
+/// How long a primary waits for one backup's `ReplAck` before declaring
+/// the write quorum unavailable. Short relative to the fabric default so a
+/// dead backup stalls writers for at most one forward, not 30 s.
+pub const REPL_CALL_TIMEOUT: Duration = Duration::from_millis(400);
+
+/// Chunked-handoff frame caps: a frame carries at most this many entries
+/// and roughly this many payload bytes, whichever fills first.
+pub const HANDOFF_FRAME_ENTRIES: usize = 512;
+/// See [`HANDOFF_FRAME_ENTRIES`].
+pub const HANDOFF_FRAME_BYTES: usize = 256 * 1024;
+
+fn entry_weight(e: &KeyMigration) -> usize {
+    e.key.len()
+        + e.value.as_ref().map_or(0, |v| v.len())
+        + e.set.iter().map(|m| m.len()).sum::<usize>()
+        + 17
+}
+
+fn oversized(entries: &[KeyMigration]) -> bool {
+    entries.iter().any(|e| {
+        e.value
+            .as_ref()
+            .is_some_and(|v| v.len() as u64 > MAX_VALUE_BYTES)
+    })
+}
+
+/// Does this request mutate key state (and therefore need forwarding to
+/// backup replicas once applied)?
+fn mutates_key(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Set { .. }
+            | Request::SetRange { .. }
+            | Request::MultiSetRange { .. }
+            | Request::Append { .. }
+            | Request::Del { .. }
+            | Request::Incr { .. }
+            | Request::SAdd { .. }
+            | Request::SRem { .. }
+            | Request::TryLock { .. }
+            | Request::Unlock { .. }
+    )
+}
+
+/// Forward `key`'s post-apply state to every backup replica and gate the
+/// ack on the full write quorum (all live replicas). A key with no state
+/// left (a delete) ships as a tombstone entry, which `import_keys`
+/// resolves to removal. Returns the original `resp` when the quorum acked,
+/// else [`Response::Unavailable`] (the local apply stands; the client
+/// parks for the failover epoch and retries).
+fn forward_replicas(
+    store: &KvStore,
+    routing: &ShardRouting,
+    nic: &Nic,
+    key: &str,
+    resp: Response,
+    trace: TraceCtx,
+) -> Response {
+    let (epoch, count, dead, index) = {
+        let s = routing.state.read();
+        (s.cur.epoch, s.cur.shard_count, s.cur.dead.clone(), s.index)
+    };
+    let set = replica_set_live(key, count, &dead, routing.replication);
+    if set.len() <= 1 || set.first() != Some(&index) {
+        return resp;
+    }
+    let peers = routing.peers.read().clone();
+    let start = faasm_telemetry::now_ns();
+    // Stripe lock: orders this export+send against every other forward of
+    // the same key, so the last forward always carries the newest state.
+    let _ordered = routing.repl_stripes[repl_stripe(key)].lock();
+    let mut entries = store.export_keys(|k| k == key);
+    if entries.is_empty() {
+        // The op removed the key's last state: replicate the removal.
+        entries.push(KeyMigration {
+            key: key.to_string(),
+            value: None,
+            set: Vec::new(),
+            lock: None,
+        });
+    }
+    let msg = encode_request_at(&Request::Replicate { entries }, epoch);
+    let mut acked = 1usize; // the primary's own apply
+    for &slot in &set[1..] {
+        let fwd_start = faasm_telemetry::now_ns();
+        let ok = peers.get(slot).is_some_and(|host| {
+            nic.call_timeout(*host, msg.clone(), REPL_CALL_TIMEOUT)
+                .ok()
+                .and_then(|b| decode_response(&b).ok())
+                .is_some_and(|r| matches!(r, Response::ReplAck { .. }))
+        });
+        routing.repl_forwards.fetch_add(1, Ordering::Relaxed);
+        if !trace.is_none() {
+            shard_recorder().span(SpanKind::ReplForward, trace, fwd_start, 0);
+        }
+        if ok {
+            acked += 1;
+        }
+    }
+    routing.repl_lag_ns.fetch_add(
+        faasm_telemetry::now_ns().saturating_sub(start),
+        Ordering::Relaxed,
+    );
+    if !trace.is_none() {
+        shard_recorder().span(SpanKind::QuorumWait, trace, start, 0);
+    }
+    if acked < set.len() {
+        return Response::Unavailable {
+            epoch,
+            shard_count: count as u64,
+        };
+    }
+    resp
+}
+
+/// Re-ship replicas for keys whose replica set gained members when the
+/// table moved from `prev_dead` tombstones to the current ones — how a
+/// promoted replica set regains full redundancy after a failover. Returns
+/// the number of `(key, new member)` pairs shipped.
+fn rebuild_replicas(
+    store: &KvStore,
+    routing: &ShardRouting,
+    nic: &Nic,
+    prev_dead: &[usize],
+) -> u64 {
+    let (epoch, count, dead, index) = {
+        let s = routing.state.read();
+        (s.cur.epoch, s.cur.shard_count, s.cur.dead.clone(), s.index)
+    };
+    let r = routing.replication;
+    let peers = routing.peers.read().clone();
+    // Group this shard's primary keys by (gained member, stripe) so each
+    // group re-exports and ships under one stripe lock.
+    let mut groups: HashMap<(usize, usize), HashSet<String>> = HashMap::new();
+    for (key, _) in store.key_sizes() {
+        let cur_set = replica_set_live(&key, count, &dead, r);
+        if cur_set.first() != Some(&index) {
+            continue;
+        }
+        let prev_set = replica_set_live(&key, count, prev_dead, r);
+        for &slot in &cur_set[1..] {
+            if !prev_set.contains(&slot) {
+                groups
+                    .entry((slot, repl_stripe(&key)))
+                    .or_default()
+                    .insert(key.clone());
+            }
+        }
+    }
+    let mut shipped = 0u64;
+    for ((slot, stripe), keys) in groups {
+        let Some(&host) = peers.get(slot) else {
+            continue;
+        };
+        // The stripe lock spans the fresh export *and* the sends: a write
+        // forwarding concurrently waits here, then re-exports newer state,
+        // so a rebuild frame can never regress a backup.
+        let _ordered = routing.repl_stripes[stripe].lock();
+        let entries = store.export_keys(|k| keys.contains(k));
+        let mut batch: Vec<KeyMigration> = Vec::new();
+        let mut batch_bytes = 0usize;
+        let flush = |batch: &mut Vec<KeyMigration>, batch_bytes: &mut usize| {
+            if batch.is_empty() {
+                return;
+            }
+            let msg = encode_request_at(
+                &Request::Replicate {
+                    entries: std::mem::take(batch),
+                },
+                epoch,
+            );
+            let _ = nic.call_timeout(host, msg, REPL_CALL_TIMEOUT);
+            *batch_bytes = 0;
+        };
+        for e in entries {
+            batch_bytes += entry_weight(&e);
+            batch.push(e);
+            shipped += 1;
+            if batch.len() >= HANDOFF_FRAME_ENTRIES || batch_bytes >= HANDOFF_FRAME_BYTES {
+                flush(&mut batch, &mut batch_bytes);
+            }
+        }
+        flush(&mut batch, &mut batch_bytes);
+    }
+    shipped
+}
+
+/// [`apply_routed`] with the request's decoded trace context and fabric
+/// access: a traced keyed op records a [`SpanKind::ShardApply`] span
+/// (parented under the client's stamp) covering freeze-gate wait +
+/// ownership check + apply, so the state tier appears in the ingress
+/// call's span tree. With `net: Some(..)` on a replicated tier, a
+/// successful keyed write additionally forwards the key's state to its
+/// backup replicas and gates the ack on the write quorum.
 pub fn apply_traced(
     store: &KvStore,
     routing: Option<&ShardRouting>,
+    net: Option<&Nic>,
     req: Request,
     client_epoch: u64,
     trace: TraceCtx,
@@ -406,6 +788,26 @@ pub fn apply_traced(
             stats.epoch = routing.epoch();
             stats.wrong_epoch_redirects = routing.wrong_epoch_count();
             stats.freeze_wait_ns = routing.freeze_wait_ns();
+            stats.replication = routing.replication as u64;
+            stats.repl_forwards = routing.repl_forwards.load(Ordering::Relaxed);
+            stats.repl_lag_ns = routing.repl_lag_ns.load(Ordering::Relaxed);
+            stats.promotions = routing.promotions.load(Ordering::Relaxed);
+            if routing.replication > 1 {
+                let (count, dead, index) = {
+                    let s = routing.state.read();
+                    (s.cur.shard_count, s.cur.dead.clone(), s.index)
+                };
+                let (mut primary, mut backup) = (0u64, 0u64);
+                for (key, _) in store.key_sizes() {
+                    if primary_index_live(&key, count, &dead) == index {
+                        primary += 1;
+                    } else {
+                        backup += 1;
+                    }
+                }
+                stats.primary_keys = primary;
+                stats.backup_keys = backup;
+            }
             Response::Stats(stats)
         }
         Request::Migrate { epoch, shard_count } => {
@@ -415,25 +817,96 @@ pub fn apply_traced(
             // Write side of the gate: from here on no in-flight keyed op
             // can land between the freeze and the export snapshot.
             let _migrating = routing.gate.write();
-            routing.begin(epoch, shard_count as usize);
-            let index = routing.index();
+            let (cur, index) = {
+                let s = routing.state.read();
+                (s.cur.clone(), s.index)
+            };
+            let new_count = shard_count as usize;
+            routing.begin(TableInfo {
+                epoch,
+                shard_count: new_count,
+                dead: cur.dead.clone(),
+            });
+            let r = routing.replication;
+            // Export every key this shard is the serving primary for whose
+            // replica set changes under the new table — the coordinator
+            // routes each entry to the members the key gained.
             let moving = |key: &str| {
-                index >= shard_count as usize || shard_index_for(key, shard_count as usize) != index
+                index < cur.shard_count
+                    && primary_index_live(key, cur.shard_count, &cur.dead) == index
+                    && replica_set_live(key, new_count, &cur.dead, r)
+                        != replica_set_live(key, cur.shard_count, &cur.dead, r)
             };
             Response::Handoff(store.export_keys(moving))
         }
-        Request::EpochCommit { epoch, shard_count } => {
+        Request::EpochCommit {
+            epoch,
+            shard_count,
+            dead,
+            hosts,
+        } => {
             if shard_count == 0 {
                 return Response::Err("commit of an empty table".into());
             }
             let _migrating = routing.gate.write();
-            routing.commit(epoch, shard_count as usize);
-            let index = routing.index();
-            let moved = |key: &str| {
-                index >= shard_count as usize || shard_index_for(key, shard_count as usize) != index
+            let info = TableInfo {
+                epoch,
+                shard_count: shard_count as usize,
+                dead: dead.iter().map(|d| *d as usize).collect(),
             };
-            store.purge_keys(moved);
+            let peers = (!hosts.is_empty()).then(|| hosts.iter().map(|h| HostId(*h)).collect());
+            let promoted = routing.commit(info, peers);
+            let (count, dead, index) = {
+                let s = routing.state.read();
+                (s.cur.shard_count, s.cur.dead.clone(), s.index)
+            };
+            let r = routing.replication;
+            store.purge_keys(|key| !replica_set_live(key, count, &dead, r).contains(&index));
+            if promoted {
+                shard_recorder().note_anomaly("replica promotion: failover epoch installed");
+            }
             Response::Ok
+        }
+        Request::Replicate { entries } => {
+            if oversized(&entries) {
+                return Response::Err("replicate value beyond max value size".into());
+            }
+            let applied = entries.len() as u64;
+            store.import_keys(&entries);
+            Response::ReplAck { applied }
+        }
+        Request::HandoffFrame {
+            xfer,
+            seq,
+            last,
+            entries,
+        } => {
+            if oversized(&entries) {
+                return Response::Err("handoff value beyond max value size".into());
+            }
+            {
+                let mut xfers = routing.xfers.lock();
+                let expected = xfers.get(&xfer).copied().unwrap_or(0);
+                if seq != expected {
+                    return Response::Err(format!(
+                        "handoff frame {seq} out of order (expected {expected})"
+                    ));
+                }
+                if last {
+                    xfers.remove(&xfer);
+                } else {
+                    xfers.insert(xfer, seq + 1);
+                }
+            }
+            store.import_keys(&entries);
+            Response::Ok
+        }
+        Request::Rebuild { prev_dead } => {
+            let Some(nic) = net else {
+                return Response::Err("rebuild requires fabric access".into());
+            };
+            let prev: Vec<usize> = prev_dead.iter().map(|d| *d as usize).collect();
+            Response::Len(rebuild_replicas(store, routing, nic, &prev))
         }
         req => {
             let entered_ns = faasm_telemetry::now_ns();
@@ -450,11 +923,27 @@ pub fn apply_traced(
                 g
             });
             if let Some(key) = req.key() {
-                if let Some((epoch, shard_count)) = routing.check(key, client_epoch) {
-                    return Response::WrongEpoch { epoch, shard_count };
+                if let Some(redirect) = routing.check(key, client_epoch) {
+                    return redirect;
                 }
             }
-            let resp = apply(store, req);
+            // Snapshot what forwarding needs before the apply consumes the
+            // request (the key, and whether a TryLock refusal — a no-op on
+            // the store — can skip the forward).
+            let repl_key = match (net, routing.replication > 1, req.key()) {
+                (Some(_), true, Some(key)) if mutates_key(&req) => {
+                    Some((key.to_string(), matches!(req, Request::TryLock { .. })))
+                }
+                _ => None,
+            };
+            let mut resp = apply(store, req);
+            if let (Some(nic), Some((key, is_try_lock))) = (net, repl_key) {
+                let skip = matches!(resp, Response::Err(_))
+                    || (is_try_lock && resp == Response::Bool(false));
+                if !skip {
+                    resp = forward_replicas(store, routing, nic, &key, resp, trace);
+                }
+            }
             drop(serving);
             if !trace.is_none() {
                 shard_recorder().span(SpanKind::ShardApply, trace, entered_ns, 0);

@@ -37,13 +37,91 @@ fn client_recorder() -> &'static Arc<faasm_telemetry::Recorder> {
 
 /// One immutable version of the tier's routing: which fabric hosts serve
 /// which shard index, stamped with the epoch that produced it.
+///
+/// Slots are stable for the life of the tier: a crashed shard is
+/// *tombstoned* (its index lands in [`RoutingTable::dead`]) rather than
+/// removed, so every surviving slot keeps its rendezvous weight and the
+/// only keys that move are the dead slot's own — which fall to their
+/// next-ranked live slot, i.e. exactly their backup.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTable {
-    /// The table's routing epoch (bumped once per reshard).
+    /// The table's routing epoch (bumped once per reshard or failover).
     pub epoch: u64,
-    /// Shard servers in index order: key `k` is owned by
-    /// `hosts[shard_index_for(k, hosts.len())]`.
+    /// Shard servers in slot order: key `k` is served by the top-ranked
+    /// *live* slot of [`replica_set_live`]. Dead slots keep their entry
+    /// (never routed to) so survivor weights are stable.
     pub hosts: Vec<HostId>,
+    /// Replica-set size R: each key lives on the top-R live rendezvous
+    /// ranks (1 = today's single-owner tier).
+    pub replication: usize,
+    /// Tombstoned slot indices (sorted), excluded from routing.
+    pub dead: Vec<usize>,
+    /// Per-slot replication endpoints: the host a *primary* forwards
+    /// [`Request::Replicate`] to for each slot. Empty when `replication`
+    /// is 1 (no forwarding happens).
+    pub repl_hosts: Vec<HostId>,
+}
+
+impl RoutingTable {
+    /// A single-owner table (replication factor 1, no tombstones) — the
+    /// pre-replication shape every existing tier boots with.
+    pub fn new(epoch: u64, hosts: Vec<HostId>) -> RoutingTable {
+        RoutingTable {
+            epoch,
+            hosts,
+            replication: 1,
+            dead: Vec::new(),
+            repl_hosts: Vec::new(),
+        }
+    }
+
+    /// A replicated table: top-`replication` live ranks per key, with
+    /// `repl_hosts` as the per-slot forwarding endpoints.
+    pub fn replicated(
+        epoch: u64,
+        hosts: Vec<HostId>,
+        replication: usize,
+        dead: Vec<usize>,
+        repl_hosts: Vec<HostId>,
+    ) -> RoutingTable {
+        assert!(replication >= 1, "replication factor must be at least 1");
+        RoutingTable {
+            epoch,
+            hosts,
+            replication,
+            dead,
+            repl_hosts,
+        }
+    }
+
+    /// Whether `slot` is live (in range and not tombstoned).
+    pub fn is_live(&self, slot: usize) -> bool {
+        slot < self.hosts.len() && !self.dead.contains(&slot)
+    }
+
+    /// Number of live slots.
+    pub fn live_count(&self) -> usize {
+        self.hosts.len() - self.dead.len()
+    }
+
+    /// Live slot indices, ascending.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.hosts.len()).filter(|s| self.is_live(*s)).collect()
+    }
+
+    /// The slot serving `key` (rank 0 of its replica set).
+    pub fn primary_for(&self, key: &str) -> usize {
+        if self.dead.is_empty() {
+            shard_index_for(key, self.hosts.len())
+        } else {
+            primary_index_live(key, self.hosts.len(), &self.dead)
+        }
+    }
+
+    /// `key`'s ordered replica set over this table's live slots.
+    pub fn replica_set(&self, key: &str) -> Vec<usize> {
+        replica_set_live(key, self.hosts.len(), &self.dead, self.replication)
+    }
 }
 
 /// An epoch-versioned routing-table cell (ArcSwap-style): readers `load` a
@@ -58,7 +136,7 @@ pub struct RoutingCell {
 impl RoutingCell {
     /// A cell initially publishing `table`.
     pub fn new(table: RoutingTable) -> Arc<RoutingCell> {
-        assert!(!table.hosts.is_empty(), "a routing table needs shards");
+        assert!(table.live_count() > 0, "a routing table needs live shards");
         Arc::new(RoutingCell {
             table: RwLock::new(Arc::new(table)),
         })
@@ -72,7 +150,7 @@ impl RoutingCell {
     /// Publish the next table. Called by the resharding coordinator once
     /// every shard has committed the new epoch.
     pub fn store(&self, table: RoutingTable) {
-        assert!(!table.hosts.is_empty(), "a routing table needs shards");
+        assert!(table.live_count() > 0, "a routing table needs live shards");
         *self.table.write() = Arc::new(table);
     }
 
@@ -87,6 +165,28 @@ impl RoutingCell {
 struct ShardSet {
     epoch: u64,
     clients: Vec<KvClient>,
+    /// The table the set was built from (`None` for static sets, which
+    /// have no tombstones and route by plain `shard_index_for`).
+    table: Option<Arc<RoutingTable>>,
+}
+
+impl ShardSet {
+    /// The slot index serving `key` (its primary).
+    fn primary_for(&self, key: &str) -> usize {
+        match &self.table {
+            Some(t) => t.primary_for(key),
+            None => shard_index_for(key, self.clients.len()),
+        }
+    }
+
+    /// Whether `slot` may be routed to (dead slots are skipped by fan-out
+    /// operations like `ping` and `flush`).
+    fn is_live(&self, slot: usize) -> bool {
+        match &self.table {
+            Some(t) => t.is_live(slot),
+            None => true,
+        }
+    }
 }
 
 enum Source {
@@ -167,6 +267,66 @@ pub fn shard_index_for(key: &str, shard_count: usize) -> usize {
     best
 }
 
+/// `key`'s ordered replica set: the top-`replication` shards by rendezvous
+/// weight, rank 0 first. Rank 0 always equals [`shard_index_for`], so a
+/// replication factor of 1 degenerates to the single-owner tier. Growing
+/// the shard count by one can only insert the new shard into a set (the
+/// survivors' weights are unchanged), which is the minimal-movement
+/// property the migration and rebuild paths rely on.
+pub fn replica_set_for(key: &str, shard_count: usize, replication: usize) -> Vec<usize> {
+    replica_set_live(key, shard_count, &[], replication)
+}
+
+/// [`replica_set_for`] over the *live* slots only: tombstoned slots in
+/// `dead` never rank. Because dead slots keep their indices, tombstoning a
+/// slot leaves every set that did not contain it untouched, and a set that
+/// did loses only that member — its backup is already rank 1, so failover
+/// is a promotion, not a reshuffle.
+pub fn replica_set_live(
+    key: &str,
+    shard_count: usize,
+    dead: &[usize],
+    replication: usize,
+) -> Vec<usize> {
+    assert!(replication >= 1, "replica set needs at least one rank");
+    let kh = fnv1a(key.as_bytes());
+    // (weight, slot) for every live slot, ranked descending. Shard counts
+    // are small (tens); a full sort of the live slots is cheaper to reason
+    // about than a partial heap and is off the per-op hot path (r == 1
+    // routing uses `shard_index_for` directly).
+    let mut ranked: Vec<(u64, usize)> = (0..shard_count)
+        .filter(|i| !dead.contains(i))
+        .map(|i| (mix(kh ^ mix(i as u64)), i))
+        .collect();
+    assert!(!ranked.is_empty(), "no live shards to route to");
+    // Weight descending, slot ascending on (astronomically unlikely) ties —
+    // the same tie-break as `shard_index_for`'s first-max scan.
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.truncate(replication);
+    ranked.into_iter().map(|(_, i)| i).collect()
+}
+
+/// The top-ranked *live* slot for `key` — rank 0 of [`replica_set_live`]
+/// without the allocation (the client routing hot path under tombstones).
+pub fn primary_index_live(key: &str, shard_count: usize, dead: &[usize]) -> usize {
+    let kh = fnv1a(key.as_bytes());
+    let mut best: Option<(u64, usize)> = None;
+    for i in 0..shard_count {
+        if dead.contains(&i) {
+            continue;
+        }
+        let w = mix(kh ^ mix(i as u64));
+        let better = match best {
+            None => true,
+            Some((bw, _)) => w > bw,
+        };
+        if better {
+            best = Some((w, i));
+        }
+    }
+    best.expect("no live shards to route to").1
+}
+
 /// The exact key movement of an epoch change: every key in `keys` whose
 /// owner differs between `old_count` and `new_count` shards, paired with
 /// its new owner. Growing by one shard moves keys only *onto* the new
@@ -199,6 +359,7 @@ impl ShardedKvClient {
             source: Source::Static(Arc::new(ShardSet {
                 epoch: EPOCH_ANY,
                 clients: shards,
+                table: None,
             })),
             owner: KvClient::fresh_owner(),
         }
@@ -225,9 +386,10 @@ impl ShardedKvClient {
         shard_index_for(key, shard_count)
     }
 
-    /// The shard index owning `key` on this client's current table.
+    /// The shard index serving `key` (its primary) on this client's
+    /// current table.
     pub fn shard_index(&self, key: &str) -> usize {
-        shard_index_for(key, self.current().clients.len())
+        self.current().primary_for(key)
     }
 
     /// The routing epoch this client is currently operating at
@@ -325,10 +487,13 @@ impl ShardedKvClient {
         Ok(())
     }
 
-    /// Run `op` against `key`'s owning shard, transparently following
-    /// routing-epoch changes: `WrongEpoch` waits out the migration and
-    /// retries on the new table; a network error against a table the cell
-    /// has since replaced (a shard retired mid-call) refreshes and retries.
+    /// Run `op` against `key`'s primary shard, transparently following
+    /// routing-epoch changes: `WrongEpoch` and `NotPrimary` wait out the
+    /// migration (or failover) and retry on the new table; `Unavailable`
+    /// (a primary that cannot reach its write quorum) and network errors
+    /// against a cell-connected tier park for the *next* epoch — the
+    /// liveness monitor's failover — and retry, so a shard crash is a
+    /// bounded stall, not a lost operation.
     fn with_retry<T>(
         &self,
         key: &str,
@@ -338,19 +503,19 @@ impl ShardedKvClient {
         let mut waited = Duration::ZERO;
         loop {
             let set = self.current();
-            let client = &set.clients[shard_index_for(key, set.clients.len())];
+            let client = &set.clients[set.primary_for(key)];
             match op(client) {
-                Err(KvError::WrongEpoch { epoch, shard_count }) => {
+                Err(err @ (KvError::WrongEpoch { .. } | KvError::NotPrimary { .. })) => {
+                    let (epoch, retryable) = match &err {
+                        KvError::WrongEpoch { epoch, .. } => (*epoch, err.clone()),
+                        KvError::NotPrimary { epoch, .. } => (*epoch, err.clone()),
+                        _ => unreachable!(),
+                    };
                     // The park+retry is a first-class latency stage: record
                     // it as a span under the caller's active trace so epoch
                     // storms show up in the ingress call's tree.
                     let parked_ns = faasm_telemetry::now_ns();
-                    let outcome = self.wait_for_epoch(
-                        epoch,
-                        &mut attempt,
-                        &mut waited,
-                        KvError::WrongEpoch { epoch, shard_count },
-                    );
+                    let outcome = self.wait_for_epoch(epoch, &mut attempt, &mut waited, retryable);
                     let ctx = faasm_telemetry::current();
                     if !ctx.is_none() {
                         client_recorder().span(
@@ -362,16 +527,38 @@ impl ShardedKvClient {
                     }
                     outcome?;
                 }
+                Err(KvError::Unavailable { epoch, shard_count }) => {
+                    // The primary applied nothing it will ack: its quorum is
+                    // short a backup. Park for the epoch that removes the
+                    // dead replica (the liveness monitor's failover) and
+                    // retry; the budget inside `wait_for_epoch` bounds the
+                    // stall.
+                    self.wait_for_epoch(
+                        epoch + 1,
+                        &mut attempt,
+                        &mut waited,
+                        KvError::Unavailable { epoch, shard_count },
+                    )?;
+                }
                 Err(KvError::Net(e)) => {
-                    let newer = match &self.source {
-                        Source::Cell { cell, .. } => cell.epoch() != set.epoch,
-                        Source::Static(_) => false,
-                    };
-                    if !newer {
-                        return Err(KvError::Net(e));
+                    // A dead or partitioned shard: if a newer table is
+                    // already out, retry against it now; otherwise (cell
+                    // tiers only) park for the failover epoch like
+                    // `Unavailable` — the blackout between a crash and its
+                    // epoch bump must redirect in-flight ops, not fail them.
+                    match &self.source {
+                        Source::Static(_) => return Err(KvError::Net(e)),
+                        Source::Cell { cell, .. } => {
+                            if cell.epoch() == set.epoch {
+                                self.wait_for_epoch(
+                                    set.epoch + 1,
+                                    &mut attempt,
+                                    &mut waited,
+                                    KvError::Net(e),
+                                )?;
+                            }
+                        }
                     }
-                    // The table moved under us (the shard we called may be
-                    // retired): loop to rebuild and retry.
                 }
                 other => return other,
             }
@@ -384,12 +571,20 @@ impl ShardedKvClient {
     ///
     /// Returns [`KvError`] on network/server failure.
     pub fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
-        self.current().clients.iter().map(KvClient::stats).collect()
+        let set = self.current();
+        set.clients
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| set.is_live(*i))
+            .map(|(_, c)| c.stats())
+            .collect()
     }
 }
 
 /// Materialise a routing table into per-shard connections sharing `owner`.
-fn build_set(nic: &Nic, table: &RoutingTable, owner: u64) -> ShardSet {
+/// Dead slots get a connection too (slot indexing stays direct) but are
+/// never routed to.
+fn build_set(nic: &Nic, table: &Arc<RoutingTable>, owner: u64) -> ShardSet {
     ShardSet {
         epoch: table.epoch,
         clients: table
@@ -397,6 +592,7 @@ fn build_set(nic: &Nic, table: &RoutingTable, owner: u64) -> ShardSet {
             .iter()
             .map(|&host| KvClient::connect_at(nic.clone(), host, table.epoch, owner))
             .collect(),
+        table: Some(Arc::clone(table)),
     }
 }
 
@@ -520,15 +716,21 @@ impl KvBackend for ShardedKvClient {
     }
 
     fn ping(&self) -> Result<(), KvError> {
-        for shard in &self.current().clients {
-            shard.ping()?;
+        let set = self.current();
+        for (i, shard) in set.clients.iter().enumerate() {
+            if set.is_live(i) {
+                shard.ping()?;
+            }
         }
         Ok(())
     }
 
     fn flush(&self) -> Result<(), KvError> {
-        for shard in &self.current().clients {
-            shard.flush()?;
+        let set = self.current();
+        for (i, shard) in set.clients.iter().enumerate() {
+            if set.is_live(i) {
+                shard.flush()?;
+            }
         }
         Ok(())
     }

@@ -95,6 +95,20 @@ pub struct ShardStats {
     /// Items carried by those batched requests (spans read + ranges
     /// written); `batched_items / batched_ops` is the realised batch width.
     pub batched_items: u64,
+    /// The tier's replica-set size R (1 for unreplicated shards).
+    pub replication: u64,
+    /// Primary → backup `Replicate` forwards sent by this shard.
+    pub repl_forwards: u64,
+    /// Total ns primaries spent waiting on replica quorums (replication
+    /// lag; `repl_lag_ns / repl_forwards` is the mean per-forward wait).
+    pub repl_lag_ns: u64,
+    /// Failover promotions observed (epoch installs that tombstoned a
+    /// live slot, promoting this shard's backup copies to primary).
+    pub promotions: u64,
+    /// Keys this shard currently serves as primary.
+    pub primary_keys: u64,
+    /// Keys this shard currently holds as a backup replica.
+    pub backup_keys: u64,
 }
 
 /// A sharded in-memory key-value store with global locks.
@@ -486,6 +500,12 @@ impl KvStore {
             freeze_wait_ns: 0,
             batched_ops: self.batched_ops.load(Ordering::Relaxed),
             batched_items: self.batched_items.load(Ordering::Relaxed),
+            replication: 1,
+            repl_forwards: 0,
+            repl_lag_ns: 0,
+            promotions: 0,
+            primary_keys: self.key_count() as u64,
+            backup_keys: 0,
         }
     }
 

@@ -7,7 +7,7 @@
 //! A [`NetModel`] converts measured bytes into modelled wire time for the
 //! latency figures.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -74,6 +74,7 @@ struct HostPort {
 
 struct FabricInner {
     hosts: Mutex<HashMap<HostId, HostPort>>,
+    partitioned: Mutex<HashSet<HostId>>,
     total: TrafficStats,
     next_host: AtomicU64,
     next_tag: AtomicU64,
@@ -106,6 +107,7 @@ impl Fabric {
         Fabric {
             inner: Arc::new(FabricInner {
                 hosts: Mutex::new(HashMap::new()),
+                partitioned: Mutex::new(HashSet::new()),
                 total: TrafficStats::new(),
                 next_host: AtomicU64::new(0),
                 next_tag: AtomicU64::new(1),
@@ -142,6 +144,28 @@ impl Fabric {
     /// [`NetError::UnknownHost`] or [`NetError::Disconnected`].
     pub fn remove_host(&self, id: HostId) {
         self.inner.hosts.lock().remove(&id);
+        self.inner.partitioned.lock().remove(&id);
+    }
+
+    /// Cut a host off the fabric without removing it: traffic to or from it
+    /// is silently dropped, so senders see [`NetError::Timeout`] rather than
+    /// a routing error — a network partition, not a crash. Undo with
+    /// [`Fabric::heal_host`].
+    pub fn partition_host(&self, id: HostId) {
+        self.inner.partitioned.lock().insert(id);
+    }
+
+    /// Reconnect a host cut off by [`Fabric::partition_host`].
+    pub fn heal_host(&self, id: HostId) {
+        self.inner.partitioned.lock().remove(&id);
+    }
+
+    fn is_cut(&self, a: HostId, b: HostId) -> bool {
+        let p = self.inner.partitioned.lock();
+        if p.is_empty() {
+            return false;
+        }
+        p.contains(&a) || p.contains(&b)
     }
 
     /// Number of registered hosts.
@@ -163,6 +187,11 @@ impl Fabric {
     /// nothing across the fabric, and counting it would break the
     /// "measured, not modelled" invariant.
     fn route_request(&self, env: Envelope, dst: HostId) -> Result<(), NetError> {
+        if self.is_cut(env.src, dst) {
+            // Partitioned link: the frame vanishes in transit. The sender
+            // sees a timeout (its bytes did leave the host), never an error.
+            return Ok(());
+        }
         let bytes = env.payload.len() as u64 + MSG_HEADER_BYTES;
         let hosts = self.inner.hosts.lock();
         let port = hosts.get(&dst).ok_or(NetError::UnknownHost(dst))?;
@@ -173,6 +202,10 @@ impl Fabric {
     }
 
     fn route_response(&self, dst: HostId, tag: u64, payload: Vec<u8>) -> Result<(), NetError> {
+        if self.inner.partitioned.lock().contains(&dst) {
+            // The responder's bytes are lost in transit; the caller times out.
+            return Ok(());
+        }
         let bytes = payload.len() as u64 + MSG_HEADER_BYTES;
         let hosts = self.inner.hosts.lock();
         let port = hosts.get(&dst).ok_or(NetError::UnknownHost(dst))?;
@@ -356,6 +389,10 @@ impl Nic {
             // bug, so surface it.
             return Err(NetError::Disconnected);
         };
+        if self.inner.fabric.is_cut(self.inner.id, env.src) {
+            // The reply is lost in the partition; the caller times out.
+            return Ok(());
+        }
         let len = payload.len();
         self.inner.fabric.route_response(env.src, tag, payload)?;
         self.record_send(len);

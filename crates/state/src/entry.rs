@@ -7,6 +7,13 @@
 //! local read/write lock. Pulls fetch only missing chunks; pushes send only
 //! dirty chunks — the mechanism behind Listing 1's sparse matrix access and
 //! batched weight updates.
+//!
+//! Failover transparency: batched pulls and pushes go through the shared
+//! [`SharedKv`] backend, whose cell-connected sharded client parks and
+//! retries on `WrongEpoch`/`NotPrimary` redirects and on the network
+//! errors of a crashed primary. A push in flight when a shard dies simply
+//! waits out the failover blackout and lands on the promoted backup — no
+//! code here knows replication exists.
 
 use faasm_kvs::{LockMode, SharedKv};
 use faasm_mem::SharedRegion;

@@ -178,10 +178,14 @@ pub enum SpanKind {
     WrongEpochRetry = 8,
     /// Server-side apply of one routed keyed op at a state shard.
     ShardApply = 9,
+    /// Primary → backup replication forward (one backup round-trip).
+    ReplForward = 10,
+    /// Total time a primary write waited for its replica quorum.
+    QuorumWait = 11,
 }
 
 /// Number of span kinds (histogram array size).
-pub const SPAN_KINDS: usize = 10;
+pub const SPAN_KINDS: usize = 12;
 
 impl SpanKind {
     /// All kinds, in wire order.
@@ -196,6 +200,8 @@ impl SpanKind {
         SpanKind::LockWait,
         SpanKind::WrongEpochRetry,
         SpanKind::ShardApply,
+        SpanKind::ReplForward,
+        SpanKind::QuorumWait,
     ];
 
     /// Stable display name (also the JSON key).
@@ -211,6 +217,8 @@ impl SpanKind {
             SpanKind::LockWait => "lock_wait",
             SpanKind::WrongEpochRetry => "wrong_epoch_retry",
             SpanKind::ShardApply => "shard_apply",
+            SpanKind::ReplForward => "repl_forward",
+            SpanKind::QuorumWait => "quorum_wait",
         }
     }
 }

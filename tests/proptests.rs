@@ -755,6 +755,69 @@ proptest! {
         }
     }
 
+    /// Ordered replica sets keep the rendezvous invariants the replicated
+    /// tier stands on: rank 0 is the single-owner routing, growing the tier
+    /// can only insert the newcomer into a set (minimal movement), the
+    /// primary-change set is exactly the rendezvous delta, and tombstoning
+    /// a slot promotes within the extended ranking — sets not containing
+    /// the dead slot are untouched.
+    #[test]
+    fn replica_sets_are_stable_and_minimal(
+        shards in 1usize..6,
+        replication in 1usize..4,
+        raw in prop::collection::vec(any::<u64>(), 1..96),
+    ) {
+        let keys: Vec<String> = raw.iter().map(|k| format!("state:{k}")).collect();
+        let delta: HashMap<String, usize> =
+            kvs::rendezvous_delta(&keys, shards, shards + 1).into_iter().collect();
+        for key in &keys {
+            let set = kvs::replica_set_for(key, shards, replication);
+            prop_assert_eq!(set.len(), replication.min(shards));
+            let distinct: std::collections::HashSet<&usize> = set.iter().collect();
+            prop_assert_eq!(distinct.len(), set.len(), "ranks must be distinct");
+            prop_assert_eq!(set[0], kvs::shard_index_for(key, shards));
+
+            // Growth: the grown set draws only from the old set plus the
+            // newcomer, and the primary changes exactly on the delta keys.
+            let grown = kvs::replica_set_for(key, shards + 1, replication);
+            for slot in &grown {
+                prop_assert!(
+                    set.contains(slot) || *slot == shards,
+                    "growth may only insert the new shard into a replica set"
+                );
+            }
+            prop_assert_eq!(
+                grown[0] != set[0],
+                delta.contains_key(key.as_str()),
+                "primary changes exactly on the rendezvous delta"
+            );
+
+            // Tombstones: the live set is the extended ranking with the
+            // dead slot struck out, so failover is a promotion — and sets
+            // that never contained the victim do not move at all.
+            if shards > 1 {
+                for victim in [set[0], shards - 1] {
+                    let live = kvs::replica_set_live(key, shards, &[victim], replication);
+                    let mut expect: Vec<usize> =
+                        kvs::replica_set_for(key, shards, replication + 1)
+                            .into_iter()
+                            .filter(|s| *s != victim)
+                            .collect();
+                    expect.truncate(replication);
+                    prop_assert_eq!(&live, &expect, "tombstone must promote in rank order");
+                    if !set.contains(&victim) {
+                        prop_assert_eq!(&live, &set, "unaffected sets must not move");
+                    }
+                    prop_assert_eq!(
+                        live[0],
+                        kvs::primary_index_live(key, shards, &[victim]),
+                        "the allocation-free primary must match rank 0"
+                    );
+                }
+            }
+        }
+    }
+
     /// The migration-entry codec roundtrips arbitrary key state — values,
     /// set members and lock owners survive the wire bit-exact.
     #[test]

@@ -220,10 +220,10 @@ fn state_entry_push_waits_out_migration_without_blocking_other_chunks() {
             )
         })
         .collect();
-    let cell = RoutingCell::new(RoutingTable {
-        epoch: 1,
-        hosts: servers.iter().map(KvServer::host_id).collect(),
-    });
+    let cell = RoutingCell::new(RoutingTable::new(
+        1,
+        servers.iter().map(KvServer::host_id).collect(),
+    ));
     let kv: SharedKv = Arc::new(ShardedKvClient::connect(
         fabric.add_host(),
         Arc::clone(&cell),
@@ -279,9 +279,9 @@ fn state_entry_push_waits_out_migration_without_blocking_other_chunks() {
     let mut hosts: Vec<_> = servers.iter().map(KvServer::host_id).collect();
     hosts.push(newcomer.host_id());
     for &host in &hosts {
-        control(host).epoch_commit(2, 3).unwrap();
+        control(host).epoch_commit(2, 3, &[], &[]).unwrap();
     }
-    cell.store(RoutingTable { epoch: 2, hosts });
+    cell.store(RoutingTable::new(2, hosts));
 
     pusher.join().unwrap().unwrap();
     assert_eq!(
@@ -380,10 +380,10 @@ fn coordinator_grow_shrink_roundtrip_preserves_a_cluster_scale_dataset() {
             )
         })
         .collect();
-    let cell = RoutingCell::new(RoutingTable {
-        epoch: 1,
-        hosts: servers.iter().map(KvServer::host_id).collect(),
-    });
+    let cell = RoutingCell::new(RoutingTable::new(
+        1,
+        servers.iter().map(KvServer::host_id).collect(),
+    ));
     let client = ShardedKvClient::connect(fabric.add_host(), Arc::clone(&cell));
     for i in 0..256u32 {
         client
