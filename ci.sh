@@ -27,6 +27,9 @@ cargo run --release --example failover_storm
 echo "== trace-storm example (smoke): span tree from admission to state and back"
 cargo run --release --example trace_storm
 
+echo "== cache-locality example (smoke): zipfian storm, hit rate + zero staleness across a reshard"
+cargo run --release --example cache_locality
+
 echo "== gateway throughput bench, batched mode included (smoke)"
 cargo bench -p faasm-bench --bench gateway_throughput -- --test
 

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use faasm_core::{Cluster, ClusterConfig};
+use faasm_core::{Cluster, ClusterConfig, NativeApi, NativeGuest};
 use faasm_gateway::{
     Gateway, GatewayClient, GatewayConfig, GatewayServer, GatewayStatus, TenantPolicy,
 };
@@ -255,6 +255,119 @@ fn json_points(points: &[LoadPoint]) -> String {
     out
 }
 
+/// Shared-model bytes the state-bound function pulls every call.
+const AFFINITY_MODEL_BYTES: usize = 64 * 1024;
+
+/// Batched ingress with a *state-bound* function: every call invalidates
+/// and re-pulls a shared 64 KiB model from the global tier before a little
+/// compute. Uncached, each call pays the wire for the whole model; with
+/// the function-side cache the pull is served from a leased snapshot, and
+/// the affinity board steers placement toward instances whose caches
+/// already hold the model. The point of comparison is the queueing-delay
+/// tail (p99) at the same offered load.
+fn drive_state_bound(offered_rps: u64, requests: usize, cache_bytes: usize) -> LoadPoint {
+    const CLIENTS: usize = 4;
+    let cluster = Arc::new(Cluster::with_config(ClusterConfig {
+        hosts: 4,
+        cache_bytes,
+        ..ClusterConfig::default()
+    }));
+    cluster
+        .kv()
+        .set("aff:model", vec![7u8; AFFINITY_MODEL_BYTES])
+        .unwrap();
+    let guest: Arc<dyn NativeGuest> = Arc::new(|api: &mut NativeApi<'_>| {
+        let entry = api
+            .state("aff:model", AFFINITY_MODEL_BYTES)
+            .map_err(faasm_fvm::Trap::host)?;
+        entry.invalidate();
+        entry.pull().map_err(faasm_fvm::Trap::host)?;
+        let mut buf = [0u8; 64];
+        entry.read(0, &mut buf).map_err(faasm_fvm::Trap::host)?;
+        let acc: u64 = buf.iter().map(|b| u64::from(*b)).sum();
+        api.write_output(&acc.to_le_bytes());
+        Ok(0)
+    });
+    cluster.register_native("bench", "modelread", guest, false);
+    let gateway = Arc::new(Gateway::start(
+        Arc::clone(&cluster),
+        GatewayConfig {
+            dispatchers: 4,
+            max_batch: 32,
+            max_inflight: 64,
+            autoscale: None,
+            ..GatewayConfig::default()
+        },
+    ));
+    gateway.set_tenant_policy(
+        "bench",
+        TenantPolicy {
+            queue_cap: 32_768,
+            ..TenantPolicy::default()
+        },
+    );
+    assert!(gateway.call("bench", "modelread", Vec::new()).is_ok());
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        let gw = Arc::clone(&gateway);
+        let n = requests / CLIENTS;
+        let per_client_rps = offered_rps as f64 / CLIENTS as f64;
+        handles.push(std::thread::spawn(move || {
+            let gap = Duration::from_secs_f64(1.0 / per_client_rps);
+            let start = Instant::now();
+            let (ticket_tx, ticket_rx) = std::sync::mpsc::channel::<u64>();
+            let waiter = {
+                let gw = Arc::clone(&gw);
+                std::thread::spawn(move || {
+                    let mut ok = 0u64;
+                    let mut shed = 0u64;
+                    for ticket in ticket_rx {
+                        match gw.wait(ticket).status {
+                            GatewayStatus::Ok => ok += 1,
+                            GatewayStatus::Overloaded | GatewayStatus::Expired => shed += 1,
+                            GatewayStatus::Failed(_) | GatewayStatus::Error(_) => {}
+                        }
+                    }
+                    (ok, shed)
+                })
+            };
+            for i in 0..n {
+                if i % 16 == 0 {
+                    let due = start + gap * i as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let _ = ticket_tx.send(gw.submit("bench", "modelread", Vec::new()));
+            }
+            drop(ticket_tx);
+            waiter.join().expect("waiter thread")
+        }));
+    }
+    let mut completed = 0;
+    let mut shed = 0;
+    for h in handles {
+        let (ok, s) = h.join().unwrap();
+        completed += ok;
+        shed += s;
+    }
+    let elapsed = t0.elapsed();
+    let m = gateway.metrics();
+    LoadPoint {
+        offered_rps,
+        requests,
+        completed,
+        shed,
+        sustained_rps: completed as f64 / elapsed.as_secs_f64(),
+        p50_queue_ms: m.queue_delay_p50_ns() as f64 / 1e6,
+        p99_queue_ms: m.queue_delay_p99_ns() as f64 / 1e6,
+        batch_occupancy: m.batch_occupancy(),
+    }
+}
+
 /// Tracing-on vs tracing-off throughput on the batched path at the top
 /// load: the tentpole's <2% overhead bar. Wire formats carry trace ids in
 /// both runs (toggling must not change codecs); `set_enabled` gates only
@@ -281,6 +394,24 @@ fn main() {
     let local = run_mode(Ingress::InProcess, loads);
     let remote = run_mode(Ingress::OverFabric, loads);
     let batched = run_mode(Ingress::Batched, loads);
+
+    // State-affinity series: the same batched front door, but the function
+    // is state-bound. Cached instances answer from leased snapshots, so the
+    // queueing-delay tail collapses at the same offered load.
+    let &(aff_rps, aff_requests) = loads.last().expect("at least one load");
+    let aff_uncached = drive_state_bound(aff_rps, aff_requests, 0);
+    let aff_cached = drive_state_bound(aff_rps, aff_requests, 16 * 1024 * 1024);
+    println!(
+        "\nstate-bound batched ingress at {aff_rps} offered r/s ({} KiB model per call):\n  uncached: {:>8.0} req/s sustained, p50 {:.3} ms, p99 {:.3} ms\n  cached:   {:>8.0} req/s sustained, p50 {:.3} ms, p99 {:.3} ms (p99 {:.1}x lower)",
+        AFFINITY_MODEL_BYTES / 1024,
+        aff_uncached.sustained_rps,
+        aff_uncached.p50_queue_ms,
+        aff_uncached.p99_queue_ms,
+        aff_cached.sustained_rps,
+        aff_cached.p50_queue_ms,
+        aff_cached.p99_queue_ms,
+        aff_uncached.p99_queue_ms / aff_cached.p99_queue_ms.max(1e-6),
+    );
 
     let (tracing_on_rps, tracing_off_rps, overhead_pct) = tracing_overhead(loads);
     println!(
@@ -312,6 +443,23 @@ tracing overhead (batched, top load): off {tracing_off_rps:.0} req/s, on {tracin
     json.push_str(&json_points(&remote));
     json.push_str("  ],\n  \"loads_batched\": [\n");
     json.push_str(&json_points(&batched));
+    json.push_str("  ],\n  \"state_affinity_batched\": [\n");
+    for (i, (label, p)) in [("uncached", &aff_uncached), ("cached", &aff_cached)]
+        .iter()
+        .enumerate()
+    {
+        json.push_str(&format!(
+            "    {{\"cache\": \"{label}\", \"model_bytes\": {AFFINITY_MODEL_BYTES}, \"offered_rps\": {}, \"requests\": {}, \"completed\": {}, \"shed\": {}, \"sustained_rps\": {:.0}, \"p50_queue_ms\": {:.3}, \"p99_queue_ms\": {:.3}}}{}\n",
+            p.offered_rps,
+            p.requests,
+            p.completed,
+            p.shed,
+            p.sustained_rps,
+            p.p50_queue_ms,
+            p.p99_queue_ms,
+            if i == 1 { "" } else { "," }
+        ));
+    }
     json.push_str(&format!(
         "  ],\n  \"tracing_overhead\": {{\"tracing_off_rps\": {tracing_off_rps:.0}, \"tracing_on_rps\": {tracing_on_rps:.0}, \"overhead_pct\": {overhead_pct:.2}}}\n}}\n"
     ));

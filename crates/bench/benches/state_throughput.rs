@@ -517,6 +517,83 @@ fn bench_failover(secs: f64) -> FailoverPoint {
     }
 }
 
+struct CachePoint {
+    uncached_reads_per_sec: f64,
+    cached_reads_per_sec: f64,
+    speedup: f64,
+    hit_rate: f64,
+    uncached_p50_us: f64,
+    uncached_p99_us: f64,
+    cached_p50_us: f64,
+    cached_p99_us: f64,
+}
+
+/// Zipfian read storm through the function-side cache vs the bare sharded
+/// client: same tier, same keys, same access sequence. The cache serves
+/// leased snapshots of the hot head of the distribution, so nearly every
+/// read skips the wire; the uncached client pays a full RPC per read.
+fn bench_cached_zipfian(secs: f64) -> CachePoint {
+    const ZIPF_KEYS: usize = 64;
+    const ZIPF_VALUE: usize = 4 * 1024;
+
+    let tier = Tier::start(2, false);
+    let kv = tier.client();
+    let keys: Vec<String> = (0..ZIPF_KEYS).map(|i| format!("zipf:{i}")).collect();
+    for key in &keys {
+        kv.set(key, vec![5u8; ZIPF_VALUE]).unwrap();
+    }
+    // Zipf(1.1) cumulative weights and a deterministic xorshift mixer so
+    // both runs replay the identical access sequence.
+    let mut cum = Vec::with_capacity(ZIPF_KEYS);
+    let mut acc = 0.0f64;
+    for rank in 0..ZIPF_KEYS {
+        acc += 1.0 / ((rank + 1) as f64).powf(1.1);
+        cum.push(acc);
+    }
+    let pick = |seed: &mut u64| -> usize {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        let u = (*seed >> 11) as f64 / (1u64 << 53) as f64 * acc;
+        cum.iter().position(|c| *c >= u).unwrap_or(ZIPF_KEYS - 1)
+    };
+
+    let storm = |reader: &dyn KvBackend| -> (f64, f64, f64) {
+        let mut seed = 0x5eed_0123_4567_u64;
+        let mut lat_us: Vec<f64> = Vec::with_capacity(1 << 16);
+        let t0 = Instant::now();
+        while t0.elapsed().as_secs_f64() < secs {
+            let key = &keys[pick(&mut seed)];
+            let t = Instant::now();
+            let got = reader.get(key).unwrap();
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            assert!(got.is_some(), "seeded key must be present");
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        lat_us.sort_by(f64::total_cmp);
+        let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+        (lat_us.len() as f64 / elapsed, pct(0.50), pct(0.99))
+    };
+
+    let (uncached_rps, u_p50, u_p99) = storm(kv.as_ref());
+    let cache = faasm_kvs::CachedKv::new(
+        Arc::clone(&kv) as faasm_kvs::SharedKv,
+        faasm_kvs::CacheConfig::default(),
+    );
+    let (cached_rps, c_p50, c_p99) = storm(&cache);
+
+    CachePoint {
+        uncached_reads_per_sec: uncached_rps,
+        cached_reads_per_sec: cached_rps,
+        speedup: cached_rps / uncached_rps,
+        hit_rate: cache.stats().hit_rate(),
+        uncached_p50_us: u_p50,
+        uncached_p99_us: u_p99,
+        cached_p50_us: c_p50,
+        cached_p99_us: c_p99,
+    }
+}
+
 fn bench_shards(shards: usize, secs: f64) -> ScalePoint {
     let tier = Tier::start(shards, true);
     // The same 8 workers at every shard count, balanced over the shards.
@@ -592,6 +669,31 @@ fn main() {
         "service must continue during a live reshard"
     );
 
+    println!("\n== cached zipfian reads (64 x 4 KiB keys, 2 shards, zipf 1.1) ==");
+    let cached = bench_cached_zipfian(secs.max(0.3));
+    println!(
+        "uncached: {:.0} reads/s (p50 {:.1} us, p99 {:.1} us)",
+        cached.uncached_reads_per_sec, cached.uncached_p50_us, cached.uncached_p99_us
+    );
+    println!(
+        "cached:   {:.0} reads/s (p50 {:.1} us, p99 {:.1} us), hit rate {:.1}%",
+        cached.cached_reads_per_sec,
+        cached.cached_p50_us,
+        cached.cached_p99_us,
+        cached.hit_rate * 100.0
+    );
+    println!("cache speedup: {:.1}x", cached.speedup);
+    assert!(
+        cached.hit_rate >= 0.90,
+        "zipfian hit rate {:.3} must reach 90%",
+        cached.hit_rate
+    );
+    assert!(
+        cached.speedup >= 5.0,
+        "cached read throughput {:.1}x must reach 5x uncached",
+        cached.speedup
+    );
+
     println!("\n== replicated writes (3 shards, driver sets of 16 KiB) ==");
     let repl: Vec<ReplPoint> = [1usize, 2]
         .iter()
@@ -658,6 +760,17 @@ fn main() {
         reshard.after_mbps,
         reshard.min_window_mbps,
         reshard.migration_ms
+    ));
+    json.push_str(&format!(
+        "  \"cached_zipfian\": {{\n    \"keys\": 64,\n    \"value_bytes\": 4096,\n    \"zipf_s\": 1.1,\n    \"uncached_reads_per_sec\": {:.0},\n    \"cached_reads_per_sec\": {:.0},\n    \"speedup\": {:.1},\n    \"hit_rate\": {:.3},\n    \"uncached_p50_us\": {:.1},\n    \"uncached_p99_us\": {:.1},\n    \"cached_p50_us\": {:.1},\n    \"cached_p99_us\": {:.1}\n  }},\n",
+        cached.uncached_reads_per_sec,
+        cached.cached_reads_per_sec,
+        cached.speedup,
+        cached.hit_rate,
+        cached.uncached_p50_us,
+        cached.uncached_p99_us,
+        cached.cached_p50_us,
+        cached.cached_p99_us
     ));
     json.push_str("  \"replicated_write\": {\n    \"shards\": 3,\n    \"series\": [\n");
     for (i, p) in repl.iter().enumerate() {

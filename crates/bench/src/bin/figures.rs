@@ -2,14 +2,21 @@
 //!
 //! Usage: `cargo run -p faasm-bench --release --bin figures [EXPERIMENT]`
 //! where EXPERIMENT is one of `fig6`, `fig6-small`, `fig7`, `fig8`, `fig9a`,
-//! `fig9b`, `table3`, `fig10`, `shards`, `replicas`, `trace`, `metrics`, or
-//! `all` (default; excludes the telemetry and fault-injection commands).
+//! `fig9b`, `table3`, `fig10`, `shards`, `replicas`, `trace`, `metrics`,
+//! `cache`, or `all` (default; excludes the telemetry, fault-injection and
+//! cache commands).
 //!
 //! `replicas` boots a replication-factor-2 tier, prints the per-slot
 //! replica roles (primary/backup key counts), replication lag and the
 //! quorum-wait tail, then kills a primary and shows the liveness monitor's
 //! failover: the promoted table, the post-failover roles and the flight
 //! recorder's anomaly snapshot.
+//!
+//! `cache` storms the function-side state cache with a zipfian read-heavy
+//! mix at each consistency tier (plus an uncached baseline and a
+//! live-reshard run), printing per-tier hit rates, throughput and the
+//! hot-key → owning-shard view the affinity board steers by; pass `json`
+//! for a machine-readable dump.
 //!
 //! `trace` runs a built-in scenario — a gateway storm over a
 //! state-touching function with a live reshard mid-storm — then renders
@@ -75,6 +82,245 @@ fn main() {
     if which == "metrics" {
         metrics_cmd(std::env::args().nth(2).as_deref() == Some("json"));
     }
+    if which == "cache" {
+        cache_cmd(std::env::args().nth(2).as_deref() == Some("json"));
+    }
+}
+
+// ── Cache: consistency tiers under a zipfian storm ──────────────────────
+
+/// One storm's worth of numbers for the `cache` exhibit.
+struct CacheRow {
+    series: String,
+    reads_per_sec: f64,
+    hit_rate: f64,
+    revalidations: u64,
+    invalidations: u64,
+}
+
+/// Storm the function-side state cache at every consistency tier over the
+/// same zipfian working set, next to an uncached baseline; the last run
+/// takes a live reshard mid-storm so the epoch-checked invalidation shows
+/// up as revalidations instead of stale serves.
+fn cache_cmd(json: bool) {
+    use faasm_kvs::{CacheConfig, CachedKv, Consistency, KvBackend, SharedKv};
+
+    const KEYS: usize = 64;
+    const VALUE_BYTES: usize = 4096;
+    const OPS: usize = 20_000;
+
+    let cluster = Arc::new(faasm_core::Cluster::with_config(
+        faasm_core::ClusterConfig {
+            hosts: 2,
+            state_shards: 2,
+            ..faasm_core::ClusterConfig::default()
+        },
+    ));
+    for i in 0..KEYS {
+        cluster
+            .kv()
+            .set(&format!("zipf:{i}"), vec![i as u8; VALUE_BYTES])
+            .unwrap();
+    }
+    // Zipf(~1.1) cumulative weights + deterministic xorshift, as in the
+    // cache_locality example.
+    let mut cum = Vec::with_capacity(KEYS);
+    let mut acc = 0.0;
+    for rank in 0..KEYS {
+        acc += 1.0 / ((rank + 1) as f64).powf(1.1);
+        cum.push(acc);
+    }
+    let total = *cum.last().expect("non-empty");
+    let storm = |reader: &dyn KvBackend, reshard_at: Option<usize>| -> (f64, usize) {
+        let mut rng = 0x5eed_cafe_f00d_u64;
+        let mut reads = 0usize;
+        let t0 = Instant::now();
+        for op in 0..OPS {
+            if Some(op) == reshard_at {
+                cluster.add_state_shard().expect("live reshard");
+            }
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let x = (rng >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let rank = cum.iter().position(|c| *c >= x).unwrap_or(KEYS - 1);
+            let key = format!("zipf:{rank}");
+            if rng.is_multiple_of(10) {
+                reader.set(&key, rng.to_le_bytes().to_vec()).unwrap();
+            } else {
+                assert!(reader.get(&key).unwrap().is_some(), "{key} missing");
+                reads += 1;
+            }
+        }
+        (t0.elapsed().as_secs_f64(), reads)
+    };
+
+    let mut rows = Vec::new();
+    let (secs, reads) = storm(cluster.kv().as_ref(), None);
+    rows.push(CacheRow {
+        series: "uncached".into(),
+        reads_per_sec: reads as f64 / secs,
+        hit_rate: 0.0,
+        revalidations: 0,
+        invalidations: 0,
+    });
+    let mut hot: Vec<(String, u64)> = Vec::new();
+    for (label, mode, reshard) in [
+        ("eventual", Consistency::Eventual, None),
+        ("read_your_writes", Consistency::ReadYourWrites, None),
+        ("strong", Consistency::Strong, None),
+        (
+            "ryw + live reshard",
+            Consistency::ReadYourWrites,
+            Some(OPS / 2),
+        ),
+    ] {
+        let cache = CachedKv::new(
+            Arc::clone(cluster.kv()) as SharedKv,
+            CacheConfig {
+                default_consistency: mode,
+                ..CacheConfig::default()
+            },
+        );
+        let (secs, reads) = storm(&cache, reshard);
+        let stats = cache.stats();
+        rows.push(CacheRow {
+            series: label.into(),
+            reads_per_sec: reads as f64 / secs,
+            hit_rate: stats.hit_rate(),
+            revalidations: stats.revalidations,
+            invalidations: stats.invalidations,
+        });
+        if reshard.is_some() {
+            hot = cache.take_hot_keys();
+        }
+    }
+
+    let shard_count = cluster.state_shard_count();
+    if json {
+        let rows_json: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"series\":\"{}\",\"reads_per_sec\":{:.0},\"hit_rate\":{:.4},\"revalidations\":{},\"invalidations\":{}}}",
+                    r.series, r.reads_per_sec, r.hit_rate, r.revalidations, r.invalidations
+                )
+            })
+            .collect();
+        let hot_json: Vec<String> = hot
+            .iter()
+            .take(8)
+            .map(|(k, n)| {
+                format!(
+                    "{{\"key\":\"{k}\",\"reads\":{n},\"shard\":{}}}",
+                    faasm_kvs::shard_index_for(k, shard_count)
+                )
+            })
+            .collect();
+        println!(
+            "{{\"keys\":{KEYS},\"value_bytes\":{VALUE_BYTES},\"ops\":{OPS},\"series\":[{}],\"hot_keys\":[{}]}}",
+            rows_json.join(","),
+            hot_json.join(",")
+        );
+        return;
+    }
+    println!("\n=== Function-side state cache: consistency tiers under a zipfian storm ===");
+    println!("{KEYS} keys x {VALUE_BYTES} B, {OPS} ops (90% reads), zipf s=1.1");
+    let mut t = Table::new(&[
+        "series",
+        "reads/s",
+        "hit rate",
+        "revalidations",
+        "invalidations",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.series.clone(),
+            format!("{:.0}", r.reads_per_sec),
+            if r.series == "uncached" {
+                "-".into()
+            } else {
+                format!("{:.1}%", r.hit_rate * 100.0)
+            },
+            r.revalidations.to_string(),
+            r.invalidations.to_string(),
+        ]);
+    }
+    t.print();
+    println!("hot keys → owning shard (the affinity board's placement signal):");
+    for (k, n) in hot.iter().take(8) {
+        println!(
+            "  {k} x{n} → shard {}",
+            faasm_kvs::shard_index_for(k, shard_count)
+        );
+    }
+    println!("shape: eventual ≥ ryw ≫ strong ≈ uncached; the reshard run trades");
+    println!("a revalidation burst at the epoch bump for zero stale serves.");
+
+    // Per-instance view: the same cache wired into every instance
+    // (`cache_bytes`), a state-bound function (invalidate + re-pull a
+    // shared model each call, like a model server), and the affinity
+    // board the placement decision reads — occupancy and placement share.
+    let cluster = Arc::new(faasm_core::Cluster::with_config(
+        faasm_core::ClusterConfig {
+            hosts: 2,
+            cache_bytes: 16 << 20,
+            ..faasm_core::ClusterConfig::default()
+        },
+    ));
+    const MODEL_BYTES: usize = 256 * 1024;
+    cluster
+        .kv()
+        .set("figures:model", vec![3u8; MODEL_BYTES])
+        .unwrap();
+    let guest: Arc<dyn faasm_core::NativeGuest> =
+        Arc::new(|api: &mut faasm_core::NativeApi<'_>| {
+            let entry = api
+                .state("figures:model", MODEL_BYTES)
+                .map_err(faasm_fvm::Trap::host)?;
+            entry.invalidate();
+            entry.pull().map_err(faasm_fvm::Trap::host)?;
+            let mut buf = [0u8; 64];
+            entry.read(0, &mut buf).map_err(faasm_fvm::Trap::host)?;
+            api.write_output(&buf[..8]);
+            Ok(0)
+        });
+    cluster.register_native("cachefig", "modelread", guest, false);
+    for _ in 0..32 {
+        let r = cluster.invoke("cachefig", "modelread", Vec::new());
+        assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    }
+    let hosts: Vec<faasm_net::HostId> = cluster.instances().iter().map(|i| i.host_id()).collect();
+    let affinity = cluster.boards().affinities("cachefig", "modelread", &hosts);
+    let total_affinity: u64 = affinity.iter().map(|(_, a)| a).sum();
+    let mut t = Table::new(&[
+        "instance",
+        "cached bytes",
+        "hits",
+        "misses",
+        "affinity share",
+    ]);
+    for inst in cluster.instances().iter() {
+        let cache = inst.cache().expect("cache_bytes > 0 wires a cache");
+        let s = cache.stats();
+        let score = affinity
+            .iter()
+            .find(|(h, _)| *h == inst.host_id())
+            .map_or(0, |(_, a)| *a);
+        t.row(&[
+            format!("host {}", inst.host_id().0),
+            cache.cached_bytes().to_string(),
+            s.hits.to_string(),
+            s.misses.to_string(),
+            if total_affinity == 0 {
+                "-".into()
+            } else {
+                format!("{:.0}%", score as f64 / total_affinity as f64 * 100.0)
+            },
+        ]);
+    }
+    println!("\nper-instance caches after 32 model-serving calls (256 KiB model):");
+    t.print();
 }
 
 // ── Telemetry: one call's span tree, cluster-wide metrics ───────────────

@@ -47,6 +47,13 @@ pub struct ClusterConfig {
     pub instance: InstanceConfig,
     /// Default timeout for synchronous invocations.
     pub invoke_timeout: Duration,
+    /// Per-instance function-side state cache budget in bytes; 0 disables
+    /// caching entirely (every read rides the wire — the pre-cache
+    /// behaviour, and the default).
+    pub cache_bytes: usize,
+    /// Consistency mode for cached keys without a per-key override (only
+    /// meaningful when `cache_bytes > 0`).
+    pub default_consistency: faasm_kvs::Consistency,
 }
 
 impl Default for ClusterConfig {
@@ -58,6 +65,8 @@ impl Default for ClusterConfig {
             replication_factor: 1,
             instance: InstanceConfig::default(),
             invoke_timeout: Duration::from_secs(60),
+            cache_bytes: 0,
+            default_consistency: faasm_kvs::Consistency::ReadYourWrites,
         }
     }
 }
@@ -102,6 +111,9 @@ pub struct Cluster {
     object_store: Arc<ObjectStore>,
     registry: Arc<FunctionRegistry>,
     instances: Vec<Arc<FaasmInstance>>,
+    /// Shared scheduling boards (peer load + state affinity), published to
+    /// every instance and read by the ingress tier's placement.
+    boards: Arc<faasm_sched::SchedBoards>,
     rr: RoundRobin,
     gateway_nic: faasm_net::Nic,
     gateway_pending: Arc<Pending>,
@@ -192,6 +204,17 @@ impl Cluster {
         let registry = Arc::new(FunctionRegistry::new());
         let call_seq = Arc::new(AtomicU64::new(1));
 
+        let boards = Arc::new(faasm_sched::SchedBoards::new());
+        // `cache_bytes` turns the function-side state cache on for every
+        // instance, unless the per-instance config already chose one.
+        let mut instance_config = config.instance.clone();
+        if instance_config.cache.is_none() && config.cache_bytes > 0 {
+            instance_config.cache = Some(faasm_kvs::CacheConfig {
+                max_bytes: config.cache_bytes,
+                default_consistency: config.default_consistency,
+                ..faasm_kvs::CacheConfig::default()
+            });
+        }
         let instances: Vec<Arc<FaasmInstance>> = (0..config.hosts.max(1))
             .map(|_| {
                 FaasmInstance::start(
@@ -200,7 +223,8 @@ impl Cluster {
                     Arc::clone(&object_store),
                     Arc::clone(&registry),
                     Arc::clone(&call_seq),
-                    config.instance.clone(),
+                    Arc::clone(&boards),
+                    instance_config.clone(),
                 )
             })
             .collect();
@@ -265,6 +289,7 @@ impl Cluster {
             object_store,
             registry,
             instances,
+            boards,
             rr,
             gateway_nic,
             gateway_pending,
@@ -593,6 +618,11 @@ impl Cluster {
     /// The runtime instances.
     pub fn instances(&self) -> &[Arc<FaasmInstance>] {
         &self.instances
+    }
+
+    /// The shared scheduling boards (peer load + state affinity).
+    pub fn boards(&self) -> &Arc<faasm_sched::SchedBoards> {
+        &self.boards
     }
 
     /// Sum of a metric across instances.

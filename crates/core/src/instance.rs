@@ -13,9 +13,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use faasm_fvm::Linker;
-use faasm_kvs::{RoutingCell, ShardedKvClient, SharedKv};
+use faasm_kvs::{CacheConfig, CachedKv, RoutingCell, ShardedKvClient, SharedKv};
 use faasm_net::{Fabric, HostId, Nic};
-use faasm_sched::{decide, CallId, CallResult, CallSpec, Decision, Placement, WarmSets};
+use faasm_sched::{
+    decide, CallId, CallResult, CallSpec, Decision, Placement, SchedBoards, WarmSets,
+};
 use faasm_state::StateManager;
 use faasm_telemetry::{SpanKind, TraceCtx};
 use faasm_vfs::{HostFs, ObjectStore};
@@ -45,6 +47,11 @@ pub struct InstanceConfig {
     pub chunk_size: usize,
     /// Worker thread stack size (guest recursion uses the host stack).
     pub worker_stack: usize,
+    /// Function-side state cache over the global tier (`None` = every read
+    /// rides the wire, the pre-cache behaviour). When set, the instance's
+    /// `SharedKv` is a [`CachedKv`] and workers feed the scheduler's
+    /// state-affinity board from per-call cache hits.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for InstanceConfig {
@@ -55,6 +62,7 @@ impl Default for InstanceConfig {
             egress: None,
             chunk_size: faasm_state::DEFAULT_CHUNK_SIZE,
             worker_stack: 16 * 1024 * 1024,
+            cache: None,
         }
     }
 }
@@ -98,6 +106,10 @@ pub struct FaasmInstance {
     host_id: HostId,
     nic: Nic,
     kv: SharedKv,
+    /// The function-side state cache, when enabled — the same object `kv`
+    /// points at, kept concretely typed for stats and hot-key draining.
+    cache: Option<Arc<CachedKv>>,
+    boards: Arc<SchedBoards>,
     state: Arc<StateManager>,
     hostfs: Arc<HostFs>,
     object_store: Arc<ObjectStore>,
@@ -148,10 +160,21 @@ impl FaasmInstance {
         object_store: Arc<ObjectStore>,
         registry: Arc<FunctionRegistry>,
         call_seq: Arc<AtomicU64>,
+        boards: Arc<SchedBoards>,
         config: InstanceConfig,
     ) -> Arc<FaasmInstance> {
         let nic = fabric.add_host();
-        let kv: SharedKv = Arc::new(ShardedKvClient::connect(nic.clone(), Arc::clone(routing)));
+        let sharded: SharedKv =
+            Arc::new(ShardedKvClient::connect(nic.clone(), Arc::clone(routing)));
+        // The function-side cache interposes at the backend seam: state
+        // entries, warm sets and workloads all read through it unchanged.
+        let (kv, cache): (SharedKv, Option<Arc<CachedKv>>) = match &config.cache {
+            Some(cc) => {
+                let cached = Arc::new(CachedKv::new(sharded, cc.clone()));
+                (Arc::clone(&cached) as SharedKv, Some(cached))
+            }
+            None => (sharded, None),
+        };
         let state = Arc::new(StateManager::with_chunk_size(
             Arc::clone(&kv),
             config.chunk_size,
@@ -163,6 +186,8 @@ impl FaasmInstance {
             host_id: nic.id(),
             nic,
             kv,
+            cache,
+            boards,
             state,
             hostfs,
             object_store,
@@ -222,6 +247,11 @@ impl FaasmInstance {
     /// The global-tier client.
     pub fn kv(&self) -> &SharedKv {
         &self.kv
+    }
+
+    /// The function-side state cache, when enabled.
+    pub fn cache(&self) -> Option<&Arc<CachedKv>> {
+        self.cache.as_ref()
     }
 
     /// The host's local state tier.
@@ -416,6 +446,14 @@ impl FaasmInstance {
             .warm
             .hosts(&call.user, &call.function)
             .unwrap_or_default();
+        // Publish our depth and read the peers' from the boards, so a
+        // forward lands on the least-loaded warm peer — nudged toward
+        // peers whose state caches already hold this function's keys.
+        self.boards.publish_depth(self.host_id, self.queue_rx.len());
+        let peer_depths = self.boards.depths(&warm_hosts);
+        let peer_affinity = self
+            .boards
+            .affinities(&call.user, &call.function, &warm_hosts);
         let placement = decide(&Decision {
             this_host: self.host_id,
             warm_local: idle + busy,
@@ -423,6 +461,8 @@ impl FaasmInstance {
             warm_hosts: &warm_hosts,
             queue_depth: self.queue_rx.len(),
             seed: self.rotation.fetch_add(1, Ordering::Relaxed),
+            peer_depths: &peer_depths,
+            peer_affinity: &peer_affinity,
         });
         match placement {
             Placement::WarmLocal | Placement::ColdStartLocal => {
@@ -474,10 +514,21 @@ impl FaasmInstance {
         // as the thread's active context, so every state pull/push, lock
         // wait and KVS request the Faaslet issues nests under it.
         let exec_ctx = q.call.trace.child();
+        // With a state cache, collect which keys the call's cache hits
+        // touched: the per-function working set feeds the affinity board.
+        let touch = self.cache.as_ref().map(|_| faasm_kvs::cache::touch_scope());
         let result = {
             let _tracing = faasm_telemetry::set_current(exec_ctx);
             faaslet.run(&q.call)
         };
+        if let Some(scope) = touch {
+            let touched = scope.finish();
+            if !touched.is_empty() {
+                self.boards
+                    .report_affinity(&q.call.user, &q.call.function, self.host_id, &touched);
+            }
+        }
+        self.boards.publish_depth(self.host_id, self.queue_rx.len());
         let exec_ns = t0.elapsed().as_nanos() as u64;
         if !exec_ctx.is_none() {
             worker_recorder().record(faasm_telemetry::SpanRecord {

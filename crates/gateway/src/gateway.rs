@@ -534,19 +534,30 @@ impl Inner {
     }
 
     /// Choose the instance for one call: prefer hosts with idle warm
-    /// Faaslets for the function, penalise deep run queues, break ties by
-    /// rotation. The same signals `faasm_sched::decide` uses, applied one
-    /// tier earlier.
+    /// Faaslets for the function, penalise deep run queues, nudge toward
+    /// hosts whose state caches already hold the function's working set
+    /// (log-scaled so cache warmth never outweighs real load), break ties
+    /// by rotation. The same signals `faasm_sched::decide` uses, applied
+    /// one tier earlier.
     fn pick_instance(&self, tenant: &str, function: &str) -> Arc<FaasmInstance> {
         let instances = self.cluster.instances();
         debug_assert!(!instances.is_empty());
+        let hosts: Vec<faasm_net::HostId> = instances.iter().map(|i| i.host_id()).collect();
+        let affinity = self.cluster.boards().affinities(tenant, function, &hosts);
+        let affinity_of = |h: faasm_net::HostId| -> i64 {
+            let score = affinity
+                .iter()
+                .find(|(p, _)| *p == h)
+                .map_or(0, |(_, a)| *a);
+            (64 - score.leading_zeros()) as i64
+        };
         let start = self.rotation.fetch_add(1, Ordering::Relaxed);
         let mut best: Option<(i64, &Arc<FaasmInstance>)> = None;
         for off in 0..instances.len() {
             let inst = &instances[(start + off) % instances.len()];
             let warm = inst.warm_count(tenant, function) as i64;
             let depth = inst.queue_depth() as i64;
-            let score = warm * 4 - depth;
+            let score = warm * 4 - depth + affinity_of(inst.host_id());
             if best.as_ref().is_none_or(|(s, _)| score > *s) {
                 best = Some((score, inst));
             }

@@ -15,6 +15,10 @@ use crate::store::{LockMode, ShardStats};
 /// A handle to the global tier shared across a host's runtime.
 pub type SharedKv = Arc<dyn KvBackend>;
 
+/// Result of a versioned multi-span read: the spans' bytes (None if the
+/// key is absent) and the per-key version they were observed at.
+pub type VersionedRunsResult = Result<(Option<Vec<Vec<u8>>>, u64), KvError>;
+
 /// Operations the global state tier serves (Tab. 2's state tier plus the
 /// scheduler's warm sets and counters). Every method routes on its key, so
 /// a sharded backend places each key's value, locks, counters and sets on
@@ -181,6 +185,93 @@ pub trait KvBackend: Send + Sync {
     fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
         Ok(Vec::new())
     }
+
+    /// The routing epoch this backend currently serves under
+    /// ([`EPOCH_ANY`](crate::EPOCH_ANY) for backends that do not track
+    /// routing tables). A function-side cache stamps its snapshots with it
+    /// so a reshard or failover (which always bumps the epoch) forces
+    /// revalidation.
+    fn routing_epoch(&self) -> u64 {
+        crate::EPOCH_ANY
+    }
+
+    /// The key's mutation-version counter (0 if never mutated, or if the
+    /// backend does not track versions) — a revalidation probe carrying no
+    /// value bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn version_of(&self, key: &str) -> Result<u64, KvError> {
+        let _ = key;
+        Ok(0)
+    }
+
+    /// [`KvBackend::get`] with the version the bytes were observed at,
+    /// read atomically on the shard (0 from backends that do not track
+    /// versions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn get_versioned(&self, key: &str) -> Result<(Option<Vec<u8>>, u64), KvError> {
+        Ok((self.get(key)?, 0))
+    }
+
+    /// [`KvBackend::set`] returning the version the write installed (0
+    /// from backends that do not track versions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn set_versioned(&self, key: &str, value: Vec<u8>) -> Result<u64, KvError> {
+        self.set(key, value)?;
+        Ok(0)
+    }
+
+    /// [`KvBackend::set_range`] returning the version the write installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn set_range_versioned(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<u64, KvError> {
+        self.set_range(key, offset, data)?;
+        Ok(0)
+    }
+
+    /// [`KvBackend::del`] returning the version the deletion installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn del_versioned(&self, key: &str) -> Result<(bool, u64), KvError> {
+        Ok((self.del(key)?, 0))
+    }
+
+    /// [`KvBackend::multi_get_range`] with the version the runs were
+    /// observed at (one version for the whole atomic read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn multi_get_range_versioned(&self, key: &str, spans: &[(u64, u64)]) -> VersionedRunsResult {
+        Ok((self.multi_get_range(key, spans)?, 0))
+    }
+
+    /// [`KvBackend::multi_set_range`] returning the version the batch
+    /// installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn multi_set_range_versioned(
+        &self,
+        key: &str,
+        writes: Vec<(u64, Vec<u8>)>,
+    ) -> Result<u64, KvError> {
+        self.multi_set_range(key, writes)?;
+        Ok(0)
+    }
 }
 
 impl KvBackend for KvClient {
@@ -270,5 +361,41 @@ impl KvBackend for KvClient {
 
     fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
         Ok(vec![KvClient::stats(self)?])
+    }
+
+    fn version_of(&self, key: &str) -> Result<u64, KvError> {
+        KvClient::version_of(self, key)
+    }
+
+    fn get_versioned(&self, key: &str) -> Result<(Option<Vec<u8>>, u64), KvError> {
+        KvClient::get_versioned(self, key)
+    }
+
+    fn set_versioned(&self, key: &str, value: Vec<u8>) -> Result<u64, KvError> {
+        KvClient::set_versioned(self, key, value)
+    }
+
+    fn set_range_versioned(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<u64, KvError> {
+        KvClient::set_range_versioned(self, key, offset, data)
+    }
+
+    fn del_versioned(&self, key: &str) -> Result<(bool, u64), KvError> {
+        KvClient::del_versioned(self, key)
+    }
+
+    fn multi_get_range_versioned(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> Result<(Option<Vec<Vec<u8>>>, u64), KvError> {
+        KvClient::multi_get_range_versioned(self, key, spans)
+    }
+
+    fn multi_set_range_versioned(
+        &self,
+        key: &str,
+        writes: Vec<(u64, Vec<u8>)>,
+    ) -> Result<u64, KvError> {
+        KvClient::multi_set_range_versioned(self, key, writes)
     }
 }

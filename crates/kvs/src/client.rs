@@ -190,7 +190,21 @@ impl KvClient {
         self.check(self.exec(req)?)
     }
 
+    /// [`KvClient::request`] keeping the key's mutation-version counter
+    /// from a [`Response::Versioned`] reply (0 when the server did not
+    /// widen the reply).
+    pub(crate) fn request_versioned(&self, req: &Request) -> Result<(Response, u64), KvError> {
+        self.check_v(self.exec(req)?)
+    }
+
     fn check(&self, resp: Response) -> Result<Response, KvError> {
+        self.check_v(resp).map(|(inner, _)| inner)
+    }
+
+    /// Map server-side errors and unwrap the version envelope: the plain
+    /// API stays version-oblivious while versioned callers (the
+    /// function-side cache) read the exact counter the shard stamped.
+    fn check_v(&self, resp: Response) -> Result<(Response, u64), KvError> {
         match resp {
             Response::Err(m) => Err(KvError::Server(m)),
             Response::WrongEpoch { epoch, shard_count } => {
@@ -202,7 +216,8 @@ impl KvClient {
             Response::Unavailable { epoch, shard_count } => {
                 Err(KvError::Unavailable { epoch, shard_count })
             }
-            other => Ok(other),
+            Response::Versioned { version, inner } => Ok((*inner, version)),
+            other => Ok((other, 0)),
         }
     }
 
@@ -615,6 +630,120 @@ impl KvClient {
             prev_dead: prev_dead.to_vec(),
         })?)? {
             Response::Len(n) => Ok(n),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// The key's mutation-version counter (0 if never mutated) — the cheap
+    /// revalidation probe: no value bytes cross the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn version_of(&self, key: &str) -> Result<u64, KvError> {
+        match self.check(self.exec(&Request::VersionOf { key: key.into() })?)? {
+            Response::Len(n) => Ok(n),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// [`KvClient::get`] with the version the bytes were observed at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn get_versioned(&self, key: &str) -> Result<(Option<Vec<u8>>, u64), KvError> {
+        match self.check_v(self.exec(&Request::Get { key: key.into() })?)? {
+            (Response::Value(v), version) => Ok((v, version)),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// [`KvClient::set`] returning the version the write installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn set_versioned(&self, key: &str, value: Vec<u8>) -> Result<u64, KvError> {
+        match self.check_v(self.exec(&Request::Set {
+            key: key.into(),
+            value,
+        })?)? {
+            (Response::Ok, version) => Ok(version),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// [`KvClient::set_range`] returning the version the write installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn set_range_versioned(
+        &self,
+        key: &str,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Result<u64, KvError> {
+        match self.check_v(self.exec(&Request::SetRange {
+            key: key.into(),
+            offset,
+            data,
+        })?)? {
+            (Response::Ok, version) => Ok(version),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// [`KvClient::del`] returning the version the deletion installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn del_versioned(&self, key: &str) -> Result<(bool, u64), KvError> {
+        match self.check_v(self.exec(&Request::Del { key: key.into() })?)? {
+            (Response::Bool(b), version) => Ok((b, version)),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// [`KvClient::multi_get_range`] with the version the runs were
+    /// observed at (one version for the whole atomic read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn multi_get_range_versioned(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> crate::backend::VersionedRunsResult {
+        match self.check_v(self.exec(&Request::MultiGetRange {
+            key: key.into(),
+            spans: spans.to_vec(),
+        })?)? {
+            (Response::Spans(Some(runs)), _) if runs.len() != spans.len() => Err(KvError::Protocol),
+            (Response::Spans(runs), version) => Ok((runs, version)),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    /// [`KvClient::multi_set_range`] returning the version the batch
+    /// installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn multi_set_range_versioned(
+        &self,
+        key: &str,
+        writes: Vec<(u64, Vec<u8>)>,
+    ) -> Result<u64, KvError> {
+        match self.check_v(self.exec(&Request::MultiSetRange {
+            key: key.into(),
+            writes,
+        })?)? {
+            (Response::Ok, version) => Ok(version),
             _ => Err(KvError::Protocol),
         }
     }

@@ -205,6 +205,14 @@ pub enum Request {
         /// The tombstoned slots of the previous epoch's table.
         prev_dead: Vec<u32>,
     },
+    /// Read a key's mutation-version counter without its bytes — the cheap
+    /// revalidation probe a function-side cache sends when a lease expires:
+    /// if the version is unchanged the cached snapshot is still current and
+    /// the value bytes never cross the wire. Replies [`Response::Len`].
+    VersionOf {
+        /// State key.
+        key: String,
+    },
 }
 
 impl Request {
@@ -229,7 +237,8 @@ impl Request {
             | Request::TryLock { key, .. }
             | Request::Unlock { key, .. }
             | Request::MultiGetRange { key, .. }
-            | Request::MultiSetRange { key, .. } => Some(key),
+            | Request::MultiSetRange { key, .. }
+            | Request::VersionOf { key } => Some(key),
             Request::Ping
             | Request::Flush
             | Request::Stats
@@ -302,6 +311,18 @@ pub enum Response {
         epoch: u64,
         /// The slot count of that epoch's routing table.
         shard_count: u64,
+    },
+    /// A successful keyed reply widened with the key's mutation-version
+    /// counter — what a function-side cache stamps its snapshots with
+    /// (reads carry the version the bytes were observed at, mutation acks
+    /// the version the write installed, both taken under the same stripe
+    /// lock as the operation). Never wraps an error or redirect, and never
+    /// nests.
+    Versioned {
+        /// The key's mutation-version counter at the time of the operation.
+        version: u64,
+        /// The plain reply being widened.
+        inner: Box<Response>,
     },
 }
 
@@ -395,7 +416,7 @@ fn entry_payload_len(e: &KeyMigration) -> usize {
         Some(LockMigration::Readers(r)) => 5 + r.len() * 16,
         Some(LockMigration::Writer { .. }) => 17,
     };
-    9 + e.key.len()
+    17 + e.key.len()
         + e.value.as_ref().map_or(0, |v| v.len() + 4)
         + e.set.iter().map(|m| m.len() + 4).sum::<usize>()
         + lock
@@ -424,7 +445,8 @@ fn request_payload_len(req: &Request) -> usize {
         | Request::SMembers { key }
         | Request::SCard { key }
         | Request::TryLock { key, .. }
-        | Request::Unlock { key, .. } => key.len(),
+        | Request::Unlock { key, .. }
+        | Request::VersionOf { key } => key.len(),
         Request::Ping | Request::Flush | Request::Stats => 0,
         Request::Migrate { .. } => 16,
         Request::EpochCommit { dead, hosts, .. } => 24 + (dead.len() + hosts.len()) * 4,
@@ -470,6 +492,7 @@ fn put_entry(out: &mut Vec<u8>, e: &KeyMigration) {
             out.put_u64_le(*remaining_ms);
         }
     }
+    out.put_u64_le(e.version);
 }
 
 fn get_entry(buf: &mut &[u8]) -> Result<KeyMigration, CodecError> {
@@ -526,11 +549,13 @@ fn get_entry(buf: &mut &[u8]) -> Result<KeyMigration, CodecError> {
         }
         _ => return Err(CodecError("bad lock kind".into())),
     };
+    let version = get_u64(buf)?;
     Ok(KeyMigration {
         key,
         value,
         set,
         lock,
+        version,
     })
 }
 
@@ -539,10 +564,10 @@ fn get_entries(buf: &mut &[u8]) -> Result<Vec<KeyMigration>, CodecError> {
         return Err(CodecError("truncated entry count".into()));
     }
     let n = buf.get_u32_le() as usize;
-    // Every entry costs at least 9 bytes of fixed framing (key length,
-    // value flag, member count, lock kind), so a hostile count cannot
-    // out-size the buffer it rode in on.
-    if buf.remaining() < n.saturating_mul(9) {
+    // Every entry costs at least 17 bytes of fixed framing (key length,
+    // value flag, member count, lock kind, version), so a hostile count
+    // cannot out-size the buffer it rode in on.
+    if buf.remaining() < n.saturating_mul(17) {
         return Err(CodecError("entry count exceeds payload".into()));
     }
     let mut entries = Vec::with_capacity(n);
@@ -720,6 +745,10 @@ pub fn encode_request_traced(req: &Request, epoch: u64, trace: TraceCtx) -> Vec<
         Request::Rebuild { prev_dead } => {
             out.put_u8(25);
             put_u32_list(&mut out, prev_dead);
+        }
+        Request::VersionOf { key } => {
+            out.put_u8(26);
+            put_bytes(&mut out, key.as_bytes());
         }
     }
     out
@@ -924,6 +953,9 @@ pub fn decode_request_traced(mut buf: &[u8]) -> Result<(Request, u64, TraceCtx),
         25 => Request::Rebuild {
             prev_dead: get_u32_list(&mut buf)?,
         },
+        26 => Request::VersionOf {
+            key: get_string(&mut buf)?,
+        },
         other => return Err(CodecError(format!("unknown request op {other}"))),
     };
     if buf.has_remaining() {
@@ -932,18 +964,23 @@ pub fn decode_request_traced(mut buf: &[u8]) -> Result<(Request, u64, TraceCtx),
     Ok((req, epoch, trace))
 }
 
-/// Encode a response for the wire.
-pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let payload = match resp {
+/// Payload bytes a response encoding will need beyond its fixed fields.
+fn response_payload_len(resp: &Response) -> usize {
+    match resp {
         Response::Value(Some(v)) => v.len(),
         Response::Values(vs) => vs.iter().map(|v| v.len() + 4).sum(),
         Response::Spans(Some(runs)) => runs.iter().map(|r| r.len() + 4).sum(),
         Response::Err(msg) => msg.len(),
         Response::Handoff(entries) => entries.iter().map(entry_payload_len).sum(),
         Response::Stats(_) => 128,
+        Response::Versioned { inner, .. } => 9 + response_payload_len(inner),
         _ => 0,
-    };
-    let mut out = Vec::with_capacity(16 + payload);
+    }
+}
+
+/// Encode a response for the wire.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + response_payload_len(resp));
     match resp {
         Response::Value(None) => out.put_u8(0),
         Response::Value(Some(v)) => {
@@ -1027,6 +1064,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u8(16);
             out.put_u64_le(*epoch);
             out.put_u64_le(*shard_count);
+        }
+        Response::Versioned { version, inner } => {
+            debug_assert!(
+                !matches!(**inner, Response::Versioned { .. }),
+                "versioned responses never nest"
+            );
+            out.put_u8(17);
+            out.put_u64_le(*version);
+            out.extend_from_slice(&encode_response(inner));
         }
     }
     out
@@ -1141,6 +1187,22 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
                 epoch: buf.get_u64_le(),
                 shard_count: buf.get_u64_le(),
             }
+        }
+        17 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError("truncated version".into()));
+            }
+            let version = buf.get_u64_le();
+            if buf.first() == Some(&17) {
+                return Err(CodecError("nested versioned response".into()));
+            }
+            // The recursive decode consumes the rest of the buffer and
+            // applies its own trailing-bytes check.
+            let inner = decode_response(buf)?;
+            return Ok(Response::Versioned {
+                version,
+                inner: Box::new(inner),
+            });
         }
         other => return Err(CodecError(format!("unknown response tag {other}"))),
     };
@@ -1263,6 +1325,7 @@ mod tests {
             Request::Rebuild {
                 prev_dead: Vec::new(),
             },
+            Request::VersionOf { key: "k".into() },
         ]
     }
 
@@ -1273,6 +1336,7 @@ mod tests {
                 value: Some(b"v".to_vec()),
                 set: Vec::new(),
                 lock: None,
+                version: 3,
             },
             KeyMigration {
                 key: "locked".into(),
@@ -1282,12 +1346,14 @@ mod tests {
                     owner: 42,
                     remaining_ms: 1000,
                 }),
+                version: 0,
             },
             KeyMigration {
                 key: "readers".into(),
                 value: Some(Vec::new()),
                 set: Vec::new(),
                 lock: Some(LockMigration::Readers(vec![(1, 10), (2, 20)])),
+                version: u64::MAX,
             },
         ]
     }
@@ -1337,6 +1403,18 @@ mod tests {
             Response::Unavailable {
                 epoch: 5,
                 shard_count: 3,
+            },
+            Response::Versioned {
+                version: 12,
+                inner: Box::new(Response::Value(Some(b"bytes".to_vec()))),
+            },
+            Response::Versioned {
+                version: 0,
+                inner: Box::new(Response::Ok),
+            },
+            Response::Versioned {
+                version: 7,
+                inner: Box::new(Response::Spans(Some(vec![b"run".to_vec(), Vec::new()]))),
             },
         ]
     }
@@ -1465,19 +1543,36 @@ mod tests {
         let mut bytes = raw_request(25);
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(&bytes).is_err());
-        // A hostile reader count inside one entry.
+        // A hostile reader count inside one entry. The reader count sits
+        // before one 16-byte reader and the trailing 8-byte version.
         let req = Request::Handoff {
             entries: vec![KeyMigration {
                 key: "k".into(),
                 value: None,
                 set: Vec::new(),
                 lock: Some(LockMigration::Readers(vec![(1, 1)])),
+                version: 0,
             }],
         };
         let mut bytes = encode_request(&req);
         let n = bytes.len();
-        bytes[n - 20..n - 16].copy_from_slice(&u32::MAX.to_le_bytes());
+        bytes[n - 28..n - 24].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn versioned_responses_never_nest() {
+        // tag 17, version, then another tag 17: rejected before recursion.
+        let mut bytes = vec![17u8];
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.push(17);
+        bytes.extend_from_slice(&6u64.to_le_bytes());
+        bytes.push(2); // Ok
+        assert!(decode_response(&bytes).is_err());
+        // A bare versioned header with no inner reply is truncated.
+        let mut bytes = vec![17u8];
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        assert!(decode_response(&bytes).is_err());
     }
 
     #[test]

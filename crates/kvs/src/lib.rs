@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod client;
 pub mod codec;
 pub mod reshard;
@@ -27,6 +28,7 @@ pub mod store;
 pub mod testutil;
 
 pub use backend::{KvBackend, SharedKv};
+pub use cache::{CacheConfig, CacheStats, CachedKv, Consistency};
 pub use client::{KvClient, KvError};
 pub use codec::{Request, Response, EPOCH_ANY};
 pub use server::{KvServer, ServerShaping, ShardRouting};

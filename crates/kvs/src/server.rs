@@ -493,31 +493,63 @@ fn write_in_bounds(offset: u64, len: usize) -> bool {
     offset.saturating_add(len as u64) <= MAX_VALUE_BYTES
 }
 
+/// Wrap a successful keyed reply with the key's mutation-version counter.
+fn versioned(version: u64, inner: Response) -> Response {
+    Response::Versioned {
+        version,
+        inner: Box::new(inner),
+    }
+}
+
 /// Apply one command to the store (exposed for deterministic unit tests).
+///
+/// Keyed reads and mutation acks come back as [`Response::Versioned`]: the
+/// version is taken under the same stripe lock as the operation itself, so
+/// it is exact — a function-side cache stamping its snapshot with it can
+/// never pair old bytes with a newer version (or vice versa).
 pub fn apply(store: &KvStore, req: Request) -> Response {
     match req {
-        Request::Get { key } => Response::Value(store.get(&key)),
+        Request::Get { key } => {
+            let (value, v) = store.get_versioned(&key);
+            versioned(v, Response::Value(value))
+        }
         Request::Set { key, value } => {
-            store.set(&key, value);
-            Response::Ok
+            let v = store.set(&key, value);
+            versioned(v, Response::Ok)
         }
         Request::GetRange { key, offset, len } => {
-            Response::Value(store.get_range(&key, offset as usize, len as usize))
+            let (value, v) = store.get_range_versioned(&key, offset as usize, len as usize);
+            versioned(v, Response::Value(value))
         }
         Request::SetRange { key, offset, data } => {
             if !write_in_bounds(offset, data.len()) {
                 return Response::Err("set_range beyond max value size".into());
             }
-            store.set_range(&key, offset as usize, &data);
-            Response::Ok
+            let v = store.set_range(&key, offset as usize, &data);
+            versioned(v, Response::Ok)
         }
-        Request::Append { key, data } => Response::Len(store.append(&key, &data) as u64),
-        Request::Del { key } => Response::Bool(store.del(&key)),
+        Request::Append { key, data } => {
+            let (len, v) = store.append(&key, &data);
+            versioned(v, Response::Len(len as u64))
+        }
+        Request::Del { key } => {
+            let (existed, v) = store.del(&key);
+            versioned(v, Response::Bool(existed))
+        }
         Request::Exists { key } => Response::Bool(store.exists(&key)),
         Request::StrLen { key } => Response::Len(store.strlen(&key) as u64),
-        Request::Incr { key, delta } => Response::Int(store.incr(&key, delta)),
-        Request::SAdd { key, member } => Response::Bool(store.sadd(&key, &member)),
-        Request::SRem { key, member } => Response::Bool(store.srem(&key, &member)),
+        Request::Incr { key, delta } => {
+            let (n, v) = store.incr(&key, delta);
+            versioned(v, Response::Int(n))
+        }
+        Request::SAdd { key, member } => {
+            let (added, v) = store.sadd(&key, &member);
+            versioned(v, Response::Bool(added))
+        }
+        Request::SRem { key, member } => {
+            let (removed, v) = store.srem(&key, &member);
+            versioned(v, Response::Bool(removed))
+        }
         Request::SMembers { key } => Response::Values(store.smembers(&key)),
         Request::SCard { key } => Response::Len(store.scard(&key) as u64),
         Request::TryLock { key, mode, owner } => Response::Bool(store.try_lock(&key, mode, owner)),
@@ -531,7 +563,8 @@ pub fn apply(store: &KvStore, req: Request) -> Response {
             Response::Ok
         }
         Request::MultiGetRange { key, spans } => {
-            Response::Spans(store.multi_get_range(&key, &spans))
+            let (runs, v) = store.multi_get_range_versioned(&key, &spans);
+            versioned(v, Response::Spans(runs))
         }
         Request::MultiSetRange { key, writes } => {
             if writes
@@ -540,9 +573,10 @@ pub fn apply(store: &KvStore, req: Request) -> Response {
             {
                 return Response::Err("multi_set_range beyond max value size".into());
             }
-            store.multi_set_range(&key, &writes);
-            Response::Ok
+            let v = store.multi_set_range(&key, &writes);
+            versioned(v, Response::Ok)
         }
+        Request::VersionOf { key } => Response::Len(store.version_of(&key)),
         Request::Stats => Response::Stats(store.stats()),
         Request::Handoff { entries } => {
             if entries.iter().any(|e| {
@@ -656,6 +690,7 @@ fn forward_replicas(
             value: None,
             set: Vec::new(),
             lock: None,
+            version: store.version_of(key),
         });
     }
     let msg = encode_request_at(&Request::Replicate { entries }, epoch);
@@ -959,6 +994,14 @@ mod tests {
     use crate::store::LockMode;
     use faasm_net::Fabric;
 
+    /// Expected shape of a versioned keyed reply.
+    fn v(version: u64, inner: Response) -> Response {
+        Response::Versioned {
+            version,
+            inner: Box::new(inner),
+        }
+    }
+
     #[test]
     fn apply_covers_every_command() {
         let store = KvStore::new();
@@ -970,11 +1013,11 @@ mod tests {
                     value: b"v".to_vec()
                 }
             ),
-            Response::Ok
+            v(1, Response::Ok)
         );
         assert_eq!(
             apply(&store, Request::Get { key: "k".into() }),
-            Response::Value(Some(b"v".to_vec()))
+            v(1, Response::Value(Some(b"v".to_vec())))
         );
         assert_eq!(
             apply(
@@ -985,7 +1028,7 @@ mod tests {
                     len: 1
                 }
             ),
-            Response::Value(Some(b"v".to_vec()))
+            v(1, Response::Value(Some(b"v".to_vec())))
         );
         assert_eq!(
             apply(
@@ -996,7 +1039,7 @@ mod tests {
                     data: b"w".to_vec()
                 }
             ),
-            Response::Ok
+            v(2, Response::Ok)
         );
         assert_eq!(
             apply(&store, Request::StrLen { key: "k".into() }),
@@ -1010,11 +1053,15 @@ mod tests {
                     data: b"x".to_vec()
                 }
             ),
-            Response::Len(3)
+            v(3, Response::Len(3))
         );
         assert_eq!(
             apply(&store, Request::Exists { key: "k".into() }),
             Response::Bool(true)
+        );
+        assert_eq!(
+            apply(&store, Request::VersionOf { key: "k".into() }),
+            Response::Len(3)
         );
         assert_eq!(
             apply(
@@ -1024,7 +1071,7 @@ mod tests {
                     delta: 2
                 }
             ),
-            Response::Int(2)
+            v(1, Response::Int(2))
         );
         assert_eq!(
             apply(
@@ -1034,7 +1081,7 @@ mod tests {
                     member: b"m".to_vec()
                 }
             ),
-            Response::Bool(true)
+            v(1, Response::Bool(true))
         );
         assert_eq!(
             apply(&store, Request::SCard { key: "s".into() }),
@@ -1052,7 +1099,7 @@ mod tests {
                     member: b"m".to_vec()
                 }
             ),
-            Response::Bool(true)
+            v(2, Response::Bool(true))
         );
         assert_eq!(
             apply(
@@ -1084,7 +1131,7 @@ mod tests {
                     writes: vec![(0, b"ab".to_vec()), (4, b"cd".to_vec())]
                 }
             ),
-            Response::Ok
+            v(1, Response::Ok)
         );
         assert_eq!(
             apply(
@@ -1094,7 +1141,10 @@ mod tests {
                     spans: vec![(0, 2), (4, 2)]
                 }
             ),
-            Response::Spans(Some(vec![b"ab".to_vec(), b"cd".to_vec()]))
+            v(
+                1,
+                Response::Spans(Some(vec![b"ab".to_vec(), b"cd".to_vec()]))
+            )
         );
         assert_eq!(
             apply(
@@ -1104,16 +1154,16 @@ mod tests {
                     spans: vec![(0, 2)]
                 }
             ),
-            Response::Spans(None)
+            v(0, Response::Spans(None))
         );
         assert_eq!(
             apply(&store, Request::Del { key: "m".into() }),
-            Response::Bool(true)
+            v(2, Response::Bool(true))
         );
         assert_eq!(apply(&store, Request::Ping), Response::Pong);
         assert_eq!(
             apply(&store, Request::Del { key: "k".into() }),
-            Response::Bool(true)
+            v(4, Response::Bool(true))
         );
         assert_eq!(apply(&store, Request::Flush), Response::Ok);
         assert_eq!(store.key_count(), 0);
@@ -1182,7 +1232,10 @@ mod tests {
             .unwrap();
         assert_eq!(
             crate::codec::decode_response(&resp).unwrap(),
-            Response::Value(Some(vec![7u8; 6]))
+            Response::Versioned {
+                version: 1,
+                inner: Box::new(Response::Value(Some(vec![7u8; 6]))),
+            }
         );
         // The lone worker survived all of it.
         let resp = client

@@ -742,6 +742,68 @@ impl KvBackend for ShardedKvClient {
     fn shard_stats(&self) -> Result<Vec<ShardStats>, KvError> {
         ShardedKvClient::shard_stats(self)
     }
+
+    fn routing_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn version_of(&self, key: &str) -> Result<u64, KvError> {
+        self.with_retry(key, |c| c.version_of(key))
+    }
+
+    fn get_versioned(&self, key: &str) -> Result<(Option<Vec<u8>>, u64), KvError> {
+        self.with_retry(key, |c| c.get_versioned(key))
+    }
+
+    fn set_versioned(&self, key: &str, value: Vec<u8>) -> Result<u64, KvError> {
+        let req = Request::Set {
+            key: key.into(),
+            value,
+        };
+        match self.with_retry(key, |c| c.request_versioned(&req))? {
+            (Response::Ok, version) => Ok(version),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    fn set_range_versioned(&self, key: &str, offset: u64, data: Vec<u8>) -> Result<u64, KvError> {
+        let req = Request::SetRange {
+            key: key.into(),
+            offset,
+            data,
+        };
+        match self.with_retry(key, |c| c.request_versioned(&req))? {
+            (Response::Ok, version) => Ok(version),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
+    fn del_versioned(&self, key: &str) -> Result<(bool, u64), KvError> {
+        self.with_retry(key, |c| c.del_versioned(key))
+    }
+
+    fn multi_get_range_versioned(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> Result<(Option<Vec<Vec<u8>>>, u64), KvError> {
+        self.with_retry(key, |c| c.multi_get_range_versioned(key, spans))
+    }
+
+    fn multi_set_range_versioned(
+        &self,
+        key: &str,
+        writes: Vec<(u64, Vec<u8>)>,
+    ) -> Result<u64, KvError> {
+        let req = Request::MultiSetRange {
+            key: key.into(),
+            writes,
+        };
+        match self.with_retry(key, |c| c.request_versioned(&req))? {
+            (Response::Ok, version) => Ok(version),
+            _ => Err(KvError::Protocol),
+        }
+    }
 }
 
 #[cfg(test)]

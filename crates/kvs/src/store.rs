@@ -35,6 +35,26 @@ struct Shard {
     values: HashMap<String, Vec<u8>>,
     sets: HashMap<String, HashSet<Vec<u8>>>,
     locks: HashMap<String, LockState>,
+    /// Per-key mutation counters: bumped once per mutating op, under the
+    /// same stripe lock as the mutation itself, so the version a caller is
+    /// acked with names exactly the state its own write produced. Never
+    /// removed on `del` — a deleted-then-recreated key keeps counting up,
+    /// which is what makes the counter usable for cache revalidation.
+    versions: HashMap<String, u64>,
+}
+
+impl Shard {
+    /// Bump and return `key`'s version (first mutation yields 1).
+    fn bump(&mut self, key: &str) -> u64 {
+        let v = self.versions.entry(key.to_string()).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// `key`'s current version (0 if never mutated).
+    fn version(&self, key: &str) -> u64 {
+        self.versions.get(key).copied().unwrap_or(0)
+    }
 }
 
 /// Exported lock state for one migrating key: owners and remaining lease.
@@ -56,7 +76,9 @@ pub enum LockMigration {
 }
 
 /// One key's complete state as it moves between shards during resharding:
-/// value bytes, set members and lock state (with owners preserved).
+/// value bytes, set members, lock state (with owners preserved) and the
+/// per-key version counter (merged max-wise on import, so versions never
+/// regress across migration, replication or failover promotion).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyMigration {
     /// The state key.
@@ -67,6 +89,8 @@ pub struct KeyMigration {
     pub set: Vec<Vec<u8>>,
     /// Live (unexpired) lock state, if any.
     pub lock: Option<LockMigration>,
+    /// The key's mutation-version counter at export time.
+    pub version: u64,
 }
 
 /// A per-shard load report: size plus coarse per-op counters
@@ -175,34 +199,74 @@ impl KvStore {
 
     /// Get a value.
     pub fn get(&self, key: &str) -> Option<Vec<u8>> {
-        self.count_read();
-        self.shard(key).lock().values.get(key).cloned()
+        self.get_versioned(key).0
     }
 
-    /// Set a value, replacing any previous one.
-    pub fn set(&self, key: &str, value: Vec<u8>) {
+    /// Get a value together with the key's version, atomically — the pair a
+    /// cache may stamp a snapshot with (reading them in two lock
+    /// acquisitions could pair old bytes with a newer version).
+    pub fn get_versioned(&self, key: &str) -> (Option<Vec<u8>>, u64) {
+        self.count_read();
+        let shard = self.shard(key).lock();
+        (shard.values.get(key).cloned(), shard.version(key))
+    }
+
+    /// `key`'s mutation-version counter (0 if never mutated). Monotone for
+    /// the life of the tier: `del` does not reset it, and migration/
+    /// replication imports merge max-wise.
+    pub fn version_of(&self, key: &str) -> u64 {
+        self.shard(key).lock().version(key)
+    }
+
+    /// Set a value, replacing any previous one; returns the new version.
+    pub fn set(&self, key: &str, value: Vec<u8>) -> u64 {
         self.count_write();
-        self.shard(key).lock().values.insert(key.to_string(), value);
+        let mut shard = self.shard(key).lock();
+        shard.values.insert(key.to_string(), value);
+        shard.bump(key)
+    }
+
+    /// Slice `v[offset..offset+len]` with truncation (possibly empty) where
+    /// the value is shorter — the shared range-read semantics.
+    fn slice_range(v: &[u8], offset: u64, len: u64) -> Vec<u8> {
+        let offset = offset as usize;
+        if offset >= v.len() {
+            return Vec::new();
+        }
+        // Saturate: a wire-supplied `len` near usize::MAX must truncate,
+        // not wrap the slice bounds.
+        let end = offset.saturating_add(len as usize).min(v.len());
+        v[offset..end].to_vec()
     }
 
     /// Read `len` bytes at `offset`; the result is truncated (possibly
     /// empty) if the value is shorter. Missing keys yield `None`.
     pub fn get_range(&self, key: &str, offset: usize, len: usize) -> Option<Vec<u8>> {
+        self.get_range_versioned(key, offset, len).0
+    }
+
+    /// [`KvStore::get_range`] plus the key's version, read atomically.
+    pub fn get_range_versioned(
+        &self,
+        key: &str,
+        offset: usize,
+        len: usize,
+    ) -> (Option<Vec<u8>>, u64) {
         self.count_read();
         let shard = self.shard(key).lock();
-        let v = shard.values.get(key)?;
-        if offset >= v.len() {
-            return Some(Vec::new());
-        }
-        // Saturate: a wire-supplied `len` near usize::MAX must truncate,
-        // not wrap the slice bounds.
-        let end = offset.saturating_add(len).min(v.len());
-        Some(v[offset..end].to_vec())
+        (
+            shard
+                .values
+                .get(key)
+                .map(|v| KvStore::slice_range(v, offset as u64, len as u64)),
+            shard.version(key),
+        )
     }
 
     /// Write `data` at `offset`, zero-extending the value as needed
     /// (Redis `SETRANGE` semantics; the paper's `push_state_offset`).
-    pub fn set_range(&self, key: &str, offset: usize, data: &[u8]) {
+    /// Returns the new version.
+    pub fn set_range(&self, key: &str, offset: usize, data: &[u8]) -> u64 {
         self.count_write();
         let mut shard = self.shard(key).lock();
         let v = shard.values.entry(key.to_string()).or_default();
@@ -210,6 +274,7 @@ impl KvStore {
             v.resize(offset + data.len(), 0);
         }
         v[offset..offset + data.len()].copy_from_slice(data);
+        shard.bump(key)
     }
 
     /// Read several ranges of one value under a single shard-lock
@@ -217,35 +282,41 @@ impl KvStore {
     /// otherwise one byte run per span, truncated like
     /// [`KvStore::get_range`] where the value is shorter.
     pub fn multi_get_range(&self, key: &str, spans: &[(u64, u64)]) -> Option<Vec<Vec<u8>>> {
+        self.multi_get_range_versioned(key, spans).0
+    }
+
+    /// [`KvStore::multi_get_range`] plus the key's version, read atomically.
+    pub fn multi_get_range_versioned(
+        &self,
+        key: &str,
+        spans: &[(u64, u64)],
+    ) -> (Option<Vec<Vec<u8>>>, u64) {
         self.count_read();
         self.count_batch(spans.len());
         let shard = self.shard(key).lock();
-        let v = shard.values.get(key)?;
-        Some(
-            spans
-                .iter()
-                .map(|&(offset, len)| {
-                    let offset = offset as usize;
-                    if offset >= v.len() {
-                        return Vec::new();
-                    }
-                    let end = offset.saturating_add(len as usize).min(v.len());
-                    v[offset..end].to_vec()
-                })
-                .collect(),
+        (
+            shard.values.get(key).map(|v| {
+                spans
+                    .iter()
+                    .map(|&(offset, len)| KvStore::slice_range(v, offset, len))
+                    .collect()
+            }),
+            shard.version(key),
         )
     }
 
     /// Apply several range writes to one value under a single shard-lock
     /// acquisition (the batched chunk push), zero-extending as needed.
     /// Writes land in order, so overlapping ranges resolve last-writer-wins.
-    pub fn multi_set_range(&self, key: &str, writes: &[(u64, Vec<u8>)]) {
+    /// Returns the new version (unchanged for an empty batch, which creates
+    /// nothing).
+    pub fn multi_set_range(&self, key: &str, writes: &[(u64, Vec<u8>)]) -> u64 {
         self.count_write();
         self.count_batch(writes.len());
-        if writes.is_empty() {
-            return;
-        }
         let mut shard = self.shard(key).lock();
+        if writes.is_empty() {
+            return shard.version(key);
+        }
         let v = shard.values.entry(key.to_string()).or_default();
         for (offset, data) in writes {
             let offset = *offset as usize;
@@ -254,21 +325,27 @@ impl KvStore {
             }
             v[offset..offset + data.len()].copy_from_slice(data);
         }
+        shard.bump(key)
     }
 
-    /// Append data; returns the new length (the paper's `append_state`).
-    pub fn append(&self, key: &str, data: &[u8]) -> usize {
+    /// Append data; returns the new length and version (the paper's
+    /// `append_state`).
+    pub fn append(&self, key: &str, data: &[u8]) -> (usize, u64) {
         self.count_write();
         let mut shard = self.shard(key).lock();
         let v = shard.values.entry(key.to_string()).or_default();
         v.extend_from_slice(data);
-        v.len()
+        let len = v.len();
+        (len, shard.bump(key))
     }
 
-    /// Delete a value; returns whether it existed.
-    pub fn del(&self, key: &str) -> bool {
+    /// Delete a value; returns whether it existed and the new version (the
+    /// deletion itself counts as a mutation).
+    pub fn del(&self, key: &str) -> (bool, u64) {
         self.count_write();
-        self.shard(key).lock().values.remove(key).is_some()
+        let mut shard = self.shard(key).lock();
+        let existed = shard.values.remove(key).is_some();
+        (existed, shard.bump(key))
     }
 
     /// Whether the key holds a value.
@@ -284,9 +361,10 @@ impl KvStore {
     }
 
     /// Add `delta` to an 8-byte little-endian counter, creating it at zero;
-    /// returns the new value. Non-8-byte existing values are treated as
-    /// corrupt and reset (documented divergence from Redis, which errors).
-    pub fn incr(&self, key: &str, delta: i64) -> i64 {
+    /// returns the new value and version. Non-8-byte existing values are
+    /// treated as corrupt and reset (documented divergence from Redis,
+    /// which errors).
+    pub fn incr(&self, key: &str, delta: i64) -> (i64, u64) {
         self.count_write();
         let mut shard = self.shard(key).lock();
         let v = shard.values.entry(key.to_string()).or_default();
@@ -297,29 +375,29 @@ impl KvStore {
         };
         let next = cur.wrapping_add(delta);
         *v = next.to_le_bytes().to_vec();
-        next
+        (next, shard.bump(key))
     }
 
     /// Add a member to a set; returns true if newly added (warm-set
-    /// registration for the scheduler, §5.1).
-    pub fn sadd(&self, key: &str, member: &[u8]) -> bool {
+    /// registration for the scheduler, §5.1), plus the new version.
+    pub fn sadd(&self, key: &str, member: &[u8]) -> (bool, u64) {
         self.count_write();
-        self.shard(key)
-            .lock()
+        let mut shard = self.shard(key).lock();
+        let added = shard
             .sets
             .entry(key.to_string())
             .or_default()
-            .insert(member.to_vec())
+            .insert(member.to_vec());
+        (added, shard.bump(key))
     }
 
-    /// Remove a member from a set; returns true if it was present.
-    pub fn srem(&self, key: &str, member: &[u8]) -> bool {
+    /// Remove a member from a set; returns true if it was present, plus the
+    /// new version.
+    pub fn srem(&self, key: &str, member: &[u8]) -> (bool, u64) {
         self.count_write();
-        self.shard(key)
-            .lock()
-            .sets
-            .get_mut(key)
-            .is_some_and(|s| s.remove(member))
+        let mut shard = self.shard(key).lock();
+        let removed = shard.sets.get_mut(key).is_some_and(|s| s.remove(member));
+        (removed, shard.bump(key))
     }
 
     /// All members of a set (sorted for determinism).
@@ -446,6 +524,7 @@ impl KvStore {
             s.values.clear();
             s.sets.clear();
             s.locks.clear();
+            s.versions.clear();
         }
     }
 
@@ -522,6 +601,7 @@ impl KvStore {
             let mut keys: HashSet<&String> = s.values.keys().collect();
             keys.extend(s.sets.keys());
             keys.extend(s.locks.keys());
+            keys.extend(s.versions.keys());
             for key in keys {
                 if !moving(key) {
                     continue;
@@ -557,6 +637,7 @@ impl KvStore {
                         })
                         .unwrap_or_default(),
                     lock,
+                    version: s.version(key),
                 });
             }
         }
@@ -571,6 +652,10 @@ impl KvStore {
         let now = Instant::now();
         for entry in entries {
             let mut shard = self.shard(&entry.key).lock();
+            let merged = shard.version(&entry.key).max(entry.version);
+            if merged > 0 {
+                shard.versions.insert(entry.key.clone(), merged);
+            }
             match &entry.value {
                 Some(v) => {
                     shard.values.insert(entry.key.clone(), v.clone());
@@ -615,6 +700,9 @@ impl KvStore {
     /// Drop every key matching `moved` (value, set and lock state) — the
     /// donor's cleanup once the new routing epoch has committed and the
     /// receiving shard owns the keys. Returns how many keys were dropped.
+    /// Version counters are deliberately retained: they are a monotone
+    /// floor, and keeping them means a key that later migrates back can
+    /// never observe a version regression even against stale local state.
     pub fn purge_keys(&self, moved: impl Fn(&str) -> bool) -> usize {
         let mut purged = 0;
         for shard in &self.shards {
@@ -648,8 +736,8 @@ mod tests {
         assert_eq!(s.get("k"), Some(b"value".to_vec()));
         assert!(s.exists("k"));
         assert_eq!(s.strlen("k"), 5);
-        assert!(s.del("k"));
-        assert!(!s.del("k"));
+        assert!(s.del("k").0);
+        assert!(!s.del("k").0);
         assert!(!s.exists("k"));
     }
 
@@ -687,34 +775,34 @@ mod tests {
     #[test]
     fn append_returns_length() {
         let s = KvStore::new();
-        assert_eq!(s.append("log", b"aa"), 2);
-        assert_eq!(s.append("log", b"bbb"), 5);
+        assert_eq!(s.append("log", b"aa").0, 2);
+        assert_eq!(s.append("log", b"bbb").0, 5);
         assert_eq!(s.get("log"), Some(b"aabbb".to_vec()));
     }
 
     #[test]
     fn counters() {
         let s = KvStore::new();
-        assert_eq!(s.incr("c", 5), 5);
-        assert_eq!(s.incr("c", -2), 3);
+        assert_eq!(s.incr("c", 5).0, 5);
+        assert_eq!(s.incr("c", -2).0, 3);
         // Corrupt (non-8-byte) value resets.
         s.set("c", b"xx".to_vec());
-        assert_eq!(s.incr("c", 1), 1);
+        assert_eq!(s.incr("c", 1).0, 1);
     }
 
     #[test]
     fn sets() {
         let s = KvStore::new();
-        assert!(s.sadd("warm:f", b"host1"));
-        assert!(!s.sadd("warm:f", b"host1"));
-        assert!(s.sadd("warm:f", b"host0"));
+        assert!(s.sadd("warm:f", b"host1").0);
+        assert!(!s.sadd("warm:f", b"host1").0);
+        assert!(s.sadd("warm:f", b"host0").0);
         assert_eq!(s.scard("warm:f"), 2);
         assert_eq!(
             s.smembers("warm:f"),
             vec![b"host0".to_vec(), b"host1".to_vec()]
         );
-        assert!(s.srem("warm:f", b"host1"));
-        assert!(!s.srem("warm:f", b"host1"));
+        assert!(s.srem("warm:f", b"host1").0);
+        assert!(!s.srem("warm:f", b"host1").0);
         assert_eq!(s.scard("warm:f"), 1);
         assert_eq!(s.smembers("missing"), Vec::<Vec<u8>>::new());
     }
@@ -904,6 +992,69 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(s.incr("n", 0), 8000);
+        assert_eq!(s.incr("n", 0).0, 8000);
+    }
+
+    #[test]
+    fn versions_are_monotone_per_key() {
+        let s = KvStore::new();
+        assert_eq!(s.version_of("k"), 0);
+        let v1 = s.set("k", b"a".to_vec());
+        assert_eq!(v1, 1);
+        let v2 = s.set_range("k", 0, b"b");
+        let (_, v3) = s.append("k", b"c");
+        let (_, v4) = s.del("k");
+        assert!(v1 < v2 && v2 < v3 && v3 < v4);
+        // Deletion keeps the counter: a recreate continues, never restarts.
+        let v5 = s.set("k", b"again".to_vec());
+        assert!(v5 > v4);
+        assert_eq!(s.version_of("k"), v5);
+        // Reads pair bytes with the version atomically.
+        assert_eq!(s.get_versioned("k"), (Some(b"again".to_vec()), v5));
+        assert_eq!(s.get_range_versioned("k", 0, 2).1, v5);
+        // An empty multi-set batch reports the version without bumping it.
+        assert_eq!(s.multi_set_range("k", &[]), v5);
+    }
+
+    #[test]
+    fn import_merges_versions_max_wise() {
+        let donor = KvStore::new();
+        for _ in 0..5 {
+            donor.set("k", b"x".to_vec());
+        }
+        let entries = donor.export_keys(|_| true);
+        assert_eq!(entries[0].version, 5);
+
+        // Target already saw a *newer* version (e.g. a replica that applied
+        // more forwarded writes): import must not regress it.
+        let target = KvStore::new();
+        for _ in 0..9 {
+            target.set("k", b"y".to_vec());
+        }
+        target.import_keys(&entries);
+        assert_eq!(target.version_of("k"), 9);
+        assert_eq!(target.get("k"), Some(b"x".to_vec()));
+
+        // A fresh target adopts the exported version exactly.
+        let fresh = KvStore::new();
+        fresh.import_keys(&entries);
+        assert_eq!(fresh.version_of("k"), 5);
+    }
+
+    #[test]
+    fn version_only_keys_survive_migration() {
+        // A deleted key leaves a version floor behind; migration carries it
+        // so the new owner can never hand out a regressed version.
+        let donor = KvStore::new();
+        donor.set("gone", b"v".to_vec());
+        donor.del("gone");
+        let entries = donor.export_keys(|_| true);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].value, None);
+        assert_eq!(entries[0].version, 2);
+        let target = KvStore::new();
+        target.import_keys(&entries);
+        assert_eq!(target.version_of("gone"), 2);
+        assert!(target.set("gone", b"new".to_vec()) > 2);
     }
 }

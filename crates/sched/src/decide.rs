@@ -25,6 +25,11 @@ pub enum Placement {
     ColdStartLocal,
 }
 
+/// How many queued calls one step of log-scaled state affinity is worth
+/// when scoring forward targets: depth dominates (an overloaded peer is
+/// never preferred for its cache), affinity breaks meaningful gaps.
+const DEPTH_WEIGHT: i64 = 4;
+
 /// Inputs to one scheduling decision, gathered by the caller (warm-set
 /// lookup is the only global operation and is passed in pre-resolved).
 #[derive(Debug, Clone, Copy)]
@@ -41,8 +46,22 @@ pub struct Decision<'a> {
     /// backpressure signal: a warm host drowning in queued work shares
     /// rather than queueing more.
     pub queue_depth: usize,
-    /// Rotation seed for spreading forwarded calls.
+    /// Rotation seed for breaking ties between equally-scored peers.
     pub seed: usize,
+    /// Known run-queue depths of peers (from the load board); hosts not
+    /// listed read as depth 0. Empty when no board is wired — forwarding
+    /// then degrades to pure seed rotation.
+    pub peer_depths: &'a [(HostId, usize)],
+    /// Known state-affinity scores of peers (from the affinity board:
+    /// how much of this function's working set each host's state cache
+    /// recently served); hosts not listed read as 0.
+    pub peer_affinity: &'a [(HostId, u64)],
+}
+
+/// Log-scale an affinity score so raw hit counts cannot starve load
+/// balancing: 0 → 0, else `⌊log2⌋ + 1` (bounded by 64).
+fn affinity_bonus(score: u64) -> i64 {
+    (64 - score.leading_zeros()) as i64
 }
 
 /// Decide a placement.
@@ -52,7 +71,9 @@ pub fn decide(d: &Decision<'_>) -> Placement {
     if d.warm_local > 0 && d.idle_local > 0 && !overloaded {
         return Placement::WarmLocal;
     }
-    // Otherwise share with another warm host if one exists.
+    // Otherwise share with another warm host if one exists: the
+    // least-loaded warm peer, nudged toward peers whose state caches
+    // already hold the function's working set, seed-rotating among ties.
     let others: Vec<HostId> = d
         .warm_hosts
         .iter()
@@ -60,7 +81,28 @@ pub fn decide(d: &Decision<'_>) -> Placement {
         .filter(|h| *h != d.this_host)
         .collect();
     if !others.is_empty() {
-        return Placement::Forward(others[d.seed % others.len()]);
+        let depth_of = |h: HostId| -> i64 {
+            d.peer_depths
+                .iter()
+                .find(|(p, _)| *p == h)
+                .map_or(0, |(_, depth)| *depth as i64)
+        };
+        let affinity_of = |h: HostId| -> u64 {
+            d.peer_affinity
+                .iter()
+                .find(|(p, _)| *p == h)
+                .map_or(0, |(_, a)| *a)
+        };
+        // Lower is better: queued work costs DEPTH_WEIGHT per call, cache
+        // warmth refunds its log2.
+        let score = |h: HostId| DEPTH_WEIGHT * depth_of(h) - affinity_bonus(affinity_of(h));
+        let best = others.iter().map(|&h| score(h)).min().expect("non-empty");
+        let tied: Vec<HostId> = others
+            .iter()
+            .copied()
+            .filter(|&h| score(h) == best)
+            .collect();
+        return Placement::Forward(tied[d.seed % tied.len()]);
     }
     // No warm peer: run here even when deep — queueing beats failing.
     if d.warm_local > 0 && d.idle_local > 0 {
@@ -82,6 +124,8 @@ mod tests {
             warm_hosts,
             queue_depth: 0,
             seed,
+            peer_depths: &[],
+            peer_affinity: &[],
         })
     }
 
@@ -122,6 +166,8 @@ mod tests {
             warm_hosts: &[HostId(0), HostId(1)],
             queue_depth: QUEUE_SHARE_THRESHOLD,
             seed: 0,
+            peer_depths: &[],
+            peer_affinity: &[],
         });
         assert_eq!(got, Placement::Forward(HostId(1)));
         // With no warm peer, a deep queue still runs locally.
@@ -132,12 +178,15 @@ mod tests {
             warm_hosts: &[HostId(0)],
             queue_depth: QUEUE_SHARE_THRESHOLD * 2,
             seed: 0,
+            peer_depths: &[],
+            peer_affinity: &[],
         });
         assert_eq!(got, Placement::WarmLocal);
     }
 
     #[test]
     fn forwarding_rotates_over_warm_hosts() {
+        // With no load/affinity signal every peer ties: pure seed rotation.
         let hosts = [HostId(1), HostId(2), HostId(3)];
         let picks: Vec<Placement> = (0..3).map(|s| d(0, 0, &hosts, s)).collect();
         assert_eq!(
@@ -148,5 +197,84 @@ mod tests {
                 Placement::Forward(HostId(3)),
             ]
         );
+    }
+
+    #[test]
+    fn forwarding_prefers_least_loaded_peer() {
+        // Regression: forwarding used to rotate blindly over the warm set
+        // (`others[seed % len]`), dumping every `seed ≡ 0` call on a peer
+        // already drowning in queued work. It must pick the least-loaded
+        // warm peer, whatever the seed says.
+        let hosts = [HostId(1), HostId(2), HostId(3)];
+        let depths = [(HostId(1), 9), (HostId(2), 0), (HostId(3), 5)];
+        for seed in 0..8 {
+            let got = decide(&Decision {
+                this_host: HostId(0),
+                warm_local: 0,
+                idle_local: 0,
+                warm_hosts: &hosts,
+                queue_depth: 0,
+                seed,
+                peer_depths: &depths,
+                peer_affinity: &[],
+            });
+            assert_eq!(got, Placement::Forward(HostId(2)), "seed {seed}");
+        }
+        // Equal depths tie; the seed rotates among the tied peers only.
+        let tied = [(HostId(1), 2), (HostId(2), 2), (HostId(3), 7)];
+        let picks: Vec<Placement> = (0..4)
+            .map(|seed| {
+                decide(&Decision {
+                    this_host: HostId(0),
+                    warm_local: 0,
+                    idle_local: 0,
+                    warm_hosts: &hosts,
+                    queue_depth: 0,
+                    seed,
+                    peer_depths: &tied,
+                    peer_affinity: &[],
+                })
+            })
+            .collect();
+        assert_eq!(
+            picks,
+            vec![
+                Placement::Forward(HostId(1)),
+                Placement::Forward(HostId(2)),
+                Placement::Forward(HostId(1)),
+                Placement::Forward(HostId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn affinity_breaks_close_calls_but_never_overrides_load() {
+        let hosts = [HostId(1), HostId(2)];
+        // Depths within one call of each other: the peer whose cache holds
+        // the function's working set wins (log2(100)+1 = 7 > 4·1).
+        let got = decide(&Decision {
+            this_host: HostId(0),
+            warm_local: 0,
+            idle_local: 0,
+            warm_hosts: &hosts,
+            queue_depth: 0,
+            seed: 0,
+            peer_depths: &[(HostId(1), 1), (HostId(2), 2)],
+            peer_affinity: &[(HostId(2), 100)],
+        });
+        assert_eq!(got, Placement::Forward(HostId(2)));
+        // But a drowning peer is never preferred for its cache: the log
+        // scale caps the bonus at 64, far under a deep queue's cost.
+        let got = decide(&Decision {
+            this_host: HostId(0),
+            warm_local: 0,
+            idle_local: 0,
+            warm_hosts: &hosts,
+            queue_depth: 0,
+            seed: 0,
+            peer_depths: &[(HostId(1), 1), (HostId(2), 40)],
+            peer_affinity: &[(HostId(2), u64::MAX)],
+        });
+        assert_eq!(got, Placement::Forward(HostId(1)));
     }
 }

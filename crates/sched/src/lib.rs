@@ -11,12 +11,14 @@
 
 #![warn(missing_docs)]
 
+pub mod boards;
 pub mod decide;
 pub mod queue;
 pub mod rr;
 pub mod types;
 pub mod warm;
 
+pub use boards::SchedBoards;
 pub use decide::{decide, Decision, Placement};
 pub use queue::SharingQueue;
 pub use rr::RoundRobin;

@@ -182,10 +182,22 @@ pub enum SpanKind {
     ReplForward = 10,
     /// Total time a primary write waited for its replica quorum.
     QuorumWait = 11,
+    /// Function-side cache hit: a read served from the instance's cache
+    /// without touching the wire.
+    CacheHit = 12,
+    /// Function-side cache miss: the read went to the global tier (and the
+    /// snapshot was cached on the way back).
+    CacheMiss = 13,
+    /// Function-side cache invalidation: a write or epoch change evicted or
+    /// superseded a cached snapshot.
+    CacheInvalidate = 14,
+    /// Lease-expiry / epoch-bump revalidation probe (`VersionOf`
+    /// round-trip; the value bytes stay local when the version matches).
+    Revalidate = 15,
 }
 
 /// Number of span kinds (histogram array size).
-pub const SPAN_KINDS: usize = 12;
+pub const SPAN_KINDS: usize = 16;
 
 impl SpanKind {
     /// All kinds, in wire order.
@@ -202,6 +214,10 @@ impl SpanKind {
         SpanKind::ShardApply,
         SpanKind::ReplForward,
         SpanKind::QuorumWait,
+        SpanKind::CacheHit,
+        SpanKind::CacheMiss,
+        SpanKind::CacheInvalidate,
+        SpanKind::Revalidate,
     ];
 
     /// Stable display name (also the JSON key).
@@ -219,6 +235,10 @@ impl SpanKind {
             SpanKind::ShardApply => "shard_apply",
             SpanKind::ReplForward => "repl_forward",
             SpanKind::QuorumWait => "quorum_wait",
+            SpanKind::CacheHit => "cache_hit",
+            SpanKind::CacheMiss => "cache_miss",
+            SpanKind::CacheInvalidate => "cache_invalidate",
+            SpanKind::Revalidate => "revalidate",
         }
     }
 }

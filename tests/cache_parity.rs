@@ -1,0 +1,182 @@
+//! Cached-vs-uncached parity: enabling the function-side state cache must
+//! change data movement, never answers. Each workload runs on an uncached
+//! cluster and on a cache-enabled cluster and must produce bitwise
+//! identical results — including across a live reshard (routing-epoch
+//! bump) and a replicated primary failover, the two events most likely to
+//! let a stale snapshot leak.
+
+use faasm::core::{Cluster, ClusterConfig};
+use faasm::workloads::data::synth_images;
+use faasm::workloads::{inference, matmul, sgd};
+
+/// A cluster with the function-side cache on (generous budget, default
+/// read-your-writes consistency).
+fn cached_cluster(hosts: usize) -> Cluster {
+    Cluster::with_config(ClusterConfig {
+        hosts,
+        cache_bytes: 16 * 1024 * 1024,
+        ..ClusterConfig::default()
+    })
+}
+
+/// Total cache traffic (hits + misses) across a cluster's instances. The
+/// instance-local state tier absorbs repeated pulls of already-present
+/// chunks, so a single workload pass mostly *fills* the cache; what these
+/// tests must prove is that the cache sits in the read path (traffic > 0)
+/// without changing a single bit of any answer. Hit-rate economics are the
+/// `cache_locality` example's and the bench suite's job.
+fn total_traffic(cluster: &Cluster) -> u64 {
+    cluster
+        .instances()
+        .iter()
+        .filter_map(|i| i.cache().map(|c| c.stats().hits + c.stats().misses))
+        .sum()
+}
+
+#[test]
+fn matmul_results_bitwise_identical_with_cache_enabled() {
+    let n = 16;
+
+    let uncached = Cluster::new(2);
+    matmul::register_faasm(&uncached, "la");
+    matmul::upload_matrices(uncached.kv().as_ref(), n, 3).unwrap();
+    let r = uncached.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    let c_uncached = matmul::read_result(uncached.kv().as_ref(), n).unwrap();
+
+    let cached = cached_cluster(2);
+    assert!(
+        cached.instances().iter().all(|i| i.cache().is_some()),
+        "cache_bytes > 0 must wire a cache into every instance"
+    );
+    matmul::register_faasm(&cached, "la");
+    matmul::upload_matrices(cached.kv().as_ref(), n, 3).unwrap();
+    let r = cached.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    let c_cached = matmul::read_result(cached.kv().as_ref(), n).unwrap();
+
+    assert_eq!(c_uncached, c_cached, "cache must be invisible in answers");
+    assert!(
+        total_traffic(&cached) > 0,
+        "the distributed multiply must actually exercise the cache"
+    );
+}
+
+#[test]
+fn sgd_weights_bitwise_identical_with_cache_enabled() {
+    // Sequential invokes: without HOGWILD! races the update order is
+    // deterministic, so the final weights must match byte for byte.
+    let dataset = faasm::workloads::data::rcv1_like(96, 32, 8, 11);
+    let tasks = sgd::partition(96, 3, 32, 0.5, 16);
+
+    let run = |cluster: &Cluster| -> Vec<u8> {
+        sgd::register_faasm(cluster, "ml");
+        sgd::upload_dataset(cluster.kv().as_ref(), &dataset).unwrap();
+        for _ in 0..2 {
+            for t in &tasks {
+                let r = cluster.invoke("ml", "sgd_update", t.to_bytes());
+                assert_eq!(r.return_code(), 0, "{:?}", r.status);
+            }
+        }
+        cluster
+            .kv()
+            .get(sgd::keys::WEIGHTS)
+            .unwrap()
+            .expect("weights present after training")
+    };
+
+    let w_uncached = run(&Cluster::new(2));
+    let cached = cached_cluster(2);
+    let w_cached = run(&cached);
+
+    assert_eq!(
+        w_uncached, w_cached,
+        "identical schedule, identical weights"
+    );
+    assert!(
+        total_traffic(&cached) > 0,
+        "training must exercise the cache"
+    );
+}
+
+#[test]
+fn inference_outputs_bitwise_identical_with_cache_enabled() {
+    let imgs = synth_images(4, inference::SIDE, 21);
+
+    let uncached = Cluster::new(1);
+    inference::setup_faasm(&uncached, "serve", 5);
+    let cached = cached_cluster(1);
+    inference::setup_faasm(&cached, "serve", 5);
+
+    for img in &imgs {
+        let a = uncached.invoke("serve", "infer", img.clone());
+        let b = cached.invoke("serve", "infer", img.clone());
+        assert_eq!(a.return_code(), 0);
+        assert_eq!(b.return_code(), 0);
+        assert_eq!(a.output, b.output, "same model, same scores");
+    }
+    // Inference serves its model from the VFS, not the state tier, so no
+    // cache traffic is expected — the test pins down that wiring a cache
+    // into the instance leaves a state-free workload bit-identical too.
+    assert_eq!(total_traffic(&cached), 0, "inference reads no state keys");
+}
+
+#[test]
+fn matmul_parity_survives_live_reshard_and_failover() {
+    let n = 16;
+
+    // Reference answer from an uncached single-epoch cluster.
+    let reference = {
+        let cluster = Cluster::new(1);
+        matmul::register_faasm(&cluster, "la");
+        matmul::upload_matrices(cluster.kv().as_ref(), n, 7).unwrap();
+        let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+        assert_eq!(r.return_code(), 0, "{:?}", r.status);
+        matmul::read_result(cluster.kv().as_ref(), n).unwrap()
+    };
+
+    // Cached, replicated cluster: compute once to warm every instance
+    // cache, then reshard and fail over underneath the warm caches.
+    let cluster = Cluster::with_config(ClusterConfig {
+        hosts: 2,
+        state_shards: 3,
+        replication_factor: 2,
+        cache_bytes: 16 * 1024 * 1024,
+        ..ClusterConfig::default()
+    });
+    matmul::register_faasm(&cluster, "la");
+    matmul::upload_matrices(cluster.kv().as_ref(), n, 7).unwrap();
+    let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    assert_eq!(
+        matmul::read_result(cluster.kv().as_ref(), n).unwrap(),
+        reference,
+        "cached replicated run must match the uncached reference"
+    );
+
+    // Live reshard: keys migrate, the routing epoch bumps, and every
+    // leased snapshot must revalidate rather than serve the old epoch.
+    assert_eq!(cluster.add_state_shard().unwrap(), 4);
+    let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    assert_eq!(
+        matmul::read_result(cluster.kv().as_ref(), n).unwrap(),
+        reference,
+        "warm caches must stay coherent across a live reshard"
+    );
+
+    // Planned failover of a primary at replication 2: promoted backups
+    // serve, the epoch bumps again, answers still match bitwise.
+    cluster.fail_over_state_shard(1).unwrap();
+    let r = cluster.invoke("la", "mm_main", (n as u32).to_le_bytes().to_vec());
+    assert_eq!(r.return_code(), 0, "{:?}", r.status);
+    assert_eq!(
+        matmul::read_result(cluster.kv().as_ref(), n).unwrap(),
+        reference,
+        "warm caches must stay coherent across an R=2 failover"
+    );
+    assert!(
+        total_traffic(&cluster) > 0,
+        "the runs must exercise the cache"
+    );
+}

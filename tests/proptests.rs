@@ -45,6 +45,71 @@ fn kvs_request_strategy() -> impl Strategy<Value = kvs::codec::Request> {
     ]
 }
 
+/// A mutating store operation over a small colliding key set, for the
+/// version-monotonicity property.
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Set(usize, Vec<u8>),
+    SetRange(usize, u8, Vec<u8>),
+    Append(usize, Vec<u8>),
+    Del(usize),
+    Incr(usize, i8),
+    Sadd(usize, Vec<u8>),
+}
+
+fn store_op_strategy() -> impl Strategy<Value = StoreOp> {
+    let key = 0..6usize;
+    let bytes = || prop::collection::vec(any::<u8>(), 0..16);
+    prop_oneof![
+        (key.clone(), bytes()).prop_map(|(k, v)| StoreOp::Set(k, v)),
+        (key.clone(), any::<u8>(), bytes()).prop_map(|(k, off, v)| StoreOp::SetRange(
+            k,
+            off % 24,
+            v
+        )),
+        (key.clone(), bytes()).prop_map(|(k, v)| StoreOp::Append(k, v)),
+        key.clone().prop_map(StoreOp::Del),
+        (key.clone(), any::<i8>()).prop_map(|(k, d)| StoreOp::Incr(k, d)),
+        (key, bytes()).prop_map(|(k, m)| StoreOp::Sadd(k, m)),
+    ]
+}
+
+fn store_op_key(op: &StoreOp) -> String {
+    let k = match op {
+        StoreOp::Set(k, _)
+        | StoreOp::SetRange(k, _, _)
+        | StoreOp::Append(k, _)
+        | StoreOp::Del(k)
+        | StoreOp::Incr(k, _)
+        | StoreOp::Sadd(k, _) => k,
+    };
+    format!("ver:{k}")
+}
+
+fn apply_store_op(store: &KvStore, op: &StoreOp) {
+    let key = store_op_key(op);
+    match op {
+        StoreOp::Set(_, v) => {
+            store.set(&key, v.clone());
+        }
+        StoreOp::SetRange(_, off, v) => {
+            store.set_range(&key, usize::from(*off), v);
+        }
+        StoreOp::Append(_, v) => {
+            store.append(&key, v);
+        }
+        StoreOp::Del(_) => {
+            store.del(&key);
+        }
+        StoreOp::Incr(_, d) => {
+            store.incr(&key, i64::from(*d));
+        }
+        StoreOp::Sadd(_, m) => {
+            store.sadd(&key, m);
+        }
+    }
+}
+
 fn gateway_status_strategy() -> impl Strategy<Value = GatewayStatus> {
     prop_oneof![
         Just(GatewayStatus::Ok),
@@ -827,7 +892,7 @@ proptest! {
                 ascii_string(16),
                 (any::<bool>(), prop::collection::vec(any::<u8>(), 0..40)),
                 prop::collection::vec(prop::collection::vec(any::<u8>(), 0..12), 0..4),
-                (any::<bool>(), any::<u64>(), any::<u32>()),
+                (any::<bool>(), any::<u64>(), any::<u32>(), any::<u64>()),
             ),
             0..6,
         ),
@@ -835,14 +900,17 @@ proptest! {
     ) {
         let entries: Vec<kvs::KeyMigration> = entries
             .into_iter()
-            .map(|(key, (has_value, value), set, (locked, owner, ms))| kvs::KeyMigration {
-                key,
-                value: has_value.then_some(value),
-                set,
-                lock: locked.then_some(kvs::LockMigration::Writer {
-                    owner,
-                    remaining_ms: u64::from(ms),
-                }),
+            .map(|(key, (has_value, value), set, (locked, owner, ms, version))| {
+                kvs::KeyMigration {
+                    key,
+                    value: has_value.then_some(value),
+                    set,
+                    lock: locked.then_some(kvs::LockMigration::Writer {
+                        owner,
+                        remaining_ms: u64::from(ms),
+                    }),
+                    version,
+                }
             })
             .collect();
         let req = kvs::Request::Handoff { entries: entries.clone() };
@@ -854,6 +922,60 @@ proptest! {
         let resp = kvs::Response::Handoff(entries);
         let bytes = kvs::codec::encode_response(&resp);
         prop_assert_eq!(kvs::codec::decode_response(&bytes).unwrap(), resp);
+    }
+
+    /// Per-key mutation versions are monotone for the life of the tier:
+    /// every mutating op bumps (never rewinds) the counter, a migration
+    /// export/import carries it to the receiving store, and replaying an
+    /// old handoff — the replica-rebuild path — max-merges instead of
+    /// regressing. The cache's read-your-writes floor rides entirely on
+    /// this invariant.
+    #[test]
+    fn kvs_versions_never_regress_across_migrate_and_rebuild(
+        ops in prop::collection::vec(store_op_strategy(), 1..80),
+    ) {
+        let a = KvStore::new();
+        let mut high: HashMap<String, u64> = HashMap::new();
+        for op in &ops {
+            let key = store_op_key(op);
+            apply_store_op(&a, op);
+            let v = a.version_of(&key);
+            let prev = high.entry(key.clone()).or_insert(0);
+            prop_assert!(v > *prev, "op {op:?} must bump {key}: {v} vs {prev}");
+            *prev = v;
+        }
+
+        // Migrate every key to a fresh store (the donor half of a
+        // reshard): versions travel with the data.
+        let entries = a.export_keys(|_| true);
+        let b = KvStore::new();
+        b.import_keys(&entries);
+        for (key, v) in &high {
+            prop_assert!(
+                b.version_of(key) >= *v,
+                "{key} regressed across migration: {} < {v}",
+                b.version_of(key)
+            );
+        }
+
+        // Keep mutating the receiving store, then replay the stale export
+        // (a rebuild pulling from a lagging replica): import max-merges,
+        // so no key ever rewinds.
+        for op in &ops {
+            apply_store_op(&b, op);
+        }
+        let before: HashMap<String, u64> = high
+            .keys()
+            .map(|k| (k.clone(), b.version_of(k)))
+            .collect();
+        b.import_keys(&entries);
+        for (key, v) in &before {
+            prop_assert!(
+                b.version_of(key) >= *v,
+                "{key} rewound by stale handoff replay: {} < {v}",
+                b.version_of(key)
+            );
+        }
     }
 
     /// Rendezvous routing is balanced: 1000 distinct keys over 4 shards
