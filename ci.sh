@@ -36,4 +36,7 @@ cargo bench -p faasm-bench --bench gateway_throughput -- --test
 echo "== state throughput bench, batching + shard scaling (smoke)"
 cargo bench -p faasm-bench --bench state_throughput -- --test
 
+echo "== vm dispatch bench, lowered tier must beat the interpreter (smoke)"
+cargo bench -p faasm-bench --bench vm_dispatch -- --test
+
 echo "CI OK"

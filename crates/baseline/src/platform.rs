@@ -340,7 +340,7 @@ impl BaselineHost {
         // Containers are billed their full RSS — no page sharing with
         // co-located functions (§6.2).
         let rss_after = container.rss_bytes();
-        self.metrics.record_call(exec_ns, 0, rss_after as f64);
+        self.metrics.record_call(exec_ns, 0, 0, rss_after as f64);
 
         // Charge state-cache growth and keep warm.
         {

@@ -1,60 +1,74 @@
-//! Interpreter dispatch throughput: instructions per second on arithmetic
-//! and memory-heavy loops (context for the Fig. 9a ratios).
+//! Execution-tier dispatch throughput: interpreter vs lowered on
+//! arithmetic, memory and call loops (context for the Fig. 9a ratios).
+//!
+//! Writes `BENCH_vm.json` at the repo root with source-instructions/s per
+//! tier and the lowered-over-interpreter speedup. `-- --test` runs a
+//! smoke pass that also asserts the lowered tier actually wins on the
+//! arithmetic loop.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use faasm_fvm::prelude::*;
+use faasm_bench::vm_tiers::{measure, workloads, TierPoint};
 
-fn instance(src: &str) -> Instance {
-    let module = faasm_lang::compile(src).unwrap();
-    let object = ObjectModule::prepare(module).unwrap();
-    Instance::new(object, &Linker::new(), Box::new(())).unwrap()
+fn json_point(p: &TierPoint) -> String {
+    format!(
+        concat!(
+            "{{\"name\":\"{}\",\"fuel_per_invoke\":{},",
+            "\"interpreter\":{{\"instrs_per_sec\":{:.0},\"dispatches_per_invoke\":{}}},",
+            "\"lowered\":{{\"instrs_per_sec\":{:.0},\"dispatches_per_invoke\":{}}},",
+            "\"speedup\":{:.3},\"dispatch_ratio\":{:.3}}}"
+        ),
+        p.workload,
+        p.fuel_per_invoke,
+        p.interp_ips,
+        p.interp_dispatches,
+        p.lowered_ips,
+        p.lowered_dispatches,
+        p.speedup(),
+        p.dispatch_ratio(),
+    )
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm_dispatch");
-    // ~6 instructions per iteration, 10k iterations.
-    let mut arith = instance(
-        "int main() { int acc = 0; for (int i = 0; i < 10000; i = i + 1) { acc = acc + i; } return acc; }",
-    );
-    group.throughput(Throughput::Elements(60_000));
-    group.bench_function("arith_loop_60k_instrs", |b| {
-        b.iter(|| std::hint::black_box(arith.invoke("main", &[]).unwrap()))
-    });
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (rounds, invokes) = if test_mode { (3, 2) } else { (9, 20) };
 
-    let mut memory = instance(
-        r#"
-        int main() {
-            ptr int p = (ptr int) 1024;
-            int acc = 0;
-            for (int i = 0; i < 5000; i = i + 1) {
-                p[i % 1000] = i;
-                acc = acc + p[(i * 7) % 1000];
-            }
-            return acc;
-        }
-        "#,
-    );
-    group.throughput(Throughput::Elements(5000));
-    group.bench_function("memory_loop_5k_iters", |b| {
-        b.iter(|| std::hint::black_box(memory.invoke("main", &[]).unwrap()))
-    });
+    let mut points = Vec::new();
+    for w in workloads() {
+        let p = measure(&w, rounds, invokes);
+        println!(
+            "{:<12} {:>8} instrs/invoke  interp {:>7.2} Mi/s  lowered {:>7.2} Mi/s  speedup {:.2}x  fused width {:.2}",
+            p.workload,
+            p.fuel_per_invoke,
+            p.interp_ips / 1e6,
+            p.lowered_ips / 1e6,
+            p.speedup(),
+            p.fuel_per_invoke as f64 / p.lowered_dispatches as f64,
+        );
+        points.push(p);
+    }
 
-    let mut calls = instance(
-        r#"
-        int leaf(int x) { return x + 1; }
-        int main() {
-            int acc = 0;
-            for (int i = 0; i < 2000; i = i + 1) { acc = leaf(acc); }
-            return acc;
-        }
-        "#,
+    if test_mode {
+        let arith = &points[0];
+        assert!(
+            arith.speedup() > 1.0,
+            "lowered tier must beat the interpreter on arith_loop (got {:.2}x)",
+            arith.speedup()
+        );
+        assert!(
+            points
+                .iter()
+                .all(|p| p.lowered_dispatches < p.interp_dispatches),
+            "lowering must retire fewer dispatches on every workload"
+        );
+        println!("test bench vm_dispatch ... ok");
+        return;
+    }
+
+    let series: Vec<String> = points.iter().map(json_point).collect();
+    let json = format!(
+        "{{\"bench\":\"vm_dispatch\",\"unit\":\"source_instrs_per_sec\",\"workloads\":[{}]}}\n",
+        series.join(",")
     );
-    group.throughput(Throughput::Elements(2000));
-    group.bench_function("call_loop_2k_calls", |b| {
-        b.iter(|| std::hint::black_box(calls.invoke("main", &[]).unwrap()))
-    });
-    group.finish();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_vm.json");
+    std::fs::write(path, &json).unwrap();
+    println!("snapshot written to {path}");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

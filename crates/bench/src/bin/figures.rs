@@ -85,6 +85,43 @@ fn main() {
     if which == "cache" {
         cache_cmd(std::env::args().nth(2).as_deref() == Some("json"));
     }
+    if which == "vm" {
+        vm_cmd();
+    }
+}
+
+// ── VM: execution-tier dispatch throughput ──────────────────────────────
+
+/// Interpreter-vs-lowered instrs/s on the `vm_dispatch` loops. A quick
+/// in-process run of the same harness as the bench; `BENCH_vm.json` holds
+/// the longer-sampled numbers.
+fn vm_cmd() {
+    use faasm_bench::vm_tiers::{measure, workloads};
+
+    println!("\n=== FVM execution tiers: source instrs/s by workload ===");
+    let mut table = Table::new(&[
+        "workload",
+        "instrs/invoke",
+        "interp Mi/s",
+        "lowered Mi/s",
+        "speedup",
+        "fused width",
+    ]);
+    for w in workloads() {
+        let p = measure(&w, 5, 5);
+        table.row(&[
+            p.workload.to_string(),
+            p.fuel_per_invoke.to_string(),
+            format!("{:.1}", p.interp_ips / 1e6),
+            format!("{:.1}", p.lowered_ips / 1e6),
+            format!("{:.2}x", p.speedup()),
+            format!(
+                "{:.2}",
+                p.fuel_per_invoke as f64 / p.lowered_dispatches as f64
+            ),
+        ]);
+    }
+    table.print();
 }
 
 // ── Cache: consistency tiers under a zipfian storm ──────────────────────
@@ -331,7 +368,7 @@ fn cache_cmd(json: bool) {
 /// round-trips park on `WrongEpoch` and retry), and finally one traced
 /// call whose span tree is the exhibit. Returns that call's trace id and
 /// the gateway (for its metrics snapshot).
-fn telemetry_scenario() -> (u64, faasm_gateway::Gateway) {
+fn telemetry_scenario() -> (u64, faasm_gateway::Gateway, Arc<faasm_core::Cluster>) {
     let cluster = Arc::new(faasm_core::Cluster::with_config(
         faasm_core::ClusterConfig {
             hosts: 2,
@@ -360,6 +397,23 @@ fn telemetry_scenario() -> (u64, faasm_gateway::Gateway) {
             Ok(0)
         });
     cluster.register_native("tel", "bump", guest, false);
+    // An FVM guest alongside the native one, so the runtime metrics show
+    // guest CPU (fuel + retired ops on the lowered tier).
+    cluster
+        .upload_fl(
+            "tel",
+            "spin",
+            r"
+            int main() {
+                int acc = 0;
+                int i = 0;
+                while (i < 2000) { acc = acc + i * 3; i = i + 1; }
+                return 0;
+            }
+            ",
+            faasm_core::UploadOptions::default(),
+        )
+        .expect("upload spin");
     let gw = faasm_gateway::Gateway::start(
         Arc::clone(&cluster),
         faasm_gateway::GatewayConfig::default(),
@@ -370,6 +424,9 @@ fn telemetry_scenario() -> (u64, faasm_gateway::Gateway) {
     let mut tickets = Vec::new();
     for i in 0..128u8 {
         tickets.push(gw.submit("tel", "bump", vec![i % 64]));
+        if i % 8 == 0 {
+            tickets.push(gw.submit("tel", "spin", vec![]));
+        }
         if i == 64 {
             cluster.add_state_shard().expect("live shard join");
         }
@@ -402,11 +459,11 @@ fn telemetry_scenario() -> (u64, faasm_gateway::Gateway) {
         }
     };
     resharder.join().expect("resharder thread");
-    (trace_id, gw)
+    (trace_id, gw, cluster)
 }
 
 fn trace_cmd(json: bool) {
-    let (trace_id, _gw) = telemetry_scenario();
+    let (trace_id, _gw, _cluster) = telemetry_scenario();
     if json {
         println!(
             "{}",
@@ -425,13 +482,22 @@ fn trace_cmd(json: bool) {
 }
 
 fn metrics_cmd(json: bool) {
-    let (_, gw) = telemetry_scenario();
+    let (_, gw, cluster) = telemetry_scenario();
     let g = gw.metrics().snapshot();
+    // Cluster-wide runtime counters (merged across hosts), including the
+    // guest-CPU pair: fuel (source instructions, tier-independent) and
+    // retired ops (engine dispatches — fewer on the lowered tier).
+    let mut rt = faasm_core::MetricsSnapshot::default();
+    for inst in cluster.instances() {
+        rt.merge(&inst.metrics().snapshot());
+    }
     if json {
         let tele = faasm_bench::telemetry_export::metrics_json();
         println!(
             "{{\"gateway\":{{\"admitted\":{},\"completed\":{},\"shed\":{},\"batches\":{},\
              \"batch_items\":{},\"queue_delay_p50_ns\":{},\"queue_delay_p99_ns\":{}}},\
+             \"runtime\":{{\"calls\":{},\"guest_fuel\":{},\"guest_instrs\":{},\
+             \"exec_ns\":{}}},\
              \"telemetry\":{tele}}}",
             g.admitted,
             g.completed,
@@ -440,6 +506,10 @@ fn metrics_cmd(json: bool) {
             g.batch_items,
             g.queue_delay.percentile(50.0),
             g.queue_delay.percentile(99.0),
+            rt.calls,
+            rt.fuel,
+            rt.guest_instrs,
+            rt.exec_ns,
         );
         return;
     }
@@ -457,6 +527,15 @@ fn metrics_cmd(json: bool) {
         g.batch_occupancy(),
         g.queue_delay.percentile(50.0) / 1_000,
         g.queue_delay.percentile(99.0) / 1_000,
+    );
+    let width = if rt.guest_instrs > 0 {
+        rt.fuel as f64 / rt.guest_instrs as f64
+    } else {
+        0.0
+    };
+    println!(
+        "guest CPU: {} calls, {} fuel, {} ops retired ({width:.2} instrs/dispatch on the lowered tier)",
+        rt.calls, rt.fuel, rt.guest_instrs,
     );
 }
 

@@ -7,6 +7,7 @@
 //! output EXPERIMENTS.md records.
 
 pub mod telemetry_export;
+pub mod vm_tiers;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,141 @@
+//! Interpreter-vs-lowered measurement harness shared by the `vm_dispatch`
+//! bench and the `figures vm` table.
+//!
+//! Fuel is the tier-independent source-instruction count, so it is the
+//! numerator for instrs/s on both tiers; retired ops are engine dispatches,
+//! which superinstruction fusion and structural elision shrink on the
+//! lowered tier. `fuel / dispatches` is therefore the mean fused width.
+
+use std::time::Instant;
+
+use faasm_fvm::prelude::*;
+
+/// One FL workload in the dispatch-throughput series.
+pub struct TierWorkload {
+    /// Short identifier used in tables and JSON.
+    pub name: &'static str,
+    /// FL source; `main` takes no arguments.
+    pub fl: &'static str,
+}
+
+/// The three dispatch-bound loops the series measures: pure arithmetic,
+/// load/store traffic, and call-heavy control flow.
+pub fn workloads() -> [TierWorkload; 3] {
+    [
+        TierWorkload {
+            name: "arith_loop",
+            // ~6 instructions per iteration, 10k iterations.
+            fl: "int main() { int acc = 0; for (int i = 0; i < 10000; i = i + 1) { acc = acc + i; } return acc; }",
+        },
+        TierWorkload {
+            name: "memory_loop",
+            fl: r#"
+                int main() {
+                    ptr int p = (ptr int) 1024;
+                    int acc = 0;
+                    for (int i = 0; i < 5000; i = i + 1) {
+                        p[i % 1000] = i;
+                        acc = acc + p[(i * 7) % 1000];
+                    }
+                    return acc;
+                }
+            "#,
+        },
+        TierWorkload {
+            name: "call_loop",
+            fl: r#"
+                int leaf(int x) { return x + 1; }
+                int main() {
+                    int acc = 0;
+                    for (int i = 0; i < 2000; i = i + 1) { acc = leaf(acc); }
+                    return acc;
+                }
+            "#,
+        },
+    ]
+}
+
+/// Measured throughput of one workload on both tiers.
+pub struct TierPoint {
+    /// Workload identifier.
+    pub workload: &'static str,
+    /// Source instructions per invoke (fuel; identical on both tiers).
+    pub fuel_per_invoke: u64,
+    /// Engine dispatches per invoke on the interpreter.
+    pub interp_dispatches: u64,
+    /// Engine dispatches per invoke on the lowered tier.
+    pub lowered_dispatches: u64,
+    /// Interpreter throughput in source instructions per second.
+    pub interp_ips: f64,
+    /// Lowered-tier throughput in source instructions per second.
+    pub lowered_ips: f64,
+}
+
+impl TierPoint {
+    /// Lowered throughput over interpreter throughput.
+    pub fn speedup(&self) -> f64 {
+        self.lowered_ips / self.interp_ips
+    }
+
+    /// Interpreter dispatches per lowered dispatch (mean fusion gain).
+    pub fn dispatch_ratio(&self) -> f64 {
+        self.interp_dispatches as f64 / self.lowered_dispatches as f64
+    }
+}
+
+struct TierRun {
+    secs_per_invoke: f64,
+    fuel: u64,
+    dispatches: u64,
+}
+
+fn run_tier(module: &Module, tier: ExecTier, rounds: usize, invokes: usize) -> TierRun {
+    let object = ObjectModule::prepare_tier(module.clone(), tier).unwrap();
+    assert_eq!(object.is_lowered(), tier == ExecTier::Lowered);
+    let mut inst = Instance::new(object, &Linker::new(), Box::new(())).unwrap();
+
+    // Per-invoke accounting first, so the timed loop stays bare.
+    inst.fuel.reset_consumed();
+    inst.reset_instrs();
+    inst.invoke("main", &[]).unwrap();
+    let fuel = inst.fuel.consumed();
+    let dispatches = inst.instrs_retired();
+
+    for _ in 0..2 {
+        std::hint::black_box(inst.invoke("main", &[]).unwrap());
+    }
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..invokes {
+            std::hint::black_box(inst.invoke("main", &[]).unwrap());
+        }
+        samples.push(start.elapsed().as_secs_f64() / invokes as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    TierRun {
+        secs_per_invoke: samples[samples.len() / 2],
+        fuel,
+        dispatches,
+    }
+}
+
+/// Time one workload on both tiers (median of `rounds` rounds of
+/// `invokes` back-to-back invocations each).
+pub fn measure(w: &TierWorkload, rounds: usize, invokes: usize) -> TierPoint {
+    let module = faasm_lang::compile(w.fl).unwrap();
+    let interp = run_tier(&module, ExecTier::Interpreter, rounds, invokes);
+    let lowered = run_tier(&module, ExecTier::Lowered, rounds, invokes);
+    assert_eq!(
+        interp.fuel, lowered.fuel,
+        "fuel is tier-independent by contract"
+    );
+    TierPoint {
+        workload: w.name,
+        fuel_per_invoke: interp.fuel,
+        interp_dispatches: interp.dispatches,
+        lowered_dispatches: lowered.dispatches,
+        interp_ips: interp.fuel as f64 / interp.secs_per_invoke,
+        lowered_ips: lowered.fuel as f64 / lowered.secs_per_invoke,
+    }
+}

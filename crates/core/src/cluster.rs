@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use faasm_fvm::{ExportKind, ObjectModule};
+use faasm_fvm::{ExecTier, ExportKind, ObjectModule};
 use faasm_kvs::{
     reshard, KvError, KvServer, KvStore, RoutingCell, RoutingTable, ShardRouting, ShardStats,
     ShardedKvClient, SharedKv,
@@ -54,6 +54,12 @@ pub struct ClusterConfig {
     /// Consistency mode for cached keys without a per-key override (only
     /// meaningful when `cache_bytes > 0`).
     pub default_consistency: faasm_kvs::Consistency,
+    /// FVM execution tier for uploaded modules. [`ExecTier::Lowered`] (the
+    /// default) runs the direct-threaded compiled tier;
+    /// [`ExecTier::Interpreter`] keeps the reference tree-walking
+    /// interpreter. Both are observationally identical (results, traps,
+    /// fuel) — see `crates/fvm/tests/lowered_diff.rs`.
+    pub exec_tier: ExecTier,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +73,7 @@ impl Default for ClusterConfig {
             invoke_timeout: Duration::from_secs(60),
             cache_bytes: 0,
             default_consistency: faasm_kvs::Consistency::ReadYourWrites,
+            exec_tier: ExecTier::default(),
         }
     }
 }
@@ -122,6 +129,7 @@ pub struct Cluster {
     driver_kv: SharedKv,
     call_seq: Arc<AtomicU64>,
     invoke_timeout: Duration,
+    exec_tier: ExecTier,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -298,6 +306,7 @@ impl Cluster {
             driver_kv,
             call_seq,
             invoke_timeout: config.invoke_timeout,
+            exec_tier: config.exec_tier,
         }
     }
 
@@ -333,7 +342,8 @@ impl Cluster {
         bytes: &[u8],
         options: UploadOptions,
     ) -> Result<(), CoreError> {
-        let object = ObjectModule::compile(bytes).map_err(|e| CoreError::Compile(e.to_string()))?;
+        let object = ObjectModule::compile_tier(bytes, self.exec_tier)
+            .map_err(|e| CoreError::Compile(e.to_string()))?;
         check_entry(&object, &options.entry)?;
         if let Some(init) = &options.init {
             check_entry(&object, init)?;

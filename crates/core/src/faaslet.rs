@@ -253,6 +253,7 @@ impl Faaslet {
                     ctx.begin_call(call.id, call.input.clone());
                 }
                 inst.fuel.reset_consumed();
+                inst.reset_instrs();
                 let status = match inst.invoke(&entry, &[]) {
                     Ok(Some(Val::I32(code))) if code != 0 => CallStatus::Failed(code),
                     Ok(_) => CallStatus::Success,
@@ -344,6 +345,16 @@ impl Faaslet {
     pub fn fuel_consumed(&self) -> u64 {
         match &self.guest {
             GuestInstance::Fvm(inst) => inst.fuel.consumed(),
+            GuestInstance::Native { .. } => 0,
+        }
+    }
+
+    /// VM operations dispatched by the last call (FVM guests; 0 for native
+    /// guests). Tier-dependent: the lowered tier retires one op per
+    /// superinstruction, so this is ≤ [`Faaslet::fuel_consumed`].
+    pub fn instrs_retired(&self) -> u64 {
+        match &self.guest {
+            GuestInstance::Fvm(inst) => inst.instrs_retired(),
             GuestInstance::Native { .. } => 0,
         }
     }

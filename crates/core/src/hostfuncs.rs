@@ -352,6 +352,8 @@ pub fn faaslet_linker() -> Linker {
         let _ = fctx.fdtable.close(fd);
         // "All dynamically loaded code must first be compiled to
         // WebAssembly and undergo the same validation process" (§3.2).
+        // Plugins stay on the reference interpreter: dlopen is a cold,
+        // one-off path where lowering latency would not amortise.
         let Ok(object) = ObjectModule::compile(&bytes) else {
             return ok_i32(-1);
         };

@@ -541,8 +541,12 @@ impl FaasmInstance {
                 extra: q.call.id.0,
             });
         }
-        self.metrics
-            .record_call(exec_ns, faaslet.fuel_consumed(), faaslet.pss_bytes());
+        self.metrics.record_call(
+            exec_ns,
+            faaslet.fuel_consumed(),
+            faaslet.instrs_retired(),
+            faaslet.pss_bytes(),
+        );
 
         if let Some(b) = self.busy.lock().get_mut(&key) {
             *b = b.saturating_sub(1);

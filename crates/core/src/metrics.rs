@@ -35,6 +35,7 @@ pub struct Metrics {
     forwarded: AtomicU64,
     exec_ns: AtomicU64,
     fuel: AtomicU64,
+    guest_instrs: AtomicU64,
     /// Σ (pss_bytes × duration_ns) per call; converted to GB-s on read.
     billable_byte_ns: Mutex<f64>,
     init_ns: Mutex<Vec<u64>>,
@@ -47,10 +48,11 @@ impl Metrics {
     }
 
     /// Record a completed call.
-    pub fn record_call(&self, exec_ns: u64, fuel: u64, pss_bytes: f64) {
+    pub fn record_call(&self, exec_ns: u64, fuel: u64, guest_instrs: u64, pss_bytes: f64) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
         self.fuel.fetch_add(fuel, Ordering::Relaxed);
+        self.guest_instrs.fetch_add(guest_instrs, Ordering::Relaxed);
         *self.billable_byte_ns.lock() += pss_bytes * exec_ns as f64;
     }
 
@@ -111,6 +113,14 @@ impl Metrics {
         self.fuel.load(Ordering::Relaxed)
     }
 
+    /// Total VM operations retired (guest CPU). Unlike [`Metrics::fuel`]
+    /// — a tier-independent *source* instruction count — this counts ops
+    /// the engine actually dispatched, so the lowered tier reports fewer
+    /// for the same work; fuel ÷ instrs is the mean superinstruction width.
+    pub fn guest_instrs(&self) -> u64 {
+        self.guest_instrs.load(Ordering::Relaxed)
+    }
+
     /// Billable memory in GB-seconds (Fig. 6c).
     pub fn billable_gb_seconds(&self) -> f64 {
         *self.billable_byte_ns.lock() / 1e18
@@ -144,6 +154,7 @@ impl Metrics {
             forwarded: self.forwarded.load(Ordering::Relaxed),
             exec_ns: self.exec_ns.load(Ordering::Relaxed),
             fuel: self.fuel.load(Ordering::Relaxed),
+            guest_instrs: self.guest_instrs.load(Ordering::Relaxed),
             billable_gb_seconds: self.billable_gb_seconds(),
             mean_init_ns: self.mean_init_ns(),
         }
@@ -167,6 +178,8 @@ pub struct MetricsSnapshot {
     pub exec_ns: u64,
     /// Total interpreter fuel.
     pub fuel: u64,
+    /// Total VM operations retired (dispatch count, tier-dependent).
+    pub guest_instrs: u64,
     /// Billable memory in GB-seconds.
     pub billable_gb_seconds: f64,
     /// Mean initialisation time (cold + restore), nanoseconds.
@@ -183,6 +196,7 @@ impl MetricsSnapshot {
         self.forwarded += other.forwarded;
         self.exec_ns += other.exec_ns;
         self.fuel += other.fuel;
+        self.guest_instrs += other.guest_instrs;
         self.billable_gb_seconds += other.billable_gb_seconds;
         // Means do not sum; keep the max as a representative figure.
         self.mean_init_ns = self.mean_init_ns.max(other.mean_init_ns);
@@ -429,10 +443,11 @@ mod tests {
     #[test]
     fn call_accounting() {
         let m = Metrics::new();
-        m.record_call(1_000_000, 500, 1e9); // 1 GB for 1 ms
-        m.record_call(1_000_000, 300, 1e9);
+        m.record_call(1_000_000, 500, 120, 1e9); // 1 GB for 1 ms
+        m.record_call(1_000_000, 300, 80, 1e9);
         assert_eq!(m.calls(), 2);
         assert_eq!(m.fuel(), 800);
+        assert_eq!(m.guest_instrs(), 200);
         assert_eq!(m.exec_ns(), 2_000_000);
         // 2 × (1 GB × 1 ms) = 0.002 GB-s.
         assert!((m.billable_gb_seconds() - 0.002).abs() < 1e-9);
@@ -499,7 +514,7 @@ mod tests {
     #[test]
     fn snapshots_are_coherent_copies() {
         let m = Metrics::new();
-        m.record_call(1_000, 5, 0.0);
+        m.record_call(1_000, 5, 3, 0.0);
         m.record_start(StartKind::Cold, 400);
         let snap = m.snapshot();
         assert_eq!(snap.calls, 1);

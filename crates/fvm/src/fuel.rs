@@ -130,6 +130,69 @@ impl FuelMeter {
         self.refill(n)
     }
 
+    /// Charge `n` fuel units that stand for `n` single-unit instruction
+    /// charges. Unlike [`FuelMeter::charge`], crossing the hard limit leaves
+    /// `consumed` at exactly `limit + 1` — the value a unit-at-a-time
+    /// charging loop would observe at the trap — so the lowered tier's
+    /// folded structural costs stay bitwise-compatible with the interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfFuel`] past the hard limit, or the controller's
+    /// trap when it refuses a slice.
+    #[inline]
+    pub fn charge_steps(&mut self, n: u64) -> Result<(), Trap> {
+        if let Some(limit) = self.limit {
+            if self.consumed + n > limit {
+                self.consumed = limit + 1;
+                return Err(Trap::OutOfFuel);
+            }
+        }
+        self.consumed += n;
+        if self.remaining >= n {
+            self.remaining -= n;
+            return Ok(());
+        }
+        self.refill(n)
+    }
+
+    /// Try to charge a whole basic block of `n` units at once.
+    ///
+    /// Returns `Ok(false)` — charging *nothing* — when the hard limit would
+    /// be crossed; the caller then re-executes the block charging op-by-op so
+    /// the out-of-fuel trap lands on exactly the instruction the plain
+    /// interpreter would trap on. Controller-driven meters have no hard
+    /// limit and always charge in full (the controller sees whole-block
+    /// quanta, a coarsening the fuel-semantics contract permits).
+    ///
+    /// # Errors
+    ///
+    /// Returns the controller's trap when it refuses a slice.
+    #[inline]
+    pub fn charge_block(&mut self, n: u64) -> Result<bool, Trap> {
+        if let Some(limit) = self.limit {
+            if self.consumed + n > limit {
+                return Ok(false);
+            }
+        }
+        self.consumed += n;
+        if self.remaining >= n {
+            self.remaining -= n;
+            return Ok(true);
+        }
+        self.refill(n).map(|()| true)
+    }
+
+    /// Return `n` units charged by [`FuelMeter::charge_block`] but never
+    /// executed (a non-fuel trap exited the block early). Keeps `consumed`
+    /// equal to the fuel the guest actually burned.
+    #[inline]
+    pub fn refund(&mut self, n: u64) {
+        debug_assert!(self.consumed >= n, "refund exceeds consumption");
+        self.consumed -= n;
+        self.remaining += n;
+    }
+
     #[cold]
     fn refill(&mut self, n: u64) -> Result<(), Trap> {
         let mut needed = n - self.remaining;
@@ -192,6 +255,58 @@ mod tests {
         assert_eq!(ctrl.0.load(Ordering::Relaxed), 4);
         m.charge(1).unwrap();
         assert_eq!(ctrl.0.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn charge_steps_lands_on_limit_plus_one() {
+        // A unit-at-a-time loop traps with consumed == limit + 1; the folded
+        // form must observe the same value.
+        let mut unit = FuelMeter::with_limit(10);
+        let mut folded = FuelMeter::with_limit(10);
+        unit.charge(7).unwrap();
+        folded.charge(7).unwrap();
+        let mut unit_err = None;
+        for _ in 0..5 {
+            if let Err(e) = unit.charge(1) {
+                unit_err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(unit_err, Some(Trap::OutOfFuel));
+        assert_eq!(folded.charge_steps(5), Err(Trap::OutOfFuel));
+        assert_eq!(unit.consumed(), folded.consumed());
+        assert_eq!(folded.consumed(), 11);
+    }
+
+    #[test]
+    fn charge_block_refuses_without_charging() {
+        let mut m = FuelMeter::with_limit(10);
+        m.charge(8).unwrap();
+        assert_eq!(m.charge_block(3), Ok(false));
+        assert_eq!(m.consumed(), 8, "a refused block charges nothing");
+        assert_eq!(m.charge_block(2), Ok(true));
+        assert_eq!(m.consumed(), 10);
+    }
+
+    #[test]
+    fn refund_undoes_block_charge() {
+        let mut m = FuelMeter::unlimited();
+        assert_eq!(m.charge_block(100), Ok(true));
+        m.refund(40);
+        assert_eq!(m.consumed(), 60);
+    }
+
+    #[test]
+    fn charge_block_without_limit_always_charges() {
+        struct Grant;
+        impl CpuController for Grant {
+            fn acquire_slice(&self, _slice: u64) -> Result<(), Trap> {
+                Ok(())
+            }
+        }
+        let mut m = FuelMeter::with_controller(Arc::new(Grant), 16);
+        assert_eq!(m.charge_block(1000), Ok(true));
+        assert_eq!(m.consumed(), 1000);
     }
 
     #[test]

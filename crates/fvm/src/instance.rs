@@ -101,6 +101,9 @@ pub struct Instance {
     /// Fuel meter; public so the embedder can swap policies between calls.
     pub fuel: FuelMeter,
     max_call_depth: usize,
+    /// Ops retired by the execution engine (telemetry; the lowered tier
+    /// retires fewer ops than the interpreter for the same work).
+    instrs: u64,
 }
 
 impl std::fmt::Debug for Instance {
@@ -189,6 +192,7 @@ impl Instance {
             data,
             fuel,
             max_call_depth: DEFAULT_MAX_CALL_DEPTH,
+            instrs: 0,
         };
 
         if let Some(start) = inst.object.module.start {
@@ -237,6 +241,7 @@ impl Instance {
             data,
             fuel,
             max_call_depth: DEFAULT_MAX_CALL_DEPTH,
+            instrs: 0,
         })
     }
 
@@ -283,6 +288,20 @@ impl Instance {
     /// Set the call-depth limit.
     pub fn set_max_call_depth(&mut self, depth: usize) {
         self.max_call_depth = depth.max(1);
+    }
+
+    /// Ops retired since construction (guest-CPU telemetry). On the lowered
+    /// tier one fused op may stand for several source instructions, so this
+    /// counts engine dispatches; fuel remains the tier-independent
+    /// instruction count.
+    pub fn instrs_retired(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Zero the retired-op counter (per-call accounting, like
+    /// [`crate::fuel::FuelMeter::reset_consumed`]).
+    pub fn reset_instrs(&mut self) {
+        self.instrs = 0;
     }
 
     /// Invoke an exported function by name with typed arguments.
@@ -392,18 +411,39 @@ impl Instance {
         Ok(())
     }
 
+    /// Execute one function body on whichever tier the object module was
+    /// prepared for. The `trace_enabled()` check is hoisted out of the hot
+    /// loop here: the interpreter monomorphises into a traced and an
+    /// untraced variant and the branch happens once per invoke.
+    fn exec_body(
+        &mut self,
+        object: &Arc<ObjectModule>,
+        local_idx: usize,
+        locals: Vec<u64>,
+        depth: usize,
+    ) -> Result<Option<u64>, Trap> {
+        if depth >= self.max_call_depth {
+            return Err(Trap::CallStackExhausted);
+        }
+        if object.lowered.is_some() {
+            return self.exec_lowered(object, local_idx, locals, depth);
+        }
+        if trace_enabled() {
+            self.exec_body_impl::<true>(object, local_idx, locals, depth)
+        } else {
+            self.exec_body_impl::<false>(object, local_idx, locals, depth)
+        }
+    }
+
     /// The interpreter main loop for one function body.
     #[allow(clippy::too_many_lines)]
-    fn exec_body(
+    fn exec_body_impl<const TRACED: bool>(
         &mut self,
         object: &Arc<ObjectModule>,
         local_idx: usize,
         mut locals: Vec<u64>,
         depth: usize,
     ) -> Result<Option<u64>, Trap> {
-        if depth >= self.max_call_depth {
-            return Err(Trap::CallStackExhausted);
-        }
         let func = &object.module.funcs[local_idx];
         let func_arity = object.module.types[func.type_idx as usize].results.len();
         let body: &[Instr] = &func.body;
@@ -411,49 +451,6 @@ impl Instance {
         let mut stack: Vec<u64> = Vec::with_capacity(32);
         let mut labels: Vec<Label> = Vec::with_capacity(8);
         let mut pc: usize = 0;
-
-        macro_rules! bin {
-            ($pop:ident, $push:ident, $f:expr) => {{
-                let b = $pop(&mut stack);
-                let a = $pop(&mut stack);
-                $push(&mut stack, $f(a, b));
-            }};
-        }
-        macro_rules! un {
-            ($pop:ident, $push:ident, $f:expr) => {{
-                let a = $pop(&mut stack);
-                $push(&mut stack, $f(a));
-            }};
-        }
-        macro_rules! cmp {
-            ($pop:ident, $f:expr) => {{
-                let b = $pop(&mut stack);
-                let a = $pop(&mut stack);
-                push_bool(&mut stack, $f(&a, &b));
-            }};
-        }
-        macro_rules! load {
-            ($marg:expr, $read:ident, $size:expr, $map:expr) => {{
-                let base = pop_u32(&mut stack);
-                let addr = base as u64 + $marg.offset as u64;
-                let mem = self.mem.as_ref().expect("validated memory presence");
-                match mem.$read(addr as usize) {
-                    Ok(v) => stack.push($map(v)),
-                    Err(_) => return Err(Trap::OutOfBoundsMemory { addr, len: $size }),
-                }
-            }};
-        }
-        macro_rules! store {
-            ($marg:expr, $write:ident, $size:expr, $pop:ident, $map:expr) => {{
-                let v = $pop(&mut stack);
-                let base = pop_u32(&mut stack);
-                let addr = base as u64 + $marg.offset as u64;
-                let mem = self.mem.as_mut().expect("validated memory presence");
-                if mem.$write(addr as usize, $map(v)).is_err() {
-                    return Err(Trap::OutOfBoundsMemory { addr, len: $size });
-                }
-            }};
-        }
 
         // Performs a branch to relative `depth`; returns the function result
         // if the branch leaves the function body.
@@ -489,9 +486,10 @@ impl Instance {
 
         loop {
             self.fuel.charge(1)?;
+            self.instrs += 1;
             debug_assert!(pc < body.len(), "validated bodies end with End");
             let instr = &body[pc];
-            if trace_enabled() {
+            if TRACED {
                 eprintln!(
                     "pc {pc:3} {instr:?} stack={stack:?} labels={}",
                     labels.len()
@@ -499,7 +497,6 @@ impl Instance {
             }
             match instr {
                 Instr::Unreachable => return Err(Trap::Unreachable),
-                Instr::Nop => {}
                 Instr::Block(bt) => {
                     let meta = object.meta(local_idx, pc);
                     labels.push(Label {
@@ -583,315 +580,395 @@ impl Instance {
                     }
                     self.dispatch_call(func_idx, &mut stack, depth + 1)?;
                 }
-                Instr::Drop => {
-                    stack.pop();
-                }
-                Instr::Select => {
-                    let c = pop_u32(&mut stack);
-                    let b = pop_raw(&mut stack);
-                    let a = pop_raw(&mut stack);
-                    stack.push(if c != 0 { a } else { b });
-                }
-                Instr::LocalGet(i) => stack.push(locals[*i as usize]),
-                Instr::LocalSet(i) => locals[*i as usize] = pop_raw(&mut stack),
-                Instr::LocalTee(i) => {
-                    locals[*i as usize] = *stack.last().expect("validated stack");
-                }
-                Instr::GlobalGet(i) => stack.push(self.globals[*i as usize]),
-                Instr::GlobalSet(i) => self.globals[*i as usize] = pop_raw(&mut stack),
-                Instr::I32Load(m) => load!(m, read_u32, 4, |v: u32| v as u64),
-                Instr::I64Load(m) => load!(m, read_u64, 8, |v: u64| v),
-                Instr::F32Load(m) => load!(m, read_u32, 4, |v: u32| v as u64),
-                Instr::F64Load(m) => load!(m, read_u64, 8, |v: u64| v),
-                Instr::I32Load8S(m) => load!(m, read_i8, 1, |v: i8| v as i32 as u32 as u64),
-                Instr::I32Load8U(m) => load!(m, read_u8, 1, |v: u8| v as u64),
-                Instr::I32Load16S(m) => load!(m, read_i16, 2, |v: i16| v as i32 as u32 as u64),
-                Instr::I32Load16U(m) => load!(m, read_u16, 2, |v: u16| v as u64),
-                Instr::I64Load8S(m) => load!(m, read_i8, 1, |v: i8| v as i64 as u64),
-                Instr::I64Load8U(m) => load!(m, read_u8, 1, |v: u8| v as u64),
-                Instr::I64Load16S(m) => load!(m, read_i16, 2, |v: i16| v as i64 as u64),
-                Instr::I64Load16U(m) => load!(m, read_u16, 2, |v: u16| v as u64),
-                Instr::I64Load32S(m) => load!(m, read_i32, 4, |v: i32| v as i64 as u64),
-                Instr::I64Load32U(m) => load!(m, read_u32, 4, |v: u32| v as u64),
-                Instr::I32Store(m) => store!(m, write_u32, 4, pop_raw, |v: u64| v as u32),
-                Instr::I64Store(m) => store!(m, write_u64, 8, pop_raw, |v: u64| v),
-                Instr::F32Store(m) => store!(m, write_u32, 4, pop_raw, |v: u64| v as u32),
-                Instr::F64Store(m) => store!(m, write_u64, 8, pop_raw, |v: u64| v),
-                Instr::I32Store8(m) => store!(m, write_u8, 1, pop_raw, |v: u64| v as u8),
-                Instr::I32Store16(m) => store!(m, write_u16, 2, pop_raw, |v: u64| v as u16),
-                Instr::I64Store8(m) => store!(m, write_u8, 1, pop_raw, |v: u64| v as u8),
-                Instr::I64Store16(m) => store!(m, write_u16, 2, pop_raw, |v: u64| v as u16),
-                Instr::I64Store32(m) => store!(m, write_u32, 4, pop_raw, |v: u64| v as u32),
-                Instr::MemorySize => {
-                    let pages = self.mem.as_ref().expect("validated").size_pages();
-                    push_u32(&mut stack, pages as u32);
-                }
-                Instr::MemoryGrow => {
-                    let delta = pop_u32(&mut stack);
-                    let mem = self.mem.as_mut().expect("validated");
-                    // Growing costs fuel proportional to pages zeroed.
-                    self.fuel.charge(64 * delta as u64)?;
-                    match mem.grow(delta as usize) {
-                        Ok(old) => push_u32(&mut stack, old as u32),
-                        Err(_) => push_i32(&mut stack, -1),
-                    }
-                }
-                Instr::MemoryCopy => {
-                    let len = pop_u32(&mut stack);
-                    let src = pop_u32(&mut stack);
-                    let dst = pop_u32(&mut stack);
-                    self.fuel.charge(len as u64 / 8)?;
-                    let mem = self.mem.as_mut().expect("validated");
-                    mem.copy_within(src as usize, dst as usize, len as usize)
-                        .map_err(|_| Trap::OutOfBoundsMemory {
-                            addr: src.max(dst) as u64,
-                            len,
-                        })?;
-                }
-                Instr::MemoryFill => {
-                    let len = pop_u32(&mut stack);
-                    let val = pop_u32(&mut stack);
-                    let dst = pop_u32(&mut stack);
-                    self.fuel.charge(len as u64 / 8)?;
-                    let mem = self.mem.as_mut().expect("validated");
-                    mem.fill(dst as usize, len as usize, val as u8)
-                        .map_err(|_| Trap::OutOfBoundsMemory {
-                            addr: dst as u64,
-                            len,
-                        })?;
-                }
-                Instr::I32Const(v) => push_i32(&mut stack, *v),
-                Instr::I64Const(v) => push_i64(&mut stack, *v),
-                Instr::F32Const(v) => push_f32(&mut stack, *v),
-                Instr::F64Const(v) => push_f64(&mut stack, *v),
-                Instr::I32Eqz => {
-                    let v = pop_u32(&mut stack);
-                    push_bool(&mut stack, v == 0);
-                }
-                Instr::I64Eqz => {
-                    let v = pop_raw(&mut stack);
-                    push_bool(&mut stack, v == 0);
-                }
-                Instr::I32Eq => cmp!(pop_u32, |a, b| a == b),
-                Instr::I32Ne => cmp!(pop_u32, |a, b| a != b),
-                Instr::I32LtS => cmp!(pop_i32, |a, b| a < b),
-                Instr::I32LtU => cmp!(pop_u32, |a, b| a < b),
-                Instr::I32GtS => cmp!(pop_i32, |a, b| a > b),
-                Instr::I32GtU => cmp!(pop_u32, |a, b| a > b),
-                Instr::I32LeS => cmp!(pop_i32, |a, b| a <= b),
-                Instr::I32LeU => cmp!(pop_u32, |a, b| a <= b),
-                Instr::I32GeS => cmp!(pop_i32, |a, b| a >= b),
-                Instr::I32GeU => cmp!(pop_u32, |a, b| a >= b),
-                Instr::I64Eq => cmp!(pop_raw, |a, b| a == b),
-                Instr::I64Ne => cmp!(pop_raw, |a, b| a != b),
-                Instr::I64LtS => cmp!(pop_i64, |a, b| a < b),
-                Instr::I64LtU => cmp!(pop_raw, |a, b| a < b),
-                Instr::I64GtS => cmp!(pop_i64, |a, b| a > b),
-                Instr::I64GtU => cmp!(pop_raw, |a, b| a > b),
-                Instr::I64LeS => cmp!(pop_i64, |a, b| a <= b),
-                Instr::I64LeU => cmp!(pop_raw, |a, b| a <= b),
-                Instr::I64GeS => cmp!(pop_i64, |a, b| a >= b),
-                Instr::I64GeU => cmp!(pop_raw, |a, b| a >= b),
-                Instr::F32Eq => cmp!(pop_f32, |a, b| a == b),
-                Instr::F32Ne => cmp!(pop_f32, |a, b| a != b),
-                Instr::F32Lt => cmp!(pop_f32, |a, b| a < b),
-                Instr::F32Gt => cmp!(pop_f32, |a, b| a > b),
-                Instr::F32Le => cmp!(pop_f32, |a, b| a <= b),
-                Instr::F32Ge => cmp!(pop_f32, |a, b| a >= b),
-                Instr::F64Eq => cmp!(pop_f64, |a, b| a == b),
-                Instr::F64Ne => cmp!(pop_f64, |a, b| a != b),
-                Instr::F64Lt => cmp!(pop_f64, |a, b| a < b),
-                Instr::F64Gt => cmp!(pop_f64, |a, b| a > b),
-                Instr::F64Le => cmp!(pop_f64, |a, b| a <= b),
-                Instr::F64Ge => cmp!(pop_f64, |a, b| a >= b),
-                Instr::I32Clz => un!(pop_u32, push_u32, |a: u32| a.leading_zeros()),
-                Instr::I32Ctz => un!(pop_u32, push_u32, |a: u32| a.trailing_zeros()),
-                Instr::I32Popcnt => un!(pop_u32, push_u32, |a: u32| a.count_ones()),
-                Instr::I32Add => bin!(pop_i32, push_i32, |a: i32, b: i32| a.wrapping_add(b)),
-                Instr::I32Sub => bin!(pop_i32, push_i32, |a: i32, b: i32| a.wrapping_sub(b)),
-                Instr::I32Mul => bin!(pop_i32, push_i32, |a: i32, b: i32| a.wrapping_mul(b)),
-                Instr::I32DivS => {
-                    let b = pop_i32(&mut stack);
-                    let a = pop_i32(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    if a == i32::MIN && b == -1 {
-                        return Err(Trap::IntegerOverflow);
-                    }
-                    push_i32(&mut stack, a.wrapping_div(b));
-                }
-                Instr::I32DivU => {
-                    let b = pop_u32(&mut stack);
-                    let a = pop_u32(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    push_u32(&mut stack, a / b);
-                }
-                Instr::I32RemS => {
-                    let b = pop_i32(&mut stack);
-                    let a = pop_i32(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    push_i32(&mut stack, a.wrapping_rem(b));
-                }
-                Instr::I32RemU => {
-                    let b = pop_u32(&mut stack);
-                    let a = pop_u32(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    push_u32(&mut stack, a % b);
-                }
-                Instr::I32And => bin!(pop_u32, push_u32, |a: u32, b: u32| a & b),
-                Instr::I32Or => bin!(pop_u32, push_u32, |a: u32, b: u32| a | b),
-                Instr::I32Xor => bin!(pop_u32, push_u32, |a: u32, b: u32| a ^ b),
-                Instr::I32Shl => bin!(pop_u32, push_u32, |a: u32, b: u32| a << (b & 31)),
-                Instr::I32ShrS => {
-                    bin!(pop_i32, push_i32, |a: i32, b: i32| a >> (b & 31))
-                }
-                Instr::I32ShrU => bin!(pop_u32, push_u32, |a: u32, b: u32| a >> (b & 31)),
-                Instr::I32Rotl => {
-                    bin!(pop_u32, push_u32, |a: u32, b: u32| a.rotate_left(b & 31))
-                }
-                Instr::I32Rotr => {
-                    bin!(pop_u32, push_u32, |a: u32, b: u32| a.rotate_right(b & 31))
-                }
-                Instr::I64Clz => un!(pop_u64, push_u64, |a: u64| a.leading_zeros() as u64),
-                Instr::I64Ctz => un!(pop_u64, push_u64, |a: u64| a.trailing_zeros() as u64),
-                Instr::I64Popcnt => un!(pop_u64, push_u64, |a: u64| a.count_ones() as u64),
-                Instr::I64Add => bin!(pop_i64, push_i64, |a: i64, b: i64| a.wrapping_add(b)),
-                Instr::I64Sub => bin!(pop_i64, push_i64, |a: i64, b: i64| a.wrapping_sub(b)),
-                Instr::I64Mul => bin!(pop_i64, push_i64, |a: i64, b: i64| a.wrapping_mul(b)),
-                Instr::I64DivS => {
-                    let b = pop_i64(&mut stack);
-                    let a = pop_i64(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    if a == i64::MIN && b == -1 {
-                        return Err(Trap::IntegerOverflow);
-                    }
-                    push_i64(&mut stack, a.wrapping_div(b));
-                }
-                Instr::I64DivU => {
-                    let b = pop_u64(&mut stack);
-                    let a = pop_u64(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    push_u64(&mut stack, a / b);
-                }
-                Instr::I64RemS => {
-                    let b = pop_i64(&mut stack);
-                    let a = pop_i64(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    push_i64(&mut stack, a.wrapping_rem(b));
-                }
-                Instr::I64RemU => {
-                    let b = pop_u64(&mut stack);
-                    let a = pop_u64(&mut stack);
-                    if b == 0 {
-                        return Err(Trap::IntegerDivideByZero);
-                    }
-                    push_u64(&mut stack, a % b);
-                }
-                Instr::I64And => bin!(pop_u64, push_u64, |a: u64, b: u64| a & b),
-                Instr::I64Or => bin!(pop_u64, push_u64, |a: u64, b: u64| a | b),
-                Instr::I64Xor => bin!(pop_u64, push_u64, |a: u64, b: u64| a ^ b),
-                Instr::I64Shl => bin!(pop_u64, push_u64, |a: u64, b: u64| a << (b & 63)),
-                Instr::I64ShrS => {
-                    bin!(pop_i64, push_i64, |a: i64, b: i64| a >> (b & 63))
-                }
-                Instr::I64ShrU => bin!(pop_u64, push_u64, |a: u64, b: u64| a >> (b & 63)),
-                Instr::I64Rotl => bin!(pop_u64, push_u64, |a: u64, b: u64| a
-                    .rotate_left((b & 63) as u32)),
-                Instr::I64Rotr => bin!(pop_u64, push_u64, |a: u64, b: u64| a
-                    .rotate_right((b & 63) as u32)),
-                Instr::F32Abs => un!(pop_f32, push_f32, |a: f32| a.abs()),
-                Instr::F32Neg => un!(pop_f32, push_f32, |a: f32| -a),
-                Instr::F32Ceil => un!(pop_f32, push_f32, |a: f32| a.ceil()),
-                Instr::F32Floor => un!(pop_f32, push_f32, |a: f32| a.floor()),
-                Instr::F32Trunc => un!(pop_f32, push_f32, |a: f32| a.trunc()),
-                Instr::F32Nearest => un!(pop_f32, push_f32, |a: f32| a.round_ties_even()),
-                Instr::F32Sqrt => un!(pop_f32, push_f32, |a: f32| a.sqrt()),
-                Instr::F32Add => bin!(pop_f32, push_f32, |a: f32, b: f32| a + b),
-                Instr::F32Sub => bin!(pop_f32, push_f32, |a: f32, b: f32| a - b),
-                Instr::F32Mul => bin!(pop_f32, push_f32, |a: f32, b: f32| a * b),
-                Instr::F32Div => bin!(pop_f32, push_f32, |a: f32, b: f32| a / b),
-                Instr::F32Min => bin!(pop_f32, push_f32, wasm_min_f32),
-                Instr::F32Max => bin!(pop_f32, push_f32, wasm_max_f32),
-                Instr::F32Copysign => bin!(pop_f32, push_f32, |a: f32, b: f32| a.copysign(b)),
-                Instr::F64Abs => un!(pop_f64, push_f64, |a: f64| a.abs()),
-                Instr::F64Neg => un!(pop_f64, push_f64, |a: f64| -a),
-                Instr::F64Ceil => un!(pop_f64, push_f64, |a: f64| a.ceil()),
-                Instr::F64Floor => un!(pop_f64, push_f64, |a: f64| a.floor()),
-                Instr::F64Trunc => un!(pop_f64, push_f64, |a: f64| a.trunc()),
-                Instr::F64Nearest => un!(pop_f64, push_f64, |a: f64| a.round_ties_even()),
-                Instr::F64Sqrt => un!(pop_f64, push_f64, |a: f64| a.sqrt()),
-                Instr::F64Add => bin!(pop_f64, push_f64, |a: f64, b: f64| a + b),
-                Instr::F64Sub => bin!(pop_f64, push_f64, |a: f64, b: f64| a - b),
-                Instr::F64Mul => bin!(pop_f64, push_f64, |a: f64, b: f64| a * b),
-                Instr::F64Div => bin!(pop_f64, push_f64, |a: f64, b: f64| a / b),
-                Instr::F64Min => bin!(pop_f64, push_f64, wasm_min_f64),
-                Instr::F64Max => bin!(pop_f64, push_f64, wasm_max_f64),
-                Instr::F64Copysign => bin!(pop_f64, push_f64, |a: f64, b: f64| a.copysign(b)),
-                Instr::I32WrapI64 => un!(pop_u64, push_u32, |a: u64| a as u32),
-                Instr::I32TruncF32S => {
-                    let v = pop_f32(&mut stack);
-                    push_i32(&mut stack, trunc_f32_to_i32(v)?);
-                }
-                Instr::I32TruncF32U => {
-                    let v = pop_f32(&mut stack);
-                    push_u32(&mut stack, trunc_f32_to_u32(v)?);
-                }
-                Instr::I32TruncF64S => {
-                    let v = pop_f64(&mut stack);
-                    push_i32(&mut stack, trunc_f64_to_i32(v)?);
-                }
-                Instr::I32TruncF64U => {
-                    let v = pop_f64(&mut stack);
-                    push_u32(&mut stack, trunc_f64_to_u32(v)?);
-                }
-                Instr::I64ExtendI32S => un!(pop_i32, push_i64, |a: i32| a as i64),
-                Instr::I64ExtendI32U => un!(pop_u32, push_u64, |a: u32| a as u64),
-                Instr::I64TruncF32S => {
-                    let v = pop_f32(&mut stack);
-                    push_i64(&mut stack, trunc_f32_to_i64(v)?);
-                }
-                Instr::I64TruncF32U => {
-                    let v = pop_f32(&mut stack);
-                    push_u64(&mut stack, trunc_f32_to_u64(v)?);
-                }
-                Instr::I64TruncF64S => {
-                    let v = pop_f64(&mut stack);
-                    push_i64(&mut stack, trunc_f64_to_i64(v)?);
-                }
-                Instr::I64TruncF64U => {
-                    let v = pop_f64(&mut stack);
-                    push_u64(&mut stack, trunc_f64_to_u64(v)?);
-                }
-                Instr::F32ConvertI32S => un!(pop_i32, push_f32, |a: i32| a as f32),
-                Instr::F32ConvertI32U => un!(pop_u32, push_f32, |a: u32| a as f32),
-                Instr::F32ConvertI64S => un!(pop_i64, push_f32, |a: i64| a as f32),
-                Instr::F32ConvertI64U => un!(pop_u64, push_f32, |a: u64| a as f32),
-                Instr::F32DemoteF64 => un!(pop_f64, push_f32, |a: f64| a as f32),
-                Instr::F64ConvertI32S => un!(pop_i32, push_f64, |a: i32| a as f64),
-                Instr::F64ConvertI32U => un!(pop_u32, push_f64, |a: u32| a as f64),
-                Instr::F64ConvertI64S => un!(pop_i64, push_f64, |a: i64| a as f64),
-                Instr::F64ConvertI64U => un!(pop_u64, push_f64, |a: u64| a as f64),
-                Instr::F64PromoteF32 => un!(pop_f32, push_f64, |a: f32| a as f64),
-                Instr::I32ReinterpretF32 => { /* bits already in slot */ }
-                Instr::I64ReinterpretF64 => { /* bits already in slot */ }
-                Instr::F32ReinterpretI32 => { /* bits already in slot */ }
-                Instr::F64ReinterpretI64 => { /* bits already in slot */ }
+                other => self.step_plain(other, &mut locals, &mut stack)?,
             }
             pc += 1;
         }
+    }
+
+    /// Execute one non-control instruction on the operand stack.
+    ///
+    /// This is the single evaluator shared by the interpreter and the
+    /// lowered tier's `Plain` fallback, which keeps per-instruction
+    /// semantics identical across tiers by construction. The per-instruction
+    /// base fuel unit is charged by the caller; only the variable charges
+    /// (`memory.grow`/`copy`/`fill`) live here, in exactly the interpreter's
+    /// pop/charge order.
+    #[allow(clippy::too_many_lines)]
+    #[inline]
+    fn step_plain(
+        &mut self,
+        instr: &Instr,
+        locals: &mut [u64],
+        stack: &mut Vec<u64>,
+    ) -> Result<(), Trap> {
+        macro_rules! bin {
+            ($pop:ident, $push:ident, $f:expr) => {{
+                let b = $pop(stack);
+                let a = $pop(stack);
+                $push(stack, $f(a, b));
+            }};
+        }
+        macro_rules! un {
+            ($pop:ident, $push:ident, $f:expr) => {{
+                let a = $pop(stack);
+                $push(stack, $f(a));
+            }};
+        }
+        macro_rules! cmp {
+            ($pop:ident, $f:expr) => {{
+                let b = $pop(stack);
+                let a = $pop(stack);
+                push_bool(stack, $f(&a, &b));
+            }};
+        }
+        macro_rules! load {
+            ($marg:expr, $read:ident, $size:expr, $map:expr) => {{
+                let base = pop_u32(stack);
+                let addr = base as u64 + $marg.offset as u64;
+                let mem = self.mem.as_ref().expect("validated memory presence");
+                match mem.$read(addr as usize) {
+                    Ok(v) => stack.push($map(v)),
+                    Err(_) => return Err(Trap::OutOfBoundsMemory { addr, len: $size }),
+                }
+            }};
+        }
+        macro_rules! store {
+            ($marg:expr, $write:ident, $size:expr, $pop:ident, $map:expr) => {{
+                let v = $pop(stack);
+                let base = pop_u32(stack);
+                let addr = base as u64 + $marg.offset as u64;
+                let mem = self.mem.as_mut().expect("validated memory presence");
+                if mem.$write(addr as usize, $map(v)).is_err() {
+                    return Err(Trap::OutOfBoundsMemory { addr, len: $size });
+                }
+            }};
+        }
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Drop => {
+                stack.pop();
+            }
+            Instr::Select => {
+                let c = pop_u32(stack);
+                let b = pop_raw(stack);
+                let a = pop_raw(stack);
+                stack.push(if c != 0 { a } else { b });
+            }
+            Instr::LocalGet(i) => stack.push(locals[*i as usize]),
+            Instr::LocalSet(i) => locals[*i as usize] = pop_raw(stack),
+            Instr::LocalTee(i) => {
+                locals[*i as usize] = *stack.last().expect("validated stack");
+            }
+            Instr::GlobalGet(i) => stack.push(self.globals[*i as usize]),
+            Instr::GlobalSet(i) => self.globals[*i as usize] = pop_raw(stack),
+            Instr::I32Load(m) => load!(m, read_u32, 4, |v: u32| v as u64),
+            Instr::I64Load(m) => load!(m, read_u64, 8, |v: u64| v),
+            Instr::F32Load(m) => load!(m, read_u32, 4, |v: u32| v as u64),
+            Instr::F64Load(m) => load!(m, read_u64, 8, |v: u64| v),
+            Instr::I32Load8S(m) => load!(m, read_i8, 1, |v: i8| v as i32 as u32 as u64),
+            Instr::I32Load8U(m) => load!(m, read_u8, 1, |v: u8| v as u64),
+            Instr::I32Load16S(m) => load!(m, read_i16, 2, |v: i16| v as i32 as u32 as u64),
+            Instr::I32Load16U(m) => load!(m, read_u16, 2, |v: u16| v as u64),
+            Instr::I64Load8S(m) => load!(m, read_i8, 1, |v: i8| v as i64 as u64),
+            Instr::I64Load8U(m) => load!(m, read_u8, 1, |v: u8| v as u64),
+            Instr::I64Load16S(m) => load!(m, read_i16, 2, |v: i16| v as i64 as u64),
+            Instr::I64Load16U(m) => load!(m, read_u16, 2, |v: u16| v as u64),
+            Instr::I64Load32S(m) => load!(m, read_i32, 4, |v: i32| v as i64 as u64),
+            Instr::I64Load32U(m) => load!(m, read_u32, 4, |v: u32| v as u64),
+            Instr::I32Store(m) => store!(m, write_u32, 4, pop_raw, |v: u64| v as u32),
+            Instr::I64Store(m) => store!(m, write_u64, 8, pop_raw, |v: u64| v),
+            Instr::F32Store(m) => store!(m, write_u32, 4, pop_raw, |v: u64| v as u32),
+            Instr::F64Store(m) => store!(m, write_u64, 8, pop_raw, |v: u64| v),
+            Instr::I32Store8(m) => store!(m, write_u8, 1, pop_raw, |v: u64| v as u8),
+            Instr::I32Store16(m) => store!(m, write_u16, 2, pop_raw, |v: u64| v as u16),
+            Instr::I64Store8(m) => store!(m, write_u8, 1, pop_raw, |v: u64| v as u8),
+            Instr::I64Store16(m) => store!(m, write_u16, 2, pop_raw, |v: u64| v as u16),
+            Instr::I64Store32(m) => store!(m, write_u32, 4, pop_raw, |v: u64| v as u32),
+            Instr::MemorySize => {
+                let pages = self.mem.as_ref().expect("validated").size_pages();
+                push_u32(stack, pages as u32);
+            }
+            Instr::MemoryGrow => {
+                let delta = pop_u32(stack);
+                let mem = self.mem.as_mut().expect("validated");
+                // Growing costs fuel proportional to pages zeroed.
+                self.fuel.charge(64 * delta as u64)?;
+                match mem.grow(delta as usize) {
+                    Ok(old) => push_u32(stack, old as u32),
+                    Err(_) => push_i32(stack, -1),
+                }
+            }
+            Instr::MemoryCopy => {
+                let len = pop_u32(stack);
+                let src = pop_u32(stack);
+                let dst = pop_u32(stack);
+                self.fuel.charge(len as u64 / 8)?;
+                let mem = self.mem.as_mut().expect("validated");
+                mem.copy_within(src as usize, dst as usize, len as usize)
+                    .map_err(|_| Trap::OutOfBoundsMemory {
+                        addr: src.max(dst) as u64,
+                        len,
+                    })?;
+            }
+            Instr::MemoryFill => {
+                let len = pop_u32(stack);
+                let val = pop_u32(stack);
+                let dst = pop_u32(stack);
+                self.fuel.charge(len as u64 / 8)?;
+                let mem = self.mem.as_mut().expect("validated");
+                mem.fill(dst as usize, len as usize, val as u8)
+                    .map_err(|_| Trap::OutOfBoundsMemory {
+                        addr: dst as u64,
+                        len,
+                    })?;
+            }
+            Instr::I32Const(v) => push_i32(stack, *v),
+            Instr::I64Const(v) => push_i64(stack, *v),
+            Instr::F32Const(v) => push_f32(stack, *v),
+            Instr::F64Const(v) => push_f64(stack, *v),
+            Instr::I32Eqz => {
+                let v = pop_u32(stack);
+                push_bool(stack, v == 0);
+            }
+            Instr::I64Eqz => {
+                let v = pop_raw(stack);
+                push_bool(stack, v == 0);
+            }
+            Instr::I32Eq => cmp!(pop_u32, |a, b| a == b),
+            Instr::I32Ne => cmp!(pop_u32, |a, b| a != b),
+            Instr::I32LtS => cmp!(pop_i32, |a, b| a < b),
+            Instr::I32LtU => cmp!(pop_u32, |a, b| a < b),
+            Instr::I32GtS => cmp!(pop_i32, |a, b| a > b),
+            Instr::I32GtU => cmp!(pop_u32, |a, b| a > b),
+            Instr::I32LeS => cmp!(pop_i32, |a, b| a <= b),
+            Instr::I32LeU => cmp!(pop_u32, |a, b| a <= b),
+            Instr::I32GeS => cmp!(pop_i32, |a, b| a >= b),
+            Instr::I32GeU => cmp!(pop_u32, |a, b| a >= b),
+            Instr::I64Eq => cmp!(pop_raw, |a, b| a == b),
+            Instr::I64Ne => cmp!(pop_raw, |a, b| a != b),
+            Instr::I64LtS => cmp!(pop_i64, |a, b| a < b),
+            Instr::I64LtU => cmp!(pop_raw, |a, b| a < b),
+            Instr::I64GtS => cmp!(pop_i64, |a, b| a > b),
+            Instr::I64GtU => cmp!(pop_raw, |a, b| a > b),
+            Instr::I64LeS => cmp!(pop_i64, |a, b| a <= b),
+            Instr::I64LeU => cmp!(pop_raw, |a, b| a <= b),
+            Instr::I64GeS => cmp!(pop_i64, |a, b| a >= b),
+            Instr::I64GeU => cmp!(pop_raw, |a, b| a >= b),
+            Instr::F32Eq => cmp!(pop_f32, |a, b| a == b),
+            Instr::F32Ne => cmp!(pop_f32, |a, b| a != b),
+            Instr::F32Lt => cmp!(pop_f32, |a, b| a < b),
+            Instr::F32Gt => cmp!(pop_f32, |a, b| a > b),
+            Instr::F32Le => cmp!(pop_f32, |a, b| a <= b),
+            Instr::F32Ge => cmp!(pop_f32, |a, b| a >= b),
+            Instr::F64Eq => cmp!(pop_f64, |a, b| a == b),
+            Instr::F64Ne => cmp!(pop_f64, |a, b| a != b),
+            Instr::F64Lt => cmp!(pop_f64, |a, b| a < b),
+            Instr::F64Gt => cmp!(pop_f64, |a, b| a > b),
+            Instr::F64Le => cmp!(pop_f64, |a, b| a <= b),
+            Instr::F64Ge => cmp!(pop_f64, |a, b| a >= b),
+            Instr::I32Clz => un!(pop_u32, push_u32, |a: u32| a.leading_zeros()),
+            Instr::I32Ctz => un!(pop_u32, push_u32, |a: u32| a.trailing_zeros()),
+            Instr::I32Popcnt => un!(pop_u32, push_u32, |a: u32| a.count_ones()),
+            Instr::I32Add => bin!(pop_i32, push_i32, |a: i32, b: i32| a.wrapping_add(b)),
+            Instr::I32Sub => bin!(pop_i32, push_i32, |a: i32, b: i32| a.wrapping_sub(b)),
+            Instr::I32Mul => bin!(pop_i32, push_i32, |a: i32, b: i32| a.wrapping_mul(b)),
+            Instr::I32DivS => {
+                let b = pop_i32(stack);
+                let a = pop_i32(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                if a == i32::MIN && b == -1 {
+                    return Err(Trap::IntegerOverflow);
+                }
+                push_i32(stack, a.wrapping_div(b));
+            }
+            Instr::I32DivU => {
+                let b = pop_u32(stack);
+                let a = pop_u32(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                push_u32(stack, a / b);
+            }
+            Instr::I32RemS => {
+                let b = pop_i32(stack);
+                let a = pop_i32(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                push_i32(stack, a.wrapping_rem(b));
+            }
+            Instr::I32RemU => {
+                let b = pop_u32(stack);
+                let a = pop_u32(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                push_u32(stack, a % b);
+            }
+            Instr::I32And => bin!(pop_u32, push_u32, |a: u32, b: u32| a & b),
+            Instr::I32Or => bin!(pop_u32, push_u32, |a: u32, b: u32| a | b),
+            Instr::I32Xor => bin!(pop_u32, push_u32, |a: u32, b: u32| a ^ b),
+            Instr::I32Shl => bin!(pop_u32, push_u32, |a: u32, b: u32| a << (b & 31)),
+            Instr::I32ShrS => {
+                bin!(pop_i32, push_i32, |a: i32, b: i32| a >> (b & 31))
+            }
+            Instr::I32ShrU => bin!(pop_u32, push_u32, |a: u32, b: u32| a >> (b & 31)),
+            Instr::I32Rotl => {
+                bin!(pop_u32, push_u32, |a: u32, b: u32| a.rotate_left(b & 31))
+            }
+            Instr::I32Rotr => {
+                bin!(pop_u32, push_u32, |a: u32, b: u32| a.rotate_right(b & 31))
+            }
+            Instr::I64Clz => un!(pop_u64, push_u64, |a: u64| a.leading_zeros() as u64),
+            Instr::I64Ctz => un!(pop_u64, push_u64, |a: u64| a.trailing_zeros() as u64),
+            Instr::I64Popcnt => un!(pop_u64, push_u64, |a: u64| a.count_ones() as u64),
+            Instr::I64Add => bin!(pop_i64, push_i64, |a: i64, b: i64| a.wrapping_add(b)),
+            Instr::I64Sub => bin!(pop_i64, push_i64, |a: i64, b: i64| a.wrapping_sub(b)),
+            Instr::I64Mul => bin!(pop_i64, push_i64, |a: i64, b: i64| a.wrapping_mul(b)),
+            Instr::I64DivS => {
+                let b = pop_i64(stack);
+                let a = pop_i64(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                if a == i64::MIN && b == -1 {
+                    return Err(Trap::IntegerOverflow);
+                }
+                push_i64(stack, a.wrapping_div(b));
+            }
+            Instr::I64DivU => {
+                let b = pop_u64(stack);
+                let a = pop_u64(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                push_u64(stack, a / b);
+            }
+            Instr::I64RemS => {
+                let b = pop_i64(stack);
+                let a = pop_i64(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                push_i64(stack, a.wrapping_rem(b));
+            }
+            Instr::I64RemU => {
+                let b = pop_u64(stack);
+                let a = pop_u64(stack);
+                if b == 0 {
+                    return Err(Trap::IntegerDivideByZero);
+                }
+                push_u64(stack, a % b);
+            }
+            Instr::I64And => bin!(pop_u64, push_u64, |a: u64, b: u64| a & b),
+            Instr::I64Or => bin!(pop_u64, push_u64, |a: u64, b: u64| a | b),
+            Instr::I64Xor => bin!(pop_u64, push_u64, |a: u64, b: u64| a ^ b),
+            Instr::I64Shl => bin!(pop_u64, push_u64, |a: u64, b: u64| a << (b & 63)),
+            Instr::I64ShrS => {
+                bin!(pop_i64, push_i64, |a: i64, b: i64| a >> (b & 63))
+            }
+            Instr::I64ShrU => bin!(pop_u64, push_u64, |a: u64, b: u64| a >> (b & 63)),
+            Instr::I64Rotl => bin!(pop_u64, push_u64, |a: u64, b: u64| a
+                .rotate_left((b & 63) as u32)),
+            Instr::I64Rotr => bin!(pop_u64, push_u64, |a: u64, b: u64| a
+                .rotate_right((b & 63) as u32)),
+            Instr::F32Abs => un!(pop_f32, push_f32, |a: f32| a.abs()),
+            Instr::F32Neg => un!(pop_f32, push_f32, |a: f32| -a),
+            Instr::F32Ceil => un!(pop_f32, push_f32, |a: f32| a.ceil()),
+            Instr::F32Floor => un!(pop_f32, push_f32, |a: f32| a.floor()),
+            Instr::F32Trunc => un!(pop_f32, push_f32, |a: f32| a.trunc()),
+            Instr::F32Nearest => un!(pop_f32, push_f32, |a: f32| a.round_ties_even()),
+            Instr::F32Sqrt => un!(pop_f32, push_f32, |a: f32| a.sqrt()),
+            Instr::F32Add => bin!(pop_f32, push_f32, |a: f32, b: f32| a + b),
+            Instr::F32Sub => bin!(pop_f32, push_f32, |a: f32, b: f32| a - b),
+            Instr::F32Mul => bin!(pop_f32, push_f32, |a: f32, b: f32| a * b),
+            Instr::F32Div => bin!(pop_f32, push_f32, |a: f32, b: f32| a / b),
+            Instr::F32Min => bin!(pop_f32, push_f32, wasm_min_f32),
+            Instr::F32Max => bin!(pop_f32, push_f32, wasm_max_f32),
+            Instr::F32Copysign => bin!(pop_f32, push_f32, |a: f32, b: f32| a.copysign(b)),
+            Instr::F64Abs => un!(pop_f64, push_f64, |a: f64| a.abs()),
+            Instr::F64Neg => un!(pop_f64, push_f64, |a: f64| -a),
+            Instr::F64Ceil => un!(pop_f64, push_f64, |a: f64| a.ceil()),
+            Instr::F64Floor => un!(pop_f64, push_f64, |a: f64| a.floor()),
+            Instr::F64Trunc => un!(pop_f64, push_f64, |a: f64| a.trunc()),
+            Instr::F64Nearest => un!(pop_f64, push_f64, |a: f64| a.round_ties_even()),
+            Instr::F64Sqrt => un!(pop_f64, push_f64, |a: f64| a.sqrt()),
+            Instr::F64Add => bin!(pop_f64, push_f64, |a: f64, b: f64| a + b),
+            Instr::F64Sub => bin!(pop_f64, push_f64, |a: f64, b: f64| a - b),
+            Instr::F64Mul => bin!(pop_f64, push_f64, |a: f64, b: f64| a * b),
+            Instr::F64Div => bin!(pop_f64, push_f64, |a: f64, b: f64| a / b),
+            Instr::F64Min => bin!(pop_f64, push_f64, wasm_min_f64),
+            Instr::F64Max => bin!(pop_f64, push_f64, wasm_max_f64),
+            Instr::F64Copysign => bin!(pop_f64, push_f64, |a: f64, b: f64| a.copysign(b)),
+            Instr::I32WrapI64 => un!(pop_u64, push_u32, |a: u64| a as u32),
+            Instr::I32TruncF32S => {
+                let v = pop_f32(stack);
+                push_i32(stack, trunc_f32_to_i32(v)?);
+            }
+            Instr::I32TruncF32U => {
+                let v = pop_f32(stack);
+                push_u32(stack, trunc_f32_to_u32(v)?);
+            }
+            Instr::I32TruncF64S => {
+                let v = pop_f64(stack);
+                push_i32(stack, trunc_f64_to_i32(v)?);
+            }
+            Instr::I32TruncF64U => {
+                let v = pop_f64(stack);
+                push_u32(stack, trunc_f64_to_u32(v)?);
+            }
+            Instr::I64ExtendI32S => un!(pop_i32, push_i64, |a: i32| a as i64),
+            Instr::I64ExtendI32U => un!(pop_u32, push_u64, |a: u32| a as u64),
+            Instr::I64TruncF32S => {
+                let v = pop_f32(stack);
+                push_i64(stack, trunc_f32_to_i64(v)?);
+            }
+            Instr::I64TruncF32U => {
+                let v = pop_f32(stack);
+                push_u64(stack, trunc_f32_to_u64(v)?);
+            }
+            Instr::I64TruncF64S => {
+                let v = pop_f64(stack);
+                push_i64(stack, trunc_f64_to_i64(v)?);
+            }
+            Instr::I64TruncF64U => {
+                let v = pop_f64(stack);
+                push_u64(stack, trunc_f64_to_u64(v)?);
+            }
+            Instr::F32ConvertI32S => un!(pop_i32, push_f32, |a: i32| a as f32),
+            Instr::F32ConvertI32U => un!(pop_u32, push_f32, |a: u32| a as f32),
+            Instr::F32ConvertI64S => un!(pop_i64, push_f32, |a: i64| a as f32),
+            Instr::F32ConvertI64U => un!(pop_u64, push_f32, |a: u64| a as f32),
+            Instr::F32DemoteF64 => un!(pop_f64, push_f32, |a: f64| a as f32),
+            Instr::F64ConvertI32S => un!(pop_i32, push_f64, |a: i32| a as f64),
+            Instr::F64ConvertI32U => un!(pop_u32, push_f64, |a: u32| a as f64),
+            Instr::F64ConvertI64S => un!(pop_i64, push_f64, |a: i64| a as f64),
+            Instr::F64ConvertI64U => un!(pop_u64, push_f64, |a: u64| a as f64),
+            Instr::F64PromoteF32 => un!(pop_f32, push_f64, |a: f32| a as f64),
+            Instr::I32ReinterpretF32 => { /* bits already in slot */ }
+            Instr::I64ReinterpretF64 => { /* bits already in slot */ }
+            Instr::F32ReinterpretI32 => { /* bits already in slot */ }
+            Instr::F64ReinterpretI64 => { /* bits already in slot */ }
+            Instr::Unreachable
+            | Instr::Block(_)
+            | Instr::Loop(_)
+            | Instr::If(_)
+            | Instr::Else
+            | Instr::End
+            | Instr::Br(_)
+            | Instr::BrIf(_)
+            | Instr::BrTable(_)
+            | Instr::Return
+            | Instr::Call(_)
+            | Instr::CallIndirect(_) => {
+                unreachable!("control instruction in step_plain: {instr:?}")
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1086,6 +1163,8 @@ trunc_fn!(
     0.0f64,
     18446744073709549568.0f64
 );
+
+mod lowered;
 
 #[cfg(test)]
 mod tests;

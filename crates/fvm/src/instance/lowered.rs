@@ -1,0 +1,317 @@
+//! The lowered-tier execution loop: direct-threaded dispatch over the flat
+//! op arrays produced by [`crate::lower`].
+//!
+//! The loop runs in one of two fuel modes, selected by a const generic so
+//! the hot path monomorphises without per-op branching:
+//!
+//! * **Bulk** (`METERED = false`, the normal mode): fuel is charged once per
+//!   basic block via [`crate::fuel::FuelMeter::charge_block`]. A non-fuel
+//!   trap mid-block refunds the un-executed remainder (`LOp::rest`), so
+//!   observed consumption equals the interpreter's. When a block charge
+//!   would cross the hard fuel limit, the charge is refused and the loop
+//!   switches permanently to metered mode at the same pc.
+//! * **Metered** (`METERED = true`): each op charges its own cost (plus the
+//!   fall-through edge fuel when it was reached linearly) with
+//!   [`crate::fuel::FuelMeter::charge_steps`], reproducing the
+//!   interpreter's exact out-of-fuel point, `consumed == limit + 1`.
+//!
+//! Branch edges charge their pre-walked `extra` (the structural
+//! instructions the interpreter executes along that edge) in both modes.
+
+use std::sync::Arc;
+
+use crate::instr::Instr;
+use crate::lower::{BranchArgs, LoweredFunc, LsWidth, Op, RETURN_TARGET};
+use crate::object::ObjectModule;
+use crate::trap::Trap;
+
+use super::{pop_u32, take_result, Instance};
+
+impl Instance {
+    /// Execute one lowered function body. The caller (`exec_body`) has
+    /// already checked call depth.
+    pub(super) fn exec_lowered(
+        &mut self,
+        object: &Arc<ObjectModule>,
+        local_idx: usize,
+        mut locals: Vec<u64>,
+        depth: usize,
+    ) -> Result<Option<u64>, Trap> {
+        let lowered = object.lowered.as_ref().expect("lowered tier prepared");
+        let lf = &lowered[local_idx];
+        let func = &object.module.funcs[local_idx];
+        let func_arity = object.module.types[func.type_idx as usize].results.len();
+        let mut stack: Vec<u64> = Vec::with_capacity(32);
+        // Fuel for structural instructions preceding the first real op.
+        self.fuel.charge_steps(lf.entry_pre as u64)?;
+        self.run::<false>(
+            object,
+            lf,
+            func_arity,
+            &mut locals,
+            &mut stack,
+            0,
+            depth,
+            false,
+        )
+    }
+
+    /// The dispatch loop; see the module docs for the fuel modes.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn run<const METERED: bool>(
+        &mut self,
+        object: &Arc<ObjectModule>,
+        lf: &LoweredFunc,
+        func_arity: usize,
+        locals: &mut Vec<u64>,
+        stack: &mut Vec<u64>,
+        mut pc: usize,
+        depth: usize,
+        mut fell: bool,
+    ) -> Result<Option<u64>, Trap> {
+        loop {
+            let lop = &lf.ops[pc];
+            self.instrs += 1;
+            if METERED {
+                let edge = if fell { lop.pre } else { 0 };
+                self.fuel.charge_steps((lop.cost + edge) as u64)?;
+                fell = true;
+            } else if lop.charge != 0 && !self.fuel.charge_block(lop.charge as u64)? {
+                // The block would cross the fuel limit: re-run it op-by-op
+                // so the trap lands exactly where the interpreter traps.
+                // The edge into this leader was already paid.
+                return self.run::<true>(object, lf, func_arity, locals, stack, pc, depth, false);
+            }
+            let rest = lop.rest;
+
+            // A non-fuel trap exits mid-block: in bulk mode, hand back the
+            // fuel for the ops that never ran.
+            macro_rules! trap {
+                ($e:expr) => {{
+                    if !METERED {
+                        self.fuel.refund(rest as u64);
+                    }
+                    return Err($e);
+                }};
+            }
+            // Taken branch edge: pay the walked structural fuel, fix the
+            // stack exactly like the interpreter's label machinery, jump.
+            macro_rules! take_branch {
+                ($args:expr) => {{
+                    let args: BranchArgs = $args;
+                    self.fuel.charge_steps(args.extra as u64)?;
+                    if args.target == RETURN_TARGET {
+                        return Ok(take_result(stack, func_arity));
+                    }
+                    if args.carry {
+                        let v = stack.pop().expect("validated branch carry");
+                        stack.truncate(args.height as usize);
+                        stack.push(v);
+                    } else {
+                        stack.truncate(args.height as usize);
+                    }
+                    pc = args.target as usize;
+                    if METERED {
+                        // The edge fuel was just charged; don't re-charge
+                        // the target's `pre`.
+                        fell = false;
+                    }
+                    continue;
+                }};
+            }
+
+            match &lop.op {
+                Op::Unreachable => trap!(Trap::Unreachable),
+                Op::Jump(a) => take_branch!(*a),
+                Op::BrNz(c) => {
+                    if pop_u32(stack) != 0 {
+                        take_branch!(c.args);
+                    } else if !METERED {
+                        self.fuel.charge_steps(c.fall_extra as u64)?;
+                    }
+                }
+                Op::BrZ(c) => {
+                    if pop_u32(stack) == 0 {
+                        take_branch!(c.args);
+                    } else if !METERED {
+                        self.fuel.charge_steps(c.fall_extra as u64)?;
+                    }
+                }
+                Op::BrTable(t) => {
+                    let i = pop_u32(stack) as usize;
+                    let args = t.entries.get(i).copied().unwrap_or(t.default);
+                    take_branch!(args);
+                }
+                Op::Ret => return Ok(take_result(stack, func_arity)),
+                Op::Call { idx, extra } => {
+                    if let Err(e) = self.dispatch_call(*idx, stack, depth + 1) {
+                        trap!(e);
+                    }
+                    if !METERED {
+                        self.fuel.charge_steps(*extra as u64)?;
+                    }
+                }
+                Op::CallIndirect { type_idx, extra } => {
+                    let i = pop_u32(stack);
+                    let slot = match self.table.get(i as usize) {
+                        Some(s) => *s,
+                        None => trap!(Trap::OutOfBoundsTable { index: i }),
+                    };
+                    let func_idx = match slot {
+                        Some(f) => f,
+                        None => trap!(Trap::UninitializedElement { index: i }),
+                    };
+                    let expected = &object.module.types[*type_idx as usize];
+                    match object.module.func_type(func_idx) {
+                        Some(actual) if actual == expected => {}
+                        _ => trap!(Trap::IndirectCallTypeMismatch),
+                    }
+                    if let Err(e) = self.dispatch_call(func_idx, stack, depth + 1) {
+                        trap!(e);
+                    }
+                    if !METERED {
+                        self.fuel.charge_steps(*extra as u64)?;
+                    }
+                }
+                Op::MemoryGrow { extra } => {
+                    if let Err(e) = self.step_plain(&Instr::MemoryGrow, locals, stack) {
+                        trap!(e);
+                    }
+                    if !METERED {
+                        self.fuel.charge_steps(*extra as u64)?;
+                    }
+                }
+                Op::MemoryCopy { extra } => {
+                    if let Err(e) = self.step_plain(&Instr::MemoryCopy, locals, stack) {
+                        trap!(e);
+                    }
+                    if !METERED {
+                        self.fuel.charge_steps(*extra as u64)?;
+                    }
+                }
+                Op::MemoryFill { extra } => {
+                    if let Err(e) = self.step_plain(&Instr::MemoryFill, locals, stack) {
+                        trap!(e);
+                    }
+                    if !METERED {
+                        self.fuel.charge_steps(*extra as u64)?;
+                    }
+                }
+                Op::LocalGet(i) => stack.push(locals[*i as usize]),
+                Op::LocalSet(i) => {
+                    locals[*i as usize] = stack.pop().expect("validated stack");
+                }
+                Op::LocalTee(i) => {
+                    locals[*i as usize] = *stack.last().expect("validated stack");
+                }
+                Op::I32Const(v) => stack.push(*v as u32 as u64),
+                Op::I64Const(v) => stack.push(*v as u64),
+                Op::FBinLL { a, b, op } => {
+                    let r = op.eval(locals[*a as usize], locals[*b as usize]);
+                    stack.push(r);
+                }
+                Op::FBinLLS { a, b, dst, op } => {
+                    locals[*dst as usize] = op.eval(locals[*a as usize], locals[*b as usize]);
+                }
+                Op::FImm { imm, op } => {
+                    let a = stack.pop().expect("validated stack");
+                    stack.push(op.eval(a, *imm));
+                }
+                Op::FImmL { src, imm, op } => {
+                    stack.push(op.eval(locals[*src as usize], *imm));
+                }
+                Op::FImmLS { src, imm, dst, op } => {
+                    locals[*dst as usize] = op.eval(locals[*src as usize], *imm);
+                }
+                Op::FBrCmpLL {
+                    a,
+                    b,
+                    cmp,
+                    when,
+                    br,
+                } => {
+                    if cmp.eval(locals[*a as usize], locals[*b as usize]) == *when {
+                        take_branch!(br.args);
+                    } else if !METERED {
+                        self.fuel.charge_steps(br.fall_extra as u64)?;
+                    }
+                }
+                Op::FBrCmpLI {
+                    a,
+                    imm,
+                    cmp,
+                    when,
+                    br,
+                } => {
+                    if cmp.eval(locals[*a as usize], *imm as u32 as u64) == *when {
+                        take_branch!(br.args);
+                    } else if !METERED {
+                        self.fuel.charge_steps(br.fall_extra as u64)?;
+                    }
+                }
+                Op::FLocalLoad {
+                    local,
+                    offset,
+                    width,
+                } => {
+                    let base = locals[*local as usize] as u32;
+                    let addr = base as u64 + *offset as u64;
+                    let len = width.bytes();
+                    let mem = self.mem.as_ref().expect("validated memory presence");
+                    if addr + len as u64 > mem.size_bytes() as u64 {
+                        trap!(Trap::OutOfBoundsMemory { addr, len });
+                    }
+                    let v = match width {
+                        LsWidth::W4 => u32::from_le_bytes(mem.read_raw::<4>(addr as usize)) as u64,
+                        LsWidth::W8 => u64::from_le_bytes(mem.read_raw::<8>(addr as usize)),
+                    };
+                    stack.push(v);
+                }
+                Op::FStoreL {
+                    local,
+                    offset,
+                    width,
+                } => {
+                    // Source order: the address was pushed first, then the
+                    // fused LocalGet supplied the value.
+                    let v = locals[*local as usize];
+                    let base = pop_u32(stack);
+                    let addr = base as u64 + *offset as u64;
+                    let len = width.bytes();
+                    let mem = self.mem.as_mut().expect("validated memory presence");
+                    if addr + len as u64 > mem.size_bytes() as u64 {
+                        trap!(Trap::OutOfBoundsMemory { addr, len });
+                    }
+                    match width {
+                        LsWidth::W4 => {
+                            mem.write_raw::<4>(addr as usize, (v as u32).to_le_bytes());
+                        }
+                        LsWidth::W8 => mem.write_raw::<8>(addr as usize, v.to_le_bytes()),
+                    }
+                }
+                Op::FAddLoad { offset, width } => {
+                    let b = stack.pop().expect("validated stack") as u32 as i32;
+                    let a = stack.pop().expect("validated stack") as u32 as i32;
+                    let base = a.wrapping_add(b) as u32;
+                    let addr = base as u64 + *offset as u64;
+                    let len = width.bytes();
+                    let mem = self.mem.as_ref().expect("validated memory presence");
+                    if addr + len as u64 > mem.size_bytes() as u64 {
+                        trap!(Trap::OutOfBoundsMemory { addr, len });
+                    }
+                    let v = match width {
+                        LsWidth::W4 => u32::from_le_bytes(mem.read_raw::<4>(addr as usize)) as u64,
+                        LsWidth::W8 => u64::from_le_bytes(mem.read_raw::<8>(addr as usize)),
+                    };
+                    stack.push(v);
+                }
+                Op::Plain(i) => {
+                    if let Err(e) = self.step_plain(i, locals, stack) {
+                        trap!(e);
+                    }
+                }
+            }
+            pc += 1;
+        }
+    }
+}

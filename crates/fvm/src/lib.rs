@@ -46,6 +46,7 @@ pub mod host;
 pub mod instance;
 pub mod instr;
 pub mod leb128;
+mod lower;
 pub mod module;
 pub mod object;
 mod opcodes;
@@ -60,7 +61,7 @@ pub use host::{HostCtx, HostFunc, LinkError, Linker};
 pub use instance::{Instance, InstanceSnapshot, InstantiateError};
 pub use instr::{Instr, MemArg};
 pub use module::{ExportKind, Module, ModuleBuilder};
-pub use object::{CompileError, ObjectModule};
+pub use object::{CompileError, ExecTier, ObjectModule};
 pub use trap::Trap;
 pub use types::{BlockType, FuncType, Val, ValType};
 pub use validate::{validate, ValidateError};
@@ -74,7 +75,7 @@ pub mod prelude {
     pub use crate::instance::{Instance, InstanceSnapshot};
     pub use crate::instr::{Instr, MemArg};
     pub use crate::module::{Module, ModuleBuilder};
-    pub use crate::object::ObjectModule;
+    pub use crate::object::{ExecTier, ObjectModule};
     pub use crate::trap::Trap;
     pub use crate::types::{BlockType, FuncType, Val, ValType};
 }

@@ -1,0 +1,1704 @@
+//! Lowering: from structured `Instr` bodies to flat, direct-threaded ops.
+//!
+//! The plain interpreter walks the tree-form body, paying for structure on
+//! every instruction: a label stack, `fuel.charge(1)` per instruction, and a
+//! bounds check per memory access. Validation already proved the structure,
+//! so this pass compiles each body into a flat array of [`Op`]s once, at
+//! `ObjectModule` preparation time:
+//!
+//! * **Direct threading** — `Block`/`Loop`/`If`/`Else`/`End`/`Nop` (and the
+//!   bit-cast reinterpret ops) disappear as runtime ops. Branches carry an
+//!   absolute target index, the stack height to truncate to, and whether a
+//!   result value is carried, all pre-resolved from the `CtrlMeta` tables.
+//! * **Superinstruction fusion** — the hot sequences real codegen emits
+//!   (`LocalGet,LocalGet,op[,LocalSet]`, `LocalGet,I32Const,op[,LocalSet]`,
+//!   compare+`BrIf`, `LocalGet`+load/store, `I32Add`+load) collapse into
+//!   single fused ops with one dispatch and, for memory ops, one bounds
+//!   check.
+//! * **Fuel hoisting** — fuel is charged once per basic block instead of per
+//!   instruction. See the fuel-equivalence contract below.
+//!
+//! # The fuel-equivalence contract
+//!
+//! The interpreter charges one fuel unit per executed instruction, *before*
+//! executing it, including the structural ops that lowering erases. The only
+//! observables are: guest state (memory, globals, table) at every trap or
+//! return, the trap kind and value, and `FuelMeter::consumed()` at those
+//! points. The lowered tier reproduces those observables exactly:
+//!
+//! * Every erased structural instruction is accounted to the *edge* that
+//!   executes it: the linear fall-through edge into an op pays its [`LOp::pre`]
+//!   count, each branch edge pays its [`BranchArgs::extra`] count (walked out
+//!   of the side tables at lowering time, so back-edges to a loop do not
+//!   re-pay the `Loop` opener, exactly like the interpreter).
+//! * A basic block's member costs (plus the fall-through `pre` of its
+//!   successor) are charged in one [`FuelMeter::charge_block`] at the block
+//!   leader. If the block would cross the fuel limit, the charge is refused
+//!   and execution switches permanently to a per-op metered mode that charges
+//!   with [`FuelMeter::charge_steps`], so the out-of-fuel trap lands at the
+//!   same consumed value (`limit + 1`) the interpreter observes.
+//! * A non-fuel trap mid-block refunds the not-yet-executed remainder
+//!   ([`LOp::rest`]), so consumed fuel equals exactly what the interpreter
+//!   charged up to and through the trapping instruction.
+//! * Variable charges (host-call flat 16, `memory.grow` 64/page,
+//!   `memory.copy`/`fill` len/8) terminate basic blocks and use the same
+//!   plain [`FuelMeter::charge`] the interpreter uses.
+//!
+//! Dead code (instructions the validator types with a polymorphic stack
+//! because they can never execute) is not lowered at all: it can never
+//! contribute fuel or effects on any tier.
+
+use crate::instr::{Instr, MemArg};
+use crate::module::Module;
+use crate::object::CtrlMeta;
+
+/// Branch target meaning "return from the function".
+pub(crate) const RETURN_TARGET: u32 = u32::MAX;
+
+/// Pre-resolved branch: absolute target plus the stack fix-up the
+/// interpreter's label machinery would have performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BranchArgs {
+    /// Absolute index of the op to jump to, or [`RETURN_TARGET`].
+    pub target: u32,
+    /// Value-stack height to truncate to.
+    pub height: u32,
+    /// Whether the branch carries the top-of-stack value past truncation.
+    pub carry: bool,
+    /// Fuel for structural instructions the interpreter executes along this
+    /// edge (`End`s walked over, an `Else` skip, ...).
+    pub extra: u32,
+}
+
+/// A conditional branch: taken args plus the fall-through edge's fuel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CondBr {
+    /// Where the taken edge goes.
+    pub args: BranchArgs,
+    /// Fuel for elided instructions on the not-taken edge (charged in bulk
+    /// mode only; metered mode pays it via the successor's `pre`).
+    pub fall_extra: u32,
+}
+
+/// Lowered `br_table`: every entry fully resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LBrTable {
+    pub entries: Vec<BranchArgs>,
+    pub default: BranchArgs,
+}
+
+/// Binary ops eligible for `LocalGet,LocalGet,op[,LocalSet]` fusion.
+/// All are non-trapping, so a fused op never traps mid-sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FusedBin {
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32And,
+    I32Or,
+    I32Xor,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+}
+
+impl FusedBin {
+    pub(crate) fn from_instr(i: &Instr) -> Option<FusedBin> {
+        Some(match i {
+            Instr::I32Add => FusedBin::I32Add,
+            Instr::I32Sub => FusedBin::I32Sub,
+            Instr::I32Mul => FusedBin::I32Mul,
+            Instr::I32And => FusedBin::I32And,
+            Instr::I32Or => FusedBin::I32Or,
+            Instr::I32Xor => FusedBin::I32Xor,
+            Instr::I64Add => FusedBin::I64Add,
+            Instr::I64Sub => FusedBin::I64Sub,
+            Instr::I64Mul => FusedBin::I64Mul,
+            Instr::F32Add => FusedBin::F32Add,
+            Instr::F32Sub => FusedBin::F32Sub,
+            Instr::F32Mul => FusedBin::F32Mul,
+            Instr::F32Div => FusedBin::F32Div,
+            Instr::F64Add => FusedBin::F64Add,
+            Instr::F64Sub => FusedBin::F64Sub,
+            Instr::F64Mul => FusedBin::F64Mul,
+            Instr::F64Div => FusedBin::F64Div,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate on raw slots with exactly the interpreter's pop/push
+    /// conversions (i32 results are zero-extended low bits, floats travel as
+    /// bits).
+    #[inline]
+    pub(crate) fn eval(self, a: u64, b: u64) -> u64 {
+        let i32s = |x: u64| x as u32 as i32;
+        let f32s = |x: u64| f32::from_bits(x as u32);
+        match self {
+            FusedBin::I32Add => i32s(a).wrapping_add(i32s(b)) as u32 as u64,
+            FusedBin::I32Sub => i32s(a).wrapping_sub(i32s(b)) as u32 as u64,
+            FusedBin::I32Mul => i32s(a).wrapping_mul(i32s(b)) as u32 as u64,
+            FusedBin::I32And => (a as u32 & b as u32) as u64,
+            FusedBin::I32Or => (a as u32 | b as u32) as u64,
+            FusedBin::I32Xor => (a as u32 ^ b as u32) as u64,
+            FusedBin::I64Add => (a as i64).wrapping_add(b as i64) as u64,
+            FusedBin::I64Sub => (a as i64).wrapping_sub(b as i64) as u64,
+            FusedBin::I64Mul => (a as i64).wrapping_mul(b as i64) as u64,
+            FusedBin::F32Add => (f32s(a) + f32s(b)).to_bits() as u64,
+            FusedBin::F32Sub => (f32s(a) - f32s(b)).to_bits() as u64,
+            FusedBin::F32Mul => (f32s(a) * f32s(b)).to_bits() as u64,
+            FusedBin::F32Div => (f32s(a) / f32s(b)).to_bits() as u64,
+            FusedBin::F64Add => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+            FusedBin::F64Sub => (f64::from_bits(a) - f64::from_bits(b)).to_bits(),
+            FusedBin::F64Mul => (f64::from_bits(a) * f64::from_bits(b)).to_bits(),
+            FusedBin::F64Div => (f64::from_bits(a) / f64::from_bits(b)).to_bits(),
+        }
+    }
+}
+
+/// i32 ops eligible for `I32Const`-immediate fusion (the constant is the
+/// right operand). All non-trapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FusedImm {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrS,
+    ShrU,
+}
+
+impl FusedImm {
+    pub(crate) fn from_instr(i: &Instr) -> Option<FusedImm> {
+        Some(match i {
+            Instr::I32Add => FusedImm::Add,
+            Instr::I32Sub => FusedImm::Sub,
+            Instr::I32Mul => FusedImm::Mul,
+            Instr::I32And => FusedImm::And,
+            Instr::I32Or => FusedImm::Or,
+            Instr::I32Xor => FusedImm::Xor,
+            Instr::I32Shl => FusedImm::Shl,
+            Instr::I32ShrS => FusedImm::ShrS,
+            Instr::I32ShrU => FusedImm::ShrU,
+            _ => return None,
+        })
+    }
+
+    #[inline]
+    pub(crate) fn eval(self, a: u64, k: i32) -> u64 {
+        let ai = a as u32 as i32;
+        let au = a as u32;
+        match self {
+            FusedImm::Add => ai.wrapping_add(k) as u32 as u64,
+            FusedImm::Sub => ai.wrapping_sub(k) as u32 as u64,
+            FusedImm::Mul => ai.wrapping_mul(k) as u32 as u64,
+            FusedImm::And => (au & k as u32) as u64,
+            FusedImm::Or => (au | k as u32) as u64,
+            FusedImm::Xor => (au ^ k as u32) as u64,
+            FusedImm::Shl => (au << (k as u32 & 31)) as u64,
+            FusedImm::ShrS => (ai >> (k & 31)) as u32 as u64,
+            FusedImm::ShrU => (au >> (k as u32 & 31)) as u64,
+        }
+    }
+}
+
+/// i32 comparisons eligible for compare+branch fusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FusedCmp {
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    GtS,
+    GtU,
+    LeS,
+    LeU,
+    GeS,
+    GeU,
+}
+
+impl FusedCmp {
+    pub(crate) fn from_instr(i: &Instr) -> Option<FusedCmp> {
+        Some(match i {
+            Instr::I32Eq => FusedCmp::Eq,
+            Instr::I32Ne => FusedCmp::Ne,
+            Instr::I32LtS => FusedCmp::LtS,
+            Instr::I32LtU => FusedCmp::LtU,
+            Instr::I32GtS => FusedCmp::GtS,
+            Instr::I32GtU => FusedCmp::GtU,
+            Instr::I32LeS => FusedCmp::LeS,
+            Instr::I32LeU => FusedCmp::LeU,
+            Instr::I32GeS => FusedCmp::GeS,
+            Instr::I32GeU => FusedCmp::GeU,
+            _ => return None,
+        })
+    }
+
+    #[inline]
+    pub(crate) fn eval(self, a: u64, b: u64) -> bool {
+        let (ai, bi) = (a as u32 as i32, b as u32 as i32);
+        let (au, bu) = (a as u32, b as u32);
+        match self {
+            FusedCmp::Eq => au == bu,
+            FusedCmp::Ne => au != bu,
+            FusedCmp::LtS => ai < bi,
+            FusedCmp::LtU => au < bu,
+            FusedCmp::GtS => ai > bi,
+            FusedCmp::GtU => au > bu,
+            FusedCmp::LeS => ai <= bi,
+            FusedCmp::LeU => au <= bu,
+            FusedCmp::GeS => ai >= bi,
+            FusedCmp::GeU => au >= bu,
+        }
+    }
+}
+
+/// Access width of a fused full-width load/store. i32/f32 and i64/f64 are
+/// indistinguishable at this level — slots carry raw bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LsWidth {
+    W4,
+    W8,
+}
+
+impl LsWidth {
+    pub(crate) fn bytes(self) -> u32 {
+        match self {
+            LsWidth::W4 => 4,
+            LsWidth::W8 => 8,
+        }
+    }
+
+    fn of_load(i: &Instr) -> Option<(LsWidth, u32)> {
+        match i {
+            Instr::I32Load(m) | Instr::F32Load(m) => Some((LsWidth::W4, m.offset)),
+            Instr::I64Load(m) | Instr::F64Load(m) => Some((LsWidth::W8, m.offset)),
+            _ => None,
+        }
+    }
+
+    fn of_store(i: &Instr) -> Option<(LsWidth, u32)> {
+        match i {
+            Instr::I32Store(m) | Instr::F32Store(m) => Some((LsWidth::W4, m.offset)),
+            Instr::I64Store(m) | Instr::F64Store(m) => Some((LsWidth::W8, m.offset)),
+            _ => None,
+        }
+    }
+}
+
+/// One lowered op. Control flow and the fusion targets get dedicated
+/// variants; everything else executes through the shared single-instruction
+/// evaluator (`Instance::step_plain`), which keeps the two tiers semantically
+/// identical by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    Unreachable,
+    Jump(BranchArgs),
+    /// Branch when the popped condition is non-zero (`br_if`).
+    BrNz(CondBr),
+    /// Branch when the popped condition is zero (`if` false-edge, or fused
+    /// `I32Eqz`+`br_if`).
+    BrZ(CondBr),
+    BrTable(Box<LBrTable>),
+    Ret,
+    Call {
+        idx: u32,
+        extra: u32,
+    },
+    CallIndirect {
+        type_idx: u32,
+        extra: u32,
+    },
+    /// Variable-fuel memory ops terminate basic blocks; `extra` is the
+    /// fall-through edge's elided-instruction fuel.
+    MemoryGrow {
+        extra: u32,
+    },
+    MemoryCopy {
+        extra: u32,
+    },
+    MemoryFill {
+        extra: u32,
+    },
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    I32Const(i32),
+    I64Const(i64),
+    /// `LocalGet a; LocalGet b; op`
+    FBinLL {
+        a: u32,
+        b: u32,
+        op: FusedBin,
+    },
+    /// `LocalGet a; LocalGet b; op; LocalSet dst`
+    FBinLLS {
+        a: u32,
+        b: u32,
+        dst: u32,
+        op: FusedBin,
+    },
+    /// `I32Const k; op` (stack operand on the left)
+    FImm {
+        imm: i32,
+        op: FusedImm,
+    },
+    /// `LocalGet src; I32Const k; op`
+    FImmL {
+        src: u32,
+        imm: i32,
+        op: FusedImm,
+    },
+    /// `LocalGet src; I32Const k; op; LocalSet dst`
+    FImmLS {
+        src: u32,
+        imm: i32,
+        dst: u32,
+        op: FusedImm,
+    },
+    /// `LocalGet a; LocalGet b; cmp; [I32Eqz;] br_if` — taken when the
+    /// comparison result equals `when`.
+    FBrCmpLL {
+        a: u32,
+        b: u32,
+        cmp: FusedCmp,
+        when: bool,
+        br: CondBr,
+    },
+    /// `LocalGet a; I32Const k; cmp; [I32Eqz;] br_if`
+    FBrCmpLI {
+        a: u32,
+        imm: i32,
+        cmp: FusedCmp,
+        when: bool,
+        br: CondBr,
+    },
+    /// `LocalGet local; load` — one bounds check, raw read.
+    FLocalLoad {
+        local: u32,
+        offset: u32,
+        width: LsWidth,
+    },
+    /// `LocalGet local; store` — address from the stack, value from a local.
+    FStoreL {
+        local: u32,
+        offset: u32,
+        width: LsWidth,
+    },
+    /// `I32Add; load` — address computed from two stack operands.
+    FAddLoad {
+        offset: u32,
+        width: LsWidth,
+    },
+    /// Any other instruction, executed by the shared evaluator.
+    Plain(Instr),
+}
+
+/// One lowered op plus its fuel metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LOp {
+    pub op: Op,
+    /// Interpreter fuel units this op stands for (fused ops: the sum of their
+    /// constituents; non-leaders also fold their `pre`).
+    pub cost: u32,
+    /// Elided structural instructions on the linear fall-through edge into
+    /// this op. Non-zero only on block leaders (folded into `cost`
+    /// otherwise).
+    pub pre: u32,
+    /// Basic-block bulk charge (non-zero only on block leaders): member
+    /// costs plus the fall-through successor's `pre`.
+    pub charge: u32,
+    /// Portion of the block charge not yet executed once this op traps —
+    /// refunded on a non-fuel trap so consumed fuel matches the interpreter.
+    pub rest: u32,
+}
+
+/// A lowered function body. `ops` is never empty: the smallest body lowers
+/// to a single `Ret`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LoweredFunc {
+    pub ops: Vec<LOp>,
+    /// Elided instructions before the first op on the function-entry edge.
+    pub entry_pre: u32,
+}
+
+/// Lower every function body of a validated module.
+pub(crate) fn lower_module(module: &Module, ctrl: &[Vec<CtrlMeta>]) -> Vec<LoweredFunc> {
+    module
+        .funcs
+        .iter()
+        .zip(ctrl)
+        .map(|(f, meta)| lower_func(module, &f.body, meta))
+        .collect()
+}
+
+/// True for instructions that are erased by lowering (but still cost one
+/// fuel unit each in the interpreter, accounted via `pre`/`extra` counts).
+fn is_elided(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Nop
+            | Instr::Block(_)
+            | Instr::Loop(_)
+            | Instr::I32ReinterpretF32
+            | Instr::I64ReinterpretF64
+            | Instr::F32ReinterpretI32
+            | Instr::F64ReinterpretI64
+    )
+}
+
+/// Net value-stack effect of a non-control instruction (used to track the
+/// absolute heights branches truncate to). Control flow is handled
+/// explicitly by the scan.
+#[allow(clippy::match_same_arms)]
+fn stack_delta(module: &Module, i: &Instr) -> i32 {
+    match i {
+        Instr::Call(idx) => {
+            let ty = module.func_type(*idx).expect("validated call target");
+            ty.results.len() as i32 - ty.params.len() as i32
+        }
+        Instr::CallIndirect(type_idx) => {
+            let ty = &module.types[*type_idx as usize];
+            ty.results.len() as i32 - ty.params.len() as i32 - 1
+        }
+        Instr::Drop => -1,
+        Instr::Select => -2,
+        Instr::LocalGet(_) | Instr::GlobalGet(_) | Instr::MemorySize => 1,
+        Instr::LocalSet(_) | Instr::GlobalSet(_) => -1,
+        Instr::LocalTee(_) => 0,
+        Instr::I32Const(_) | Instr::I64Const(_) | Instr::F32Const(_) | Instr::F64Const(_) => 1,
+        // Loads pop an address and push a value.
+        Instr::I32Load(_)
+        | Instr::I64Load(_)
+        | Instr::F32Load(_)
+        | Instr::F64Load(_)
+        | Instr::I32Load8S(_)
+        | Instr::I32Load8U(_)
+        | Instr::I32Load16S(_)
+        | Instr::I32Load16U(_)
+        | Instr::I64Load8S(_)
+        | Instr::I64Load8U(_)
+        | Instr::I64Load16S(_)
+        | Instr::I64Load16U(_)
+        | Instr::I64Load32S(_)
+        | Instr::I64Load32U(_) => 0,
+        Instr::I32Store(_)
+        | Instr::I64Store(_)
+        | Instr::F32Store(_)
+        | Instr::F64Store(_)
+        | Instr::I32Store8(_)
+        | Instr::I32Store16(_)
+        | Instr::I64Store8(_)
+        | Instr::I64Store16(_)
+        | Instr::I64Store32(_) => -2,
+        Instr::MemoryGrow => 0,
+        Instr::MemoryCopy | Instr::MemoryFill => -3,
+        // Binary numeric/comparison ops: two in, one out.
+        Instr::I32Eq
+        | Instr::I32Ne
+        | Instr::I32LtS
+        | Instr::I32LtU
+        | Instr::I32GtS
+        | Instr::I32GtU
+        | Instr::I32LeS
+        | Instr::I32LeU
+        | Instr::I32GeS
+        | Instr::I32GeU
+        | Instr::I64Eq
+        | Instr::I64Ne
+        | Instr::I64LtS
+        | Instr::I64LtU
+        | Instr::I64GtS
+        | Instr::I64GtU
+        | Instr::I64LeS
+        | Instr::I64LeU
+        | Instr::I64GeS
+        | Instr::I64GeU
+        | Instr::F32Eq
+        | Instr::F32Ne
+        | Instr::F32Lt
+        | Instr::F32Gt
+        | Instr::F32Le
+        | Instr::F32Ge
+        | Instr::F64Eq
+        | Instr::F64Ne
+        | Instr::F64Lt
+        | Instr::F64Gt
+        | Instr::F64Le
+        | Instr::F64Ge
+        | Instr::I32Add
+        | Instr::I32Sub
+        | Instr::I32Mul
+        | Instr::I32DivS
+        | Instr::I32DivU
+        | Instr::I32RemS
+        | Instr::I32RemU
+        | Instr::I32And
+        | Instr::I32Or
+        | Instr::I32Xor
+        | Instr::I32Shl
+        | Instr::I32ShrS
+        | Instr::I32ShrU
+        | Instr::I32Rotl
+        | Instr::I32Rotr
+        | Instr::I64Add
+        | Instr::I64Sub
+        | Instr::I64Mul
+        | Instr::I64DivS
+        | Instr::I64DivU
+        | Instr::I64RemS
+        | Instr::I64RemU
+        | Instr::I64And
+        | Instr::I64Or
+        | Instr::I64Xor
+        | Instr::I64Shl
+        | Instr::I64ShrS
+        | Instr::I64ShrU
+        | Instr::I64Rotl
+        | Instr::I64Rotr
+        | Instr::F32Add
+        | Instr::F32Sub
+        | Instr::F32Mul
+        | Instr::F32Div
+        | Instr::F32Min
+        | Instr::F32Max
+        | Instr::F32Copysign
+        | Instr::F64Add
+        | Instr::F64Sub
+        | Instr::F64Mul
+        | Instr::F64Div
+        | Instr::F64Min
+        | Instr::F64Max
+        | Instr::F64Copysign => -1,
+        // Everything else (unary ops, conversions, eqz, reinterprets) is
+        // one-in-one-out.
+        _ => 0,
+    }
+}
+
+/// True for ops that end a basic block: control transfers, calls (the callee
+/// charges its own fuel) and variable-fuel memory ops.
+fn is_terminator(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Unreachable
+            | Op::Jump(_)
+            | Op::BrNz(_)
+            | Op::BrZ(_)
+            | Op::BrTable(_)
+            | Op::Ret
+            | Op::Call { .. }
+            | Op::CallIndirect { .. }
+            | Op::MemoryGrow { .. }
+            | Op::MemoryCopy { .. }
+            | Op::MemoryFill { .. }
+            | Op::FBrCmpLL { .. }
+            | Op::FBrCmpLI { .. }
+    )
+}
+
+/// An op during lowering, before fuel-block assignment.
+#[derive(Debug, Clone)]
+struct PreOp {
+    op: Op,
+    cost: u32,
+    pre: u32,
+}
+
+/// A structured-control frame tracked by the scan.
+struct Frame {
+    /// Stack height at frame entry (after the `if` condition pop).
+    height: u32,
+    /// Result arity of the block type (height contribution on fall-through).
+    arity: u32,
+    is_loop: bool,
+    is_if: bool,
+    else_pc: u32,
+    end_pc: u32,
+    /// Where a branch to this frame continues, in original pc space.
+    cont_orig: u32,
+    /// A live branch targets this frame (makes the code after `end` live).
+    branched: bool,
+    /// The then-arm of an `if` reached its `else` alive.
+    then_fell: bool,
+    /// The scan is currently inside the else-arm.
+    in_else: bool,
+}
+
+/// Which field of an op a fixup patches.
+enum Slot {
+    Main,
+    Entry(usize),
+    Default,
+}
+
+/// A branch target to resolve once the whole body has been scanned.
+struct Fixup {
+    op: usize,
+    slot: Slot,
+    /// Walk start, in original pc space.
+    start: usize,
+    /// Extra fuel charged before the walk begins (the `Else` skip itself).
+    bias: u32,
+}
+
+fn lower_func(module: &Module, body: &[Instr], meta: &[CtrlMeta]) -> LoweredFunc {
+    let (mut ops, fixups, flat_of) = scan(module, body, meta);
+    resolve(body, meta, &flat_of, &fixups, &mut ops);
+    let ops = fuse(ops);
+    assign_blocks(ops)
+}
+
+/// Pass 1: walk the body once, tracking liveness and stack heights, emitting
+/// flat ops for live non-structural instructions.
+#[allow(clippy::too_many_lines)]
+fn scan(module: &Module, body: &[Instr], meta: &[CtrlMeta]) -> (Vec<PreOp>, Vec<Fixup>, Vec<u32>) {
+    let mut ops: Vec<PreOp> = Vec::new();
+    let mut fixups: Vec<Fixup> = Vec::new();
+    let mut flat_of = vec![u32::MAX; body.len()];
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut live = true;
+    let mut dead_nest: u32 = 0;
+    let mut height: u32 = 0;
+    let mut elided: u32 = 0;
+
+    // Builds the taken-edge args for a branch to relative depth `d` and
+    // registers the walk fixup; returns None for a function return.
+    let branch_args = |frames: &mut Vec<Frame>,
+                       fixups: &mut Vec<Fixup>,
+                       d: u32,
+                       op: usize,
+                       slot: Slot|
+     -> BranchArgs {
+        let d = d as usize;
+        if d >= frames.len() {
+            return BranchArgs {
+                target: RETURN_TARGET,
+                height: 0,
+                carry: false,
+                extra: 0,
+            };
+        }
+        let fi = frames.len() - 1 - d;
+        frames[fi].branched = true;
+        let f = &frames[fi];
+        fixups.push(Fixup {
+            op,
+            slot,
+            start: f.cont_orig as usize,
+            bias: 0,
+        });
+        BranchArgs {
+            target: 0, // patched by the fixup
+            height: f.height,
+            carry: !f.is_loop && f.arity == 1,
+            extra: 0,
+        }
+    };
+
+    for (pc, instr) in body.iter().enumerate() {
+        if !live {
+            // Dead code is never emitted; only track the frame structure so
+            // we know where liveness resumes.
+            match instr {
+                Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => dead_nest += 1,
+                Instr::Else if dead_nest == 0 => {
+                    // The then-arm ended in a branch/return; the else-arm is
+                    // still reachable via the if's false edge.
+                    let f = frames.last_mut().expect("validated else inside if");
+                    f.in_else = true;
+                    live = true;
+                    height = f.height;
+                    elided = 0;
+                }
+                Instr::End => {
+                    if dead_nest > 0 {
+                        dead_nest -= 1;
+                    } else if let Some(f) = frames.pop() {
+                        let resurrect = if f.is_loop {
+                            // A loop's `end` is only reachable by falling
+                            // out of the body; back-edges don't help.
+                            false
+                        } else if f.is_if && !f.in_else && f.else_pc == u32::MAX {
+                            // `if` without `else`: the false edge always
+                            // lands on this `end`.
+                            true
+                        } else {
+                            f.branched || f.then_fell
+                        };
+                        if resurrect {
+                            live = true;
+                            height = f.height + f.arity;
+                            elided = 0;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+
+        match instr {
+            i if is_elided(i) && !i.opens_block() => elided += 1,
+            Instr::Block(bt) => {
+                elided += 1;
+                frames.push(Frame {
+                    height,
+                    arity: bt.arity() as u32,
+                    is_loop: false,
+                    is_if: false,
+                    else_pc: u32::MAX,
+                    end_pc: meta[pc].end_pc,
+                    cont_orig: meta[pc].end_pc + 1,
+                    branched: false,
+                    then_fell: false,
+                    in_else: false,
+                });
+            }
+            Instr::Loop(bt) => {
+                elided += 1;
+                frames.push(Frame {
+                    height,
+                    arity: bt.arity() as u32,
+                    is_loop: true,
+                    is_if: false,
+                    else_pc: u32::MAX,
+                    end_pc: meta[pc].end_pc,
+                    // Back-edges re-enter after the opener, so they never
+                    // re-pay the `Loop` instruction — same as the
+                    // interpreter's label cont.
+                    cont_orig: pc as u32 + 1,
+                    branched: false,
+                    then_fell: false,
+                    in_else: false,
+                });
+            }
+            Instr::If(bt) => {
+                height -= 1; // condition
+                let m = meta[pc];
+                let idx = ops.len();
+                flat_of[pc] = idx as u32;
+                ops.push(PreOp {
+                    op: Op::BrZ(CondBr {
+                        args: BranchArgs {
+                            target: 0,
+                            height,
+                            carry: false,
+                            extra: 0,
+                        },
+                        fall_extra: 0,
+                    }),
+                    cost: 1,
+                    pre: std::mem::take(&mut elided),
+                });
+                // False edge: past the `else`, or onto the `end` (which the
+                // interpreter executes) when there is none.
+                let start = if m.else_pc != u32::MAX {
+                    m.else_pc as usize + 1
+                } else {
+                    m.end_pc as usize
+                };
+                fixups.push(Fixup {
+                    op: idx,
+                    slot: Slot::Main,
+                    start,
+                    bias: 0,
+                });
+                frames.push(Frame {
+                    height,
+                    arity: bt.arity() as u32,
+                    is_loop: false,
+                    is_if: true,
+                    else_pc: m.else_pc,
+                    end_pc: m.end_pc,
+                    cont_orig: m.end_pc + 1,
+                    branched: false,
+                    then_fell: false,
+                    in_else: false,
+                });
+            }
+            Instr::Else => {
+                // Live then-arm falls into `else`: synthesize the jump over
+                // the else-arm. The interpreter executes the `Else` (1 fuel)
+                // and the matching `End` (counted by the walk from end_pc).
+                let f = frames.last_mut().expect("validated else inside if");
+                f.then_fell = true;
+                f.in_else = true;
+                let idx = ops.len();
+                ops.push(PreOp {
+                    op: Op::Jump(BranchArgs {
+                        target: 0,
+                        height: f.height + f.arity,
+                        carry: false,
+                        extra: 0,
+                    }),
+                    cost: 0,
+                    pre: std::mem::take(&mut elided),
+                });
+                fixups.push(Fixup {
+                    op: idx,
+                    slot: Slot::Main,
+                    start: f.end_pc as usize,
+                    bias: 1,
+                });
+                height = f.height;
+            }
+            Instr::End => {
+                if let Some(f) = frames.pop() {
+                    elided += 1;
+                    height = f.height + f.arity;
+                } else {
+                    // Function-level `end`: a real op (it costs 1 fuel and
+                    // returns), and the terminator every fall-through walk
+                    // lands on.
+                    flat_of[pc] = ops.len() as u32;
+                    ops.push(PreOp {
+                        op: Op::Ret,
+                        cost: 1,
+                        pre: std::mem::take(&mut elided),
+                    });
+                    live = false;
+                }
+            }
+            Instr::Br(d) => {
+                let idx = ops.len();
+                flat_of[pc] = idx as u32;
+                let pre = std::mem::take(&mut elided);
+                let args = branch_args(&mut frames, &mut fixups, *d, idx, Slot::Main);
+                let op = if args.target == RETURN_TARGET {
+                    Op::Ret
+                } else {
+                    Op::Jump(args)
+                };
+                ops.push(PreOp { op, cost: 1, pre });
+                live = false;
+            }
+            Instr::BrIf(d) => {
+                height -= 1;
+                let idx = ops.len();
+                flat_of[pc] = idx as u32;
+                let pre = std::mem::take(&mut elided);
+                let args = branch_args(&mut frames, &mut fixups, *d, idx, Slot::Main);
+                ops.push(PreOp {
+                    op: Op::BrNz(CondBr {
+                        args,
+                        fall_extra: 0,
+                    }),
+                    cost: 1,
+                    pre,
+                });
+            }
+            Instr::BrTable(t) => {
+                height -= 1;
+                let idx = ops.len();
+                flat_of[pc] = idx as u32;
+                let pre = std::mem::take(&mut elided);
+                let entries: Vec<BranchArgs> = t
+                    .targets
+                    .iter()
+                    .enumerate()
+                    .map(|(e, d)| branch_args(&mut frames, &mut fixups, *d, idx, Slot::Entry(e)))
+                    .collect();
+                let default = branch_args(&mut frames, &mut fixups, t.default, idx, Slot::Default);
+                ops.push(PreOp {
+                    op: Op::BrTable(Box::new(LBrTable { entries, default })),
+                    cost: 1,
+                    pre,
+                });
+                live = false;
+            }
+            Instr::Return => {
+                flat_of[pc] = ops.len() as u32;
+                ops.push(PreOp {
+                    op: Op::Ret,
+                    cost: 1,
+                    pre: std::mem::take(&mut elided),
+                });
+                live = false;
+            }
+            Instr::Unreachable => {
+                flat_of[pc] = ops.len() as u32;
+                ops.push(PreOp {
+                    op: Op::Unreachable,
+                    cost: 1,
+                    pre: std::mem::take(&mut elided),
+                });
+                live = false;
+            }
+            _ => {
+                // A plain (non-control) instruction.
+                flat_of[pc] = ops.len() as u32;
+                let pre = std::mem::take(&mut elided);
+                let op = match instr {
+                    Instr::Call(i) => Op::Call { idx: *i, extra: 0 },
+                    Instr::CallIndirect(ti) => Op::CallIndirect {
+                        type_idx: *ti,
+                        extra: 0,
+                    },
+                    Instr::MemoryGrow => Op::MemoryGrow { extra: 0 },
+                    Instr::MemoryCopy => Op::MemoryCopy { extra: 0 },
+                    Instr::MemoryFill => Op::MemoryFill { extra: 0 },
+                    Instr::LocalGet(i) => Op::LocalGet(*i),
+                    Instr::LocalSet(i) => Op::LocalSet(*i),
+                    Instr::LocalTee(i) => Op::LocalTee(*i),
+                    Instr::I32Const(v) => Op::I32Const(*v),
+                    Instr::I64Const(v) => Op::I64Const(*v),
+                    other => Op::Plain(other.clone()),
+                };
+                ops.push(PreOp { op, cost: 1, pre });
+                height = (height as i64 + stack_delta(module, instr) as i64) as u32;
+            }
+        }
+    }
+    debug_assert!(frames.is_empty(), "validated nesting");
+    (ops, fixups, flat_of)
+}
+
+/// Walk forward from an original pc over elided instructions until a real
+/// (registered) op, counting the fuel the interpreter would charge along the
+/// way. Every walk starts on a live edge, so it must land on a live op.
+fn walk(body: &[Instr], meta: &[CtrlMeta], flat_of: &[u32], mut p: usize) -> (u32, u32) {
+    let mut extra: u32 = 0;
+    loop {
+        debug_assert!(p < body.len(), "walks terminate at the function Ret");
+        if flat_of[p] != u32::MAX {
+            return (flat_of[p], extra);
+        }
+        match &body[p] {
+            Instr::Else => {
+                // Executing `else` skips to the matching `end`.
+                extra += 1;
+                p = meta[p].end_pc as usize;
+            }
+            i => {
+                debug_assert!(
+                    is_elided(i) || matches!(i, Instr::End),
+                    "live walks only cross elided instructions, found {i:?}"
+                );
+                extra += 1;
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Pass 2: resolve every branch fixup to a flat target + edge fuel.
+fn resolve(
+    body: &[Instr],
+    meta: &[CtrlMeta],
+    flat_of: &[u32],
+    fixups: &[Fixup],
+    ops: &mut [PreOp],
+) {
+    for fx in fixups {
+        let (target, walked) = walk(body, meta, flat_of, fx.start);
+        let extra = fx.bias + walked;
+        let args = match (&mut ops[fx.op].op, &fx.slot) {
+            (Op::Jump(a), Slot::Main) => a,
+            (Op::BrNz(c) | Op::BrZ(c), Slot::Main) => &mut c.args,
+            (Op::BrTable(t), Slot::Entry(e)) => &mut t.entries[*e],
+            (Op::BrTable(t), Slot::Default) => &mut t.default,
+            _ => unreachable!("fixup does not match op shape"),
+        };
+        args.target = target;
+        args.extra = extra;
+    }
+}
+
+/// Every flat index some resolved branch can land on.
+fn branch_targets(ops: &[PreOp]) -> Vec<bool> {
+    let mut t = vec![false; ops.len()];
+    let mut mark = |a: &BranchArgs| {
+        if a.target != RETURN_TARGET {
+            t[a.target as usize] = true;
+        }
+    };
+    for p in ops {
+        match &p.op {
+            Op::Jump(a) => mark(a),
+            Op::BrNz(c) | Op::BrZ(c) => mark(&c.args),
+            Op::BrTable(tb) => {
+                for e in &tb.entries {
+                    mark(e);
+                }
+                mark(&tb.default);
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Pass 3: greedy superinstruction fusion. A sequence fuses only if no
+/// branch lands on an interior constituent; the fused op keeps the first
+/// constituent's `pre` and absorbs the rest's `cost + pre`.
+#[allow(clippy::too_many_lines)]
+fn fuse(ops: Vec<PreOp>) -> Vec<PreOp> {
+    let n = ops.len();
+    let is_target = branch_targets(&ops);
+    let mut map = vec![u32::MAX; n];
+    let mut out: Vec<PreOp> = Vec::with_capacity(n);
+
+    // Pattern matcher: returns the fused op and the constituent count.
+    let try_fuse = |i: usize| -> Option<(Op, usize)> {
+        let free = |len: usize| -> bool { i + len <= n && (i + 1..i + len).all(|j| !is_target[j]) };
+        let plain = |j: usize| -> Option<&Instr> {
+            match &ops[j].op {
+                Op::Plain(p) => Some(p),
+                _ => None,
+            }
+        };
+
+        // local, local, cmp, [eqz,] br_if
+        if let (Op::LocalGet(a), Op::LocalGet(b)) = (&ops[i].op, ops.get(i + 1).map(|p| &p.op)?) {
+            let (a, b) = (*a, *b);
+            if let Some(cmp) = plain(i + 2).and_then(FusedCmp::from_instr) {
+                if free(5)
+                    && matches!(plain(i + 3), Some(Instr::I32Eqz))
+                    && matches!(&ops[i + 4].op, Op::BrNz(_))
+                {
+                    if let Op::BrNz(br) = &ops[i + 4].op {
+                        return Some((
+                            Op::FBrCmpLL {
+                                a,
+                                b,
+                                cmp,
+                                when: false,
+                                br: *br,
+                            },
+                            5,
+                        ));
+                    }
+                }
+                if free(4) {
+                    if let Op::BrNz(br) = &ops[i + 3].op {
+                        return Some((
+                            Op::FBrCmpLL {
+                                a,
+                                b,
+                                cmp,
+                                when: true,
+                                br: *br,
+                            },
+                            4,
+                        ));
+                    }
+                }
+            }
+            if let Some(op) = plain(i + 2).and_then(FusedBin::from_instr) {
+                if free(4) {
+                    if let Op::LocalSet(dst) = ops[i + 3].op {
+                        return Some((Op::FBinLLS { a, b, dst, op }, 4));
+                    }
+                }
+                if free(3) {
+                    return Some((Op::FBinLL { a, b, op }, 3));
+                }
+            }
+        }
+        // local, const, cmp/op, ...
+        if let (Op::LocalGet(l), Op::I32Const(k)) = (&ops[i].op, ops.get(i + 1).map(|p| &p.op)?) {
+            let (l, k) = (*l, *k);
+            if let Some(cmp) = plain(i + 2).and_then(FusedCmp::from_instr) {
+                if free(5)
+                    && matches!(plain(i + 3), Some(Instr::I32Eqz))
+                    && matches!(&ops[i + 4].op, Op::BrNz(_))
+                {
+                    if let Op::BrNz(br) = &ops[i + 4].op {
+                        return Some((
+                            Op::FBrCmpLI {
+                                a: l,
+                                imm: k,
+                                cmp,
+                                when: false,
+                                br: *br,
+                            },
+                            5,
+                        ));
+                    }
+                }
+                if free(4) {
+                    if let Op::BrNz(br) = &ops[i + 3].op {
+                        return Some((
+                            Op::FBrCmpLI {
+                                a: l,
+                                imm: k,
+                                cmp,
+                                when: true,
+                                br: *br,
+                            },
+                            4,
+                        ));
+                    }
+                }
+            }
+            if let Some(op) = plain(i + 2).and_then(FusedImm::from_instr) {
+                if free(4) {
+                    if let Op::LocalSet(dst) = ops[i + 3].op {
+                        return Some((
+                            Op::FImmLS {
+                                src: l,
+                                imm: k,
+                                dst,
+                                op,
+                            },
+                            4,
+                        ));
+                    }
+                }
+                if free(3) {
+                    return Some((Op::FImmL { src: l, imm: k, op }, 3));
+                }
+            }
+        }
+        // local + full-width load/store
+        if let Op::LocalGet(l) = ops[i].op {
+            if free(2) {
+                if let Some((width, offset)) = plain(i + 1).and_then(LsWidth::of_load) {
+                    return Some((
+                        Op::FLocalLoad {
+                            local: l,
+                            offset,
+                            width,
+                        },
+                        2,
+                    ));
+                }
+                if let Some((width, offset)) = plain(i + 1).and_then(LsWidth::of_store) {
+                    return Some((
+                        Op::FStoreL {
+                            local: l,
+                            offset,
+                            width,
+                        },
+                        2,
+                    ));
+                }
+            }
+        }
+        // i32.add + full-width load (element addressing)
+        if matches!(plain(i), Some(Instr::I32Add)) && free(2) {
+            if let Some((width, offset)) = plain(i + 1).and_then(LsWidth::of_load) {
+                return Some((Op::FAddLoad { offset, width }, 2));
+            }
+        }
+        // const + i32 op
+        if let Op::I32Const(k) = ops[i].op {
+            if free(2) {
+                if let Some(op) = plain(i + 1).and_then(FusedImm::from_instr) {
+                    return Some((Op::FImm { imm: k, op }, 2));
+                }
+            }
+        }
+        // eqz + br_if → br_z
+        if matches!(plain(i), Some(Instr::I32Eqz)) && free(2) {
+            if let Op::BrNz(br) = &ops[i + 1].op {
+                return Some((Op::BrZ(*br), 2));
+            }
+        }
+        None
+    };
+
+    let mut i = 0;
+    while i < n {
+        let (op, len) = match try_fuse(i) {
+            Some((op, len)) => (op, len),
+            None => (ops[i].op.clone(), 1),
+        };
+        map[i] = out.len() as u32;
+        let cost: u32 = ops[i..i + len].iter().map(|p| p.cost).sum::<u32>()
+            + ops[i + 1..i + len].iter().map(|p| p.pre).sum::<u32>();
+        out.push(PreOp {
+            op,
+            cost,
+            pre: ops[i].pre,
+        });
+        i += len;
+    }
+
+    // Remap branch targets from pre-fusion to post-fusion indices.
+    let remap = |a: &mut BranchArgs| {
+        if a.target != RETURN_TARGET {
+            let t = map[a.target as usize];
+            debug_assert!(t != u32::MAX, "branch into a fused interior");
+            a.target = t;
+        }
+    };
+    for p in &mut out {
+        match &mut p.op {
+            Op::Jump(a) => remap(a),
+            Op::BrNz(c) | Op::BrZ(c) => remap(&mut c.args),
+            Op::FBrCmpLL { br, .. } | Op::FBrCmpLI { br, .. } => remap(&mut br.args),
+            Op::BrTable(t) => {
+                for e in &mut t.entries {
+                    remap(e);
+                }
+                remap(&mut t.default);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Post-fusion branch targets (fused conditionals included).
+fn final_targets(ops: &[PreOp]) -> Vec<bool> {
+    let mut t = vec![false; ops.len()];
+    let mut mark = |a: &BranchArgs| {
+        if a.target != RETURN_TARGET {
+            t[a.target as usize] = true;
+        }
+    };
+    for p in ops {
+        match &p.op {
+            Op::Jump(a) => mark(a),
+            Op::BrNz(c) | Op::BrZ(c) => mark(&c.args),
+            Op::FBrCmpLL { br, .. } | Op::FBrCmpLI { br, .. } => mark(&br.args),
+            Op::BrTable(tb) => {
+                for e in &tb.entries {
+                    mark(e);
+                }
+                mark(&tb.default);
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Pass 4: split into basic blocks and attach the bulk-fuel metadata.
+fn assign_blocks(ops: Vec<PreOp>) -> LoweredFunc {
+    let n = ops.len();
+    let targets = final_targets(&ops);
+    let mut leader = vec![false; n];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for (i, p) in ops.iter().enumerate() {
+        if is_terminator(&p.op) && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+    for (i, is_t) in targets.iter().enumerate() {
+        if *is_t {
+            leader[i] = true;
+        }
+    }
+
+    let mut lops: Vec<LOp> = ops
+        .into_iter()
+        .map(|p| LOp {
+            op: p.op,
+            cost: p.cost,
+            pre: p.pre,
+            charge: 0,
+            rest: 0,
+        })
+        .collect();
+
+    // Non-leaders can only be reached linearly: fold their edge fuel into
+    // their cost.
+    for (i, l) in lops.iter_mut().enumerate() {
+        if !leader[i] {
+            l.cost += l.pre;
+            l.pre = 0;
+        }
+    }
+
+    // Ops that fall through into the next (leader) op at runtime carry that
+    // leader's `pre` as their edge fuel.
+    for i in 0..n {
+        let next_pre = if i + 1 < n { lops[i + 1].pre } else { 0 };
+        match &mut lops[i].op {
+            Op::BrNz(c) | Op::BrZ(c) => c.fall_extra = next_pre,
+            Op::FBrCmpLL { br, .. } | Op::FBrCmpLI { br, .. } => br.fall_extra = next_pre,
+            Op::Call { extra, .. }
+            | Op::CallIndirect { extra, .. }
+            | Op::MemoryGrow { extra }
+            | Op::MemoryCopy { extra }
+            | Op::MemoryFill { extra } => *extra = next_pre,
+            _ => {}
+        }
+    }
+
+    // Per block: bulk charge on the leader, un-executed remainder per op.
+    let mut s = 0;
+    while s < n {
+        let mut e = s + 1;
+        while e < n && !leader[e] {
+            e += 1;
+        }
+        // A block ending in a plain op falls into the next leader; its
+        // `pre` is part of this block's edge and is refunded if the last op
+        // traps.
+        let tail = if !is_terminator(&lops[e - 1].op) && e < n {
+            lops[e].pre
+        } else {
+            0
+        };
+        let total: u32 = lops[s..e].iter().map(|l| l.cost).sum::<u32>() + tail;
+        let mut run = total;
+        for l in &mut lops[s..e] {
+            run -= l.cost;
+            l.rest = if is_terminator(&l.op) { 0 } else { run };
+        }
+        lops[s].charge = total;
+        s = e;
+    }
+
+    let entry_pre = lops.first().map_or(0, |l| l.pre);
+    LoweredFunc {
+        ops: lops,
+        entry_pre,
+    }
+}
+
+/// Keep `MemArg` referenced so fused offsets stay documented at the source.
+#[allow(dead_code)]
+fn _memarg_offsets_are_u32(m: MemArg) -> u32 {
+    m.offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+    use crate::object::ObjectModule;
+    use crate::types::{BlockType, FuncType, ValType};
+    use Instr::*;
+
+    fn lower_body(params: Vec<ValType>, results: Vec<ValType>, body: Vec<Instr>) -> LoweredFunc {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, 2);
+        let sig = b.sig(FuncType::new(params, results));
+        b.func(sig, vec![], body);
+        let m = b.build();
+        let obj = ObjectModule::prepare(m).unwrap();
+        lower_module(&obj.module, &obj.ctrl).remove(0)
+    }
+
+    #[test]
+    fn minimal_body_lowers_to_ret() {
+        let lf = lower_body(vec![], vec![], vec![End]);
+        assert_eq!(lf.ops.len(), 1);
+        assert_eq!(lf.ops[0].op, Op::Ret);
+        assert_eq!(lf.ops[0].cost, 1);
+        assert_eq!(lf.ops[0].charge, 1);
+        assert_eq!(lf.entry_pre, 0);
+    }
+
+    #[test]
+    fn structural_ops_disappear_with_fuel_accounted() {
+        // block; nop; end; end → one Ret carrying 3 elided units as pre.
+        let lf = lower_body(vec![], vec![], vec![Block(BlockType::Empty), Nop, End, End]);
+        assert_eq!(lf.ops.len(), 1);
+        assert_eq!(lf.ops[0].op, Op::Ret);
+        assert_eq!(lf.entry_pre, 3, "block + nop + end on the entry edge");
+        assert_eq!(lf.ops[0].cost, 1);
+    }
+
+    #[test]
+    fn loop_back_edge_skips_the_opener() {
+        // local 0 counts down to 0.
+        // 0: loop
+        // 1:   local.get 0
+        // 2:   i32.const 1
+        // 3:   i32.sub
+        // 4:   local.set 0
+        // 5:   local.get 0
+        // 6:   br_if 0
+        // 7: end
+        // 8: end
+        let lf = lower_body(
+            vec![ValType::I32],
+            vec![],
+            vec![
+                Loop(BlockType::Empty),
+                LocalGet(0),
+                I32Const(1),
+                I32Sub,
+                LocalSet(0),
+                LocalGet(0),
+                BrIf(0),
+                End,
+                End,
+            ],
+        );
+        // Fusion: [FImmLS, LocalGet, BrNz, Ret]
+        assert_eq!(lf.ops.len(), 4, "ops: {:?}", lf.ops);
+        assert!(matches!(
+            lf.ops[0].op,
+            Op::FImmLS {
+                src: 0,
+                imm: 1,
+                dst: 0,
+                op: FusedImm::Sub
+            }
+        ));
+        assert_eq!(lf.entry_pre, 1, "the Loop opener");
+        // The back-edge re-enters at the fused op without the opener's fuel.
+        match &lf.ops[2].op {
+            Op::BrNz(c) => {
+                assert_eq!(c.args.target, 0);
+                assert_eq!(c.args.extra, 0, "back-edge pays no elided fuel");
+                assert_eq!(c.fall_extra, 1, "falling out executes the loop End");
+            }
+            other => panic!("expected BrNz, got {other:?}"),
+        }
+        // Fuel: whole loop body is one block of 6 interpreter units
+        // (LocalGet, Const, Sub, Set, LocalGet, BrIf).
+        assert_eq!(lf.ops[0].charge, 6);
+        assert_eq!(lf.ops[0].cost, 4);
+        assert_eq!(lf.ops[1].cost, 1);
+        assert_eq!(lf.ops[2].cost, 1);
+    }
+
+    #[test]
+    fn while_shape_fuses_compare_and_branch() {
+        // The faasm-lang while shape:
+        // block; loop; local.get 0; i32.const 10; i32.lt_s; i32.eqz;
+        // br_if 1; local.get 0; i32.const 1; i32.add; local.set 0;
+        // br 0; end; end; end
+        let lf = lower_body(
+            vec![ValType::I32],
+            vec![],
+            vec![
+                Block(BlockType::Empty),
+                Loop(BlockType::Empty),
+                LocalGet(0),
+                I32Const(10),
+                I32LtS,
+                I32Eqz,
+                BrIf(1),
+                LocalGet(0),
+                I32Const(1),
+                I32Add,
+                LocalSet(0),
+                Br(0),
+                End,
+                End,
+                End,
+            ],
+        );
+        // [FBrCmpLI(when=false), FImmLS, Jump, Ret]
+        assert_eq!(lf.ops.len(), 4, "ops: {:?}", lf.ops);
+        match &lf.ops[0].op {
+            Op::FBrCmpLI {
+                a: 0,
+                imm: 10,
+                cmp: FusedCmp::LtS,
+                when: false,
+                br,
+            } => {
+                assert_eq!(br.args.target, 3, "exit lands on Ret");
+                // The branch jumps past both `end`s — the interpreter never
+                // executes them on this edge.
+                assert_eq!(br.args.extra, 0);
+            }
+            other => panic!("expected FBrCmpLI, got {other:?}"),
+        }
+        assert_eq!(lf.ops[0].cost, 5, "5 interpreter instructions fused");
+        assert_eq!(lf.ops[0].charge, 5, "conditional terminates its block");
+        match &lf.ops[2].op {
+            Op::Jump(a) => {
+                assert_eq!(a.target, 0, "back to the loop head");
+                assert_eq!(a.extra, 0);
+            }
+            other => panic!("expected Jump, got {other:?}"),
+        }
+        // Second block: FImmLS(4 units) + Br(1 unit).
+        assert_eq!(lf.ops[1].charge, 5);
+        assert_eq!(lf.entry_pre, 2, "block + loop openers");
+    }
+
+    #[test]
+    fn if_else_lowers_to_brz_and_jump() {
+        // 0: local.get 0
+        // 1: if (i32)
+        // 2:   i32.const 1
+        // 3: else
+        // 4:   i32.const 2
+        // 5: end
+        // 6: end
+        let lf = lower_body(
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                LocalGet(0),
+                If(BlockType::Value(ValType::I32)),
+                I32Const(1),
+                Else,
+                I32Const(2),
+                End,
+                End,
+            ],
+        );
+        // [LocalGet, BrZ, I32Const 1, Jump, I32Const 2, Ret]
+        assert_eq!(lf.ops.len(), 6, "ops: {:?}", lf.ops);
+        match &lf.ops[1].op {
+            Op::BrZ(c) => {
+                assert_eq!(c.args.target, 4, "false edge lands on the else-arm");
+                assert_eq!(c.args.extra, 0);
+            }
+            other => panic!("expected BrZ, got {other:?}"),
+        }
+        match &lf.ops[3].op {
+            Op::Jump(a) => {
+                assert_eq!(a.target, 5, "then-arm jumps past the else-arm");
+                assert_eq!(a.extra, 2, "executes Else and End");
+                assert!(!a.carry);
+            }
+            other => panic!("expected Jump, got {other:?}"),
+        }
+        assert_eq!(
+            lf.ops[3].cost, 0,
+            "synthetic jump is free; Else is edge fuel"
+        );
+        // Else-arm leader's pre is 0; its charge covers const only, plus
+        // the Ret's pre (the if End) as fall-through tail... the const falls
+        // into the Ret leader.
+        assert_eq!(lf.ops[4].pre, 0);
+        assert_eq!(lf.ops[5].pre, 1, "the if End before the function end");
+    }
+
+    #[test]
+    fn dead_code_is_not_emitted() {
+        // 0: block
+        // 1:   br 0
+        // 2:   i32.const 7   (dead)
+        // 3:   drop          (dead)
+        // 4: end
+        // 5: end
+        let lf = lower_body(
+            vec![],
+            vec![],
+            vec![Block(BlockType::Empty), Br(0), I32Const(7), Drop, End, End],
+        );
+        // [Jump, Ret]
+        assert_eq!(lf.ops.len(), 2, "ops: {:?}", lf.ops);
+        match &lf.ops[0].op {
+            Op::Jump(a) => {
+                assert_eq!(a.target, 1);
+                // The branch continuation is the function End itself (a real
+                // Ret op), so no elided fuel rides the edge.
+                assert_eq!(a.extra, 0);
+            }
+            other => panic!("expected Jump, got {other:?}"),
+        }
+        assert_eq!(lf.ops[1].op, Op::Ret);
+    }
+
+    #[test]
+    fn branch_target_blocks_interior_fusion() {
+        // The br_if's continuation (first op after the block) lands on the
+        // I32Const in the middle of a would-be LocalGet+Const+Add pattern;
+        // fusion must not swallow the branch target.
+        // 0: block (i32)
+        // 1:   local.get 0   ; carried value
+        // 2:   local.get 1   ; condition
+        // 3:   br_if 0       ; exits to pc 7
+        // 4:   drop
+        // 5:   local.get 2
+        // 6: end
+        // 7: i32.const 1     ; branch target
+        // 8: i32.add
+        // 9: drop
+        // 10: end
+        let lf = lower_body(
+            vec![ValType::I32, ValType::I32, ValType::I32],
+            vec![],
+            vec![
+                Block(BlockType::Value(ValType::I32)),
+                LocalGet(0),
+                LocalGet(1),
+                BrIf(0),
+                Drop,
+                LocalGet(2),
+                End,
+                I32Const(1),
+                I32Add,
+                Drop,
+                End,
+            ],
+        );
+        // Pre-fusion flat ops: [LocalGet0, LocalGet1, BrNz, Drop, LocalGet2,
+        // I32Const, I32Add, Drop, Ret] with the branch targeting the const.
+        // LocalGet2+Const+Add must NOT fuse (interior target); Const+Add
+        // still fuses starting at the target itself.
+        let get2 = lf
+            .ops
+            .iter()
+            .position(|l| matches!(l.op, Op::LocalGet(2)))
+            .expect("LocalGet(2) stays unfused");
+        match &lf.ops[get2 + 1].op {
+            Op::FImm {
+                imm: 1,
+                op: FusedImm::Add,
+            } => {}
+            other => panic!("expected FImm at the branch target, got {other:?}"),
+        }
+        match &lf.ops[2].op {
+            Op::BrNz(c) => {
+                assert_eq!(c.args.target as usize, get2 + 1);
+                assert!(c.args.carry, "block has arity 1");
+                assert_eq!(c.args.extra, 0);
+            }
+            other => panic!("expected BrNz, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_load_store_fuse_full_width_only() {
+        let lf = lower_body(
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                LocalGet(0),
+                I32Load(MemArg::zero()),
+                LocalGet(0),
+                I32Load8U(MemArg::zero()),
+                I32Add,
+                End,
+            ],
+        );
+        assert!(matches!(
+            lf.ops[0].op,
+            Op::FLocalLoad {
+                local: 0,
+                offset: 0,
+                width: LsWidth::W4
+            }
+        ));
+        // Narrow load does not fuse.
+        assert!(matches!(lf.ops[1].op, Op::LocalGet(0)));
+        assert!(matches!(lf.ops[2].op, Op::Plain(Instr::I32Load8U(_))));
+    }
+
+    #[test]
+    fn block_charges_sum_member_costs() {
+        // Straight-line: const, const, add, drop, end
+        let lf = lower_body(
+            vec![],
+            vec![],
+            vec![I32Const(1), I32Const(2), I32Add, Drop, End],
+        );
+        // const+add fuse at index 1: [I32Const, FImm, Drop, Ret] — one block.
+        let total: u32 = lf.ops.iter().map(|l| l.cost).sum();
+        assert_eq!(total, 5);
+        assert_eq!(lf.ops[0].charge, 5, "single leader charges everything");
+        assert!(lf.ops[1..].iter().all(|l| l.charge == 0));
+        // rest decreases to zero along the block.
+        assert_eq!(lf.ops[0].rest, lf.ops[0].charge - lf.ops[0].cost);
+        assert_eq!(lf.ops.last().unwrap().rest, 0, "Ret is a terminator");
+    }
+}

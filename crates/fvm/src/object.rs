@@ -13,8 +13,25 @@ use std::sync::Arc;
 use crate::decode::{decode_module, DecodeError};
 use crate::encode::encode_module;
 use crate::instr::Instr;
+use crate::lower::{lower_module, LoweredFunc};
 use crate::module::Module;
 use crate::validate::{validate, ValidateError};
+
+/// Which execution engine an [`ObjectModule`] is prepared for.
+///
+/// The interpreter is the reference implementation: it walks the structured
+/// body directly. The lowered tier compiles each body into a flat array of
+/// direct-threaded, fused ops at preparation time (see [`crate::lower`]) and
+/// is observably identical — same results, traps and fuel accounting — while
+/// dispatching a fraction of the ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// Tree-walking reference interpreter.
+    Interpreter,
+    /// Flat, fused, block-metered ops (the default production tier).
+    #[default]
+    Lowered,
+}
 
 /// Pre-resolved control-flow targets for one instruction position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,29 +90,75 @@ pub struct ObjectModule {
     pub module: Module,
     /// Per defined function, a side-table parallel to the body.
     pub(crate) ctrl: Vec<Vec<CtrlMeta>>,
+    /// Lowered bodies, present when prepared for [`ExecTier::Lowered`].
+    pub(crate) lowered: Option<Vec<LoweredFunc>>,
 }
 
 impl ObjectModule {
-    /// Validate a structured module and build its side-tables.
+    /// Validate a structured module and build its side-tables, for the
+    /// reference interpreter.
     ///
     /// # Errors
     ///
     /// Returns [`ValidateError`] if the module is malformed.
     pub fn prepare(module: Module) -> Result<Arc<ObjectModule>, ValidateError> {
+        ObjectModule::prepare_tier(module, ExecTier::Interpreter)
+    }
+
+    /// Validate, build side-tables and lower every body for the fast tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if the module is malformed.
+    pub fn prepare_lowered(module: Module) -> Result<Arc<ObjectModule>, ValidateError> {
+        ObjectModule::prepare_tier(module, ExecTier::Lowered)
+    }
+
+    /// Validate and prepare for the requested execution tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if the module is malformed.
+    pub fn prepare_tier(
+        module: Module,
+        tier: ExecTier,
+    ) -> Result<Arc<ObjectModule>, ValidateError> {
         validate(&module)?;
-        let ctrl = module.funcs.iter().map(|f| side_table(&f.body)).collect();
-        Ok(Arc::new(ObjectModule { module, ctrl }))
+        let ctrl: Vec<Vec<CtrlMeta>> = module.funcs.iter().map(|f| side_table(&f.body)).collect();
+        let lowered = match tier {
+            ExecTier::Interpreter => None,
+            ExecTier::Lowered => Some(lower_module(&module, &ctrl)),
+        };
+        Ok(Arc::new(ObjectModule {
+            module,
+            ctrl,
+            lowered,
+        }))
     }
 
     /// Decode, validate and prepare untrusted bytes — the full trusted half
-    /// of the Fig. 3 pipeline.
+    /// of the Fig. 3 pipeline — for the reference interpreter.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError`] if the bytes fail decoding or validation.
     pub fn compile(bytes: &[u8]) -> Result<Arc<ObjectModule>, CompileError> {
+        ObjectModule::compile_tier(bytes, ExecTier::Interpreter)
+    }
+
+    /// Decode, validate and prepare untrusted bytes for a specific tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if the bytes fail decoding or validation.
+    pub fn compile_tier(bytes: &[u8], tier: ExecTier) -> Result<Arc<ObjectModule>, CompileError> {
         let module = decode_module(bytes)?;
-        Ok(ObjectModule::prepare(module)?)
+        Ok(ObjectModule::prepare_tier(module, tier)?)
+    }
+
+    /// Whether this module carries lowered bodies (the fast tier).
+    pub fn is_lowered(&self) -> bool {
+        self.lowered.is_some()
     }
 
     /// Serialise the module for the shared object store.

@@ -1,0 +1,759 @@
+//! Differential properties: the lowered tier must be observationally
+//! identical to the reference interpreter.
+//!
+//! Generated modules (realistic codegen shapes: local arithmetic, fused-able
+//! patterns, while loops, if/else, br_table, calls, memory traffic, float
+//! conversions, dead code, elided structural instructions) run on both tiers
+//! and must agree bitwise on:
+//!
+//! * the result value / trap kind (including trap payloads, which pin the
+//!   trap *location* observably — e.g. the faulting address),
+//! * fuel consumed at return or trap,
+//! * all globals and the full linear memory.
+//!
+//! A second property bisects the fuel budget so exhaustion lands mid-block,
+//! pinning the lowered tier's bulk-charge/refund bookkeeping against the
+//! interpreter's per-instruction metering.
+
+use std::sync::Arc;
+
+use faasm_fvm::fuel::FuelMeter;
+use faasm_fvm::instr::BrTableData;
+use faasm_fvm::prelude::*;
+use proptest::prelude::*;
+
+// ── Module skeleton ────────────────────────────────────────────────────
+//
+// main (i32, i32, i64) -> i32 with locals:
+//   0,1   i32 params    2 i64 param
+//   3     i32 scratch   4 i64 scratch   5 f32   6 f64
+//   7,8,9 i32 loop counters (one per nesting level; bodies never touch them)
+// imports: func 0 = env::bump (i32)->i32, returns x+7
+// funcs:   1 = main, 2 = helper (i32)->i32 (x+3), 3 = noop ()->()
+// table:   size 4, elems [helper, noop] at 0 (slots 2,3 uninitialised)
+// globals: g0 i32 mut = 5, g1 i64 mut = -7
+// memory:  1 page initial, max 4
+
+const IMPORT_BUMP: u32 = 0;
+const FUNC_HELPER: u32 = 2;
+
+/// i32 scratch locals statements may read/write.
+fn i32_local(sel: u8) -> u32 {
+    [0, 1, 3][sel as usize % 3]
+}
+
+fn build_module(stmts: &[Stmt]) -> Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, 4);
+    let t_main = b.sig(FuncType::new(
+        vec![ValType::I32, ValType::I32, ValType::I64],
+        vec![ValType::I32],
+    ));
+    let t1 = b.sig(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    let t2 = b.sig(FuncType::new(vec![], vec![]));
+    b.import_func("env", "bump", t1);
+
+    let mut body = Vec::new();
+    for s in stmts {
+        s.emit(&mut body, 0, t1);
+    }
+    // Result: mix the locals the statements mutated.
+    body.extend([
+        Instr::LocalGet(0),
+        Instr::LocalGet(1),
+        Instr::I32Add,
+        Instr::LocalGet(3),
+        Instr::I32Add,
+        Instr::End,
+    ]);
+    let main = b.func(
+        t_main,
+        vec![
+            ValType::I32,
+            ValType::I64,
+            ValType::F32,
+            ValType::F64,
+            ValType::I32,
+            ValType::I32,
+            ValType::I32,
+        ],
+        body,
+    );
+    let helper = b.func(
+        t1,
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I32Const(3),
+            Instr::I32Add,
+            Instr::End,
+        ],
+    );
+    let noop = b.func(t2, vec![], vec![Instr::End]);
+    assert_eq!((main, helper, noop), (1, FUNC_HELPER, 3));
+    b.table(4);
+    b.elem(0, vec![helper, noop]);
+    b.export_func("main", main);
+    b.global(ValType::I32, true, Val::I32(5));
+    b.global(ValType::I64, true, Val::I64(-7));
+    b.data(16, vec![0xAB, 0x10, 0x00, 0x7F, 0xFE, 0x01, 0x02, 0x03]);
+    b.build()
+}
+
+// ── Statement generator ────────────────────────────────────────────────
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// local\[dst] = local\[a] op local\[b] — i32, incl. trapping div/rem.
+    BinLL { a: u8, b: u8, dst: u8, op: u8 },
+    /// local\[dst] = local\[src] op k — the `FImmLS` fusion shape.
+    ImmOp { src: u8, k: i32, dst: u8, op: u8 },
+    /// local4 = local2 op64 local4.
+    Bin64 { op: u8 },
+    /// f32 / f64 arithmetic on locals 5 / 6.
+    FOp { wide: bool, op: u8 },
+    /// Conversions, i64 compares, trapping float→int truncations.
+    Convert { which: u8 },
+    /// Load into the matching-typed local; `masked` keeps the address safe.
+    Load {
+        al: u8,
+        masked: bool,
+        offset: u32,
+        which: u8,
+    },
+    /// Store a local; the `FStoreL` fusion shape.
+    Store {
+        al: u8,
+        masked: bool,
+        offset: u32,
+        which: u8,
+    },
+    /// Bounded counting loop in the toolchain's while shape.
+    While { bound: u8, body: Vec<Stmt> },
+    /// if/else (or if-without-else) on an i32 local.
+    IfElse {
+        cond: u8,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+        has_else: bool,
+    },
+    /// Arity-1 if: local\[dst] = cond ? k1 : k2.
+    IfVal { cond: u8, k1: i32, k2: i32, dst: u8 },
+    /// Three-armed br_table over nested blocks.
+    Table3 { sel: u8, a: Vec<Stmt>, b: Vec<Stmt> },
+    /// local\[dst] = call(local\[arg]) — host import or wasm helper.
+    Call { arg: u8, dst: u8, host: bool },
+    /// call_indirect through table slot (success / mismatch / trap cases).
+    CallInd { arg: u8, slot: u8, dst: u8 },
+    /// Global get/set round-trips.
+    GlobalOps { which: u8 },
+    /// memory.size / grow / copy / fill.
+    MemBulk { which: u8, a: u32, b: u32, c: u32 },
+    /// Elided instructions: nop, reinterpret round-trips, empty blocks.
+    Elided { which: u8 },
+    /// br past statements: the dead tail must not perturb anything.
+    DeadAfterBr { dead: Vec<Stmt> },
+    /// Early return from mid-function when the condition local is nonzero.
+    EarlyRet { cond: u8, k: i32 },
+    /// Guarded trap: unreachable when the condition local is nonzero.
+    Unreach { cond: u8 },
+}
+
+const I32_BIN: &[Instr] = &[
+    Instr::I32Add,
+    Instr::I32Sub,
+    Instr::I32Mul,
+    Instr::I32And,
+    Instr::I32Or,
+    Instr::I32Xor,
+    Instr::I32Shl,
+    Instr::I32ShrS,
+    Instr::I32ShrU,
+    Instr::I32Rotl,
+    Instr::I32Rotr,
+    Instr::I32DivS,
+    Instr::I32DivU,
+    Instr::I32RemS,
+    Instr::I32RemU,
+    Instr::I32Eq,
+    Instr::I32Ne,
+    Instr::I32LtS,
+    Instr::I32LtU,
+    Instr::I32GtS,
+    Instr::I32GeU,
+    Instr::I32LeS,
+];
+
+const I32_IMM: &[Instr] = &[
+    Instr::I32Add,
+    Instr::I32Sub,
+    Instr::I32Mul,
+    Instr::I32And,
+    Instr::I32Or,
+    Instr::I32Xor,
+    Instr::I32Shl,
+    Instr::I32ShrS,
+    Instr::I32ShrU,
+];
+
+const I64_BIN: &[Instr] = &[
+    Instr::I64Add,
+    Instr::I64Sub,
+    Instr::I64Mul,
+    Instr::I64DivS,
+    Instr::I64DivU,
+    Instr::I64RemS,
+    Instr::I64RemU,
+    Instr::I64And,
+    Instr::I64Or,
+    Instr::I64Xor,
+    Instr::I64Shl,
+    Instr::I64ShrS,
+    Instr::I64ShrU,
+    Instr::I64Rotl,
+    Instr::I64Rotr,
+];
+
+const F32_BIN: &[Instr] = &[
+    Instr::F32Add,
+    Instr::F32Sub,
+    Instr::F32Mul,
+    Instr::F32Div,
+    Instr::F32Min,
+    Instr::F32Max,
+    Instr::F32Copysign,
+];
+const F32_UN: &[Instr] = &[
+    Instr::F32Abs,
+    Instr::F32Neg,
+    Instr::F32Sqrt,
+    Instr::F32Ceil,
+    Instr::F32Floor,
+    Instr::F32Nearest,
+    Instr::F32Trunc,
+];
+const F64_BIN: &[Instr] = &[
+    Instr::F64Add,
+    Instr::F64Sub,
+    Instr::F64Mul,
+    Instr::F64Div,
+    Instr::F64Min,
+    Instr::F64Max,
+    Instr::F64Copysign,
+];
+const F64_UN: &[Instr] = &[
+    Instr::F64Abs,
+    Instr::F64Neg,
+    Instr::F64Sqrt,
+    Instr::F64Ceil,
+    Instr::F64Floor,
+    Instr::F64Nearest,
+    Instr::F64Trunc,
+];
+
+impl Stmt {
+    /// Append this statement's (net-zero stack effect) instructions.
+    ///
+    /// `loops` counts enclosing while-loops so each level gets its own
+    /// counter local (7 + level); nesting deeper than the reserved counters
+    /// degrades to emitting the body inline, keeping termination guaranteed.
+    fn emit(&self, out: &mut Vec<Instr>, loops: u32, t1: u32) {
+        match self {
+            Stmt::BinLL { a, b, dst, op } => {
+                out.push(Instr::LocalGet(i32_local(*a)));
+                out.push(Instr::LocalGet(i32_local(*b)));
+                out.push(I32_BIN[*op as usize % I32_BIN.len()].clone());
+                out.push(Instr::LocalSet(i32_local(*dst)));
+            }
+            Stmt::ImmOp { src, k, dst, op } => {
+                out.push(Instr::LocalGet(i32_local(*src)));
+                out.push(Instr::I32Const(*k));
+                out.push(I32_IMM[*op as usize % I32_IMM.len()].clone());
+                out.push(Instr::LocalSet(i32_local(*dst)));
+            }
+            Stmt::Bin64 { op } => {
+                out.push(Instr::LocalGet(2));
+                out.push(Instr::LocalGet(4));
+                out.push(I64_BIN[*op as usize % I64_BIN.len()].clone());
+                out.push(Instr::LocalSet(4));
+            }
+            Stmt::FOp { wide, op } => {
+                let (l, bin, un) = if *wide {
+                    (6, F64_BIN, F64_UN)
+                } else {
+                    (5, F32_BIN, F32_UN)
+                };
+                let i = *op as usize;
+                out.push(Instr::LocalGet(l));
+                if i.is_multiple_of(2) {
+                    out.push(Instr::LocalGet(l));
+                    out.push(bin[i / 2 % bin.len()].clone());
+                } else {
+                    out.push(un[i / 2 % un.len()].clone());
+                }
+                out.push(Instr::LocalSet(l));
+            }
+            Stmt::Convert { which } => {
+                let seq: &[Instr] = match which % 11 {
+                    0 => &[Instr::LocalGet(2), Instr::I32WrapI64, Instr::LocalSet(3)],
+                    1 => &[Instr::LocalGet(0), Instr::I64ExtendI32S, Instr::LocalSet(4)],
+                    2 => &[Instr::LocalGet(1), Instr::I64ExtendI32U, Instr::LocalSet(4)],
+                    3 => &[
+                        Instr::LocalGet(3),
+                        Instr::F32ConvertI32S,
+                        Instr::LocalSet(5),
+                    ],
+                    4 => &[
+                        Instr::LocalGet(4),
+                        Instr::F64ConvertI64S,
+                        Instr::LocalSet(6),
+                    ],
+                    // Trapping truncations: NaN / out-of-range must trap
+                    // identically on both tiers.
+                    5 => &[Instr::LocalGet(5), Instr::I32TruncF32S, Instr::LocalSet(3)],
+                    6 => &[Instr::LocalGet(6), Instr::I64TruncF64U, Instr::LocalSet(4)],
+                    7 => &[Instr::LocalGet(5), Instr::F64PromoteF32, Instr::LocalSet(6)],
+                    8 => &[Instr::LocalGet(6), Instr::F32DemoteF64, Instr::LocalSet(5)],
+                    9 => &[
+                        Instr::LocalGet(2),
+                        Instr::LocalGet(4),
+                        Instr::I64LtS,
+                        Instr::LocalSet(3),
+                    ],
+                    _ => &[Instr::LocalGet(4), Instr::I64Eqz, Instr::LocalSet(3)],
+                };
+                out.extend_from_slice(seq);
+            }
+            Stmt::Load {
+                al,
+                masked,
+                offset,
+                which,
+            } => {
+                out.push(Instr::LocalGet(i32_local(*al)));
+                if *masked {
+                    out.push(Instr::I32Const(0x7FF8));
+                    out.push(Instr::I32And);
+                }
+                let m = MemArg::at(*offset);
+                let (ld, dst) = match which % 12 {
+                    0 => (Instr::I32Load(m), 3),
+                    1 => (Instr::I32Load8U(m), 3),
+                    2 => (Instr::I32Load8S(m), 3),
+                    3 => (Instr::I32Load16U(m), 3),
+                    4 => (Instr::I32Load16S(m), 3),
+                    5 => (Instr::I64Load(m), 4),
+                    6 => (Instr::I64Load8U(m), 4),
+                    7 => (Instr::I64Load16S(m), 4),
+                    8 => (Instr::I64Load32U(m), 4),
+                    9 => (Instr::I64Load32S(m), 4),
+                    10 => (Instr::F32Load(m), 5),
+                    _ => (Instr::F64Load(m), 6),
+                };
+                out.push(ld);
+                out.push(Instr::LocalSet(dst));
+            }
+            Stmt::Store {
+                al,
+                masked,
+                offset,
+                which,
+            } => {
+                out.push(Instr::LocalGet(i32_local(*al)));
+                if *masked {
+                    out.push(Instr::I32Const(0x7FF8));
+                    out.push(Instr::I32And);
+                }
+                let m = MemArg::at(*offset);
+                let (st, src) = match which % 9 {
+                    0 => (Instr::I32Store(m), 3),
+                    1 => (Instr::I32Store8(m), 3),
+                    2 => (Instr::I32Store16(m), 3),
+                    3 => (Instr::I64Store(m), 4),
+                    4 => (Instr::I64Store8(m), 4),
+                    5 => (Instr::I64Store16(m), 4),
+                    6 => (Instr::I64Store32(m), 4),
+                    7 => (Instr::F32Store(m), 5),
+                    _ => (Instr::F64Store(m), 6),
+                };
+                out.push(Instr::LocalGet(src));
+                out.push(st);
+            }
+            Stmt::While { bound, body } => {
+                if loops >= 3 {
+                    for s in body {
+                        s.emit(out, loops, t1);
+                    }
+                    return;
+                }
+                let ctr = 7 + loops;
+                out.push(Instr::I32Const(0));
+                out.push(Instr::LocalSet(ctr));
+                out.push(Instr::Block(BlockType::Empty));
+                out.push(Instr::Loop(BlockType::Empty));
+                out.push(Instr::LocalGet(ctr));
+                out.push(Instr::I32Const(i32::from(*bound % 12)));
+                out.push(Instr::I32LtS);
+                out.push(Instr::I32Eqz);
+                out.push(Instr::BrIf(1));
+                for s in body {
+                    s.emit(out, loops + 1, t1);
+                }
+                out.push(Instr::LocalGet(ctr));
+                out.push(Instr::I32Const(1));
+                out.push(Instr::I32Add);
+                out.push(Instr::LocalSet(ctr));
+                out.push(Instr::Br(0));
+                out.push(Instr::End);
+                out.push(Instr::End);
+            }
+            Stmt::IfElse {
+                cond,
+                then,
+                els,
+                has_else,
+            } => {
+                out.push(Instr::LocalGet(i32_local(*cond)));
+                out.push(Instr::If(BlockType::Empty));
+                for s in then {
+                    s.emit(out, loops, t1);
+                }
+                if *has_else {
+                    out.push(Instr::Else);
+                    for s in els {
+                        s.emit(out, loops, t1);
+                    }
+                }
+                out.push(Instr::End);
+            }
+            Stmt::IfVal { cond, k1, k2, dst } => {
+                out.push(Instr::LocalGet(i32_local(*cond)));
+                out.push(Instr::If(BlockType::Value(ValType::I32)));
+                out.push(Instr::I32Const(*k1));
+                out.push(Instr::Else);
+                out.push(Instr::I32Const(*k2));
+                out.push(Instr::End);
+                out.push(Instr::LocalSet(i32_local(*dst)));
+            }
+            Stmt::Table3 { sel, a, b } => {
+                out.push(Instr::Block(BlockType::Empty));
+                out.push(Instr::Block(BlockType::Empty));
+                out.push(Instr::Block(BlockType::Empty));
+                out.push(Instr::LocalGet(i32_local(*sel)));
+                out.push(Instr::BrTable(Box::new(BrTableData {
+                    targets: vec![0, 1],
+                    default: 2,
+                })));
+                out.push(Instr::End);
+                for s in a {
+                    s.emit(out, loops, t1);
+                }
+                out.push(Instr::Br(1));
+                out.push(Instr::End);
+                for s in b {
+                    s.emit(out, loops, t1);
+                }
+                out.push(Instr::End);
+            }
+            Stmt::Call { arg, dst, host } => {
+                out.push(Instr::LocalGet(i32_local(*arg)));
+                out.push(Instr::Call(if *host { IMPORT_BUMP } else { FUNC_HELPER }));
+                out.push(Instr::LocalSet(i32_local(*dst)));
+            }
+            Stmt::CallInd { arg, slot, dst } => {
+                out.push(Instr::LocalGet(i32_local(*arg)));
+                out.push(Instr::I32Const(i32::from(*slot % 6)));
+                out.push(Instr::CallIndirect(t1));
+                out.push(Instr::LocalSet(i32_local(*dst)));
+            }
+            Stmt::GlobalOps { which } => {
+                let seq: &[Instr] = match which % 4 {
+                    0 => &[Instr::GlobalGet(0), Instr::LocalSet(3)],
+                    1 => &[Instr::LocalGet(0), Instr::GlobalSet(0)],
+                    2 => &[Instr::GlobalGet(1), Instr::LocalSet(4)],
+                    _ => &[Instr::LocalGet(2), Instr::GlobalSet(1)],
+                };
+                out.extend_from_slice(seq);
+            }
+            Stmt::MemBulk { which, a, b, c } => match which % 4 {
+                0 => out.extend([Instr::MemorySize, Instr::LocalSet(3)]),
+                1 => out.extend([
+                    Instr::I32Const((a % 2) as i32),
+                    Instr::MemoryGrow,
+                    Instr::LocalSet(3),
+                ]),
+                2 => out.extend([
+                    Instr::I32Const((a & 0x3FFF) as i32),
+                    Instr::I32Const((b & 0x3FFF) as i32),
+                    Instr::I32Const((c & 0xFF) as i32),
+                    Instr::MemoryCopy,
+                ]),
+                _ => out.extend([
+                    Instr::I32Const((a & 0x3FFF) as i32),
+                    Instr::I32Const((b & 0xFF) as i32),
+                    Instr::I32Const((c & 0xFF) as i32),
+                    Instr::MemoryFill,
+                ]),
+            },
+            Stmt::Elided { which } => match which % 4 {
+                0 => out.push(Instr::Nop),
+                1 => out.extend([
+                    Instr::LocalGet(3),
+                    Instr::F32ReinterpretI32,
+                    Instr::I32ReinterpretF32,
+                    Instr::LocalSet(3),
+                ]),
+                2 => out.extend([
+                    Instr::LocalGet(4),
+                    Instr::F64ReinterpretI64,
+                    Instr::I64ReinterpretF64,
+                    Instr::LocalSet(4),
+                ]),
+                _ => out.extend([Instr::Block(BlockType::Empty), Instr::End]),
+            },
+            Stmt::DeadAfterBr { dead } => {
+                out.push(Instr::Block(BlockType::Empty));
+                out.push(Instr::Br(0));
+                for s in dead {
+                    s.emit(out, loops, t1);
+                }
+                out.push(Instr::End);
+            }
+            Stmt::EarlyRet { cond, k } => {
+                out.push(Instr::LocalGet(i32_local(*cond)));
+                out.push(Instr::If(BlockType::Empty));
+                out.push(Instr::I32Const(*k));
+                out.push(Instr::Return);
+                out.push(Instr::End);
+            }
+            Stmt::Unreach { cond } => {
+                out.push(Instr::LocalGet(i32_local(*cond)));
+                out.push(Instr::If(BlockType::Empty));
+                out.push(Instr::Unreachable);
+                out.push(Instr::End);
+            }
+        }
+    }
+}
+
+fn leaf_stmt() -> BoxedStrategy<Stmt> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(a, b, dst, op)| Stmt::BinLL { a, b, dst, op }),
+        (any::<u8>(), any::<i32>(), any::<u8>(), any::<u8>())
+            .prop_map(|(src, k, dst, op)| Stmt::ImmOp { src, k, dst, op }),
+        any::<u8>().prop_map(|op| Stmt::Bin64 { op }),
+        (any::<bool>(), any::<u8>()).prop_map(|(wide, op)| Stmt::FOp { wide, op }),
+        any::<u8>().prop_map(|which| Stmt::Convert { which }),
+        (any::<u8>(), any::<bool>(), 0u32..80, any::<u8>()).prop_map(
+            |(al, masked, offset, which)| Stmt::Load {
+                al,
+                masked,
+                offset,
+                which
+            }
+        ),
+        (any::<u8>(), any::<bool>(), 0u32..80, any::<u8>()).prop_map(
+            |(al, masked, offset, which)| Stmt::Store {
+                al,
+                masked,
+                offset,
+                which
+            }
+        ),
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(arg, dst, host)| Stmt::Call {
+            arg,
+            dst,
+            host
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(arg, slot, dst)| Stmt::CallInd {
+            arg,
+            slot,
+            dst
+        }),
+        any::<u8>().prop_map(|which| Stmt::GlobalOps { which }),
+        (any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(which, a, b, c)| Stmt::MemBulk { which, a, b, c }),
+        any::<u8>().prop_map(|which| Stmt::Elided { which }),
+        (any::<u8>(), any::<i32>(), any::<u8>(), any::<u8>()).prop_map(|(cond, k1, k2, dst)| {
+            Stmt::IfVal {
+                cond,
+                k1: k1 / 2,
+                k2: i32::from(k2),
+                dst,
+            }
+        }),
+        (any::<u8>(), any::<i32>()).prop_map(|(cond, k)| Stmt::EarlyRet { cond, k }),
+        any::<u8>().prop_map(|cond| Stmt::Unreach { cond }),
+    ]
+    .boxed()
+}
+
+fn stmt_strategy() -> BoxedStrategy<Stmt> {
+    leaf_stmt().prop_recursive(2, 32, 4, |inner| {
+        prop_oneof![
+            (any::<u8>(), prop::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(bound, body)| Stmt::While { bound, body }),
+            (
+                any::<u8>(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3),
+                any::<bool>(),
+            )
+                .prop_map(|(cond, then, els, has_else)| Stmt::IfElse {
+                    cond,
+                    then,
+                    els,
+                    has_else
+                }),
+            (
+                any::<u8>(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3),
+            )
+                .prop_map(|(sel, a, b)| Stmt::Table3 { sel, a, b }),
+            prop::collection::vec(inner, 0..3).prop_map(|dead| Stmt::DeadAfterBr { dead }),
+        ]
+    })
+}
+
+// ── Harness ────────────────────────────────────────────────────────────
+
+/// Everything observable about one execution.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    result: Result<Option<Val>, Trap>,
+    fuel: u64,
+    globals: Vec<Val>,
+    memory: Vec<u8>,
+}
+
+fn linker() -> Linker {
+    let mut l = Linker::new();
+    l.define_fn("env", "bump", |_ctx, args| {
+        let Val::I32(x) = args[0] else { unreachable!() };
+        Ok(vec![Val::I32(x.wrapping_add(7))])
+    });
+    l
+}
+
+fn run_tier(object: Arc<ObjectModule>, args: &[Val], fuel: FuelMeter) -> Outcome {
+    let mut inst = Instance::with_fuel(object, &linker(), Box::new(()), fuel).expect("instantiate");
+    let result = inst.invoke("main", args);
+    let globals = (0..2).map(|i| inst.global(i).expect("global")).collect();
+    let mem = inst.memory().expect("memory");
+    let mut memory = vec![0u8; mem.size_bytes()];
+    mem.read(0, &mut memory).expect("memory read");
+    Outcome {
+        result,
+        fuel: inst.fuel.consumed(),
+        globals,
+        memory,
+    }
+}
+
+fn run_both(module: &Module, args: &[Val], limit: Option<u64>) -> (Outcome, Outcome) {
+    let meter = || limit.map_or_else(FuelMeter::unlimited, FuelMeter::with_limit);
+    let interp = ObjectModule::prepare(module.clone()).expect("validates");
+    let lowered = ObjectModule::prepare_lowered(module.clone()).expect("validates");
+    assert!(!interp.is_lowered());
+    assert!(lowered.is_lowered());
+    (
+        run_tier(interp, args, meter()),
+        run_tier(lowered, args, meter()),
+    )
+}
+
+fn args_of(a: i32, b: i32, c: i64) -> [Val; 3] {
+    [Val::I32(a), Val::I32(b), Val::I64(c)]
+}
+
+proptest! {
+    /// Unlimited fuel: results, traps (kind + payload), fuel consumed,
+    /// globals, and the whole linear memory match bitwise.
+    #[test]
+    fn tiers_agree_unlimited(
+        stmts in prop::collection::vec(stmt_strategy(), 0..10),
+        a in any::<i32>(),
+        b in any::<i32>(),
+        c in any::<i64>(),
+    ) {
+        let module = build_module(&stmts);
+        let (i, l) = run_both(&module, &args_of(a, b, c), None);
+        prop_assert_eq!(i, l);
+    }
+
+    /// Fuel budgets bisected to land mid-block: the lowered tier's bulk
+    /// charging + metered fallback must exhaust at the interpreter's exact
+    /// instruction, with identical partial side effects.
+    #[test]
+    fn tiers_agree_at_every_fuel_bisection(
+        stmts in prop::collection::vec(stmt_strategy(), 1..8),
+        a in any::<i32>(),
+        b in any::<i32>(),
+        c in any::<i64>(),
+    ) {
+        let module = build_module(&stmts);
+        let args = args_of(a, b, c);
+        // Reference run to learn the total cost.
+        let (full, _) = run_both(&module, &args, None);
+        let total = full.fuel;
+        let mut limits = vec![1, total / 3, total / 2, total.saturating_sub(1), total, total + 1];
+        limits.sort_unstable();
+        limits.dedup();
+        for limit in limits {
+            if limit == 0 {
+                continue;
+            }
+            let (i, l) = run_both(&module, &args, Some(limit));
+            prop_assert_eq!(&i, &l, "diverged at fuel limit {}", limit);
+            if limit < total {
+                // The budget really did bite mid-run. Unit charges land on
+                // exactly limit + 1; variable charges (host calls, bulk
+                // memory ops) may overshoot — but identically on both tiers.
+                prop_assert_eq!(i.result, Err(Trap::OutOfFuel));
+                prop_assert!(i.fuel > limit);
+            }
+        }
+    }
+
+    /// Snapshot/restore round-trips on the lowered tier mid-workload and
+    /// resumes to the same final state as an uninterrupted lowered run and
+    /// as the interpreter.
+    #[test]
+    fn lowered_snapshot_restore_matches(
+        stmts in prop::collection::vec(stmt_strategy(), 1..8),
+        a in any::<i32>(),
+        b in any::<i32>(),
+        c in any::<i64>(),
+    ) {
+        let module = build_module(&stmts);
+        let args = args_of(a, b, c);
+        let (interp, direct) = run_both(&module, &args, None);
+        prop_assert_eq!(&interp, &direct);
+
+        // Run once to mutate state, snapshot, restore into a fresh
+        // instance, then run again: both tiers must agree on the
+        // second run's outcome starting from the snapshotted state.
+        let run_twice = |object: Arc<ObjectModule>| {
+            let lk = linker();
+            let mut first =
+                Instance::with_fuel(object.clone(), &lk, Box::new(()), FuelMeter::unlimited())
+                    .expect("instantiate");
+            let _ = first.invoke("main", &args);
+            let snap = first.snapshot();
+            let mut second =
+                Instance::restore(object, &snap, &lk, Box::new(()), FuelMeter::unlimited())
+                    .expect("restore");
+            let result = second.invoke("main", &args);
+            let globals: Vec<Val> = (0..2).map(|i| second.global(i).expect("global")).collect();
+            let mem = second.memory().expect("memory");
+            let mut memory = vec![0u8; mem.size_bytes()];
+            mem.read(0, &mut memory).expect("memory read");
+            (result, globals, memory)
+        };
+        let i2 = run_twice(ObjectModule::prepare(module.clone()).expect("validates"));
+        let l2 = run_twice(ObjectModule::prepare_lowered(module.clone()).expect("validates"));
+        prop_assert_eq!(i2, l2);
+    }
+}

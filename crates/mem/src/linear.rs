@@ -146,6 +146,55 @@ impl LinearMemory {
         Ok(())
     }
 
+    /// Read `N` bytes at `addr` without a bounds check; the caller must have
+    /// range-checked `[addr, addr + N)` against [`LinearMemory::size_bytes`].
+    /// This is the raw half of a *hoisted* bounds check: the FVM's fused
+    /// superinstructions do one range comparison per access and then call
+    /// this. Panics (safe, out-of-bounds index) if the caller lied.
+    #[inline]
+    pub fn read_raw<const N: usize>(&self, addr: usize) -> [u8; N] {
+        debug_assert!(addr + N <= self.size_bytes(), "caller must range-check");
+        let mut buf = [0u8; N];
+        let in_page = addr % PAGE_SIZE;
+        if in_page + N <= PAGE_SIZE {
+            self.frames[addr / PAGE_SIZE].page().read(in_page, &mut buf);
+        } else {
+            let split = PAGE_SIZE - in_page;
+            self.frames[addr / PAGE_SIZE]
+                .page()
+                .read(in_page, &mut buf[..split]);
+            self.frames[addr / PAGE_SIZE + 1]
+                .page()
+                .read(0, &mut buf[split..]);
+        }
+        buf
+    }
+
+    /// Write `N` bytes at `addr` without a bounds check; see
+    /// [`LinearMemory::read_raw`] for the contract. Materialises
+    /// copy-on-write pages and marks them dirty exactly like
+    /// [`LinearMemory::write`].
+    #[inline]
+    pub fn write_raw<const N: usize>(&mut self, addr: usize, data: [u8; N]) {
+        debug_assert!(addr + N <= self.size_bytes(), "caller must range-check");
+        let page = addr / PAGE_SIZE;
+        let in_page = addr % PAGE_SIZE;
+        if in_page + N <= PAGE_SIZE {
+            self.frames[page].page_for_write().write(in_page, &data);
+            self.dirty[page] = true;
+        } else {
+            let split = PAGE_SIZE - in_page;
+            self.frames[page]
+                .page_for_write()
+                .write(in_page, &data[..split]);
+            self.frames[page + 1]
+                .page_for_write()
+                .write(0, &data[split..]);
+            self.dirty[page] = true;
+            self.dirty[page + 1] = true;
+        }
+    }
+
     /// Fill `len` bytes starting at `addr` with `value` (`memset`).
     ///
     /// # Errors
@@ -417,6 +466,20 @@ mod tests {
         assert!(mem.grow(2).is_err());
         assert_eq!(mem.size_pages(), 2, "failed grow leaves memory unchanged");
         assert_eq!(mem.grow(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn raw_access_matches_checked_path_across_pages() {
+        let mut mem = LinearMemory::new(2, 2).unwrap();
+        // Straddle the page boundary and hit an interior offset.
+        for addr in [100usize, PAGE_SIZE - 3, PAGE_SIZE - 1] {
+            let data = [0xA1, 0xB2, 0xC3, 0xD4, 0xE5, 0xF6, 0x07, 0x18];
+            mem.write_raw::<8>(addr, data);
+            let mut checked = [0u8; 8];
+            mem.read(addr, &mut checked).unwrap();
+            assert_eq!(checked, data);
+            assert_eq!(mem.read_raw::<8>(addr), data);
+        }
     }
 
     #[test]
