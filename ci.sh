@@ -30,6 +30,9 @@ cargo run --release --example trace_storm
 echo "== cache-locality example (smoke): zipfian storm, hit rate + zero staleness across a reshard"
 cargo run --release --example cache_locality
 
+echo "== coldstart-storm example (smoke): pre-staged 0→N scale-up, warm-restore rate >= 90%"
+cargo run --release --example coldstart_storm
+
 echo "== gateway throughput bench, batched mode included (smoke)"
 cargo bench -p faasm-bench --bench gateway_throughput -- --test
 
@@ -38,5 +41,8 @@ cargo bench -p faasm-bench --bench state_throughput -- --test
 
 echo "== vm dispatch bench, lowered tier must beat the interpreter (smoke)"
 cargo bench -p faasm-bench --bench vm_dispatch -- --test
+
+echo "== coldstart bench, one capture + cross-version chunk dedup (smoke)"
+cargo bench -p faasm-bench --bench coldstart -- --test
 
 echo "CI OK"

@@ -235,6 +235,8 @@ impl BaselineHost {
                             let _ = self.queue_tx.send(QueuedCall { call, reply_to });
                         }
                     }
+                    // Containers have no snapshot plane to pre-stage into.
+                    Some(InstanceMsg::PreStage { .. }) => {}
                     None => {}
                 },
                 Err(faasm_net::NetError::Timeout) => {}

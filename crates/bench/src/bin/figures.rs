@@ -3,8 +3,8 @@
 //! Usage: `cargo run -p faasm-bench --release --bin figures [EXPERIMENT]`
 //! where EXPERIMENT is one of `fig6`, `fig6-small`, `fig7`, `fig8`, `fig9a`,
 //! `fig9b`, `table3`, `fig10`, `shards`, `replicas`, `trace`, `metrics`,
-//! `cache`, or `all` (default; excludes the telemetry, fault-injection and
-//! cache commands).
+//! `cache`, `coldstart`, or `all` (default; excludes the telemetry,
+//! fault-injection, cache and coldstart commands).
 //!
 //! `replicas` boots a replication-factor-2 tier, prints the per-slot
 //! replica roles (primary/backup key counts), replication lag and the
@@ -17,6 +17,12 @@
 //! live-reshard run), printing per-tier hit rates, throughput and the
 //! hot-key → owning-shard view the affinity board steers by; pass `json`
 //! for a machine-readable dump.
+//!
+//! `coldstart` measures the snapshot-distribution resolve paths: first-call
+//! latency local-restore vs chunk-fetch vs cold-start, the cross-version
+//! chunk dedup ratio, and the host-local snapshot-cache hit rate; pass
+//! `json` for a machine-readable dump. `BENCH_coldstart.json` holds the
+//! longer scale-up-storm numbers.
 //!
 //! `trace` runs a built-in scenario — a gateway storm over a
 //! state-touching function with a live reshard mid-storm — then renders
@@ -88,6 +94,138 @@ fn main() {
     if which == "vm" {
         vm_cmd();
     }
+    if which == "coldstart" {
+        coldstart_cmd(std::env::args().nth(2).as_deref() == Some("json"));
+    }
+}
+
+// ── Cold start: snapshot-distribution resolve paths ─────────────────────
+
+/// First-call latency down each proto resolve path (pre-staged local
+/// restore, chunk fetch from the tier, full cold start), plus the
+/// cross-version dedup ratio and the snapshot-cache hit rate. Quick
+/// in-process runs of the `coldstart` bench's experiments;
+/// `BENCH_coldstart.json` holds the longer scale-up-storm numbers.
+fn coldstart_cmd(json: bool) {
+    use faasm_core::{ChainRouter, UploadOptions};
+
+    let storm_src = |seed: u32| -> String {
+        format!(
+            r#"
+            extern int input_size();
+            extern int read_call_input(ptr int buf, int len);
+            extern void write_call_output(ptr int buf, int len);
+            int init() {{
+                ptr int a = (ptr int) 1024;
+                for (int i = 0; i < 8000; i = i + 1) {{ a[i] = {seed} + i; }}
+                ptr int b = (ptr int) 65536;
+                for (int i = 0; i < 8000; i = i + 1) {{ b[i] = i * 3; }}
+                ptr int c = (ptr int) 131072;
+                for (int i = 0; i < 8000; i = i + 1) {{ c[i] = i * 5; }}
+                return 0;
+            }}
+            int main() {{
+                int n = input_size();
+                read_call_input((ptr int) 512, n);
+                write_call_output((ptr int) 512, n);
+                return 0;
+            }}
+            "#
+        )
+    };
+    let opts = || UploadOptions {
+        init: Some("init".into()),
+        ..UploadOptions::default()
+    };
+
+    // First-call latencies, median over fresh clusters per path.
+    const SAMPLES: usize = 5;
+    let (mut cold, mut fetch, mut prestaged) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..SAMPLES {
+        let cluster = faasm_cluster(3, 2);
+        cluster
+            .upload_fl("fig", "work", &storm_src(1_000_000), opts())
+            .unwrap();
+        let hosts = cluster.instances();
+        let t0 = Instant::now();
+        hosts[0].invoke_local("fig", "work", vec![1]);
+        cold.push(t0.elapsed());
+        let t0 = Instant::now();
+        let id = hosts[1].submit_placed("fig", "work", vec![2]);
+        hosts[1].await_call(id);
+        fetch.push(t0.elapsed());
+        hosts[0].push_prestage("fig", "work", hosts[2].host_id());
+        for _ in 0..2_000 {
+            if hosts[2].has_proto("fig", "work") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let t0 = Instant::now();
+        let id = hosts[2].submit_placed("fig", "work", vec![3]);
+        hosts[2].await_call(id);
+        prestaged.push(t0.elapsed());
+    }
+    let (cold, fetch, prestaged) = (median(cold), median(fetch), median(prestaged));
+
+    // Dedup across two proto versions differing in one dirtied page, and
+    // the cache hit rate on a host that fetches both: v2's shared chunks
+    // come out of the snapshot cache, not the tier.
+    let cluster = faasm_cluster(2, 2);
+    for (f, seed) in [("work_v1", 1_000_000), ("work_v2", 2_000_000)] {
+        cluster
+            .upload_fl("fig", f, &storm_src(seed), opts())
+            .unwrap();
+    }
+    let a = &cluster.instances()[0];
+    let b = &cluster.instances()[1];
+    a.invoke_local("fig", "work_v1", vec![1]);
+    let pub_before = a.snapshot_stats();
+    a.invoke_local("fig", "work_v2", vec![1]);
+    let pub_after = a.snapshot_stats();
+    let published = pub_after.chunks_published - pub_before.chunks_published;
+    let deduped = pub_after.chunks_deduped - pub_before.chunks_deduped;
+    let dedup_ratio = deduped as f64 / (published + deduped).max(1) as f64;
+    for f in ["work_v1", "work_v2"] {
+        let id = b.submit_placed("fig", f, vec![1]);
+        b.await_call(id);
+    }
+    let s = b.snapshot_stats();
+    let hit_rate = s.chunk_hits as f64 / (s.chunk_hits + s.chunks_fetched).max(1) as f64;
+
+    if json {
+        println!(
+            "{{\"figure\": \"coldstart\", \"first_call_ns\": {{\"cold\": {}, \"fetch_restore\": {}, \"prestaged_restore\": {}}}, \"dedup_ratio\": {:.4}, \"cache_hit_rate\": {:.4}}}",
+            cold.as_nanos(),
+            fetch.as_nanos(),
+            prestaged.as_nanos(),
+            dedup_ratio,
+            hit_rate,
+        );
+        return;
+    }
+    println!("\n=== Cold start: snapshot-distribution resolve paths ===");
+    let mut table = Table::new(&["resolve path", "first-call latency", "vs cold"]);
+    for (path, t) in [
+        ("pre-staged restore", prestaged),
+        ("chunk-fetch restore", fetch),
+        ("cold start", cold),
+    ] {
+        table.row(&[
+            path.to_string(),
+            fmt_dur(t),
+            format!("{:.1}x", cold.as_secs_f64() / t.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    table.print();
+    println!(
+        "cross-version dedup: {deduped}/{} chunks shared ({:.0}%); fetch-side snapshot-cache hit rate {:.0}% ({} hits / {} tier fetches)",
+        published + deduped,
+        dedup_ratio * 100.0,
+        hit_rate * 100.0,
+        s.chunk_hits,
+        s.chunks_fetched,
+    );
 }
 
 // ── VM: execution-tier dispatch throughput ──────────────────────────────

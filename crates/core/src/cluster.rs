@@ -756,7 +756,7 @@ fn check_entry(object: &ObjectModule, name: &str) -> Result<(), CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ctx::NativeApi;
+    use crate::ctx::{ChainRouter, NativeApi};
     use faasm_sched::CallStatus;
 
     const ECHO: &str = r#"
@@ -1099,19 +1099,166 @@ mod tests {
     }
 
     #[test]
-    fn proto_faaslet_published_to_object_store() {
+    fn proto_faaslet_published_to_state_tier() {
         let cluster = Cluster::new(1);
         cluster
             .upload_fl("u", "echo", ECHO, UploadOptions::default())
             .unwrap();
         cluster.invoke("u", "echo", vec![1]);
-        let path = crate::proto::ProtoFaaslet::store_path("u", "echo");
-        assert!(
-            cluster.object_store().exists(&path),
-            "first cold start publishes the proto"
-        );
+        // First cold start publishes the proto as content-addressed chunks
+        // plus a manifest through the global tier.
+        let inst = &cluster.instances()[0];
+        let manifest_bytes = inst
+            .kv()
+            .get(&faasm_kvs::manifest_key("u", "echo"))
+            .unwrap()
+            .expect("first cold start publishes the manifest");
+        let manifest = crate::snapdist::ProtoManifest::from_bytes(&manifest_bytes).unwrap();
+        for d in manifest.all_digests() {
+            assert_eq!(
+                inst.kv().exists(&faasm_kvs::chunk_key(&d)),
+                Ok(true),
+                "every manifest chunk is in the tier"
+            );
+        }
+        let stats = inst.snapshot_stats();
+        assert!(stats.chunks_published > 0, "publisher shipped chunks");
         // Object file stored at upload.
         assert!(cluster.object_store().exists("shared/obj/u/echo"));
+    }
+
+    #[test]
+    fn concurrent_cold_starts_coalesce_to_one_capture() {
+        // A barrier-released burst of first calls for one function must
+        // produce exactly one cold start + capture: the single-flight
+        // resolver elects a leader and parks the rest, which then restore.
+        let cluster = Arc::new(Cluster::new(1));
+        cluster
+            .upload_fl("u", "echo", ECHO, UploadOptions::default())
+            .unwrap();
+        let burst = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(burst));
+        let handles: Vec<_> = (0..burst)
+            .map(|i| {
+                let cluster = Arc::clone(&cluster);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let inst = Arc::clone(&cluster.instances()[0]);
+                    barrier.wait();
+                    let id = inst.submit_placed("u", "echo", vec![i as u8]);
+                    inst.await_call(id)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().status, CallStatus::Success);
+        }
+        let m = cluster.instances()[0].metrics();
+        assert_eq!(
+            m.cold_starts(),
+            1,
+            "burst coalesced to one capture ({} restores / {} warm)",
+            m.proto_restores(),
+            m.warm_starts()
+        );
+        assert_eq!(
+            m.cold_starts() + m.proto_restores() + m.warm_starts(),
+            burst as u64
+        );
+    }
+
+    #[test]
+    fn chunk_fetched_proto_restores_bitwise_identical() {
+        let cluster = Cluster::new(2);
+        cluster
+            .upload_fl("u", "echo", ECHO, UploadOptions::default())
+            .unwrap();
+        let a = &cluster.instances()[0];
+        let b = &cluster.instances()[1];
+        // A cold-starts, captures and publishes chunks + manifest.
+        let id = a.submit_placed("u", "echo", vec![1]);
+        assert_eq!(a.await_call(id).status, CallStatus::Success);
+        // B resolves through the snapshot plane: manifest fetch, chunk
+        // multi-get, digest verify, assembly — no cold start.
+        let id = b.submit_placed("u", "echo", vec![2]);
+        assert_eq!(b.await_call(id).status, CallStatus::Success);
+        assert_eq!(b.metrics().cold_starts(), 0, "B restored, never compiled");
+        assert_eq!(b.metrics().proto_restores(), 1);
+        let stats = b.snapshot_stats();
+        assert!(stats.fetches >= 1);
+        assert!(stats.chunks_fetched >= 1, "chunks came over the wire");
+        assert_eq!(stats.verify_failures, 0);
+        // The fetched proto is bitwise identical to the captured one.
+        assert_eq!(
+            a.proto_bytes("u", "echo").unwrap(),
+            b.proto_bytes("u", "echo").unwrap(),
+            "chunk-fetched proto differs from the locally captured one"
+        );
+    }
+
+    #[test]
+    fn corrupt_chunk_rejected_and_repaired_by_republish() {
+        let cluster = Cluster::new(2);
+        cluster
+            .upload_fl("u", "echo", ECHO, UploadOptions::default())
+            .unwrap();
+        let a = &cluster.instances()[0];
+        let b = &cluster.instances()[1];
+        let id = a.submit_placed("u", "echo", vec![1]);
+        assert_eq!(a.await_call(id).status, CallStatus::Success);
+        // Corrupt one published page chunk in the tier.
+        let manifest_bytes = a
+            .kv()
+            .get(&faasm_kvs::manifest_key("u", "echo"))
+            .unwrap()
+            .unwrap();
+        let manifest = crate::snapdist::ProtoManifest::from_bytes(&manifest_bytes).unwrap();
+        let victim = manifest.pages[0];
+        a.kv()
+            .set(&faasm_kvs::chunk_key(&victim), b"not the chunk".to_vec())
+            .unwrap();
+        // B's fetch must reject the chunk at the digest check and fall back
+        // to a cold start — never a corrupt restore.
+        let id = b.submit_placed("u", "echo", vec![2]);
+        assert_eq!(b.await_call(id).status, CallStatus::Success);
+        assert!(b.snapshot_stats().verify_failures >= 1);
+        assert_eq!(b.metrics().cold_starts(), 1, "fallback was a cold start");
+        // The verify deleted the corrupt chunk, so B's own publish repaired
+        // it: the tier's bytes hash to the key again.
+        let repaired = b
+            .kv()
+            .get(&faasm_kvs::chunk_key(&victim))
+            .unwrap()
+            .expect("chunk republished");
+        assert_eq!(faasm_kvs::Digest::of(&repaired), victim);
+    }
+
+    #[test]
+    fn prestage_installs_proto_before_first_call() {
+        let cluster = Cluster::new(2);
+        cluster
+            .upload_fl("u", "echo", ECHO, UploadOptions::default())
+            .unwrap();
+        let a = &cluster.instances()[0];
+        let b = &cluster.instances()[1];
+        let id = a.submit_placed("u", "echo", vec![1]);
+        assert_eq!(a.await_call(id).status, CallStatus::Success);
+        // Pre-stage B the way the autoscaler does: push the manifest over
+        // the bus, then wait for B's fetcher to install the proto.
+        assert!(a.push_prestage("u", "echo", b.host_id()));
+        for _ in 0..400 {
+            if b.has_proto("u", "echo") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(b.has_proto("u", "echo"), "pre-stage never landed");
+        assert_eq!(b.snapshot_stats().prestages, 1);
+        // B's first call is now a pure CoW restore.
+        let id = b.submit_placed("u", "echo", vec![2]);
+        assert_eq!(b.await_call(id).status, CallStatus::Success);
+        assert_eq!(b.metrics().cold_starts(), 0);
+        assert_eq!(b.metrics().proto_restores(), 1);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use faasm_fvm::Linker;
-use faasm_kvs::{CacheConfig, CachedKv, RoutingCell, ShardedKvClient, SharedKv};
+use faasm_kvs::{
+    chunk_key, manifest_key, CacheConfig, CachedKv, Digest, RoutingCell, ShardedKvClient, SharedKv,
+};
 use faasm_net::{Fabric, HostId, Nic};
 use faasm_sched::{
     decide, CallId, CallResult, CallSpec, Decision, Placement, SchedBoards, WarmSets,
@@ -21,7 +23,7 @@ use faasm_sched::{
 use faasm_state::StateManager;
 use faasm_telemetry::{SpanKind, TraceCtx};
 use faasm_vfs::{HostFs, ObjectStore};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::cgroup::CgroupCpu;
 use crate::ctx::ChainRouter;
@@ -33,6 +35,10 @@ use crate::metrics::{Metrics, StartKind};
 use crate::msg::{decode_msg, encode_msg, InstanceMsg};
 use crate::pending::{Pending, PendingCallback};
 use crate::proto::{ProtoFaaslet, ProtoRef};
+use crate::snapdist::{
+    assemble_proto, chunk_proto, ProtoManifest, SnapStatsSnapshot, SnapshotCache,
+    DEFAULT_SNAPSHOT_CACHE_BYTES,
+};
 
 /// Instance tuning knobs.
 #[derive(Debug, Clone)]
@@ -52,6 +58,9 @@ pub struct InstanceConfig {
     /// `SharedKv` is a [`CachedKv`] and workers feed the scheduler's
     /// state-affinity board from per-call cache hits.
     pub cache: Option<CacheConfig>,
+    /// Byte budget for the host's snapshot chunk cache (verified
+    /// content-addressed proto chunks, LRU-evicted).
+    pub snapshot_cache_bytes: usize,
 }
 
 impl Default for InstanceConfig {
@@ -63,6 +72,7 @@ impl Default for InstanceConfig {
             chunk_size: faasm_state::DEFAULT_CHUNK_SIZE,
             worker_stack: 16 * 1024 * 1024,
             cache: None,
+            snapshot_cache_bytes: DEFAULT_SNAPSHOT_CACHE_BYTES,
         }
     }
 }
@@ -109,10 +119,22 @@ pub struct FaasmInstance {
     /// The function-side state cache, when enabled — the same object `kv`
     /// points at, kept concretely typed for stats and hot-key draining.
     cache: Option<Arc<CachedKv>>,
+    /// The raw sharded tier client, *under* any function-side cache: the
+    /// snapshot plane's chunk traffic rides this so immutable chunk bytes
+    /// are not double-buffered through the state cache (the
+    /// [`SnapshotCache`] is their host-local home).
+    tier_kv: SharedKv,
+    /// Host-local cache of verified content-addressed proto chunks.
+    snap_cache: Arc<SnapshotCache>,
+    /// Single-flight proto resolution: one leader per `(user, function)`
+    /// fetches or captures while concurrent cold starts park.
+    resolving: Mutex<HashMap<(String, String), Arc<Flight>>>,
+    /// Hands pre-stage manifests to the dedicated fetch thread so the bus
+    /// loop never blocks on chunk round-trips.
+    prestage_tx: Sender<(String, String, Vec<u8>)>,
     boards: Arc<SchedBoards>,
     state: Arc<StateManager>,
     hostfs: Arc<HostFs>,
-    object_store: Arc<ObjectStore>,
     registry: Arc<FunctionRegistry>,
     warm: WarmSets,
     cgroup: Arc<CgroupCpu>,
@@ -166,6 +188,10 @@ impl FaasmInstance {
         let nic = fabric.add_host();
         let sharded: SharedKv =
             Arc::new(ShardedKvClient::connect(nic.clone(), Arc::clone(routing)));
+        // The snapshot plane keeps the uncached handle: chunk payloads are
+        // content-addressed and live in the snapshot cache, so routing them
+        // through the function-side cache would only duplicate them.
+        let tier_kv = Arc::clone(&sharded);
         // The function-side cache interposes at the backend seam: state
         // entries, warm sets and workloads all read through it unchanged.
         let (kv, cache): (SharedKv, Option<Arc<CachedKv>>) = match &config.cache {
@@ -179,18 +205,22 @@ impl FaasmInstance {
             Arc::clone(&kv),
             config.chunk_size,
         ));
-        let hostfs = HostFs::new(Arc::clone(&object_store));
+        let hostfs = HostFs::new(object_store);
         let warm = WarmSets::new(Arc::clone(&kv));
         let (queue_tx, queue_rx) = unbounded();
+        let (prestage_tx, prestage_rx) = unbounded();
         let instance = Arc::new(FaasmInstance {
             host_id: nic.id(),
             nic,
             kv,
             cache,
+            tier_kv,
+            snap_cache: Arc::new(SnapshotCache::new(config.snapshot_cache_bytes)),
+            resolving: Mutex::new(HashMap::new()),
+            prestage_tx,
             boards,
             state,
             hostfs,
-            object_store,
             registry,
             warm,
             cgroup: CgroupCpu::new(config.cgroup_tolerance),
@@ -218,6 +248,16 @@ impl FaasmInstance {
                 .name(format!("{}-bus", inst.host_id))
                 .spawn(move || inst.bus_loop())
                 .expect("spawn bus thread");
+            instance.threads.lock().push(handle);
+        }
+        // Pre-stage fetcher: pulls pushed manifests' chunks into the
+        // snapshot cache off the bus thread.
+        {
+            let inst = Arc::clone(&instance);
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-prestage", inst.host_id))
+                .spawn(move || inst.prestage_loop(prestage_rx))
+                .expect("spawn prestage thread");
             instance.threads.lock().push(handle);
         }
         // Workers ("each function is executed by a dedicated thread").
@@ -252,6 +292,55 @@ impl FaasmInstance {
     /// The function-side state cache, when enabled.
     pub fn cache(&self) -> Option<&Arc<CachedKv>> {
         self.cache.as_ref()
+    }
+
+    /// The snapshot plane's per-instance counters (fetches, verify
+    /// failures, publish dedup, cache evictions).
+    pub fn snapshot_stats(&self) -> SnapStatsSnapshot {
+        self.snap_cache.stats().snapshot()
+    }
+
+    /// Bytes currently held by the host's snapshot chunk cache.
+    pub fn snapshot_cache_bytes(&self) -> usize {
+        self.snap_cache.bytes()
+    }
+
+    /// Whether this host already holds an assembled proto for a function
+    /// (restores from here are pure local CoW mappings).
+    pub fn has_proto(&self, user: &str, function: &str) -> bool {
+        self.protos
+            .read()
+            .contains_key(&(user.to_string(), function.to_string()))
+    }
+
+    /// The host's assembled proto serialised — for bitwise parity checks
+    /// between a locally-captured and a chunk-fetched proto.
+    #[cfg(test)]
+    pub(crate) fn proto_bytes(&self, user: &str, function: &str) -> Option<Vec<u8>> {
+        let proto = self
+            .protos
+            .read()
+            .get(&(user.to_string(), function.to_string()))
+            .cloned()?;
+        proto.to_bytes().ok()
+    }
+
+    /// Push `function`'s chunk manifest to `target` over the bus — the
+    /// autoscaler's pre-stage step: the receiver pulls the chunks into its
+    /// snapshot cache *before* the first call lands, so its prewarmed
+    /// Faaslets restore from warm bytes. Best-effort: `false` when no
+    /// manifest is published yet or the send failed, which only costs the
+    /// target the peer-fetch it would have saved.
+    pub fn push_prestage(&self, user: &str, function: &str, target: HostId) -> bool {
+        let Ok(Some(manifest)) = self.tier_kv.get(&manifest_key(user, function)) else {
+            return false;
+        };
+        let msg = encode_msg(&InstanceMsg::PreStage {
+            user: user.to_string(),
+            function: function.to_string(),
+            manifest,
+        });
+        self.nic.send(target, msg).is_ok()
     }
 
     /// The host's local state tier.
@@ -421,6 +510,15 @@ impl FaasmInstance {
                             }
                             let _ = self.queue_tx.send(QueuedCall { call, reply_to });
                         }
+                    }
+                    // Pre-staged manifests are handed to the dedicated
+                    // fetcher; the bus loop stays hot for invokes.
+                    Some(InstanceMsg::PreStage {
+                        user,
+                        function,
+                        manifest,
+                    }) => {
+                        let _ = self.prestage_tx.send((user, function, manifest));
                     }
                     // Non-protocol traffic (e.g. a guest socket aimed at a
                     // runtime host) is dropped.
@@ -610,13 +708,56 @@ impl FaasmInstance {
                     .record_start(StartKind::Cold, t0.elapsed().as_nanos() as u64);
                 Ok(f)
             }
-            GuestCode::Fvm(_) => {
-                if let Some(proto) = self.proto_for(key)? {
+            GuestCode::Fvm(_) => loop {
+                // Resolve order (§5.2 at cluster scale): assembled proto on
+                // this host → chunk fetch through the snapshot plane → cold
+                // start. The expensive steps are single-flight per function:
+                // one leader fetches or captures while concurrent cold
+                // starts park, so a barrier-released burst costs exactly one
+                // capture.
+                if let Some(proto) = self.protos.read().get(key).cloned() {
+                    let s0 = faasm_telemetry::now_ns();
                     let t0 = Instant::now();
                     let f = Faaslet::restore(id, &proto, def, &env)?;
                     self.metrics
                         .record_start(StartKind::ProtoRestore, t0.elapsed().as_nanos() as u64);
+                    let ctx = faasm_telemetry::current();
+                    if !ctx.is_none() {
+                        worker_recorder().span(SpanKind::ProtoRestore, ctx, s0, 0);
+                    }
                     return Ok(f);
+                }
+                let flight = {
+                    let mut resolving = self.resolving.lock();
+                    match resolving.get(key) {
+                        Some(f) => Some(Arc::clone(f)),
+                        None => {
+                            resolving.insert(key.clone(), Arc::new(Flight::new()));
+                            None
+                        }
+                    }
+                };
+                if let Some(flight) = flight {
+                    // Another resolver is fetching or capturing this
+                    // function's proto: park until it settles, then
+                    // re-resolve (usually a pure CoW restore).
+                    flight.wait();
+                    continue;
+                }
+                // Leader. The guard wakes every parked resolver when this
+                // attempt ends by any path, including errors.
+                let _flight = FlightGuard {
+                    instance: self,
+                    key,
+                };
+                if self.protos.read().contains_key(key) {
+                    // A pre-stage or a just-finished leader landed between
+                    // the resolve check and leadership.
+                    continue;
+                }
+                if let Some(proto) = self.fetch_proto(key) {
+                    self.protos.write().insert(key.clone(), proto);
+                    continue;
                 }
                 // First cold start anywhere: instantiate, run init, capture
                 // and publish the proto (§5.2: generated as part of upload /
@@ -627,35 +768,166 @@ impl FaasmInstance {
                     .record_start(StartKind::Cold, t0.elapsed().as_nanos() as u64);
                 if let Some(proto) = f.capture_proto() {
                     let proto = Arc::new(proto);
-                    // A snapshot too large for the wire encoding stays
-                    // host-local: restores here still work from the cache,
-                    // other hosts cold start (never a corrupt frame).
-                    if let Ok(bytes) = proto.to_bytes() {
-                        self.object_store
-                            .put(&ProtoFaaslet::store_path(&key.0, &key.1), bytes);
-                    }
+                    self.publish_proto(key, &proto);
                     self.protos.write().insert(key.clone(), proto);
                 }
-                Ok(f)
+                return Ok(f);
+            },
+        }
+    }
+
+    /// Fetch a function's proto through the snapshot plane: manifest from
+    /// the tier, then cache-checked chunk reads. `None` when nothing is
+    /// published or the fetch failed — the caller cold-starts.
+    fn fetch_proto(&self, key: &(String, String)) -> Option<ProtoRef> {
+        let manifest_bytes = self.tier_kv.get(&manifest_key(&key.0, &key.1)).ok()??;
+        let manifest = ProtoManifest::from_bytes(&manifest_bytes)?;
+        let proto = self.fetch_by_manifest(&manifest)?;
+        // The manifest key is the plane's only mutable key: a stale or
+        // crossed write must never bind another function's proto here.
+        if proto.user != key.0 || proto.function != key.1 {
+            return None;
+        }
+        Some(proto)
+    }
+
+    /// Pull and verify every chunk a manifest names — local snapshot cache
+    /// first, then one batched tier read for the rest — and assemble the
+    /// proto. Verified bytes land in the cache on the way through.
+    fn fetch_by_manifest(&self, manifest: &ProtoManifest) -> Option<ProtoRef> {
+        let stats = self.snap_cache.stats();
+        stats.fetches.fetch_add(1, Ordering::Relaxed);
+        let s0 = faasm_telemetry::now_ns();
+        let mut have: HashMap<Digest, Arc<Vec<u8>>> = HashMap::new();
+        let mut missing: Vec<Digest> = Vec::new();
+        for d in manifest.all_digests() {
+            if have.contains_key(&d) || missing.contains(&d) {
+                continue;
+            }
+            match self.snap_cache.get(&d) {
+                Some(bytes) => {
+                    stats.chunk_hits.fetch_add(1, Ordering::Relaxed);
+                    have.insert(d, bytes);
+                }
+                None => missing.push(d),
+            }
+        }
+        let mut complete = true;
+        if !missing.is_empty() {
+            let keys: Vec<String> = missing.iter().map(chunk_key).collect();
+            let values = self.tier_kv.multi_get(&keys).ok()?;
+            let v0 = faasm_telemetry::now_ns();
+            for (d, value) in missing.iter().zip(values) {
+                let Some(bytes) = value else {
+                    // Chunk not in the tier (e.g. evicted, or the manifest
+                    // raced ahead of its chunks): this fetch cold-starts.
+                    complete = false;
+                    continue;
+                };
+                if Digest::of(&bytes) != *d {
+                    // A corrupt chunk must also be deleted, not just
+                    // skipped: the publisher's exists-check would otherwise
+                    // dedup against the bad bytes forever. Deleting lets
+                    // the next publish repair it.
+                    stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.tier_kv.del(&chunk_key(d));
+                    complete = false;
+                    continue;
+                }
+                stats.chunks_fetched.fetch_add(1, Ordering::Relaxed);
+                let bytes = Arc::new(bytes);
+                self.snap_cache.insert(*d, Arc::clone(&bytes));
+                have.insert(*d, bytes);
+            }
+            let ctx = faasm_telemetry::current();
+            if !ctx.is_none() {
+                worker_recorder().span(SpanKind::SnapshotVerify, ctx, v0, missing.len() as u64);
+            }
+        }
+        if !complete {
+            return None;
+        }
+        let meta = have.get(&manifest.meta)?;
+        let pages: Vec<Arc<Vec<u8>>> = manifest
+            .pages
+            .iter()
+            .map(|d| have.get(d).map(Arc::clone))
+            .collect::<Option<_>>()?;
+        let proto = assemble_proto(meta, &pages)?;
+        let ctx = faasm_telemetry::current();
+        if !ctx.is_none() {
+            worker_recorder().span(SpanKind::SnapshotFetch, ctx, s0, missing.len() as u64);
+        }
+        Some(Arc::new(proto))
+    }
+
+    /// Publish a captured proto as content-addressed chunks plus a manifest
+    /// through the state tier. Chunks the tier already holds are skipped —
+    /// pages identical across proto versions (or functions) ship once.
+    /// Errors are swallowed: a failed publish only costs peers a cold
+    /// start, never a corrupt restore (fetchers verify digests).
+    fn publish_proto(&self, key: &(String, String), proto: &ProtoFaaslet) {
+        let Ok(chunked) = chunk_proto(proto) else {
+            // A snapshot section too large for the wire encoding stays
+            // host-local: restores here still work from `protos`.
+            return;
+        };
+        let stats = self.snap_cache.stats();
+        for (d, bytes) in &chunked.chunks {
+            let ck = chunk_key(d);
+            if matches!(self.tier_kv.exists(&ck), Ok(true)) {
+                stats.chunks_deduped.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .bytes_deduped
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            } else if self.tier_kv.set(&ck, (**bytes).clone()).is_ok() {
+                stats.chunks_published.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .bytes_published
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            }
+            // Seed the local cache either way: the publishing host is about
+            // to be the hottest restorer of this function.
+            self.snap_cache.insert(*d, Arc::clone(bytes));
+        }
+        let _ = self
+            .tier_kv
+            .set(&manifest_key(&key.0, &key.1), chunked.manifest.to_bytes());
+    }
+
+    fn prestage_loop(self: Arc<Self>, rx: Receiver<(String, String, Vec<u8>)>) {
+        while !self.stop.load(Ordering::Relaxed) {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok((user, function, manifest)) => self.handle_prestage(&user, &function, &manifest),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
             }
         }
     }
 
-    /// The function's Proto-Faaslet: host cache, then the shared object
-    /// store (cross-host restore), else `None`.
-    fn proto_for(&self, key: &(String, String)) -> Result<Option<ProtoRef>, CoreError> {
-        if let Some(p) = self.protos.read().get(key) {
-            return Ok(Some(Arc::clone(p)));
+    /// Handle a pushed pre-stage manifest: fetch its chunks into the
+    /// snapshot cache and install the assembled proto, so the first call
+    /// after a scale-up restores from warm local bytes.
+    fn handle_prestage(&self, user: &str, function: &str, manifest_bytes: &[u8]) {
+        self.snap_cache
+            .stats()
+            .prestages
+            .fetch_add(1, Ordering::Relaxed);
+        let Some(manifest) = ProtoManifest::from_bytes(manifest_bytes) else {
+            return;
+        };
+        let key = (user.to_string(), function.to_string());
+        if self.protos.read().contains_key(&key) {
+            return;
         }
-        let path = ProtoFaaslet::store_path(&key.0, &key.1);
-        if let Some(bytes) = self.object_store.pull(&path) {
-            let proto = ProtoFaaslet::from_bytes(&bytes)
-                .ok_or_else(|| CoreError::BadProto(format!("corrupt proto at {path}")))?;
-            let proto = Arc::new(proto);
-            self.protos.write().insert(key.clone(), Arc::clone(&proto));
-            return Ok(Some(proto));
+        if let Some(proto) = self.fetch_by_manifest(&manifest) {
+            // A pushed manifest is unauthenticated bus traffic: the chunk
+            // digests verified it byte-for-byte, but the decoded identity
+            // must still match the key it claims to pre-stage.
+            if proto.user == key.0 && proto.function == key.1 {
+                self.protos.write().insert(key, proto);
+            }
         }
-        Ok(None)
     }
 
     fn deliver(&self, result: CallResult, reply_to: HostId) {
@@ -811,6 +1083,8 @@ impl FaasmInstance {
                     }
                 }
                 Some(InstanceMsg::Result { result }) => self.pending.fulfill(result),
+                // Pre-stages are pure prefetch hints; nothing awaits them.
+                Some(InstanceMsg::PreStage { .. }) => {}
                 None => {}
             }
         }
@@ -891,6 +1165,51 @@ impl FaasmInstance {
         SELF_REGISTRY
             .lock()
             .insert(self.host_id, Arc::downgrade(self));
+    }
+}
+
+/// A single-flight slot: concurrent proto resolvers for one function park
+/// here while a leader fetches or captures.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Ends a single-flight attempt: removes the slot and wakes every parked
+/// resolver. A `Drop` guard so leader errors (and early `continue`s) can
+/// never strand followers.
+struct FlightGuard<'a> {
+    instance: &'a FaasmInstance,
+    key: &'a (String, String),
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let flight = self.instance.resolving.lock().remove(self.key);
+        if let Some(flight) = flight {
+            flight.finish();
+        }
     }
 }
 

@@ -61,6 +61,7 @@ pub mod msg;
 pub mod pending;
 pub mod proto;
 pub mod rng;
+pub mod snapdist;
 
 pub use cgroup::{CgroupCpu, CgroupShare};
 pub use cluster::{Cluster, ClusterConfig, UploadOptions};
@@ -73,6 +74,10 @@ pub use instance::{FaasmInstance, InstanceConfig, PlacedCall};
 pub use metrics::{percentile, GatewayMetrics, Metrics, MetricsSnapshot, StartKind};
 pub use pending::{Pending, PendingCallback, PendingMap};
 pub use proto::{ProtoEncodeError, ProtoFaaslet, ProtoRef};
+pub use snapdist::{
+    assemble_proto, chunk_proto, ChunkedProto, ProtoManifest, SnapStats, SnapStatsSnapshot,
+    SnapshotCache, DEFAULT_SNAPSHOT_CACHE_BYTES,
+};
 
 // Re-export the call types every embedder needs.
 pub use faasm_sched::{CallId, CallResult, CallSpec, CallStatus, TraceCtx};

@@ -40,6 +40,21 @@ pub enum InstanceMsg {
         /// `recv - sent_at_ns` per call. 0 = unstamped.
         sent_at_ns: u64,
     },
+    /// Pre-stage a function's proto snapshot: the autoscaler pushes the
+    /// proto's chunk manifest to an instance it is about to pre-warm, so
+    /// the instance pulls the chunks into its snapshot cache *before* the
+    /// first call lands — the prewarmed Faaslet restores from warm bytes
+    /// instead of paying a cold start. Best-effort: a dropped or stale
+    /// pre-stage only costs the peer-fetch it would have saved.
+    PreStage {
+        /// Owning user.
+        user: String,
+        /// Function name.
+        function: String,
+        /// The serialised [`crate::ProtoManifest`](crate::snapdist::ProtoManifest)
+        /// to fetch against (decoded and digest-verified by the receiver).
+        manifest: Vec<u8>,
+    },
 }
 
 /// Encode a message for the fabric.
@@ -84,6 +99,19 @@ pub fn encode_msg(msg: &InstanceMsg) -> Vec<u8> {
                 out.put_u32_le(bytes.len() as u32);
                 out.extend_from_slice(&bytes);
             }
+        }
+        InstanceMsg::PreStage {
+            user,
+            function,
+            manifest,
+        } => {
+            out.put_u8(3);
+            out.put_u32_le(user.len() as u32);
+            out.put_slice(user.as_bytes());
+            out.put_u32_le(function.len() as u32);
+            out.put_slice(function.as_bytes());
+            out.put_u32_le(manifest.len() as u32);
+            out.put_slice(manifest);
         }
     }
     out
@@ -139,6 +167,31 @@ pub fn decode_msg(mut buf: &[u8]) -> Option<InstanceMsg> {
                 calls,
                 reply_to,
                 sent_at_ns,
+            })
+        }
+        3 => {
+            fn get_block(buf: &mut &[u8]) -> Option<Vec<u8>> {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return None;
+                }
+                let mut v = vec![0u8; len];
+                buf.copy_to_slice(&mut v);
+                Some(v)
+            }
+            let user = String::from_utf8(get_block(&mut buf)?).ok()?;
+            let function = String::from_utf8(get_block(&mut buf)?).ok()?;
+            let manifest = get_block(&mut buf)?;
+            if buf.has_remaining() {
+                return None;
+            }
+            Some(InstanceMsg::PreStage {
+                user,
+                function,
+                manifest,
             })
         }
         _ => None,
@@ -205,6 +258,23 @@ mod tests {
             sent_at_ns: 0,
         };
         assert_eq!(decode_msg(&encode_msg(&empty)), Some(empty));
+    }
+
+    #[test]
+    fn prestage_roundtrip() {
+        let msg = InstanceMsg::PreStage {
+            user: "tenant".into(),
+            function: "hot".into(),
+            manifest: vec![7u8; 100],
+        };
+        let bytes = encode_msg(&msg);
+        assert_eq!(decode_msg(&bytes), Some(msg));
+        for cut in 1..bytes.len() {
+            assert_eq!(decode_msg(&bytes[..cut]), None, "cut {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(decode_msg(&trailing), None);
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! Snapshot distribution: content-addressed Proto-Faaslet chunks.
+//!
+//! A restore is only microseconds if the snapshot bytes are already
+//! on-host (§5.2). This module turns a [`ProtoFaaslet`] into immutable,
+//! hash-keyed chunks shipped through the sharded state tier: one **meta
+//! chunk** (user, function, globals, indirect-call table, memory header)
+//! plus one chunk per 64 KiB memory page, all addressed by SHA-256 digest.
+//! A **manifest** — the only mutable key — names the meta digest and the
+//! ordered page digests. Content addressing buys two properties at once:
+//!
+//! * **Dedup across versions.** Memory pages identical between proto
+//!   versions (or between different functions) hash to the same chunk and
+//!   are stored/shipped once; republishing after a small change ships only
+//!   the changed pages.
+//! * **Verified fetches.** A fetcher recomputes every chunk's digest
+//!   against the key it asked for, so a corrupt or substituted chunk is
+//!   rejected at the cache boundary and never reaches a restore.
+//!
+//! [`SnapshotCache`] is the host-local side: a bytes-bounded LRU of
+//! verified chunks shared by every fetch/pre-stage on the instance.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use faasm_fvm::InstanceSnapshot;
+use faasm_kvs::Digest;
+use faasm_mem::{MemorySnapshot, Page, PAGE_SIZE};
+use parking_lot::Mutex;
+
+use crate::proto::{ProtoEncodeError, ProtoFaaslet};
+
+/// The chunk manifest for one function's proto: everything a host needs to
+/// know *what* to fetch before it fetches anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoManifest {
+    /// Digest of the meta chunk (globals, table, memory header).
+    pub meta: Digest,
+    /// Per-page chunk digests in address order (empty for memory-less
+    /// protos).
+    pub pages: Vec<Digest>,
+}
+
+impl ProtoManifest {
+    /// Serialise: `meta:32 | count:u32 | page digests:32 each`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(36 + self.pages.len() * 32);
+        out.put_slice(&self.meta.0);
+        out.put_u32_le(self.pages.len() as u32);
+        for d in &self.pages {
+            out.put_slice(&d.0);
+        }
+        out
+    }
+
+    /// Deserialise; `None` on malformed input (truncation, hostile count,
+    /// trailing bytes).
+    pub fn from_bytes(mut buf: &[u8]) -> Option<ProtoManifest> {
+        if buf.remaining() < 36 {
+            return None;
+        }
+        let mut meta = [0u8; 32];
+        buf.copy_to_slice(&mut meta);
+        let n = buf.get_u32_le() as usize;
+        // Every digest costs exactly 32 bytes — a hostile count cannot
+        // out-size the buffer it rode in on.
+        if buf.remaining() != n.saturating_mul(32) {
+            return None;
+        }
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut d = [0u8; 32];
+            buf.copy_to_slice(&mut d);
+            pages.push(Digest(d));
+        }
+        Some(ProtoManifest {
+            meta: Digest(meta),
+            pages,
+        })
+    }
+
+    /// Every chunk digest the manifest references (meta first, then pages
+    /// in address order) — the fetch list.
+    pub fn all_digests(&self) -> Vec<Digest> {
+        let mut out = Vec::with_capacity(1 + self.pages.len());
+        out.push(self.meta);
+        out.extend_from_slice(&self.pages);
+        out
+    }
+}
+
+/// A proto exploded into content-addressed chunks, ready to publish.
+#[derive(Debug)]
+pub struct ChunkedProto {
+    /// The manifest naming every chunk.
+    pub manifest: ProtoManifest,
+    /// Unique chunk payloads by digest — pages identical within the proto
+    /// already collapse here, so `chunks.len()` can be smaller than
+    /// `1 + manifest.pages.len()`.
+    pub chunks: HashMap<Digest, Arc<Vec<u8>>>,
+}
+
+impl ChunkedProto {
+    /// Total unique payload bytes (what a publish ships at worst).
+    pub fn unique_bytes(&self) -> usize {
+        self.chunks.values().map(|c| c.len()).sum()
+    }
+}
+
+/// Explode a proto into its meta chunk + per-page chunks.
+///
+/// # Errors
+///
+/// [`ProtoEncodeError`] if a meta section overflows its length prefix.
+pub fn chunk_proto(proto: &ProtoFaaslet) -> Result<ChunkedProto, ProtoEncodeError> {
+    let meta_bytes = encode_meta(proto)?;
+    let meta = Digest::of(&meta_bytes);
+    let mut chunks = HashMap::new();
+    chunks.insert(meta, Arc::new(meta_bytes));
+    let mut pages = Vec::new();
+    if let Some(mem) = &proto.snapshot.mem {
+        for page in mem.pages() {
+            let bytes = page.to_bytes().into_vec();
+            let d = Digest::of(&bytes);
+            pages.push(d);
+            chunks.entry(d).or_insert_with(|| Arc::new(bytes));
+        }
+    }
+    Ok(ChunkedProto {
+        manifest: ProtoManifest { meta, pages },
+        chunks,
+    })
+}
+
+/// Reassemble a proto from its verified chunks: the meta chunk plus one
+/// `PAGE_SIZE` payload per manifest page, in address order. Returns `None`
+/// on any structural mismatch (malformed meta, wrong page count or size) —
+/// the caller falls back to a cold start.
+pub fn assemble_proto(meta_bytes: &[u8], page_chunks: &[Arc<Vec<u8>>]) -> Option<ProtoFaaslet> {
+    let meta = decode_meta(meta_bytes)?;
+    let mem = match meta.mem {
+        Some((size_pages, max_pages)) => {
+            if page_chunks.len() != size_pages {
+                return None;
+            }
+            let mut pages = Vec::with_capacity(size_pages);
+            for chunk in page_chunks {
+                if chunk.len() != PAGE_SIZE {
+                    return None;
+                }
+                pages.push(Arc::new(Page::from_bytes(chunk)));
+            }
+            Some(MemorySnapshot::from_pages(pages, max_pages)?)
+        }
+        None => {
+            if !page_chunks.is_empty() {
+                return None;
+            }
+            None
+        }
+    };
+    Some(ProtoFaaslet {
+        user: meta.user,
+        function: meta.function,
+        snapshot: InstanceSnapshot {
+            mem,
+            globals: meta.globals,
+            table: meta.table,
+        },
+    })
+}
+
+/// The decoded meta chunk: a proto minus its page payloads.
+struct ProtoMeta {
+    user: String,
+    function: String,
+    /// `(size_pages, max_pages)` when the proto captured a memory.
+    mem: Option<(usize, usize)>,
+    globals: Vec<u64>,
+    table: Vec<Option<u32>>,
+}
+
+/// Encode the meta chunk: `user | function | mem tag (+ size/max pages) |
+/// globals | table`, same section conventions as
+/// [`ProtoFaaslet::to_bytes`].
+fn encode_meta(proto: &ProtoFaaslet) -> Result<Vec<u8>, ProtoEncodeError> {
+    let checked = |len: usize, section: &'static str| {
+        u32::try_from(len).map_err(|_| ProtoEncodeError { section, len })
+    };
+    let mut out = Vec::new();
+    out.put_u32_le(checked(proto.user.len(), "user")?);
+    out.put_slice(proto.user.as_bytes());
+    out.put_u32_le(checked(proto.function.len(), "function")?);
+    out.put_slice(proto.function.as_bytes());
+    match &proto.snapshot.mem {
+        Some(mem) => {
+            out.put_u8(1);
+            out.put_u32_le(checked(mem.size_pages(), "size_pages")?);
+            out.put_u32_le(checked(mem.max_pages(), "max_pages")?);
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u32_le(checked(proto.snapshot.globals.len(), "globals")?);
+    for g in &proto.snapshot.globals {
+        out.put_u64_le(*g);
+    }
+    out.put_u32_le(checked(proto.snapshot.table.len(), "table")?);
+    for t in &proto.snapshot.table {
+        match t {
+            Some(f) => {
+                out.put_u8(1);
+                out.put_u32_le(*f);
+            }
+            None => out.put_u8(0),
+        }
+    }
+    Ok(out)
+}
+
+fn decode_meta(mut buf: &[u8]) -> Option<ProtoMeta> {
+    fn get_string(buf: &mut &[u8]) -> Option<String> {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        let mut v = vec![0u8; len];
+        buf.copy_to_slice(&mut v);
+        String::from_utf8(v).ok()
+    }
+    let user = get_string(&mut buf)?;
+    let function = get_string(&mut buf)?;
+    if buf.remaining() < 1 {
+        return None;
+    }
+    let mem = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let size_pages = buf.get_u32_le() as usize;
+            let max_pages = buf.get_u32_le() as usize;
+            if max_pages < size_pages {
+                return None;
+            }
+            Some((size_pages, max_pages))
+        }
+        _ => return None,
+    };
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let ng = buf.get_u32_le() as usize;
+    if buf.remaining() < ng.saturating_mul(8) {
+        return None;
+    }
+    let globals = (0..ng).map(|_| buf.get_u64_le()).collect();
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let nt = buf.get_u32_le() as usize;
+    // Each entry costs ≥ 1 byte, so the count cannot drive a huge
+    // preallocation.
+    if nt > buf.remaining() {
+        return None;
+    }
+    let mut table = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        table.push(match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(buf.get_u32_le())
+            }
+            _ => return None,
+        });
+    }
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(ProtoMeta {
+        user,
+        function,
+        mem,
+        globals,
+        table,
+    })
+}
+
+/// Counters the snapshot plane keeps per instance (all relaxed atomics —
+/// read by `figures coldstart` and the storm bench).
+#[derive(Debug, Default)]
+pub struct SnapStats {
+    /// Manifest-driven fetch attempts (peer-fetch resolve steps).
+    pub fetches: AtomicU64,
+    /// Chunks pulled over the wire.
+    pub chunks_fetched: AtomicU64,
+    /// Chunks served from the local cache during a fetch.
+    pub chunk_hits: AtomicU64,
+    /// Fetched chunks whose digest did not match their key.
+    pub verify_failures: AtomicU64,
+    /// Chunks this instance published (absent from the tier).
+    pub chunks_published: AtomicU64,
+    /// Bytes this instance published.
+    pub bytes_published: AtomicU64,
+    /// Chunks skipped at publish because the tier already held them — the
+    /// cross-version dedup counter.
+    pub chunks_deduped: AtomicU64,
+    /// Bytes dedup saved at publish.
+    pub bytes_deduped: AtomicU64,
+    /// Pre-stage pushes handled (manifests landed over the bus).
+    pub prestages: AtomicU64,
+    /// Chunks evicted by the cache's byte budget.
+    pub evictions: AtomicU64,
+}
+
+/// A coherent copy of [`SnapStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapStatsSnapshot {
+    /// See [`SnapStats::fetches`].
+    pub fetches: u64,
+    /// See [`SnapStats::chunks_fetched`].
+    pub chunks_fetched: u64,
+    /// See [`SnapStats::chunk_hits`].
+    pub chunk_hits: u64,
+    /// See [`SnapStats::verify_failures`].
+    pub verify_failures: u64,
+    /// See [`SnapStats::chunks_published`].
+    pub chunks_published: u64,
+    /// See [`SnapStats::bytes_published`].
+    pub bytes_published: u64,
+    /// See [`SnapStats::chunks_deduped`].
+    pub chunks_deduped: u64,
+    /// See [`SnapStats::bytes_deduped`].
+    pub bytes_deduped: u64,
+    /// See [`SnapStats::prestages`].
+    pub prestages: u64,
+    /// See [`SnapStats::evictions`].
+    pub evictions: u64,
+}
+
+impl SnapStats {
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> SnapStatsSnapshot {
+        SnapStatsSnapshot {
+            fetches: self.fetches.load(Ordering::Relaxed),
+            chunks_fetched: self.chunks_fetched.load(Ordering::Relaxed),
+            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            chunks_published: self.chunks_published.load(Ordering::Relaxed),
+            bytes_published: self.bytes_published.load(Ordering::Relaxed),
+            chunks_deduped: self.chunks_deduped.load(Ordering::Relaxed),
+            bytes_deduped: self.bytes_deduped.load(Ordering::Relaxed),
+            prestages: self.prestages.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Default byte budget for a host's snapshot cache (enough for tens of
+/// typical protos; a full cache evicts least-recently-used chunks).
+pub const DEFAULT_SNAPSHOT_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
+struct CacheEntry {
+    bytes: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    chunks: HashMap<Digest, CacheEntry>,
+    bytes: usize,
+    clock: u64,
+}
+
+/// The host-local snapshot cache: verified chunk payloads keyed by digest,
+/// bounded by a byte budget with least-recently-used eviction. Only
+/// *verified* bytes are ever inserted (the fetch path checks the digest
+/// first), so a cache hit needs no re-verification.
+pub struct SnapshotCache {
+    inner: Mutex<CacheInner>,
+    budget: usize,
+    stats: SnapStats,
+}
+
+impl SnapshotCache {
+    /// A cache bounded at `budget` bytes of chunk payload.
+    pub fn new(budget: usize) -> SnapshotCache {
+        SnapshotCache {
+            inner: Mutex::new(CacheInner {
+                chunks: HashMap::new(),
+                bytes: 0,
+                clock: 0,
+            }),
+            budget,
+            stats: SnapStats::default(),
+        }
+    }
+
+    /// The chunk's payload if cached (refreshes its LRU stamp). Does not
+    /// count toward fetch-path hit stats — callers attribute hits to the
+    /// operation they serve.
+    pub fn get(&self, d: &Digest) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.chunks.get_mut(d)?;
+        entry.last_used = clock;
+        Some(Arc::clone(&entry.bytes))
+    }
+
+    /// Insert a verified chunk, evicting least-recently-used entries while
+    /// over budget. A chunk larger than the whole budget is not cached.
+    pub fn insert(&self, d: Digest, bytes: Arc<Vec<u8>>) {
+        if bytes.len() > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let len = bytes.len();
+        if let Some(prev) = inner.chunks.insert(
+            d,
+            CacheEntry {
+                bytes,
+                last_used: clock,
+            },
+        ) {
+            inner.bytes -= prev.bytes.len();
+        }
+        inner.bytes += len;
+        while inner.bytes > self.budget {
+            // Eviction is rare (budget overflow only) — a linear scan for
+            // the oldest stamp beats maintaining an order structure on
+            // every hit.
+            let Some((&victim, _)) = inner
+                .chunks
+                .iter()
+                .filter(|(k, _)| **k != d)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let evicted = inner.chunks.remove(&victim).expect("victim present");
+            inner.bytes -= evicted.bytes.len();
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current payload bytes held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// The plane's per-instance counters.
+    pub fn stats(&self) -> &SnapStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasm_fvm::prelude::*;
+
+    fn proto_with_mem(seed: u8) -> ProtoFaaslet {
+        let mut b = ModuleBuilder::new();
+        b.memory(3, 6);
+        b.global(ValType::I64, true, Val::I64(7));
+        b.table(2);
+        let sig = b.sig(FuncType::default());
+        let f = b.func(sig, vec![], vec![Instr::End]);
+        b.elem(0, vec![f]);
+        b.export_func("main", f);
+        let object = ObjectModule::prepare(b.build()).unwrap();
+        let mut inst = Instance::new(object, &Linker::new(), Box::new(())).unwrap();
+        // Dirty only page 1: pages 0 and 2 stay zero and must dedup to a
+        // single zero chunk.
+        inst.memory_mut()
+            .unwrap()
+            .write(PAGE_SIZE + 10, &[seed; 64])
+            .unwrap();
+        ProtoFaaslet {
+            user: "u".into(),
+            function: format!("f{seed}"),
+            snapshot: inst.snapshot(),
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_hostile_counts() {
+        let proto = proto_with_mem(1);
+        let chunked = chunk_proto(&proto).unwrap();
+        let bytes = chunked.manifest.to_bytes();
+        assert_eq!(ProtoManifest::from_bytes(&bytes).unwrap(), chunked.manifest);
+        // Truncations and trailing bytes rejected.
+        for cut in [0usize, 35, bytes.len() - 1] {
+            assert!(ProtoManifest::from_bytes(&bytes[..cut]).is_none(), "{cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ProtoManifest::from_bytes(&trailing).is_none());
+        // A hostile page count cannot out-size its payload.
+        let mut hostile = bytes.clone();
+        hostile[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ProtoManifest::from_bytes(&hostile).is_none());
+    }
+
+    #[test]
+    fn identical_pages_dedup_within_and_across_protos() {
+        let a = chunk_proto(&proto_with_mem(1)).unwrap();
+        // 3 pages, two of them zero → 1 meta + 2 unique page chunks.
+        assert_eq!(a.manifest.pages.len(), 3);
+        assert_eq!(a.chunks.len(), 3);
+        assert_eq!(a.manifest.pages[0], a.manifest.pages[2]);
+        // A second version differing only in its dirty page shares the
+        // zero-page chunk digest — the cross-version dedup property.
+        let b = chunk_proto(&proto_with_mem(2)).unwrap();
+        assert_eq!(a.manifest.pages[0], b.manifest.pages[0]);
+        assert_ne!(a.manifest.pages[1], b.manifest.pages[1]);
+    }
+
+    #[test]
+    fn chunked_proto_reassembles_bitwise() {
+        let proto = proto_with_mem(3);
+        let chunked = chunk_proto(&proto).unwrap();
+        let meta = chunked.chunks.get(&chunked.manifest.meta).unwrap();
+        let pages: Vec<Arc<Vec<u8>>> = chunked
+            .manifest
+            .pages
+            .iter()
+            .map(|d| Arc::clone(chunked.chunks.get(d).unwrap()))
+            .collect();
+        let back = assemble_proto(meta, &pages).unwrap();
+        assert_eq!(back.user, proto.user);
+        assert_eq!(back.function, proto.function);
+        assert_eq!(back.snapshot.globals, proto.snapshot.globals);
+        assert_eq!(back.snapshot.table, proto.snapshot.table);
+        assert_eq!(
+            back.snapshot.mem.as_ref().unwrap().to_bytes(),
+            proto.snapshot.mem.as_ref().unwrap().to_bytes()
+        );
+        // Structural mismatches are rejected, not mis-assembled.
+        assert!(assemble_proto(meta, &pages[..2]).is_none());
+        assert!(assemble_proto(b"garbage", &pages).is_none());
+        let short: Vec<_> = (0..3).map(|_| Arc::new(vec![0u8; 16])).collect();
+        assert!(assemble_proto(meta, &short).is_none());
+    }
+
+    #[test]
+    fn cache_bounds_bytes_and_evicts_lru() {
+        let cache = SnapshotCache::new(3 * PAGE_SIZE);
+        let chunks: Vec<(Digest, Arc<Vec<u8>>)> = (0..4u8)
+            .map(|i| {
+                let bytes = Arc::new(vec![i; PAGE_SIZE]);
+                (Digest::of(&bytes), bytes)
+            })
+            .collect();
+        for (d, b) in &chunks[..3] {
+            cache.insert(*d, Arc::clone(b));
+        }
+        assert_eq!(cache.bytes(), 3 * PAGE_SIZE);
+        // Touch chunk 0 so chunk 1 becomes the LRU victim.
+        assert!(cache.get(&chunks[0].0).is_some());
+        cache.insert(chunks[3].0, Arc::clone(&chunks[3].1));
+        assert_eq!(cache.bytes(), 3 * PAGE_SIZE);
+        assert!(cache.get(&chunks[1].0).is_none());
+        assert!(cache.get(&chunks[0].0).is_some());
+        assert!(cache.get(&chunks[3].0).is_some());
+        assert_eq!(cache.stats().snapshot().evictions, 1);
+        // An over-budget chunk is refused outright.
+        let huge = Arc::new(vec![9u8; 4 * PAGE_SIZE]);
+        cache.insert(Digest::of(&huge), huge);
+        assert_eq!(cache.bytes(), 3 * PAGE_SIZE);
+    }
+}

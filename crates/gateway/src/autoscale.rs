@@ -7,10 +7,13 @@
 //! drained to zero have surplus idle Faaslets retired so the host memory
 //! (the billable-memory curve of Fig. 6c) tracks demand.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use faasm_core::FaasmInstance;
+use faasm_net::HostId;
+use faasm_sched::SchedBoards;
 
 /// Autoscaler tuning.
 #[derive(Debug, Clone)]
@@ -61,12 +64,22 @@ pub fn tier_scale_wanted(ops_delta: u64, shard_count: usize, cfg: &AutoscaleConf
 }
 
 /// Pre-warm `count` Faaslets for a function, spread one at a time across
-/// the instances in ascending load order (run-queue depth, then pooled
-/// Faaslets) — instead of aiming the whole step at a single host, so calls
-/// the schedulers later forward also land warm. Returns how many Faaslets
-/// were actually created.
+/// the instances in ascending load order — instead of aiming the whole
+/// step at a single host, so calls the schedulers later forward also land
+/// warm. Ordering is run-queue depth first, then (given `boards`) the
+/// scheduler's hot-key affinity for this function descending, then pooled
+/// Faaslets: a host whose state cache already holds the function's working
+/// set beats an equally-loaded stranger.
+///
+/// Before warming, the step's targets are **pre-staged**: the function's
+/// chunk manifest is pushed to them over the bus, so hosts that don't yet
+/// hold the proto pull its chunks into their snapshot caches and the
+/// pre-warmed Faaslets restore from warm bytes instead of cold-starting.
+///
+/// Returns how many Faaslets were actually created.
 pub fn spread_prewarm(
     instances: &[Arc<FaasmInstance>],
+    boards: Option<&SchedBoards>,
     user: &str,
     function: &str,
     count: usize,
@@ -74,8 +87,28 @@ pub fn spread_prewarm(
     if instances.is_empty() || count == 0 {
         return 0;
     }
+    let hosts: Vec<HostId> = instances.iter().map(|i| i.host_id()).collect();
+    let affinity: HashMap<HostId, u64> = boards
+        .map(|b| b.affinities(user, function, &hosts).into_iter().collect())
+        .unwrap_or_default();
     let mut order: Vec<&Arc<FaasmInstance>> = instances.iter().collect();
-    order.sort_by_key(|i| (i.queue_depth(), i.pooled_faaslets()));
+    order.sort_by_key(|i| {
+        (
+            i.queue_depth(),
+            std::cmp::Reverse(affinity.get(&i.host_id()).copied().unwrap_or(0)),
+            i.pooled_faaslets(),
+        )
+    });
+    // Pre-stage before warming: push the manifest to every target that
+    // does not already hold the proto. Best-effort — with nothing
+    // published yet the pushes are no-ops and the first pre-warm below
+    // captures and publishes.
+    let targets = count.min(order.len());
+    for target in &order[..targets] {
+        if !target.has_proto(user, function) {
+            let _ = order[0].push_prestage(user, function, target.host_id());
+        }
+    }
     let mut created = 0;
     for k in 0..count {
         if let Ok(n) = order[k % order.len()].prewarm(user, function, 1) {
@@ -129,7 +162,7 @@ mod tests {
             .unwrap();
         // Prime the proto so pre-warms restore instead of cold starting.
         cluster.invoke("u", "echo", vec![1]);
-        let created = spread_prewarm(cluster.instances(), "u", "echo", 3);
+        let created = spread_prewarm(cluster.instances(), None, "u", "echo", 3);
         assert_eq!(created, 3);
         for (i, inst) in cluster.instances().iter().enumerate() {
             assert!(
@@ -138,7 +171,7 @@ mod tests {
             );
         }
         // A larger step wraps around the rotation instead of stopping.
-        let more = spread_prewarm(cluster.instances(), "u", "echo", 5);
+        let more = spread_prewarm(cluster.instances(), None, "u", "echo", 5);
         assert_eq!(more, 5);
         let total: usize = cluster
             .instances()
@@ -149,5 +182,69 @@ mod tests {
             total >= 8,
             "3 + 5 pre-warms pooled (plus the primer), got {total}"
         );
+    }
+
+    #[test]
+    fn prewarm_prefers_affine_hosts_among_equals() {
+        let cluster = Cluster::new(3);
+        cluster
+            .upload_fl("u", "echo", ECHO, Default::default())
+            .unwrap();
+        cluster.invoke("u", "echo", vec![1]);
+        // All three instances are idle and equally loaded; report hot-key
+        // affinity for the *last* one, which load order alone would never
+        // prefer.
+        let affine = cluster.instances()[2].host_id();
+        cluster
+            .boards()
+            .report_affinity("u", "echo", affine, &[("state/u/hot".into(), 50)]);
+        let before = cluster.instances()[2].warm_count("u", "echo");
+        let created = spread_prewarm(cluster.instances(), Some(cluster.boards()), "u", "echo", 1);
+        assert_eq!(created, 1);
+        assert_eq!(
+            cluster.instances()[2].warm_count("u", "echo"),
+            before + 1,
+            "a one-Faaslet step must land on the affine host"
+        );
+    }
+
+    #[test]
+    fn prewarm_prestages_targets_through_the_bus() {
+        let cluster = Cluster::new(3);
+        cluster
+            .upload_fl("u", "echo", ECHO, Default::default())
+            .unwrap();
+        // One host captures and publishes; nobody else holds the proto.
+        let a = &cluster.instances()[0];
+        let r = a.invoke_local("u", "echo", vec![1]);
+        assert_eq!(r.status, faasm_core::CallStatus::Success);
+        let created = spread_prewarm(cluster.instances(), None, "u", "echo", 3);
+        assert_eq!(created, 3);
+        // Every target got a manifest push (counted even when the pre-warm's
+        // own synchronous fetch wins the race to install the proto), and no
+        // host compiled from scratch. The push is asynchronous, so poll.
+        let prestaged = |cluster: &Cluster| -> u64 {
+            cluster
+                .instances()
+                .iter()
+                .map(|i| i.snapshot_stats().prestages)
+                .sum()
+        };
+        for _ in 0..400 {
+            if prestaged(&cluster) >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let got = prestaged(&cluster);
+        assert!(got >= 2, "cold targets were pre-staged: {got}");
+        for (i, inst) in cluster.instances().iter().enumerate() {
+            assert!(inst.has_proto("u", "echo") || inst.warm_count("u", "echo") > 0);
+            assert_eq!(
+                inst.metrics().cold_starts(),
+                u64::from(i == 0),
+                "only the publisher ever cold-started"
+            );
+        }
     }
 }

@@ -846,9 +846,11 @@ impl Inner {
                     .sum();
                 if depth > cfg.backlog_high && idle < cfg.max_warm {
                     // Spread the pre-warm step across the least-loaded
-                    // instances, so forwarded calls also land warm.
+                    // instances (affinity-weighted, pre-staged), so
+                    // forwarded calls also land warm.
                     let n = cfg.scale_step.min(cfg.max_warm - idle);
-                    let created = spread_prewarm(instances, tenant, function, n);
+                    let created =
+                        spread_prewarm(instances, Some(self.cluster.boards()), tenant, function, n);
                     self.metrics.record_prewarm(created);
                 } else if depth == 0 && idle > cfg.idle_target {
                     let mut surplus = idle - cfg.idle_target;

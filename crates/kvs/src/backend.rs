@@ -169,6 +169,18 @@ pub trait KvBackend: Send + Sync {
     /// Returns [`KvError`] on network/server failure.
     fn flush(&self) -> Result<(), KvError>;
 
+    /// Get several whole values, in request order — the snapshot plane's
+    /// chunk fetch. Sharded backends group the keys per owning shard and
+    /// issue one round-trip per shard; the default is a per-key loop so
+    /// wrappers and test backends stay correct without batching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    fn multi_get(&self, keys: &[String]) -> Result<Vec<Option<Vec<u8>>>, KvError> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
     /// How many shards back this handle (1 for a plain client).
     fn shard_count(&self) -> usize {
         1
@@ -349,6 +361,10 @@ impl KvBackend for KvClient {
 
     fn unlock(&self, key: &str, mode: LockMode) -> Result<(), KvError> {
         KvClient::unlock(self, key, mode)
+    }
+
+    fn multi_get(&self, keys: &[String]) -> Result<Vec<Option<Vec<u8>>>, KvError> {
+        KvClient::multi_get(self, keys)
     }
 
     fn ping(&self) -> Result<(), KvError> {

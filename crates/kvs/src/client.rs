@@ -346,6 +346,21 @@ impl KvClient {
         }
     }
 
+    /// Get several whole values in one round-trip, in request order (the
+    /// snapshot plane's chunk fetch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError`] on network/server failure.
+    pub fn multi_get(&self, keys: &[String]) -> Result<Vec<Option<Vec<u8>>>, KvError> {
+        match self.check(self.exec(&Request::MultiGet {
+            keys: keys.to_vec(),
+        })?)? {
+            Response::MultiValues(vs) if vs.len() == keys.len() => Ok(vs),
+            _ => Err(KvError::Protocol),
+        }
+    }
+
     /// Whether the key exists.
     ///
     /// # Errors

@@ -213,6 +213,15 @@ pub enum Request {
         /// State key.
         key: String,
     },
+    /// Get several whole values in one round-trip (the snapshot plane's
+    /// chunk fetch: every content-addressed chunk a shard owns, in one
+    /// request). Multi-key, so the server checks ownership of *every* key
+    /// and redirects if any is misrouted. Replies
+    /// [`Response::MultiValues`].
+    MultiGet {
+        /// State keys, in reply order.
+        keys: Vec<String>,
+    },
 }
 
 impl Request {
@@ -239,6 +248,8 @@ impl Request {
             | Request::MultiGetRange { key, .. }
             | Request::MultiSetRange { key, .. }
             | Request::VersionOf { key } => Some(key),
+            // MultiGet routes on *all* its keys; the server special-cases
+            // its ownership check instead of this single-key accessor.
             Request::Ping
             | Request::Flush
             | Request::Stats
@@ -247,7 +258,8 @@ impl Request {
             | Request::EpochCommit { .. }
             | Request::Replicate { .. }
             | Request::HandoffFrame { .. }
-            | Request::Rebuild { .. } => None,
+            | Request::Rebuild { .. }
+            | Request::MultiGet { .. } => None,
         }
     }
 }
@@ -312,6 +324,9 @@ pub enum Response {
         /// The slot count of that epoch's routing table.
         shard_count: u64,
     },
+    /// Reply to [`Request::MultiGet`]: one possibly-missing value per
+    /// requested key, in request order.
+    MultiValues(Vec<Option<Vec<u8>>>),
     /// A successful keyed reply widened with the key's mutation-version
     /// counter — what a function-side cache stamps its snapshots with
     /// (reads carry the version the bytes were observed at, mutation acks
@@ -457,6 +472,7 @@ fn request_payload_len(req: &Request) -> usize {
             17 + entries.iter().map(entry_payload_len).sum::<usize>()
         }
         Request::Rebuild { prev_dead } => 4 + prev_dead.len() * 4,
+        Request::MultiGet { keys } => 4 + keys.iter().map(|k| k.len() + 4).sum::<usize>(),
     }
 }
 
@@ -750,6 +766,13 @@ pub fn encode_request_traced(req: &Request, epoch: u64, trace: TraceCtx) -> Vec<
             out.put_u8(26);
             put_bytes(&mut out, key.as_bytes());
         }
+        Request::MultiGet { keys } => {
+            out.put_u8(27);
+            out.put_u32_le(keys.len() as u32);
+            for key in keys {
+                put_bytes(&mut out, key.as_bytes());
+            }
+        }
     }
     out
 }
@@ -956,6 +979,21 @@ pub fn decode_request_traced(mut buf: &[u8]) -> Result<(Request, u64, TraceCtx),
         26 => Request::VersionOf {
             key: get_string(&mut buf)?,
         },
+        27 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError("truncated key count".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            // Every key costs at least its 4-byte length prefix.
+            if buf.remaining() < n.saturating_mul(4) {
+                return Err(CodecError("key count exceeds payload".into()));
+            }
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(get_string(&mut buf)?);
+            }
+            Request::MultiGet { keys }
+        }
         other => return Err(CodecError(format!("unknown request op {other}"))),
     };
     if buf.has_remaining() {
@@ -971,6 +1009,10 @@ fn response_payload_len(resp: &Response) -> usize {
         Response::Values(vs) => vs.iter().map(|v| v.len() + 4).sum(),
         Response::Spans(Some(runs)) => runs.iter().map(|r| r.len() + 4).sum(),
         Response::Err(msg) => msg.len(),
+        Response::MultiValues(vs) => vs
+            .iter()
+            .map(|v| v.as_ref().map_or(1, |b| b.len() + 5))
+            .sum(),
         Response::Handoff(entries) => entries.iter().map(entry_payload_len).sum(),
         Response::Stats(_) => 128,
         Response::Versioned { inner, .. } => 9 + response_payload_len(inner),
@@ -1064,6 +1106,19 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.put_u8(16);
             out.put_u64_le(*epoch);
             out.put_u64_le(*shard_count);
+        }
+        Response::MultiValues(vs) => {
+            out.put_u8(18);
+            out.put_u32_le(vs.len() as u32);
+            for v in vs {
+                match v {
+                    Some(b) => {
+                        out.put_u8(1);
+                        put_bytes(&mut out, b);
+                    }
+                    None => out.put_u8(0),
+                }
+            }
         }
         Response::Versioned { version, inner } => {
             debug_assert!(
@@ -1204,6 +1259,28 @@ pub fn decode_response(mut buf: &[u8]) -> Result<Response, CodecError> {
                 inner: Box::new(inner),
             });
         }
+        18 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError("truncated multi-value list".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            // Every slot costs at least its 1-byte presence flag.
+            if buf.remaining() < n {
+                return Err(CodecError("multi-value count exceeds payload".into()));
+            }
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                if buf.remaining() < 1 {
+                    return Err(CodecError("truncated value flag".into()));
+                }
+                vs.push(match buf.get_u8() {
+                    0 => None,
+                    1 => Some(get_bytes(&mut buf)?),
+                    _ => return Err(CodecError("bad value flag".into())),
+                });
+            }
+            Response::MultiValues(vs)
+        }
         other => return Err(CodecError(format!("unknown response tag {other}"))),
     };
     if buf.has_remaining() {
@@ -1326,6 +1403,10 @@ mod tests {
                 prev_dead: Vec::new(),
             },
             Request::VersionOf { key: "k".into() },
+            Request::MultiGet {
+                keys: vec!["a".into(), "bb".into(), String::new()],
+            },
+            Request::MultiGet { keys: Vec::new() },
         ]
     }
 
@@ -1404,6 +1485,8 @@ mod tests {
                 epoch: 5,
                 shard_count: 3,
             },
+            Response::MultiValues(vec![Some(b"v".to_vec()), None, Some(Vec::new())]),
+            Response::MultiValues(Vec::new()),
             Response::Versioned {
                 version: 12,
                 inner: Box::new(Response::Value(Some(b"bytes".to_vec()))),
@@ -1543,6 +1626,14 @@ mod tests {
         let mut bytes = raw_request(25);
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(&bytes).is_err());
+        // MultiGet with a hostile key count.
+        let mut bytes = raw_request(27);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
+        // MultiValues response with a count its payload cannot back.
+        let mut bytes = vec![18u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(&bytes).is_err());
         // A hostile reader count inside one entry. The reader count sits
         // before one 16-byte reader and the trailing 8-byte version.
         let req = Request::Handoff {

@@ -1,0 +1,211 @@
+//! Content addressing for the snapshot distribution plane.
+//!
+//! Proto-Faaslet snapshots ship through the state tier as immutable,
+//! hash-keyed chunks: a chunk's key *is* its SHA-256 digest, so identical
+//! memory pages across proto versions collapse to one stored chunk, and a
+//! fetcher can verify every byte it received against the key it asked for
+//! (a corrupt or substituted chunk fails the digest check, never the
+//! restore). The hash is a self-contained SHA-256 (FIPS 180-4) — the
+//! workspace is offline, so no crypto crate; throughput is a few hundred
+//! MB/s, far above what chunk traffic needs.
+
+/// A 32-byte SHA-256 digest: the identity of one content-addressed chunk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Digest of `data`.
+    pub fn of(data: &[u8]) -> Digest {
+        Digest(sha256(data))
+    }
+
+    /// Lower-case hex form (the chunk key suffix).
+    pub fn to_hex(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xf) as usize] as char);
+        }
+        s
+    }
+
+    /// Parse a 64-char lower/upper-case hex string.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({})", &self.to_hex()[..12])
+    }
+}
+
+/// The state-tier key a content-addressed chunk lives under. One namespace
+/// for every proto of every function — that is what makes cross-version
+/// dedup automatic.
+pub fn chunk_key(digest: &Digest) -> String {
+    format!("proto/chunk/{}", digest.to_hex())
+}
+
+/// The state-tier key a function's proto manifest lives under (the only
+/// mutable key in the plane: republishing a proto swaps the manifest, the
+/// chunks it points at are immutable).
+pub fn manifest_key(user: &str, function: &str) -> String {
+    format!("proto/manifest/{user}/{function}")
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    // Pad: message || 0x80 || zeros || bit-length (big-endian u64), to a
+    // multiple of 64 bytes.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut block = [0u8; 64];
+    let mut chunks = data.chunks_exact(64);
+    for chunk in &mut chunks {
+        block.copy_from_slice(chunk);
+        compress(&mut h, &block);
+    }
+    let rem = chunks.remainder();
+    block[..rem.len()].copy_from_slice(rem);
+    block[rem.len()] = 0x80;
+    block[rem.len() + 1..].fill(0);
+    if rem.len() + 1 > 56 {
+        compress(&mut h, &block);
+        block.fill(0);
+    }
+    block[56..].copy_from_slice(&bit_len.to_be_bytes());
+    compress(&mut h, &block);
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 test vectors plus padding-boundary lengths (55/56/63/64
+    /// land the 0x80 byte and the length field in every branch of the
+    /// padding logic).
+    #[test]
+    fn sha256_known_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(Digest::of(input).to_hex(), *want);
+        }
+        for len in [55usize, 56, 63, 64, 119, 120] {
+            let data = vec![b'a'; len];
+            // Self-consistency across the boundary: digest differs from the
+            // next length and roundtrips through hex.
+            let d = Digest::of(&data);
+            assert_eq!(Digest::from_hex(&d.to_hex()), Some(d), "len {len}");
+            assert_ne!(d, Digest::of(&vec![b'a'; len + 1]), "len {len}");
+        }
+        // The classic million-'a' vector pins the multi-block path.
+        let big = vec![b'a'; 1_000_000];
+        assert_eq!(
+            Digest::of(&big).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn hex_parsing_rejects_garbage() {
+        assert!(Digest::from_hex("zz").is_none());
+        assert!(Digest::from_hex(&"g".repeat(64)).is_none());
+        let d = Digest::of(b"x");
+        assert_eq!(Digest::from_hex(&d.to_hex().to_uppercase()), Some(d));
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        let d = Digest::of(b"page");
+        assert!(chunk_key(&d).starts_with("proto/chunk/"));
+        assert_eq!(manifest_key("alice", "fn"), "proto/manifest/alice/fn");
+    }
+}

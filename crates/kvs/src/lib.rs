@@ -21,6 +21,7 @@ pub mod backend;
 pub mod cache;
 pub mod client;
 pub mod codec;
+pub mod content;
 pub mod reshard;
 pub mod server;
 pub mod sharded;
@@ -31,6 +32,7 @@ pub use backend::{KvBackend, SharedKv};
 pub use cache::{CacheConfig, CacheStats, CachedKv, Consistency};
 pub use client::{KvClient, KvError};
 pub use codec::{Request, Response, EPOCH_ANY};
+pub use content::{chunk_key, manifest_key, Digest};
 pub use server::{KvServer, ServerShaping, ShardRouting};
 pub use sharded::{
     primary_index_live, rendezvous_delta, replica_set_for, replica_set_live, shard_index_for,

@@ -577,6 +577,7 @@ pub fn apply(store: &KvStore, req: Request) -> Response {
             versioned(v, Response::Ok)
         }
         Request::VersionOf { key } => Response::Len(store.version_of(&key)),
+        Request::MultiGet { keys } => Response::MultiValues(store.multi_get(&keys)),
         Request::Stats => Response::Stats(store.stats()),
         Request::Handoff { entries } => {
             if entries.iter().any(|e| {
@@ -960,6 +961,17 @@ pub fn apply_traced(
             if let Some(key) = req.key() {
                 if let Some(redirect) = routing.check(key, client_epoch) {
                     return redirect;
+                }
+            }
+            // MultiGet is the one multi-key request: every key must be
+            // owned here, or the whole batch redirects (the sharded client
+            // groups keys per shard, so a redirect means its table is
+            // stale for the entire group).
+            if let Request::MultiGet { keys } = &req {
+                for key in keys {
+                    if let Some(redirect) = routing.check(key, client_epoch) {
+                        return redirect;
+                    }
                 }
             }
             // Snapshot what forwarding needs before the apply consumes the

@@ -650,6 +650,91 @@ impl KvBackend for ShardedKvClient {
         }
     }
 
+    fn multi_get(&self, keys: &[String]) -> Result<Vec<Option<Vec<u8>>>, KvError> {
+        // The batched chunk fetch: group keys by owning shard, one
+        // round-trip per shard. This cannot ride `with_retry` — that loop
+        // re-routes on a *single* key, but an epoch change mid-batch can
+        // split a group across shards, so every retry re-groups the
+        // still-pending keys under the freshly loaded table.
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        let mut attempt = 0u32;
+        let mut waited = Duration::ZERO;
+        while !pending.is_empty() {
+            let set = self.current();
+            let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+                std::collections::HashMap::new();
+            for &i in &pending {
+                groups.entry(set.primary_for(&keys[i])).or_default().push(i);
+            }
+            let mut parked = false;
+            for (shard, idxs) in groups {
+                let batch: Vec<String> = idxs.iter().map(|&i| keys[i].clone()).collect();
+                match set.clients[shard].multi_get(&batch) {
+                    Ok(vals) => {
+                        for (&i, v) in idxs.iter().zip(vals) {
+                            out[i] = v;
+                        }
+                        pending.retain(|i| !idxs.contains(i));
+                    }
+                    Err(err @ (KvError::WrongEpoch { .. } | KvError::NotPrimary { .. })) => {
+                        let epoch = match &err {
+                            KvError::WrongEpoch { epoch, .. }
+                            | KvError::NotPrimary { epoch, .. } => *epoch,
+                            _ => unreachable!(),
+                        };
+                        let parked_ns = faasm_telemetry::now_ns();
+                        let outcome = self.wait_for_epoch(epoch, &mut attempt, &mut waited, err);
+                        let ctx = faasm_telemetry::current();
+                        if !ctx.is_none() {
+                            client_recorder().span(
+                                SpanKind::WrongEpochRetry,
+                                ctx,
+                                parked_ns,
+                                u64::from(attempt),
+                            );
+                        }
+                        outcome?;
+                        parked = true;
+                    }
+                    Err(KvError::Unavailable { epoch, shard_count }) => {
+                        self.wait_for_epoch(
+                            epoch + 1,
+                            &mut attempt,
+                            &mut waited,
+                            KvError::Unavailable { epoch, shard_count },
+                        )?;
+                        parked = true;
+                    }
+                    Err(KvError::Net(e)) => match &self.source {
+                        Source::Static(_) => return Err(KvError::Net(e)),
+                        Source::Cell { cell, .. } => {
+                            if cell.epoch() == set.epoch {
+                                self.wait_for_epoch(
+                                    set.epoch + 1,
+                                    &mut attempt,
+                                    &mut waited,
+                                    KvError::Net(e),
+                                )?;
+                            }
+                            parked = true;
+                        }
+                    },
+                    Err(other) => return Err(other),
+                }
+                if parked {
+                    // Re-group the pending keys under the new table before
+                    // touching the remaining shards of the stale grouping.
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn append(&self, key: &str, data: Vec<u8>) -> Result<u64, KvError> {
         let req = Request::Append {
             key: key.into(),

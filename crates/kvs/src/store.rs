@@ -202,6 +202,14 @@ impl KvStore {
         self.get_versioned(key).0
     }
 
+    /// Get several whole values in one pass (the snapshot plane's chunk
+    /// fetch), in request order. Not atomic across keys — chunk values are
+    /// immutable, so per-key atomicity is all the fetch path needs.
+    pub fn multi_get(&self, keys: &[String]) -> Vec<Option<Vec<u8>>> {
+        self.count_batch(keys.len());
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
     /// Get a value together with the key's version, atomically — the pair a
     /// cache may stamp a snapshot with (reading them in two lock
     /// acquisitions could pair old bytes with a newer version).

@@ -39,6 +39,28 @@ impl MemorySnapshot {
         self.max_pages
     }
 
+    /// The snapshot's pages in address order — the chunking unit of the
+    /// snapshot distribution plane (one content-addressed chunk per page).
+    pub fn pages(&self) -> &[Arc<Page>] {
+        &self.pages
+    }
+
+    /// Build a snapshot directly from pages (the chunk-assembly path of a
+    /// fetched proto: pages arrive individually, already verified, and the
+    /// restored memory maps them copy-on-write like any other snapshot).
+    ///
+    /// Returns `None` if `max_pages` cannot hold the pages.
+    pub fn from_pages(pages: Vec<Arc<Page>>, max_pages: usize) -> Option<MemorySnapshot> {
+        if max_pages < pages.len() {
+            return None;
+        }
+        Some(MemorySnapshot {
+            size_pages: pages.len(),
+            pages,
+            max_pages,
+        })
+    }
+
     /// Serialise the snapshot to a flat byte buffer (for cross-host
     /// distribution via the global tier).
     ///

@@ -194,10 +194,19 @@ pub enum SpanKind {
     /// Lease-expiry / epoch-bump revalidation probe (`VersionOf`
     /// round-trip; the value bytes stay local when the version matches).
     Revalidate = 15,
+    /// Proto-Faaslet restore: snapshot bytes on-host → runnable Faaslet
+    /// (copy-on-write page mapping + globals + table install).
+    ProtoRestore = 16,
+    /// Snapshot chunk fetch: manifest + missing chunks pulled from the
+    /// state tier into the host-local snapshot cache.
+    SnapshotFetch = 17,
+    /// Digest verification of fetched snapshot chunks (the
+    /// content-address check standing between the wire and a restore).
+    SnapshotVerify = 18,
 }
 
 /// Number of span kinds (histogram array size).
-pub const SPAN_KINDS: usize = 16;
+pub const SPAN_KINDS: usize = 19;
 
 impl SpanKind {
     /// All kinds, in wire order.
@@ -218,6 +227,9 @@ impl SpanKind {
         SpanKind::CacheMiss,
         SpanKind::CacheInvalidate,
         SpanKind::Revalidate,
+        SpanKind::ProtoRestore,
+        SpanKind::SnapshotFetch,
+        SpanKind::SnapshotVerify,
     ];
 
     /// Stable display name (also the JSON key).
@@ -239,6 +251,9 @@ impl SpanKind {
             SpanKind::CacheMiss => "cache_miss",
             SpanKind::CacheInvalidate => "cache_invalidate",
             SpanKind::Revalidate => "revalidate",
+            SpanKind::ProtoRestore => "proto_restore",
+            SpanKind::SnapshotFetch => "snapshot_fetch",
+            SpanKind::SnapshotVerify => "snapshot_verify",
         }
     }
 }

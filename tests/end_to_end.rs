@@ -195,9 +195,10 @@ fn guest_traps_surface_as_errors_and_do_not_poison_the_instance() {
 }
 
 #[test]
-fn cross_host_proto_restore_via_object_store() {
-    // First call on host A generates + publishes the proto; a later call on
-    // host B must restore from the shared store rather than cold start.
+fn cross_host_proto_restore_via_state_tier() {
+    // First call on host A generates + publishes the proto as
+    // content-addressed chunks; a later call on host B must restore from
+    // the tier rather than cold start.
     let cluster = Cluster::new(2);
     cluster
         .upload_fl("it", "echo", ECHO, UploadOptions::default())
@@ -210,16 +211,100 @@ fn cross_host_proto_restore_via_object_store() {
         .iter()
         .map(|i| i.metrics().cold_starts())
         .sum();
-    let restores: u64 = cluster
-        .instances()
-        .iter()
-        .map(|i| i.metrics().proto_restores())
-        .sum();
     assert_eq!(cold, 1, "only the very first start is a full cold start");
-    // The scheduler prefers warm Faaslets, so restores may be 0 or more, but
-    // the proto must exist in the store for cross-host use.
-    assert!(cluster.object_store().exists("shared/proto/it/echo"));
-    let _ = restores;
+    // The scheduler prefers warm Faaslets, so restores may be 0 or more,
+    // but the manifest and every chunk it names must sit in the tier for
+    // cross-host use.
+    let manifest_bytes = cluster
+        .kv()
+        .get(&faasm::kvs::manifest_key("it", "echo"))
+        .unwrap()
+        .expect("manifest published to the state tier");
+    let manifest = faasm::core::snapdist::ProtoManifest::from_bytes(&manifest_bytes)
+        .expect("manifest decodes");
+    for d in manifest.all_digests() {
+        assert_eq!(
+            cluster.kv().exists(&faasm::kvs::chunk_key(&d)),
+            Ok(true),
+            "chunk {d:?} missing from the tier"
+        );
+    }
+}
+
+#[test]
+fn scale_up_storm_restores_warm_without_duplicate_captures() {
+    // A 0→N scale-up storm (satellite of the snapshot-distribution plane):
+    // one publisher call, pre-stage every other host, then barrier-release
+    // concurrent calls against every host at once. The single-flight
+    // resolver plus pre-staged snapshot caches must absorb the burst with
+    // zero failed calls and exactly one capture cluster-wide.
+    use faasm::core::ChainRouter;
+
+    const HOSTS: usize = 4;
+    const THREADS_PER_HOST: usize = 3;
+    const CALLS_PER_THREAD: usize = 6;
+
+    let cluster = std::sync::Arc::new(Cluster::new(HOSTS));
+    cluster
+        .upload_fl("it", "echo", ECHO, UploadOptions::default())
+        .unwrap();
+    let r = cluster.instances()[0].invoke_local("it", "echo", vec![0]);
+    assert_eq!(r.status, CallStatus::Success);
+    for inst in &cluster.instances()[1..] {
+        assert!(cluster.instances()[0].push_prestage("it", "echo", inst.host_id()));
+    }
+    for inst in &cluster.instances()[1..] {
+        for _ in 0..2_000 {
+            if inst.has_proto("it", "echo") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(inst.has_proto("it", "echo"), "pre-stage never landed");
+    }
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(HOSTS * THREADS_PER_HOST));
+    let handles: Vec<_> = (0..HOSTS * THREADS_PER_HOST)
+        .map(|t| {
+            let cluster = std::sync::Arc::clone(&cluster);
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let inst = std::sync::Arc::clone(&cluster.instances()[t % HOSTS]);
+                barrier.wait();
+                let mut failed = 0usize;
+                for i in 0..CALLS_PER_THREAD {
+                    let id = inst.submit_placed("it", "echo", vec![i as u8]);
+                    if inst.await_call(id).status != CallStatus::Success {
+                        failed += 1;
+                    }
+                }
+                failed
+            })
+        })
+        .collect();
+    let failed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(failed, 0, "storm dropped calls");
+
+    let (mut captures, mut restores, mut warm) = (0u64, 0u64, 0u64);
+    for inst in cluster.instances() {
+        let m = inst.metrics();
+        captures += m.cold_starts();
+        restores += m.proto_restores();
+        warm += m.warm_starts();
+    }
+    assert_eq!(captures, 1, "duplicate captures under the storm");
+    let starts = captures + restores + warm;
+    assert_eq!(
+        starts as usize,
+        HOSTS * THREADS_PER_HOST * CALLS_PER_THREAD + 1,
+        "every call maps to exactly one start"
+    );
+    let warm_rate = (starts - captures) as f64 / starts as f64;
+    assert!(
+        warm_rate >= 0.9,
+        "warm-restore rate {:.1}% below 90%",
+        warm_rate * 100.0
+    );
 }
 
 #[test]
